@@ -1,0 +1,561 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see EXPERIMENTS.md for the experiment index) and times the
+   protocols with bechamel.
+
+   Sections:
+     T1      Table 1 — the space hierarchy, measured vs paper formulas
+     T1-LB   Table 1 lower-bound entries — adversary executions
+     F1      Figure 1 — concurrent appends on one ℓ-buffer history
+     INTRO   Section 1 collapse examples
+     STEPS   Lemma 8.7 — solo swap decision within 3n−2 scans
+     BUF     Section 6 — ⌈n/ℓ⌉ capacity sweep
+     MULTI   Section 7 — multiple assignment bounds
+     ABL     ablations: racing decision threshold, scan stability
+     TIME    bechamel wall-clock per protocol *)
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* ---------------------------------------------------------------- T1 -- *)
+
+let table1 () =
+  section "T1: Table 1 — space hierarchy (measured/allocated locations)";
+  print_string (Hierarchy.render ~ells:[ 1; 2; 3 ] ~ns:[ 2; 3; 5; 8; 12 ] ())
+
+(* ------------------------------------------------------------- T1-LB -- *)
+
+let table1_lower_bounds () =
+  section "T1-LB: lower-bound rows, executed";
+  (match Lowerbound.Interleave.run Lowerbound.Victims.naive_maxreg ~n:2 with
+   | Agreement_violated { p_decision; q_decision; steps; _ } ->
+     Printf.printf
+       "Thm 4.1  one max-register     : victim broken in %d writes (decisions %d/%d)\n"
+       steps p_decision q_decision
+   | Protocol_error e -> Printf.printf "Thm 4.1  unexpected: %s\n" e);
+  (match Lowerbound.Interleave.run Lowerbound.Victims.rounds_maxreg ~n:2 with
+   | Agreement_violated { steps; _ } ->
+     Printf.printf
+       "Thm 4.1  round-based victim   : broken too, after %d writes\n" steps
+   | Protocol_error e -> Printf.printf "Thm 4.1  unexpected: %s\n" e);
+  (match Lowerbound.Fai_adversary.run Lowerbound.Victims.naive_fai ~n:2 with
+   | Agreement_violated { p_decision; q_decision; _ } ->
+     Printf.printf
+       "Thm 5.1  one r/w/f&i location : victim broken (decisions %d/%d)\n" p_decision
+       q_decision
+   | Protocol_error e -> Printf.printf "Thm 5.1  unexpected: %s\n" e);
+  (match
+     Lowerbound.Growth.run
+       (Consensus.Tracks_protocol.protocol_typed ~flavour:Isets.Bits.Tas_only)
+       ~rounds:10 ~inputs:[| 0; 1; 0 |]
+   with
+   | Ok progress ->
+     let series =
+       List.map (fun (p : Lowerbound.Growth.progress) -> string_of_int p.ones) progress
+     in
+     Printf.printf
+       "Lem 9.1  {read,tas} growth    : locations set per adversary round: %s\n"
+       (String.concat " " series)
+   | Error e -> Printf.printf "Lem 9.1  growth stopped: %s\n" e);
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      match Lowerbound.Covering_witness.witness ~search_depth:depth proto ~inputs with
+      | Ok (r : Lowerbound.Covering_witness.report) ->
+        Printf.printf
+          "Lem 6.5  %-20s : Q={p%d,p%d} bivalent; R=[%s] covers L=[%s]; after a \
+           %d-step Q-only run, Q covers fresh location %d; bivalent past the block \
+           write: %b\n"
+          name (fst r.bivalent_pair) (snd r.bivalent_pair)
+          (String.concat "," (List.map string_of_int r.coverers))
+          (String.concat "," (List.map string_of_int r.covered))
+          r.xi_steps r.fresh_location r.still_bivalent_after_block_write
+      | Error e -> Printf.printf "Lem 6.5  %-20s : %s\n" name e)
+    [
+      ("registers, n=3", Consensus.Rw_protocol.protocol, [| 0; 1; 2 |], 6);
+      ("2-buffers, n=4", Consensus.Buffers_protocol.protocol ~capacity:2, [| 0; 1; 2; 3 |], 6);
+      ("swap, n=3", Consensus.Swap_protocol.protocol, [| 0; 1; 2 |], 10);
+    ]
+
+(* ---------------------------------------------------------------- F1 -- *)
+
+(* Figure 1 depicts ℓ concurrent appends to one ℓ-buffer: the reconstruction
+   of Lemma 6.1 survives exactly up to ℓ concurrent appenders.  We sweep the
+   number of concurrent appenders a for ℓ = 4 and report how many of the
+   first-round appends a later reader recovers. *)
+let figure1 () =
+  section "F1: Figure 1 — concurrent appends on one 4-buffer history";
+  let capacity = 4 in
+  let module B = Isets.Buffer_set.Make (struct
+    let capacity = capacity
+    let multi_assignment = false
+  end) in
+  let module M = Model.Machine.Make (B) in
+  Printf.printf "%-12s %-10s %-10s %s\n" "appenders a" "recovered" "expected"
+    "(a <= l: all survive; a > l: oldest may drop)";
+  List.iter
+    (fun a ->
+      let open Model.Proc.Syntax in
+      let proc pid =
+        let* () =
+          Objects.History.append ~loc:0
+            ~elt:(Objects.History.tag ~pid ~seq:0 (Model.Value.Int (100 + pid)))
+        in
+        let* h = Objects.History.get ~loc:0 in
+        Model.Proc.return (List.length h)
+      in
+      let cfg = M.make ~n:a (fun pid -> proc pid) in
+      (* all a appenders read the empty buffer, then write back-to-back:
+         the figure's fully-concurrent regime *)
+      let cfg = List.fold_left M.step cfg (List.init a (fun i -> i)) in
+      let cfg = List.fold_left M.step cfg (List.init a (fun i -> i)) in
+      let cfg, _ = M.run ~sched:(Model.Sched.solo 0) cfg in
+      let recovered = Option.get (M.decision cfg 0) in
+      Printf.printf "%-12d %-10d %-10d\n" a recovered (min a capacity))
+    [ 1; 2; 3; 4; 5; 6; 8 ]
+
+(* ------------------------------------------------------------- INTRO -- *)
+
+let intro () =
+  section "INTRO: Section 1 — the hierarchy collapse examples";
+  Printf.printf "%-28s %-6s %-10s %-8s %s\n" "instruction set" "n" "decided" "locs"
+    "steps (wait-free: <= 2 per process)";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (name, proto) ->
+          let inputs = Array.init n (fun i -> i land 1) in
+          let report =
+            Consensus.Driver.run proto ~inputs
+              ~sched:(Model.Sched.random_then_sequential ~seed:n ~prefix:50)
+          in
+          Consensus.Driver.check_exn report ~inputs;
+          let d = match report.decisions with (_, v) :: _ -> v | [] -> -1 in
+          Printf.printf "%-28s %-6d %-10d %-8d %d\n" name n d report.locations_used
+            report.steps)
+        [
+          ("{fetch-and-add(2), tas()}", Consensus.Intro_protocols.faa2_tas);
+          ("{read, decrement, multiply}", Consensus.Intro_protocols.decmul);
+        ])
+    [ 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------- STEPS -- *)
+
+let steps_bound () =
+  section "STEPS: Lemma 8.7 — solo swap-read decision within 3n-2 scans";
+  Printf.printf "%-6s %-12s %-12s %-12s\n" "n" "steps" "scans(est)" "bound 3n-2";
+  List.iter
+    (fun n ->
+      let inputs = Array.init n (fun i -> i) in
+      let report =
+        Consensus.Driver.run Consensus.Swap_protocol.protocol ~inputs
+          ~sched:(Model.Sched.solo 0)
+      in
+      (* a solo scan costs 2(n−1) reads; swaps account for the rest *)
+      let scans = report.steps / ((2 * (n - 1)) + 1) + 1 in
+      Printf.printf "%-6d %-12d %-12d %-12d\n" n report.steps scans ((3 * n) - 2))
+    [ 2; 3; 5; 8; 12; 16; 24 ]
+
+(* --------------------------------------------------------------- BUF -- *)
+
+let buffer_sweep () =
+  section "BUF: Section 6 — locations = ceil(n/l) across buffer capacities";
+  let n = 24 in
+  Printf.printf "n = %d\n%-6s %-12s %-12s %-12s\n" n "l" "measured" "ceil(n/l)"
+    "lower ceil((n-1)/l)";
+  List.iter
+    (fun ell ->
+      let proto = Consensus.Buffers_protocol.protocol ~capacity:ell in
+      let inputs = Array.init n (fun i -> i) in
+      let report =
+        Consensus.Driver.run ~fuel:50_000_000 proto ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:ell ~prefix:100)
+      in
+      Consensus.Driver.check_exn report ~inputs;
+      Printf.printf "%-6d %-12d %-12d %-12d\n" ell report.locations_used
+        ((n + ell - 1) / ell)
+        ((n - 1 + ell - 1) / ell))
+    [ 1; 2; 3; 4; 6; 8; 12; 24 ]
+
+(* ------------------------------------------------------------- MULTI -- *)
+
+let multi_assignment () =
+  section "MULTI: Section 7 — transactions buy at most a factor ~2";
+  Printf.printf "%-6s %-22s %-22s %-20s\n" "n" "plain lower ceil((n-1)/l)"
+    "multi lower ceil((n-1)/2l)" "measured upper (both)";
+  let ell = 2 in
+  List.iter
+    (fun n ->
+      let inputs = Array.init n (fun i -> i) in
+      let measure proto =
+        let report =
+          Consensus.Driver.run ~fuel:50_000_000 proto ~inputs
+            ~sched:(Model.Sched.random_then_sequential ~seed:n ~prefix:100)
+        in
+        Consensus.Driver.check_exn report ~inputs;
+        report.locations_used
+      in
+      let plain = measure (Consensus.Buffers_protocol.protocol ~capacity:ell) in
+      let multi = measure (Consensus.Buffers_protocol.multi_assignment_protocol ~capacity:ell) in
+      Printf.printf "%-6d %-22d %-22d %d / %d\n" n
+        ((n - 1 + ell - 1) / ell)
+        ((n - 1 + (2 * ell) - 1) / (2 * ell))
+        plain multi)
+    [ 3; 5; 9; 13; 17 ]
+
+(* --------------------------------------------------------------- ABL -- *)
+
+(* Ablation 1: racing's decision threshold.  The paper's Lemma 3.1 needs a
+   lead of n; a lead of 1 is unsound and the model checker exhibits the
+   agreement violation. *)
+let ablation_threshold () =
+  section "ABL-lead: racing counters decision threshold";
+  let proto lead : Consensus.Proto.t =
+    (module struct
+      module I = Isets.Arith.Add
+
+      let name = Printf.sprintf "arith-add(lead=%d)" lead
+      let locations ~n:_ = Some 1
+
+      let proc ~n ~pid:_ ~input =
+        Consensus.Racing.consensus ~decide_lead:lead
+          (Objects.Arith_counters.add ~components:n ~n ~loc:0)
+          ~n ~input
+    end)
+  in
+  List.iter
+    (fun lead ->
+      let outcome =
+        Modelcheck.explore ~probe:`Everywhere (proto lead) ~inputs:[| 0; 1 |] ~depth:12
+      in
+      (match outcome with
+       | Ok s ->
+         Printf.printf "lead=%d: no violation in %d configurations (depth 12)\n" lead
+           s.configs
+       | Error e -> Printf.printf "lead=%d: VIOLATION — %s\n" lead e);
+      (* and the steps cost at n=6 under contention *)
+      let inputs = Array.init 6 (fun i -> i) in
+      let report =
+        Consensus.Driver.run (proto lead) ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:4 ~prefix:200)
+      in
+      match Consensus.Driver.check report ~inputs with
+      | Ok () -> Printf.printf "         n=6 adversarial steps: %d\n" report.steps
+      | Error e -> Printf.printf "         n=6 adversarial run: VIOLATION — %s\n" e)
+    [ 1; 2; 6 ]
+
+(* Ablation 2: scan stability of the Bow11-substitute bounded tracks. *)
+let ablation_stability () =
+  section "ABL-stability: bounded-track scan stability (Bow11 substitute)";
+  let proto stability : Consensus.Proto.t =
+    (module struct
+      module I = Isets.Bits.Make (struct
+        let flavour = Isets.Bits.Write01
+      end)
+
+      let name = Printf.sprintf "write01-binary(k=%d)" stability
+      let locations ~n = Some (2 * 8 * n)
+
+      let proc ~n ~pid:_ ~input =
+        Consensus.Racing.consensus ~decide_lead:n ~decrement_at:(2 * n)
+          (Objects.Bit_tracks.bounded ~components:2 ~length:(8 * n) ~base:0 ~stability
+             ~flavour:Isets.Bits.Write01)
+          ~n ~input
+    end)
+  in
+  List.iter
+    (fun stability ->
+      let inputs = [| 0; 1; 1; 0 |] in
+      let steps = ref 0 and violations = ref 0 in
+      for seed = 1 to 20 do
+        let report =
+          Consensus.Driver.run ~fuel:50_000_000 (proto stability) ~inputs
+            ~sched:(Model.Sched.random_then_sequential ~seed ~prefix:400)
+        in
+        steps := !steps + report.steps;
+        match Consensus.Driver.check report ~inputs with
+        | Ok () -> ()
+        | Error _ -> incr violations
+      done;
+      Printf.printf "stability=%d: %d violations / 20 adversarial runs, avg steps %d\n"
+        stability !violations (!steps / 20))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------ HETERO -- *)
+
+let hetero () =
+  section "HETERO: Section 6 remark — mixed buffer capacities";
+  Printf.printf "%-20s %-6s %-10s %-12s %s\n" "capacities" "n" "sum" "locations"
+    "(paper: sum >= n-1 necessary; sum >= n sufficient)";
+  List.iter
+    (fun (caps, n) ->
+      let proto = Consensus.Hetero_protocol.protocol ~capacities:caps in
+      let inputs = Array.init n (fun i -> i) in
+      let report =
+        Consensus.Driver.run ~fuel:50_000_000 proto ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:n ~prefix:150)
+      in
+      Consensus.Driver.check_exn report ~inputs;
+      Printf.printf "%-20s %-6d %-10d %-12d\n"
+        ("[" ^ String.concat ";" (List.map string_of_int caps) ^ "]")
+        n
+        (List.fold_left ( + ) 0 caps)
+        report.locations_used)
+    [
+      ([ 3; 2; 2 ], 7);
+      ([ 5; 1; 1 ], 7);
+      ([ 7 ], 7);
+      ([ 1; 1; 1; 1; 1; 1; 1 ], 7);
+      ([ 4; 4; 4 ], 12);
+      ([ 6; 3; 2; 1 ], 12);
+    ]
+
+(* ------------------------------------------------------------ ASSIGN -- *)
+
+let assignment () =
+  section "ASSIGN: Section 7 — consensus from atomic multiple assignment";
+  let inputs2 = [| 1; 0 |] in
+  let r =
+    Consensus.Driver.run Consensus.Assignment_protocol.two_process ~inputs:inputs2
+      ~sched:(Model.Sched.random_then_sequential ~seed:1 ~prefix:10)
+  in
+  Consensus.Driver.check_exn r ~inputs:inputs2;
+  Printf.printf
+    "2-register assignment (wait-free, 2 procs): decided %d, %d locations, max %d \
+     steps/process\n"
+    (snd (List.hd r.decisions))
+    r.locations_used
+    (Array.fold_left max 0 r.steps_per_process);
+  List.iter
+    (fun n ->
+      let inputs = Array.init n (fun i -> (i * 3) mod n) in
+      let r =
+        Consensus.Driver.run Consensus.Assignment_protocol.earliest_writer ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:n ~prefix:100)
+      in
+      Consensus.Driver.check_exn r ~inputs;
+      Printf.printf
+        "earliest-writer assignment n=%-2d: decided %d, %d locations (n + C(n,2) = %d)\n" n
+        (snd (List.hd r.decisions))
+        r.locations_used
+        (n + (n * (n - 1) / 2)))
+    [ 2; 3; 5; 8 ]
+
+(* ------------------------------------------------------------- SYNTH -- *)
+
+let synth () =
+  section "SYNTH: bounded protocol synthesis on one-location machines";
+  Printf.printf
+    "(2-process binary consensus; exhaustive over protocol trees of the given depth)\n";
+  let show (m : _ Synth.machine) depth =
+    match Synth.search m ~depth with
+    | Synth.Found p ->
+      assert (Synth.check m p);
+      Printf.printf "%-42s depth %d: FOUND a wait-free protocol\n" m.name depth;
+      Format.printf "    p0/input0: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t00;
+      Format.printf "    p1/input1: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t11
+    | Synth.Impossible_within_depth ->
+      Printf.printf "%-42s depth %d: impossible within depth\n" m.name depth
+  in
+  show Synth.cas_cell 1;
+  show Synth.swap_cell 1;
+  show Synth.tas_bit 2;
+  show Synth.tas_bit 3;
+  show Synth.rw01_bit 2;
+  print_endline
+    "  (the single-bit impossibilities quantify Section 9's two-process remark: one\n\
+    \   tas bit elects a leader, but holds no room for the winning value)";
+  print_endline "\n  three processes (consensus numbers, experimentally):";
+  let show3 (m : _ Synth.machine) mode depth =
+    match Synth.search3 ~mode m ~depth with
+    | Synth.Found3 trees ->
+      assert (Synth.check3 m trees);
+      Printf.printf "  %-40s depth %d (%s): 3-process protocol FOUND\n" m.name depth
+        (match mode with `Full -> "full" | `Symmetric -> "symmetric")
+    | Synth.Impossible3_within_depth ->
+      Printf.printf "  %-40s depth %d (%s): impossible within depth\n" m.name depth
+        (match mode with `Full -> "full" | `Symmetric -> "symmetric")
+  in
+  show3 Synth.cas_cell `Full 1;
+  show3 Synth.swap_cell `Full 1;
+  show3 Synth.tas_bit `Full 3;
+  print_endline
+    "  (cas solves 3 processes with one location; swap — consensus number 2 in\n\
+    \   Herlihy's hierarchy — does not: the two hierarchies meet here)"
+
+(* -------------------------------------------------------------- STEPC -- *)
+
+let step_complexity () =
+  section "STEPC: per-process step complexity (conclusions' next axis)";
+  Printf.printf "%-24s %s\n" "protocol"
+    "max steps by any process, adversarial run, n = 2 / 4 / 8";
+  List.iter
+    (fun (name, proto) ->
+      let cells =
+        List.map
+          (fun n ->
+            let inputs = Array.init n (fun i -> i mod n) in
+            let r =
+              Consensus.Driver.run ~fuel:50_000_000 proto ~inputs
+                ~sched:(Model.Sched.random_then_sequential ~seed:7 ~prefix:200)
+            in
+            Consensus.Driver.check_exn r ~inputs;
+            Printf.sprintf "%6d" (Array.fold_left max 0 r.steps_per_process))
+          [ 2; 4; 8 ]
+      in
+      Printf.printf "%-24s %s\n" name (String.concat " " cells))
+    [
+      ("cas", Consensus.Cas_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("max-registers", Consensus.Maxreg_protocol.protocol);
+      ("swap-read", Consensus.Swap_protocol.protocol);
+      ("rw-registers", Consensus.Rw_protocol.protocol);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2);
+      ( "increment-logn",
+        Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only );
+      ("earliest-writer", Consensus.Assignment_protocol.earliest_writer);
+    ]
+
+(* --------------------------------------------------------------- CONJ -- *)
+
+(* Section 10 conjectures SP({read, write, increment}) ∈ Θ(log n); the
+   upper curve is ours to measure. *)
+let conjecture_curve () =
+  section "CONJ: Section 10 — the Θ(log n) conjecture's upper curve";
+  Printf.printf "%-6s %-14s %-14s\n" "n" "locations" "4*ceil(lg n)-2";
+  List.iter
+    (fun n ->
+      let (module P : Consensus.Proto.S) =
+        Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only
+      in
+      let inputs = Array.init n (fun i -> i) in
+      let r =
+        Consensus.Driver.run ~fuel:50_000_000
+          (Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only)
+          ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:n ~prefix:100)
+      in
+      Consensus.Driver.check_exn r ~inputs;
+      Printf.printf "%-6d %-14d %-14s\n" n r.locations_used
+        (match P.locations ~n with Some a -> string_of_int a | None -> "-"))
+    [ 2; 4; 8; 16; 32; 64 ];
+  print_endline
+    "  (the paper conjectures a matching Omega(log n) lower bound; only 2 is proven)"
+
+(* --------------------------------------------------------------- RAND -- *)
+
+let randomized () =
+  section "RAND: purely random schedules (the [GHHW13] connection)";
+  Printf.printf
+    "obstruction-free protocols terminate with probability 1 under a random\n\
+     (oblivious) scheduler; steps until all of n = 4 decide, 10 seeds:\n";
+  List.iter
+    (fun (name, proto) ->
+      let steps =
+        List.map
+          (fun seed ->
+            let inputs = [| 0; 1; 2; 3 |] in
+            let r =
+              Consensus.Driver.run ~fuel:50_000_000 proto ~inputs
+                ~sched:(Model.Sched.random ~seed)
+            in
+            Consensus.Driver.check_exn r ~inputs;
+            assert (r.outcome = `All_decided);
+            r.steps)
+          [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+      in
+      let total = List.fold_left ( + ) 0 steps in
+      Printf.printf "%-24s min %6d   avg %6d   max %6d\n" name
+        (List.fold_left min max_int steps)
+        (total / List.length steps)
+        (List.fold_left max 0 steps))
+    [
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("max-registers", Consensus.Maxreg_protocol.protocol);
+      ("swap-read", Consensus.Swap_protocol.protocol);
+      ("rw-registers", Consensus.Rw_protocol.protocol);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2);
+    ]
+
+(* -------------------------------------------------------------- TIME -- *)
+
+let bechamel_suite () =
+  section "TIME: bechamel wall-clock (solo decision, n = 8)";
+  let open Bechamel in
+  let make_test (name, proto, binary) =
+    let n = 8 in
+    let inputs =
+      if binary then Array.init n (fun i -> i land 1) else Array.init n (fun i -> i)
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let report =
+             Consensus.Driver.run proto ~inputs ~sched:(Model.Sched.solo 0)
+           in
+           assert (List.mem_assoc 0 report.decisions)))
+  in
+  let tests =
+    List.map make_test
+      [
+        ("cas", Consensus.Cas_protocol.protocol, false);
+        ("faa2+tas", Consensus.Intro_protocols.faa2_tas, true);
+        ("dec+mul", Consensus.Intro_protocols.decmul, true);
+        ("arith-add", Consensus.Arith_protocols.add, false);
+        ("arith-mul", Consensus.Arith_protocols.mul, false);
+        ("arith-set-bit", Consensus.Arith_protocols.set_bit, false);
+        ("fetch-and-add", Consensus.Arith_protocols.faa, false);
+        ("max-registers", Consensus.Maxreg_protocol.protocol, false);
+        ("swap-read", Consensus.Swap_protocol.protocol, false);
+        ("rw-registers", Consensus.Rw_protocol.protocol, false);
+        ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2, false);
+        ("buffers-4", Consensus.Buffers_protocol.protocol ~capacity:4, false);
+        ( "increment-logn",
+          Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only,
+          false );
+        ("tracks-tas", Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only, false);
+        ("gr05-binary", Consensus.Tracks_protocol.binary ~flavour:Isets.Bits.Write1_only, true);
+        ("tug-of-war", Consensus.Tugofwar_protocol.protocol, false);
+        ("adopt-commit-ladder", Consensus.Adopt_commit_protocol.protocol, false);
+        ("earliest-writer", Consensus.Assignment_protocol.earliest_writer, false);
+        ("hetero-[3;3;2]", Consensus.Hetero_protocol.protocol ~capacities:[ 3; 3; 2 ], false);
+        ("write01-nlogn", Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Write01, false);
+      ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"solo" ~fmt:"%s %s" tests) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "%-28s %s\n" "protocol" "ns / solo decision (n=8)";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-28s %14.0f\n" name est
+      | _ -> Printf.printf "%-28s %14s\n" name "n/a")
+    rows
+
+let () =
+  table1 ();
+  table1_lower_bounds ();
+  figure1 ();
+  intro ();
+  steps_bound ();
+  buffer_sweep ();
+  multi_assignment ();
+  hetero ();
+  assignment ();
+  synth ();
+  step_complexity ();
+  conjecture_curve ();
+  randomized ();
+  ablation_threshold ();
+  ablation_stability ();
+  bechamel_suite ();
+  print_newline ()

@@ -1,0 +1,247 @@
+(* Command-line driver: reproduce Table 1, run individual protocols, model
+   check them, and run the lower-bound adversaries. *)
+
+open Cmdliner
+
+let ells_arg =
+  let doc = "Buffer capacities to instantiate the ℓ-buffer rows at." in
+  Arg.(value & opt (list int) [ 1; 2; 3 ] & info [ "ells" ] ~docv:"L1,L2,…" ~doc)
+
+let ns_arg =
+  let doc = "Process counts to measure at." in
+  Arg.(value & opt (list int) [ 2; 3; 5; 8; 12 ] & info [ "ns" ] ~docv:"N1,N2,…" ~doc)
+
+let table_cmd =
+  let run ells ns csv =
+    print_string
+      (if csv then Hierarchy.render_csv ~ells ~ns () else Hierarchy.render ~ells ~ns ())
+  in
+  let csv_arg =
+    let doc = "Emit machine-readable CSV instead of the aligned table." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce Table 1: paper bounds vs measured locations.")
+    Term.(const run $ ells_arg $ ns_arg $ csv_arg)
+
+let row_arg =
+  let doc = "Row identifier (see `table`); e.g. swap, max-register, buffer-2." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ROW" ~doc)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random-scheduler seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let with_row ells id f =
+  match Hierarchy.find ~ells id with
+  | None -> `Error (false, Printf.sprintf "unknown row %S (try `table`)" id)
+  | Some row -> f row
+
+let run_cmd =
+  let run ells id n seed prefix =
+    with_row ells id (fun row ->
+        match Hierarchy.measure ~seed ~prefix row ~n with
+        | Error e -> `Error (false, e)
+        | Ok m ->
+          Printf.printf
+            "%s  n=%d  decided=%d  locations=%d (allocated %s)  steps=%d\n"
+            row.iset m.n m.decision m.measured
+            (match m.allocated with None -> "unbounded" | Some a -> string_of_int a)
+            m.steps;
+          `Ok ())
+  in
+  let prefix_arg =
+    let doc = "Adversarial random steps before the sequential finish." in
+    Arg.(value & opt int 200 & info [ "prefix" ] ~docv:"STEPS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one row's consensus protocol under an adversarial schedule.")
+    Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
+
+let modelcheck_cmd =
+  let run ells id n depth everywhere =
+    with_row ells id (fun row ->
+        let inputs =
+          if row.binary_only then Array.init n (fun i -> i land 1)
+          else Array.init n (fun i -> i mod n)
+        in
+        let probe = if everywhere then `Everywhere else `Leaves in
+        match Modelcheck.explore ~probe row.protocol ~inputs ~depth with
+        | Ok s ->
+          Printf.printf
+            "%s: OK — %d configurations, %d probes%s\n" row.iset s.configs s.probes
+            (if s.truncated then Printf.sprintf " (truncated at depth %d)" depth else "");
+          `Ok ()
+        | Error e -> `Error (false, "violation: " ^ e))
+  in
+  let depth_arg =
+    let doc = "Exhaustive exploration depth (all schedules)." in
+    Arg.(value & opt int 10 & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let everywhere_arg =
+    let doc = "Probe obstruction-freedom at every configuration (slower)." in
+    Arg.(value & flag & info [ "everywhere" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
+    Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg))
+
+let growth_cmd =
+  let run rounds n =
+    let inputs = Array.init (Stdlib.max 3 n) (fun i -> i land 1) in
+    match
+      Lowerbound.Growth.run
+        (Consensus.Tracks_protocol.protocol_typed ~flavour:Isets.Bits.Tas_only)
+        ~rounds ~inputs
+    with
+    | Ok progress ->
+      print_endline "Lemma 9.1 adversary vs the test-and-set tracks protocol:";
+      List.iter
+        (fun (p : Lowerbound.Growth.progress) ->
+          Printf.printf "  round %2d: %d locations set, %d touched\n" p.round p.ones
+            p.touched)
+        progress;
+      `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  let rounds_arg =
+    let doc = "Adversary rounds (each sets at least one fresh location)." in
+    Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "growth"
+       ~doc:
+         "Run the Lemma 9.1 adversary: drive a read/test-and-set protocol to \
+          use ever more locations.")
+    Term.(ret (const run $ rounds_arg $ n_arg))
+
+let adversary_cmd =
+  let run which =
+    match which with
+    | "maxreg" ->
+      (match Lowerbound.Interleave.run Lowerbound.Victims.naive_maxreg ~n:2 with
+       | Lowerbound.Interleave.Agreement_violated { p_decision; q_decision; steps; _ } ->
+         Printf.printf
+           "Theorem 4.1 adversary vs a single-max-register protocol:\n\
+           \  interleaved both solo runs in %d steps; decisions %d and %d — \
+            agreement violated.\n"
+           steps p_decision q_decision;
+         `Ok ()
+       | Protocol_error e -> `Error (false, e))
+    | "fai" ->
+      (match Lowerbound.Fai_adversary.run Lowerbound.Victims.naive_fai ~n:2 with
+       | Lowerbound.Fai_adversary.Agreement_violated { p_decision; q_decision; _ } ->
+         Printf.printf
+           "Theorem 5.1 adversary vs a single read/write/fetch-and-increment \
+            location:\n\
+           \  decisions %d and %d — agreement violated.\n"
+           p_decision q_decision;
+         `Ok ()
+       | Protocol_error e -> `Error (false, e))
+    | other -> `Error (false, Printf.sprintf "unknown adversary %S (maxreg|fai)" other)
+  in
+  let which_arg =
+    let doc = "Which impossibility proof to execute: maxreg (Thm 4.1) or fai (Thm 5.1)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Execute an impossibility proof's adversary against a candidate protocol.")
+    Term.(ret (const run $ which_arg))
+
+let witness_cmd =
+  let run ells id n depth =
+    with_row ells id (fun row ->
+        let inputs = Array.init n (fun i -> i mod n) in
+        match Lowerbound.Covering_witness.witness ~search_depth:depth row.protocol ~inputs with
+        | Ok (r : Lowerbound.Covering_witness.report) ->
+          Printf.printf
+            "Lemma 6.5 on %s (n=%d):\n\
+            \  bivalent pair Q = {p%d, p%d} after %d setup steps\n\
+            \  coverers R = [%s] covering L = [%s]\n\
+            \  a %d-step Q-only execution leaves Q covering fresh location %d\n\
+            \  bivalent after the block write to L: %b\n"
+            row.iset n (fst r.bivalent_pair) (snd r.bivalent_pair) r.setup_steps
+            (String.concat "," (List.map string_of_int r.coverers))
+            (String.concat "," (List.map string_of_int r.covered))
+            r.xi_steps r.fresh_location r.still_bivalent_after_block_write;
+          `Ok ()
+        | Error e -> `Error (false, e))
+  in
+  let depth_arg =
+    let doc = "Search depth for the bivalence and ξ searches." in
+    Arg.(value & opt int 8 & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Exhibit the Lemma 6.5 covering step concretely on a row's protocol \
+          (bivalent pair, coverers, block write, fresh location).")
+    Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ depth_arg))
+
+let synth_cmd =
+  let run machine depth =
+    let show (type c) (m : c Synth.machine) =
+      match Synth.search m ~depth with
+      | Synth.Found p ->
+        assert (Synth.check m p);
+        Printf.printf "%s: FOUND a wait-free 2-process protocol at depth %d\n" m.name
+          depth;
+        Format.printf "  p0 input 0: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t00;
+        Format.printf "  p0 input 1: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t01;
+        Format.printf "  p1 input 0: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t10;
+        Format.printf "  p1 input 1: @[%a@]@." (Synth.pp_tree ~ops:m.ops) p.t11;
+        `Ok ()
+      | Synth.Impossible_within_depth ->
+        Printf.printf
+          "%s: no 2-process binary consensus protocol exists with at most %d \
+           instructions per process (exhaustive search)\n"
+          m.name depth;
+        `Ok ()
+    in
+    match machine with
+    | "cas" -> show Synth.cas_cell
+    | "swap" -> show Synth.swap_cell
+    | "tas" -> show Synth.tas_bit
+    | "rw01" -> show Synth.rw01_bit
+    | other -> `Error (false, Printf.sprintf "unknown machine %S (cas|swap|tas|rw01)" other)
+  in
+  let machine_arg =
+    let doc = "One-location machine to synthesise over: cas, swap, tas or rw01." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc)
+  in
+  let depth_arg =
+    let doc = "Maximum instructions per process (3 is expensive for rw01)." in
+    Arg.(value & opt int 2 & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Exhaustively synthesise (or refute) a wait-free 2-process binary \
+          consensus protocol on a one-location machine.")
+    Term.(ret (const run $ machine_arg $ depth_arg))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "space_hierarchy" ~version:"1.0.0"
+             ~doc:
+               "The space hierarchy for multiprocessor synchronization \
+                (Ellen–Gelashvili–Shavit–Zhu, PODC 2016), executable.")
+          [
+            table_cmd;
+            run_cmd;
+            modelcheck_cmd;
+            growth_cmd;
+            adversary_cmd;
+            synth_cmd;
+            witness_cmd;
+          ]))

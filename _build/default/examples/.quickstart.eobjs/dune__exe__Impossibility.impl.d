@@ -1,0 +1,1 @@
+examples/impossibility.ml: Consensus Isets List Lowerbound Printf

@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array Consensus Isets List Model Printf

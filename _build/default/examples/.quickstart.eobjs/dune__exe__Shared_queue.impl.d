@@ -1,0 +1,1 @@
+examples/shared_queue.ml: Isets List Model Objects Printf Proc Sched String Value

@@ -1,0 +1,1 @@
+examples/transactions.ml: Array Consensus Format Isets Model Printf Proc Sched Value

@@ -1,0 +1,1 @@
+examples/verify.ml: Consensus Format Isets Modelcheck Objects Printf Synth

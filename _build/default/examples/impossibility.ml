@@ -1,0 +1,61 @@
+(* Running the impossibility proofs (Theorems 4.1, 5.1 and Lemma 9.1).
+
+   Lower-bound proofs in this paper are adversary strategies.  This example
+   executes them: each adversary takes a candidate protocol and produces a
+   concrete schedule on which the protocol misbehaves.
+
+   Run with: dune exec examples/impossibility.exe *)
+
+let () =
+  print_endline "== Theorem 4.1: one max-register is not enough ==";
+  (match Lowerbound.Interleave.run Lowerbound.Victims.naive_maxreg ~n:2 with
+   | Agreement_violated { p_decision; q_decision; steps; transcript } ->
+     Printf.printf
+       "naive victim: adversary interleaved the solo runs (%d writes);\n\
+       \  process 0 decided %d, process 1 decided %d  -> agreement broken\n\
+        the violating execution, step by step:\n"
+       steps p_decision q_decision;
+     List.iter (fun line -> Printf.printf "    %s\n" line) transcript
+   | Protocol_error e -> Printf.printf "unexpected: %s\n" e);
+  (match Lowerbound.Interleave.run Lowerbound.Victims.rounds_maxreg ~n:2 with
+   | Agreement_violated { p_decision; q_decision; steps; _ } ->
+     Printf.printf
+       "round-based victim: broken too (%d writes): decisions %d vs %d\n" steps
+       p_decision q_decision
+   | Protocol_error e -> Printf.printf "unexpected: %s\n" e);
+  (match Lowerbound.Interleave.run Consensus.Maxreg_protocol.protocol_typed ~n:2 with
+   | Agreement_violated _ -> print_endline "?! the real two-register protocol broke"
+   | Protocol_error e ->
+     Printf.printf "the real protocol escapes the adversary: %s\n" e);
+
+  print_endline "\n== Theorem 5.1: one read/write/fetch-and-increment location ==";
+  (match Lowerbound.Fai_adversary.run Lowerbound.Victims.naive_fai ~n:2 with
+   | Agreement_violated { p_decision; q_decision; transcript } ->
+     Printf.printf
+       "racing-digits victim: the write-prefix surgery yields decisions %d and %d\n"
+       p_decision q_decision;
+     List.iteri
+       (fun i line -> if i < 8 then Printf.printf "    %s\n" line)
+       transcript;
+     if List.length transcript > 8 then
+       Printf.printf "    … (%d more steps)\n" (List.length transcript - 8)
+   | Protocol_error e -> Printf.printf "unexpected: %s\n" e);
+  (match Lowerbound.Fai_adversary.run Lowerbound.Victims.counting_fai ~n:2 with
+   | Agreement_violated { p_decision; q_decision; _ } ->
+     Printf.printf "ticket victim: decisions %d and %d\n" p_decision q_decision
+   | Protocol_error e -> Printf.printf "ticket victim rejected: %s\n" e);
+
+  print_endline "\n== Lemma 9.1: read/test-and-set needs unbounded space ==";
+  match
+    Lowerbound.Growth.run
+      (Consensus.Tracks_protocol.protocol_typed ~flavour:Isets.Bits.Tas_only)
+      ~rounds:8 ~inputs:[| 0; 1; 0 |]
+  with
+  | Ok progress ->
+    List.iter
+      (fun (p : Lowerbound.Growth.progress) ->
+        Printf.printf "  adversary round %d: %2d locations set to 1 (%2d touched)\n"
+          p.round p.ones p.touched)
+      progress;
+    print_endline "  ... and so on without bound: SP({read, test-and-set}) = infinity."
+  | Error e -> Printf.printf "growth adversary stopped: %s\n" e

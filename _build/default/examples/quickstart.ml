@@ -1,0 +1,45 @@
+(* Quickstart: solve consensus on machines from Table 1's extremes.
+
+   A machine is an instruction set (module Isets) plus the shared-memory
+   model (Model.Machine); a protocol (module Consensus) is the code each
+   process runs.  The driver wires them together under an adversarial
+   scheduler.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let describe name (report : Consensus.Driver.report) =
+  let value = match report.decisions with (_, v) :: _ -> v | [] -> -1 in
+  Printf.printf "%-24s decided %d using %d location(s) in %d steps\n" name value
+    report.locations_used report.steps
+
+let () =
+  (* Five processes propose values from {0, …, 4} (n-valued consensus
+     draws inputs from the process-count domain). *)
+  let inputs = [| 3; 1; 4; 1; 2 |] in
+  (* An adversary interleaves them randomly for a while, then lets each
+     finish — the schedule shape obstruction-freedom is built for. *)
+  let sched = Model.Sched.random_then_sequential ~seed:2016 ~prefix:300 in
+
+  (* One compare-and-swap location: the strongest row of Table 1. *)
+  let report = Consensus.Driver.run Consensus.Cas_protocol.protocol ~inputs ~sched in
+  Consensus.Driver.check_exn report ~inputs;
+  describe "compare-and-swap" report;
+
+  (* Two max-registers (Theorem 4.2) — and one is provably impossible. *)
+  let report = Consensus.Driver.run Consensus.Maxreg_protocol.protocol ~inputs ~sched in
+  Consensus.Driver.check_exn report ~inputs;
+  describe "max-registers" report;
+
+  (* One location supporting read and multiply: counts live in prime
+     exponents (Theorem 3.3). *)
+  let report = Consensus.Driver.run Consensus.Arith_protocols.mul ~inputs ~sched in
+  Consensus.Driver.check_exn report ~inputs;
+  describe "read+multiply" report;
+
+  (* Plain registers need n locations — the other end of the hierarchy. *)
+  let report = Consensus.Driver.run Consensus.Rw_protocol.protocol ~inputs ~sched in
+  Consensus.Driver.check_exn report ~inputs;
+  describe "read/write registers" report;
+
+  print_endline "\nEvery decision above is one of the proposed values (validity),";
+  print_endline "and within each run all processes decided the same value (agreement)."

@@ -1,0 +1,83 @@
+(* A linearizable shared FIFO queue from ONE memory location.
+
+   The paper's conclusions note that a single history object implements any
+   sequentially defined object; Lemma 6.1 builds a history object for up to
+   ℓ writers from one ℓ-buffer.  Composing the two (Objects.Universal), a
+   single 3-buffer location carries a full multi-producer queue for three
+   mutating processes — no locks, no compare-and-swap.
+
+   Run with: dune exec examples/shared_queue.exe *)
+
+open Model
+open Proc.Syntax
+
+type op = Enqueue of int | Dequeue
+
+let queue_spec : (int list, op, int option) Objects.Universal.spec =
+  {
+    initial = [];
+    apply =
+      (fun q op ->
+        match op with
+        | Enqueue x -> (q @ [ x ], None)
+        | Dequeue -> (match q with [] -> ([], None) | x :: rest -> (rest, Some x)));
+    encode =
+      (function
+        | Enqueue x -> Value.Pair (Value.Int 0, Value.Int x)
+        | Dequeue -> Value.Pair (Value.Int 1, Value.Unit));
+    decode =
+      (function
+        | Value.Pair (Value.Int 0, Value.Int x) -> Enqueue x
+        | _ -> Dequeue);
+  }
+
+module B = Isets.Buffer_set.Make (struct
+  let capacity = 3  (* three mutating processes share the one location *)
+  let multi_assignment = false
+end)
+
+module M = Model.Machine.Make (B)
+
+let () =
+  let q = Objects.Universal.create ~loc:0 queue_spec in
+  (* Two producers each enqueue three jobs; one consumer drains five. *)
+  let producer pid =
+    let rec go seq jobs =
+      match jobs with
+      | [] -> Proc.return []
+      | j :: rest ->
+        let* _ = Objects.Universal.invoke q ~pid ~seq (Enqueue j) in
+        go (seq + 1) rest
+    in
+    go 0 (List.init 3 (fun i -> (100 * (pid + 1)) + i))
+  in
+  let consumer pid =
+    let rec go seq acc k =
+      if k = 0 then Proc.return (List.rev acc)
+      else
+        let* item = Objects.Universal.invoke q ~pid ~seq Dequeue in
+        go (seq + 1) (item :: acc) (k - 1)
+    in
+    go 0 [] 5
+  in
+  let cfg =
+    M.make ~n:3 (fun pid -> if pid < 2 then producer pid else consumer 2)
+  in
+  let cfg, _ =
+    M.run ~sched:(Sched.random_then_sequential ~seed:2016 ~prefix:40) cfg
+  in
+  (match M.decision cfg 2 with
+   | Some got ->
+     let show = function Some x -> string_of_int x | None -> "·" in
+     Printf.printf "consumer drained: %s\n" (String.concat " " (List.map show got));
+     let items = List.filter_map (fun x -> x) got in
+     Printf.printf "items received in FIFO order per producer: %b\n"
+       (List.filter (fun x -> x / 100 = 1) items
+        = List.sort compare (List.filter (fun x -> x / 100 = 1) items)
+       && List.filter (fun x -> x / 100 = 2) items
+          = List.sort compare (List.filter (fun x -> x / 100 = 2) items))
+   | None -> print_endline "consumer still running (unexpected)");
+  Printf.printf "memory locations used by the whole queue: %d\n" (M.locations_used cfg);
+  print_endline
+    "\nOne 3-buffer = one history object = any shared object for 3 writers\n\
+     (Lemma 6.1 + the conclusions' universality remark)."

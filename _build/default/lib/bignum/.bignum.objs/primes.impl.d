@@ -1,0 +1,1 @@
+lib/bignum/primes.ml: Array Stdlib

@@ -1,0 +1,333 @@
+(* Sign-magnitude arbitrary-precision integers.
+
+   The magnitude is a little-endian array of base-2^31 digits with no
+   trailing zero digit; the magnitude of zero is the empty array.  All
+   digit products and carries fit in OCaml's 63-bit native ints. *)
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* Strip trailing zero digits and normalise the sign of zero. *)
+let make sign mag =
+  let n = Array.length mag in
+  let rec significant i = if i > 0 && mag.(i - 1) = 0 then significant (i - 1) else i in
+  let k = significant n in
+  if k = 0 then zero
+  else if k = n then { sign; mag }
+  else { sign; mag = Array.sub mag 0 k }
+
+let of_int i =
+  if i = 0 then zero
+  else if i = Stdlib.min_int then
+    (* |min_int| = 2^62, i.e. bit 0 of the third base-2^31 digit. *)
+    { sign = -1; mag = [| 0; 0; 1 |] }
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    let rec digits acc m =
+      if m = 0 then List.rev acc else digits ((m land base_mask) :: acc) (m lsr base_bits)
+    in
+    make sign (Array.of_list (digits [] (Stdlib.abs i)))
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+(* Compare magnitudes. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let out = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let da = if i < la then a.(i) else 0 and db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    out.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  out.(l) <- !carry;
+  out
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let d = a.(i) - db - !borrow in
+    if d < 0 then begin out.(i) <- d + base; borrow := 1 end
+    else begin out.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  out
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> make x.sign (sub_mag x.mag y.mag)
+    | _ -> make y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+let succ x = add x one
+let pred x = sub x one
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else begin
+    let a = x.mag and b = y.mag in
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = (ai * b.(j)) + out.(i + j) + !carry in
+        out.(i + j) <- t land base_mask;
+        carry := t lsr base_bits
+      done;
+      (* Propagate the final carry; it fits in one digit. *)
+      let k = ref (i + lb) in
+      let c = ref !carry in
+      while !c <> 0 do
+        let t = out.(!k) + !c in
+        out.(!k) <- t land base_mask;
+        c := t lsr base_bits;
+        incr k
+      done
+    done;
+    make (x.sign * y.sign) out
+  end
+
+let add_int x i = add x (of_int i)
+let mul_int x i = mul x (of_int i)
+
+let divmod_small x d =
+  if d <= 0 || d >= base then invalid_arg "Bignum.divmod_small: divisor out of range";
+  if x.sign = 0 then (zero, 0)
+  else begin
+    let a = x.mag in
+    let l = Array.length a in
+    let q = Array.make l 0 in
+    let rem = ref 0 in
+    for i = l - 1 downto 0 do
+      let cur = (!rem lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      rem := cur mod d
+    done;
+    (make x.sign q, x.sign * !rem)
+  end
+
+let num_bits x =
+  let l = Array.length x.mag in
+  if l = 0 then 0
+  else begin
+    let top = x.mag.(l - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((l - 1) * base_bits) + width 0 top
+  end
+
+let bit x i =
+  if i < 0 then invalid_arg "Bignum.bit";
+  let digit = i / base_bits and off = i mod base_bits in
+  digit < Array.length x.mag && (x.mag.(digit) lsr off) land 1 = 1
+
+let set_bit x i =
+  if i < 0 then invalid_arg "Bignum.set_bit";
+  let digit = i / base_bits and off = i mod base_bits in
+  let l = Stdlib.max (Array.length x.mag) (digit + 1) in
+  let mag = Array.make l 0 in
+  Array.blit x.mag 0 mag 0 (Array.length x.mag);
+  mag.(digit) <- mag.(digit) lor (1 lsl off);
+  make (if x.sign = 0 then 1 else x.sign) mag
+
+let shift_left x k =
+  if k < 0 then invalid_arg "Bignum.shift_left";
+  if x.sign = 0 || k = 0 then x
+  else begin
+    let digit = k / base_bits and off = k mod base_bits in
+    let la = Array.length x.mag in
+    let out = Array.make (la + digit + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = x.mag.(i) lsl off in
+      out.(i + digit) <- out.(i + digit) lor (v land base_mask);
+      out.(i + digit + 1) <- v lsr base_bits
+    done;
+    make x.sign out
+  end
+
+let shift_right x k =
+  if k < 0 then invalid_arg "Bignum.shift_right";
+  if x.sign = 0 || k = 0 then x
+  else begin
+    let digit = k / base_bits and off = k mod base_bits in
+    let la = Array.length x.mag in
+    if digit >= la then zero
+    else begin
+      let l = la - digit in
+      let out = Array.make l 0 in
+      for i = 0 to l - 1 do
+        let lo = x.mag.(i + digit) lsr off in
+        let hi =
+          if off = 0 || i + digit + 1 >= la then 0
+          else (x.mag.(i + digit + 1) lsl (base_bits - off)) land base_mask
+        in
+        out.(i) <- lo lor hi
+      done;
+      make x.sign out
+    end
+  end
+
+(* Binary long division on magnitudes: simple, O(bits * digits), and easy to
+   trust.  Divisions in this codebase are by small moduli or rare, so
+   simplicity wins over Knuth's algorithm D. *)
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  let ax = abs x and ay = abs y in
+  if cmp_mag ax.mag ay.mag < 0 then (zero, x)
+  else begin
+    let n = num_bits ax in
+    let q = ref zero and r = ref zero in
+    for i = n - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit ax i then r := add !r one;
+      if compare !r ay >= 0 then begin
+        r := sub !r ay;
+        q := set_bit !q i
+      end
+    done;
+    let qs = x.sign * y.sign in
+    let q = if qs < 0 then neg !q else !q in
+    let r = if x.sign < 0 then neg !r else !r in
+    (q, r)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignum.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let to_int x =
+  (* An int fits iff the magnitude has at most 62 significant bits (or is
+     exactly 2^62 for min_int). *)
+  let n = num_bits x in
+  if n = 0 then Some 0
+  else if n <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length x.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor x.mag.(i)
+    done;
+    Some (x.sign * !v)
+  end
+  else if n = 63 && x.sign < 0 && equal x (of_int Stdlib.min_int) then Some Stdlib.min_int
+  else None
+
+let to_int_exn x =
+  match to_int x with
+  | Some i -> i
+  | None -> invalid_arg "Bignum.to_int_exn: out of range"
+
+let valuation x p =
+  if p <= 1 then invalid_arg "Bignum.valuation";
+  if x.sign = 0 then (0, zero)
+  else begin
+    let rec go k v =
+      let q, r = divmod_small v p in
+      if r = 0 && not (is_zero q) then go (k + 1) q
+      else if r = 0 && is_zero q then (k + 1, zero)
+      else (k, v)
+    in
+    go 0 x
+  end
+
+let digits x b =
+  if b <= 1 || b >= base then invalid_arg "Bignum.digits";
+  let rec go acc v =
+    if is_zero v then List.rev acc
+    else begin
+      let q, r = divmod_small v b in
+      go (Stdlib.abs r :: acc) q
+    end
+  in
+  go [] (abs x)
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    (* Chunks of 9 decimal digits per division keep this linear-ish. *)
+    let chunk = 1_000_000_000 in
+    let rec go acc v =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod_small v chunk in
+        go (r :: acc) q
+      end
+    in
+    let parts = go [] (abs x) in
+    let buf = Buffer.create 32 in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    (match parts with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%09d" p)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let l = String.length s in
+  if l = 0 then invalid_arg "Bignum.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= l then invalid_arg "Bignum.of_string: no digits";
+  let v = ref zero in
+  for i = start to l - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bignum.of_string: bad digit";
+    v := add_int (mul_int !v 10) (Char.code c - Char.code '0')
+  done;
+  if negative then neg !v else !v
+
+let hash x =
+  Array.fold_left (fun acc d -> (acc * 65599) + d) (x.sign + 17) x.mag land Stdlib.max_int
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)

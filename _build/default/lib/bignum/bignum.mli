@@ -1,0 +1,107 @@
+(** Arbitrary-precision signed integers.
+
+    The paper's model assumes memory locations hold unbounded integers: the
+    prime-product encoding of Theorem 3.3, the base-[3n] counter encoding,
+    and the [(x+1)*y^r] max-register encoding all overflow machine words
+    almost immediately.  This module restores the unbounded-word assumption.
+
+    Numbers are immutable.  All operations are total except where
+    documented. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some i] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument when the value does not fit in an [int]. *)
+
+val of_string : string -> t
+(** Decimal, with an optional leading ['-'].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation, e.g. ["-12345"]. *)
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncating towards zero,
+    so [r] has the sign of [a] and [|r| < |b|].
+    @raise Division_by_zero when [b] is zero. *)
+
+val divmod_small : t -> int -> t * int
+(** Specialised [divmod] by a non-zero native divisor with
+    [0 < divisor < 2^31]; much faster than the general routine.
+    @raise Invalid_argument when the divisor is out of range. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0].
+    @raise Invalid_argument on a negative exponent. *)
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+
+(** {1 Bit operations}
+
+    Bits are those of the magnitude; these are used by the set-bit
+    instruction encodings, which only ever apply to non-negative values. *)
+
+val bit : t -> int -> bool
+(** [bit x i] is bit [i] (little-endian) of [|x|]. *)
+
+val set_bit : t -> int -> t
+(** [set_bit x i] sets bit [i] of [|x|] to one, preserving the sign
+    ([set_bit zero i] is positive). *)
+
+val num_bits : t -> int
+(** Number of significant bits of [|x|]; [0] for zero. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift of the magnitude, sign preserved. *)
+
+(** {1 Number theory helpers} *)
+
+val valuation : t -> int -> int * t
+(** [valuation x p] is [(k, x/p^k)] where [p^k] is the largest power of the
+    small base [p > 1] dividing [x].  [valuation zero p] is [(0, zero)]. *)
+
+val digits : t -> int -> int list
+(** [digits x b] are the base-[b] digits of [|x|], least significant first;
+    empty for zero.  [b] must satisfy [1 < b < 2^31]. *)
+
+(** {1 Misc} *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let next_above n =
+  let rec go c = if is_prime c then c else go (c + 1) in
+  go (Stdlib.max 2 (n + 1))
+
+let first n =
+  if n < 0 then invalid_arg "Primes.first";
+  let out = Array.make n 0 in
+  let p = ref 1 in
+  for i = 0 to n - 1 do
+    p := next_above !p;
+    out.(i) <- !p
+  done;
+  out
+
+let nth v =
+  if v < 0 then invalid_arg "Primes.nth";
+  let a = first (v + 1) in
+  a.(v)

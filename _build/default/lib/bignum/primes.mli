@@ -1,0 +1,16 @@
+(** Small-prime helpers for the paper's arithmetic encodings.
+
+    Theorem 3.3 associates the [(v+1)]-st prime with consensus value [v];
+    Theorem 4.2 needs a fixed prime strictly larger than [n]. *)
+
+val nth : int -> int
+(** [nth v] is the [(v+1)]-st prime: [nth 0 = 2], [nth 1 = 3], ... *)
+
+val first : int -> int array
+(** The first [n] primes. *)
+
+val next_above : int -> int
+(** Smallest prime strictly greater than the argument. *)
+
+val is_prime : int -> bool
+(** Trial-division primality for small non-negative ints. *)

@@ -1,0 +1,1 @@
+lib/core/arith_protocols.ml: Isets Objects Proto Racing

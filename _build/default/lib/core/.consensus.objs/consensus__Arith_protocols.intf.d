@@ -1,0 +1,1 @@
+lib/core/arith_protocols.mli: Proto

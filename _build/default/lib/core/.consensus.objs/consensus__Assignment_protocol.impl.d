@@ -1,0 +1,1 @@
+lib/core/assignment_protocol.ml: Array Format Isets List Model Objects Proc Proto Value

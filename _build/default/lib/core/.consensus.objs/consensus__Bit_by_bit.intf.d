@@ -1,0 +1,1 @@
+lib/core/bit_by_bit.mli: Model Proc

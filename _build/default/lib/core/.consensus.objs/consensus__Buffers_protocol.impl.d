@@ -1,0 +1,1 @@
+lib/core/buffers_protocol.ml: Isets Objects Printf Proto Racing

@@ -1,0 +1,1 @@
+lib/core/cas_protocol.mli: Proto

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array List Model Printf Proto

@@ -1,0 +1,1 @@
+lib/core/hetero_protocol.ml: Isets List Objects Printf Proto Racing String

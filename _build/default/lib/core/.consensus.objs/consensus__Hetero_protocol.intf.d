@@ -1,0 +1,1 @@
+lib/core/hetero_protocol.mli: Proto

@@ -1,0 +1,1 @@
+lib/core/increment_protocol.ml: Bignum Bit_by_bit Isets Model Objects Proc Proto Racing Value

@@ -1,0 +1,1 @@
+lib/core/increment_protocol.mli: Isets Proto

@@ -1,0 +1,1 @@
+lib/core/intro_protocols.ml: Bignum Isets Model Proc Proto Stdlib

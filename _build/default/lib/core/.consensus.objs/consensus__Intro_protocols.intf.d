@@ -1,0 +1,1 @@
+lib/core/intro_protocols.mli: Proto

@@ -1,0 +1,1 @@
+lib/core/maxreg_protocol.ml: Bignum Either Isets Model Objects Primes Proc Proto Value

@@ -1,0 +1,1 @@
+lib/core/maxreg_protocol.mli: Bignum Isets Model Proto

@@ -1,0 +1,1 @@
+lib/core/nlogn_protocol.ml: Bit_by_bit Isets Model Objects Proc Proto Racing Value

@@ -1,0 +1,1 @@
+lib/core/nlogn_protocol.mli: Isets Proto

@@ -1,0 +1,1 @@
+lib/core/racing.ml: Array Bignum Either Model Objects Option Proc

@@ -1,0 +1,1 @@
+lib/core/racing.mli: Model Objects

@@ -1,0 +1,1 @@
+lib/core/swap_protocol.ml: Array Either Format Isets List Model Objects Proc Proto Stdlib Value

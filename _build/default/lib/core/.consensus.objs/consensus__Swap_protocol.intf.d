@@ -1,0 +1,1 @@
+lib/core/swap_protocol.mli: Proto

@@ -1,0 +1,1 @@
+lib/core/tracks_protocol.ml: Array Bignum Either Isets Model Objects Proto Racing

@@ -1,0 +1,1 @@
+lib/core/tracks_protocol.mli: Isets Model Proto

@@ -1,0 +1,1 @@
+lib/core/tugofwar_protocol.ml: Bignum Bit_by_bit Either Isets Model Proc Proto Value

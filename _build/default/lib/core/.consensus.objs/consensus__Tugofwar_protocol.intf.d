@@ -1,0 +1,1 @@
+lib/core/tugofwar_protocol.mli: Proto

@@ -1,0 +1,20 @@
+open Model
+open Proc.Syntax
+
+let protocol : Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "adopt-commit-ladder"
+    let locations ~n:_ = None
+
+    let proc ~n ~pid:_ ~input =
+      let per_round = Objects.Adopt_commit.locations ~m:n in
+      Proc.rec_loop (0, input) (fun (round, value) ->
+          let* grade, value =
+            Objects.Adopt_commit.propose ~m:n ~base:(round * per_round) ~value
+          in
+          match grade with
+          | Objects.Adopt_commit.Commit -> Proc.return (Either.Right value)
+          | Objects.Adopt_commit.Adopt -> Proc.return (Either.Left (round + 1, value)))
+  end)

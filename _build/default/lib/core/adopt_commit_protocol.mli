@@ -1,0 +1,13 @@
+(** The commit-adopt ladder: obstruction-free n-consensus from an unbounded
+    sequence of adopt-commit objects over plain registers.
+
+    Round r holds one m-valued adopt-commit object.  A process proposes its
+    current value in round r; on [Commit] it decides, on [Adopt] it carries
+    the adopted value to round r+1.  Coherence makes any two commits in the
+    same round equal and pins every later round's proposals; a solo runner
+    commits in its next round, giving obstruction-freedom.  (This is the
+    register-cost ladder the conclusions' [AE14] reference studies — it
+    trades the n-location optimum of Table 1's register row for conceptual
+    simplicity and unbounded space, a useful contrast in the benchmarks.) *)
+
+val protocol : Proto.t

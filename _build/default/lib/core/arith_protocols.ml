@@ -1,0 +1,54 @@
+let mul : Proto.t =
+  (module struct
+    module I = Isets.Arith.Mul
+
+    let name = "arith-mul"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid:_ ~input =
+      Racing.consensus (Objects.Arith_counters.mul ~components:n ~loc:0) ~n ~input
+  end)
+
+let add : Proto.t =
+  (module struct
+    module I = Isets.Arith.Add
+
+    let name = "arith-add"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid:_ ~input =
+      Racing.consensus (Objects.Arith_counters.add ~components:n ~n ~loc:0) ~n ~input
+  end)
+
+let set_bit : Proto.t =
+  (module struct
+    module I = Isets.Arith.Setbit
+
+    let name = "arith-set-bit"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid ~input =
+      Racing.consensus (Objects.Arith_counters.set_bit ~components:n ~n ~pid ~loc:0) ~n ~input
+  end)
+
+let faa : Proto.t =
+  (module struct
+    module I = Isets.Arith.Faa
+
+    let name = "fetch-and-add"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid:_ ~input =
+      Racing.consensus (Objects.Arith_counters.faa ~components:n ~n ~loc:0) ~n ~input
+  end)
+
+let fam : Proto.t =
+  (module struct
+    module I = Isets.Arith.Fam
+
+    let name = "fetch-and-multiply"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid:_ ~input =
+      Racing.consensus (Objects.Arith_counters.fam ~components:n ~loc:0) ~n ~input
+  end)

@@ -1,0 +1,17 @@
+(** One-location n-consensus for arithmetic instruction sets (Theorem 3.3
+    and Table 1's single-location rows). *)
+
+val mul : Proto.t
+(** [{read(), multiply(x)}], prime-exponent counter + racing. *)
+
+val add : Proto.t
+(** [{read(), add(x)}], base-3n bounded counter + bounded racing. *)
+
+val set_bit : Proto.t
+(** [{read(), set-bit(x)}], bit-block counter + racing. *)
+
+val faa : Proto.t
+(** [{fetch-and-add(x)}] alone. *)
+
+val fam : Proto.t
+(** [{fetch-and-multiply(x)}] alone. *)

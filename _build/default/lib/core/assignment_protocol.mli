@@ -1,0 +1,26 @@
+(** Consensus from atomic multiple assignment (Section 7).
+
+    Section 7 recalls Herlihy's result that m-register multiple assignment
+    solves wait-free consensus for 2m−2 processes.  This module implements
+    the two ends we exercise:
+
+    - {!two_process}: the classic wait-free 2-process protocol from
+      2-register assignment on three registers (own, own, shared): the
+      shared register remembers who wrote {e last}, so both processes learn
+      who was first and decide that value.  Verified exhaustively by the
+      model checker.
+
+    - {!earliest_writer}: for any n, each process atomically assigns its
+      value to its own register and to one register shared with every other
+      process (an n-register assignment over n + n(n−1)/2 locations).  The
+      pairwise registers record who wrote later, so a stable double-collect
+      snapshot reveals the globally earliest writer — whose value everyone
+      decides.  Obstruction-free (the snapshot retries under contention),
+      wait-free once writers quiesce. *)
+
+val two_process : Proto.t
+(** Exactly two processes; 3 locations; every process decides in ≤ 3 of its
+    own steps (wait-free). *)
+
+val earliest_writer : Proto.t
+(** Any n; n + n(n−1)/2 locations. *)

@@ -1,0 +1,53 @@
+open Model
+open Proc.Syntax
+
+type ('op, 'res) ops = {
+  designated_cells : int;
+  write_value : loc:int -> value:int -> ('op, 'res, unit) Proc.t;
+  read_value : loc:int -> ('op, 'res, int option) Proc.t;
+  binary_locations : int;
+  binary : base:int -> input:int -> ('op, 'res, int) Proc.t;
+}
+
+let rounds ~n =
+  let rec go k pow = if pow >= n then k else go (k + 1) (pow * 2) in
+  Stdlib.max 1 (go 0 1)
+
+(* Rounds 0 .. k−2 occupy (2·designated_cells + binary_locations) cells
+   each: designated-0 block, designated-1 block, then the binary instance.
+   The last round has no designated blocks. *)
+let round_base ~ops i = i * ((2 * ops.designated_cells) + ops.binary_locations)
+
+let locations ~n ops =
+  let k = rounds ~n in
+  ((k - 1) * ((2 * ops.designated_cells) + ops.binary_locations)) + ops.binary_locations
+
+let consensus ops ~n ~input =
+  if input < 0 || input >= n then invalid_arg "Bit_by_bit.consensus: bad input";
+  let k = rounds ~n in
+  let bit_of value i = (value lsr (k - 1 - i)) land 1 in
+  let rec round i agreed value =
+    if i >= k then Proc.return agreed
+    else begin
+      let b = bit_of value i in
+      let last = i = k - 1 in
+      let base = round_base ~ops i in
+      let* () =
+        if last then Proc.return ()
+        else ops.write_value ~loc:(base + (b * ops.designated_cells)) ~value
+      in
+      let binary_base = if last then base else base + (2 * ops.designated_cells) in
+      let* out = ops.binary ~base:binary_base ~input:b in
+      let agreed = (agreed lsl 1) lor out in
+      if out = b || last then round (i + 1) agreed value
+      else
+        let* adopted = ops.read_value ~loc:(base + (out * ops.designated_cells)) in
+        match adopted with
+        | Some value' -> round (i + 1) agreed value'
+        | None ->
+          (* Some process with bit [out] recorded its value before the
+             binary consensus could output [out] (Lemma 5.2). *)
+          invalid_arg "Bit_by_bit: designated location empty after losing round"
+    end
+  in
+  round 0 0 input

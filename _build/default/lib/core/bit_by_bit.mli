@@ -1,0 +1,36 @@
+(** n-consensus from binary consensus, bit by bit (Lemma 5.2).
+
+    Processes agree on the output in ⌈log₂ n⌉ asynchronous rounds, one bit
+    per round (most significant first).  Each round uses two designated
+    locations — where processes record their full current value before
+    entering the round's binary consensus — plus the [binary_locations]
+    cells of one binary-consensus instance.  A process whose bit loses
+    adopts a recorded value with the winning bit, keeping validity.  The
+    last round needs no designated locations: after it, the agreed bit
+    string itself is the (valid) decision.  Total:
+    (binary_locations + designated_cells·2)·⌈log₂ n⌉ − designated_cells·2
+    locations ([(c+2)·⌈log₂ n⌉ − 2] in the paper, where one designated
+    location is one cell). *)
+
+open Model
+
+type ('op, 'res) ops = {
+  designated_cells : int;
+      (** memory cells one designated location occupies (1 for value cells;
+          n for the one-hot bit encoding of Theorem 9.4) *)
+  write_value : loc:int -> value:int -> ('op, 'res, unit) Proc.t;
+      (** record [value] at the designated location starting at cell [loc] *)
+  read_value : loc:int -> ('op, 'res, int option) Proc.t;
+      (** some recorded value, or [None] if none yet *)
+  binary_locations : int;  (** cells per binary-consensus instance *)
+  binary : base:int -> input:int -> ('op, 'res, int) Proc.t;
+      (** obstruction-free binary consensus on cells
+          [base .. base + binary_locations − 1] *)
+}
+
+val rounds : n:int -> int
+(** ⌈log₂ n⌉, at least 1. *)
+
+val locations : n:int -> ('op, 'res) ops -> int
+
+val consensus : ('op, 'res) ops -> n:int -> input:int -> ('op, 'res, int) Proc.t

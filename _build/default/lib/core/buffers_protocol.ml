@@ -1,0 +1,20 @@
+let make ~capacity ~multi : Proto.t =
+  (module struct
+    module I = Isets.Buffer_set.Make (struct
+      let capacity = capacity
+      let multi_assignment = multi
+    end)
+
+    let name =
+      if multi then Printf.sprintf "%d-buffers+multi-assignment" capacity
+      else Printf.sprintf "%d-buffers" capacity
+
+    let locations ~n = Some ((n + capacity - 1) / capacity)
+
+    let proc ~n ~pid ~input =
+      let regs = Objects.Swregs.create ~n ~capacity in
+      Racing.consensus (Objects.Swreg_counter.make ~components:n ~regs ~pid) ~n ~input
+  end)
+
+let protocol ~capacity = make ~capacity ~multi:false
+let multi_assignment_protocol ~capacity = make ~capacity ~multi:true

@@ -1,0 +1,16 @@
+(** n-consensus from ⌈n/ℓ⌉ ℓ-buffers (Theorem 6.3).
+
+    One ℓ-buffer simulates a history object with ℓ appenders (Lemma 6.1),
+    hence ℓ single-writer registers (Lemma 6.2); ⌈n/ℓ⌉ buffers give n
+    single-writer registers, an n-component counter, and racing counters
+    finish the job.  Theorem 6.8's ⌈(n−1)/ℓ⌉ lower bound makes this tight
+    except when ℓ divides n−1. *)
+
+val protocol : capacity:int -> Proto.t
+(** The instruction set is [{ℓ-buffer-read(), ℓ-buffer-write(x)}] with
+    ℓ = [capacity] ≥ 1. *)
+
+val multi_assignment_protocol : capacity:int -> Proto.t
+(** The same algorithm run on a machine that additionally allows atomic
+    multiple assignment (Section 7) — the upper-bound side of the
+    ⌈(n−1)/2ℓ⌉ lower bound of Theorem 7.5. *)

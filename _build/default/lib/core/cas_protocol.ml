@@ -1,0 +1,16 @@
+open Model
+open Proc.Syntax
+
+let protocol : Proto.t =
+  (module struct
+    module I = Isets.Cas
+
+    let name = "compare-and-swap"
+    let locations ~n:_ = Some 1
+
+    let proc ~n:_ ~pid:_ ~input =
+      let* old = Isets.Cas.cas 0 ~expected:Value.Bot ~desired:(Value.Int input) in
+      match old with
+      | Value.Bot -> Proc.return input
+      | v -> Proc.return (Value.to_int_exn v)
+  end)

@@ -1,0 +1,8 @@
+(** Wait-free n-consensus from one compare-and-swap location (Table 1's
+    SP = 1 row for [{compare-and-swap(x,y)}]).
+
+    The first CAS to move the location off ⊥ installs its proposer's value;
+    every CAS returns the previous contents, so even losers learn the
+    winner in a single step — no read instruction needed. *)
+
+val protocol : Proto.t

@@ -1,0 +1,45 @@
+type report = {
+  decisions : (int * int) list;
+  locations_used : int;
+  max_location : int option;
+  steps : int;
+  steps_per_process : int array;
+  outcome : [ `All_decided | `Sched_stopped | `Out_of_fuel ];
+}
+
+let run ?(fuel = 1_000_000) (module P : Proto.S) ~inputs ~sched =
+  let module M = Model.Machine.Make (P.I) in
+  let n = Array.length inputs in
+  let cfg = M.make ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
+  let cfg, outcome = M.run ~fuel ~sched cfg in
+  {
+    decisions = M.decisions cfg;
+    locations_used = M.locations_used cfg;
+    max_location = M.max_location cfg;
+    steps = M.steps cfg;
+    steps_per_process = Array.init n (fun pid -> M.steps_of cfg pid);
+    outcome;
+  }
+
+let run_solo_each ?fuel (module P : Proto.S) ~inputs =
+  List.init (Array.length inputs) (fun pid ->
+      run ?fuel (module P) ~inputs ~sched:(Model.Sched.solo pid))
+
+let check report ~inputs =
+  match report.decisions with
+  | [] -> Ok ()
+  | (_, first) :: _ ->
+    let disagreement =
+      List.find_opt (fun (_, v) -> v <> first) report.decisions
+    in
+    (match disagreement with
+     | Some (pid, v) ->
+       Error (Printf.sprintf "agreement violated: process %d decided %d, another decided %d" pid v first)
+     | None ->
+       if Array.exists (fun i -> i = first) inputs then Ok ()
+       else Error (Printf.sprintf "validity violated: decision %d is not an input" first))
+
+let check_exn report ~inputs =
+  match check report ~inputs with
+  | Ok () -> ()
+  | Error msg -> failwith msg

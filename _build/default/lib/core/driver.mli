@@ -1,0 +1,25 @@
+(** Running and checking protocols (the test/bench harness core). *)
+
+type report = {
+  decisions : (int * int) list;  (** (pid, decided value), decided ones only *)
+  locations_used : int;          (** distinct locations accessed: measured SP *)
+  max_location : int option;
+  steps : int;
+  steps_per_process : int array; (** per-process step complexity *)
+  outcome : [ `All_decided | `Sched_stopped | `Out_of_fuel ];
+}
+
+val run :
+  ?fuel:int -> Proto.t -> inputs:int array -> sched:Model.Sched.t -> report
+(** Run one execution: process [pid] proposes [inputs.(pid)]. *)
+
+val run_solo_each : ?fuel:int -> Proto.t -> inputs:int array -> report list
+(** One report per process, each running alone from the initial
+    configuration (sanity of obstruction-freedom's base case). *)
+
+val check : report -> inputs:int array -> (unit, string) result
+(** Agreement (all decisions equal) and validity (the decision is some
+    process's input) over the decided processes. *)
+
+val check_exn : report -> inputs:int array -> unit
+(** @raise Failure with a diagnostic when {!check} fails. *)

@@ -1,0 +1,22 @@
+let protocol ~capacities : Proto.t =
+  (module struct
+    module I = Isets.Hetero_buffer
+
+    let name =
+      Printf.sprintf "hetero-buffers[%s]"
+        (String.concat ";" (List.map string_of_int capacities))
+
+    let locations ~n:_ = Some (List.length capacities)
+
+    let proc ~n ~pid ~input =
+      let regs = Objects.Hetero_swregs.create ~capacities ~n in
+      Racing.consensus
+        (Objects.Reg_counter.make ~components:n ~pid
+           ~regs:
+             {
+               Objects.Reg_counter.write =
+                 (fun ~pid ~seq v -> Objects.Hetero_swregs.write regs ~pid ~seq v);
+               collect = Objects.Hetero_swregs.collect regs;
+             })
+        ~n ~input
+  end)

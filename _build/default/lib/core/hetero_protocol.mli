@@ -1,0 +1,12 @@
+(** n-consensus over buffers of mixed capacities (Section 6.2's closing
+    remark, upper-bound side).
+
+    With capacities c₀ … c_{k−1} summing to at least n, the k locations
+    simulate n single-writer registers (cⱼ owners per buffer), hence a
+    counter, hence racing consensus.  The paper's generalised lower bound
+    says total capacity at least n−1 is necessary — so total ≈ n is within
+    one unit of optimal for every capacity profile. *)
+
+val protocol : capacities:int list -> Proto.t
+(** @raise Invalid_argument when [capacities] cannot host [n] processes
+    (checked at [proc] construction time). *)

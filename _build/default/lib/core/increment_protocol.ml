@@ -1,0 +1,56 @@
+open Model
+open Proc.Syntax
+
+let binary_at ~flavour ~n ~base ~input =
+  Racing.consensus (Objects.Incr_counter.make ~components:2 ~base ~flavour) ~n ~input
+
+let ops ~flavour ~n : (Isets.Incr.op, Value.t) Bit_by_bit.ops =
+  {
+    designated_cells = 1;
+    (* Cells start at 0; a recorded value v is stored as v+1. *)
+    write_value =
+      (fun ~loc ~value ->
+        Proc.map ignore (Proc.access loc (Isets.Incr.Write (Bignum.of_int (value + 1)))));
+    read_value =
+      (fun ~loc ->
+        let+ v = Proc.access loc Isets.Incr.Read in
+        match Bignum.to_int_exn (Value.to_big_exn v) with
+        | 0 -> None
+        | recorded -> Some (recorded - 1));
+    binary_locations = 2;
+    binary = (fun ~base ~input -> binary_at ~flavour ~n ~base ~input);
+  }
+
+let protocol ~flavour : Proto.t =
+  (module struct
+    module I = Isets.Incr.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Incr.Increment_only -> "increment-logn"
+      | Isets.Incr.Fetch_increment -> "fetch-and-increment-logn"
+
+    let locations ~n = Some (Bit_by_bit.locations ~n (ops ~flavour ~n))
+
+    let proc ~n ~pid:_ ~input = Bit_by_bit.consensus (ops ~flavour ~n) ~n ~input
+  end)
+
+let binary ~flavour : Proto.t =
+  (module struct
+    module I = Isets.Incr.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Incr.Increment_only -> "increment-binary"
+      | Isets.Incr.Fetch_increment -> "fetch-and-increment-binary"
+
+    let locations ~n:_ = Some 2
+
+    let proc ~n ~pid:_ ~input =
+      if input <> 0 && input <> 1 then invalid_arg "binary consensus: input not a bit";
+      binary_at ~flavour ~n ~base:0 ~input
+  end)

@@ -1,0 +1,13 @@
+(** O(log n) n-consensus for [{read(), write(x), increment()}] and
+    [{read(), write(x), fetch-and-increment()}] (Theorem 5.3).
+
+    Binary consensus costs two locations (a 2-component unbounded counter —
+    the locations are only ever incremented and read, so double-collect
+    scans are sound — plus racing, Lemma 3.1); Lemma 5.2 lifts it to
+    n-consensus with 4·⌈log₂ n⌉ − 2 locations.  Theorem 5.1 shows a single
+    location is impossible; see {!Lowerbound.Fai_adversary}. *)
+
+val protocol : flavour:Isets.Incr.flavour -> Proto.t
+
+val binary : flavour:Isets.Incr.flavour -> Proto.t
+(** The two-location binary core alone (inputs in {0,1}). *)

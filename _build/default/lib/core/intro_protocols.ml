@@ -1,0 +1,46 @@
+open Model
+open Proc.Syntax
+
+let check_binary input =
+  if input <> 0 && input <> 1 then invalid_arg "intro protocols are binary-only"
+
+let faa2_tas : Proto.t =
+  (module struct
+    module I = Isets.Arith.Faa2_tas
+
+    let name = "faa2+tas"
+    let locations ~n:_ = Some 1
+
+    (* The location starts even (0) and only test-and-set can make it odd,
+       and only from 0: whoever moves first fixes the parity forever. *)
+    let proc ~n:_ ~pid:_ ~input =
+      check_binary input;
+      if input = 0 then
+        let* old = Isets.Arith.Faa2_tas.fetch_add2 0 in
+        let odd = Bignum.to_int_exn old land 1 = 1 in
+        Proc.return (if odd then 1 else 0)
+      else
+        let* old = Isets.Arith.Faa2_tas.tas 0 in
+        let o = Bignum.to_int_exn old in
+        Proc.return (if o = 0 || o land 1 = 1 then 1 else 0)
+  end)
+
+let decmul : Proto.t =
+  (module struct
+    module I = Isets.Arith.Decmul
+
+    let name = "dec+mul"
+    let locations ~n:_ = Some 1
+
+    (* If a decrement comes first the value is ≤ 0 forever; if a multiply
+       comes first it stays ≥ 1: the ≤ n−1 decrementers can never overcome
+       a factor of n. *)
+    let proc ~n ~pid:_ ~input =
+      check_binary input;
+      let* () =
+        if input = 0 then Isets.Arith.Decmul.decrement 0
+        else Isets.Arith.Decmul.multiply 0 (Stdlib.max n 2)
+      in
+      let* v = Isets.Arith.Decmul.read 0 in
+      Proc.return (if Bignum.sign v > 0 then 1 else 0)
+  end)

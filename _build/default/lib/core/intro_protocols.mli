@@ -1,0 +1,15 @@
+(** The introduction's two hierarchy-collapse examples: instruction sets
+    whose members each have consensus number ≤ 2 as separate objects, yet
+    solve wait-free binary consensus for any n on a single common location.
+
+    Both are {e binary}: inputs must be 0 or 1. *)
+
+val faa2_tas : Proto.t
+(** [{fetch-and-add(2), test-and-set()}] on one location initialised to 0.
+    Input 0 performs fetch-and-add(2); input 1 performs the paper's strong
+    test-and-set.  The location's parity records which camp moved first. *)
+
+val decmul : Proto.t
+(** [{read(), decrement(), multiply(x)}] on one location initialised to 1.
+    Input 0 decrements; input 1 multiplies by n; a subsequent read's sign
+    gives the winner. *)

@@ -1,0 +1,54 @@
+open Model
+open Proc.Syntax
+
+let y ~n = Primes.next_above n
+
+let encode ~n ~round ~value =
+  if value < 0 || value >= n || round < 0 then invalid_arg "Maxreg_protocol.encode";
+  Bignum.mul_int (Bignum.pow (Bignum.of_int (y ~n)) round) (value + 1)
+
+let decode ~n v =
+  if Bignum.is_zero v then (0, 0)
+  else begin
+    let round, rest = Bignum.valuation v (y ~n) in
+    (round, Bignum.to_int_exn rest - 1)
+  end
+
+let m1 = 0
+let m2 = 1
+
+let scan =
+  let collect =
+    let* v1 = Isets.Maxreg.read_max m1 in
+    let* v2 = Isets.Maxreg.read_max m2 in
+    Proc.return (v1, v2)
+  in
+  Objects.Snapshot.double_collect
+    ~equal:(fun (a1, a2) (b1, b2) -> Bignum.equal a1 b1 && Bignum.equal a2 b2)
+    collect
+
+module P = struct
+    module I = Isets.Maxreg
+
+    let name = "max-registers"
+    let locations ~n:_ = Some 2
+
+    let proc ~n ~pid:_ ~input =
+      let* () = Isets.Maxreg.write_max m1 (encode ~n ~round:0 ~value:input) in
+      Proc.rec_loop () (fun () ->
+        let* v1, v2 = scan in
+        let r1, x1 = decode ~n v1 and r2, x2 = decode ~n v2 in
+        if x1 = x2 && r1 = r2 + 1 then Proc.return (Either.Right x1)
+        else if x1 = x2 && r1 = r2 then
+          let* () = Isets.Maxreg.write_max m1 (encode ~n ~round:(r1 + 1) ~value:x1) in
+          Proc.return (Either.Left ())
+        else
+          let* () = Isets.Maxreg.write_max m2 v1 in
+          Proc.return (Either.Left ()))
+end
+
+let protocol : Proto.t = (module P)
+
+let protocol_typed :
+    (module Proto.S with type I.op = Isets.Maxreg.op and type I.result = Value.t) =
+  (module P)

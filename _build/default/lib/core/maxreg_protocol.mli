@@ -1,0 +1,23 @@
+(** n-consensus from two max-registers (Theorem 4.2).
+
+    Pairs [(r, x)] — round, value — are ordered lexicographically and
+    encoded as the integer [(x+1) · y^r] for a fixed prime [y > n], so a
+    max-register over integers is a max-register over pairs.  A process
+    scans both registers (double collect: max-registers are monotone) and
+    either decides, bumps the round in [m₁], or copies [m₁] into [m₂].
+
+    Theorem 4.1 shows one max-register is not enough; see
+    {!Lowerbound.Interleave} for the executable adversary. *)
+
+val protocol : Proto.t
+
+val protocol_typed :
+  (module Proto.S with type I.op = Isets.Maxreg.op and type I.result = Model.Value.t)
+(** The same protocol with its instruction-set types exposed, as the
+    Theorem 4.1 adversary requires (it rejects it: two locations). *)
+
+(** Pair encoding, exposed for tests. *)
+
+val encode : n:int -> round:int -> value:int -> Bignum.t
+val decode : n:int -> Bignum.t -> int * int
+(** [decode ~n v] is [(round, value)]; [v = 0] decodes to [(0, 0)]. *)

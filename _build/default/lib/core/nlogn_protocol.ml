@@ -1,0 +1,83 @@
+open Model
+open Proc.Syntax
+
+let track_length ~n = 8 * n
+let stability = 3
+let decrement_at ~n = 2 * n
+
+let check_flavour flavour =
+  match flavour with
+  | Isets.Bits.Write01 | Isets.Bits.Tas_reset -> ()
+  | Isets.Bits.Write1_only | Isets.Bits.Tas_only ->
+    invalid_arg "Nlogn_protocol: flavour cannot clear bits"
+
+let binary_at ~flavour ~n ~base ~input =
+  Racing.consensus
+    ~decide_lead:n ~decrement_at:(decrement_at ~n)
+    (Objects.Bit_tracks.bounded ~components:2 ~length:(track_length ~n) ~base ~stability
+       ~flavour)
+    ~n ~input
+
+let binary_locations ~n = 2 * track_length ~n
+
+let ops ~flavour ~n : (Isets.Bits.op, Value.t) Bit_by_bit.ops =
+  let write1 loc =
+    let op =
+      match flavour with
+      | Isets.Bits.Tas_reset -> Isets.Bits.Tas
+      | _ -> Isets.Bits.Write1
+    in
+    Proc.map ignore (Proc.access loc op)
+  in
+  {
+    designated_cells = n;
+    (* One-hot: recording value x sets bit x of the block. *)
+    write_value = (fun ~loc ~value -> write1 (loc + value));
+    read_value =
+      (fun ~loc ->
+        let rec go x =
+          if x >= n then Proc.return None
+          else
+            let* b = Proc.access (loc + x) Isets.Bits.Read in
+            if Value.to_int_exn b = 1 then Proc.return (Some x) else go (x + 1)
+        in
+        go 0);
+    binary_locations = binary_locations ~n;
+    binary = (fun ~base ~input -> binary_at ~flavour ~n ~base ~input);
+  }
+
+let protocol ~flavour : Proto.t =
+  check_flavour flavour;
+  (module struct
+    module I = Isets.Bits.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Bits.Write01 -> "write01-nlogn"
+      | _ -> "tas-reset-nlogn"
+
+    let locations ~n = Some (Bit_by_bit.locations ~n (ops ~flavour ~n))
+
+    let proc ~n ~pid:_ ~input = Bit_by_bit.consensus (ops ~flavour ~n) ~n ~input
+  end)
+
+let binary ~flavour : Proto.t =
+  check_flavour flavour;
+  (module struct
+    module I = Isets.Bits.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Bits.Write01 -> "write01-binary"
+      | _ -> "tas-reset-binary"
+
+    let locations ~n = Some (binary_locations ~n)
+
+    let proc ~n ~pid:_ ~input =
+      if input <> 0 && input <> 1 then invalid_arg "binary consensus: input not a bit";
+      binary_at ~flavour ~n ~base:0 ~input
+  end)

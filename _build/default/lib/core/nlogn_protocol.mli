@@ -1,0 +1,22 @@
+(** O(n log n) n-consensus from single-bit locations with a clearing
+    instruction (Theorem 9.4): [{read(), write(0), write(1)}] or
+    [{read(), test-and-set(), reset()}].
+
+    The binary-consensus core uses two fixed-length bit tracks under the
+    bounded-counter discipline of Lemma 3.2 — our stand-in for the cited
+    [Bow11] 2n-bit algorithm (see DESIGN.md).  Lemma 5.2 lifts it to
+    n-consensus; each designated location becomes n one-hot bits
+    ([write(x)] = set bit x, read = first set bit), exactly as Section 9
+    describes. *)
+
+val protocol : flavour:Isets.Bits.flavour -> Proto.t
+(** [flavour] must be [Write01] or [Tas_reset]. *)
+
+val binary : flavour:Isets.Bits.flavour -> Proto.t
+(** The O(n)-bit binary core alone (inputs in {0,1}). *)
+
+val track_length : n:int -> int
+val stability : int
+val decrement_at : n:int -> int
+(** Widened parameters absorbing non-monotone-scan slop (DESIGN.md,
+    ablation ABL). *)

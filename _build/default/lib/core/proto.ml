@@ -1,0 +1,24 @@
+(** A consensus protocol packaged with its instruction set.
+
+    [proc ~n ~pid ~input] is the code process [pid] runs to propose [input]
+    among [n] processes; the returned value is its decision.  Protocols are
+    obstruction-free: a solo run from any reachable configuration decides.
+
+    [locations ~n] is the number of memory locations the protocol needs —
+    the upper bound it contributes to Table 1 — or [None] when unbounded
+    (the ∞ rows of Section 9). *)
+
+module type S = sig
+  module I : Model.Iset.S
+
+  val name : string
+
+  val locations : n:int -> int option
+
+  val proc : n:int -> pid:int -> input:int -> (I.op, I.result, int) Model.Proc.t
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name
+let locations (module P : S) ~n = P.locations ~n

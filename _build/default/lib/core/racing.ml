@@ -1,0 +1,38 @@
+open Model
+open Proc.Syntax
+
+let consensus (type op res) ?decide_lead ?decrement_at
+    ((module C) : (op, res) Objects.Counter.t) ~n ~input : (op, res, int) Proc.t =
+  if input < 0 || input >= C.components then invalid_arg "Racing.consensus: bad input";
+  let big_n = Bignum.of_int (Option.value decide_lead ~default:n) in
+  let big_dec = Bignum.of_int (Option.value decrement_at ~default:n) in
+  (* Promote [v]: increment c_v — except that a bounded counter (Lemma 3.2)
+     instead decrements the largest rival when that rival has reached n,
+     keeping every component within {0, …, 3n−1}. *)
+  let promote st counts v =
+    match C.decrement with
+    | None -> C.increment st v
+    | Some decrement ->
+      if C.components = 1 then C.increment st v
+      else begin
+        let u = Objects.Counter.argmax ~excluding:v counts in
+        if Bignum.compare counts.(u) big_dec < 0 then C.increment st v else decrement st u
+      end
+  in
+  let decided counts leader =
+    let ok = ref true in
+    Array.iteri
+      (fun v c ->
+        if v <> leader && Bignum.compare (Bignum.sub counts.(leader) c) big_n < 0 then
+          ok := false)
+      counts;
+    !ok
+  in
+  let* st = promote C.init (Array.make C.components Bignum.zero) input in
+  Proc.rec_loop st (fun st ->
+    let* st, counts = C.scan st in
+    let leader = Objects.Counter.argmax counts in
+    if decided counts leader then Proc.return (Either.Right leader)
+    else
+      let* st = promote st counts leader in
+      Proc.return (Either.Left st))

@@ -1,0 +1,23 @@
+(** The racing-counters consensus core (Lemmas 3.1 and 3.2).
+
+    m-valued consensus among n processes from any m-component counter: a
+    process alternately promotes a value (increments its component) and
+    scans; it decides once some component leads every other by at least n.
+    When the counter provides [decrement], promotion follows Lemma 3.2's
+    bounded discipline (decrement the largest rival at n instead of
+    incrementing beyond 3n−1). *)
+
+val consensus :
+  ?decide_lead:int ->
+  ?decrement_at:int ->
+  ('op, 'res) Objects.Counter.t ->
+  n:int ->
+  input:int ->
+  ('op, 'res, int) Model.Proc.t
+(** [input] must lie in [0 .. components−1] of the counter.
+
+    [decide_lead] (default [n]) is the lead at which a process decides;
+    [decrement_at] (default [n]) is the rival count at which a bounded
+    counter decrements instead of incrementing.  The defaults are the
+    paper's; the bit-track substitute for [Bow11] widens them to absorb
+    scan slop (see DESIGN.md). *)

@@ -1,0 +1,10 @@
+let protocol : Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "read-write-registers"
+    let locations ~n = Some n
+
+    let proc ~n ~pid ~input =
+      Racing.consensus (Objects.Rw_counter.make ~components:n ~n ~base:0 ~pid) ~n ~input
+  end)

@@ -1,0 +1,7 @@
+(** n-consensus from n read/write registers (Table 1's register row:
+    upper bound n [AH90, BRS15, Zhu15]; tight by [EGZ18]).
+
+    One single-writer register per process holding its increment counts,
+    plus the racing-counters core. *)
+
+val protocol : Proto.t

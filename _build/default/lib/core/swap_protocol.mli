@@ -1,0 +1,15 @@
+(** Anonymous n-consensus from n−1 read/swap locations (Section 8,
+    Algorithm 1 / Theorem 8.8).
+
+    Values race to complete laps.  Every location stores a full lap vector
+    (tagged with writer id and sequence number so the double-collect scan is
+    sound); a process repeatedly merges every lap count it has seen —
+    including those returned by its own swaps, which is where swap beats
+    write — and either decides (leader two laps ahead, all locations
+    agreeing), bumps the leader's lap, or propagates its vector to the first
+    disagreeing location.
+
+    Lemma 8.7: a solo run decides within 3n−2 scans; tests assert the
+    corresponding step bound. *)
+
+val protocol : Proto.t

@@ -1,0 +1,78 @@
+let protocol_typed ~flavour :
+    (module Proto.S
+       with type I.op = Isets.Bits.op
+        and type I.cell = bool
+        and type I.result = Model.Value.t) =
+  (match flavour with
+   | Isets.Bits.Write1_only | Isets.Bits.Tas_only -> ()
+   | Isets.Bits.Write01 | Isets.Bits.Tas_reset ->
+     invalid_arg "Tracks_protocol: use Nlogn_protocol for clearing flavours");
+  (module struct
+    module I = Isets.Bits.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Bits.Write1_only -> "write1-tracks"
+      | _ -> "tas-tracks"
+
+    let locations ~n:_ = None
+
+    let proc ~n ~pid:_ ~input =
+      Racing.consensus (Objects.Bit_tracks.unbounded ~components:n ~flavour) ~n ~input
+  end)
+
+let protocol ~flavour : Proto.t =
+  let (module P) = protocol_typed ~flavour in
+  (module P)
+
+let binary ~flavour : Proto.t =
+  (match flavour with
+   | Isets.Bits.Write1_only | Isets.Bits.Tas_only -> ()
+   | Isets.Bits.Write01 | Isets.Bits.Tas_reset ->
+     invalid_arg "Tracks_protocol.binary: use Nlogn_protocol for clearing flavours");
+  (module struct
+    module I = Isets.Bits.Make (struct
+      let flavour = flavour
+    end)
+
+    let name =
+      match flavour with
+      | Isets.Bits.Write1_only -> "write1-tracks-binary"
+      | _ -> "tas-tracks-binary"
+
+    let locations ~n:_ = None
+
+    (* The GR05 loop: scan both tracks, decide at a lead of 2, otherwise
+       adopt the leading preference and push your track one location
+       further.  The two-track counter supplies linearizable scans (counts
+       are monotone).
+
+       Why a lead of 2 suffices for any n (where abstract racing counters
+       need a lead of n): a stale increment writes the first-0 position its
+       walk found, and every walk that predates a deciding scan found a
+       position within the loser track's count b at that scan — so all
+       stale writes coalesce into at most one effective increment, and any
+       later walk is preceded by a scan that already shows the winner
+       ahead.  The track encoding, not the counter abstraction, carries the
+       agreement argument. *)
+    let proc ~n:_ ~pid:_ ~input =
+      if input <> 0 && input <> 1 then invalid_arg "binary consensus: input not a bit";
+      let (module C : Objects.Counter.S
+            with type op = Isets.Bits.op
+             and type res = Model.Value.t) =
+        Objects.Bit_tracks.unbounded ~components:2 ~flavour
+      in
+      let open Model.Proc.Syntax in
+      Model.Proc.rec_loop (C.init, input) (fun (st, pref) ->
+        let* st, counts = C.scan st in
+        let mine = Bignum.to_int_exn counts.(pref)
+        and other = Bignum.to_int_exn counts.(1 - pref) in
+        if mine >= other + 2 then Model.Proc.return (Either.Right pref)
+        else begin
+          let pref = if other > mine then 1 - pref else pref in
+          let* st = C.increment st pref in
+          Model.Proc.return (Either.Left (st, pref))
+        end)
+  end)

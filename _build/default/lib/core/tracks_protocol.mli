@@ -1,0 +1,26 @@
+(** n-consensus from unboundedly many [{read(), write(1)}] or
+    [{read(), test-and-set()}] locations (Theorem 9.3, after [GR05]).
+
+    One unbounded 1-prefix track per value plus racing counters.  Theorem
+    9.2 shows no bounded number of such locations suffices for n ≥ 3 — the
+    measured location count of this protocol grows with contention, which
+    {!Lowerbound.Tas_growth} turns into an experiment. *)
+
+val protocol : flavour:Isets.Bits.flavour -> Proto.t
+(** [flavour] must be [Write1_only] or [Tas_only]. *)
+
+val protocol_typed :
+  flavour:Isets.Bits.flavour ->
+  (module Proto.S
+     with type I.op = Isets.Bits.op
+      and type I.cell = bool
+      and type I.result = Model.Value.t)
+(** The same protocol with its instruction-set types exposed, as the
+    Lemma 9.1 growth adversary requires. *)
+
+val binary : flavour:Isets.Bits.flavour -> Proto.t
+(** The [GR05] algorithm exactly as Section 9 describes it: two unbounded
+    tracks, one per preference; a process writes 1 to the next location of
+    its preferred track, switches preference when behind, and decides once
+    its track leads by 2.  (The n-valued {!protocol} generalises this with
+    the racing-counters lead of n.) *)

@@ -1,0 +1,58 @@
+open Model
+open Proc.Syntax
+
+(* One pull per read: a decider at value ±n survives the ≤ n−1 stale
+   opposite pulls still in flight, so the sign never crosses back — the
+   racing-counters argument on the difference of the two camps' counts. *)
+let binary_at ~n ~loc ~input =
+  if input <> 0 && input <> 1 then invalid_arg "binary consensus: input not a bit";
+  let big_n = Bignum.of_int n in
+  Proc.rec_loop () (fun () ->
+      let* v = Isets.Incdec.read loc in
+      if Bignum.compare v big_n >= 0 then Proc.return (Either.Right 1)
+      else if Bignum.compare v (Bignum.neg big_n) <= 0 then Proc.return (Either.Right 0)
+      else begin
+        let camp =
+          match Bignum.sign v with 0 -> input | s -> if s > 0 then 1 else 0
+        in
+        let* () =
+          if camp = 1 then Isets.Incdec.increment loc else Isets.Incdec.decrement loc
+        in
+        Proc.return (Either.Left ())
+      end)
+
+let binary : Proto.t =
+  (module struct
+    module I = Isets.Incdec
+
+    let name = "tug-of-war-binary"
+    let locations ~n:_ = Some 1
+
+    let proc ~n ~pid:_ ~input = binary_at ~n ~loc:0 ~input
+  end)
+
+let ops ~n : (Isets.Incdec.op, Value.t) Bit_by_bit.ops =
+  {
+    designated_cells = 1;
+    write_value =
+      (fun ~loc ~value ->
+        Proc.map ignore (Proc.access loc (Isets.Incdec.Write (Bignum.of_int (value + 1)))));
+    read_value =
+      (fun ~loc ->
+        let+ v = Proc.access loc Isets.Incdec.Read in
+        match Bignum.to_int_exn (Value.to_big_exn v) with
+        | 0 -> None
+        | recorded -> Some (recorded - 1));
+    binary_locations = 1;
+    binary = (fun ~base ~input -> binary_at ~n ~loc:base ~input);
+  }
+
+let protocol : Proto.t =
+  (module struct
+    module I = Isets.Incdec
+
+    let name = "tug-of-war"
+    let locations ~n = Some (Bit_by_bit.locations ~n (ops ~n))
+
+    let proc ~n ~pid:_ ~input = Bit_by_bit.consensus (ops ~n) ~n ~input
+  end)

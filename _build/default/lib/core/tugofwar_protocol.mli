@@ -1,0 +1,19 @@
+(** Binary consensus on one [{read(), write(x), increment(), decrement()}]
+    location — the conclusions' closing example (§10).
+
+    The camps tug on the sign of a single integer: a 1-proposer increments,
+    a 0-proposer decrements; after each pull a process reads, adopts the
+    leading camp, and decides once the magnitude reaches n.  This is the
+    racing-counters argument with the {e difference} of the two components
+    stored instead of the components themselves — which is exactly what
+    having both increment and decrement buys, and what either alone cannot
+    do (Theorem 5.1's surgery applies to each alone).
+
+    {!protocol} lifts it to n-consensus through Lemma 5.2
+    (3·⌈log₂ n⌉ − 2 locations). *)
+
+val binary : Proto.t
+(** One location; inputs in {0, 1}. *)
+
+val protocol : Proto.t
+(** n-valued, 3⌈log₂ n⌉ − 2 locations. *)

@@ -1,0 +1,311 @@
+type row = {
+  id : string;
+  iset : string;
+  paper_lower : string;
+  paper_upper : string;
+  upper : n:int -> int option;
+  protocol : Consensus.Proto.t;
+  binary_only : bool;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let log2_ceil n =
+  let rec go k pow = if pow >= n then k else go (k + 1) (pow * 2) in
+  Stdlib.max 1 (go 0 1)
+
+let buffer_rows ell =
+  let cap = string_of_int ell in
+  [
+    {
+      id = Printf.sprintf "buffer-%d" ell;
+      iset = Printf.sprintf "{%s-buffer-read(), %s-buffer-write(x)}" cap cap;
+      paper_lower = Printf.sprintf "ceil((n-1)/%d)" ell;
+      paper_upper = Printf.sprintf "ceil(n/%d)" ell;
+      upper = (fun ~n -> Some (ceil_div n ell));
+      protocol = Consensus.Buffers_protocol.protocol ~capacity:ell;
+      binary_only = false;
+    };
+    {
+      id = Printf.sprintf "multi-%d" ell;
+      iset = Printf.sprintf "%d-buffers + multiple assignment" ell;
+      paper_lower = Printf.sprintf "ceil((n-1)/%d)" (2 * ell);
+      paper_upper = Printf.sprintf "ceil(n/%d)" ell;
+      upper = (fun ~n -> Some (ceil_div n ell));
+      protocol = Consensus.Buffers_protocol.multi_assignment_protocol ~capacity:ell;
+      binary_only = false;
+    };
+  ]
+
+let rows ?(ells = [ 1; 2; 3 ]) () =
+  [
+    {
+      id = "tas";
+      iset = "{read(), test-and-set()}";
+      paper_lower = "infinity";
+      paper_upper = "infinity";
+      upper = (fun ~n:_ -> None);
+      protocol = Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only;
+      binary_only = false;
+    };
+    {
+      id = "write1";
+      iset = "{read(), write(1)}";
+      paper_lower = "infinity";
+      paper_upper = "infinity";
+      upper = (fun ~n:_ -> None);
+      protocol = Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Write1_only;
+      binary_only = false;
+    };
+    {
+      id = "write01";
+      iset = "{read(), write(1), write(0)}";
+      paper_lower = "n";
+      paper_upper = "O(n log n)";
+      upper =
+        (fun ~n ->
+          let (module P : Consensus.Proto.S) =
+            Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Write01
+          in
+          P.locations ~n);
+      protocol = Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Write01;
+      binary_only = false;
+    };
+    {
+      id = "rw";
+      iset = "{read(), write(x)}";
+      paper_lower = "n";
+      paper_upper = "n";
+      upper = (fun ~n -> Some n);
+      protocol = Consensus.Rw_protocol.protocol;
+      binary_only = false;
+    };
+    {
+      id = "tas-reset";
+      iset = "{read(), test-and-set(), reset()}";
+      paper_lower = "Omega(sqrt n)";
+      paper_upper = "O(n log n)";
+      upper =
+        (fun ~n ->
+          let (module P : Consensus.Proto.S) =
+            Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Tas_reset
+          in
+          P.locations ~n);
+      protocol = Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Tas_reset;
+      binary_only = false;
+    };
+    {
+      id = "swap";
+      iset = "{read(), swap(x)}";
+      paper_lower = "Omega(sqrt n)";
+      paper_upper = "n-1";
+      upper = (fun ~n -> Some (Stdlib.max 1 (n - 1)));
+      protocol = Consensus.Swap_protocol.protocol;
+      binary_only = false;
+    };
+  ]
+  @ List.concat_map buffer_rows ells
+  @ [
+      {
+        id = "increment";
+        iset = "{read(), write(x), increment()}";
+        paper_lower = "2";
+        paper_upper = "O(log n)";
+        upper = (fun ~n -> Some ((4 * log2_ceil n) - 2));
+        protocol = Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only;
+        binary_only = false;
+      };
+      {
+        id = "fetch-incr";
+        iset = "{read(), write(x), fetch-and-increment()}";
+        paper_lower = "2";
+        paper_upper = "O(log n)";
+        upper = (fun ~n -> Some ((4 * log2_ceil n) - 2));
+        protocol = Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Fetch_increment;
+        binary_only = false;
+      };
+      {
+        id = "max-register";
+        iset = "{read-max(), write-max(x)}";
+        paper_lower = "2";
+        paper_upper = "2";
+        upper = (fun ~n:_ -> Some 2);
+        protocol = Consensus.Maxreg_protocol.protocol;
+        binary_only = false;
+      };
+      {
+        id = "cas";
+        iset = "{compare-and-swap(x,y)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Cas_protocol.protocol;
+        binary_only = false;
+      };
+      {
+        id = "set-bit";
+        iset = "{read(), set-bit(x)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Arith_protocols.set_bit;
+        binary_only = false;
+      };
+      {
+        id = "add";
+        iset = "{read(), add(x)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Arith_protocols.add;
+        binary_only = false;
+      };
+      {
+        id = "multiply";
+        iset = "{read(), multiply(x)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Arith_protocols.mul;
+        binary_only = false;
+      };
+      {
+        id = "fetch-add";
+        iset = "{fetch-and-add(x)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Arith_protocols.faa;
+        binary_only = false;
+      };
+      {
+        id = "fetch-multiply";
+        iset = "{fetch-and-multiply(x)}";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Arith_protocols.fam;
+        binary_only = false;
+      };
+      {
+        id = "inc-dec";
+        iset = "{read(), write(x), inc(), dec()} (Sec. 10)";
+        paper_lower = "1";
+        paper_upper = "O(log n)";
+        upper =
+          (fun ~n ->
+            let (module P : Consensus.Proto.S) = Consensus.Tugofwar_protocol.protocol in
+            P.locations ~n);
+        protocol = Consensus.Tugofwar_protocol.protocol;
+        binary_only = false;
+      };
+      {
+        id = "intro-faa2-tas";
+        iset = "{fetch-and-add(2), test-and-set()} (Sec. 1)";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Intro_protocols.faa2_tas;
+        binary_only = true;
+      };
+      {
+        id = "intro-dec-mul";
+        iset = "{read(), decrement(), multiply(x)} (Sec. 1)";
+        paper_lower = "1";
+        paper_upper = "1";
+        upper = (fun ~n:_ -> Some 1);
+        protocol = Consensus.Intro_protocols.decmul;
+        binary_only = true;
+      };
+    ]
+
+let find ?ells id = List.find_opt (fun r -> r.id = id) (rows ?ells ())
+
+type measurement = {
+  n : int;
+  allocated : int option;
+  measured : int;
+  steps : int;
+  decision : int;
+}
+
+let measure ?(seed = 7) ?(prefix = 200) ?(fuel = 20_000_000) row ~n =
+  let inputs =
+    if row.binary_only then Array.init n (fun i -> (i + seed) land 1)
+    else Array.init n (fun i -> (i + seed) mod n)
+  in
+  let sched = Model.Sched.random_then_sequential ~seed ~prefix in
+  let report = Consensus.Driver.run ~fuel row.protocol ~inputs ~sched in
+  match Consensus.Driver.check report ~inputs with
+  | Error e -> Error e
+  | Ok () ->
+    (match report.outcome, report.decisions with
+     | `All_decided, (_, decision) :: _ ->
+       Ok
+         {
+           n;
+           allocated = row.upper ~n;
+           measured = report.locations_used;
+           steps = report.steps;
+           decision;
+         }
+     | `All_decided, [] -> Error "no decisions recorded"
+     | `Out_of_fuel, _ -> Error "out of fuel"
+     | `Sched_stopped, _ -> Error "scheduler stopped early")
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv ?ells ?(ns = [ 2; 3; 5; 8; 12 ]) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "id,iset,paper_lower,paper_upper,n,measured,allocated,steps\n";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun n ->
+          match measure row ~n with
+          | Error e ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s,%s,%s,%s,%d,error,%s,\n" row.id (csv_escape row.iset)
+                 (csv_escape row.paper_lower) (csv_escape row.paper_upper) n
+                 (csv_escape e))
+          | Ok m ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s,%s,%s,%s,%d,%d,%s,%d\n" row.id (csv_escape row.iset)
+                 (csv_escape row.paper_lower) (csv_escape row.paper_upper) n m.measured
+                 (match m.allocated with None -> "inf" | Some a -> string_of_int a)
+                 m.steps))
+        ns)
+    (rows ?ells ());
+  Buffer.contents buf
+
+let render ?ells ?(ns = [ 2; 3; 5; 8; 12 ]) () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let header =
+    Printf.sprintf "%-44s | %-16s | %-12s | %s" "instruction set I" "SP lower (paper)"
+      "SP upper"
+      (String.concat "  "
+         (List.map (fun n -> Printf.sprintf "n=%-2d meas/alloc" n) ns))
+  in
+  add "%s\n%s\n" header (String.make (String.length header + 8) '-');
+  List.iter
+    (fun row ->
+      let cells =
+        List.map
+          (fun n ->
+            match measure row ~n with
+            | Error e -> Printf.sprintf "ERR(%s)" e
+            | Ok m ->
+              let alloc =
+                match m.allocated with None -> "inf" | Some a -> string_of_int a
+              in
+              Printf.sprintf "%4d/%-9s" m.measured alloc)
+          ns
+      in
+      add "%-44s | %-16s | %-12s | %s\n" row.iset row.paper_lower row.paper_upper
+        (String.concat "  " cells))
+    (rows ?ells ());
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** The space hierarchy (Table 1) as an executable object.
+
+    Each row pairs an instruction set with the paper's lower/upper bounds
+    and this library's implementation of the upper-bound algorithm.
+    [measure] runs the algorithm and reports the locations it actually
+    touched; [render] regenerates Table 1 with measured columns — the
+    repository's headline experiment (see EXPERIMENTS.md, T1). *)
+
+type row = {
+  id : string;                         (** short stable identifier *)
+  iset : string;                       (** instruction set, paper notation *)
+  paper_lower : string;                (** lower bound as printed in Table 1 *)
+  paper_upper : string;                (** upper bound as printed in Table 1 *)
+  upper : n:int -> int option;         (** upper-bound formula; [None] = ∞ *)
+  protocol : Consensus.Proto.t;        (** the algorithm achieving it *)
+  binary_only : bool;                  (** protocol solves binary consensus only *)
+}
+
+val rows : ?ells:int list -> unit -> row list
+(** All Table 1 rows; ℓ-buffer rows (with and without multiple assignment)
+    instantiated at each ℓ in [ells] (default [[1; 2; 3]]).  Includes the
+    introduction's two collapse examples as extra rows. *)
+
+val find : ?ells:int list -> string -> row option
+(** Look up a row by [id]. *)
+
+type measurement = {
+  n : int;
+  allocated : int option;  (** the formula's value, [None] for ∞ *)
+  measured : int;          (** locations touched in the run *)
+  steps : int;
+  decision : int;
+}
+
+val measure :
+  ?seed:int -> ?prefix:int -> ?fuel:int -> row -> n:int -> (measurement, string) result
+(** Run the row's protocol with [n] processes (inputs spread over the value
+    domain, adversarial random prefix then sequential finish), check
+    agreement and validity, and report the space it used. *)
+
+val render : ?ells:int list -> ?ns:int list -> unit -> string
+(** The Table 1 reproduction: one line per row with paper bounds and
+    measured locations for each n in [ns] (default [[2; 3; 5; 8; 12]]). *)
+
+val render_csv : ?ells:int list -> ?ns:int list -> unit -> string
+(** The same data in machine-readable CSV:
+    [id,iset,paper_lower,paper_upper,n,measured,allocated,steps] — one line
+    per (row, n). *)

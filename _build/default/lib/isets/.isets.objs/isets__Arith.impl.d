@@ -1,0 +1,1 @@
+lib/isets/arith.ml: Bignum Format Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/arith.mli: Bignum Iset Model Proc Value

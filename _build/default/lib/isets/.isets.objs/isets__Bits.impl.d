@@ -1,0 +1,1 @@
+lib/isets/bits.ml: Bool Format Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/bits.mli: Model

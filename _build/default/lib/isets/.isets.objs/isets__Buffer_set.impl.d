@@ -1,0 +1,1 @@
+lib/isets/buffer_set.ml: Array Format List Model Printf Proc Value

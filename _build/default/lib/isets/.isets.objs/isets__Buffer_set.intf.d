@@ -1,0 +1,1 @@
+lib/isets/buffer_set.mli: Model

@@ -1,0 +1,1 @@
+lib/isets/buffered_reduction.ml: Array Bits Buffer_set Format List Model Proc Rw Value

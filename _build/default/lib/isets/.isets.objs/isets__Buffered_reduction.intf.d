@@ -1,0 +1,1 @@
+lib/isets/buffered_reduction.mli: Bits Buffer_set Model Proc Rw Value

@@ -1,0 +1,1 @@
+lib/isets/cas.ml: Format Model Proc Value

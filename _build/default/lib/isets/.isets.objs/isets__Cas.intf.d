@@ -1,0 +1,1 @@
+lib/isets/cas.mli: Model

@@ -1,0 +1,1 @@
+lib/isets/hetero_buffer.ml: Array Format List Model Proc Value

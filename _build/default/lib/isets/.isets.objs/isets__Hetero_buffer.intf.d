@@ -1,0 +1,1 @@
+lib/isets/hetero_buffer.mli: Iset Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/incdec.ml: Bignum Format Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/incdec.mli: Bignum Model

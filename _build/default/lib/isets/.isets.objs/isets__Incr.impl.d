@@ -1,0 +1,1 @@
+lib/isets/incr.ml: Bignum Format Model Proc Value

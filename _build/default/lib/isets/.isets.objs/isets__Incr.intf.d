@@ -1,0 +1,1 @@
+lib/isets/incr.mli: Bignum Model

@@ -1,0 +1,1 @@
+lib/isets/maxreg.ml: Bignum Format Model Proc Value

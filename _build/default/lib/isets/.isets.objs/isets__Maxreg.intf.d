@@ -1,0 +1,1 @@
+lib/isets/maxreg.mli: Bignum Model

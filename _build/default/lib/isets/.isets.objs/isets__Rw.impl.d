@@ -1,0 +1,1 @@
+lib/isets/rw.ml: Format Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/rw.mli: Model

@@ -1,0 +1,1 @@
+lib/isets/swap.ml: Format Model Proc Value

@@ -1,0 +1,1 @@
+lib/isets/swap.mli: Model

@@ -1,0 +1,187 @@
+open Model
+
+(* Shared plumbing for instruction sets whose cells are integers. *)
+let big_result b = Value.Big b
+
+module Add = struct
+  type cell = Bignum.t
+  type op = Read | Add of Bignum.t
+  type result = Value.t
+
+  let name = "{read(), add(x)}"
+  let init = Bignum.zero
+
+  let apply op c =
+    match op with
+    | Read -> (c, big_result c)
+    | Add x -> (Bignum.add c x, Value.Unit)
+
+  let trivial = function Read -> true | Add _ -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read()"
+    | Add x -> Format.fprintf ppf "add(%a)" Bignum.pp x
+
+  let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+  let add loc x = Proc.map ignore (Proc.access loc (Add x))
+end
+
+module Mul = struct
+  type cell = Bignum.t
+  type op = Read | Mul of Bignum.t
+  type result = Value.t
+
+  let name = "{read(), multiply(x)}"
+
+  (* The prime-product encoding wants an initial value of 1 (empty product);
+     the paper initialises the location accordingly. *)
+  let init = Bignum.one
+
+  let apply op c =
+    match op with
+    | Read -> (c, big_result c)
+    | Mul x -> (Bignum.mul c x, Value.Unit)
+
+  let trivial = function Read -> true | Mul _ -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read()"
+    | Mul x -> Format.fprintf ppf "multiply(%a)" Bignum.pp x
+
+  let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+  let mul loc x = Proc.map ignore (Proc.access loc (Mul x))
+end
+
+module Setbit = struct
+  type cell = Bignum.t
+  type op = Read | Set_bit of int
+  type result = Value.t
+
+  let name = "{read(), set-bit(x)}"
+  let init = Bignum.zero
+
+  let apply op c =
+    match op with
+    | Read -> (c, big_result c)
+    | Set_bit i -> (Bignum.set_bit c i, Value.Unit)
+
+  let trivial = function Read -> true | Set_bit _ -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read()"
+    | Set_bit i -> Format.fprintf ppf "set-bit(%d)" i
+
+  let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+  let set_bit loc i = Proc.map ignore (Proc.access loc (Set_bit i))
+end
+
+module Faa = struct
+  type cell = Bignum.t
+  type op = Fetch_add of Bignum.t
+  type result = Value.t
+
+  let name = "{fetch-and-add(x)}"
+  let init = Bignum.zero
+
+  let apply (Fetch_add x) c = (Bignum.add c x, big_result c)
+  let trivial (Fetch_add x) = Bignum.is_zero x
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+  let pp_op ppf (Fetch_add x) = Format.fprintf ppf "fetch-and-add(%a)" Bignum.pp x
+
+  let fetch_add loc x = Proc.map Value.to_big_exn (Proc.access loc (Fetch_add x))
+  let read loc = fetch_add loc Bignum.zero
+end
+
+module Fam = struct
+  type cell = Bignum.t
+  type op = Fetch_mul of Bignum.t
+  type result = Value.t
+
+  let name = "{fetch-and-multiply(x)}"
+  let init = Bignum.one
+
+  let apply (Fetch_mul x) c = (Bignum.mul c x, big_result c)
+  let trivial (Fetch_mul x) = Bignum.equal x Bignum.one
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+  let pp_op ppf (Fetch_mul x) = Format.fprintf ppf "fetch-and-multiply(%a)" Bignum.pp x
+
+  let fetch_mul loc x = Proc.map Value.to_big_exn (Proc.access loc (Fetch_mul x))
+  let read loc = fetch_mul loc Bignum.one
+end
+
+module Decmul = struct
+  type cell = Bignum.t
+  type op = Read | Decrement | Multiply of int
+  type result = Value.t
+
+  let name = "{read(), decrement(), multiply(x)}"
+  let init = Bignum.one
+
+  let apply op c =
+    match op with
+    | Read -> (c, big_result c)
+    | Decrement -> (Bignum.pred c, Value.Unit)
+    | Multiply x -> (Bignum.mul_int c x, Value.Unit)
+
+  let trivial = function Read -> true | Decrement | Multiply _ -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read()"
+    | Decrement -> Format.pp_print_string ppf "decrement()"
+    | Multiply x -> Format.fprintf ppf "multiply(%d)" x
+
+  let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+  let decrement loc = Proc.map ignore (Proc.access loc Decrement)
+  let multiply loc x = Proc.map ignore (Proc.access loc (Multiply x))
+end
+
+module Faa2_tas = struct
+  type cell = Bignum.t
+  type op = Fetch_add2 | Tas
+  type result = Value.t
+
+  let name = "{fetch-and-add(2), test-and-set()}"
+  let init = Bignum.zero
+
+  let apply op c =
+    match op with
+    | Fetch_add2 -> (Bignum.add c Bignum.two, big_result c)
+    | Tas ->
+      let c' = if Bignum.is_zero c then Bignum.one else c in
+      (c', big_result c)
+
+  let trivial = function Fetch_add2 | Tas -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Fetch_add2 -> Format.pp_print_string ppf "fetch-and-add(2)"
+    | Tas -> Format.pp_print_string ppf "test-and-set()"
+
+  let fetch_add2 loc = Proc.map Value.to_big_exn (Proc.access loc Fetch_add2)
+  let tas loc = Proc.map Value.to_big_exn (Proc.access loc Tas)
+end

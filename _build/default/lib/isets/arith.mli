@@ -1,0 +1,86 @@
+(** Arithmetic instruction sets on integer cells (Sections 1 and 3).
+
+    Each of these solves n-consensus with a {e single} memory location
+    (Theorem 3.3 and the introduction's examples), which is what collapses
+    Herlihy's object hierarchy once instructions apply to common memory. *)
+
+open Model
+
+(** [{read(), add(x)}].  One location suffices: the cell is a base-[3n]
+    bounded counter (Lemma 3.2). *)
+module Add : sig
+  type op = Read | Add of Bignum.t
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val add : int -> Bignum.t -> (op, result, unit) Proc.t
+end
+
+(** [{read(), multiply(x)}].  One location: the cell is a product of primes,
+    component [v] living in the exponent of the [(v+1)]-st prime. *)
+module Mul : sig
+  type op = Read | Mul of Bignum.t
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val mul : int -> Bignum.t -> (op, result, unit) Proc.t
+end
+
+(** [{read(), set-bit(x)}].  One location: blocks of n² bits record each
+    process's increments of each component. *)
+module Setbit : sig
+  type op = Read | Set_bit of int
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val set_bit : int -> int -> (op, result, unit) Proc.t
+end
+
+(** [{fetch-and-add(x)}] alone: [read()] is [fetch-and-add(0)]. *)
+module Faa : sig
+  type op = Fetch_add of Bignum.t
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val fetch_add : int -> Bignum.t -> (op, result, Bignum.t) Proc.t
+end
+
+(** [{fetch-and-multiply(x)}] alone: [read()] is [fetch-and-multiply(1)]. *)
+module Fam : sig
+  type op = Fetch_mul of Bignum.t
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val fetch_mul : int -> Bignum.t -> (op, result, Bignum.t) Proc.t
+end
+
+(** [{read(), decrement(), multiply(x)}]: the introduction's second example.
+    Any two of the three have consensus number 1, yet together one location
+    solves wait-free binary consensus for any number of processes. *)
+module Decmul : sig
+  type op = Read | Decrement | Multiply of int
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val read : int -> (op, result, Bignum.t) Proc.t
+  val decrement : int -> (op, result, unit) Proc.t
+  val multiply : int -> int -> (op, result, unit) Proc.t
+end
+
+(** [{fetch-and-add(2), test-and-set()}]: the introduction's first example.
+    [test-and-set] here is the paper's slightly stronger variant: it sets
+    the location to 1 only when it contained 0, and returns the previous
+    number. *)
+module Faa2_tas : sig
+  type op = Fetch_add2 | Tas
+
+  include Iset.S with type cell = Bignum.t and type op := op and type result = Value.t
+
+  val fetch_add2 : int -> (op, result, Bignum.t) Proc.t
+  val tas : int -> (op, result, Bignum.t) Proc.t
+end

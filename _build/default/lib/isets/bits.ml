@@ -1,0 +1,71 @@
+open Model
+
+type flavour = Write1_only | Tas_only | Write01 | Tas_reset
+
+type op = Read | Write0 | Write1 | Tas | Reset
+
+let flavour_name = function
+  | Write1_only -> "{read(), write(1)}"
+  | Tas_only -> "{read(), test-and-set()}"
+  | Write01 -> "{read(), write(1), write(0)}"
+  | Tas_reset -> "{read(), test-and-set(), reset()}"
+
+module Make (F : sig
+  val flavour : flavour
+end) =
+struct
+  type cell = bool
+  type nonrec op = op
+  type result = Value.t
+
+  let name = flavour_name F.flavour
+  let init = false
+
+  let allowed = function
+    | Read -> true
+    | Write1 -> (match F.flavour with Write1_only | Write01 -> true | _ -> false)
+    | Write0 -> F.flavour = Write01
+    | Tas -> (match F.flavour with Tas_only | Tas_reset -> true | _ -> false)
+    | Reset -> F.flavour = Tas_reset
+
+  let pp_op ppf op =
+    Format.pp_print_string ppf
+      (match op with
+       | Read -> "read()"
+       | Write0 -> "write(0)"
+       | Write1 -> "write(1)"
+       | Tas -> "test-and-set()"
+       | Reset -> "reset()")
+
+  let apply op c =
+    if not (allowed op) then
+      Format.kasprintf invalid_arg "%s does not support %a" name pp_op op;
+    match op with
+    | Read -> (c, Value.Int (if c then 1 else 0))
+    | Write0 | Reset -> (false, Value.Unit)
+    | Write1 -> (true, Value.Unit)
+    | Tas -> (true, Value.Int (if c then 1 else 0))
+
+  let trivial = function Read -> true | Write0 | Write1 | Tas | Reset -> false
+  let multi_assignment = false
+  let equal_cell = Bool.equal
+  let pp_cell ppf c = Format.pp_print_int ppf (if c then 1 else 0)
+  let pp_result = Value.pp
+
+  let read loc = Proc.map Value.to_int_exn (Proc.access loc Read)
+
+  let write1 loc =
+    let op = match F.flavour with Tas_only | Tas_reset -> Tas | _ -> Write1 in
+    Proc.map ignore (Proc.access loc op)
+
+  let write0 loc =
+    let op =
+      match F.flavour with
+      | Write01 -> Write0
+      | Tas_reset -> Reset
+      | _ -> Format.kasprintf invalid_arg "%s cannot clear a location" name
+    in
+    Proc.map ignore (Proc.access loc op)
+
+  let tas loc = Proc.map Value.to_int_exn (Proc.access loc Tas)
+end

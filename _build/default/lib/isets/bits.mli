@@ -1,0 +1,40 @@
+(** Single-bit instruction sets (Section 9).
+
+    Four Table 1 rows share the same binary cells and differ only in which
+    instructions are allowed:
+    - [{read(), write(1)}] and [{read(), test-and-set()}]: SP = ∞ for n ≥ 3
+      (Theorem 9.2 / 9.3);
+    - [{read(), write(0), write(1)}] and [{read(), test-and-set(), reset()}]:
+      SP between n (resp. Ω(√n)) and O(n log n) (Theorem 9.4).
+
+    The machine enforces the restriction dynamically: applying an
+    instruction outside the chosen [flavour] raises [Invalid_argument].
+    [test-and-set] here is the paper's standard single-bit variant (it
+    always sets the location to 1). *)
+
+type flavour = Write1_only | Tas_only | Write01 | Tas_reset
+
+type op = Read | Write0 | Write1 | Tas | Reset
+
+module Make (F : sig
+  val flavour : flavour
+end) : sig
+  include Model.Iset.S with type cell = bool and type op = op and type result = Model.Value.t
+
+  val read : int -> (op, result, int) Model.Proc.t
+  (** Returns 0 or 1. *)
+
+  val write1 : int -> (op, result, unit) Model.Proc.t
+  (** [write(1)], or [test-and-set()] with its result ignored, according to
+      the flavour (Theorem 9.3 uses them interchangeably). *)
+
+  val write0 : int -> (op, result, unit) Model.Proc.t
+  (** [write(0)] or [reset()] according to the flavour.
+      @raise Invalid_argument for flavours without a clearing instruction. *)
+
+  val tas : int -> (op, result, int) Model.Proc.t
+  (** [test-and-set()], returning the previous contents (0 or 1).
+      @raise Invalid_argument for flavours without test-and-set. *)
+end
+
+val flavour_name : flavour -> string

@@ -1,0 +1,66 @@
+open Model
+
+type op = Buf_read | Buf_write of Value.t
+
+module Make (C : sig
+  val capacity : int
+  val multi_assignment : bool
+end) =
+struct
+  let () = if C.capacity < 1 then invalid_arg "Buffer_set.Make: capacity < 1"
+
+  let capacity = C.capacity
+
+  (* Newest-first list of the ≤ ℓ most recent writes. *)
+  type cell = Value.t list
+
+  type nonrec op = op
+  type result = Value.t
+
+  let name =
+    let base = Printf.sprintf "{%d-buffer-read(), %d-buffer-write(x)}" capacity capacity in
+    if C.multi_assignment then base ^ " + multiple assignment" else base
+
+  let init = []
+
+  let to_vector newest_first =
+    let v = Array.make capacity Value.Bot in
+    List.iteri (fun i x -> v.(capacity - 1 - i) <- x) newest_first;
+    v
+
+  let apply op c =
+    match op with
+    | Buf_read -> (c, Value.Vec (to_vector c))
+    | Buf_write x ->
+      let c' = x :: (if List.length c >= capacity then List.filteri (fun i _ -> i < capacity - 1) c else c) in
+      (c', Value.Unit)
+
+  let trivial = function Buf_read -> true | Buf_write _ -> false
+  let multi_assignment = C.multi_assignment
+
+  let equal_cell a b = List.length a = List.length b && List.for_all2 Value.equal a b
+
+  let pp_cell ppf c =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)
+      c
+
+  let pp_result = Value.pp
+
+  let pp_op ppf = function
+    | Buf_read -> Format.fprintf ppf "%d-buffer-read()" capacity
+    | Buf_write v -> Format.fprintf ppf "%d-buffer-write(%a)" capacity Value.pp v
+
+  let read loc =
+    Proc.map
+      (function
+        | Value.Vec v -> v
+        | v -> Format.kasprintf invalid_arg "buffer read returned %a" Value.pp v)
+      (Proc.access loc Buf_read)
+
+  let write loc v = Proc.map ignore (Proc.access loc (Buf_write v))
+
+  let write_many assignments =
+    Proc.map ignore
+      (Proc.multi_access (List.map (fun (loc, v) -> (loc, Buf_write v)) assignments))
+end

@@ -1,0 +1,38 @@
+(** ℓ-buffers: [{ℓ-buffer-read(), ℓ-buffer-write(x)}] (Section 6), and the
+    same cells with atomic multiple assignment (Section 7).
+
+    An ℓ-buffer retains the inputs of the ℓ most recent writes.
+    [ℓ-buffer-read] returns them least-recent first, front-padded with ⊥
+    when fewer than ℓ writes have occurred.  A 1-buffer is a register.
+
+    Table 1: ⌈(n−1)/ℓ⌉ locations necessary (Theorem 6.8), ⌈n/ℓ⌉ sufficient
+    (Theorem 6.3); with multiple assignment the lower bound becomes
+    ⌈(n−1)/2ℓ⌉ (Theorem 7.5). *)
+
+type op = Buf_read | Buf_write of Model.Value.t
+
+module Make (C : sig
+  val capacity : int
+  (** ℓ ≥ 1. *)
+
+  val multi_assignment : bool
+  (** Allow one process step to write several buffers atomically
+      (Section 7). *)
+end) : sig
+  include
+    Model.Iset.S
+      with type cell = Model.Value.t list
+       and type op = op
+       and type result = Model.Value.t
+
+  val capacity : int
+
+  val read : int -> (op, result, Model.Value.t array) Model.Proc.t
+  (** The ℓ most recent writes, least recent first, ⊥-padded. *)
+
+  val write : int -> Model.Value.t -> (op, result, unit) Model.Proc.t
+
+  val write_many : (int * Model.Value.t) list -> (op, result, unit) Model.Proc.t
+  (** Atomic multiple assignment: one ℓ-buffer-write per listed location in
+      a single step.  Requires [C.multi_assignment]. *)
+end

@@ -1,0 +1,60 @@
+(** The reduction closing Section 6.2: the ⌈(n−1)/ℓ⌉ lower bound "also
+    applies to systems in which the return value of every non-trivial
+    instruction does not depend on the value of that location and the
+    return value of any trivial instruction is a function of the sequence
+    of the preceding ℓ non-trivial instructions".
+
+    Such instruction sets embed into ℓ-buffers step for step: a non-trivial
+    instruction is recorded with one ℓ-buffer-write (its result is computed
+    locally — it is value-independent by hypothesis), and a trivial
+    instruction is answered from one ℓ-buffer-read of the last ℓ recorded
+    instructions.  One source step = one buffer step, so both the semantics
+    and the space usage transfer exactly — which is what lets the buffer
+    lower bound speak about these sets.
+
+    Instantiated below for [{read(), write(x)}] (ℓ = 1) and
+    [{read(), write(1)}] (ℓ = 1); the tests bisimulate the reductions
+    against the native machines.  Note what does {e not} fit: swap and
+    test-and-set return the current value from a non-trivial instruction,
+    and increment's read depends on the whole past, not the last ℓ — the
+    hypothesis is exactly what separates them. *)
+
+open Model
+
+module type SPEC = sig
+  type op
+  type result
+
+  val name : string
+
+  val ell : int
+  (** how many recent non-trivial instructions a trivial result needs *)
+
+  val nontrivial : op -> bool
+
+  val nontrivial_result : op -> result
+  (** result of a non-trivial instruction — value-independent by
+      hypothesis *)
+
+  val trivial_result : op -> op list -> result
+  (** result of a trivial instruction given the last ≤ ℓ non-trivial
+      instructions, oldest first *)
+
+  val encode_op : op -> Value.t
+  val decode_op : Value.t -> op
+end
+
+module Make (S : SPEC) : sig
+  val apply :
+    loc:int -> S.op -> (Buffer_set.op, Value.t, S.result) Proc.t
+  (** Execute one source instruction on [loc] of a machine whose buffers
+      have capacity [S.ell]; exactly one machine step. *)
+end
+
+(** [{read(), write(x)}] via 1-buffers. *)
+module Rw_spec :
+  SPEC with type op = Rw.op and type result = Value.t
+
+(** [{read(), write(1)}] on bits via 1-buffers. *)
+module W1_spec :
+  SPEC with type op = Bits.op and type result = Value.t

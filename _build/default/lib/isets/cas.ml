@@ -1,0 +1,22 @@
+open Model
+
+type cell = Value.t
+type op = Cas of Value.t * Value.t
+type result = Value.t
+
+let name = "{compare-and-swap(x,y)}"
+let init = Value.Bot
+
+let apply (Cas (expected, desired)) c =
+  if Value.equal c expected then (desired, c) else (c, c)
+
+let trivial (Cas (expected, desired)) = Value.equal expected desired
+let multi_assignment = false
+let equal_cell = Value.equal
+let pp_cell = Value.pp
+let pp_result = Value.pp
+
+let pp_op ppf (Cas (x, y)) =
+  Format.fprintf ppf "compare-and-swap(%a, %a)" Value.pp x Value.pp y
+
+let cas loc ~expected ~desired = Proc.access loc (Cas (expected, desired))

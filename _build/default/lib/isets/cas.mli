@@ -1,0 +1,18 @@
+(** [{compare-and-swap(x, y)}] (Table 1: SP = 1).
+
+    [compare-and-swap(x, y)] atomically replaces the contents by [y] when
+    they equal [x], and returns the previous contents either way.  Reading
+    without interference is [compare-and-swap(v, v)] for any [v]. *)
+
+type op = Cas of Model.Value.t * Model.Value.t
+
+include
+  Model.Iset.S
+    with type cell = Model.Value.t
+     and type op := op
+     and type result = Model.Value.t
+
+val cas :
+  int -> expected:Model.Value.t -> desired:Model.Value.t ->
+  (op, result, Model.Value.t) Model.Proc.t
+(** Returns the previous contents. *)

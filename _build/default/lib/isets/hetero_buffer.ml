@@ -1,0 +1,62 @@
+open Model
+
+type op = Buf_read of int | Buf_write of int * Value.t
+
+type cell = int * Value.t list
+type result = Value.t
+
+let name = "{l(r)-buffer-read(), l(r)-buffer-write(x)} (heterogeneous)"
+let init = (0, [])
+
+let pp_op ppf = function
+  | Buf_read c -> Format.fprintf ppf "%d-buffer-read()" c
+  | Buf_write (c, v) -> Format.fprintf ppf "%d-buffer-write(%a)" c Value.pp v
+
+let capacity_of op = match op with Buf_read c | Buf_write (c, _) -> c
+
+let check_capacity op (stored, entries) =
+  let c = capacity_of op in
+  if c < 1 then Format.kasprintf invalid_arg "hetero buffer: capacity %d < 1" c;
+  if stored <> 0 && stored <> c then
+    Format.kasprintf invalid_arg
+      "hetero buffer: location has capacity %d but %a declares %d" stored pp_op op c;
+  (c, entries)
+
+let to_vector ~capacity newest_first =
+  let v = Array.make capacity Value.Bot in
+  List.iteri (fun i x -> v.(capacity - 1 - i) <- x) newest_first;
+  v
+
+let apply op cell =
+  let c, entries = check_capacity op cell in
+  match op with
+  | Buf_read _ -> ((c, entries), Value.Vec (to_vector ~capacity:c entries))
+  | Buf_write (_, x) ->
+    let entries =
+      x :: (if List.length entries >= c then List.filteri (fun i _ -> i < c - 1) entries
+            else entries)
+    in
+    ((c, entries), Value.Unit)
+
+let trivial = function Buf_read _ -> true | Buf_write _ -> false
+let multi_assignment = false
+
+let equal_cell (c1, e1) (c2, e2) =
+  c1 = c2 && List.length e1 = List.length e2 && List.for_all2 Value.equal e1 e2
+
+let pp_cell ppf (c, entries) =
+  Format.fprintf ppf "cap=%d [%a]" c
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)
+    entries
+
+let pp_result = Value.pp
+
+let read ~capacities loc =
+  Proc.map
+    (function
+      | Value.Vec v -> v
+      | v -> Format.kasprintf invalid_arg "hetero buffer read returned %a" Value.pp v)
+    (Proc.access loc (Buf_read (capacities loc)))
+
+let write ~capacities loc v =
+  Proc.map ignore (Proc.access loc (Buf_write (capacities loc, v)))

@@ -1,0 +1,36 @@
+(** Buffers of per-location capacities (the heterogeneous setting of
+    Section 6.2's closing remark).
+
+    The paper notes its lower bound generalises: with locations of
+    different capacities, any obstruction-free consensus needs total
+    capacity at least n−1.  Dually, total capacity n suffices — this
+    instruction set lets one machine mix, say, a 3-buffer and two
+    2-buffers for 7 processes.
+
+    Capacities are configured statically by the deployment (a property of
+    the machine, like word width): each operation carries its target
+    location's capacity, and a cell remembers the capacity of the first
+    instruction applied to it, rejecting mismatches.  The {!reader} and
+    {!writer} helpers take the capacity map so processes cannot
+    mis-declare. *)
+
+open Model
+
+type op = Buf_read of int | Buf_write of int * Value.t
+(** The [int] is the target location's capacity ℓ ≥ 1. *)
+
+include
+  Iset.S
+    with type cell = int * Value.t list
+     and type op := op
+     and type result = Value.t
+(** A cell is (capacity, newest-first retained writes); capacity [0] means
+    "not yet accessed". *)
+
+val read :
+  capacities:(int -> int) -> int -> (op, result, Value.t array) Proc.t
+(** [read ~capacities loc]: the ℓ most recent writes (ℓ = [capacities loc]),
+    least recent first, ⊥-padded. *)
+
+val write :
+  capacities:(int -> int) -> int -> Value.t -> (op, result, unit) Proc.t

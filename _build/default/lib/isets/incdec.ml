@@ -1,0 +1,32 @@
+open Model
+
+type cell = Bignum.t
+type op = Read | Write of Bignum.t | Increment | Decrement
+type result = Value.t
+
+let name = "{read(), write(x), increment(), decrement()}"
+let init = Bignum.zero
+
+let apply op c =
+  match op with
+  | Read -> (c, Value.Big c)
+  | Write x -> (x, Value.Unit)
+  | Increment -> (Bignum.succ c, Value.Unit)
+  | Decrement -> (Bignum.pred c, Value.Unit)
+
+let trivial = function Read -> true | Write _ | Increment | Decrement -> false
+let multi_assignment = false
+let equal_cell = Bignum.equal
+let pp_cell = Bignum.pp
+let pp_result = Value.pp
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "read()"
+  | Write x -> Format.fprintf ppf "write(%a)" Bignum.pp x
+  | Increment -> Format.pp_print_string ppf "increment()"
+  | Decrement -> Format.pp_print_string ppf "decrement()"
+
+let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+let write loc x = Proc.map ignore (Proc.access loc (Write x))
+let increment loc = Proc.map ignore (Proc.access loc Increment)
+let decrement loc = Proc.map ignore (Proc.access loc Decrement)

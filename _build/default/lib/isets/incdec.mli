@@ -1,0 +1,19 @@
+(** [{read(), write(x), increment(), decrement()}] — the conclusions'
+    closing example (§10): with only read, write and {e one} of
+    increment/decrement, more than one location is needed for binary
+    consensus (Theorem 5.1's argument applies), but with {e both}, a single
+    location suffices: the two camps play tug-of-war on the sign of one
+    integer. *)
+
+type op = Read | Write of Bignum.t | Increment | Decrement
+
+include
+  Model.Iset.S
+    with type cell = Bignum.t
+     and type op := op
+     and type result = Model.Value.t
+
+val read : int -> (op, result, Bignum.t) Model.Proc.t
+val write : int -> Bignum.t -> (op, result, unit) Model.Proc.t
+val increment : int -> (op, result, unit) Model.Proc.t
+val decrement : int -> (op, result, unit) Model.Proc.t

@@ -1,0 +1,60 @@
+open Model
+
+type flavour = Increment_only | Fetch_increment
+
+type op = Read | Write of Bignum.t | Increment | Fetch_incr
+
+let flavour_name = function
+  | Increment_only -> "{read(), write(x), increment()}"
+  | Fetch_increment -> "{read(), write(x), fetch-and-increment()}"
+
+module Make (F : sig
+  val flavour : flavour
+end) =
+struct
+  type cell = Bignum.t
+  type nonrec op = op
+  type result = Value.t
+
+  let name = flavour_name F.flavour
+  let init = Bignum.zero
+
+  let allowed = function
+    | Read | Write _ -> true
+    | Increment -> F.flavour = Increment_only
+    | Fetch_incr -> F.flavour = Fetch_increment
+
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read()"
+    | Write x -> Format.fprintf ppf "write(%a)" Bignum.pp x
+    | Increment -> Format.pp_print_string ppf "increment()"
+    | Fetch_incr -> Format.pp_print_string ppf "fetch-and-increment()"
+
+  let apply op c =
+    if not (allowed op) then
+      Format.kasprintf invalid_arg "%s does not support %a" name pp_op op;
+    match op with
+    | Read -> (c, Value.Big c)
+    | Write x -> (x, Value.Unit)
+    | Increment -> (Bignum.succ c, Value.Unit)
+    | Fetch_incr -> (Bignum.succ c, Value.Big c)
+
+  let trivial = function Read -> true | Write _ | Increment | Fetch_incr -> false
+  let multi_assignment = false
+  let equal_cell = Bignum.equal
+  let pp_cell = Bignum.pp
+  let pp_result = Value.pp
+
+  let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
+  let write loc x = Proc.map ignore (Proc.access loc (Write x))
+
+  let increment loc =
+    let op = match F.flavour with Increment_only -> Increment | Fetch_increment -> Fetch_incr in
+    Proc.map ignore (Proc.access loc op)
+
+  let fetch_increment loc =
+    match F.flavour with
+    | Fetch_increment -> Proc.map Value.to_big_exn (Proc.access loc Fetch_incr)
+    | Increment_only ->
+      Format.kasprintf invalid_arg "%s does not support fetch-and-increment" name
+end

@@ -1,0 +1,32 @@
+(** Increment instruction sets (Section 5).
+
+    Two Table 1 rows share integer cells with read and write:
+    - [{read(), write(x), increment()}]: increment returns nothing;
+    - [{read(), write(x), fetch-and-increment()}]: the increment also
+      returns the previous contents.
+
+    Both have SP lower bound 2 (Theorem 5.1: one location is impossible)
+    and upper bound O(log n) (Theorem 5.3).  The flavour only restricts
+    which increment instruction is available. *)
+
+type flavour = Increment_only | Fetch_increment
+
+type op = Read | Write of Bignum.t | Increment | Fetch_incr
+
+module Make (F : sig
+  val flavour : flavour
+end) : sig
+  include Model.Iset.S with type cell = Bignum.t and type op = op and type result = Model.Value.t
+
+  val read : int -> (op, result, Bignum.t) Model.Proc.t
+  val write : int -> Bignum.t -> (op, result, unit) Model.Proc.t
+
+  val increment : int -> (op, result, unit) Model.Proc.t
+  (** Uses whichever increment instruction the flavour provides (the result
+      of [fetch-and-increment] is discarded). *)
+
+  val fetch_increment : int -> (op, result, Bignum.t) Model.Proc.t
+  (** @raise Invalid_argument under [Increment_only]. *)
+end
+
+val flavour_name : flavour -> string

@@ -1,0 +1,26 @@
+open Model
+
+type cell = Bignum.t
+type op = Read_max | Write_max of Bignum.t
+type result = Value.t
+
+let name = "{read-max(), write-max(x)}"
+let init = Bignum.zero
+
+let apply op c =
+  match op with
+  | Read_max -> (c, Value.Big c)
+  | Write_max x -> (Bignum.max c x, Value.Unit)
+
+let trivial = function Read_max -> true | Write_max _ -> false
+let multi_assignment = false
+let equal_cell = Bignum.equal
+let pp_cell = Bignum.pp
+let pp_result = Value.pp
+
+let pp_op ppf = function
+  | Read_max -> Format.pp_print_string ppf "read-max()"
+  | Write_max x -> Format.fprintf ppf "write-max(%a)" Bignum.pp x
+
+let read_max loc = Proc.map Value.to_big_exn (Proc.access loc Read_max)
+let write_max loc x = Proc.map ignore (Proc.access loc (Write_max x))

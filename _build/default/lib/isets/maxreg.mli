@@ -1,0 +1,16 @@
+(** [{read-max(), write-max(x)}]: max-registers [AAC09] (Section 4).
+    Table 1: SP = 2 — one max-register cannot solve binary consensus
+    (Theorem 4.1), two solve n-consensus (Theorem 4.2). *)
+
+type op = Read_max | Write_max of Bignum.t
+
+include
+  Model.Iset.S
+    with type cell = Bignum.t
+     and type op := op
+     and type result = Model.Value.t
+
+val read_max : int -> (op, result, Bignum.t) Model.Proc.t
+
+val write_max : int -> Bignum.t -> (op, result, unit) Model.Proc.t
+(** Stores the argument iff it exceeds the current contents. *)

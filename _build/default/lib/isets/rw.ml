@@ -1,0 +1,26 @@
+open Model
+
+type cell = Value.t
+type op = Read | Write of Value.t
+type result = Value.t
+
+let name = "{read(), write(x)}"
+let init = Value.Bot
+
+let apply op c =
+  match op with
+  | Read -> (c, c)
+  | Write v -> (v, Value.Unit)
+
+let trivial = function Read -> true | Write _ -> false
+let multi_assignment = false
+let equal_cell = Value.equal
+let pp_cell = Value.pp
+let pp_result = Value.pp
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "read()"
+  | Write v -> Format.fprintf ppf "write(%a)" Value.pp v
+
+let read loc = Proc.access loc Read
+let write loc v = Proc.map ignore (Proc.access loc (Write v))

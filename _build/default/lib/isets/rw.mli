@@ -1,0 +1,15 @@
+(** The instruction set [{read(), write(x)}]: ordinary registers.
+    Table 1: SP = n ([Zhu15] upper bound, [EGZ18] lower bound). *)
+
+type op = Read | Write of Model.Value.t
+
+include
+  Model.Iset.S
+    with type cell = Model.Value.t
+     and type op := op
+     and type result = Model.Value.t
+
+(** Typed process helpers. *)
+
+val read : int -> (op, result, Model.Value.t) Model.Proc.t
+val write : int -> Model.Value.t -> (op, result, unit) Model.Proc.t

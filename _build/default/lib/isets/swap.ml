@@ -1,0 +1,26 @@
+open Model
+
+type cell = Value.t
+type op = Read | Swap of Value.t
+type result = Value.t
+
+let name = "{read(), swap(x)}"
+let init = Value.Bot
+
+let apply op c =
+  match op with
+  | Read -> (c, c)
+  | Swap v -> (v, c)
+
+let trivial = function Read -> true | Swap _ -> false
+let multi_assignment = false
+let equal_cell = Value.equal
+let pp_cell = Value.pp
+let pp_result = Value.pp
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "read()"
+  | Swap v -> Format.fprintf ppf "swap(%a)" Value.pp v
+
+let read loc = Proc.access loc Read
+let swap loc v = Proc.access loc (Swap v)

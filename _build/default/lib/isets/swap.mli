@@ -1,0 +1,15 @@
+(** [{read(), swap(x)}] (Section 8).
+    Table 1: Ω(√n) lower bound [FHS98], n−1 upper bound (Theorem 8.8). *)
+
+type op = Read | Swap of Model.Value.t
+
+include
+  Model.Iset.S
+    with type cell = Model.Value.t
+     and type op := op
+     and type result = Model.Value.t
+
+val read : int -> (op, result, Model.Value.t) Model.Proc.t
+
+val swap : int -> Model.Value.t -> (op, result, Model.Value.t) Model.Proc.t
+(** Atomically stores the argument and returns the previous contents. *)

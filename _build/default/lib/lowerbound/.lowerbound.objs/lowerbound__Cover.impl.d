@@ -1,0 +1,1 @@
+lib/lowerbound/cover.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/lowerbound/covering_witness.ml: Array Consensus Format Hashtbl List Model Option

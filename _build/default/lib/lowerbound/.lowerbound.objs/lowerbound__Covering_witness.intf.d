@@ -1,0 +1,1 @@
+lib/lowerbound/covering_witness.mli: Consensus

@@ -1,0 +1,1 @@
+lib/lowerbound/fai_adversary.ml: Bignum Consensus Format Isets List Model Printf Proc Value

@@ -1,0 +1,1 @@
+lib/lowerbound/fai_adversary.mli: Consensus Isets Model

@@ -1,0 +1,1 @@
+lib/lowerbound/growth.ml: Array Consensus Format Hashtbl Isets List Model Option

@@ -1,0 +1,1 @@
+lib/lowerbound/growth.mli: Consensus Isets Model

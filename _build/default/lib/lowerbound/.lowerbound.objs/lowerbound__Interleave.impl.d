@@ -1,0 +1,1 @@
+lib/lowerbound/interleave.ml: Bignum Consensus Format Isets List Model Printf Proc Value

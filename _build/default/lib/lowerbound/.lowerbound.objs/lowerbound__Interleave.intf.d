@@ -1,0 +1,1 @@
+lib/lowerbound/interleave.mli: Consensus Isets Model

@@ -1,0 +1,1 @@
+lib/lowerbound/packing.ml: Array Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/lowerbound/victims.ml: Bignum Consensus Either Isets Model Primes Proc Value

@@ -1,0 +1,1 @@
+lib/lowerbound/victims.mli: Consensus Isets Model

@@ -1,0 +1,18 @@
+let covered ~trivial accesses =
+  List.sort_uniq compare
+    (List.filter_map (fun (loc, op) -> if trivial op then None else Some loc) accesses)
+
+let counts per_process =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun loc ->
+         Hashtbl.replace tbl loc (1 + Option.value ~default:0 (Hashtbl.find_opt tbl loc))))
+    per_process;
+  List.sort compare (Hashtbl.fold (fun loc c acc -> (loc, c) :: acc) tbl [])
+
+let k_covered per_process ~k =
+  List.filter_map (fun (loc, c) -> if c = k then Some loc else None) (counts per_process)
+
+let at_most_k_covered per_process ~k =
+  List.for_all (fun locs -> locs <> []) per_process
+  && List.for_all (fun (_, c) -> c <= k) (counts per_process)

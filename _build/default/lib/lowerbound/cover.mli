@@ -1,0 +1,21 @@
+(** Covering vocabulary (Sections 6 and 7).
+
+    A process {e covers} a location when it is poised to perform a
+    non-trivial instruction there; a location is k-covered by a set of
+    processes when exactly k of them cover it.  These pure helpers compute
+    cover structure from poised-access data (as returned by
+    [Machine.poised]), for use by lower-bound experiments and tests. *)
+
+val covered : trivial:('op -> bool) -> (int * 'op) list -> int list
+(** Locations covered by one process's poised atomic accesses. *)
+
+val counts : int list list -> (int * int) list
+(** Per-location cover counts given each process's covered locations;
+    sorted by location. *)
+
+val k_covered : int list list -> k:int -> int list
+(** Locations covered by exactly [k] of the processes. *)
+
+val at_most_k_covered : int list list -> k:int -> bool
+(** True when every listed process covers something and no location is
+    covered more than [k] times (the paper's "at most k-covered"). *)

@@ -1,0 +1,157 @@
+type report = {
+  setup_steps : int;
+  bivalent_pair : int * int;
+  coverers : int list;
+  covered : int list;
+  xi_steps : int;
+  fresh_location : int;
+  still_bivalent_after_block_write : bool;
+}
+
+exception Stop of string
+
+let stopf fmt = Format.kasprintf (fun s -> raise (Stop s)) fmt
+
+let witness ?(search_depth = 6) ?(solo_fuel = 200_000) (module P : Consensus.Proto.S)
+    ~inputs =
+  let module M = Model.Machine.Make (P.I) in
+  let n = Array.length inputs in
+  if n < 3 then invalid_arg "Covering_witness.witness: need at least 3 processes";
+  let solo_dec cfg pid = snd (M.run_solo ~fuel:solo_fuel ~pid cfg) in
+  (* Locations a process covers: poised non-trivial accesses. *)
+  let covered_by cfg pid =
+    match M.poised cfg pid with
+    | None -> []
+    | Some accesses ->
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (loc, op) -> if P.I.trivial op then None else Some loc)
+           accesses)
+  in
+  (* Bivalence witness search, as in Growth but instruction-set generic. *)
+  let pair_witness cfg =
+    let decs =
+      List.filter_map
+        (fun pid -> Option.map (fun v -> (pid, v)) (solo_dec cfg pid))
+        (M.running cfg)
+    in
+    match decs with
+    | (p, v) :: rest ->
+      Option.map (fun (q, _) -> (p, q)) (List.find_opt (fun (_, w) -> w <> v) rest)
+    | [] -> None
+  in
+  let find_bivalent cfg =
+    let rec bfs frontier depth =
+      match
+        List.find_map (fun c -> Option.map (fun pq -> (c, pq)) (pair_witness c)) frontier
+      with
+      | Some w -> Some w
+      | None ->
+        if depth >= search_depth then None
+        else begin
+          let next =
+            List.concat_map (fun c -> List.map (M.step c) (M.running c)) frontier
+          in
+          if next = [] then None else bfs next (depth + 1)
+        end
+    in
+    bfs [ cfg ] 0
+  in
+  (* Can the whole set of processes still decide both values?  Bounded
+     search over all schedules collecting solo decisions. *)
+  let values_from cfg =
+    let seen = Hashtbl.create 4 in
+    let rec go cfg depth =
+      List.iter
+        (fun pid ->
+          match solo_dec cfg pid with Some v -> Hashtbl.replace seen v () | None -> ())
+        (M.running cfg);
+      if depth < search_depth && Hashtbl.length seen < 2 then
+        List.iter (fun pid -> go (M.step cfg pid) (depth + 1)) (M.running cfg)
+    in
+    go cfg 0;
+    Hashtbl.length seen
+  in
+  try
+    let cfg0 = M.make ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
+    match find_bivalent cfg0 with
+    | None -> stopf "no bivalent configuration within depth %d" search_depth
+    | Some (c, (p, q)) ->
+      (* Drive the remaining processes until each is poised non-trivially
+         (they may start mid-read); their steps are part of the setup. *)
+      let rec settle cfg fuel =
+        if fuel <= 0 then stopf "coverers did not reach non-trivial steps";
+        let rs = List.filter (fun r -> r <> p && r <> q) (M.running cfg) in
+        match List.find_opt (fun r -> covered_by cfg r = []) rs with
+        | None -> (cfg, rs)
+        | Some r -> settle (M.step cfg r) (fuel - 1)
+      in
+      let c, coverers = settle c solo_fuel in
+      if coverers = [] then stopf "no remaining processes to cover locations";
+      (* Re-establish bivalence of the pair after the settling steps. *)
+      let c, p, q =
+        match pair_witness c with
+        | Some (p, q) -> (c, p, q)
+        | None -> (
+          match find_bivalent c with
+          | Some (c', (p, q)) -> (c', p, q)
+          | None -> stopf "bivalence lost while settling coverers")
+      in
+      let coverers = List.filter (fun r -> r <> p && r <> q) coverers in
+      let l = List.sort_uniq compare (List.concat_map (covered_by c) coverers) in
+      if l = [] then stopf "coverers cover nothing";
+      let block_write cfg =
+        List.fold_left
+          (fun cfg r -> if List.mem r (M.running cfg) then M.step cfg r else cfg)
+          cfg coverers
+      in
+      (* Search for the Q-only execution ξ of Lemma 6.5: afterwards some
+         process of Q covers a location outside L, and the block write
+         does not kill bivalence. *)
+      let fresh cfg =
+        List.concat_map (covered_by cfg) [ p; q ]
+        |> List.find_opt (fun loc -> not (List.mem loc l))
+      in
+      let rec bfs frontier depth =
+        let ok =
+          List.find_map
+            (fun (cfg, steps) ->
+              match fresh cfg with
+              | Some loc ->
+                let after = block_write cfg in
+                if values_from after >= 2 then Some (cfg, steps, loc, after) else None
+              | None -> None)
+            frontier
+        in
+        match ok with
+        | Some w -> Some w
+        | None ->
+          if depth >= search_depth then None
+          else begin
+            let next =
+              List.concat_map
+                (fun (cfg, steps) ->
+                  List.filter_map
+                    (fun pid ->
+                      if pid = p || pid = q then Some (M.step cfg pid, steps + 1)
+                      else None)
+                    (M.running cfg))
+                frontier
+            in
+            if next = [] then None else bfs next (depth + 1)
+          end
+      in
+      (match bfs [ (c, 0) ] 0 with
+       | None -> stopf "no Q-only execution reaching a fresh location within depth"
+       | Some (_, xi_steps, fresh_location, after) ->
+         Ok
+           {
+             setup_steps = M.steps c;
+             bivalent_pair = (p, q);
+             coverers;
+             covered = l;
+             xi_steps;
+             fresh_location;
+             still_bivalent_after_block_write = values_from after >= 2;
+           })
+  with Stop msg -> Error msg

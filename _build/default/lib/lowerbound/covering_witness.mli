@@ -1,0 +1,35 @@
+(** An operational witness for Lemma 6.5 (the covering step of the
+    Section 6.2 space lower bound).
+
+    Lemma 6.5 says: if Q is bivalent from C and the remaining processes R
+    cover a set of locations L (each at most ℓ times), then there is a
+    Q-only execution ξ such that after the block write β to L, R ∪ Q is
+    still bivalent — and crucially, in Cξ some process of Q covers a
+    location {e outside} L.  That fresh covered location is what the
+    induction of Lemma 6.7 counts, one per round, to force ⌈(n−1)/ℓ⌉
+    locations.
+
+    [witness] finds all of this {e concretely} on a supplied protocol by
+    bounded search: a bivalent configuration, the covering structure, the
+    execution ξ, the block write, and the fresh location.  It is the
+    executable content of the lemma instantiated on a real algorithm (run
+    it on the register or ℓ-buffer protocols; see the `lowerbound` tests
+    and `bench/main.exe`'s T1-LB section). *)
+
+type report = {
+  setup_steps : int;       (** steps from the initial configuration to C *)
+  bivalent_pair : int * int;   (** the set Q *)
+  coverers : int list;         (** the set R *)
+  covered : int list;          (** L: locations R covers in C *)
+  xi_steps : int;              (** length of the Q-only execution ξ *)
+  fresh_location : int;        (** location ∉ L covered by Q in Cξ *)
+  still_bivalent_after_block_write : bool;
+}
+
+val witness :
+  ?search_depth:int ->
+  ?solo_fuel:int ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  (report, string) result
+(** [inputs] needs at least 3 processes and at least two distinct values. *)

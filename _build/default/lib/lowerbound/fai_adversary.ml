@@ -1,0 +1,119 @@
+open Model
+
+type verdict =
+  | Agreement_violated of {
+      p_decision : int;
+      q_decision : int;
+      transcript : string list;
+    }
+  | Protocol_error of string
+
+exception Bad of string
+
+let badf fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+(* Single-location {read, write, increment, fetch-and-increment}
+   semantics. *)
+let apply op value =
+  match op with
+  | Isets.Incr.Read -> (value, Value.Big value)
+  | Isets.Incr.Write x -> (x, Value.Unit)
+  | Isets.Incr.Increment -> (Bignum.succ value, Value.Unit)
+  | Isets.Incr.Fetch_incr -> (Bignum.succ value, Value.Big value)
+
+let pp_op ppf = function
+  | Isets.Incr.Read -> Format.pp_print_string ppf "read()"
+  | Isets.Incr.Write x -> Format.fprintf ppf "write(%a)" Bignum.pp x
+  | Isets.Incr.Increment -> Format.pp_print_string ppf "increment()"
+  | Isets.Incr.Fetch_incr -> Format.pp_print_string ppf "fetch-and-increment()"
+
+let is_increment = function
+  | Isets.Incr.Increment | Isets.Incr.Fetch_incr -> true
+  | Isets.Incr.Read | Isets.Incr.Write _ -> false
+
+let check_access = function
+  | Proc.Done _ -> ()
+  | Proc.Step ([ (0, _) ], _) -> ()
+  | Proc.Step ([ (loc, _) ], _) ->
+    badf "protocol accessed location %d: Theorem 5.1 assumes a single location" loc
+  | Proc.Step (_, _) -> badf "protocol used multiple assignment"
+
+(* Run [proc] solo from [value] to its decision. *)
+let run_solo ~fuel ~log ~who value proc =
+  let rec go value proc =
+    if !fuel <= 0 then badf "process did not terminate (fuel exhausted)";
+    decr fuel;
+    check_access proc;
+    match proc with
+    | Proc.Done v ->
+      log (Printf.sprintf "%s decides %d" who v);
+      (value, v)
+    | Proc.Step ([ (_, op) ], k) ->
+      let value', result = apply op value in
+      log
+        (Format.asprintf "%s: %a  [location: %a -> %a]" who pp_op op Bignum.pp value
+           Bignum.pp value');
+      go value' (k [ result ])
+    | Proc.Step _ -> assert false
+  in
+  go value proc
+
+(* Run [proc] from the initial location (0) until it is poised to write or
+   decides; returns the increment count of that write-free prefix and the
+   stopping point. *)
+let write_free_prefix ~fuel proc =
+  let rec go value incrs proc =
+    if !fuel <= 0 then badf "process did not terminate (fuel exhausted)";
+    decr fuel;
+    check_access proc;
+    match proc with
+    | Proc.Done v -> (incrs, `Decided v)
+    | Proc.Step ([ (_, (Isets.Incr.Write _ as op)) ], k) -> (incrs, `Poised_write (op, k))
+    | Proc.Step ([ (_, op) ], k) ->
+      let value, result = apply op value in
+      go value (incrs + (if is_increment op then 1 else 0)) (k [ result ])
+    | Proc.Step _ -> assert false
+  in
+  go Bignum.zero 0 proc
+
+let run ?(fuel = 1_000_000) (module P : Consensus.Proto.S
+        with type I.op = Isets.Incr.op
+         and type I.result = Model.Value.t) ~n =
+  let fuel = ref fuel in
+  let transcript = ref [] in
+  let log line = transcript := line :: !transcript in
+  try
+    let c0, _ = write_free_prefix ~fuel (P.proc ~n ~pid:0 ~input:0) in
+    let c1, _ = write_free_prefix ~fuel (P.proc ~n ~pid:0 ~input:1) in
+    (* p runs the write-free prefix with the fewer increments; the location
+       then holds exactly that count. *)
+    let p_input = if c0 <= c1 then 0 else 1 in
+    let q_input = 1 - p_input in
+    log
+      (Printf.sprintf
+         "write-free prefixes: input 0 has %d increments, input 1 has %d; p takes \
+          input %d"
+         c0 c1 p_input);
+    let c_small, p_stop = write_free_prefix ~fuel (P.proc ~n ~pid:0 ~input:p_input) in
+    log
+      (Printf.sprintf "p runs its write-free prefix: location now holds %d" c_small);
+    let location = Bignum.of_int c_small in
+    let location, q_decision =
+      run_solo ~fuel ~log ~who:"q" location (P.proc ~n ~pid:1 ~input:q_input)
+    in
+    let p_decision =
+      match p_stop with
+      | `Decided v ->
+        log (Printf.sprintf "p had already decided %d at the end of its prefix" v);
+        v
+      | `Poised_write (op, k) ->
+        (* The write clobbers the only location, hiding q's entire
+           execution from p. *)
+        let location', result = apply op location in
+        log
+          (Format.asprintf "p resumes: %a overwrites everything q did  [%a -> %a]"
+             pp_op op Bignum.pp location Bignum.pp location');
+        snd (run_solo ~fuel ~log ~who:"p" location' (k [ result ]))
+    in
+    Agreement_violated { p_decision; q_decision; transcript = List.rev !transcript }
+  with Bad msg -> Protocol_error msg

@@ -1,0 +1,32 @@
+(** The Theorem 5.1 adversary: one [{read(), write(x),
+    fetch-and-increment()}] location cannot solve binary consensus.
+
+    Strategy (the proof's computational content): compare the two
+    write-free solo prefixes of a proposer — with input 0 and with input 1.
+    Run the proposer through the prefix with {e fewer} increments; the
+    location now holds only an increment count, a state equally reachable
+    in an all-other-input world, so the second process's solo run decides
+    the other value.  If the first proposer had already decided, agreement
+    is violated; otherwise its pending write overwrites the single location
+    and erases everything the second process did, so it finishes exactly as
+    in its solo run and decides its own value — violating agreement
+    anyway. *)
+
+type verdict =
+  | Agreement_violated of {
+      p_decision : int;
+      q_decision : int;
+      transcript : string list;
+          (** the violating execution, one human-readable line per event *)
+    }
+  | Protocol_error of string
+      (** the protocol used a second location, multiple assignment, or
+          failed to terminate solo *)
+
+val run :
+  ?fuel:int ->
+  (module Consensus.Proto.S
+     with type I.op = Isets.Incr.op
+      and type I.result = Model.Value.t) ->
+  n:int ->
+  verdict

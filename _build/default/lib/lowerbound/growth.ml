@@ -1,0 +1,144 @@
+type progress = {
+  round : int;
+  ones : int;
+  touched : int;
+}
+
+exception Stop of string
+
+let stopf fmt = Format.kasprintf (fun s -> raise (Stop s)) fmt
+
+let run ?(rounds = 5) ?(search_depth = 6) ?(solo_fuel = 200_000)
+    (module P : Consensus.Proto.S
+      with type I.op = Isets.Bits.op
+       and type I.cell = bool
+       and type I.result = Model.Value.t) ~inputs =
+  let module M = Model.Machine.Make (P.I) in
+  let n = Array.length inputs in
+  if n < 3 then invalid_arg "Growth.run: need at least 3 processes";
+  if not (Array.exists (( = ) 0) inputs && Array.exists (( = ) 1) inputs) then
+    invalid_arg "Growth.run: inputs must contain both 0 and 1";
+  let solo_dec cfg pid = snd (M.run_solo ~fuel:solo_fuel ~pid cfg) in
+  let ones cfg =
+    M.fold_cells cfg ~init:0 ~f:(fun acc _ c -> if c then acc + 1 else acc)
+  in
+  (* Two distinct processes deciding different values solo: a bivalence
+     witness (Lemma 6.6 made operational). *)
+  let witness cfg =
+    let decs =
+      List.filter_map
+        (fun pid -> Option.map (fun v -> (pid, v)) (solo_dec cfg pid))
+        (M.running cfg)
+    in
+    match decs with
+    | (p, v) :: rest ->
+      Option.map
+        (fun (q, _w) -> (cfg, p, q, (if v = 1 then p else q)))
+        (List.find_opt (fun (_, w) -> w <> v) rest)
+    | [] -> None
+  in
+  (* Bounded breadth-first search over schedules for a bivalence witness. *)
+  let find_bivalent cfg =
+    let rec bfs frontier depth =
+      match List.find_map witness frontier with
+      | Some w -> Some w
+      | None ->
+        if depth >= search_depth then None
+        else begin
+          let next =
+            List.concat_map (fun c -> List.map (M.step c) (M.running c)) frontier
+          in
+          if next = [] then None else bfs next (depth + 1)
+        end
+    in
+    bfs [ cfg ] 0
+  in
+  (* Advance z solo until it is POISED to set a location that is currently 0
+     (the proof's tas outside L_k) — z's earlier solo steps are reads or
+     test-and-sets of already-set locations, which leave memory untouched.
+     z is left covering the fresh location; the splice below releases its
+     pending step.  A z that instead decides completes a genuine agreement
+     violation, because some opposite solo decision is still available. *)
+  let rec park_z cfg z fuel =
+    if fuel <= 0 then stopf "z did not reach a fresh location within fuel";
+    match M.poised cfg z with
+    | None ->
+      let v = Option.get (M.decision cfg z) in
+      (match
+         List.find_map
+           (fun p ->
+             match solo_dec cfg p with Some w when w <> v -> Some (p, w) | _ -> None)
+           (M.running cfg)
+       with
+       | Some (p, w) ->
+         stopf
+           "agreement violation exhibited: z=%d decided %d via already-set \
+            locations, then process %d decided %d solo"
+           z v p w
+       | None -> stopf "z decided %d read-only from a supposedly bivalent configuration" v)
+    | Some [ (loc, op) ] ->
+      let fresh =
+        (match op with
+         | Isets.Bits.Tas | Isets.Bits.Write1 -> true
+         | Isets.Bits.Read | Isets.Bits.Write0 | Isets.Bits.Reset -> false)
+        && not (M.cell cfg loc)
+      in
+      if fresh then cfg else park_z (M.step cfg z) z (fuel - 1)
+    | Some _ -> stopf "multiple assignment is not covered by Lemma 9.1"
+  in
+  (* How many values {p, q} can decide on their own: bounded DFS over
+     {p, q}-only schedules, collecting solo decisions. *)
+  let pair_values cfg p q =
+    let seen = Hashtbl.create 4 in
+    let rec go cfg depth =
+      List.iter
+        (fun pid ->
+          match solo_dec cfg pid with Some v -> Hashtbl.replace seen v () | None -> ())
+        [ p; q ];
+      if depth < search_depth && Hashtbl.length seen < 2 then
+        List.iter
+          (fun pid ->
+            if List.mem pid (M.running cfg) then go (M.step cfg pid) (depth + 1))
+          [ p; q ]
+    in
+    go cfg 0;
+    Hashtbl.length seen
+  in
+  (* The proof's ψ-splice: advance the 1-decider through its solo run one
+     step at a time (z stays parked, covering its fresh location); after
+     each prefix release z's pending step and test whether the pair {p, q}
+     is bivalent again. *)
+  let splice parked ~p ~q ~one_decider ~z =
+    let rec try_prefix cfg fuel =
+      if fuel <= 0 then stopf "ψ-splice did not restore bivalence within fuel";
+      let released = M.step cfg z in
+      if pair_values released p q >= 2 then released
+      else begin
+        match M.poised cfg one_decider with
+        | None -> stopf "ψ-splice exhausted the 1-decider's solo run"
+        | Some _ -> try_prefix (M.step cfg one_decider) (fuel - 1)
+      end
+    in
+    try_prefix parked solo_fuel
+  in
+  try
+    let cfg0 = M.make ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
+    let rec round cfg k acc =
+      if k > rounds then List.rev acc
+      else begin
+        match find_bivalent cfg with
+        | None -> stopf "no bivalent configuration within search depth (round %d)" k
+        | Some (cfg, p, q, one_decider) ->
+          let z =
+            match List.find_opt (fun r -> r <> p && r <> q) (M.running cfg) with
+            | Some z -> z
+            | None -> stopf "no third process left running (round %d)" k
+          in
+          let parked = park_z cfg z solo_fuel in
+          let cfg' = splice parked ~p ~q ~one_decider ~z in
+          round cfg' (k + 1)
+            ({ round = k; ones = ones cfg'; touched = M.locations_used cfg' } :: acc)
+      end
+    in
+    Ok (round cfg0 1 [])
+  with Stop msg -> Error msg

@@ -1,0 +1,33 @@
+(** The Lemma 9.1 adversary: with only [{read(), test-and-set()}] (or
+    [{read(), write(1)}]), any obstruction-free binary consensus for n ≥ 3
+    processes can be driven to touch ever more memory locations.
+
+    Each round follows the proof: reach a configuration from which two
+    processes decide differently solo (bivalence, found by bounded search);
+    run a third process z solo until it is about to set a bit {e outside}
+    the set of already-set locations — it must, or its decision together
+    with the opposite solo decision would violate agreement — and let that
+    step through; if the pair lost bivalence, splice in the prefix ψ of the
+    1-decider's solo run after which the pair is bivalent again (the
+    proof's longest-prefix argument).  The number of set locations grows
+    every round, witnessing SP = ∞. *)
+
+type progress = {
+  round : int;
+  ones : int;       (** locations set to 1 after this round *)
+  touched : int;    (** locations ever accessed *)
+}
+
+val run :
+  ?rounds:int ->
+  ?search_depth:int ->
+  ?solo_fuel:int ->
+  (module Consensus.Proto.S
+     with type I.op = Isets.Bits.op
+      and type I.cell = bool
+      and type I.result = Model.Value.t) ->
+  inputs:int array ->
+  (progress list, string) result
+(** [inputs] must contain both 0 and 1 and have length ≥ 3.  Returns
+    per-round growth; [Error] reports either an exhausted search bound or a
+    protocol anomaly (e.g. an actual agreement violation found). *)

@@ -1,0 +1,84 @@
+open Model
+
+type verdict =
+  | Agreement_violated of {
+      p_decision : int;
+      q_decision : int;
+      steps : int;
+      transcript : string list;
+    }
+  | Protocol_error of string
+
+(* A process, advanced past all its reads, is either finished or pending a
+   write-max. *)
+type pos =
+  | Finished of int
+  | Pending_write of Bignum.t * (Value.t list -> (Isets.Maxreg.op, Value.t, int) Proc.t)
+
+exception Bad of string
+
+let badf fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+(* Feed read-max results from [value] until the process finishes or is
+   poised to write-max; consumes fuel per step. *)
+let rec advance ~fuel ~log ~who value proc =
+  if !fuel <= 0 then badf "process did not terminate (fuel exhausted)";
+  decr fuel;
+  match proc with
+  | Proc.Done v ->
+    log (Printf.sprintf "%s decides %d" who v);
+    Finished v
+  | Proc.Step ([ (0, Isets.Maxreg.Read_max) ], k) ->
+    log (Printf.sprintf "%s: read-max() -> %s" who (Bignum.to_string value));
+    advance ~fuel ~log ~who value (k [ Value.Big value ])
+  | Proc.Step ([ (0, Isets.Maxreg.Write_max x) ], k) -> Pending_write (x, k)
+  | Proc.Step ([ (loc, _) ], _) ->
+    badf "protocol accessed location %d: Theorem 4.1 assumes a single max-register" loc
+  | Proc.Step (_, _) -> badf "protocol used multiple assignment"
+
+let run ?(fuel = 1_000_000) (module P : Consensus.Proto.S
+        with type I.op = Isets.Maxreg.op
+         and type I.result = Model.Value.t) ~n =
+  let fuel = ref fuel in
+  let steps = ref 0 in
+  let transcript = ref [] in
+  let log line = transcript := line :: !transcript in
+  try
+    let value = ref Bignum.zero in
+    let commit who x =
+      incr steps;
+      log
+        (Printf.sprintf "%s: write-max(%s)  [location: %s -> %s]" who
+           (Bignum.to_string x) (Bignum.to_string !value)
+           (Bignum.to_string (Bignum.max !value x)));
+      value := Bignum.max !value x
+    in
+    let finish ~who pos =
+      (* Let one process run to the end alone (the other is done). *)
+      let rec go = function
+        | Finished v -> v
+        | Pending_write (x, k) ->
+          commit who x;
+          go (advance ~fuel ~log ~who !value (k [ Value.Unit ]))
+      in
+      go pos
+    in
+    let rec race p q =
+      match p, q with
+      | Finished pv, _ -> (pv, finish ~who:"q" q)
+      | _, Finished qv -> (finish ~who:"p" p, qv)
+      | Pending_write (a, kp), Pending_write (b, _) when Bignum.compare a b <= 0 ->
+        (* the smaller pending write goes first: it can never be observed
+           by the other process's later reads *)
+        commit "p" a;
+        race (advance ~fuel ~log ~who:"p" !value (kp [ Value.Unit ])) q
+      | Pending_write _, Pending_write (b, kq) ->
+        commit "q" b;
+        race p (advance ~fuel ~log ~who:"q" !value (kq [ Value.Unit ]))
+    in
+    let p0 = advance ~fuel ~log ~who:"p" !value (P.proc ~n ~pid:0 ~input:0) in
+    let q0 = advance ~fuel ~log ~who:"q" !value (P.proc ~n ~pid:1 ~input:1) in
+    let p_decision, q_decision = race p0 q0 in
+    Agreement_violated
+      { p_decision; q_decision; steps = !steps; transcript = List.rev !transcript }
+  with Bad msg -> Protocol_error msg

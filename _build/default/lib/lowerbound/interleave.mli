@@ -1,0 +1,38 @@
+(** The Theorem 4.1 adversary: one max-register cannot solve binary
+    consensus.
+
+    The proof interleaves the solo executions of a 0-proposer and a
+    1-proposer so that every [read-max] returns exactly what it returned
+    solo: whenever both are poised to [write-max], the smaller pending write
+    goes first (a smaller write can never be observed by the other process's
+    later reads).  Both processes therefore decide their solo decisions —
+    0 and 1 — violating agreement.
+
+    [run] executes that strategy against {e any} supplied 2-process
+    protocol on a single max-register and reports the violation it
+    produces.  It is the computational content of the impossibility
+    proof. *)
+
+type verdict =
+  | Agreement_violated of {
+      p_decision : int;
+      q_decision : int;
+      steps : int;  (** write-max steps performed *)
+      transcript : string list;
+          (** the violating execution, one human-readable line per event *)
+    }  (** the interleaving made both solo decisions happen in one run *)
+  | Protocol_error of string
+      (** the protocol stepped outside the theorem's hypotheses (used a
+          second location, multiple assignment, or failed to terminate
+          solo) *)
+
+val run :
+  ?fuel:int ->
+  (module Consensus.Proto.S
+     with type I.op = Isets.Maxreg.op
+      and type I.result = Model.Value.t) ->
+  n:int ->
+  verdict
+(** Processes 0 and 1 propose 0 and 1 respectively ([n] is passed to the
+    protocol, which may allocate for [n] processes but must stay within
+    location 0). *)

@@ -1,0 +1,132 @@
+type covers = int list array
+
+let load packing ~loc =
+  Array.fold_left (fun acc r -> if r = loc then acc + 1 else acc) 0 packing
+
+let is_packing covers ~k packing =
+  Array.length packing = Array.length covers
+  && Array.for_all (fun r -> r >= 0) packing
+  && begin
+    let ok = ref true in
+    Array.iteri (fun p r -> if not (List.mem r covers.(p)) then ok := false) packing;
+    !ok
+  end
+  && begin
+    let loads = Hashtbl.create 16 in
+    Array.iter
+      (fun r -> Hashtbl.replace loads r (1 + Option.value ~default:0 (Hashtbl.find_opt loads r)))
+      packing;
+    Hashtbl.fold (fun _ l ok -> ok && l <= k) loads true
+  end
+
+(* Kuhn-style augmenting assignment with per-location capacity k. *)
+let max_packing covers ~k =
+  let n = Array.length covers in
+  let packing = Array.make n (-1) in
+  let loads = Hashtbl.create 16 in
+  let load_of r = Option.value ~default:0 (Hashtbl.find_opt loads r) in
+  let packed_at r =
+    let out = ref [] in
+    Array.iteri (fun p r' -> if r' = r then out := p :: !out) packing;
+    !out
+  in
+  let rec assign p visited =
+    List.exists
+      (fun r ->
+        if List.mem r !visited then false
+        else begin
+          visited := r :: !visited;
+          if load_of r < k then begin
+            Hashtbl.replace loads r (load_of r + 1);
+            packing.(p) <- r;
+            true
+          end
+          else begin
+            (* Try to evict someone packed at r to another location. *)
+            List.exists
+              (fun q ->
+                let old = packing.(q) in
+                packing.(q) <- -1;
+                Hashtbl.replace loads r (load_of r - 1);
+                if assign q visited then begin
+                  packing.(p) <- r;
+                  Hashtbl.replace loads r (load_of r + 1);
+                  true
+                end
+                else begin
+                  packing.(q) <- old;
+                  Hashtbl.replace loads r (load_of r + 1);
+                  false
+                end)
+              (packed_at r)
+          end
+        end)
+      covers.(p)
+  in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    if !ok && packing.(p) < 0 then
+      if not (assign p (ref [])) then ok := false
+  done;
+  if !ok then Some packing else None
+
+(* Lemma 7.1: maximal Eulerian trail from [from_loc] in the multigraph with
+   an edge g(p) → h(p) per process p. *)
+let transfer covers ~k ~g ~h ~from_loc =
+  if not (is_packing covers ~k g && is_packing covers ~k h) then
+    invalid_arg "Packing.transfer: not k-packings";
+  if load g ~loc:from_loc <= load h ~loc:from_loc then None
+  else begin
+    let n = Array.length g in
+    let used = Array.make n false in
+    (* Unused out-edges of node r: processes p with g p = r. *)
+    let out_edges r =
+      let out = ref [] in
+      for p = 0 to n - 1 do
+        if (not used.(p)) && g.(p) = r then out := p :: !out
+      done;
+      !out
+    in
+    let rec walk node locs procs =
+      match out_edges node with
+      | [] -> (List.rev locs, List.rev procs)
+      | p :: _ ->
+        used.(p) <- true;
+        walk h.(p) (h.(p) :: locs) (p :: procs)
+    in
+    let locs, procs = walk from_loc [ from_loc ] [] in
+    let g' = Array.copy g in
+    List.iter (fun p -> g'.(p) <- h.(p)) procs;
+    assert (is_packing covers ~k g');
+    Some (g', locs, procs)
+  end
+
+(* A location with full load is reducible iff an alternating chain reaches a
+   location with spare capacity. *)
+let can_reduce covers ~k packing r0 =
+  let visited = Hashtbl.create 16 in
+  Hashtbl.replace visited r0 ();
+  let queue = Queue.create () in
+  Array.iteri (fun p r -> if r = r0 then Queue.add p queue) packing;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    List.iter
+      (fun r' ->
+        if (not !found) && not (Hashtbl.mem visited r') then begin
+          Hashtbl.replace visited r' ();
+          if load packing ~loc:r' < k then found := true
+          else Array.iteri (fun q r -> if r = r' then Queue.add q queue) packing
+        end)
+      covers.(p)
+  done;
+  !found
+
+let fully_packed covers ~k packing =
+  if not (is_packing covers ~k packing) then invalid_arg "Packing.fully_packed";
+  let locs =
+    List.sort_uniq compare (Array.to_list packing)
+  in
+  List.filter
+    (fun r -> load packing ~loc:r = k && not (can_reduce covers ~k packing r))
+    locs

@@ -1,0 +1,41 @@
+(** k-packings and the Eulerian re-packing argument (Section 7).
+
+    In a configuration where each process is poised to perform a multiple
+    assignment, a {e k-packing} maps every process to one of the locations
+    it covers, with at most [k] processes per location.  A location is
+    {e fully k-packed} when every k-packing puts exactly [k] processes
+    there; Lemma 7.2 rests on Lemma 7.1: if packing [g] puts more processes
+    than packing [h] into [r₁], an Eulerian walk through the multigraph of
+    disagreements yields a chain of re-assignments moving one process out
+    of [r₁] without overloading anything.
+
+    Processes are [0 .. Array.length covers − 1]; [covers.(p)] lists the
+    locations process [p] covers (its poised multiple assignment's
+    targets). *)
+
+type covers = int list array
+
+val is_packing : covers -> k:int -> int array -> bool
+(** Does the assignment respect coverage and the per-location bound? *)
+
+val max_packing : covers -> k:int -> int array option
+(** Some k-packing of all processes, or [None] if none exists (computed by
+    augmenting paths, i.e. bipartite b-matching). *)
+
+val transfer :
+  covers -> k:int -> g:int array -> h:int array -> from_loc:int ->
+  (int array * int list * int list) option
+(** Lemma 7.1.  If [g] packs more processes into [from_loc] than [h] does,
+    returns [(g', path_locs, path_procs)] where [g'] is a k-packing with
+    one process fewer in [from_loc], one more in the final location of
+    [path_locs] (where [h] packs more than [g]), and identical counts
+    elsewhere; [path_procs] are the re-packed processes [p₁ … p_{t−1}].
+    Returns [None] when the hypothesis [|g⁻¹(from_loc)| > |h⁻¹(from_loc)|]
+    fails. *)
+
+val fully_packed : covers -> k:int -> int array -> int list
+(** Given some k-packing, the locations that are fully k-packed (every
+    k-packing puts exactly [k] processes there) — the proof's set [L]. *)
+
+val load : int array -> loc:int -> int
+(** Number of processes a packing assigns to [loc]. *)

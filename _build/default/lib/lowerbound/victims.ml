@@ -1,0 +1,109 @@
+open Model
+open Proc.Syntax
+
+let naive_maxreg :
+    (module Consensus.Proto.S
+       with type I.op = Isets.Maxreg.op
+        and type I.result = Value.t) =
+  (module struct
+    module I = Isets.Maxreg
+
+    let name = "victim-naive-maxreg"
+    let locations ~n:_ = Some 1
+
+    let proc ~n:_ ~pid:_ ~input =
+      let* () = Isets.Maxreg.write_max 0 (Bignum.of_int (input + 1)) in
+      let* v = Isets.Maxreg.read_max 0 in
+      Proc.return (Bignum.to_int_exn v - 1)
+  end)
+
+let rounds_maxreg :
+    (module Consensus.Proto.S
+       with type I.op = Isets.Maxreg.op
+        and type I.result = Value.t) =
+  (module struct
+    module I = Isets.Maxreg
+
+    let name = "victim-rounds-maxreg"
+    let locations ~n:_ = Some 1
+
+    (* Value (round, x) encoded as (x+1)·y^round in one max-register; spin
+       until the same (round, x) is observed twice in a row, bumping the
+       round each iteration; decide after a fixed round horizon. *)
+    let proc ~n ~pid:_ ~input =
+      let y = Primes.next_above n in
+      let encode round x = Bignum.mul_int (Bignum.pow (Bignum.of_int y) round) (x + 1) in
+      let decode v =
+        if Bignum.is_zero v then (0, 0)
+        else begin
+          let r, rest = Bignum.valuation v y in
+          (r, Bignum.to_int_exn rest - 1)
+        end
+      in
+      let* () = Isets.Maxreg.write_max 0 (encode 0 input) in
+      Proc.rec_loop () (fun () ->
+        let* v = Isets.Maxreg.read_max 0 in
+        let r, x = decode v in
+        if r >= 2 * n then Proc.return (Either.Right x)
+        else
+          let* () = Isets.Maxreg.write_max 0 (encode (r + 1) x) in
+          Proc.return (Either.Left ()))
+  end)
+
+let digit = 1 lsl 20
+
+let naive_fai :
+    (module Consensus.Proto.S
+       with type I.op = Isets.Incr.op
+        and type I.result = Value.t) =
+  (module struct
+    module I = Isets.Incr.Make (struct
+      let flavour = Isets.Incr.Fetch_increment
+    end)
+
+    let name = "victim-naive-fai"
+    let locations ~n:_ = Some 1
+
+    (* Two racing counters packed into one integer: count for 0 in the low
+       digit, count for 1 in the high digit, bumped by read-then-write
+       (lossy under contention, but obstruction-free). *)
+    let proc ~n ~pid:_ ~input =
+      Proc.rec_loop () (fun () ->
+        let* v = Proc.access 0 Isets.Incr.Read in
+        let r = Bignum.to_int_exn (Value.to_big_exn v) in
+        let c0 = r mod digit and c1 = r / digit in
+        if c0 >= c1 + n then Proc.return (Either.Right 0)
+        else if c1 >= c0 + n then Proc.return (Either.Right 1)
+        else
+          let bump = if input = 0 then 1 else digit in
+          let* _ = Proc.access 0 (Isets.Incr.Write (Bignum.of_int (r + bump))) in
+          Proc.return (Either.Left ()))
+  end)
+
+let counting_fai :
+    (module Consensus.Proto.S
+       with type I.op = Isets.Incr.op
+        and type I.result = Value.t) =
+  (module struct
+    module I = Isets.Incr.Make (struct
+      let flavour = Isets.Incr.Fetch_increment
+    end)
+
+    let name = "victim-counting-fai"
+    let locations ~n:_ = Some 1
+
+    (* Claim tickets with fetch-and-increment; the first ticket's owner
+       writes its input (offset into a high digit) for the rest to adopt. *)
+    let proc ~n:_ ~pid:_ ~input =
+      let* t = Proc.access 0 Isets.Incr.Fetch_incr in
+      let ticket = Bignum.to_int_exn (Value.to_big_exn t) in
+      if ticket = 0 then
+        let* _ = Proc.access 0 (Isets.Incr.Write (Bignum.of_int (digit * (input + 1)))) in
+        Proc.return input
+      else
+        Proc.rec_loop () (fun () ->
+          let* v = Proc.access 0 Isets.Incr.Read in
+          let r = Bignum.to_int_exn (Value.to_big_exn v) in
+          if r >= digit then Proc.return (Either.Right ((r / digit) - 1))
+          else Proc.return (Either.Left ()))
+  end)

@@ -1,0 +1,38 @@
+(** Candidate protocols for the impossibility adversaries to break.
+
+    Theorems 4.1 and 5.1 quantify over all protocols; their adversaries can
+    only be {e run} against concrete candidates.  These are plausible
+    single-location attempts — obstruction-free and correct in solo runs —
+    that the adversaries demolish, demonstrating the proofs' strategies. *)
+
+val naive_maxreg :
+  (module Consensus.Proto.S
+     with type I.op = Isets.Maxreg.op
+      and type I.result = Model.Value.t)
+(** One max-register: write-max your value (+1), read, decide the max seen.
+    Solo-correct; the Theorem 4.1 interleaving decides both values. *)
+
+val rounds_maxreg :
+  (module Consensus.Proto.S
+     with type I.op = Isets.Maxreg.op
+      and type I.result = Model.Value.t)
+(** A craftier single-max-register attempt that spins through rounds
+    (Theorem 4.2's encoding squeezed into one register).  Still broken, as
+    Theorem 4.1 promises. *)
+
+val naive_fai :
+  (module Consensus.Proto.S
+     with type I.op = Isets.Incr.op
+      and type I.result = Model.Value.t)
+(** One {read, write, fetch-and-increment} location holding two racing
+    counters in separate "digit" ranges, updated by read-then-write.
+    Obstruction-free; the Theorem 5.1 surgery decides both values. *)
+
+val counting_fai :
+  (module Consensus.Proto.S
+     with type I.op = Isets.Incr.op
+      and type I.result = Model.Value.t)
+(** A variant that really uses fetch-and-increment: ticket claiming with a
+    write-back announcement.  It is not even obstruction-free — a waiter
+    spins forever once the location moves off 0 — and the Theorem 5.1
+    adversary reports exactly that non-termination. *)

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Format Int Iset List Map Proc Sched Set

@@ -1,0 +1,1 @@
+lib/machine/proc.ml: Either List Printf

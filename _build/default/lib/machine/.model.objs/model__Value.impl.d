@@ -1,0 +1,1 @@
+lib/machine/value.ml: Array Bignum Format Stdlib

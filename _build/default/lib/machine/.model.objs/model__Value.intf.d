@@ -1,0 +1,1 @@
+lib/machine/value.mli: Bignum Format

@@ -1,0 +1,38 @@
+(** The uniformity requirement (Section 2): every memory location of a
+    machine supports the same set of instructions.  A module of type {!S}
+    describes one such instruction set; a machine is the functor
+    {!Machine.Make} applied to it. *)
+
+module type S = sig
+  type cell
+  (** Contents of one memory location. *)
+
+  type op
+  (** An instruction invocation (instruction name plus its arguments). *)
+
+  type result
+  (** The value an instruction returns to the invoking process. *)
+
+  val name : string
+  (** Display name of the instruction set, e.g. ["{read(), swap(x)}"]. *)
+
+  val init : cell
+  (** Initial contents of every location. *)
+
+  val apply : op -> cell -> cell * result
+  (** Atomic semantics of one instruction on one location. *)
+
+  val trivial : op -> bool
+  (** A trivial instruction never changes the cell (e.g. [read]). *)
+
+  val multi_assignment : bool
+  (** Whether a process may atomically apply one instruction to several
+      locations in a single step (Section 7).  The machine rejects
+      multi-location steps when this is [false]. *)
+
+  val equal_cell : cell -> cell -> bool
+
+  val pp_cell : Format.formatter -> cell -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_result : Format.formatter -> result -> unit
+end

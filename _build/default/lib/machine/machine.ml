@@ -1,0 +1,140 @@
+module Imap = Map.Make (Int)
+module Iset_int = Set.Make (Int)
+
+module Make (I : Iset.S) = struct
+  type 'a proc = (I.op, I.result, 'a) Proc.t
+
+  type event = {
+    pid : int;
+    accesses : (int * I.op * I.result) list;
+  }
+
+  type 'a config = {
+    mem : I.cell Imap.t;
+    procs : 'a proc array;
+    steps : int;
+    steps_per_process : int array;
+    touched : Iset_int.t;
+    trace : event list;  (* most recent first *)
+  }
+
+  exception Multi_assignment_not_supported
+
+  let make ~n f =
+    if n < 1 then invalid_arg "Machine.make: n < 1";
+    {
+      mem = Imap.empty;
+      procs = Array.init n f;
+      steps = 0;
+      steps_per_process = Array.make n 0;
+      touched = Iset_int.empty;
+      trace = [];
+    }
+
+  let n_processes cfg = Array.length cfg.procs
+
+  let cell cfg loc =
+    match Imap.find_opt loc cfg.mem with Some c -> c | None -> I.init
+
+  let decision cfg pid =
+    match cfg.procs.(pid) with Proc.Done v -> Some v | Proc.Step _ -> None
+
+  let decisions cfg =
+    let out = ref [] in
+    Array.iteri
+      (fun pid p -> match p with Proc.Done v -> out := (pid, v) :: !out | Proc.Step _ -> ())
+      cfg.procs;
+    List.rev !out
+
+  let running cfg =
+    let out = ref [] in
+    for pid = Array.length cfg.procs - 1 downto 0 do
+      match cfg.procs.(pid) with
+      | Proc.Step (_ :: _, _) -> out := pid :: !out
+      | Proc.Step ([], _) | Proc.Done _ -> ()
+    done;
+    !out
+
+  let poised cfg pid =
+    match cfg.procs.(pid) with
+    | Proc.Step (accesses, _) -> Some accesses
+    | Proc.Done _ -> None
+
+  let steps cfg = cfg.steps
+  let steps_of cfg pid = cfg.steps_per_process.(pid)
+  let locations_used cfg = Iset_int.cardinal cfg.touched
+  let max_location cfg = Iset_int.max_elt_opt cfg.touched
+
+  let fold_cells cfg ~init ~f =
+    Imap.fold (fun loc c acc -> f acc loc c) cfg.mem init
+
+  let trace cfg = List.rev cfg.trace
+
+  let pp_event ppf { pid; accesses } =
+    match accesses with
+    | [ (loc, op, r) ] ->
+      Format.fprintf ppf "p%d: %a @@ %d -> %a" pid I.pp_op op loc I.pp_result r
+    | accesses ->
+      Format.fprintf ppf "p%d: atomically {@[%a@]}" pid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           (fun ppf (loc, op, r) ->
+             Format.fprintf ppf "%a @@ %d -> %a" I.pp_op op loc I.pp_result r))
+        accesses
+
+  let pp_trace ppf cfg =
+    List.iteri
+      (fun i e -> Format.fprintf ppf "%4d  %a@." i pp_event e)
+      (trace cfg)
+
+  let step cfg pid =
+    match cfg.procs.(pid) with
+    | Proc.Done _ -> invalid_arg "Machine.step: process has decided"
+    | Proc.Step ([], _) -> invalid_arg "Machine.step: blocked process"
+    | Proc.Step (accesses, k) ->
+      if List.length accesses > 1 && not I.multi_assignment then
+        raise Multi_assignment_not_supported;
+      let apply_one (mem, rs, touched) (loc, op) =
+        if loc < 0 then invalid_arg "Machine.step: negative location";
+        let c = match Imap.find_opt loc mem with Some c -> c | None -> I.init in
+        let c', r = I.apply op c in
+        (Imap.add loc c' mem, r :: rs, Iset_int.add loc touched)
+      in
+      let mem, rev_results, touched =
+        List.fold_left apply_one (cfg.mem, [], cfg.touched) accesses
+      in
+      let results = List.rev rev_results in
+      let procs = Array.copy cfg.procs in
+      procs.(pid) <- k results;
+      let steps_per_process = Array.copy cfg.steps_per_process in
+      steps_per_process.(pid) <- steps_per_process.(pid) + 1;
+      let event =
+        { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
+      in
+      {
+        mem;
+        procs;
+        steps = cfg.steps + 1;
+        steps_per_process;
+        touched;
+        trace = event :: cfg.trace;
+      }
+
+  let run ?(fuel = 1_000_000) ~sched cfg =
+    let rec go cfg sched remaining =
+      match running cfg with
+      | [] -> (cfg, `All_decided)
+      | pids ->
+        if remaining <= 0 then (cfg, `Out_of_fuel)
+        else begin
+          match Sched.next sched ~running:pids ~step:cfg.steps with
+          | None -> (cfg, `Sched_stopped)
+          | Some (pid, sched') -> go (step cfg pid) sched' (remaining - 1)
+        end
+    in
+    go cfg sched fuel
+
+  let run_solo ?(fuel = 1_000_000) ~pid cfg =
+    let cfg', _ = run ~fuel ~sched:(Sched.solo pid) cfg in
+    (cfg', decision cfg' pid)
+end

@@ -1,0 +1,87 @@
+(** The asynchronous shared-memory machine of Section 2.
+
+    A machine is built from one instruction set (the uniformity
+    requirement).  Memory is an unbounded array of identical locations, all
+    initialised to [I.init]; a configuration holds the memory contents and
+    the state of every process.  Configurations are persistent values:
+    [step] returns a new configuration, so adversaries and the model checker
+    can branch from a common configuration — the essence of the paper's
+    indistinguishability arguments. *)
+
+module Make (I : Iset.S) : sig
+  type 'a proc = (I.op, I.result, 'a) Proc.t
+
+  type 'a config
+
+  exception Multi_assignment_not_supported
+
+  val make : n:int -> (int -> 'a proc) -> 'a config
+  (** [make ~n f] starts [n] processes, process [pid] running [f pid]. *)
+
+  val n_processes : 'a config -> int
+
+  val cell : 'a config -> int -> I.cell
+  (** Contents of a location ([I.init] if never written). *)
+
+  val decision : 'a config -> int -> 'a option
+  (** The value process [pid] decided, if it has. *)
+
+  val decisions : 'a config -> (int * 'a) list
+
+  val running : 'a config -> int list
+  (** Sorted ids of processes that have not decided (and are not blocked). *)
+
+  val poised : 'a config -> int -> (int * I.op) list option
+  (** The atomic accesses process [pid] is poised to perform, or [None] if
+      it has decided. *)
+
+  val steps : 'a config -> int
+  (** Total steps taken so far. *)
+
+  val steps_of : 'a config -> int -> int
+  (** Steps taken by one process — the per-process step complexity the
+      paper's conclusions call out as the next refinement of the
+      hierarchy. *)
+
+  val locations_used : 'a config -> int
+  (** Number of distinct memory locations accessed so far: the measured
+      space, i.e. this run's contribution to SP(I, n). *)
+
+  val max_location : 'a config -> int option
+  (** Largest location index accessed so far, if any. *)
+
+  val fold_cells : 'a config -> init:'b -> f:('b -> int -> I.cell -> 'b) -> 'b
+  (** Fold over every location that has been written (ascending). *)
+
+  type event = {
+    pid : int;
+    accesses : (int * I.op * I.result) list;
+        (** the locations and instructions of one atomic step, with results
+            (a multiple assignment lists several) *)
+  }
+
+  val trace : 'a config -> event list
+  (** Every step taken so far, in execution order — the executions the
+      paper's proofs reason about, as data. *)
+
+  val pp_event : Format.formatter -> event -> unit
+
+  val pp_trace : Format.formatter -> 'a config -> unit
+
+  val step : 'a config -> int -> 'a config
+  (** Let process [pid] take its poised step.
+      @raise Invalid_argument if [pid] has decided or is blocked.
+      @raise Multi_assignment_not_supported if the step is a multi-location
+      access and [I.multi_assignment] is [false]. *)
+
+  val run :
+    ?fuel:int -> sched:Sched.t -> 'a config ->
+    'a config * [ `All_decided | `Sched_stopped | `Out_of_fuel ]
+  (** Drive the configuration with a scheduler.  [fuel] (default
+      [1_000_000]) bounds the number of steps of this call. *)
+
+  val run_solo : ?fuel:int -> pid:int -> 'a config -> 'a config * 'a option
+  (** Run one process alone until it decides (the solo executions of the
+      obstruction-freedom definition); returns its decision if it decided
+      within [fuel] steps. *)
+end

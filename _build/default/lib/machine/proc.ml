@@ -1,0 +1,35 @@
+type ('op, 'res, 'a) t =
+  | Done of 'a
+  | Step of (int * 'op) list * ('res list -> ('op, 'res, 'a) t)
+
+let return x = Done x
+
+let rec bind m f =
+  match m with
+  | Done x -> f x
+  | Step (accesses, k) -> Step (accesses, fun rs -> bind (k rs) f)
+
+let map f m = bind m (fun x -> Done (f x))
+
+let access loc op =
+  Step
+    ( [ (loc, op) ],
+      function
+      | [ r ] -> Done r
+      | rs -> invalid_arg (Printf.sprintf "Proc.access: %d results" (List.length rs)) )
+
+let multi_access accesses =
+  if accesses = [] then invalid_arg "Proc.multi_access: empty";
+  Step (accesses, fun rs -> Done rs)
+
+let loop_forever () = Step ([], fun _ -> invalid_arg "Proc.loop_forever stepped")
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+let rec rec_loop st body =
+  bind (body st) (function
+    | Either.Left st' -> rec_loop st' body
+    | Either.Right out -> Done out)

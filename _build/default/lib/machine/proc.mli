@@ -1,0 +1,46 @@
+(** Processes as resumable step machines.
+
+    A process is a free monad over "atomically apply these instructions to
+    these memory locations".  Between two shared-memory accesses a process
+    may perform arbitrary local computation (Section 2 of the paper); here
+    that computation lives inside the continuation.
+
+    The representation is pure and continuations are ordinary closures, so a
+    configuration can be duplicated and explored along different schedules —
+    exactly what the covering/bivalency adversaries of Sections 4–7 and the
+    bounded model checker need.  (Effect handlers would give one-shot
+    continuations and preclude branching.) *)
+
+type ('op, 'res, 'a) t =
+  | Done of 'a  (** the process has decided / returned *)
+  | Step of (int * 'op) list * ('res list -> ('op, 'res, 'a) t)
+      (** poised to atomically apply the listed instructions (Section 7's
+          multiple assignment is a multi-element list; every ordinary
+          instruction is a singleton) *)
+
+val return : 'a -> ('op, 'res, 'a) t
+
+val bind : ('op, 'res, 'a) t -> ('a -> ('op, 'res, 'b) t) -> ('op, 'res, 'b) t
+
+val map : ('a -> 'b) -> ('op, 'res, 'a) t -> ('op, 'res, 'b) t
+
+val access : int -> 'op -> ('op, 'res, 'res) t
+(** [access loc op] performs one instruction on one location. *)
+
+val multi_access : (int * 'op) list -> ('op, 'res, 'res list) t
+(** Atomic multiple assignment (Section 7): one step applying one
+    instruction to each listed location.  The machine rejects multi-element
+    lists unless the instruction set allows them. *)
+
+val loop_forever : unit -> ('op, 'res, 'a) t
+(** A process that never decides and never accesses memory — useful to model
+    a crashed or halted participant.  Stepping it is an error. *)
+
+module Syntax : sig
+  val ( let* ) : ('op, 'res, 'a) t -> ('a -> ('op, 'res, 'b) t) -> ('op, 'res, 'b) t
+  val ( let+ ) : ('op, 'res, 'a) t -> ('a -> 'b) -> ('op, 'res, 'b) t
+end
+
+val rec_loop : 'st -> ('st -> ('op, 'res, ('st, 'a) Either.t) t) -> ('op, 'res, 'a) t
+(** [rec_loop init body] iterates [body] from state [init] until it returns
+    [Right result]. *)

@@ -1,0 +1,150 @@
+type t = { next : running:int list -> step:int -> (int * t) option }
+
+let next t ~running ~step = t.next ~running ~step
+
+let rec solo pid =
+  { next =
+      (fun ~running ~step:_ ->
+        if List.mem pid running then Some (pid, solo pid) else None)
+  }
+
+let round_robin =
+  let rec from last =
+    { next =
+        (fun ~running ~step:_ ->
+          match running with
+          | [] -> None
+          | _ ->
+            let candidates = List.filter (fun p -> p > last) running in
+            let pid = match candidates with p :: _ -> p | [] -> List.hd running in
+            Some (pid, from pid))
+    }
+  in
+  from (-1)
+
+let random ~seed =
+  let rec from st =
+    { next =
+        (fun ~running ~step:_ ->
+          match running with
+          | [] -> None
+          | _ ->
+            let st = Random.State.copy st in
+            let i = Random.State.int st (List.length running) in
+            Some (List.nth running i, from st))
+    }
+  in
+  from (Random.State.make [| seed |])
+
+let rec script pids =
+  { next =
+      (fun ~running ~step:_ ->
+        let rec pick = function
+          | [] -> None
+          | p :: rest ->
+            if List.mem p running then Some (p, script rest) else pick rest
+        in
+        pick pids)
+  }
+
+let sequential =
+  let rec t =
+    lazy
+      { next =
+          (fun ~running ~step:_ ->
+            match running with
+            | [] -> None
+            | p :: _ -> Some (p, Lazy.force t))
+      }
+  in
+  Lazy.force t
+
+let random_then_sequential ~seed ~prefix =
+  let rec from st remaining =
+    if remaining <= 0 then sequential
+    else
+      { next =
+          (fun ~running ~step:_ ->
+            match running with
+            | [] -> None
+            | _ ->
+              let st = Random.State.copy st in
+              let i = Random.State.int st (List.length running) in
+              Some (List.nth running i, from st (remaining - 1)))
+      }
+  in
+  from (Random.State.make [| seed |]) prefix
+
+let fair ~bound ~seed =
+  if bound < 1 then invalid_arg "Sched.fair: bound < 1";
+  let rec from st debts =
+    { next =
+        (fun ~running ~step:_ ->
+          match running with
+          | [] -> None
+          | _ ->
+            let st' = Random.State.copy st in
+            let roll = Random.State.int st' (List.length running) in
+            let debt p = Option.value ~default:0 (List.assoc_opt p debts) in
+            let pid =
+              (* an overdue process must go; otherwise pick at random *)
+              match List.find_opt (fun p -> debt p >= bound - 1) running with
+              | Some p -> p
+              | None -> List.nth running roll
+            in
+            let debts' =
+              List.map (fun p -> (p, if p = pid then 0 else debt p + 1)) running
+            in
+            Some (pid, from st' debts'))
+    }
+  in
+  from (Random.State.make [| seed |]) []
+
+let phased phases last =
+  let rec go phases last =
+    match phases with
+    | [] -> last
+    | (budget, sched) :: rest ->
+      if budget <= 0 then go rest last
+      else
+        { next =
+            (fun ~running ~step ->
+              match sched.next ~running ~step with
+              | None -> (go rest last).next ~running ~step
+              | Some (pid, sched') -> Some (pid, go ((budget - 1, sched') :: rest) last))
+        }
+  in
+  go phases last
+
+let rec excluding crashed inner =
+  { next =
+      (fun ~running ~step ->
+        let alive = List.filter (fun p -> not (List.mem p crashed)) running in
+        match alive with
+        | [] -> None
+        | _ ->
+          Option.map
+            (fun (pid, inner') -> (pid, excluding crashed inner'))
+            (inner.next ~running:alive ~step))
+  }
+
+let alternate pids =
+  if pids = [] then invalid_arg "Sched.alternate: empty";
+  let rec from i =
+    { next =
+        (fun ~running ~step:_ ->
+          match running with
+          | [] -> None
+          | _ ->
+            let k = List.length pids in
+            let rec pick tries j =
+              if tries >= k then None
+              else begin
+                let p = List.nth pids (j mod k) in
+                if List.mem p running then Some (p, from (j + 1)) else pick (tries + 1) (j + 1)
+              end
+            in
+            pick 0 i)
+    }
+  in
+  from 0

@@ -1,0 +1,53 @@
+(** Adversarial schedulers.
+
+    The scheduler is the adversary of Section 2: at each step it picks which
+    undecided process takes its poised step.  Schedulers are pure values —
+    [next] returns the chosen process id together with the scheduler's next
+    state — so runs are reproducible and configurations can be explored
+    along several schedules. *)
+
+type t
+
+val next : t -> running:int list -> step:int -> (int * t) option
+(** [next sched ~running ~step] picks one of [running] (a non-empty sorted
+    list of undecided process ids), or [None] to stop the run. *)
+
+val solo : int -> t
+(** Always run one process: the solo executions obstruction-freedom is
+    defined by. *)
+
+val round_robin : t
+(** Cycle through the running processes. *)
+
+val random : seed:int -> t
+(** Uniformly random choice at each step, deterministic in [seed]. *)
+
+val script : int list -> t
+(** Follow the given pids, skipping entries that are not running; stops at
+    the end of the list. *)
+
+val random_then_sequential : seed:int -> prefix:int -> t
+(** Random adversary for [prefix] steps, then run the lowest-id running
+    process solo until it decides, then the next, and so on.  Under an
+    obstruction-free protocol this drives every process to a decision, which
+    makes it the standard test harness schedule. *)
+
+val alternate : int list -> t
+(** Cycle through the given pids forever (skipping decided ones) — a
+    lock-step adversary useful for starving progress. *)
+
+val fair : bound:int -> seed:int -> t
+(** Semi-synchronous fairness ([FLMS05]'s unknown-bound model): random
+    choices, except that no running process goes more than [bound] steps
+    of others without taking one itself.  Deterministic in [seed]. *)
+
+val phased : (int * t) list -> t -> t
+(** [phased [(k1, s1); (k2, s2); …] last] follows [s1] for [k1] steps (or
+    until it stops), then [s2] for [k2], …, then [last] forever.  Useful
+    for mid-run regime changes such as crashing a process partway. *)
+
+val excluding : int list -> t -> t
+(** Crash faults: the listed processes are never scheduled again.  The
+    model's crashes (Section 2: processes "may crash at any time") are
+    exactly schedules that stop allocating steps, so this wrapper turns any
+    scheduler into one with permanently crashed processes. *)

@@ -1,0 +1,85 @@
+type t =
+  | Bot
+  | Unit
+  | Int of int
+  | Big of Bignum.t
+  | Pair of t * t
+  | Vec of t array
+  | Tag of int * int * t
+
+let rec compare a b =
+  match a, b with
+  | Bot, Bot -> 0
+  | Bot, _ -> -1
+  | _, Bot -> 1
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int x, Big y -> Bignum.compare (Bignum.of_int x) y
+  | Big x, Int y -> Bignum.compare x (Bignum.of_int y)
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Big x, Big y -> Bignum.compare x y
+  | Big _, _ -> -1
+  | _, Big _ -> 1
+  | Pair (x1, x2), Pair (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Vec x, Vec y ->
+    let lx = Array.length x and ly = Array.length y in
+    if lx <> ly then Stdlib.compare lx ly
+    else begin
+      let rec go i =
+        if i >= lx then 0
+        else begin
+          let c = compare x.(i) y.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
+  | Vec _, _ -> -1
+  | _, Vec _ -> 1
+  | Tag (p1, s1, v1), Tag (p2, s2, v2) ->
+    let c = Stdlib.compare (p1, s1) (p2, s2) in
+    if c <> 0 then c else compare v1 v2
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Bot -> 3
+  | Unit -> 5
+  (* Int and Big compare equal on equal numbers, so they must hash alike. *)
+  | Int i -> Bignum.hash (Bignum.of_int i)
+  | Big b -> Bignum.hash b
+  | Pair (a, b) -> (hash a * 31) + hash b
+  | Vec v -> Array.fold_left (fun acc x -> (acc * 31) + hash x) 7 v
+  | Tag (p, s, v) -> (((p * 31) + s) * 31) + hash v
+
+let rec pp ppf = function
+  | Bot -> Format.pp_print_string ppf "⊥"
+  | Unit -> Format.pp_print_string ppf "()"
+  | Int i -> Format.pp_print_int ppf i
+  | Big b -> Bignum.pp ppf b
+  | Pair (a, b) -> Format.fprintf ppf "(%a,@ %a)" pp a pp b
+  | Vec v ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp)
+      (Array.to_seq v)
+  | Tag (p, s, v) -> Format.fprintf ppf "%a@@%d.%d" pp v p s
+
+let to_int_exn = function
+  | Int i -> i
+  | v -> Format.kasprintf invalid_arg "Value.to_int_exn: %a" pp v
+
+let to_big_exn = function
+  | Big b -> b
+  | Int i -> Bignum.of_int i
+  | v -> Format.kasprintf invalid_arg "Value.to_big_exn: %a" pp v
+
+let untag = function
+  | Tag (_, _, v) -> v
+  | v -> v

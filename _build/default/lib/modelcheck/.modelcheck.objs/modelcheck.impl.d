@@ -1,0 +1,1 @@
+lib/modelcheck/modelcheck.ml: Array Consensus Format Hashtbl List Model Printf

@@ -1,0 +1,1 @@
+lib/modelcheck/synth.ml: Array Bool Format Int List

@@ -1,0 +1,44 @@
+(** Bounded exhaustive verification of consensus protocols.
+
+    Explores {e every} schedule of a protocol up to a step bound — possible
+    because processes are pure step machines, so a configuration can be
+    stepped along all branches.  At each explored configuration the checker
+    can probe obstruction-freedom and agreement: run each undecided process
+    solo (it must decide), then drive the rest sequentially and demand a
+    consistent, valid decision set.
+
+    This is the executable counterpart of the paper's proof obligations:
+    agreement and validity in all executions, solo termination from every
+    reachable configuration. *)
+
+type stats = {
+  configs : int;        (** configurations visited *)
+  probes : int;         (** solo/termination probes run *)
+  truncated : bool;     (** some branch hit the depth bound *)
+}
+
+type outcome = (stats, string) result
+(** [Error msg] describes the first violation found. *)
+
+val explore :
+  ?probe:[ `Leaves | `Everywhere | `Never ] ->
+  ?solo_fuel:int ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  depth:int ->
+  outcome
+(** [explore proto ~inputs ~depth] walks the full schedule tree to [depth]
+    steps.  Probing (default [`Leaves]: only where the depth bound cuts the
+    tree off, or [`Everywhere]: at every configuration) checks that each
+    undecided process decides within [solo_fuel] solo steps and that the
+    resulting decisions agree and are valid. *)
+
+val decidable_values :
+  ?solo_fuel:int ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  depth:int ->
+  (int list, string) result
+(** The set of values some solo continuation decides from some configuration
+    reachable within [depth] steps — ≥ 2 values demonstrate bivalence
+    (Lemma 6.4). *)

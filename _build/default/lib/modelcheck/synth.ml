@@ -1,0 +1,453 @@
+type 'cell machine = {
+  name : string;
+  init : 'cell;
+  ops : (string * ('cell -> 'cell * int)) array;
+  max_branch : int;
+  equal : 'cell -> 'cell -> bool;
+}
+
+type tree =
+  | Decide of int
+  | Invoke of int * tree array
+  | Stuck
+
+type protocol = {
+  t00 : tree;
+  t01 : tree;
+  t10 : tree;
+  t11 : tree;
+}
+
+type result = Found of protocol | Impossible_within_depth
+
+let rec pp_tree ~ops ppf = function
+  | Decide v -> Format.fprintf ppf "decide %d" v
+  | Stuck -> Format.pp_print_string ppf "unreachable"
+  | Invoke (op, subs) ->
+    let name, _ = ops.(op) in
+    Format.fprintf ppf "@[<v 2>%s:" name;
+    Array.iteri (fun b t -> Format.fprintf ppf "@,%d -> %a" b (pp_tree ~ops) t) subs;
+    Format.fprintf ppf "@]"
+
+(* --- state-set machinery ------------------------------------------------ *)
+
+let mem m s set = List.exists (m.equal s) set
+let add m s set = if mem m s set then set else s :: set
+
+(* All cell states the peer can produce from [set] with any op sequence. *)
+let closure m set =
+  let rec go frontier seen =
+    match frontier with
+    | [] -> seen
+    | s :: rest ->
+      let nexts =
+        Array.to_list m.ops
+        |> List.filter_map (fun (_, sem) ->
+               let s', _ = sem s in
+               if mem m s' seen then None else Some s')
+      in
+      go (nexts @ rest) (List.fold_left (fun acc s' -> add m s' acc) seen nexts)
+  in
+  go set set
+
+(* --- enumeration --------------------------------------------------------- *)
+
+(* All trees of at most [depth] instructions observable from the cell-state
+   set [states] (already peer-closed).  Unreachable branches collapse to
+   [Stuck], which is what keeps the space tractable. *)
+let rec enumerate m ~depth ~states =
+  let decisions = [ Decide 0; Decide 1 ] in
+  if depth = 0 then decisions
+  else begin
+    let invokes =
+      List.init (Array.length m.ops) (fun i -> i)
+      |> List.concat_map (fun op_index ->
+             let _, sem = m.ops.(op_index) in
+             (* split states by branch *)
+             let branch_states =
+               Array.init m.max_branch (fun b ->
+                   List.filter_map
+                     (fun s ->
+                       let s', b' = sem s in
+                       if b' = b then Some s' else None)
+                     states)
+             in
+             let subtree_choices =
+               Array.map
+                 (fun bs ->
+                   if bs = [] then [ Stuck ]
+                   else enumerate m ~depth:(depth - 1) ~states:(closure m bs))
+                 branch_states
+             in
+             (* cartesian product over branches *)
+             let rec combos b =
+               if b >= m.max_branch then [ [] ]
+               else begin
+                 let rest = combos (b + 1) in
+                 List.concat_map
+                   (fun t -> List.map (fun r -> t :: r) rest)
+                   subtree_choices.(b)
+               end
+             in
+             List.map (fun combo -> Invoke (op_index, Array.of_list combo)) (combos 0))
+    in
+    decisions @ invokes
+  end
+
+(* Solo run: the tree alone from the initial cell. *)
+let solo_decision m tree =
+  let rec go s = function
+    | Decide v -> Some v
+    | Stuck -> None
+    | Invoke (op, subs) ->
+      let _, sem = m.ops.(op) in
+      let s', b = sem s in
+      go s' subs.(b)
+  in
+  go m.init tree
+
+let candidates m ~depth ~input =
+  enumerate m ~depth ~states:(closure m [ m.init ])
+  |> List.filter (fun t -> solo_decision m t = Some input)
+
+(* --- interleaving check --------------------------------------------------- *)
+
+exception Bad_pair
+
+(* Explore every interleaving of two trees sharing the cell; call [record]
+   on each pair of final decisions. *)
+let explore_pair m ta tb ~record =
+  let rec go s ta tb =
+    match ta, tb with
+    | Stuck, _ | _, Stuck -> raise Bad_pair
+    | Decide da, Decide db -> record da db
+    | _ ->
+      let step_a () =
+        match ta with
+        | Invoke (op, subs) ->
+          let _, sem = m.ops.(op) in
+          let s', b = sem s in
+          go s' subs.(b) tb
+        | _ -> ()
+      in
+      let step_b () =
+        match tb with
+        | Invoke (op, subs) ->
+          let _, sem = m.ops.(op) in
+          let s', b = sem s in
+          go s' ta subs.(b)
+        | _ -> ()
+      in
+      (match ta, tb with
+       | Invoke _, Invoke _ ->
+         step_a ();
+         step_b ()
+       | Invoke _, Decide _ -> step_a ()
+       | Decide _, Invoke _ -> step_b ()
+       | _ -> assert false)
+  in
+  go m.init ta tb
+
+(* Every interleaving decides (da, db) with [ok da db]. *)
+let compatible m ta tb ~ok =
+  match explore_pair m ta tb ~record:(fun da db -> if not (ok da db) then raise Bad_pair)
+  with
+  | () -> true
+  | exception Bad_pair -> false
+
+let check m { t00; t01; t10; t11 } =
+  List.for_all (fun t -> solo_decision m t = Some 0) [ t00; t10 ]
+  && List.for_all (fun t -> solo_decision m t = Some 1) [ t01; t11 ]
+  && compatible m t00 t10 ~ok:(fun a b -> a = 0 && b = 0)
+  && compatible m t01 t11 ~ok:(fun a b -> a = 1 && b = 1)
+  && compatible m t00 t11 ~ok:(fun a b -> a = b)
+  && compatible m t01 t10 ~ok:(fun a b -> a = b)
+
+(* --- search --------------------------------------------------------------- *)
+
+(* Bitset rows for the compatibility matrices. *)
+module Bits = struct
+  type t = { words : int array }
+
+  let create n = { words = Array.make ((n + 62) / 63) 0 }
+  let set t i = t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+  let get t i = t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+  let inter_first a b =
+    let rec go i =
+      if i >= Array.length a.words then None
+      else begin
+        let w = a.words.(i) land b.words.(i) in
+        if w = 0 then go (i + 1)
+        else begin
+          let rec bit j = if w land (1 lsl j) <> 0 then j else bit (j + 1) in
+          Some ((i * 63) + bit 0)
+        end
+      end
+    in
+    go 0
+end
+
+let search m ~depth =
+  let c0 = Array.of_list (candidates m ~depth ~input:0) in
+  let c1 = Array.of_list (candidates m ~depth ~input:1) in
+  let n0 = Array.length c0 and n1 = Array.length c1 in
+  if n0 = 0 || n1 = 0 then Impossible_within_depth
+  else begin
+    (* m0.(i): set of j with (c0.(i) as p0, c0.(j) as p1) unanimously 0 *)
+    let m0 =
+      Array.init n0 (fun i ->
+          let row = Bits.create n0 in
+          for j = 0 to n0 - 1 do
+            if compatible m c0.(i) c0.(j) ~ok:(fun a b -> a = 0 && b = 0) then
+              Bits.set row j
+          done;
+          row)
+    in
+    let m1 =
+      Array.init n1 (fun i ->
+          let row = Bits.create n1 in
+          for j = 0 to n1 - 1 do
+            if compatible m c1.(i) c1.(j) ~ok:(fun a b -> a = 1 && b = 1) then
+              Bits.set row j
+          done;
+          row)
+    in
+    (* x.(i): set of j ∈ C1 with (c0.(i) as p0, c1.(j) as p1) agreeing *)
+    let x =
+      Array.init n0 (fun i ->
+          let row = Bits.create n1 in
+          for j = 0 to n1 - 1 do
+            if compatible m c0.(i) c1.(j) ~ok:(fun a b -> a = b) then Bits.set row j
+          done;
+          row)
+    in
+    (* Constraints on a quadruple (pid-symmetric machine, so the unanimous
+       matrices are symmetric and the mixed pairing (t01, t10) reads as
+       X[t10][t01]):
+         M0[i00][i10]  M1[i01][i11]  X[i00][i11]  X[i10][i01] *)
+    let found = ref None in
+    (try
+       for i00 = 0 to n0 - 1 do
+         for i11 = 0 to n1 - 1 do
+           if Bits.get x.(i00) i11 then
+             for i10 = 0 to n0 - 1 do
+               if Bits.get m0.(i00) i10 then begin
+                 match Bits.inter_first m1.(i11) x.(i10) with
+                 | Some i01 ->
+                   found :=
+                     Some
+                       { t00 = c0.(i00); t01 = c1.(i01); t10 = c0.(i10); t11 = c1.(i11) };
+                   raise Exit
+                 | None -> ()
+               end
+             done
+         done
+       done
+     with Exit -> ());
+    match !found with
+    | Some p -> if check m p then Found p else Impossible_within_depth
+    | None -> Impossible_within_depth
+  end
+
+(* --- three processes -------------------------------------------------------- *)
+
+type result3 =
+  | Found3 of tree array array
+  | Impossible3_within_depth
+
+(* Explore every interleaving of up to three trees sharing the cell.  A
+   tree that has decided stops; [record] fires when all have. *)
+let explore3 m trees ~record =
+  let rec go s trees =
+    if Array.for_all (function Decide _ -> true | _ -> false) trees then
+      record (Array.map (function Decide v -> v | _ -> assert false) trees)
+    else
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Decide _ -> ()
+          | Stuck -> raise Bad_pair
+          | Invoke (op, subs) ->
+            let _, sem = m.ops.(op) in
+            let s', b = sem s in
+            let trees' = Array.copy trees in
+            trees'.(i) <- subs.(b);
+            go s' trees')
+        trees
+  in
+  go m.init trees
+
+let check3 m trees =
+  Array.length trees = 3
+  && Array.for_all (fun row -> Array.length row = 2) trees
+  && begin
+    let solo_ok =
+      Array.for_all
+        (fun row ->
+          solo_decision m row.(0) = Some 0 && solo_decision m row.(1) = Some 1)
+        trees
+    in
+    let subset_ok pids inputs =
+      (* all interleavings of the processes in [pids] with these inputs *)
+      let players = Array.of_list (List.map (fun p -> trees.(p).(List.assoc p inputs)) pids) in
+      let valid d = List.exists (fun (_, v) -> v = d) inputs in
+      match
+        explore3 m players ~record:(fun decisions ->
+            let first = decisions.(0) in
+            if not (Array.for_all (fun d -> d = first) decisions && valid first) then
+              raise Bad_pair)
+      with
+      | () -> true
+      | exception Bad_pair -> false
+    in
+    let input_vectors k =
+      (* all assignments of {0,1} to k pids *)
+      let rec go k = if k = 0 then [ [] ] else List.concat_map (fun v -> List.map (fun r -> v :: r) (go (k - 1))) [ 0; 1 ] in
+      go k
+    in
+    let subsets = [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ]; [ 0; 1; 2 ] ] in
+    solo_ok
+    && List.for_all
+         (fun pids ->
+           List.for_all
+             (fun vs -> subset_ok pids (List.combine pids vs))
+             (input_vectors (List.length pids)))
+         subsets
+  end
+
+let search3 ?(mode = `Full) m ~depth =
+  (* Two processes running alone form a valid 3-process execution, so
+     2-process impossibility settles the question immediately. *)
+  match search m ~depth with
+  | Impossible_within_depth -> Impossible3_within_depth
+  | Found _ ->
+    let c0 = Array.of_list (candidates m ~depth ~input:0) in
+    let c1 = Array.of_list (candidates m ~depth ~input:1) in
+    let n0 = Array.length c0 and n1 = Array.length c1 in
+    let pair_ok ta tb ~ok = compatible m ta tb ~ok in
+    (* pairwise compatibility matrices (as in the 2-process search) *)
+    let m0 =
+      Array.init n0 (fun i ->
+          Array.init n0 (fun j -> pair_ok c0.(i) c0.(j) ~ok:(fun a b -> a = 0 && b = 0)))
+    in
+    let m1 =
+      Array.init n1 (fun i ->
+          Array.init n1 (fun j -> pair_ok c1.(i) c1.(j) ~ok:(fun a b -> a = 1 && b = 1)))
+    in
+    let x =
+      Array.init n0 (fun i -> Array.init n1 (fun j -> pair_ok c0.(i) c1.(j) ~ok:( = )))
+    in
+    let roles_ok r =
+      (* necessary pairwise conditions between every two roles *)
+      let pair p q =
+        m0.(fst r.(p)).(fst r.(q))
+        && m1.(snd r.(p)).(snd r.(q))
+        && x.(fst r.(p)).(snd r.(q))
+        && x.(fst r.(q)).(snd r.(p))
+      in
+      pair 0 1 && pair 0 2 && pair 1 2
+    in
+    let to_trees r =
+      Array.map (fun (i0, i1) -> [| c0.(i0); c1.(i1) |]) r
+    in
+    let found = ref None in
+    (try
+       match mode with
+       | `Symmetric ->
+         for i0 = 0 to n0 - 1 do
+           for i1 = 0 to n1 - 1 do
+             let r = [| (i0, i1); (i0, i1); (i0, i1) |] in
+             if roles_ok r then begin
+               let trees = to_trees r in
+               if check3 m trees then begin
+                 found := Some trees;
+                 raise Exit
+               end
+             end
+           done
+         done
+       | `Full ->
+         for a0 = 0 to n0 - 1 do
+           for a1 = 0 to n1 - 1 do
+             for b0 = 0 to n0 - 1 do
+               if m0.(a0).(b0) then
+                 for b1 = 0 to n1 - 1 do
+                   if m1.(a1).(b1) && x.(a0).(b1) && x.(b0).(a1) then
+                     for c0i = 0 to n0 - 1 do
+                       if m0.(a0).(c0i) && m0.(b0).(c0i) then
+                         for c1i = 0 to n1 - 1 do
+                           let r = [| (a0, a1); (b0, b1); (c0i, c1i) |] in
+                           if roles_ok r then begin
+                             let trees = to_trees r in
+                             if check3 m trees then begin
+                               found := Some trees;
+                               raise Exit
+                             end
+                           end
+                         done
+                     done
+                 done
+             done
+           done
+         done
+     with Exit -> ());
+    (match !found with Some trees -> Found3 trees | None -> Impossible3_within_depth)
+
+(* --- ready-made machines --------------------------------------------------- *)
+
+let tas_bit =
+  {
+    name = "one bit, {read, test-and-set}";
+    init = false;
+    ops =
+      [|
+        ("read", fun s -> (s, if s then 1 else 0));
+        ("tas", fun s -> (true, if s then 1 else 0));
+      |];
+    max_branch = 2;
+    equal = Bool.equal;
+  }
+
+let rw01_bit =
+  {
+    name = "one bit, {read, write0, write1}";
+    init = false;
+    ops =
+      [|
+        ("read", fun s -> (s, if s then 1 else 0));
+        ("write0", fun _ -> (false, 0));
+        ("write1", fun _ -> (true, 0));
+      |];
+    max_branch = 2;
+    equal = Bool.equal;
+  }
+
+(* cells: 0 = ⊥, 1 = value 0, 2 = value 1; branch = observed old state *)
+let cas_cell =
+  {
+    name = "one cell over {bot,0,1}, {cas}";
+    init = 0;
+    ops =
+      [|
+        ("cas(bot,0)", fun s -> ((if s = 0 then 1 else s), s));
+        ("cas(bot,1)", fun s -> ((if s = 0 then 2 else s), s));
+        ("read", fun s -> (s, s));
+      |];
+    max_branch = 3;
+    equal = Int.equal;
+  }
+
+let swap_cell =
+  {
+    name = "one cell over {bot,0,1}, {read, swap}";
+    init = 0;
+    ops =
+      [|
+        ("swap(0)", fun s -> (1, s));
+        ("swap(1)", fun s -> (2, s));
+        ("read", fun s -> (s, s));
+      |];
+    max_branch = 3;
+    equal = Int.equal;
+  }

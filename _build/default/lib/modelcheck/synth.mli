@@ -1,0 +1,94 @@
+(** Bounded protocol synthesis and impossibility-by-search.
+
+    For tiny machines — one memory location with a finite state space — the
+    space of 2-process binary consensus protocols of bounded depth is
+    finite: a protocol is four decision trees (one per process id and
+    input), each node either deciding or invoking an instruction and
+    branching on its result.  [search] enumerates them all, pruning
+    branches no peer behaviour can reach, filters by solo validity, and
+    checks every interleaving of every input pair.  The outcome is either a
+    concrete wait-free protocol or a proof that none exists within the
+    depth bound.
+
+    Sanity anchors from the paper: compare-and-swap and swap both find
+    one-instruction protocols (their single-location Table 1 rows), while
+    the single-bit {read, test-and-set} machine is impossible even at
+    depth 3 — quantifying the caveat on Section 9's two-process remark
+    (with one binary location there is nowhere to write the winning
+    value). *)
+
+type 'cell machine = {
+  name : string;
+  init : 'cell;
+  ops : (string * ('cell -> 'cell * int)) array;
+      (** instruction name and semantics: new cell and branch index *)
+  max_branch : int;  (** branch indices lie in [0, max_branch) *)
+  equal : 'cell -> 'cell -> bool;
+}
+
+type tree =
+  | Decide of int
+  | Invoke of int * tree array  (** op index, one subtree per branch *)
+  | Stuck  (** a branch no reachable cell state can select *)
+
+type protocol = {
+  t00 : tree;  (** process 0 with input 0 *)
+  t01 : tree;  (** process 0 with input 1 *)
+  t10 : tree;
+  t11 : tree;
+}
+
+type result = Found of protocol | Impossible_within_depth
+
+val search : 'cell machine -> depth:int -> result
+(** Exhaustive over trees of at most [depth] instructions per process. *)
+
+val check : 'cell machine -> protocol -> bool
+(** Is the protocol a correct wait-free 2-process binary consensus: solo
+    validity plus agreement and validity over all interleavings of all
+    input pairs? *)
+
+val candidates : 'cell machine -> depth:int -> input:int -> tree list
+(** The solo-valid trees for one input (exposed for tests). *)
+
+val pp_tree : ops:(string * _) array -> Format.formatter -> tree -> unit
+
+(** {1 Three processes: consensus numbers by search}
+
+    Herlihy's hierarchy (which Section 1 sets out to refine) assigns swap
+    and test-and-set consensus number 2 and compare-and-swap ∞.  The
+    3-process search connects the two hierarchies experimentally: on the
+    one-location cas machine a 3-process protocol exists (and is found);
+    on the swap machine none exists within the depth bound, matching
+    consensus number 2.  Any pair of processes running alone is a valid
+    3-process execution, so 2-process impossibility short-circuits. *)
+
+type result3 =
+  | Found3 of tree array array  (** [trees.(pid).(input)], 3×2 *)
+  | Impossible3_within_depth
+
+val search3 : ?mode:[ `Full | `Symmetric ] -> 'cell machine -> depth:int -> result3
+(** [`Full] (default) searches all role assignments; [`Symmetric] restricts
+    to protocols where all processes run the same code (much faster; a
+    [Found3] is still a real protocol, an impossibility is only over
+    symmetric protocols). *)
+
+val check3 : 'cell machine -> tree array array -> bool
+(** Wait-free 3-process binary consensus: solo validity plus agreement and
+    validity over all interleavings of every subset of processes and every
+    input vector. *)
+
+(** {1 Ready-made machines} *)
+
+val tas_bit : bool machine
+(** One binary location with [{read(), test-and-set()}]. *)
+
+val rw01_bit : bool machine
+(** One binary location with [{read(), write(0), write(1)}]. *)
+
+val cas_cell : int machine
+(** One location over {⊥, 0, 1} with compare-and-swap (⊥→0, ⊥→1, and the
+    trivial read). *)
+
+val swap_cell : int machine
+(** One location over {⊥, 0, 1} with [{read(), swap(0), swap(1)}]. *)

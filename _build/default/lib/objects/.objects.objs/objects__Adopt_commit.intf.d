@@ -1,0 +1,1 @@
+lib/objects/adopt_commit.mli: Isets Model Proc Value

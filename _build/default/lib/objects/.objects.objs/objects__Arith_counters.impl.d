@@ -1,0 +1,1 @@
+lib/objects/arith_counters.ml: Array Bignum Counter Isets List Model Primes Proc Value

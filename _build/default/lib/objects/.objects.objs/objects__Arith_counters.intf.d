@@ -1,0 +1,1 @@
+lib/objects/arith_counters.mli: Counter Isets Model Value

@@ -1,0 +1,1 @@
+lib/objects/bit_tracks.ml: Array Bignum Counter Isets List Model Proc Snapshot Stdlib Value

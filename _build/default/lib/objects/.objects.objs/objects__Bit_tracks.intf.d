@@ -1,0 +1,1 @@
+lib/objects/bit_tracks.mli: Counter Isets Model Value

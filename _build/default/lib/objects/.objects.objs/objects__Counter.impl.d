@@ -1,0 +1,1 @@
+lib/objects/counter.ml: Array Bignum Model

@@ -1,0 +1,1 @@
+lib/objects/hetero_swregs.ml: Array History Isets List Model Printf Proc Value

@@ -1,0 +1,1 @@
+lib/objects/hetero_swregs.mli: Isets Model Proc Value

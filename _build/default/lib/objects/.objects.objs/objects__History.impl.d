@@ -1,0 +1,1 @@
+lib/objects/history.ml: Array Format Isets List Model Proc Value

@@ -1,0 +1,1 @@
+lib/objects/history.mli: Isets Model Proc Value

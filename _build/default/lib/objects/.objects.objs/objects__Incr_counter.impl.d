@@ -1,0 +1,1 @@
+lib/objects/incr_counter.ml: Array Bignum Counter Isets List Model Proc Snapshot Value

@@ -1,0 +1,1 @@
+lib/objects/incr_counter.mli: Counter Isets Model Value

@@ -1,0 +1,1 @@
+lib/objects/reg_counter.ml: Array Bignum Counter Format Model Proc Snapshot Value

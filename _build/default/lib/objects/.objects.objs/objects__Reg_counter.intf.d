@@ -1,0 +1,1 @@
+lib/objects/reg_counter.mli: Counter Model Proc Value

@@ -1,0 +1,1 @@
+lib/objects/rw_counter.ml: Array Bignum Counter Format Isets List Model Proc Snapshot Value

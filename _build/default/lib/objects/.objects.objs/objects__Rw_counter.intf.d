@@ -1,0 +1,1 @@
+lib/objects/rw_counter.mli: Counter Isets Model Value

@@ -1,0 +1,1 @@
+lib/objects/snapshot.ml: Either Model Proc

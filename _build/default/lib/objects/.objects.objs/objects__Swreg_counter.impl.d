@@ -1,0 +1,1 @@
+lib/objects/swreg_counter.ml: Counter Isets Model Reg_counter Swregs

@@ -1,0 +1,1 @@
+lib/objects/swreg_counter.mli: Counter Isets Model Swregs Value

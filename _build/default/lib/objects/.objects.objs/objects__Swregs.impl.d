@@ -1,0 +1,1 @@
+lib/objects/swregs.ml: Array History List Model Proc Value

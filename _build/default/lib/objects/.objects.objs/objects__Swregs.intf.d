@@ -1,0 +1,1 @@
+lib/objects/swregs.mli: Isets Model Proc Value

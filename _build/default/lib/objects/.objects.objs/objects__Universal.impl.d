@@ -1,0 +1,1 @@
+lib/objects/universal.ml: History List Model Proc Value

@@ -1,0 +1,1 @@
+lib/objects/universal.mli: Isets Model Proc Value

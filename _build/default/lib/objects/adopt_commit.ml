@@ -1,0 +1,36 @@
+open Model
+open Proc.Syntax
+
+type grade = Commit | Adopt
+
+let locations ~m = m + 1
+
+let propose ~m ~base ~value =
+  if value < 0 || value >= m then invalid_arg "Adopt_commit.propose: bad value";
+  let announce v = base + v in
+  let proposal = base + m in
+  (* 1. announce our value *)
+  let* () = Isets.Rw.write (announce value) (Value.Int 1) in
+  (* 2. install the first proposal *)
+  let* p = Isets.Rw.read proposal in
+  let* () =
+    match p with
+    | Value.Bot -> Isets.Rw.write proposal (Value.Int value)
+    | _ -> Proc.return ()
+  in
+  (* 3. re-read the proposal; it is some announced value by now *)
+  let* p = Isets.Rw.read proposal in
+  let u = Value.to_int_exn p in
+  if u <> value then Proc.return (Adopt, u)
+  else begin
+    (* 4. commit only if no rival announcement is visible *)
+    let rec rivals v =
+      if v >= m then Proc.return false
+      else if v = value then rivals (v + 1)
+      else
+        let* a = Isets.Rw.read (announce v) in
+        if Value.equal a Value.Bot then rivals (v + 1) else Proc.return true
+    in
+    let* conflict = rivals 0 in
+    Proc.return ((if conflict then Adopt else Commit), value)
+  end

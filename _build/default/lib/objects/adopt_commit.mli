@@ -1,0 +1,24 @@
+(** m-valued adopt-commit objects ([AE14], cited in the conclusions).
+
+    An adopt-commit object weakens consensus just enough to be solvable
+    from registers: [propose v] returns [(Commit, w)] or [(Adopt, w)] with
+    - validity: [w] was proposed;
+    - coherence: if anyone commits [w], every output carries [w];
+    - convergence: if all proposals are equal, everyone commits.
+
+    Construction (the classic announcement/proposal one) over
+    [{read(), write(x)}]: per-value announcement bits at
+    [base .. base+m−1] and a proposal register at [base+m]; a proposer
+    announces, installs the first proposal, and commits only if the
+    proposal is its own value and no other value is announced.
+    m+1 locations; every operation is wait-free (4 + m steps). *)
+
+open Model
+
+type grade = Commit | Adopt
+
+val locations : m:int -> int
+(** m + 1. *)
+
+val propose :
+  m:int -> base:int -> value:int -> (Isets.Rw.op, Value.t, grade * int) Proc.t

@@ -1,0 +1,152 @@
+open Model
+open Proc.Syntax
+
+(* Counts of component v = exponent of the (v+1)-st prime. *)
+let prime_scan ~components x =
+  Array.init components (fun v -> Bignum.of_int (fst (Bignum.valuation x (Primes.nth v))))
+
+let mul ~components ~loc : (Isets.Arith.Mul.op, Value.t) Counter.t =
+  (module struct
+    module M = Isets.Arith.Mul
+
+    type op = M.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let init = ()
+
+    let increment () v =
+      let* () = M.mul loc (Bignum.of_int (Primes.nth v)) in
+      Proc.return ()
+
+    let decrement = None
+
+    let scan () =
+      let* x = M.read loc in
+      Proc.return ((), prime_scan ~components x)
+  end)
+
+let fam ~components ~loc : (Isets.Arith.Fam.op, Value.t) Counter.t =
+  (module struct
+    module M = Isets.Arith.Fam
+
+    type op = M.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let init = ()
+
+    let increment () v =
+      let* _old = M.fetch_mul loc (Bignum.of_int (Primes.nth v)) in
+      Proc.return ()
+
+    let decrement = None
+
+    let scan () =
+      let* x = M.read loc in
+      Proc.return ((), prime_scan ~components x)
+  end)
+
+let digit_scan ~components ~radix x =
+  let counts = Array.make components Bignum.zero in
+  let digits = Bignum.digits x radix in
+  List.iteri (fun i d -> if i < components then counts.(i) <- Bignum.of_int d) digits;
+  counts
+
+let add ~components ~n ~loc : (Isets.Arith.Add.op, Value.t) Counter.t =
+  (module struct
+    module M = Isets.Arith.Add
+
+    type op = M.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let radix = 3 * n
+    let init = ()
+
+    let increment () i =
+      let* () = M.add loc (Bignum.pow (Bignum.of_int radix) i) in
+      Proc.return ()
+
+    let decrement =
+      Some
+        (fun () i ->
+          let* () = M.add loc (Bignum.neg (Bignum.pow (Bignum.of_int radix) i)) in
+          Proc.return ())
+
+    let scan () =
+      let* x = M.read loc in
+      Proc.return ((), digit_scan ~components ~radix x)
+  end)
+
+let faa ~components ~n ~loc : (Isets.Arith.Faa.op, Value.t) Counter.t =
+  (module struct
+    module M = Isets.Arith.Faa
+
+    type op = M.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let radix = 3 * n
+    let init = ()
+
+    let increment () i =
+      let* _old = M.fetch_add loc (Bignum.pow (Bignum.of_int radix) i) in
+      Proc.return ()
+
+    let decrement =
+      Some
+        (fun () i ->
+          let* _old = M.fetch_add loc (Bignum.neg (Bignum.pow (Bignum.of_int radix) i)) in
+          Proc.return ())
+
+    let scan () =
+      let* x = M.read loc in
+      Proc.return ((), digit_scan ~components ~radix x)
+  end)
+
+(* Bit b·n² + v·n + i is set iff process i has incremented component v at
+   least b+1 times.  A process's bits in consecutive blocks form a prefix,
+   so its contribution is the length of that prefix. *)
+let set_bit ~components ~n ~pid ~loc : (Isets.Arith.Setbit.op, Value.t) Counter.t =
+  if components > n then invalid_arg "Arith_counters.set_bit: components > n";
+  (module struct
+    module M = Isets.Arith.Setbit
+
+    type op = M.op
+    type res = Value.t
+    type state = int array
+    (* own increment count per component *)
+
+    let components = components
+    let block = n * n
+    let init = Array.make components 0
+
+    let increment st v =
+      let b = st.(v) in
+      let* () = M.set_bit loc ((b * block) + (v * n) + pid) in
+      let st' = Array.copy st in
+      st'.(v) <- b + 1;
+      Proc.return st'
+
+    let decrement = None
+
+    let scan st =
+      let* x = M.read loc in
+      let counts = Array.make components Bignum.zero in
+      for v = 0 to components - 1 do
+        let total = ref 0 in
+        for i = 0 to n - 1 do
+          let rec contribution b =
+            if Bignum.bit x ((b * block) + (v * n) + i) then contribution (b + 1) else b
+          in
+          total := !total + contribution 0
+        done;
+        counts.(v) <- Bignum.of_int !total
+      done;
+      Proc.return (st, counts)
+  end)

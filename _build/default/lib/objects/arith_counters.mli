@@ -1,0 +1,31 @@
+(** Single-location counter encodings (Theorem 3.3).
+
+    Each function builds an m-component counter living entirely in one
+    memory location [loc] of the corresponding arithmetic machine:
+
+    - [mul]: component [v] is the exponent of the [(v+1)]-st prime in the
+      location's prime factorisation (unbounded counter);
+    - [add]: component [i] is the [i]-th base-[3n] digit (bounded counter
+      with decrement, Lemma 3.2 — a plain add encoding would be ambiguous,
+      as the paper's [ab]-collision example shows);
+    - [set_bit]: the location is a bit string of [n²]-bit blocks; process
+      [pid] records its [b]-th increment of component [v] at bit
+      [b·n² + v·n + pid] (unbounded counter);
+    - [faa] / [fam]: as [add] / [mul] where [read()] is the identity
+      read-modify-write ([fetch-and-add(0)] / [fetch-and-multiply(1)]). *)
+
+open Model
+
+val mul : components:int -> loc:int -> (Isets.Arith.Mul.op, Value.t) Counter.t
+
+val add : components:int -> n:int -> loc:int -> (Isets.Arith.Add.op, Value.t) Counter.t
+(** [n] is the number of processes; digits live in [{0, …, 3n−1}]. *)
+
+val set_bit :
+  components:int -> n:int -> pid:int -> loc:int -> (Isets.Arith.Setbit.op, Value.t) Counter.t
+(** [pid] is the calling process's id (the encoding needs it); [components]
+    must be ≤ [n]. *)
+
+val faa : components:int -> n:int -> loc:int -> (Isets.Arith.Faa.op, Value.t) Counter.t
+
+val fam : components:int -> loc:int -> (Isets.Arith.Fam.op, Value.t) Counter.t

@@ -1,0 +1,120 @@
+open Model
+open Proc.Syntax
+
+let write1_op ~flavour =
+  match flavour with
+  | Isets.Bits.Tas_only | Isets.Bits.Tas_reset -> Isets.Bits.Tas
+  | Isets.Bits.Write1_only | Isets.Bits.Write01 -> Isets.Bits.Write1
+
+let write0_op ~flavour =
+  match flavour with
+  | Isets.Bits.Tas_reset -> Isets.Bits.Reset
+  | Isets.Bits.Write01 -> Isets.Bits.Write0
+  | Isets.Bits.Tas_only | Isets.Bits.Write1_only ->
+    invalid_arg "Bit_tracks: flavour cannot clear bits"
+
+let read_bit loc = Proc.map Value.to_int_exn (Proc.access loc Isets.Bits.Read)
+
+let unbounded ~components ~flavour : (Isets.Bits.op, Value.t) Counter.t =
+  (module struct
+    type op = Isets.Bits.op
+    type res = Value.t
+
+    type state = int array
+    (* per-track frontier: every position below it is known to be 1 *)
+
+    let components = components
+    let init = Array.make components 0
+    let loc ~track pos = track + (pos * components)
+
+    (* 1s on a write1-only track form a prefix (a process writes position k
+       only after reading k as 0, and bits never fall back to 0), so the
+       count is the position of the first 0. *)
+    let count_from start ~track =
+      let rec go pos =
+        let* b = read_bit (loc ~track pos) in
+        if b = 1 then go (pos + 1) else Proc.return pos
+      in
+      go start
+
+    let increment st track =
+      let* frontier = count_from st.(track) ~track in
+      let* _ = Proc.access (loc ~track frontier) (write1_op ~flavour) in
+      let st' = Array.copy st in
+      st'.(track) <- frontier;
+      Proc.return st'
+
+    let decrement = None
+
+    let scan st =
+      let collect =
+        let rec go track acc =
+          if track >= components then Proc.return (List.rev acc)
+          else
+            let* c = count_from st.(track) ~track in
+            go (track + 1) (c :: acc)
+        in
+        Proc.map Array.of_list (go 0 [])
+      in
+      let* counts = Snapshot.double_collect ~equal:(fun a b -> a = b) collect in
+      let st' = Array.mapi (fun t f -> Stdlib.max f counts.(t)) st in
+      Proc.return (st', Array.map Bignum.of_int counts)
+  end)
+
+let bounded ~components ~length ~base ~stability ~flavour :
+    (Isets.Bits.op, Value.t) Counter.t =
+  let set_op = write1_op ~flavour and clear_op = write0_op ~flavour in
+  (module struct
+    type op = Isets.Bits.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let init = ()
+    let loc ~track pos = base + (track * length) + pos
+
+    let read_track track =
+      let rec go pos acc =
+        if pos >= length then Proc.return (Array.of_list (List.rev acc))
+        else
+          let* b = read_bit (loc ~track pos) in
+          go (pos + 1) (b :: acc)
+      in
+      go 0 []
+
+    let increment () track =
+      let* bits = read_track track in
+      match Array.find_index (fun b -> b = 0) bits with
+      | None -> Proc.return ()  (* saturated: lose the increment *)
+      | Some pos -> Proc.map ignore (Proc.access (loc ~track pos) set_op)
+
+    let decrement =
+      Some
+        (fun () track ->
+          let* bits = read_track track in
+          let last_one = ref None in
+          Array.iteri (fun i b -> if b = 1 then last_one := Some i) bits;
+          match !last_one with
+          | None -> Proc.return ()  (* empty: nothing to decrement *)
+          | Some pos -> Proc.map ignore (Proc.access (loc ~track pos) clear_op))
+
+    let scan () =
+      let collect =
+        let rec go track acc =
+          if track >= components then Proc.return (List.rev acc)
+          else
+            let* bits = read_track track in
+            go (track + 1) (bits :: acc)
+        in
+        Proc.map Array.of_list (go 0 [])
+      in
+      let* image =
+        Snapshot.k_stable_collect ~k:stability ~equal:(fun a b -> a = b) collect
+      in
+      let counts =
+        Array.map
+          (fun bits -> Bignum.of_int (Array.fold_left ( + ) 0 bits))
+          image
+      in
+      Proc.return ((), counts)
+  end)

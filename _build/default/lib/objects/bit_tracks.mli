@@ -1,0 +1,33 @@
+(** Counters built from single-bit locations (Section 9).
+
+    {!unbounded} is the [GR05]-style track counter behind Theorem 9.3: each
+    component is an infinite track of bits, its count the length of the
+    track's 1-prefix.  Increment writes 1 at the frontier; counts only grow,
+    so double-collect scans are linearizable.  Space grows without bound —
+    this is the Table 1 ∞ row made executable.
+
+    {!bounded} replaces the cited [Bow11] construction (see DESIGN.md): each
+    component is a fixed-length track, its count the number of 1s; increment
+    sets the first 0, decrement clears the last 1.  Scans are only
+    heuristically atomic (bits are not monotone), so they demand
+    [stability] identical consecutive collects and callers use widened
+    racing thresholds; the tests and the bounded model checker probe this
+    construction specifically. *)
+
+open Model
+
+val unbounded :
+  components:int -> flavour:Isets.Bits.flavour -> (Isets.Bits.op, Value.t) Counter.t
+(** Track [t] occupies locations [{t + k·components : k ≥ 0}]. *)
+
+val bounded :
+  components:int ->
+  length:int ->
+  base:int ->
+  stability:int ->
+  flavour:Isets.Bits.flavour ->
+  (Isets.Bits.op, Value.t) Counter.t
+(** Track [t] occupies locations
+    [base + t·length .. base + (t+1)·length − 1].  The flavour must provide
+    a clearing instruction ([Write01] or [Tas_reset]).  A saturated
+    increment (track full) and an empty decrement are no-ops. *)

@@ -1,0 +1,23 @@
+module type S = sig
+  type op
+  type res
+  type state
+
+  val components : int
+  val init : state
+  val increment : state -> int -> (op, res, state) Model.Proc.t
+  val decrement : (state -> int -> (op, res, state) Model.Proc.t) option
+  val scan : state -> (op, res, state * Bignum.t array) Model.Proc.t
+end
+
+type ('op, 'res) t = (module S with type op = 'op and type res = 'res)
+
+let argmax ?excluding counts =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if excluding <> Some i && (!best < 0 || Bignum.compare c counts.(!best) > 0) then
+        best := i)
+    counts;
+  if !best < 0 then invalid_arg "Counter.argmax: no eligible component";
+  !best

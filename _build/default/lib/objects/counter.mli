@@ -1,0 +1,40 @@
+(** m-component counters (Section 3).
+
+    An m-component counter supports [increment] (and, for the bounded
+    variant of Lemma 3.2, [decrement]) on each component and an atomic
+    [scan] of all components.  The racing-counters consensus algorithm
+    (Lemmas 3.1/3.2) is generic in this interface, so every Table 1 row
+    whose upper bound goes through counters shares one consensus core.
+
+    Implementations carry pure per-process [state] (cached positions, own
+    write counts, sequence numbers): processes must stay pure so that
+    configurations can be branched during model checking. *)
+
+module type S = sig
+  type op
+  type res
+  type state
+
+  val components : int
+
+  val init : state
+
+  val increment : state -> int -> (op, res, state) Model.Proc.t
+  (** [increment st v] bumps component [v].  Implementations over weak
+      instructions (e.g. write(1) tracks) may lose an increment to a
+      concurrent one, but never increase any other component, and a solo
+      increment always takes effect — which is what Lemma 3.1 needs. *)
+
+  val decrement : (state -> int -> (op, res, state) Model.Proc.t) option
+  (** Present only for bounded counters (Lemma 3.2). *)
+
+  val scan : state -> (op, res, state * Bignum.t array) Model.Proc.t
+  (** An atomic (or, for non-monotone encodings, best-effort stable) view of
+      all [components] counts. *)
+end
+
+type ('op, 'res) t = (module S with type op = 'op and type res = 'res)
+
+val argmax : ?excluding:int -> Bignum.t array -> int
+(** Index of the largest count, smallest index on ties.
+    @raise Invalid_argument if no eligible component exists. *)

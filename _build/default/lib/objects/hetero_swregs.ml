@@ -1,0 +1,76 @@
+open Model
+open Proc.Syntax
+
+type t = {
+  n : int;
+  capacities : int array;
+  owner_buffer : int array;  (* register -> hosting buffer *)
+}
+
+let create ~capacities ~n =
+  let capacities = Array.of_list capacities in
+  if Array.exists (fun c -> c < 1) capacities then
+    invalid_arg "Hetero_swregs.create: capacity < 1";
+  let total = Array.fold_left ( + ) 0 capacities in
+  if total < n then
+    invalid_arg
+      (Printf.sprintf "Hetero_swregs.create: total capacity %d < %d processes" total n);
+  (* Fill buffers in order: buffer j hosts the next c_j registers. *)
+  let owner_buffer = Array.make n 0 in
+  let reg = ref 0 in
+  Array.iteri
+    (fun j c ->
+      for _ = 1 to c do
+        if !reg < n then begin
+          owner_buffer.(!reg) <- j;
+          incr reg
+        end
+      done)
+    capacities;
+  { n; capacities; owner_buffer }
+
+let buffers t = Array.length t.capacities
+let capacity_at t j = t.capacities.(j)
+let buffer_of t reg = t.owner_buffer.(reg)
+
+let capacities_fn t loc = t.capacities.(loc)
+
+let get t ~loc =
+  let+ slots = Isets.Hetero_buffer.read ~capacities:(capacities_fn t) loc in
+  History.reconstruct slots
+
+let append t ~loc ~elt =
+  let* h = get t ~loc in
+  Isets.Hetero_buffer.write ~capacities:(capacities_fn t) loc
+    (Value.Pair (Value.Vec (Array.of_list h), elt))
+
+let write t ~pid ~seq v =
+  append t ~loc:(buffer_of t pid) ~elt:(History.tag ~pid ~seq v)
+
+let latest_of_reg reg history =
+  List.fold_left
+    (fun acc elt ->
+      match elt with Value.Tag (p, _, v) when p = reg -> Some v | _ -> acc)
+    None history
+
+let read t ~reg =
+  let+ history = get t ~loc:(buffer_of t reg) in
+  match latest_of_reg reg history with Some v -> v | None -> Value.Bot
+
+let collect t =
+  let rec go j total histories =
+    if j >= buffers t then begin
+      let values = Array.make t.n Value.Bot in
+      List.iter
+        (List.iter (fun elt ->
+             match elt with
+             | Value.Tag (p, _, v) when p >= 0 && p < t.n -> values.(p) <- v
+             | _ -> ()))
+        (List.rev histories);
+      Proc.return (values, total)
+    end
+    else
+      let* history = get t ~loc:j in
+      go (j + 1) (total + List.length history) (history :: histories)
+  in
+  go 0 0 []

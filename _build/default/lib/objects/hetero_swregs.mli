@@ -1,0 +1,29 @@
+(** n single-writer registers over buffers of mixed capacities (the
+    heterogeneous setting of Section 6.2's closing remark).
+
+    Buffer [j] (of capacity [c_j]) hosts the registers of [c_j] distinct
+    owners — the appender bound of Lemma 6.1 per buffer — so any capacity
+    profile with total at least n supports n processes. *)
+
+open Model
+
+type t
+
+val create : capacities:int list -> n:int -> t
+(** @raise Invalid_argument if the capacities sum to less than [n] or any
+    capacity is below 1. *)
+
+val buffers : t -> int
+
+val capacity_at : t -> int -> int
+(** Capacity of buffer [j]. *)
+
+val buffer_of : t -> int -> int
+(** The buffer hosting a register. *)
+
+val write :
+  t -> pid:int -> seq:int -> Value.t -> (Isets.Hetero_buffer.op, Value.t, unit) Proc.t
+
+val read : t -> reg:int -> (Isets.Hetero_buffer.op, Value.t, Value.t) Proc.t
+
+val collect : t -> (Isets.Hetero_buffer.op, Value.t, Value.t array * int) Proc.t

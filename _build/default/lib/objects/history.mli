@@ -1,0 +1,32 @@
+(** History objects from a single ℓ-buffer (Lemma 6.1).
+
+    A history object supports [append x] and [get] (the paper's
+    [get-history()]), which returns every appended value in order.  One
+    ℓ-buffer simulates a history object on which at most ℓ {e distinct}
+    processes append and any number read: each write stores the pair
+    (history the appender last observed, new element), and a reader stitches
+    the longest recorded history together with the last ℓ elements.  With
+    more than ℓ appenders the reconstruction may drop elements — that is
+    exactly the boundary Figure 1 illustrates, and tests exercise both
+    sides of it.
+
+    Elements must be pairwise distinct; [tag] wraps a payload with the
+    appender's id and a per-appender sequence number to guarantee it. *)
+
+open Model
+
+val tag : pid:int -> seq:int -> Value.t -> Value.t
+
+val reconstruct : Value.t array -> Value.t list
+(** The pure core of Lemma 6.1: rebuild the full append history from one
+    buffer-read result ([slots] oldest-to-newest, ⊥-padded in front, each
+    non-⊥ slot a [Pair (Vec recorded_history, element)]).  Exposed for the
+    heterogeneous-buffer variant and for direct testing. *)
+
+val get : loc:int -> (Isets.Buffer_set.op, Value.t, Value.t list) Proc.t
+(** All appended elements, least recent first.  Linearizes at its single
+    ℓ-buffer-read. *)
+
+val append : loc:int -> elt:Value.t -> (Isets.Buffer_set.op, Value.t, unit) Proc.t
+(** Linearizes at its single ℓ-buffer-write.  [elt] must be unique across
+    the object's lifetime (use {!tag}). *)

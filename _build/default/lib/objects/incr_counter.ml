@@ -1,0 +1,40 @@
+open Model
+open Proc.Syntax
+
+let make ~components ~base ~flavour : (Isets.Incr.op, Value.t) Counter.t =
+  (module struct
+    type op = Isets.Incr.op
+    type res = Value.t
+    type state = unit
+
+    let components = components
+    let init = ()
+
+    let incr_op =
+      match flavour with
+      | Isets.Incr.Increment_only -> Isets.Incr.Increment
+      | Isets.Incr.Fetch_increment -> Isets.Incr.Fetch_incr
+
+    let increment () i =
+      let* _ = Proc.access (base + i) incr_op in
+      Proc.return ()
+
+    let decrement = None
+
+    let collect =
+      let rec go i acc =
+        if i >= components then Proc.return (Array.of_list (List.rev acc))
+        else
+          let* v = Proc.access (base + i) Isets.Incr.Read in
+          go (i + 1) (Value.to_big_exn v :: acc)
+      in
+      go 0 []
+
+    let scan () =
+      let* counts =
+        Snapshot.double_collect
+          ~equal:(fun a b -> Array.for_all2 Bignum.equal a b)
+          collect
+      in
+      Proc.return ((), counts)
+  end)

@@ -1,0 +1,13 @@
+(** m-component unbounded counter from m increment locations (Section 5).
+
+    Location [base + i] holds component [i]; counts only grow, so the
+    double-collect scan is linearizable.  Theorem 5.3 uses the 2-component
+    instance as the binary-consensus core of its O(log n) algorithm. *)
+
+open Model
+
+val make :
+  components:int ->
+  base:int ->
+  flavour:Isets.Incr.flavour ->
+  (Isets.Incr.op, Value.t) Counter.t

@@ -1,0 +1,18 @@
+(** m-component counter over any family of n single-writer registers.
+
+    Generic core shared by the homogeneous ℓ-buffer counter (Theorem 6.3),
+    the plain-register counter, and the heterogeneous-buffer counter: each
+    process publishes its per-component increment counts through [write];
+    [scan] double-collects [collect] (append-only registers make the
+    version monotone) and sums. *)
+
+open Model
+
+type ('op, 'res) regs = {
+  write : pid:int -> seq:int -> Value.t -> ('op, 'res, unit) Proc.t;
+  collect : ('op, 'res, Value.t array * int) Proc.t;
+      (** latest value per register plus a monotone version (e.g. total
+          writes observed) *)
+}
+
+val make : components:int -> regs:('op, 'res) regs -> pid:int -> ('op, 'res) Counter.t

@@ -1,0 +1,12 @@
+(** m-component counter from n single-writer registers over plain
+    [{read(), write(x)}] memory ([AH90]-style, the n-location upper bound of
+    Table 1's register row).
+
+    Process [pid] publishes its per-component increment counts in location
+    [base + pid], tagged with a sequence number so the double-collect scan
+    compares writes, not just values. *)
+
+open Model
+
+val make :
+  components:int -> n:int -> base:int -> pid:int -> (Isets.Rw.op, Value.t) Counter.t

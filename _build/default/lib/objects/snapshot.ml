@@ -1,0 +1,14 @@
+open Model
+open Proc.Syntax
+
+let k_stable_collect ~k ~equal collect =
+  if k < 2 then invalid_arg "Snapshot.k_stable_collect: k < 2";
+  let* first = collect in
+  Proc.rec_loop (first, 1) (fun (view, stable) ->
+    let* next = collect in
+    if equal next view then
+      if stable + 1 >= k then Proc.return (Either.Right view)
+      else Proc.return (Either.Left (view, stable + 1))
+    else Proc.return (Either.Left (next, 1)))
+
+let double_collect ~equal collect = k_stable_collect ~k:2 ~equal collect

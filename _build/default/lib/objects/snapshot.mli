@@ -1,0 +1,25 @@
+(** Obstruction-free atomic scans by double collect [AAD+93].
+
+    When the collected view can only "grow" (max-registers, counters,
+    append-only histories, tagged swap values), two identical consecutive
+    collects prove the view was present in memory at some instant between
+    them, so the scan linearizes there.  The paper uses this construction in
+    Theorems 4.2, 5.3, 6.3 and Section 8. *)
+
+val double_collect :
+  equal:('v -> 'v -> bool) ->
+  ('op, 'res, 'v) Model.Proc.t ->
+  ('op, 'res, 'v) Model.Proc.t
+(** [double_collect ~equal collect] repeats [collect] until two consecutive
+    results are [equal], and returns that stable view.  Terminates in any
+    solo execution provided a solo [collect] is idempotent; may run forever
+    under contention (the scan is only obstruction-free). *)
+
+val k_stable_collect :
+  k:int ->
+  equal:('v -> 'v -> bool) ->
+  ('op, 'res, 'v) Model.Proc.t ->
+  ('op, 'res, 'v) Model.Proc.t
+(** Like {!double_collect} but demands [k] identical consecutive collects
+    ([k >= 2]); used by constructions whose locations are not monotone and
+    that want extra resilience against A-B-A between collects. *)

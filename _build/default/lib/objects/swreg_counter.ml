@@ -1,0 +1,7 @@
+let make ~components ~regs ~pid : (Isets.Buffer_set.op, Model.Value.t) Counter.t =
+  Reg_counter.make ~components ~pid
+    ~regs:
+      {
+        Reg_counter.write = (fun ~pid ~seq v -> Swregs.write regs ~pid ~seq v);
+        collect = Swregs.collect regs;
+      }

@@ -1,0 +1,14 @@
+(** m-component counter from single-writer registers (Sections 6 and 8).
+
+    Each process records in its own register how many times it has
+    incremented every component; a scan double-collects all registers and
+    sums.  Over ℓ-buffers this yields the ⌈n/ℓ⌉-location counter behind
+    Theorem 6.3. *)
+
+open Model
+
+val make :
+  components:int ->
+  regs:Swregs.t ->
+  pid:int ->
+  (Isets.Buffer_set.op, Value.t) Counter.t

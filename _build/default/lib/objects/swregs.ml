@@ -1,0 +1,48 @@
+open Model
+open Proc.Syntax
+
+type t = { n : int; capacity : int }
+
+let create ~n ~capacity =
+  if n < 1 || capacity < 1 then invalid_arg "Swregs.create";
+  { n; capacity }
+
+let buffers t = (t.n + t.capacity - 1) / t.capacity
+
+let buffer_of t reg = reg / t.capacity
+
+let write t ~pid ~seq v =
+  History.append ~loc:(buffer_of t pid) ~elt:(History.tag ~pid ~seq v)
+
+let latest_of_reg reg history =
+  List.fold_left
+    (fun acc elt ->
+      match elt with
+      | Value.Tag (p, _, v) when p = reg -> Some v
+      | _ -> acc)
+    None history
+
+let read t ~reg =
+  let+ history = History.get ~loc:(buffer_of t reg) in
+  match latest_of_reg reg history with Some v -> v | None -> Value.Bot
+
+(* The result array is allocated only once all reads are done: a Proc value
+   may be re-executed along several schedules, so no mutable state may be
+   shared across executions. *)
+let collect t =
+  let rec go b total histories =
+    if b >= buffers t then begin
+      let values = Array.make t.n Value.Bot in
+      List.iter
+        (List.iter (fun elt ->
+             match elt with
+             | Value.Tag (p, _, v) when p >= 0 && p < t.n -> values.(p) <- v
+             | _ -> ()))
+        (List.rev histories);
+      Proc.return (values, total)
+    end
+    else
+      let* history = History.get ~loc:b in
+      go (b + 1) (total + List.length history) (history :: histories)
+  in
+  go 0 0 []

@@ -1,0 +1,29 @@
+(** n single-writer registers from ⌈n/ℓ⌉ ℓ-buffers (Lemma 6.2).
+
+    Register [p] is owned by process [p] and lives in the history object
+    simulated by buffer [p / ℓ] — each buffer hosts the ℓ registers of ℓ
+    distinct owners, which is exactly the appender bound of Lemma 6.1. *)
+
+open Model
+
+type t
+
+val create : n:int -> capacity:int -> t
+(** [n] registers over ℓ-buffers of the given [capacity]. *)
+
+val buffers : t -> int
+(** ⌈n/ℓ⌉. *)
+
+val write :
+  t -> pid:int -> seq:int -> Value.t -> (Isets.Buffer_set.op, Value.t, unit) Proc.t
+(** Process [pid] writes its own register; [seq] must strictly increase
+    across its writes. *)
+
+val read : t -> reg:int -> (Isets.Buffer_set.op, Value.t, Value.t) Proc.t
+(** Latest value written to register [reg], or [Bot]. *)
+
+val collect :
+  t -> (Isets.Buffer_set.op, Value.t, Value.t array * int) Proc.t
+(** One pass over all buffers: the latest value of every register plus the
+    total number of writes observed (a monotone version usable for
+    double-collect stability). *)

@@ -1,0 +1,47 @@
+open Model
+open Proc.Syntax
+
+type ('state, 'op_, 'ret) spec = {
+  initial : 'state;
+  apply : 'state -> 'op_ -> 'state * 'ret;
+  encode : 'op_ -> Value.t;
+  decode : Value.t -> 'op_;
+}
+
+type ('state, 'op_, 'ret) t = {
+  loc : int;
+  spec : ('state, 'op_, 'ret) spec;
+}
+
+let create ~loc spec = { loc; spec }
+
+let replay t history =
+  List.fold_left
+    (fun (state, _last) elt ->
+      let op = t.spec.decode (Value.untag elt) in
+      let state, ret = t.spec.apply state op in
+      (state, Some ret))
+    (t.spec.initial, None) history
+
+let invoke t ~pid ~seq op =
+  let elt = History.tag ~pid ~seq (t.spec.encode op) in
+  let* () = History.append ~loc:t.loc ~elt in
+  (* Replay up to our own append to learn this operation's return value.
+     Our element is guaranteed to appear: get-history returns every append
+     linearized before this read, and ours already was. *)
+  let+ history = History.get ~loc:t.loc in
+  let rec upto acc = function
+    | [] -> None
+    | e :: rest ->
+      if Value.equal e elt then Some (List.rev (e :: acc)) else upto (e :: acc) rest
+  in
+  match upto [] history with
+  | None -> invalid_arg "Universal.invoke: own operation missing from history"
+  | Some prefix ->
+    (match replay t prefix with
+     | _, Some ret -> ret
+     | _, None -> assert false (* prefix ends with our own operation *))
+
+let observe t =
+  let+ history = History.get ~loc:t.loc in
+  fst (replay t history)

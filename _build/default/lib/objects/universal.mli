@@ -1,0 +1,42 @@
+(** A universal construction from one history object (Conclusions, §10).
+
+    "One history object can be used to implement any sequentially defined
+    object": every process appends the operation it wants to perform; the
+    object's current state — and each operation's return value — is obtained
+    deterministically by replaying the history against the sequential
+    specification.  Linearizability is inherited from the history object's
+    append order (Lemma 6.1 linearizes appends at their ℓ-buffer-writes), so
+    over one ℓ-buffer this yields a linearizable object for up to ℓ mutating
+    processes and any number of readers.
+
+    The sequential specification is a fold: a state type, an initial state,
+    and a transition consuming one operation. *)
+
+open Model
+
+type ('state, 'op_, 'ret) spec = {
+  initial : 'state;
+  apply : 'state -> 'op_ -> 'state * 'ret;
+  encode : 'op_ -> Value.t;  (** embed an operation into a memory value *)
+  decode : Value.t -> 'op_;
+}
+
+type ('state, 'op_, 'ret) t
+
+val create : loc:int -> ('state, 'op_, 'ret) spec -> ('state, 'op_, 'ret) t
+(** The object lives in the single ℓ-buffer at [loc]. *)
+
+val invoke :
+  ('state, 'op_, 'ret) t ->
+  pid:int ->
+  seq:int ->
+  'op_ ->
+  (Isets.Buffer_set.op, Value.t, 'ret) Proc.t
+(** Perform a mutating operation: append it, then replay the history up to
+    and including it.  [seq] must strictly increase per process.
+    Linearizes at the append's ℓ-buffer-write. *)
+
+val observe :
+  ('state, 'op_, 'ret) t -> (Isets.Buffer_set.op, Value.t, 'state) Proc.t
+(** Read-only snapshot of the current state (replay of the whole history);
+    linearizes at its single ℓ-buffer-read. *)

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Bignum List Primes Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Bignum Consensus Isets List Model Printf String

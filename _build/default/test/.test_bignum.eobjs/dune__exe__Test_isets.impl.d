@@ -1,0 +1,1 @@
+test/test_isets.ml: Add Alcotest Bignum Decmul Faa Faa2_tas Fam Isets List Machine Model Mul Option Proc QCheck2 QCheck_alcotest Sched Setbit Value

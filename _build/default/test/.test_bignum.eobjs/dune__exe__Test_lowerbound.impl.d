@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Bignum Consensus Isets List Lowerbound Model Option QCheck2 QCheck_alcotest String

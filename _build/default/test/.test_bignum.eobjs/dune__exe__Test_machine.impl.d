@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Either Format Int List Machine Model Proc QCheck2 QCheck_alcotest Sched String

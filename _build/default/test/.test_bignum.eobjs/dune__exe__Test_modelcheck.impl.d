@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Consensus Either Isets List Lowerbound Model Modelcheck

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Array Bignum Iset Isets List Machine Model Objects Option Printf Proc Sched Value

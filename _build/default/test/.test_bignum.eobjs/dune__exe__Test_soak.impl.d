@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Consensus Isets List Model Printf

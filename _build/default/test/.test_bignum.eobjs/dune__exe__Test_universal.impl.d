@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Array Format Isets List Machine Model Objects Option Printf Proc Sched Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Bignum Format List Model QCheck2 QCheck_alcotest String Value

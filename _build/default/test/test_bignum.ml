@@ -1,0 +1,335 @@
+(* Tests for the arbitrary-precision integer substrate.
+
+   Strategy: check exact agreement with native int arithmetic wherever the
+   values fit, and algebraic identities (which need no oracle) on values
+   far beyond the native range. *)
+
+let b = Bignum.of_int
+
+let check_big msg expected actual =
+  Alcotest.(check string) msg (Bignum.to_string expected) (Bignum.to_string actual)
+
+(* --- unit tests ------------------------------------------------------- *)
+
+let test_constants () =
+  Alcotest.(check string) "zero" "0" (Bignum.to_string Bignum.zero);
+  Alcotest.(check string) "one" "1" (Bignum.to_string Bignum.one);
+  Alcotest.(check string) "two" "2" (Bignum.to_string Bignum.two);
+  Alcotest.(check string) "minus one" "-1" (Bignum.to_string Bignum.minus_one);
+  Alcotest.(check bool) "zero is zero" true (Bignum.is_zero Bignum.zero);
+  Alcotest.(check bool) "one is not zero" false (Bignum.is_zero Bignum.one)
+
+let test_of_to_int () =
+  List.iter
+    (fun i ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" i)
+        (Some i)
+        (Bignum.to_int (b i)))
+    [ 0; 1; -1; 42; -42; 1 lsl 30; -(1 lsl 30); (1 lsl 62) - 1; max_int; min_int ]
+
+let test_out_of_range () =
+  let big = Bignum.mul (b max_int) (b 2) in
+  Alcotest.(check (option int)) "2*max_int does not fit" None (Bignum.to_int big);
+  Alcotest.check_raises "to_int_exn raises"
+    (Invalid_argument "Bignum.to_int_exn: out of range") (fun () ->
+      ignore (Bignum.to_int_exn big))
+
+let test_to_string () =
+  check_big "10^18" (b 1_000_000_000_000_000_000) (Bignum.pow (b 10) 18);
+  Alcotest.(check string)
+    "10^40"
+    ("1" ^ String.make 40 '0')
+    (Bignum.to_string (Bignum.pow (b 10) 40));
+  Alcotest.(check string)
+    "-(10^40)"
+    ("-1" ^ String.make 40 '0')
+    (Bignum.to_string (Bignum.neg (Bignum.pow (b 10) 40)))
+
+let test_of_string () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Bignum.to_string (Bignum.of_string s)))
+    [ "0"; "1"; "-1"; "123456789"; "-987654321"; "123456789012345678901234567890" ];
+  Alcotest.(check string) "+7 parses" "7" (Bignum.to_string (Bignum.of_string "+7"));
+  Alcotest.check_raises "empty" (Invalid_argument "Bignum.of_string: empty") (fun () ->
+      ignore (Bignum.of_string ""));
+  Alcotest.check_raises "garbage" (Invalid_argument "Bignum.of_string: bad digit")
+    (fun () -> ignore (Bignum.of_string "12x3"))
+
+let test_compare () =
+  Alcotest.(check bool) "1 < 2" true (Bignum.compare (b 1) (b 2) < 0);
+  Alcotest.(check bool) "-5 < 3" true (Bignum.compare (b (-5)) (b 3) < 0);
+  Alcotest.(check bool) "-5 < -3" true (Bignum.compare (b (-5)) (b (-3)) < 0);
+  Alcotest.(check bool) "equal" true (Bignum.equal (b 17) (b 17));
+  let big = Bignum.pow (b 10) 30 in
+  Alcotest.(check bool) "10^30 > max_int" true (Bignum.compare big (b max_int) > 0);
+  Alcotest.(check bool)
+    "min/max" true
+    (Bignum.equal (Bignum.min (b 3) (b 5)) (b 3)
+    && Bignum.equal (Bignum.max (b 3) (b 5)) (b 5));
+  Alcotest.(check int) "sign pos" 1 (Bignum.sign (b 9));
+  Alcotest.(check int) "sign neg" (-1) (Bignum.sign (b (-9)));
+  Alcotest.(check int) "sign zero" 0 (Bignum.sign Bignum.zero)
+
+let test_divmod_basic () =
+  let q, r = Bignum.divmod (b 17) (b 5) in
+  check_big "17/5 q" (b 3) q;
+  check_big "17 mod 5" (b 2) r;
+  let q, r = Bignum.divmod (b (-17)) (b 5) in
+  check_big "-17/5 q (truncation)" (b (-3)) q;
+  check_big "-17 mod 5 (sign of dividend)" (b (-2)) r;
+  let q, r = Bignum.divmod (b 17) (b (-5)) in
+  check_big "17/-5 q" (b (-3)) q;
+  check_big "17 mod -5" (b 2) r;
+  let q, r = Bignum.divmod (b 3) (b 10) in
+  check_big "small/big q" Bignum.zero q;
+  check_big "small/big r" (b 3) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bignum.divmod (b 1) Bignum.zero))
+
+let test_divmod_small () =
+  let q, r = Bignum.divmod_small (b 1_000_000_007) 97 in
+  Alcotest.(check int) "rem" (1_000_000_007 mod 97) r;
+  check_big "quot" (b (1_000_000_007 / 97)) q;
+  let q, r = Bignum.divmod_small (b (-100)) 7 in
+  Alcotest.(check int) "neg rem" (-2) r;
+  check_big "neg quot" (b (-14)) q;
+  Alcotest.check_raises "zero divisor"
+    (Invalid_argument "Bignum.divmod_small: divisor out of range") (fun () ->
+      ignore (Bignum.divmod_small (b 1) 0))
+
+let test_pow () =
+  check_big "2^61" (b (1 lsl 61)) (Bignum.pow (b 2) 61);
+  Alcotest.(check string)
+    "min_int = -(2^62)" (string_of_int min_int)
+    (Bignum.to_string (Bignum.neg (Bignum.pow (b 2) 62)));
+  check_big "3^0" Bignum.one (Bignum.pow (b 3) 0);
+  check_big "0^0" Bignum.one (Bignum.pow Bignum.zero 0);
+  check_big "(-2)^3" (b (-8)) (Bignum.pow (b (-2)) 3);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Bignum.pow: negative exponent") (fun () ->
+      ignore (Bignum.pow (b 2) (-1)))
+
+let test_bits () =
+  let x = b 0b1011_0100 in
+  Alcotest.(check bool) "bit 2" true (Bignum.bit x 2);
+  Alcotest.(check bool) "bit 0" false (Bignum.bit x 0);
+  Alcotest.(check bool) "bit beyond" false (Bignum.bit x 1000);
+  Alcotest.(check int) "num_bits" 8 (Bignum.num_bits x);
+  Alcotest.(check int) "num_bits 0" 0 (Bignum.num_bits Bignum.zero);
+  check_big "set bit 0" (b 0b1011_0101) (Bignum.set_bit x 0);
+  check_big "set existing bit" x (Bignum.set_bit x 2);
+  let far = Bignum.set_bit Bignum.zero 200 in
+  Alcotest.(check bool) "far bit set" true (Bignum.bit far 200);
+  Alcotest.(check int) "far num_bits" 201 (Bignum.num_bits far);
+  check_big "2^200 roundtrip" (Bignum.pow (b 2) 200) far
+
+let test_shifts () =
+  check_big "13 << 40" (b (13 lsl 40)) (Bignum.shift_left (b 13) 40);
+  check_big "13 << 0" (b 13) (Bignum.shift_left (b 13) 0);
+  check_big "(13<<40) >> 40" (b 13) (Bignum.shift_right (b (13 lsl 40)) 40);
+  check_big "shift right to zero" Bignum.zero (Bignum.shift_right (b 13) 10);
+  check_big "big shift roundtrip" (b 9)
+    (Bignum.shift_right (Bignum.shift_left (b 9) 500) 500)
+
+let test_valuation () =
+  let x = Bignum.mul (Bignum.pow (b 3) 7) (b 20) in
+  let k, rest = Bignum.valuation x 3 in
+  Alcotest.(check int) "3-valuation" 7 k;
+  check_big "cofactor" (b 20) rest;
+  let k, rest = Bignum.valuation (b 20) 3 in
+  Alcotest.(check int) "0-valuation" 0 k;
+  check_big "cofactor unchanged" (b 20) rest;
+  let k, _ = Bignum.valuation (Bignum.pow (b 5) 31) 5 in
+  Alcotest.(check int) "pure power" 31 k
+
+let test_digits () =
+  Alcotest.(check (list int)) "digits of 0" [] (Bignum.digits Bignum.zero 10);
+  Alcotest.(check (list int)) "1234 base 10" [ 4; 3; 2; 1 ] (Bignum.digits (b 1234) 10);
+  Alcotest.(check (list int)) "base 16" [ 15; 15 ] (Bignum.digits (b 255) 16);
+  (* base-3n counter encoding: digit i of sum_i d_i (3n)^i *)
+  let radix = 12 in
+  let x =
+    List.fold_left
+      (fun acc (i, d) -> Bignum.add acc (Bignum.mul_int (Bignum.pow (b radix) i) d))
+      Bignum.zero
+      [ (0, 5); (1, 0); (2, 11); (3, 1) ]
+  in
+  Alcotest.(check (list int)) "counter digits" [ 5; 0; 11; 1 ] (Bignum.digits x radix)
+
+let test_succ_pred () =
+  check_big "succ -1" Bignum.zero (Bignum.succ Bignum.minus_one);
+  check_big "pred 0" Bignum.minus_one (Bignum.pred Bignum.zero);
+  let x = Bignum.pow (b 2) 100 in
+  check_big "pred succ" x (Bignum.pred (Bignum.succ x))
+
+let test_carry_boundaries () =
+  (* Exercise digit-boundary carries around powers of the internal base. *)
+  List.iter
+    (fun e ->
+      let p = Bignum.pow (b 2) e in
+      check_big
+        (Printf.sprintf "2^%d = (2^%d - 1) + 1" e e)
+        p
+        (Bignum.add (Bignum.sub p Bignum.one) Bignum.one);
+      check_big
+        (Printf.sprintf "2^%d * 2 / 2" e)
+        p
+        (fst (Bignum.divmod (Bignum.mul p (b 2)) (b 2))))
+    [ 30; 31; 32; 61; 62; 63; 93; 124 ]
+
+(* --- properties ------------------------------------------------------- *)
+
+let small_int = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+let pair_gen = QCheck2.Gen.pair small_int small_int
+
+let prop_add =
+  QCheck2.Test.make ~name:"add agrees with int" ~count:500 pair_gen (fun (x, y) ->
+      Bignum.to_int (Bignum.add (b x) (b y)) = Some (x + y))
+
+let prop_sub =
+  QCheck2.Test.make ~name:"sub agrees with int" ~count:500 pair_gen (fun (x, y) ->
+      Bignum.to_int (Bignum.sub (b x) (b y)) = Some (x - y))
+
+let prop_mul =
+  QCheck2.Test.make ~name:"mul agrees with int" ~count:500 pair_gen (fun (x, y) ->
+      Bignum.to_int (Bignum.mul (b x) (b y)) = Some (x * y))
+
+let prop_divmod =
+  QCheck2.Test.make ~name:"divmod agrees with int" ~count:500
+    (QCheck2.Gen.pair small_int (QCheck2.Gen.int_range 1 100_000))
+    (fun (x, y) ->
+      let q, r = Bignum.divmod (b x) (b y) in
+      (* OCaml's / and mod also truncate toward zero. *)
+      Bignum.to_int q = Some (x / y) && Bignum.to_int r = Some (x mod y))
+
+let prop_divmod_small =
+  QCheck2.Test.make ~name:"divmod_small agrees with divmod" ~count:500
+    (QCheck2.Gen.pair small_int (QCheck2.Gen.int_range 1 1_000_000))
+    (fun (x, y) ->
+      let q1, r1 = Bignum.divmod (b x) (b y) in
+      let q2, r2 = Bignum.divmod_small (b x) y in
+      Bignum.equal q1 q2 && Bignum.to_int r1 = Some r2)
+
+let prop_compare =
+  QCheck2.Test.make ~name:"compare agrees with int" ~count:500 pair_gen (fun (x, y) ->
+      compare x y = Bignum.compare (b x) (b y))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:300
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 6) small_int)
+    (fun xs ->
+      (* build a big number as a polynomial in 10^9 *)
+      let x =
+        List.fold_left
+          (fun acc d -> Bignum.add (Bignum.mul acc (b 1_000_000_000)) (b d))
+          Bignum.zero xs
+      in
+      Bignum.equal x (Bignum.of_string (Bignum.to_string x)))
+
+let prop_big_identities =
+  QCheck2.Test.make ~name:"(x+y)^2 identity on huge values" ~count:100 pair_gen
+    (fun (x, y) ->
+      let x = Bignum.mul (b x) (Bignum.pow (b 2) 100)
+      and y = Bignum.mul (b y) (Bignum.pow (b 3) 50) in
+      let lhs = Bignum.mul (Bignum.add x y) (Bignum.add x y) in
+      let rhs =
+        Bignum.add
+          (Bignum.add (Bignum.mul x x) (Bignum.mul (Bignum.mul (b 2) x) y))
+          (Bignum.mul y y)
+      in
+      Bignum.equal lhs rhs)
+
+let prop_divmod_reconstruction =
+  QCheck2.Test.make ~name:"a = q*b + r with |r| < |b| on huge values" ~count:200
+    (QCheck2.Gen.quad small_int small_int small_int (QCheck2.Gen.int_range 1 1000))
+    (fun (x, y, z, w) ->
+      let a = Bignum.add (Bignum.mul (b x) (Bignum.pow (b 7) 40)) (b y) in
+      let d = Bignum.add (Bignum.mul (b z) (b 1_000_003)) (b w) in
+      if Bignum.is_zero d then true
+      else begin
+        let q, r = Bignum.divmod a d in
+        Bignum.equal a (Bignum.add (Bignum.mul q d) r)
+        && Bignum.compare (Bignum.abs r) (Bignum.abs d) < 0
+        && (Bignum.is_zero r || Bignum.sign r = Bignum.sign a)
+      end)
+
+let prop_hash_consistent =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:300 small_int (fun x ->
+      Bignum.hash (b x) = Bignum.hash (Bignum.add (b x) Bignum.zero)
+      && Bignum.hash (b x) = Bignum.hash (Bignum.sub (Bignum.add (b x) (b 17)) (b 17)))
+
+let prop_valuation =
+  QCheck2.Test.make ~name:"valuation reconstructs its input" ~count:200
+    (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 10_000) (QCheck2.Gen.int_range 0 20)
+       (QCheck2.Gen.int_range 2 50))
+    (fun (m, e, p) ->
+      let x = Bignum.mul_int (Bignum.pow (b p) e) m in
+      let k, rest = Bignum.valuation x p in
+      k >= e && Bignum.equal x (Bignum.mul (Bignum.pow (b p) k) rest))
+
+(* --- primes ----------------------------------------------------------- *)
+
+let test_primes () =
+  Alcotest.(check (list int))
+    "first 10 primes"
+    [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29 ]
+    (Array.to_list (Primes.first 10));
+  Alcotest.(check int) "nth 0" 2 (Primes.nth 0);
+  Alcotest.(check int) "nth 5" 13 (Primes.nth 5);
+  Alcotest.(check int) "next above 13" 17 (Primes.next_above 13);
+  Alcotest.(check int) "next above 1" 2 (Primes.next_above 1);
+  Alcotest.(check int) "next above 0" 2 (Primes.next_above 0);
+  Alcotest.(check bool) "97 prime" true (Primes.is_prime 97);
+  Alcotest.(check bool) "1 not prime" false (Primes.is_prime 1);
+  Alcotest.(check bool) "91 not prime" false (Primes.is_prime 91)
+
+let prop_primes =
+  QCheck2.Test.make ~name:"next_above is prime and minimal" ~count:200
+    (QCheck2.Gen.int_range 0 5000)
+    (fun n ->
+      let p = Primes.next_above n in
+      Primes.is_prime p
+      && p > n
+      && not (List.exists Primes.is_prime (List.init (p - n - 1) (fun i -> n + 1 + i))))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bignum"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "divmod" `Quick test_divmod_basic;
+          Alcotest.test_case "divmod_small" `Quick test_divmod_small;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "valuation" `Quick test_valuation;
+          Alcotest.test_case "digits" `Quick test_digits;
+          Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+          Alcotest.test_case "carry boundaries" `Quick test_carry_boundaries;
+          Alcotest.test_case "primes" `Quick test_primes;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_add;
+            prop_sub;
+            prop_mul;
+            prop_divmod;
+            prop_divmod_small;
+            prop_compare;
+            prop_string_roundtrip;
+            prop_big_identities;
+            prop_divmod_reconstruction;
+            prop_hash_consistent;
+            prop_valuation;
+            prop_primes;
+          ] );
+    ]

@@ -1,0 +1,524 @@
+(* Correctness battery for every consensus protocol: agreement, validity
+   and termination under solo, round-robin and seeded adversarial
+   schedules; solo decisions; space accounting against the paper's
+   formulas; and protocol-specific bounds (Lemma 8.7, Lemma 5.2). *)
+
+let all_protocols : (string * Consensus.Proto.t * bool (* binary-only *)) list =
+  [
+    ("arith-mul", Consensus.Arith_protocols.mul, false);
+    ("arith-add", Consensus.Arith_protocols.add, false);
+    ("arith-set-bit", Consensus.Arith_protocols.set_bit, false);
+    ("fetch-and-add", Consensus.Arith_protocols.faa, false);
+    ("fetch-and-multiply", Consensus.Arith_protocols.fam, false);
+    ("cas", Consensus.Cas_protocol.protocol, false);
+    ("max-registers", Consensus.Maxreg_protocol.protocol, false);
+    ("swap", Consensus.Swap_protocol.protocol, false);
+    ("rw-registers", Consensus.Rw_protocol.protocol, false);
+    ("buffers-1", Consensus.Buffers_protocol.protocol ~capacity:1, false);
+    ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2, false);
+    ("buffers-3", Consensus.Buffers_protocol.protocol ~capacity:3, false);
+    ("buffers-2+multi", Consensus.Buffers_protocol.multi_assignment_protocol ~capacity:2, false);
+    ( "increment-logn",
+      Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only,
+      false );
+    ( "fetch-incr-logn",
+      Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Fetch_increment,
+      false );
+    ( "increment-binary",
+      Consensus.Increment_protocol.binary ~flavour:Isets.Incr.Increment_only,
+      true );
+    ("intro-faa2-tas", Consensus.Intro_protocols.faa2_tas, true);
+    ("intro-dec-mul", Consensus.Intro_protocols.decmul, true);
+    ("tracks-write1", Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Write1_only, false);
+    ("tracks-tas", Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only, false);
+    ("write01-binary", Consensus.Nlogn_protocol.binary ~flavour:Isets.Bits.Write01, true);
+    ("tas-reset-binary", Consensus.Nlogn_protocol.binary ~flavour:Isets.Bits.Tas_reset, true);
+    ("write01-nlogn", Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Write01, false);
+    ("tas-reset-nlogn", Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Tas_reset, false);
+    ("hetero-[3;3;2]", Consensus.Hetero_protocol.protocol ~capacities:[ 3; 3; 2 ], false);
+    ("earliest-writer", Consensus.Assignment_protocol.earliest_writer, false);
+    ("gr05-binary-w1", Consensus.Tracks_protocol.binary ~flavour:Isets.Bits.Write1_only, true);
+    ("gr05-binary-tas", Consensus.Tracks_protocol.binary ~flavour:Isets.Bits.Tas_only, true);
+    ("adopt-commit-ladder", Consensus.Adopt_commit_protocol.protocol, false);
+    ("tug-of-war-binary", Consensus.Tugofwar_protocol.binary, true);
+    ("tug-of-war", Consensus.Tugofwar_protocol.protocol, false);
+  ]
+
+let inputs_for ~binary ~n ~seed =
+  if binary then Array.init n (fun i -> (i + seed) land 1)
+  else Array.init n (fun i -> (i + seed) mod n)
+
+let fuel = 30_000_000
+
+let run_and_check name proto ~inputs ~sched =
+  let report = Consensus.Driver.run ~fuel proto ~inputs ~sched in
+  (match Consensus.Driver.check report ~inputs with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e));
+  report
+
+(* 1. Solo runs: the lone process must decide its own input (validity). *)
+let test_solo_decides_own_input () =
+  List.iter
+    (fun (name, proto, binary) ->
+      List.iter
+        (fun n ->
+          let inputs = inputs_for ~binary ~n ~seed:1 in
+          List.iter
+            (fun pid ->
+              let report =
+                run_and_check name proto ~inputs ~sched:(Model.Sched.solo pid)
+              in
+              match List.assoc_opt pid report.decisions with
+              | Some v ->
+                Alcotest.(check int)
+                  (Printf.sprintf "%s: solo pid %d decides its input (n=%d)" name pid n)
+                  inputs.(pid) v
+              | None ->
+                Alcotest.fail (Printf.sprintf "%s: solo pid %d did not decide" name pid))
+            [ 0; n - 1 ])
+        [ 2; 4 ])
+    all_protocols
+
+(* 1b. The driver's solo-each helper agrees with per-pid solo runs. *)
+let test_run_solo_each () =
+  let inputs = [| 2; 0; 1 |] in
+  let reports =
+    Consensus.Driver.run_solo_each Consensus.Maxreg_protocol.protocol ~inputs
+  in
+  Alcotest.(check int) "one report per process" 3 (List.length reports);
+  List.iteri
+    (fun pid (r : Consensus.Driver.report) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "pid %d decided its input" pid)
+        (Some inputs.(pid))
+        (List.assoc_opt pid r.decisions);
+      Alcotest.(check int) "only that process stepped" r.steps r.steps_per_process.(pid))
+    reports
+
+(* 2. Full termination + agreement + validity under adversarial schedules. *)
+let test_adversarial_schedules () =
+  List.iter
+    (fun (name, proto, binary) ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun seed ->
+              let inputs = inputs_for ~binary ~n ~seed in
+              let sched = Model.Sched.random_then_sequential ~seed ~prefix:300 in
+              let report = run_and_check name proto ~inputs ~sched in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d seed=%d all decided" name n seed)
+                true
+                (report.outcome = `All_decided
+                && List.length report.decisions = n))
+            [ 1; 2; 3 ])
+        [ 2; 3; 5 ])
+    all_protocols
+
+(* 3. Round-robin lock-step (a classically nasty schedule).  Obstruction
+   freedom does not promise termination without solo time — a perfectly
+   symmetric seesaw may run forever (GR05's binary tracks do exactly that
+   on a 2-vs-2 split) — but whatever decisions do happen must agree. *)
+let test_round_robin () =
+  List.iter
+    (fun (name, proto, binary) ->
+      let n = 4 in
+      let inputs = inputs_for ~binary ~n ~seed:0 in
+      let report =
+        Consensus.Driver.run ~fuel:200_000 proto ~inputs ~sched:Model.Sched.round_robin
+      in
+      (match Consensus.Driver.check report ~inputs with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e));
+      match report.outcome with
+      | `All_decided ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s round robin: everyone decides" name)
+          n
+          (List.length report.decisions)
+      | `Out_of_fuel ->
+        (* a lock-step livelock: legal for an obstruction-free protocol *)
+        ()
+      | `Sched_stopped -> Alcotest.fail (name ^ ": scheduler stopped unexpectedly"))
+    all_protocols
+
+(* 4. Space accounting: locations used never exceed the protocol's claim. *)
+let test_space_within_bounds () =
+  List.iter
+    (fun (name, proto, binary) ->
+      let (module P : Consensus.Proto.S) = proto in
+      List.iter
+        (fun n ->
+          let inputs = inputs_for ~binary ~n ~seed:2 in
+          let sched = Model.Sched.random_then_sequential ~seed:5 ~prefix:200 in
+          let report = run_and_check name proto ~inputs ~sched in
+          match P.locations ~n with
+          | Some bound ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s n=%d: %d <= %d" name n report.locations_used bound)
+              true
+              (report.locations_used <= bound)
+          | None -> () (* ∞ rows *))
+        [ 2; 3; 5; 8 ])
+    all_protocols
+
+(* 5. Exact space for the tight rows. *)
+let test_space_exact () =
+  let expect name proto n expected =
+    let inputs = inputs_for ~binary:false ~n ~seed:3 in
+    let report =
+      run_and_check name proto ~inputs
+        ~sched:(Model.Sched.random_then_sequential ~seed:1 ~prefix:150)
+    in
+    Alcotest.(check int) (Printf.sprintf "%s n=%d locations" name n) expected
+      report.locations_used
+  in
+  expect "cas" Consensus.Cas_protocol.protocol 5 1;
+  expect "arith-mul" Consensus.Arith_protocols.mul 5 1;
+  expect "arith-add" Consensus.Arith_protocols.add 5 1;
+  expect "max-registers" Consensus.Maxreg_protocol.protocol 5 2;
+  expect "swap" Consensus.Swap_protocol.protocol 5 4;
+  expect "swap" Consensus.Swap_protocol.protocol 2 1;
+  expect "rw" Consensus.Rw_protocol.protocol 5 5;
+  expect "buffers-2" (Consensus.Buffers_protocol.protocol ~capacity:2) 5 3;
+  expect "buffers-3" (Consensus.Buffers_protocol.protocol ~capacity:3) 7 3;
+  (* a buffer wider than n: a single location suffices *)
+  expect "buffers-8" (Consensus.Buffers_protocol.protocol ~capacity:8) 3 1
+
+(* 6. Determinism: seeded runs are reproducible. *)
+let test_deterministic_runs () =
+  List.iter
+    (fun (name, proto, binary) ->
+      let n = 4 in
+      let inputs = inputs_for ~binary ~n ~seed:4 in
+      let r1 =
+        Consensus.Driver.run ~fuel proto ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:9 ~prefix:100)
+      in
+      let r2 =
+        Consensus.Driver.run ~fuel proto ~inputs
+          ~sched:(Model.Sched.random_then_sequential ~seed:9 ~prefix:100)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic" name)
+        true
+        (r1.decisions = r2.decisions && r1.steps = r2.steps
+        && r1.locations_used = r2.locations_used))
+    all_protocols
+
+(* 7. Wait-free one-shot protocols take O(1) steps per process. *)
+let test_wait_free_step_counts () =
+  let steps_of proto inputs =
+    let report =
+      Consensus.Driver.run proto ~inputs ~sched:Model.Sched.round_robin
+    in
+    report.steps
+  in
+  Alcotest.(check int) "cas: one step each" 4
+    (steps_of Consensus.Cas_protocol.protocol [| 0; 1; 2; 3 |]);
+  Alcotest.(check int) "faa2+tas: one step each" 4
+    (steps_of Consensus.Intro_protocols.faa2_tas [| 0; 1; 0; 1 |]);
+  Alcotest.(check int) "dec+mul: two steps each" 8
+    (steps_of Consensus.Intro_protocols.decmul [| 0; 1; 0; 1 |])
+
+(* 8. Lemma 8.7: a solo swap run decides within 3n−2 scans. *)
+let test_swap_solo_step_bound () =
+  List.iter
+    (fun n ->
+      let inputs = Array.init n (fun i -> i) in
+      let report =
+        Consensus.Driver.run Consensus.Swap_protocol.protocol ~inputs
+          ~sched:(Model.Sched.solo 0)
+      in
+      (match List.assoc_opt 0 report.decisions with
+       | Some v -> Alcotest.(check int) "solo decides own input" 0 v
+       | None -> Alcotest.fail "solo swap did not decide");
+      (* each of the ≤ 3n−2 scans costs 2(n−1) reads solo; plus ≤ 3(n−1)
+         swaps *)
+      let bound = ((3 * n) - 2) * 2 * (n - 1) + (3 * (n - 1)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "solo steps %d within Lemma 8.7 bound %d (n=%d)" report.steps
+           bound n)
+        true (report.steps <= bound))
+    [ 2; 3; 5; 8; 12 ]
+
+(* 9. The intro protocols decide by parity/sign exactly as the paper says. *)
+let test_intro_first_mover_wins () =
+  (* If a 0-proposer moves first, everyone decides 0; symmetric for 1. *)
+  let check_first proto first expected =
+    let inputs = [| 0; 1; 0; 1 |] in
+    let order = first :: List.filter (fun p -> p <> first) [ 0; 1; 2; 3 ] in
+    (* schedule: one op each in order, then everyone finishes sequentially *)
+    let script = order @ order @ order in
+    let report = Consensus.Driver.run proto ~inputs ~sched:(Model.Sched.script script) in
+    let report2 =
+      if report.outcome = `All_decided then report
+      else
+        Consensus.Driver.run proto ~inputs
+          ~sched:(Model.Sched.script (script @ [ 0; 1; 2; 3; 0; 1; 2; 3 ]))
+    in
+    List.iter
+      (fun (_, v) -> Alcotest.(check int) "first mover's camp wins" expected v)
+      report2.decisions
+  in
+  check_first Consensus.Intro_protocols.faa2_tas 0 0;
+  check_first Consensus.Intro_protocols.faa2_tas 1 1;
+  check_first Consensus.Intro_protocols.decmul 0 0;
+  check_first Consensus.Intro_protocols.decmul 1 1
+
+(* 9b. Two-process multiple assignment: wait-free in ≤ 3 steps each. *)
+let test_two_process_assignment () =
+  List.iter
+    (fun inputs ->
+      List.iter
+        (fun seed ->
+          let report =
+            Consensus.Driver.run Consensus.Assignment_protocol.two_process ~inputs
+              ~sched:(Model.Sched.random_then_sequential ~seed ~prefix:10)
+          in
+          Consensus.Driver.check_exn report ~inputs;
+          Alcotest.(check int) "both decide" 2 (List.length report.decisions);
+          Array.iter
+            (fun s -> Alcotest.(check bool) "wait-free: ≤ 3 steps" true (s <= 3))
+            report.steps_per_process)
+        [ 1; 2; 3; 4; 5 ])
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ];
+  let (module P : Consensus.Proto.S) = Consensus.Assignment_protocol.two_process in
+  Alcotest.check_raises "exactly two processes"
+    (Invalid_argument "two_process: exactly two processes") (fun () ->
+      ignore (P.proc ~n:3 ~pid:0 ~input:0))
+
+(* 10. Max-register pair encoding is an order isomorphism. *)
+let test_maxreg_encoding () =
+  let n = 6 in
+  List.iter
+    (fun (r, x) ->
+      let e = Consensus.Maxreg_protocol.encode ~n ~round:r ~value:x in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "decode (encode (%d,%d))" r x)
+        (r, x)
+        (Consensus.Maxreg_protocol.decode ~n e))
+    [ (0, 0); (0, 5); (3, 0); (3, 5); (17, 2) ];
+  (* lexicographic order agrees with numeric order of encodings *)
+  let pairs = [ (0, 0); (0, 1); (0, 5); (1, 0); (1, 4); (2, 0); (2, 5); (3, 3) ] in
+  List.iter
+    (fun (r1, x1) ->
+      List.iter
+        (fun (r2, x2) ->
+          let e1 = Consensus.Maxreg_protocol.encode ~n ~round:r1 ~value:x1 in
+          let e2 = Consensus.Maxreg_protocol.encode ~n ~round:r2 ~value:x2 in
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d) vs (%d,%d)" r1 x1 r2 x2)
+            (compare (r1, x1) (r2, x2) < 0)
+            (Bignum.compare e1 e2 < 0))
+        pairs)
+    pairs;
+  Alcotest.(check (pair int int)) "0 decodes to (0,0)" (0, 0)
+    (Consensus.Maxreg_protocol.decode ~n Bignum.zero)
+
+(* 11. Lemma 5.2 accounting. *)
+let test_bit_by_bit_accounting () =
+  List.iter
+    (fun (n, k) ->
+      Alcotest.(check int) (Printf.sprintf "rounds for n=%d" n) k
+        (Consensus.Bit_by_bit.rounds ~n))
+    [ (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (16, 4); (17, 5) ];
+  (* the (c+2)·ceil(log n) − 2 location count, with c = 2 for increment *)
+  let (module P : Consensus.Proto.S) =
+    Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only
+  in
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "increment locations n=%d" n)
+        (Some expected) (P.locations ~n))
+    [ (2, 2); (3, 6); (4, 6); (5, 10); (16, 14); (17, 18) ]
+
+(* 12. The driver's checker catches a broken protocol. *)
+let test_checker_catches_disagreement () =
+  let broken : Consensus.Proto.t =
+    (module struct
+      module I = Isets.Rw
+
+      let name = "broken-decide-own-input"
+      let locations ~n:_ = Some 0
+      let proc ~n:_ ~pid:_ ~input = Model.Proc.return input
+    end)
+  in
+  let inputs = [| 0; 1 |] in
+  let report =
+    Consensus.Driver.run broken ~inputs ~sched:Model.Sched.round_robin
+  in
+  (match Consensus.Driver.check report ~inputs with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "checker accepted disagreeing decisions");
+  let invalid : Consensus.Proto.t =
+    (module struct
+      module I = Isets.Rw
+
+      let name = "broken-invalid-value"
+      let locations ~n:_ = Some 0
+      let proc ~n:_ ~pid:_ ~input:_ = Model.Proc.return 999
+    end)
+  in
+  let report = Consensus.Driver.run invalid ~inputs ~sched:Model.Sched.round_robin in
+  match Consensus.Driver.check report ~inputs with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker accepted an invalid decision"
+
+(* 13. Unbounded rows really grow: contention makes tracks spread. *)
+let test_tracks_space_grows_with_contention () =
+  let proto = Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Write1_only in
+  let n = 4 in
+  let inputs = Array.init n (fun i -> i) in
+  let solo = Consensus.Driver.run proto ~inputs ~sched:(Model.Sched.solo 0) in
+  let contended =
+    Consensus.Driver.run proto ~inputs
+      ~sched:(Model.Sched.random_then_sequential ~seed:13 ~prefix:2000)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "contended run (%d) uses more space than solo (%d)"
+       contended.locations_used solo.locations_used)
+    true
+    (contended.locations_used > solo.locations_used)
+
+(* 13a. Semi-synchronous fairness (the [FLMS05] model): protocols decide
+   under a fair scheduler with no solo phase at all. *)
+let test_fair_scheduler_terminates () =
+  List.iter
+    (fun (name, proto) ->
+      List.iter
+        (fun seed ->
+          let n = 4 in
+          let inputs = Array.init n (fun i -> i) in
+          let report =
+            Consensus.Driver.run ~fuel:2_000_000 proto ~inputs
+              ~sched:(Model.Sched.fair ~bound:6 ~seed)
+          in
+          Consensus.Driver.check_exn report ~inputs;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s decides under fair schedule (seed %d)" name seed)
+            true
+            (report.outcome = `All_decided))
+        [ 1; 2; 3 ])
+    [
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("max-registers", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("rw-registers", Consensus.Rw_protocol.protocol);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2);
+    ]
+
+(* 13b. Crash faults: obstruction-freedom means survivors still decide when
+   any processes crash (are never scheduled again). *)
+let test_crash_tolerance () =
+  List.iter
+    (fun (name, proto, binary) ->
+      let n = 4 in
+      let inputs = inputs_for ~binary ~n ~seed:6 in
+      List.iter
+        (fun crashed ->
+          let sched =
+            Model.Sched.excluding crashed
+              (Model.Sched.random_then_sequential ~seed:8 ~prefix:150)
+          in
+          let report = run_and_check name proto ~inputs ~sched in
+          let survivors = List.filter (fun p -> not (List.mem p crashed)) [ 0; 1; 2; 3 ] in
+          List.iter
+            (fun pid ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: survivor %d decided (crashed %s)" name pid
+                   (String.concat "," (List.map string_of_int crashed)))
+                true
+                (List.mem_assoc pid report.decisions))
+            survivors)
+        [ [ 3 ]; [ 1; 2 ]; [ 0; 1; 3 ] ])
+    [
+      ("arith-add", Consensus.Arith_protocols.add, false);
+      ("max-registers", Consensus.Maxreg_protocol.protocol, false);
+      ("swap", Consensus.Swap_protocol.protocol, false);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2, false);
+      ("tracks-tas", Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only, false);
+      ( "increment-logn",
+        Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only,
+        false );
+    ]
+
+(* 13c. A mid-run crash: everyone runs for a while, then process 0 crashes
+   (is never scheduled again) and the survivors must still finish. *)
+let test_mid_run_crash () =
+  List.iter
+    (fun (name, proto) ->
+      let inputs = [| 0; 1; 2; 3 |] in
+      List.iter
+        (fun seed ->
+          let sched =
+            Model.Sched.phased
+              [ (80, Model.Sched.random ~seed) ]
+              (Model.Sched.excluding [ 0 ]
+                 (Model.Sched.random_then_sequential ~seed:(seed + 1) ~prefix:100))
+          in
+          let report = run_and_check (name ^ " mid-crash") proto ~inputs ~sched in
+          List.iter
+            (fun pid ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: survivor %d decided (seed %d)" name pid seed)
+                true
+                (List.mem_assoc pid report.decisions))
+            [ 1; 2; 3 ])
+        [ 3; 4; 5 ])
+    [
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2);
+    ]
+
+(* 14. Racing rejects out-of-range inputs. *)
+let test_input_validation () =
+  Alcotest.check_raises "input >= n rejected"
+    (Invalid_argument "Racing.consensus: bad input") (fun () ->
+      let (module P : Consensus.Proto.S) = Consensus.Arith_protocols.mul in
+      ignore (P.proc ~n:3 ~pid:0 ~input:3));
+  Alcotest.check_raises "binary protocol rejects 2"
+    (Invalid_argument "intro protocols are binary-only") (fun () ->
+      let (module P : Consensus.Proto.S) = Consensus.Intro_protocols.faa2_tas in
+      ignore (P.proc ~n:3 ~pid:0 ~input:2))
+
+let () =
+  Alcotest.run "consensus"
+    [
+      ( "all protocols",
+        [
+          Alcotest.test_case "solo decides own input" `Quick test_solo_decides_own_input;
+          Alcotest.test_case "run_solo_each" `Quick test_run_solo_each;
+          Alcotest.test_case "adversarial schedules" `Quick test_adversarial_schedules;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "space within bounds" `Quick test_space_within_bounds;
+          Alcotest.test_case "deterministic runs" `Quick test_deterministic_runs;
+        ] );
+      ( "specific bounds",
+        [
+          Alcotest.test_case "exact space" `Quick test_space_exact;
+          Alcotest.test_case "wait-free step counts" `Quick test_wait_free_step_counts;
+          Alcotest.test_case "swap solo bound (Lemma 8.7)" `Quick test_swap_solo_step_bound;
+          Alcotest.test_case "intro first mover wins" `Quick test_intro_first_mover_wins;
+          Alcotest.test_case "two-process assignment wait-free" `Quick
+            test_two_process_assignment;
+          Alcotest.test_case "maxreg encoding" `Quick test_maxreg_encoding;
+          Alcotest.test_case "bit-by-bit accounting (Lemma 5.2)" `Quick
+            test_bit_by_bit_accounting;
+          Alcotest.test_case "tracks grow with contention" `Quick
+            test_tracks_space_grows_with_contention;
+          Alcotest.test_case "fair scheduler terminates" `Quick
+            test_fair_scheduler_terminates;
+          Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+          Alcotest.test_case "mid-run crash" `Quick test_mid_run_crash;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "checker catches broken protocols" `Quick
+            test_checker_catches_disagreement;
+          Alcotest.test_case "input validation" `Quick test_input_validation;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Semantics tests for every instruction set: each instruction's effect on
+   a cell and its return value, plus the dynamic flavour restrictions that
+   implement the uniformity requirement. *)
+
+open Model
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+let value = Alcotest.testable Value.pp Value.equal
+let b = Bignum.of_int
+
+(* --- read/write ------------------------------------------------------- *)
+
+let test_rw () =
+  Alcotest.(check value) "init" Value.Bot Isets.Rw.init;
+  let c, r = Isets.Rw.apply Isets.Rw.Read Isets.Rw.init in
+  Alcotest.(check value) "read leaves cell" Value.Bot c;
+  Alcotest.(check value) "read returns cell" Value.Bot r;
+  let c, r = Isets.Rw.apply (Isets.Rw.Write (Value.Int 5)) Isets.Rw.init in
+  Alcotest.(check value) "write stores" (Value.Int 5) c;
+  Alcotest.(check value) "write returns unit" Value.Unit r;
+  Alcotest.(check bool) "read trivial" true (Isets.Rw.trivial Isets.Rw.Read);
+  Alcotest.(check bool) "write non-trivial" false
+    (Isets.Rw.trivial (Isets.Rw.Write Value.Unit));
+  Alcotest.(check bool) "no multi-assignment" false Isets.Rw.multi_assignment
+
+(* --- swap ------------------------------------------------------------- *)
+
+let test_swap () =
+  let c, r = Isets.Swap.apply (Isets.Swap.Swap (Value.Int 7)) (Value.Int 3) in
+  Alcotest.(check value) "swap stores" (Value.Int 7) c;
+  Alcotest.(check value) "swap returns previous" (Value.Int 3) r;
+  let c, r = Isets.Swap.apply Isets.Swap.Read (Value.Int 3) in
+  Alcotest.(check value) "read keeps" (Value.Int 3) c;
+  Alcotest.(check value) "read returns" (Value.Int 3) r
+
+(* --- max-register ----------------------------------------------------- *)
+
+let test_maxreg () =
+  let c, _ = Isets.Maxreg.apply (Isets.Maxreg.Write_max (b 5)) (b 3) in
+  Alcotest.(check big) "larger write wins" (b 5) c;
+  let c, _ = Isets.Maxreg.apply (Isets.Maxreg.Write_max (b 2)) (b 3) in
+  Alcotest.(check big) "smaller write ignored" (b 3) c;
+  let c, r = Isets.Maxreg.apply Isets.Maxreg.Read_max (b 9) in
+  Alcotest.(check big) "read-max keeps" (b 9) c;
+  Alcotest.(check value) "read-max returns" (Value.Big (b 9)) r
+
+(* --- compare-and-swap ------------------------------------------------- *)
+
+let test_cas () =
+  let c, r = Isets.Cas.apply (Isets.Cas.Cas (Value.Bot, Value.Int 4)) Value.Bot in
+  Alcotest.(check value) "success installs" (Value.Int 4) c;
+  Alcotest.(check value) "returns old" Value.Bot r;
+  let c, r = Isets.Cas.apply (Isets.Cas.Cas (Value.Bot, Value.Int 9)) (Value.Int 4) in
+  Alcotest.(check value) "failure keeps" (Value.Int 4) c;
+  Alcotest.(check value) "failure returns current" (Value.Int 4) r;
+  Alcotest.(check bool)
+    "cas(v,v) is trivial" true
+    (Isets.Cas.trivial (Isets.Cas.Cas (Value.Int 1, Value.Int 1)));
+  Alcotest.(check bool)
+    "cas(x,y) is not" false
+    (Isets.Cas.trivial (Isets.Cas.Cas (Value.Int 1, Value.Int 2)))
+
+(* --- arithmetic ------------------------------------------------------- *)
+
+let test_add_mul_setbit () =
+  let open Isets.Arith in
+  let c, _ = Add.apply (Add.Add (b 7)) (b 10) in
+  Alcotest.(check big) "add" (b 17) c;
+  let c, _ = Add.apply (Add.Add (b (-3))) (b 10) in
+  Alcotest.(check big) "add negative" (b 7) c;
+  Alcotest.(check big) "add init 0" Bignum.zero Add.init;
+  let c, _ = Mul.apply (Mul.Mul (b 6)) (b 7) in
+  Alcotest.(check big) "multiply" (b 42) c;
+  Alcotest.(check big) "mul init 1" Bignum.one Mul.init;
+  let c, _ = Setbit.apply (Setbit.Set_bit 5) Bignum.zero in
+  Alcotest.(check big) "set-bit" (b 32) c;
+  let c2, _ = Setbit.apply (Setbit.Set_bit 5) c in
+  Alcotest.(check big) "set-bit idempotent" (b 32) c2
+
+let test_fetch_variants () =
+  let open Isets.Arith in
+  let c, r = Faa.apply (Faa.Fetch_add (b 4)) (b 10) in
+  Alcotest.(check big) "faa adds" (b 14) c;
+  Alcotest.(check value) "faa returns old" (Value.Big (b 10)) r;
+  Alcotest.(check bool) "faa(0) trivial" true (Faa.trivial (Faa.Fetch_add Bignum.zero));
+  Alcotest.(check bool) "faa(1) not" false (Faa.trivial (Faa.Fetch_add Bignum.one));
+  let c, r = Fam.apply (Fam.Fetch_mul (b 3)) (b 10) in
+  Alcotest.(check big) "fam multiplies" (b 30) c;
+  Alcotest.(check value) "fam returns old" (Value.Big (b 10)) r;
+  Alcotest.(check bool) "fam(1) trivial" true (Fam.trivial (Fam.Fetch_mul Bignum.one))
+
+let test_intro_sets () =
+  let open Isets.Arith in
+  (* the paper's strong test-and-set: only 0 -> 1 *)
+  let c, r = Faa2_tas.apply Faa2_tas.Tas Bignum.zero in
+  Alcotest.(check big) "tas sets 0 to 1" Bignum.one c;
+  Alcotest.(check value) "tas returns old" (Value.Big Bignum.zero) r;
+  let c, _ = Faa2_tas.apply Faa2_tas.Tas (b 6) in
+  Alcotest.(check big) "tas leaves non-zero" (b 6) c;
+  let c, r = Faa2_tas.apply Faa2_tas.Fetch_add2 (b 6) in
+  Alcotest.(check big) "faa2 adds 2" (b 8) c;
+  Alcotest.(check value) "faa2 returns old" (Value.Big (b 6)) r;
+  let c, _ = Decmul.apply Decmul.Decrement Bignum.one in
+  Alcotest.(check big) "decrement" Bignum.zero c;
+  let c, _ = Decmul.apply (Decmul.Multiply 5) (b (-2)) in
+  Alcotest.(check big) "multiply negative" (b (-10)) c;
+  Alcotest.(check big) "decmul init 1" Bignum.one Decmul.init
+
+(* --- bits flavours ---------------------------------------------------- *)
+
+let test_bits_semantics () =
+  let module B = Isets.Bits.Make (struct
+    let flavour = Isets.Bits.Tas_reset
+  end) in
+  let c, r = B.apply Isets.Bits.Tas false in
+  Alcotest.(check bool) "tas sets" true c;
+  Alcotest.(check value) "tas returns 0" (Value.Int 0) r;
+  let c, r = B.apply Isets.Bits.Tas true in
+  Alcotest.(check bool) "tas keeps" true c;
+  Alcotest.(check value) "tas returns 1" (Value.Int 1) r;
+  let c, _ = B.apply Isets.Bits.Reset true in
+  Alcotest.(check bool) "reset clears" false c;
+  let _, r = B.apply Isets.Bits.Read true in
+  Alcotest.(check value) "read 1" (Value.Int 1) r
+
+let test_bits_flavour_restrictions () =
+  let module W1 = Isets.Bits.Make (struct
+    let flavour = Isets.Bits.Write1_only
+  end) in
+  (try
+     ignore (W1.apply Isets.Bits.Write0 true);
+     Alcotest.fail "write(0) must be rejected by {read, write(1)}"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (W1.apply Isets.Bits.Tas false);
+     Alcotest.fail "tas must be rejected by {read, write(1)}"
+   with Invalid_argument _ -> ());
+  let c, _ = W1.apply Isets.Bits.Write1 false in
+  Alcotest.(check bool) "write1 allowed" true c;
+  let module T = Isets.Bits.Make (struct
+    let flavour = Isets.Bits.Tas_only
+  end) in
+  (try
+     ignore (T.apply Isets.Bits.Reset true);
+     Alcotest.fail "reset must be rejected by {read, test-and-set}"
+   with Invalid_argument _ -> ())
+
+let test_bits_names () =
+  let module W01 = Isets.Bits.Make (struct
+    let flavour = Isets.Bits.Write01
+  end) in
+  Alcotest.(check string) "name" "{read(), write(1), write(0)}" W01.name
+
+(* --- increment flavours ------------------------------------------------ *)
+
+let test_incr_semantics () =
+  let module F = Isets.Incr.Make (struct
+    let flavour = Isets.Incr.Fetch_increment
+  end) in
+  let c, r = F.apply Isets.Incr.Fetch_incr (b 5) in
+  Alcotest.(check big) "fai increments" (b 6) c;
+  Alcotest.(check value) "fai returns old" (Value.Big (b 5)) r;
+  let c, _ = F.apply (Isets.Incr.Write (b 9)) (b 5) in
+  Alcotest.(check big) "write" (b 9) c;
+  (try
+     ignore (F.apply Isets.Incr.Increment (b 5));
+     Alcotest.fail "bare increment rejected under fetch flavour"
+   with Invalid_argument _ -> ());
+  let module I = Isets.Incr.Make (struct
+    let flavour = Isets.Incr.Increment_only
+  end) in
+  let c, r = I.apply Isets.Incr.Increment (b 5) in
+  Alcotest.(check big) "increment" (b 6) c;
+  Alcotest.(check value) "increment returns unit" Value.Unit r;
+  (try
+     ignore (I.apply Isets.Incr.Fetch_incr (b 5));
+     Alcotest.fail "fai rejected under increment flavour"
+   with Invalid_argument _ -> ())
+
+(* --- buffers ----------------------------------------------------------- *)
+
+module B3 = Isets.Buffer_set.Make (struct
+  let capacity = 3
+  let multi_assignment = false
+end)
+
+let buf_read cell = snd (B3.apply Isets.Buffer_set.Buf_read cell)
+
+let test_buffer_semantics () =
+  Alcotest.(check value)
+    "empty read: all bot"
+    (Value.Vec [| Value.Bot; Value.Bot; Value.Bot |])
+    (buf_read B3.init);
+  let w cell x = fst (B3.apply (Isets.Buffer_set.Buf_write (Value.Int x)) cell) in
+  let cell = w B3.init 1 in
+  Alcotest.(check value)
+    "one write front-padded"
+    (Value.Vec [| Value.Bot; Value.Bot; Value.Int 1 |])
+    (buf_read cell);
+  let cell = w (w cell 2) 3 in
+  Alcotest.(check value)
+    "full buffer, oldest first"
+    (Value.Vec [| Value.Int 1; Value.Int 2; Value.Int 3 |])
+    (buf_read cell);
+  let cell = w cell 4 in
+  Alcotest.(check value)
+    "fourth write evicts the oldest"
+    (Value.Vec [| Value.Int 2; Value.Int 3; Value.Int 4 |])
+    (buf_read cell);
+  Alcotest.(check int) "capacity" 3 B3.capacity;
+  Alcotest.(check bool) "read trivial" true (B3.trivial Isets.Buffer_set.Buf_read)
+
+let test_buffer_one_is_register () =
+  let module B1 = Isets.Buffer_set.Make (struct
+    let capacity = 1
+    let multi_assignment = false
+  end) in
+  let cell = fst (B1.apply (Isets.Buffer_set.Buf_write (Value.Int 8)) B1.init) in
+  let cell = fst (B1.apply (Isets.Buffer_set.Buf_write (Value.Int 9)) cell) in
+  Alcotest.(check value)
+    "1-buffer behaves as a register"
+    (Value.Vec [| Value.Int 9 |])
+    (snd (B1.apply Isets.Buffer_set.Buf_read cell))
+
+let test_buffer_capacity_validation () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Buffer_set.Make: capacity < 1") (fun () ->
+      let module Bad =
+        Isets.Buffer_set.Make (struct
+          let capacity = 0
+          let multi_assignment = false
+        end)
+      in
+      ignore Bad.init)
+
+(* --- the Section 6.2 reduction to ℓ-buffers ----------------------------- *)
+
+(* Bisimulation: a random instruction sequence executed natively and
+   through the buffer reduction must return identical results. *)
+module Red_rw = Isets.Buffered_reduction.Make (Isets.Buffered_reduction.Rw_spec)
+
+module B1 = Isets.Buffer_set.Make (struct
+  let capacity = 1
+  let multi_assignment = false
+end)
+
+module MB1 = Machine.Make (B1)
+
+let run_reduction ops =
+  let proc =
+    let rec go acc = function
+      | [] -> Proc.return (List.rev acc)
+      | op :: rest ->
+        Proc.bind (Red_rw.apply ~loc:0 op) (fun r -> go (r :: acc) rest)
+    in
+    go [] ops
+  in
+  let cfg = MB1.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = MB1.run ~sched:(Sched.solo 0) cfg in
+  Option.get (MB1.decision cfg 0)
+
+let run_native ops =
+  let _, rev =
+    List.fold_left
+      (fun (cell, acc) op ->
+        let cell, r = Isets.Rw.apply op cell in
+        (cell, r :: acc))
+      (Isets.Rw.init, []) ops
+  in
+  List.rev rev
+
+let prop_reduction_bisimulates =
+  QCheck2.Test.make ~name:"rw via 1-buffers bisimulates native rw" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (oneof
+           [ pure Isets.Rw.Read;
+             map (fun i -> Isets.Rw.Write (Value.Int i)) (int_range 0 9) ]))
+    (fun ops ->
+      List.for_all2 Value.equal (run_native ops) (run_reduction ops))
+
+let test_reduction_w1 () =
+  let module Red = Isets.Buffered_reduction.Make (Isets.Buffered_reduction.W1_spec) in
+  let proc =
+    let open Proc.Syntax in
+    let* r0 = Red.apply ~loc:0 Isets.Bits.Read in
+    let* _ = Red.apply ~loc:0 Isets.Bits.Write1 in
+    let* r1 = Red.apply ~loc:0 Isets.Bits.Read in
+    let* _ = Red.apply ~loc:0 Isets.Bits.Write1 in
+    let* r2 = Red.apply ~loc:0 Isets.Bits.Read in
+    Proc.return (r0, r1, r2)
+  in
+  let cfg = MB1.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = MB1.run ~sched:(Sched.solo 0) cfg in
+  let r0, r1, r2 = Option.get (MB1.decision cfg 0) in
+  Alcotest.(check bool) "initially 0" true (Value.equal r0 (Value.Int 0));
+  Alcotest.(check bool) "after write(1): 1" true (Value.equal r1 (Value.Int 1));
+  Alcotest.(check bool) "stays 1" true (Value.equal r2 (Value.Int 1))
+
+let test_reduction_rejects_outside_set () =
+  (try
+     ignore (Isets.Buffered_reduction.W1_spec.nontrivial Isets.Bits.Tas);
+     Alcotest.fail "tas is outside {read, write(1)}"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Isets.Buffered_reduction.Rw_spec.encode_op Isets.Rw.Read);
+    Alcotest.fail "read is trivial; it is never recorded"
+  with Invalid_argument _ -> ()
+
+(* --- uniformity sanity: names ------------------------------------------ *)
+
+let test_names () =
+  Alcotest.(check string) "rw" "{read(), write(x)}" Isets.Rw.name;
+  Alcotest.(check string) "swap" "{read(), swap(x)}" Isets.Swap.name;
+  Alcotest.(check string) "maxreg" "{read-max(), write-max(x)}" Isets.Maxreg.name;
+  Alcotest.(check string) "cas" "{compare-and-swap(x,y)}" Isets.Cas.name;
+  Alcotest.(check string) "add" "{read(), add(x)}" Isets.Arith.Add.name;
+  Alcotest.(check string) "buffer-3" "{3-buffer-read(), 3-buffer-write(x)}" B3.name
+
+let () =
+  Alcotest.run "isets"
+    [
+      ( "instruction sets",
+        [
+          Alcotest.test_case "read/write" `Quick test_rw;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "max-register" `Quick test_maxreg;
+          Alcotest.test_case "compare-and-swap" `Quick test_cas;
+          Alcotest.test_case "add/mul/set-bit" `Quick test_add_mul_setbit;
+          Alcotest.test_case "fetch-and-add/multiply" `Quick test_fetch_variants;
+          Alcotest.test_case "intro sets" `Quick test_intro_sets;
+          Alcotest.test_case "bits semantics" `Quick test_bits_semantics;
+          Alcotest.test_case "bits flavour restrictions" `Quick
+            test_bits_flavour_restrictions;
+          Alcotest.test_case "bits names" `Quick test_bits_names;
+          Alcotest.test_case "increment flavours" `Quick test_incr_semantics;
+          Alcotest.test_case "buffer semantics" `Quick test_buffer_semantics;
+          Alcotest.test_case "1-buffer is a register" `Quick test_buffer_one_is_register;
+          Alcotest.test_case "buffer capacity validation" `Quick
+            test_buffer_capacity_validation;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+      ( "buffered reduction (Sec 6.2 remark)",
+        [
+          Alcotest.test_case "write(1) reduction" `Quick test_reduction_w1;
+          Alcotest.test_case "rejects outside instructions" `Quick
+            test_reduction_rejects_outside_set;
+          QCheck_alcotest.to_alcotest prop_reduction_bisimulates;
+        ] );
+    ]

@@ -1,0 +1,379 @@
+(* Tests for the lower-bound machinery: the executable adversaries of
+   Theorems 4.1 and 5.1, the Lemma 9.1 growth adversary, the covering
+   vocabulary, and the k-packing combinatorics of Lemma 7.1 (with qcheck
+   properties). *)
+
+(* --- Theorem 4.1 -------------------------------------------------------- *)
+
+let test_interleave_breaks_victims () =
+  List.iter
+    (fun (name, victim) ->
+      match Lowerbound.Interleave.run victim ~n:2 with
+      | Lowerbound.Interleave.Agreement_violated { p_decision; q_decision; steps; _ } ->
+        Alcotest.(check int) (name ^ ": p decides its solo value") 0 p_decision;
+        Alcotest.(check int) (name ^ ": q decides its solo value") 1 q_decision;
+        Alcotest.(check bool) (name ^ ": some writes happened") true (steps > 0)
+      | Protocol_error e -> Alcotest.fail (name ^ ": " ^ e))
+    [
+      ("naive", Lowerbound.Victims.naive_maxreg);
+      ("rounds", Lowerbound.Victims.rounds_maxreg);
+    ]
+
+let test_interleave_rejects_two_registers () =
+  match Lowerbound.Interleave.run Consensus.Maxreg_protocol.protocol_typed ~n:2 with
+  | Lowerbound.Interleave.Agreement_violated _ ->
+    Alcotest.fail "the two-register protocol cannot be broken by Theorem 4.1"
+  | Protocol_error e ->
+    Alcotest.(check bool) "rejected for second location" true
+      (String.length e > 0)
+
+(* --- Theorem 5.1 -------------------------------------------------------- *)
+
+let test_fai_adversary_breaks_victim () =
+  match Lowerbound.Fai_adversary.run Lowerbound.Victims.naive_fai ~n:2 with
+  | Lowerbound.Fai_adversary.Agreement_violated { p_decision; q_decision; _ } ->
+    Alcotest.(check bool) "both values decided" true
+      ((p_decision = 0 && q_decision = 1) || (p_decision = 1 && q_decision = 0))
+  | Protocol_error e -> Alcotest.fail e
+
+let test_fai_adversary_rejects_non_of () =
+  match Lowerbound.Fai_adversary.run Lowerbound.Victims.counting_fai ~n:2 with
+  | Lowerbound.Fai_adversary.Agreement_violated _ ->
+    Alcotest.fail "ticket victim is not obstruction-free; expected a protocol error"
+  | Protocol_error e ->
+    Alcotest.(check bool) "reported non-termination" true
+      (String.length e > 0)
+
+(* The single-location adversary must reject multi-location protocols
+   rather than claim a break. *)
+let test_fai_adversary_rejects_second_location () =
+  let two_locs :
+      (module Consensus.Proto.S
+         with type I.op = Isets.Incr.op
+          and type I.result = Model.Value.t) =
+    (module struct
+      module I = Isets.Incr.Make (struct
+        let flavour = Isets.Incr.Fetch_increment
+      end)
+
+      let name = "two-locations"
+      let locations ~n:_ = Some 2
+
+      let proc ~n:_ ~pid:_ ~input =
+        let open Model.Proc.Syntax in
+        let* _ = Model.Proc.access 1 (Isets.Incr.Write (Bignum.of_int input)) in
+        Model.Proc.return input
+    end)
+  in
+  match Lowerbound.Fai_adversary.run two_locs ~n:2 with
+  | Lowerbound.Fai_adversary.Agreement_violated _ ->
+    Alcotest.fail "expected rejection for the second location"
+  | Protocol_error e ->
+    Alcotest.(check bool) "mentions the location" true
+      (String.length e > 0)
+
+(* --- Lemma 9.1 ---------------------------------------------------------- *)
+
+let test_growth_monotone () =
+  List.iter
+    (fun flavour ->
+      match
+        Lowerbound.Growth.run
+          (Consensus.Tracks_protocol.protocol_typed ~flavour)
+          ~rounds:6 ~inputs:[| 0; 1; 0 |]
+      with
+      | Ok progress ->
+        Alcotest.(check int) "six rounds" 6 (List.length progress);
+        let ones = List.map (fun (p : Lowerbound.Growth.progress) -> p.ones) progress in
+        let rec strictly_increasing = function
+          | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "set locations strictly grow" true
+          (strictly_increasing ones);
+        Alcotest.(check bool) "at least one per round" true
+          (List.nth ones 5 >= 6)
+      | Error e -> Alcotest.fail e)
+    [ Isets.Bits.Tas_only; Isets.Bits.Write1_only ]
+
+let test_growth_input_validation () =
+  Alcotest.check_raises "needs 3 processes" (Invalid_argument "Growth.run: need at least 3 processes")
+    (fun () ->
+      ignore
+        (Lowerbound.Growth.run
+           (Consensus.Tracks_protocol.protocol_typed ~flavour:Isets.Bits.Tas_only)
+           ~inputs:[| 0; 1 |]));
+  Alcotest.check_raises "needs both values"
+    (Invalid_argument "Growth.run: inputs must contain both 0 and 1") (fun () ->
+      ignore
+        (Lowerbound.Growth.run
+           (Consensus.Tracks_protocol.protocol_typed ~flavour:Isets.Bits.Tas_only)
+           ~inputs:[| 0; 0; 0 |]))
+
+(* --- Lemma 6.5 witness --------------------------------------------------- *)
+
+let test_covering_witness () =
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      match Lowerbound.Covering_witness.witness ~search_depth:depth proto ~inputs with
+      | Ok r ->
+        Alcotest.(check bool) (name ^ ": coverers exist") true (r.coverers <> []);
+        Alcotest.(check bool) (name ^ ": L non-empty") true (r.covered <> []);
+        Alcotest.(check bool)
+          (name ^ ": fresh location outside L")
+          false
+          (List.mem r.fresh_location r.covered);
+        Alcotest.(check bool)
+          (name ^ ": bivalent after block write")
+          true r.still_bivalent_after_block_write
+      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+    [
+      ("registers n=3", Consensus.Rw_protocol.protocol, [| 0; 1; 2 |], 6);
+      ("buffers-1 n=3", Consensus.Buffers_protocol.protocol ~capacity:1, [| 0; 1; 2 |], 6);
+      ("buffers-2 n=4", Consensus.Buffers_protocol.protocol ~capacity:2, [| 0; 1; 2; 3 |], 6);
+      ("swap n=3", Consensus.Swap_protocol.protocol, [| 0; 1; 2 |], 10);
+    ]
+
+let test_covering_witness_validation () =
+  Alcotest.check_raises "needs 3 processes"
+    (Invalid_argument "Covering_witness.witness: need at least 3 processes") (fun () ->
+      ignore
+        (Lowerbound.Covering_witness.witness Consensus.Rw_protocol.protocol
+           ~inputs:[| 0; 1 |]))
+
+(* --- covering vocabulary ------------------------------------------------ *)
+
+let test_cover () =
+  let trivial = function Isets.Rw.Read -> true | Isets.Rw.Write _ -> false in
+  Alcotest.(check (list int)) "read covers nothing" []
+    (Lowerbound.Cover.covered ~trivial [ (3, Isets.Rw.Read) ]);
+  Alcotest.(check (list int)) "write covers its location" [ 3 ]
+    (Lowerbound.Cover.covered ~trivial [ (3, Isets.Rw.Write Model.Value.Unit) ]);
+  let per_process = [ [ 0 ]; [ 0; 1 ]; [ 1 ]; [ 0 ] ] in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 3); (1, 2) ]
+    (Lowerbound.Cover.counts per_process);
+  Alcotest.(check (list int)) "2-covered" [ 1 ]
+    (Lowerbound.Cover.k_covered per_process ~k:2);
+  Alcotest.(check bool) "at most 3-covered" true
+    (Lowerbound.Cover.at_most_k_covered per_process ~k:3);
+  Alcotest.(check bool) "not at most 2-covered" false
+    (Lowerbound.Cover.at_most_k_covered per_process ~k:2);
+  Alcotest.(check bool) "empty-cover process fails" false
+    (Lowerbound.Cover.at_most_k_covered [ [ 0 ]; [] ] ~k:5)
+
+(* Integration: covering structure read off real machine configurations —
+   drive swap-machine processes past their reads so each is poised at
+   (covers) a write location, then check the cover combinatorics. *)
+let test_cover_on_machine_configs () =
+  let module M = Model.Machine.Make (Isets.Swap) in
+  let n = 4 in
+  let cfg =
+    M.make ~n (fun pid ->
+        let open Model.Proc.Syntax in
+        (* a miniature swap-ish process: read both locations, then swap *)
+        let* _ = Isets.Swap.read 0 in
+        let* _ = Isets.Swap.read 1 in
+        let* _ = Isets.Swap.swap (pid mod 2) (Model.Value.Int pid) in
+        Model.Proc.return pid)
+  in
+  (* step everyone past their two reads *)
+  let cfg =
+    List.fold_left
+      (fun cfg pid -> M.step (M.step cfg pid) pid)
+      cfg [ 0; 1; 2; 3 ]
+  in
+  let trivial = function Isets.Swap.Read -> true | Isets.Swap.Swap _ -> false in
+  let per_process =
+    List.map
+      (fun pid -> Lowerbound.Cover.covered ~trivial (Option.get (M.poised cfg pid)))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int)))
+    "each process covers its parity location"
+    [ [ 0 ]; [ 1 ]; [ 0 ]; [ 1 ] ]
+    per_process;
+  Alcotest.(check (list int)) "both locations 2-covered" [ 0; 1 ]
+    (Lowerbound.Cover.k_covered per_process ~k:2);
+  Alcotest.(check bool) "at most 2-covered" true
+    (Lowerbound.Cover.at_most_k_covered per_process ~k:2)
+
+(* --- k-packings (Lemma 7.1) --------------------------------------------- *)
+
+let test_packing_basics () =
+  let covers = [| [ 0; 1 ]; [ 0 ]; [ 1; 2 ] |] in
+  Alcotest.(check bool) "valid packing" true
+    (Lowerbound.Packing.is_packing covers ~k:1 [| 1; 0; 2 |]);
+  Alcotest.(check bool) "capacity violated" false
+    (Lowerbound.Packing.is_packing covers ~k:1 [| 0; 0; 2 |]);
+  Alcotest.(check bool) "coverage violated" false
+    (Lowerbound.Packing.is_packing covers ~k:2 [| 2; 0; 2 |]);
+  Alcotest.(check int) "load" 2
+    (Lowerbound.Packing.load [| 0; 0; 1 |] ~loc:0)
+
+let test_max_packing () =
+  let covers = [| [ 0; 1 ]; [ 0 ]; [ 1; 2 ] |] in
+  (match Lowerbound.Packing.max_packing covers ~k:1 with
+   | Some p ->
+     Alcotest.(check bool) "returned packing is valid" true
+       (Lowerbound.Packing.is_packing covers ~k:1 p)
+   | None -> Alcotest.fail "a 1-packing exists");
+  (* two processes forced into the same single location: no 1-packing *)
+  let covers = [| [ 0 ]; [ 0 ] |] in
+  Alcotest.(check bool) "no 1-packing" true
+    (Lowerbound.Packing.max_packing covers ~k:1 = None);
+  Alcotest.(check bool) "2-packing exists" true
+    (Lowerbound.Packing.max_packing covers ~k:2 <> None)
+
+let test_transfer_lemma () =
+  (* g packs both processes into location 0; h packs them apart. *)
+  let covers = [| [ 0; 1 ]; [ 0; 2 ] |] in
+  let g = [| 0; 0 |] and h = [| 1; 2 |] in
+  (match Lowerbound.Packing.transfer covers ~k:2 ~g ~h ~from_loc:0 with
+   | Some (g', locs, procs) ->
+     Alcotest.(check bool) "g' valid" true (Lowerbound.Packing.is_packing covers ~k:2 g');
+     Alcotest.(check int) "one fewer in loc 0" 1 (Lowerbound.Packing.load g' ~loc:0);
+     Alcotest.(check bool) "path starts at 0" true (List.hd locs = 0);
+     Alcotest.(check bool) "at least one process moved" true (procs <> [])
+   | None -> Alcotest.fail "hypothesis holds, transfer must exist");
+  (* hypothesis fails: at location 0, h (as g) packs 0 while g (as h)
+     packs 2 — no surplus, so no transfer *)
+  Alcotest.(check bool) "no transfer without surplus" true
+    (Lowerbound.Packing.transfer covers ~k:2 ~g:h ~h:g ~from_loc:0 = None)
+
+let test_fully_packed () =
+  (* Both processes can only sit in location 0: it is fully 2-packed. *)
+  let covers = [| [ 0 ]; [ 0 ] |] in
+  let p = Option.get (Lowerbound.Packing.max_packing covers ~k:2) in
+  Alcotest.(check (list int)) "fully packed" [ 0 ]
+    (Lowerbound.Packing.fully_packed covers ~k:2 p);
+  (* One process has an escape route: location 0 is no longer fully
+     packed. *)
+  let covers = [| [ 0 ]; [ 0; 1 ] |] in
+  let p = [| 0; 0 |] in
+  Alcotest.(check (list int)) "escape empties L" []
+    (Lowerbound.Packing.fully_packed covers ~k:2 p)
+
+(* qcheck: random cover structures *)
+
+let covers_gen =
+  QCheck2.Gen.(
+    let* n_procs = int_range 1 6 in
+    let* n_locs = int_range 1 5 in
+    let* covers =
+      array_size (pure n_procs)
+        (let* k = int_range 1 n_locs in
+         let* locs = list_size (pure k) (int_range 0 (n_locs - 1)) in
+         pure (List.sort_uniq compare locs))
+    in
+    pure covers)
+
+let prop_max_packing_valid =
+  QCheck2.Test.make ~name:"max_packing returns valid packings" ~count:300
+    QCheck2.Gen.(pair covers_gen (int_range 1 3))
+    (fun (covers, k) ->
+      match Lowerbound.Packing.max_packing covers ~k with
+      | Some p -> Lowerbound.Packing.is_packing covers ~k p
+      | None ->
+        (* no packing: at least pigeonhole must forbid it on some subset —
+           weak sanity: total capacity of the union of some cover sets is
+           exceeded.  We only check the trivial global bound here. *)
+        true)
+
+let prop_transfer_preserves_counts =
+  QCheck2.Test.make ~name:"Lemma 7.1: transfer re-packs exactly one process" ~count:300
+    QCheck2.Gen.(pair covers_gen (int_range 1 3))
+    (fun (covers, k) ->
+      match Lowerbound.Packing.max_packing covers ~k with
+      | None -> true
+      | Some g ->
+        (* derive a second packing by re-running with rotated covers *)
+        let covers' = Array.map (fun l -> List.rev l) covers in
+        (match Lowerbound.Packing.max_packing covers' ~k with
+         | None -> true
+         | Some h ->
+           (* find a location where g packs more than h *)
+           let locs = Array.to_list g @ Array.to_list h in
+           (match
+              List.find_opt
+                (fun r ->
+                  Lowerbound.Packing.load g ~loc:r > Lowerbound.Packing.load h ~loc:r)
+                locs
+            with
+            | None -> true
+            | Some r1 ->
+              (match Lowerbound.Packing.transfer covers ~k ~g ~h ~from_loc:r1 with
+               | None -> false (* hypothesis held; lemma demands a transfer *)
+               | Some (g', locs_path, _) ->
+                 let rt = List.nth locs_path (List.length locs_path - 1) in
+                 Lowerbound.Packing.is_packing covers ~k g'
+                 && Lowerbound.Packing.load g' ~loc:r1
+                    = Lowerbound.Packing.load g ~loc:r1 - 1
+                 && Lowerbound.Packing.load g' ~loc:rt
+                    = Lowerbound.Packing.load g ~loc:rt + 1
+                 && Lowerbound.Packing.load h ~loc:rt > Lowerbound.Packing.load g ~loc:rt
+                 && Array.for_all
+                      (fun r ->
+                        r = r1 || r = rt
+                        || Lowerbound.Packing.load g' ~loc:r
+                           = Lowerbound.Packing.load g ~loc:r)
+                      g))))
+
+let prop_fully_packed_sound =
+  QCheck2.Test.make ~name:"fully packed locations carry k in every found packing"
+    ~count:200
+    QCheck2.Gen.(pair covers_gen (int_range 1 3))
+    (fun (covers, k) ->
+      match Lowerbound.Packing.max_packing covers ~k with
+      | None -> true
+      | Some p ->
+        let l = Lowerbound.Packing.fully_packed covers ~k p in
+        (* any other packing we can construct must also pack k there *)
+        let covers' = Array.map List.rev covers in
+        (match Lowerbound.Packing.max_packing covers' ~k with
+         | None -> true
+         | Some q ->
+           List.for_all (fun r -> Lowerbound.Packing.load q ~loc:r = k) l))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "lowerbound"
+    [
+      ( "theorem 4.1",
+        [
+          Alcotest.test_case "interleave breaks victims" `Quick
+            test_interleave_breaks_victims;
+          Alcotest.test_case "rejects two registers" `Quick
+            test_interleave_rejects_two_registers;
+        ] );
+      ( "theorem 5.1",
+        [
+          Alcotest.test_case "fai adversary breaks victim" `Quick
+            test_fai_adversary_breaks_victim;
+          Alcotest.test_case "rejects non-obstruction-free" `Quick
+            test_fai_adversary_rejects_non_of;
+          Alcotest.test_case "rejects second location" `Quick
+            test_fai_adversary_rejects_second_location;
+        ] );
+      ( "lemma 9.1",
+        [
+          Alcotest.test_case "growth is monotone" `Quick test_growth_monotone;
+          Alcotest.test_case "input validation" `Quick test_growth_input_validation;
+        ] );
+      ( "covering",
+        [
+          Alcotest.test_case "cover vocabulary" `Quick test_cover;
+          Alcotest.test_case "Lemma 6.5 witness" `Quick test_covering_witness;
+          Alcotest.test_case "witness validation" `Quick test_covering_witness_validation;
+          Alcotest.test_case "cover on machine configs" `Quick
+            test_cover_on_machine_configs;
+        ] );
+      ( "packing (lemma 7.1)",
+        [
+          Alcotest.test_case "basics" `Quick test_packing_basics;
+          Alcotest.test_case "max packing" `Quick test_max_packing;
+          Alcotest.test_case "transfer lemma" `Quick test_transfer_lemma;
+          Alcotest.test_case "fully packed" `Quick test_fully_packed;
+        ]
+        @ q [ prop_max_packing_valid; prop_transfer_preserves_counts; prop_fully_packed_sound ]
+      );
+    ]

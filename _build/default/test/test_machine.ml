@@ -1,0 +1,371 @@
+(* Tests for the shared-memory model: the process monad, the machine
+   functor, and the schedulers. *)
+
+open Model
+
+(* A tiny instruction set for driving the machine: integer cells with read
+   and write. *)
+module Cell = struct
+  type cell = int
+  type op = Read | Write of int
+  type result = int
+
+  let name = "{read, write} (test cells)"
+  let init = 0
+  let apply op c = match op with Read -> (c, c) | Write x -> (x, c)
+  let trivial = function Read -> true | Write _ -> false
+  let multi_assignment = false
+  let equal_cell = Int.equal
+  let pp_cell = Format.pp_print_int
+  let pp_op ppf = function
+    | Read -> Format.pp_print_string ppf "read"
+    | Write x -> Format.fprintf ppf "write %d" x
+  let pp_result = Format.pp_print_int
+end
+
+module Multi_cell = struct
+  include Cell
+
+  let multi_assignment = true
+end
+
+module M = Machine.Make (Cell)
+module MM = Machine.Make (Multi_cell)
+open Proc.Syntax
+
+let read loc = Proc.access loc Cell.Read
+let write loc x = Proc.map ignore (Proc.access loc (Cell.Write x))
+
+(* --- proc monad ------------------------------------------------------- *)
+
+let run_one proc =
+  let cfg = M.make ~n:1 (fun _ -> proc) in
+  let cfg, outcome = M.run ~sched:(Sched.solo 0) cfg in
+  (M.decision cfg 0, M.steps cfg, outcome)
+
+let test_return () =
+  let d, steps, outcome = run_one (Proc.return 42) in
+  Alcotest.(check (option int)) "decision" (Some 42) d;
+  Alcotest.(check int) "no steps" 0 steps;
+  Alcotest.(check bool) "all decided" true (outcome = `All_decided)
+
+let test_bind_sequencing () =
+  let proc =
+    let* () = write 0 5 in
+    let* () = write 1 7 in
+    let* a = read 0 in
+    let* c = read 1 in
+    Proc.return (a + c)
+  in
+  let d, steps, _ = run_one proc in
+  Alcotest.(check (option int)) "5+7" (Some 12) d;
+  Alcotest.(check int) "four accesses" 4 steps
+
+let test_map () =
+  let d, _, _ = run_one (Proc.map (fun x -> x * 2) (Proc.return 21)) in
+  Alcotest.(check (option int)) "map" (Some 42) d
+
+let test_rec_loop () =
+  let proc =
+    Proc.rec_loop 0 (fun i ->
+        if i >= 5 then Proc.return (Either.Right i)
+        else
+          let* () = write 0 i in
+          Proc.return (Either.Left (i + 1)))
+  in
+  let d, steps, _ = run_one proc in
+  Alcotest.(check (option int)) "loop result" (Some 5) d;
+  Alcotest.(check int) "five writes" 5 steps
+
+let test_proc_reexecution_purity () =
+  (* The same proc value must be executable twice with identical results —
+     the property model checking and double collect rely on. *)
+  let proc =
+    let* () = write 0 1 in
+    let* v = read 0 in
+    Proc.return v
+  in
+  let d1, _, _ = run_one proc in
+  let d2, _, _ = run_one proc in
+  Alcotest.(check (option int)) "same result" d1 d2
+
+(* --- machine ---------------------------------------------------------- *)
+
+let test_memory_isolation () =
+  let cfg = M.make ~n:2 (fun pid -> write pid (pid + 10)) in
+  let cfg = M.step (M.step cfg 0) 1 in
+  Alcotest.(check int) "loc 0" 10 (M.cell cfg 0);
+  Alcotest.(check int) "loc 1" 11 (M.cell cfg 1);
+  Alcotest.(check int) "untouched loc" 0 (M.cell cfg 99)
+
+let test_persistent_configs () =
+  (* Stepping a configuration must not disturb the original: branching. *)
+  let cfg = M.make ~n:2 (fun pid -> write 0 pid) in
+  let branch0 = M.step cfg 0 in
+  let branch1 = M.step cfg 1 in
+  Alcotest.(check int) "branch0 sees pid 0's write" 0 (M.cell branch0 0);
+  Alcotest.(check int) "branch1 sees pid 1's write" 1 (M.cell branch1 0);
+  Alcotest.(check int) "original memory untouched" 0 (M.cell cfg 0);
+  Alcotest.(check (list int)) "original still running" [ 0; 1 ] (M.running cfg)
+
+let test_locations_accounting () =
+  let proc =
+    let* () = write 3 1 in
+    let* () = write 7 1 in
+    let* _ = read 3 in
+    Proc.return 0
+  in
+  let cfg = M.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = M.run ~sched:(Sched.solo 0) cfg in
+  Alcotest.(check int) "two distinct locations" 2 (M.locations_used cfg);
+  Alcotest.(check (option int)) "max location" (Some 7) (M.max_location cfg);
+  Alcotest.(check int) "three steps" 3 (M.steps cfg)
+
+let test_poised_and_decisions () =
+  let cfg =
+    M.make ~n:2 (fun pid ->
+        if pid = 0 then Proc.return 9 else Proc.map (fun () -> 0) (write 4 1))
+  in
+  Alcotest.(check (option int)) "pid 0 decided" (Some 9) (M.decision cfg 0);
+  Alcotest.(check bool) "pid 0 not poised" true (M.poised cfg 0 = None);
+  (match M.poised cfg 1 with
+   | Some [ (4, Cell.Write 1) ] -> ()
+   | _ -> Alcotest.fail "pid 1 should be poised to write location 4");
+  Alcotest.(check (list int)) "only pid 1 runs" [ 1 ] (M.running cfg);
+  Alcotest.(check bool)
+    "decisions list" true
+    (M.decisions cfg = [ (0, 9) ])
+
+let test_step_errors () =
+  let cfg = M.make ~n:1 (fun _ -> Proc.return 1) in
+  Alcotest.check_raises "stepping decided process"
+    (Invalid_argument "Machine.step: process has decided") (fun () ->
+      ignore (M.step cfg 0))
+
+let test_multi_assignment_rejected () =
+  let proc = Proc.map ignore (Proc.multi_access [ (0, Cell.Write 1); (1, Cell.Write 2) ]) in
+  let cfg = M.make ~n:1 (fun _ -> proc) in
+  (try
+     ignore (M.step cfg 0);
+     Alcotest.fail "multi assignment should be rejected"
+   with M.Multi_assignment_not_supported -> ())
+
+let test_multi_assignment_allowed () =
+  let proc =
+    let* _ = Proc.multi_access [ (0, Cell.Write 1); (1, Cell.Write 2) ] in
+    let* a = Proc.access 0 Cell.Read in
+    let* b = Proc.access 1 Cell.Read in
+    Proc.return (a + b)
+  in
+  let cfg = MM.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = MM.run ~sched:(Sched.solo 0) cfg in
+  Alcotest.(check (option int)) "atomic pair write" (Some 3) (MM.decision cfg 0);
+  (* the multi access is one step *)
+  Alcotest.(check int) "steps" 3 (MM.steps cfg)
+
+let test_multi_atomicity () =
+  (* No interleaving can observe one half of a multiple assignment. *)
+  let writer = Proc.map (fun _ -> -1) (Proc.multi_access [ (0, Cell.Write 1); (1, Cell.Write 1) ]) in
+  let reader =
+    let* a = Proc.access 0 Cell.Read in
+    let* b = Proc.access 1 Cell.Read in
+    Proc.return ((a * 10) + b)
+  in
+  (* Explore all interleavings by brute force. *)
+  let rec explore cfg acc =
+    match MM.running cfg with
+    | [] ->
+      (match MM.decision cfg 1 with Some d -> d :: acc | None -> acc)
+    | pids -> List.fold_left (fun acc pid -> explore (MM.step cfg pid) acc) acc pids
+  in
+  let cfg = MM.make ~n:2 (fun pid -> if pid = 0 then writer else reader) in
+  let observations = List.sort_uniq compare (explore cfg []) in
+  (* The reader takes two separate steps, so 00, 01 and 11 are all legal —
+     but 10 would mean location 0 was written while location 1 was not,
+     i.e. the multiple assignment was torn. *)
+  Alcotest.(check bool) "no torn observation (10)" false (List.mem 10 observations);
+  Alcotest.(check bool) "00 observable" true (List.mem 0 observations);
+  Alcotest.(check bool) "11 observable" true (List.mem 11 observations)
+
+let test_fold_cells () =
+  let cfg = M.make ~n:1 (fun _ -> Proc.bind (write 2 5) (fun () -> Proc.bind (write 8 6) (fun () -> Proc.return 0))) in
+  let cfg, _ = M.run ~sched:(Sched.solo 0) cfg in
+  let cells = M.fold_cells cfg ~init:[] ~f:(fun acc loc c -> (loc, c) :: acc) in
+  Alcotest.(check bool) "cells recorded" true
+    (List.mem (2, 5) cells && List.mem (8, 6) cells)
+
+let test_run_fuel () =
+  let rec spin () = Proc.bind (read 0) (fun _ -> spin ()) in
+  let cfg = M.make ~n:1 (fun _ -> spin ()) in
+  let cfg, outcome = M.run ~fuel:50 ~sched:(Sched.solo 0) cfg in
+  Alcotest.(check bool) "out of fuel" true (outcome = `Out_of_fuel);
+  Alcotest.(check int) "consumed exactly fuel" 50 (M.steps cfg)
+
+(* --- schedulers ------------------------------------------------------- *)
+
+let trace sched ~n ~steps =
+  let writer _pid = Proc.rec_loop 0 (fun i -> Proc.bind (write 0 i) (fun () -> Proc.return (Either.Left (i + 1)))) in
+  let cfg = M.make ~n writer in
+  let rec go cfg sched acc k =
+    if k = 0 then List.rev acc
+    else begin
+      match Sched.next sched ~running:(M.running cfg) ~step:(M.steps cfg) with
+      | None -> List.rev acc
+      | Some (pid, sched') -> go (M.step cfg pid) sched' (pid :: acc) (k - 1)
+    end
+  in
+  go cfg sched [] steps
+
+let test_sched_round_robin () =
+  Alcotest.(check (list int))
+    "cycles"
+    [ 0; 1; 2; 0; 1; 2; 0; 1 ]
+    (trace Sched.round_robin ~n:3 ~steps:8)
+
+let test_sched_solo () =
+  Alcotest.(check (list int)) "solo picks one" [ 1; 1; 1; 1 ] (trace (Sched.solo 1) ~n:3 ~steps:4)
+
+let test_sched_script () =
+  Alcotest.(check (list int))
+    "script order"
+    [ 2; 0; 0; 1 ]
+    (trace (Sched.script [ 2; 0; 0; 1 ]) ~n:3 ~steps:10)
+
+let test_sched_random_deterministic () =
+  let t1 = trace (Sched.random ~seed:5) ~n:3 ~steps:30 in
+  let t2 = trace (Sched.random ~seed:5) ~n:3 ~steps:30 in
+  let t3 = trace (Sched.random ~seed:6) ~n:3 ~steps:30 in
+  Alcotest.(check (list int)) "same seed, same trace" t1 t2;
+  Alcotest.(check bool) "different seed differs" true (t1 <> t3);
+  List.iter (fun p -> Alcotest.(check bool) "pid in range" true (p >= 0 && p < 3)) t1
+
+let test_sched_alternate () =
+  Alcotest.(check (list int))
+    "alternates"
+    [ 0; 2; 0; 2; 0 ]
+    (trace (Sched.alternate [ 0; 2 ]) ~n:3 ~steps:5)
+
+let test_sched_fair () =
+  let bound = 4 in
+  let t = trace (Sched.fair ~bound ~seed:2) ~n:3 ~steps:60 in
+  Alcotest.(check int) "length" 60 (List.length t);
+  (* no process waits more than [bound] steps between turns *)
+  let last = Array.make 3 (-1) in
+  List.iteri
+    (fun i p ->
+      last.(p) <- i;
+      Array.iteri
+        (fun _q lq -> Alcotest.(check bool) "fairness bound" true (i - lq <= bound || lq < 0))
+        last)
+    t;
+  (* deterministic in seed *)
+  Alcotest.(check (list int)) "deterministic" t (trace (Sched.fair ~bound ~seed:2) ~n:3 ~steps:60)
+
+let test_sched_excluding_and_phased () =
+  let t = trace (Sched.excluding [ 1 ] Sched.round_robin) ~n:3 ~steps:6 in
+  Alcotest.(check bool) "never schedules 1" true (not (List.mem 1 t));
+  let t =
+    trace (Sched.phased [ (4, Sched.solo 2) ] (Sched.solo 0)) ~n:3 ~steps:7
+  in
+  Alcotest.(check (list int)) "phase switch" [ 2; 2; 2; 2; 0; 0; 0 ] t
+
+let test_sched_random_then_sequential () =
+  let t = trace (Sched.random_then_sequential ~seed:1 ~prefix:5) ~n:3 ~steps:12 in
+  Alcotest.(check int) "length" 12 (List.length t);
+  (* after the prefix, always the lowest running pid (0 here: spinners never decide) *)
+  let tail = List.filteri (fun i _ -> i >= 5) t in
+  List.iter (fun p -> Alcotest.(check int) "sequential tail" 0 p) tail
+
+(* --- traces -------------------------------------------------------------- *)
+
+let test_trace_records_steps () =
+  let cfg =
+    M.make ~n:2 (fun pid ->
+        let* () = write pid (pid + 5) in
+        let* v = read pid in
+        Proc.return v)
+  in
+  let cfg, _ = M.run ~sched:Sched.round_robin cfg in
+  let t = M.trace cfg in
+  Alcotest.(check int) "four events" 4 (List.length t);
+  (match t with
+   | { M.pid = 0; accesses = [ (0, Cell.Write 5, _) ] } :: _ -> ()
+   | _ -> Alcotest.fail "first event should be p0's write to 0");
+  (* pp_trace renders without exception *)
+  Alcotest.(check bool) "printable" true
+    (String.length (Format.asprintf "%a" M.pp_trace cfg) > 0)
+
+(* --- properties ---------------------------------------------------------- *)
+
+(* Steps on disjoint locations commute: the order of two processes writing
+   different locations does not change the final memory. *)
+let prop_disjoint_steps_commute =
+  QCheck2.Test.make ~name:"disjoint-location steps commute" ~count:300
+    QCheck2.Gen.(
+      quad (int_range 0 4) (int_range 5 9) (int_range 0 100) (int_range 0 100))
+    (fun (l0, l1, v0, v1) ->
+      let cfg =
+        M.make ~n:2 (fun pid ->
+            Proc.map (fun () -> 0) (write (if pid = 0 then l0 else l1) (if pid = 0 then v0 else v1)))
+      in
+      let a = M.step (M.step cfg 0) 1 in
+      let b = M.step (M.step cfg 1) 0 in
+      M.cell a l0 = M.cell b l0 && M.cell a l1 = M.cell b l1)
+
+(* Runs are reproducible: same protocol, same scheduler seed, same trace. *)
+let prop_runs_deterministic =
+  QCheck2.Test.make ~name:"seeded runs are reproducible" ~count:100
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 2 4))
+    (fun (seed, n) ->
+      let mk () =
+        M.make ~n (fun pid ->
+            let* () = write 0 pid in
+            let* v = read 0 in
+            Proc.return v)
+      in
+      let r1, _ = M.run ~sched:(Sched.random ~seed) (mk ()) in
+      let r2, _ = M.run ~sched:(Sched.random ~seed) (mk ()) in
+      M.decisions r1 = M.decisions r2 && M.steps r1 = M.steps r2
+      && List.map (fun (e : M.event) -> e.pid) (M.trace r1)
+         = List.map (fun (e : M.event) -> e.pid) (M.trace r2))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "proc",
+        [
+          Alcotest.test_case "return" `Quick test_return;
+          Alcotest.test_case "bind sequencing" `Quick test_bind_sequencing;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "rec_loop" `Quick test_rec_loop;
+          Alcotest.test_case "re-execution purity" `Quick test_proc_reexecution_purity;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "memory isolation" `Quick test_memory_isolation;
+          Alcotest.test_case "persistent configs" `Quick test_persistent_configs;
+          Alcotest.test_case "locations accounting" `Quick test_locations_accounting;
+          Alcotest.test_case "poised and decisions" `Quick test_poised_and_decisions;
+          Alcotest.test_case "step errors" `Quick test_step_errors;
+          Alcotest.test_case "multi-assignment rejected" `Quick test_multi_assignment_rejected;
+          Alcotest.test_case "multi-assignment allowed" `Quick test_multi_assignment_allowed;
+          Alcotest.test_case "multi-assignment atomicity" `Quick test_multi_atomicity;
+          Alcotest.test_case "fold_cells" `Quick test_fold_cells;
+          Alcotest.test_case "fuel" `Quick test_run_fuel;
+          Alcotest.test_case "trace records steps" `Quick test_trace_records_steps;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_disjoint_steps_commute; prop_runs_deterministic ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+          Alcotest.test_case "solo" `Quick test_sched_solo;
+          Alcotest.test_case "script" `Quick test_sched_script;
+          Alcotest.test_case "random deterministic" `Quick test_sched_random_deterministic;
+          Alcotest.test_case "alternate" `Quick test_sched_alternate;
+          Alcotest.test_case "fair" `Quick test_sched_fair;
+          Alcotest.test_case "excluding and phased" `Quick test_sched_excluding_and_phased;
+          Alcotest.test_case "random then sequential" `Quick test_sched_random_then_sequential;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for the bounded model checker: exhaustive verification of the
+   cheap protocols, bivalence detection (Lemma 6.4), and the checker's
+   ability to catch deliberately broken protocols. *)
+
+let ok_stats = function
+  | Ok (s : Modelcheck.stats) -> s
+  | Error e -> Alcotest.fail ("unexpected violation: " ^ e)
+
+(* 1. Exhaustive verification of one-shot protocols (complete tree). *)
+let test_exhaustive_one_shot () =
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Everywhere Consensus.Cas_protocol.protocol
+         ~inputs:[| 0; 1 |] ~depth:6)
+  in
+  Alcotest.(check bool) "cas n=2 complete" false s.truncated;
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Everywhere Consensus.Cas_protocol.protocol
+         ~inputs:[| 0; 1; 2 |] ~depth:8)
+  in
+  Alcotest.(check bool) "cas n=3 complete" false s.truncated;
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Everywhere Consensus.Intro_protocols.faa2_tas
+         ~inputs:[| 0; 1 |] ~depth:6)
+  in
+  Alcotest.(check bool) "faa2+tas n=2 complete" false s.truncated;
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Everywhere Consensus.Intro_protocols.faa2_tas
+         ~inputs:[| 1; 0; 1; 0 |] ~depth:10)
+  in
+  Alcotest.(check bool) "faa2+tas n=4 complete" false s.truncated;
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Everywhere Consensus.Intro_protocols.decmul
+         ~inputs:[| 0; 1; 1 |] ~depth:12)
+  in
+  Alcotest.(check bool) "dec+mul n=3 complete" false s.truncated;
+  (* the 2-process multiple-assignment protocol, for all four input pairs *)
+  List.iter
+    (fun inputs ->
+      let s =
+        ok_stats
+          (Modelcheck.explore ~probe:`Everywhere Consensus.Assignment_protocol.two_process
+             ~inputs ~depth:8)
+      in
+      Alcotest.(check bool) "2-assignment complete" false s.truncated)
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+
+(* 2. Deep bounded exploration of the loop-based protocols. *)
+let test_bounded_loop_protocols () =
+  let protos =
+    [
+      ("maxreg", Consensus.Maxreg_protocol.protocol, 14);
+      ("arith-mul", Consensus.Arith_protocols.mul, 14);
+      ("arith-add", Consensus.Arith_protocols.add, 14);
+      ("swap", Consensus.Swap_protocol.protocol, 14);
+      ("rw", Consensus.Rw_protocol.protocol, 12);
+      ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2, 12);
+      ( "increment-binary",
+        Consensus.Increment_protocol.binary ~flavour:Isets.Incr.Increment_only,
+        13 );
+      ("tug-of-war-binary", Consensus.Tugofwar_protocol.binary, 14);
+      ( "tracks-tas",
+        Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only,
+        12 );
+    ]
+  in
+  List.iter
+    (fun (name, proto, depth) ->
+      let s = ok_stats (Modelcheck.explore ~probe:`Leaves proto ~inputs:[| 0; 1 |] ~depth) in
+      Alcotest.(check bool) (name ^ ": explored some tree") true (s.configs > 100))
+    protos
+
+(* 3. Three processes, shallower. *)
+let test_three_process_exploration () =
+  List.iter
+    (fun (name, proto) ->
+      let s =
+        ok_stats (Modelcheck.explore ~probe:`Leaves proto ~inputs:[| 2; 0; 1 |] ~depth:8)
+      in
+      Alcotest.(check bool) (name ^ " 3 procs") true (s.configs > 0))
+    [
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("arith-mul", Consensus.Arith_protocols.mul);
+      ("buffers-3", Consensus.Buffers_protocol.protocol ~capacity:3);
+    ]
+
+(* 4. Lemma 6.4: from the initial configuration with mixed inputs, both
+   values are decidable — bivalence. *)
+let test_initial_bivalence () =
+  List.iter
+    (fun (name, proto) ->
+      match Modelcheck.decidable_values proto ~inputs:[| 0; 1 |] ~depth:4 with
+      | Ok vs ->
+        Alcotest.(check (list int)) (name ^ ": initially bivalent") [ 0; 1 ] vs
+      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+    [
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("cas", Consensus.Cas_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("increment-binary", Consensus.Increment_protocol.binary ~flavour:Isets.Incr.Increment_only);
+    ]
+
+(* 5. With unanimous inputs only that value is decidable (validity). *)
+let test_unanimous_univalence () =
+  List.iter
+    (fun v ->
+      match
+        Modelcheck.decidable_values Consensus.Maxreg_protocol.protocol
+          ~inputs:[| v; v |] ~depth:5
+      with
+      | Ok vs -> Alcotest.(check (list int)) "only the unanimous value" [ v ] vs
+      | Error e -> Alcotest.fail e)
+    [ 0; 1 ]
+
+(* 6. Broken protocols are caught. *)
+let broken_disagree : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "broken-disagree"
+    let locations ~n:_ = Some 0
+    let proc ~n:_ ~pid ~input:_ = Model.Proc.return pid
+  end)
+
+let broken_invalid : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "broken-invalid"
+    let locations ~n:_ = Some 0
+    let proc ~n:_ ~pid:_ ~input:_ = Model.Proc.return 7
+  end)
+
+let broken_nonterminating : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "broken-spin"
+    let locations ~n:_ = Some 1
+
+    (* Waits forever for another process's write: not obstruction-free. *)
+    let proc ~n:_ ~pid ~input =
+      let open Model.Proc.Syntax in
+      if pid = 0 then
+        Model.Proc.rec_loop () (fun () ->
+            let* v = Isets.Rw.read 0 in
+            match v with
+            | Model.Value.Int w -> Model.Proc.return (Either.Right w)
+            | _ -> Model.Proc.return (Either.Left ()))
+      else
+        let* () = Isets.Rw.write 0 (Model.Value.Int input) in
+        Model.Proc.return input
+  end)
+
+let expect_violation name outcome =
+  match outcome with
+  | Error _ -> ()
+  | Ok (_ : Modelcheck.stats) -> Alcotest.fail (name ^ ": violation not detected")
+
+let test_catches_broken () =
+  expect_violation "disagree"
+    (Modelcheck.explore broken_disagree ~inputs:[| 0; 1 |] ~depth:3);
+  expect_violation "invalid"
+    (Modelcheck.explore broken_invalid ~inputs:[| 0; 1 |] ~depth:3);
+  expect_violation "non-terminating (obstruction-freedom probe)"
+    (Modelcheck.explore ~probe:`Everywhere ~solo_fuel:1_000 broken_nonterminating
+       ~inputs:[| 0; 1 |] ~depth:2)
+
+(* 7. An agreement bug only reachable through a specific interleaving: the
+   naive single-max-register victim.  The checker must find the schedule. *)
+let test_finds_interleaving_bug () =
+  let victim : Consensus.Proto.t =
+    let (module V) = Lowerbound.Victims.naive_maxreg in
+    (module V)
+  in
+  expect_violation "naive maxreg victim"
+    (Modelcheck.explore ~probe:`Everywhere victim ~inputs:[| 0; 1 |] ~depth:6)
+
+(* 8. Stats are sane on a complete exploration: cas n=2 has a known tree. *)
+let test_stats_shape () =
+  let s =
+    ok_stats
+      (Modelcheck.explore ~probe:`Never Consensus.Cas_protocol.protocol
+         ~inputs:[| 0; 1 |] ~depth:10)
+  in
+  (* Each process takes exactly one step: configs = 1 root + 2 + 2 = 5. *)
+  Alcotest.(check int) "cas n=2 tree size" 5 s.configs;
+  Alcotest.(check int) "no probes when `Never" 0 s.probes;
+  Alcotest.(check bool) "complete" false s.truncated
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "exploration",
+        [
+          Alcotest.test_case "exhaustive one-shot" `Quick test_exhaustive_one_shot;
+          Alcotest.test_case "bounded loop protocols" `Quick test_bounded_loop_protocols;
+          Alcotest.test_case "three processes" `Quick test_three_process_exploration;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        ] );
+      ( "bivalence",
+        [
+          Alcotest.test_case "initial bivalence (Lemma 6.4)" `Quick test_initial_bivalence;
+          Alcotest.test_case "unanimous univalence" `Quick test_unanimous_univalence;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "catches broken protocols" `Quick test_catches_broken;
+          Alcotest.test_case "finds interleaving bug" `Quick test_finds_interleaving_bug;
+        ] );
+    ]

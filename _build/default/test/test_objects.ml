@@ -1,0 +1,558 @@
+(* Tests for the simulated objects: counters in all their encodings, the
+   ℓ-buffer history object, single-writer registers, snapshots and bit
+   tracks. *)
+
+open Model
+open Proc.Syntax
+
+let big_list = Alcotest.(list string)
+let counts_to_strings a = Array.to_list (Array.map Bignum.to_string a)
+let ints_to_strings l = List.map string_of_int l
+
+(* Run one process to completion on a fresh machine of iset [I]. *)
+let run_solo (type c o r) (module I : Iset.S with type cell = c and type op = o and type result = r)
+    proc =
+  let module M = Machine.Make (I) in
+  let cfg = M.make ~n:1 (fun _ -> proc) in
+  let cfg, outcome = M.run ~sched:(Sched.solo 0) cfg in
+  (match outcome with `All_decided -> () | _ -> Alcotest.fail "solo run did not finish");
+  (Option.get (M.decision cfg 0), fun loc -> M.cell cfg loc)
+
+(* Drive [n] counter-user processes to completion under a schedule. *)
+let run_many (type c o r) (module I : Iset.S with type cell = c and type op = o and type result = r)
+    ~n ~sched procs =
+  let module M = Machine.Make (I) in
+  let cfg = M.make ~n (fun pid -> procs pid) in
+  let cfg, outcome = M.run ~sched cfg in
+  (match outcome with `All_decided -> () | _ -> Alcotest.fail "run did not finish");
+  List.map snd (M.decisions cfg)
+
+(* A counter exercise: perform [incs] (component indices) then scan. *)
+let exercise (type o r) ((module C) : (o, r) Objects.Counter.t) incs =
+  let rec go st = function
+    | [] ->
+      let* _, counts = C.scan st in
+      Proc.return counts
+    | i :: rest ->
+      let* st = C.increment st i in
+      go st rest
+  in
+  go C.init incs
+
+let expect_counts name counter incs expected iset =
+  let counts, _ = run_solo iset (exercise counter incs) in
+  Alcotest.(check big_list)
+    name
+    (ints_to_strings expected)
+    (counts_to_strings counts)
+
+(* --- arithmetic counters ---------------------------------------------- *)
+
+let test_mul_counter () =
+  expect_counts "prime-exponent counts"
+    (Objects.Arith_counters.mul ~components:3 ~loc:0)
+    [ 0; 1; 1; 2; 1; 1 ]
+    [ 1; 4; 1 ]
+    (module Isets.Arith.Mul);
+  (* the raw cell is the corresponding prime product: 2^1 * 3^3 * 5^2 *)
+  let _, cell =
+    run_solo (module Isets.Arith.Mul)
+      (exercise (Objects.Arith_counters.mul ~components:3 ~loc:0) [ 0; 1; 1; 2; 1; 2 ])
+  in
+  Alcotest.(check string)
+    "raw prime product 2*27*25" "1350"
+    (Bignum.to_string (cell 0))
+
+let test_add_counter () =
+  expect_counts "base-3n digit counts"
+    (Objects.Arith_counters.add ~components:4 ~n:4 ~loc:0)
+    [ 3; 0; 0; 2; 3; 3 ]
+    [ 2; 0; 1; 3 ]
+    (module Isets.Arith.Add)
+
+let test_add_counter_decrement () =
+  let counter = Objects.Arith_counters.add ~components:2 ~n:3 ~loc:0 in
+  let (module C) = counter in
+  let proc =
+    let* st = C.increment C.init 0 in
+    let* st = C.increment st 0 in
+    let* st = C.increment st 1 in
+    let dec = Option.get C.decrement in
+    let* st = dec st 0 in
+    let* _, counts = C.scan st in
+    Proc.return counts
+  in
+  let counts, _ = run_solo (module Isets.Arith.Add) proc in
+  Alcotest.(check big_list) "2 incs - 1 dec" [ "1"; "1" ] (counts_to_strings counts)
+
+let test_faa_counter () =
+  expect_counts "fetch-and-add counter"
+    (Objects.Arith_counters.faa ~components:3 ~n:3 ~loc:0)
+    [ 2; 2; 0 ]
+    [ 1; 0; 2 ]
+    (module Isets.Arith.Faa)
+
+let test_fam_counter () =
+  expect_counts "fetch-and-multiply counter"
+    (Objects.Arith_counters.fam ~components:2 ~loc:0)
+    [ 1; 1; 1; 0 ]
+    [ 1; 3 ]
+    (module Isets.Arith.Fam)
+
+let test_setbit_counter () =
+  expect_counts "set-bit block counts"
+    (Objects.Arith_counters.set_bit ~components:3 ~n:3 ~pid:1 ~loc:0)
+    [ 0; 0; 2; 2 ]
+    [ 2; 0; 2 ]
+    (module Isets.Arith.Setbit)
+
+let test_setbit_counter_two_processes () =
+  (* Two processes incrementing disjointly must sum in the scan. *)
+  let mk pid = exercise (Objects.Arith_counters.set_bit ~components:2 ~n:2 ~pid ~loc:0) in
+  let decisions =
+    run_many (module Isets.Arith.Setbit) ~n:2 ~sched:Sched.round_robin (fun pid ->
+        if pid = 0 then mk 0 [ 0; 0; 0 ] else mk 1 [ 0; 1 ])
+  in
+  (* Final scans both happen after all increments under round robin?  Not
+     necessarily — instead check each reported count is between the own
+     contribution and the total. *)
+  List.iter
+    (fun counts ->
+      let c0 = Bignum.to_int_exn counts.(0) and c1 = Bignum.to_int_exn counts.(1) in
+      Alcotest.(check bool) "component 0 within range" true (c0 >= 0 && c0 <= 4);
+      Alcotest.(check bool) "component 1 within range" true (c1 >= 0 && c1 <= 1))
+    decisions
+
+(* --- increment-location counter --------------------------------------- *)
+
+let test_incr_counter () =
+  expect_counts "increment locations"
+    (Objects.Incr_counter.make ~components:3 ~base:0 ~flavour:Isets.Incr.Increment_only)
+    [ 0; 1; 1; 2; 1 ]
+    [ 1; 3; 1 ]
+    (module Isets.Incr.Make (struct
+      let flavour = Isets.Incr.Increment_only
+    end))
+
+(* --- rw counter -------------------------------------------------------- *)
+
+let test_rw_counter () =
+  expect_counts "single-writer register counter"
+    (Objects.Rw_counter.make ~components:3 ~n:1 ~base:0 ~pid:0)
+    [ 2; 2; 1; 0 ]
+    [ 1; 1; 2 ]
+    (module Isets.Rw)
+
+let test_rw_counter_concurrent_sum () =
+  let sched = Sched.random_then_sequential ~seed:11 ~prefix:60 in
+  let decisions =
+    run_many (module Isets.Rw) ~n:3 ~sched (fun pid ->
+        exercise
+          (Objects.Rw_counter.make ~components:2 ~n:3 ~base:0 ~pid)
+          (if pid = 0 then [ 0; 0 ] else [ 1 ]))
+  in
+  (* The last process to finish performed its scan after every increment
+     completed, so some decision must see the full totals. *)
+  let full =
+    List.exists
+      (fun counts ->
+        Bignum.to_int_exn counts.(0) = 2 && Bignum.to_int_exn counts.(1) = 2)
+      decisions
+  in
+  Alcotest.(check bool) "some scan sees all increments" true full;
+  (* And no scan can ever exceed the totals. *)
+  List.iter
+    (fun counts ->
+      Alcotest.(check bool) "bounded by totals" true
+        (Bignum.to_int_exn counts.(0) <= 2 && Bignum.to_int_exn counts.(1) <= 2))
+    decisions
+
+(* --- history object (Lemma 6.1) ---------------------------------------- *)
+
+module B2 = Isets.Buffer_set.Make (struct
+  let capacity = 2
+  let multi_assignment = false
+end)
+
+let history_iset = (module B2 : Iset.S
+                     with type cell = B2.cell
+                      and type op = B2.op
+                      and type result = B2.result)
+
+let append_seq ~pid xs =
+  let rec go seq = function
+    | [] -> Objects.History.get ~loc:0
+    | x :: rest ->
+      let* () =
+        Objects.History.append ~loc:0 ~elt:(Objects.History.tag ~pid ~seq (Value.Int x))
+      in
+      go (seq + 1) rest
+  in
+  go 0 xs
+
+let payloads history = List.map (fun e -> Value.to_int_exn (Value.untag e)) history
+
+let test_history_single_appender () =
+  let h, _ = run_solo history_iset (append_seq ~pid:0 [ 10; 20; 30; 40; 50 ]) in
+  Alcotest.(check (list int)) "full history in order" [ 10; 20; 30; 40; 50 ] (payloads h)
+
+let test_history_two_appenders () =
+  (* Two appenders (= ℓ) interleaved arbitrarily: every element appended
+     must appear in the final history exactly once, in an order consistent
+     with each appender's sequence. *)
+  List.iter
+    (fun seed ->
+      let sched = Sched.random_then_sequential ~seed ~prefix:40 in
+      let decisions =
+        run_many history_iset ~n:2 ~sched (fun pid ->
+            if pid = 0 then append_seq ~pid:0 [ 1; 2; 3 ] else append_seq ~pid:1 [ 11; 12; 13 ])
+      in
+      (* the last get sees everything; take the longer history *)
+      let longest =
+        List.fold_left (fun acc h -> if List.length h > List.length acc then h else acc)
+          [] decisions
+      in
+      let ps = payloads longest in
+      Alcotest.(check int) (Printf.sprintf "all six appends present (seed %d)" seed) 6
+        (List.length ps);
+      let sub l = List.filter (fun x -> List.mem x l) ps in
+      Alcotest.(check (list int)) "pid 0 order preserved" [ 1; 2; 3 ] (sub [ 1; 2; 3 ]);
+      Alcotest.(check (list int)) "pid 1 order preserved" [ 11; 12; 13 ]
+        (sub [ 11; 12; 13 ]))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_history_figure1_regime () =
+  (* The Figure 1 schedule: both appenders (ℓ = 2) read the empty buffer,
+     then write back-to-back — their histories do not contain each other's
+     element, yet reconstruction must keep both. *)
+  let module M = Machine.Make (B2) in
+  let cfg =
+    M.make ~n:2 (fun pid ->
+        append_seq ~pid (if pid = 0 then [ 100; 101 ] else [ 200 ]))
+  in
+  (* p0 and p1 both perform their first get (one read each), then both
+     write, then p0 continues alone. *)
+  let cfg = M.step (M.step cfg 0) 1 in  (* both reads *)
+  let cfg = M.step (M.step cfg 0) 1 in  (* both writes, concurrent appends *)
+  let cfg, _ = M.run ~sched:(Sched.solo 0) cfg in
+  let cfg, _ = M.run ~sched:(Sched.solo 1) cfg in
+  let h0 = Option.get (M.decision cfg 0) and h1 = Option.get (M.decision cfg 1) in
+  Alcotest.(check (list int)) "p0 sees all three" [ 100; 200; 101 ] (payloads h0);
+  Alcotest.(check (list int)) "p1 sees all three too" [ 100; 200; 101 ] (payloads h1)
+
+let test_history_too_many_appenders_can_drop () =
+  (* With three concurrent appenders on a 2-buffer (> ℓ), the oldest
+     concurrent append is evicted before anyone records it: Lemma 6.1's
+     bound is tight. *)
+  let module M = Machine.Make (B2) in
+  let cfg = M.make ~n:3 (fun pid -> append_seq ~pid [ pid + 1 ]) in
+  let cfg = M.step (M.step (M.step cfg 0) 1) 2 in  (* three reads of ⊥⊥ *)
+  let cfg = M.step (M.step (M.step cfg 0) 1) 2 in  (* three concurrent writes *)
+  let cfg, _ = M.run ~sched:(Sched.solo 0) cfg in
+  let h = Option.get (M.decision cfg 0) in
+  Alcotest.(check bool)
+    "an append was lost (3 appenders > capacity 2)" true
+    (List.length (payloads h) < 3)
+
+(* --- single-writer registers (Lemma 6.2) ------------------------------- *)
+
+let test_swregs () =
+  let regs = Objects.Swregs.create ~n:5 ~capacity:2 in
+  Alcotest.(check int) "ceil(5/2) buffers" 3 (Objects.Swregs.buffers regs);
+  let proc =
+    let* () = Objects.Swregs.write regs ~pid:0 ~seq:0 (Value.Int 7) in
+    let* () = Objects.Swregs.write regs ~pid:0 ~seq:1 (Value.Int 8) in
+    let* v0 = Objects.Swregs.read regs ~reg:0 in
+    let* v3 = Objects.Swregs.read regs ~reg:3 in
+    let* values, total = Objects.Swregs.collect regs in
+    Proc.return (v0, v3, values, total)
+  in
+  let (v0, v3, values, total), _ = run_solo history_iset proc in
+  Alcotest.(check bool) "own register reads latest" true (Value.equal v0 (Value.Int 8));
+  Alcotest.(check bool) "unwritten register is ⊥" true (Value.equal v3 Value.Bot);
+  Alcotest.(check bool) "collect agrees" true (Value.equal values.(0) (Value.Int 8));
+  Alcotest.(check int) "two writes collected" 2 total
+
+let test_swregs_distinct_owners () =
+  let regs = Objects.Swregs.create ~n:4 ~capacity:2 in
+  let sched = Sched.random_then_sequential ~seed:3 ~prefix:30 in
+  let decisions =
+    run_many history_iset ~n:4 ~sched (fun pid ->
+        let* () = Objects.Swregs.write regs ~pid ~seq:0 (Value.Int (100 + pid)) in
+        let* values, _ = Objects.Swregs.collect regs in
+        Proc.return values)
+  in
+  (* the last collector sees every register *)
+  let complete =
+    List.exists
+      (fun values ->
+        List.for_all
+          (fun pid -> Value.equal values.(pid) (Value.Int (100 + pid)))
+          [ 0; 1; 2; 3 ])
+      decisions
+  in
+  Alcotest.(check bool) "some collect sees all four registers" true complete
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+let test_double_collect_requires_stability () =
+  (* A collect that changes on every execution never stabilises within the
+     machine's fuel; one that stabilises returns the stable view. *)
+  let module M = Machine.Make (Isets.Rw) in
+  let proc =
+    let* () = Isets.Rw.write 0 (Value.Int 1) in
+    let* v =
+      Objects.Snapshot.double_collect ~equal:Value.equal (Isets.Rw.read 0)
+    in
+    Proc.return v
+  in
+  let cfg = M.make ~n:1 (fun _ -> proc) in
+  let cfg, outcome = M.run ~sched:(Sched.solo 0) cfg in
+  Alcotest.(check bool) "solo double collect terminates" true (outcome = `All_decided);
+  Alcotest.(check bool) "stable view" true
+    (Value.equal (Option.get (M.decision cfg 0)) (Value.Int 1))
+
+let test_k_stable_validation () =
+  Alcotest.check_raises "k < 2 rejected"
+    (Invalid_argument "Snapshot.k_stable_collect: k < 2") (fun () ->
+      ignore (Objects.Snapshot.k_stable_collect ~k:1 ~equal:Value.equal (Isets.Rw.read 0)))
+
+let test_double_collect_interference () =
+  (* A writer keeps moving location 0 for 3 writes; the scanner's double
+     collect must restart until the writer stops, then return the final
+     value. *)
+  let module M = Machine.Make (Isets.Rw) in
+  let writer =
+    let rec go i =
+      if i > 3 then Proc.return Value.Unit
+      else
+        let* () = Isets.Rw.write 0 (Value.Int i) in
+        go (i + 1)
+    in
+    go 1
+  in
+  let scanner = Objects.Snapshot.double_collect ~equal:Value.equal (Isets.Rw.read 0) in
+  let cfg = M.make ~n:2 (fun pid -> if pid = 0 then writer else scanner) in
+  (* Interleave: read, write, read (mismatch), write, read, read... *)
+  let cfg, _ = M.run ~sched:(Sched.script [ 1; 0; 1; 0; 1; 0; 1; 1 ]) cfg in
+  let cfg, _ = M.run ~sched:(Sched.solo 1) cfg in
+  Alcotest.(check bool) "scanner decided after writer quiesced" true
+    (M.decision cfg 1 <> None);
+  Alcotest.(check bool) "scanner saw the last write" true
+    (Value.equal (Option.get (M.decision cfg 1)) (Value.Int 3))
+
+(* --- bit tracks --------------------------------------------------------- *)
+
+module Bits_tas = Isets.Bits.Make (struct
+  let flavour = Isets.Bits.Tas_only
+end)
+
+module Bits_rw01 = Isets.Bits.Make (struct
+  let flavour = Isets.Bits.Write01
+end)
+
+let test_unbounded_tracks_solo () =
+  let counter = Objects.Bit_tracks.unbounded ~components:3 ~flavour:Isets.Bits.Tas_only in
+  let counts, cell =
+    run_solo
+      (module Bits_tas)
+      (exercise counter [ 0; 2; 2; 0; 0 ])
+  in
+  Alcotest.(check big_list) "track counts" [ "3"; "0"; "2" ] (counts_to_strings counts);
+  (* Track 0 occupies locations 0, 3, 6, ...: its first three are set. *)
+  Alcotest.(check bool) "track 0 prefix" true (cell 0 && cell 3 && cell 6);
+  Alcotest.(check bool) "track 0 stops" true (not (cell 9));
+  Alcotest.(check bool) "track 1 empty" true (not (cell 1))
+
+let test_unbounded_tracks_monotone_prefix () =
+  (* Under arbitrary interleaving, each track's 1s must form a prefix. *)
+  let counter () = Objects.Bit_tracks.unbounded ~components:2 ~flavour:Isets.Bits.Tas_only in
+  let module M = Machine.Make (Bits_tas) in
+  List.iter
+    (fun seed ->
+      let cfg =
+        M.make ~n:3 (fun pid -> exercise (counter ()) (List.init 4 (fun i -> (pid + i) mod 2)))
+      in
+      let cfg, _ = M.run ~sched:(Sched.random_then_sequential ~seed ~prefix:50) cfg in
+      List.iter
+        (fun track ->
+          let bit k = M.cell cfg (track + (k * 2)) in
+          let rec first_zero k = if bit k then first_zero (k + 1) else k in
+          let z = first_zero 0 in
+          (* nothing set beyond the first zero within a window *)
+          List.iter
+            (fun k -> Alcotest.(check bool) "prefix property" false (bit (z + 1 + k)))
+            (List.init 10 (fun i -> i)))
+        [ 0; 1 ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_bounded_tracks () =
+  let counter =
+    Objects.Bit_tracks.bounded ~components:2 ~length:8 ~base:0 ~stability:2
+      ~flavour:Isets.Bits.Write01
+  in
+  let (module C) = counter in
+  let proc =
+    let* st = C.increment C.init 0 in
+    let* st = C.increment st 0 in
+    let* st = C.increment st 1 in
+    let dec = Option.get C.decrement in
+    let* st = dec st 0 in
+    let* st = dec st 1 in
+    let* st = dec st 1 in
+    (* empty decrement: no-op *)
+    let* _, counts = C.scan st in
+    Proc.return counts
+  in
+  let counts, _ = run_solo (module Bits_rw01) proc in
+  Alcotest.(check big_list) "inc/dec counts" [ "1"; "0" ] (counts_to_strings counts)
+
+let test_bounded_tracks_saturation () =
+  let counter =
+    Objects.Bit_tracks.bounded ~components:1 ~length:2 ~base:0 ~stability:2
+      ~flavour:Isets.Bits.Write01
+  in
+  let (module C) = counter in
+  let proc =
+    let* st = C.increment C.init 0 in
+    let* st = C.increment st 0 in
+    let* st = C.increment st 0 in
+    (* saturated: lost *)
+    let* _, counts = C.scan st in
+    Proc.return counts
+  in
+  let counts, _ = run_solo (module Bits_rw01) proc in
+  Alcotest.(check big_list) "saturates at track length" [ "2" ] (counts_to_strings counts)
+
+let test_bounded_tracks_requires_clearing () =
+  Alcotest.check_raises "write1-only cannot clear"
+    (Invalid_argument "Bit_tracks: flavour cannot clear bits") (fun () ->
+      ignore
+        (Objects.Bit_tracks.bounded ~components:2 ~length:4 ~base:0 ~stability:2
+           ~flavour:Isets.Bits.Write1_only))
+
+(* --- adopt-commit (AE14, conclusions) ------------------------------------ *)
+
+module MRW = Machine.Make (Isets.Rw)
+
+let run_adopt_commit ~m ~inputs ~sched =
+  let cfg =
+    MRW.make ~n:(Array.length inputs) (fun pid ->
+        Objects.Adopt_commit.propose ~m ~base:0 ~value:inputs.(pid))
+  in
+  let cfg, outcome = MRW.run ~sched cfg in
+  (match outcome with `All_decided -> () | _ -> Alcotest.fail "adopt-commit stalled");
+  List.map snd (MRW.decisions cfg)
+
+let test_adopt_commit_solo_commits () =
+  List.iter
+    (fun v ->
+      match run_adopt_commit ~m:3 ~inputs:[| v |] ~sched:(Sched.solo 0) with
+      | [ (Objects.Adopt_commit.Commit, w) ] ->
+        Alcotest.(check int) "solo commits own value" v w
+      | _ -> Alcotest.fail "solo propose must commit")
+    [ 0; 1; 2 ]
+
+let test_adopt_commit_properties () =
+  (* validity, coherence and convergence over many adversarial schedules *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun inputs ->
+          let outputs =
+            run_adopt_commit ~m:3 ~inputs
+              ~sched:(Sched.random_then_sequential ~seed ~prefix:40)
+          in
+          (* validity *)
+          List.iter
+            (fun (_, w) ->
+              Alcotest.(check bool) "validity" true (Array.exists (( = ) w) inputs))
+            outputs;
+          (* coherence *)
+          (match List.find_opt (fun (g, _) -> g = Objects.Adopt_commit.Commit) outputs with
+           | Some (_, w) ->
+             List.iter
+               (fun (_, w') -> Alcotest.(check int) "coherence" w w')
+               outputs
+           | None -> ());
+          (* convergence *)
+          let first = inputs.(0) in
+          if Array.for_all (( = ) first) inputs then
+            List.iter
+              (fun (g, w) ->
+                Alcotest.(check bool) "convergence" true
+                  (g = Objects.Adopt_commit.Commit && w = first))
+              outputs)
+        [ [| 0; 1 |]; [| 1; 1 |]; [| 0; 1; 2 |]; [| 2; 2; 2 |]; [| 0; 0; 1; 2 |] ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let test_adopt_commit_locations () =
+  Alcotest.(check int) "m+1 locations" 4 (Objects.Adopt_commit.locations ~m:3)
+
+(* --- counter argmax ----------------------------------------------------- *)
+
+let test_argmax () =
+  let a = Array.map Bignum.of_int [| 3; 7; 7; 1 |] in
+  Alcotest.(check int) "smallest index wins ties" 1 (Objects.Counter.argmax a);
+  Alcotest.(check int) "excluding the leader" 2 (Objects.Counter.argmax ~excluding:1 a);
+  Alcotest.(check int) "single component" 0
+    (Objects.Counter.argmax [| Bignum.zero |]);
+  Alcotest.check_raises "no eligible component"
+    (Invalid_argument "Counter.argmax: no eligible component") (fun () ->
+      ignore (Objects.Counter.argmax ~excluding:0 [| Bignum.zero |]))
+
+let () =
+  Alcotest.run "objects"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "mul counter" `Quick test_mul_counter;
+          Alcotest.test_case "add counter" `Quick test_add_counter;
+          Alcotest.test_case "add counter decrement" `Quick test_add_counter_decrement;
+          Alcotest.test_case "faa counter" `Quick test_faa_counter;
+          Alcotest.test_case "fam counter" `Quick test_fam_counter;
+          Alcotest.test_case "set-bit counter" `Quick test_setbit_counter;
+          Alcotest.test_case "set-bit two processes" `Quick test_setbit_counter_two_processes;
+          Alcotest.test_case "incr counter" `Quick test_incr_counter;
+          Alcotest.test_case "rw counter" `Quick test_rw_counter;
+          Alcotest.test_case "rw counter concurrent sum" `Quick test_rw_counter_concurrent_sum;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "single appender" `Quick test_history_single_appender;
+          Alcotest.test_case "two appenders" `Quick test_history_two_appenders;
+          Alcotest.test_case "figure 1 regime" `Quick test_history_figure1_regime;
+          Alcotest.test_case "too many appenders drop" `Quick
+            test_history_too_many_appenders_can_drop;
+        ] );
+      ( "swregs",
+        [
+          Alcotest.test_case "read/write/collect" `Quick test_swregs;
+          Alcotest.test_case "distinct owners" `Quick test_swregs_distinct_owners;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "double collect solo" `Quick test_double_collect_requires_stability;
+          Alcotest.test_case "k-stable validation" `Quick test_k_stable_validation;
+          Alcotest.test_case "double collect interference" `Quick
+            test_double_collect_interference;
+        ] );
+      ( "adopt-commit",
+        [
+          Alcotest.test_case "solo commits" `Quick test_adopt_commit_solo_commits;
+          Alcotest.test_case "validity/coherence/convergence" `Quick
+            test_adopt_commit_properties;
+          Alcotest.test_case "locations" `Quick test_adopt_commit_locations;
+        ] );
+      ( "bit tracks",
+        [
+          Alcotest.test_case "unbounded solo" `Quick test_unbounded_tracks_solo;
+          Alcotest.test_case "unbounded prefix property" `Quick
+            test_unbounded_tracks_monotone_prefix;
+          Alcotest.test_case "bounded inc/dec" `Quick test_bounded_tracks;
+          Alcotest.test_case "bounded saturation" `Quick test_bounded_tracks_saturation;
+          Alcotest.test_case "bounded requires clearing" `Quick
+            test_bounded_tracks_requires_clearing;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Soak suite: a broad seeded sweep of every protocol under adversarial and
+   fair schedules.  Deterministic (all seeds fixed), heavier than the unit
+   battery; the point is breadth of explored interleavings. *)
+
+let check_run ?(must_finish = true) ?(fuel = 30_000_000) name proto ~inputs ~sched =
+  let report = Consensus.Driver.run ~fuel proto ~inputs ~sched in
+  (match Consensus.Driver.check report ~inputs with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e));
+  if must_finish && report.outcome <> `All_decided then
+    Alcotest.fail (Printf.sprintf "%s: run did not finish" name)
+
+let sweep name proto ~binary ~ns ~seeds =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun seed ->
+          let inputs =
+            if binary then Array.init n (fun i -> (i + seed) land 1)
+            else Array.init n (fun i -> (i * 3 + seed) mod n)
+          in
+          (* the sequential finish guarantees termination *)
+          check_run name proto ~inputs
+            ~sched:(Model.Sched.random_then_sequential ~seed ~prefix:(100 + (17 * seed)));
+          (* a fair schedule gives no solo time: obstruction-freedom does
+             not promise termination, so only agreement/validity are
+             asserted; the fuel is small because livelocked history-based
+             protocols accumulate quadratically expensive histories *)
+          check_run ~must_finish:false ~fuel:10_000 name proto ~inputs
+            ~sched:(Model.Sched.fair ~bound:(2 + (seed mod 5)) ~seed))
+        seeds)
+    ns
+
+let seeds k = List.init k (fun i -> i + 1)
+
+let light =
+  [
+    ("cas", Consensus.Cas_protocol.protocol, false);
+    ("arith-mul", Consensus.Arith_protocols.mul, false);
+    ("arith-add", Consensus.Arith_protocols.add, false);
+    ("arith-set-bit", Consensus.Arith_protocols.set_bit, false);
+    ("fetch-and-add", Consensus.Arith_protocols.faa, false);
+    ("fetch-and-multiply", Consensus.Arith_protocols.fam, false);
+    ("max-registers", Consensus.Maxreg_protocol.protocol, false);
+    ("intro-faa2-tas", Consensus.Intro_protocols.faa2_tas, true);
+    ("intro-dec-mul", Consensus.Intro_protocols.decmul, true);
+    ("adopt-commit-ladder", Consensus.Adopt_commit_protocol.protocol, false);
+    ("gr05-binary", Consensus.Tracks_protocol.binary ~flavour:Isets.Bits.Write1_only, true);
+    ("tug-of-war-binary", Consensus.Tugofwar_protocol.binary, true);
+    ("tug-of-war", Consensus.Tugofwar_protocol.protocol, false);
+  ]
+
+let medium =
+  [
+    ("swap", Consensus.Swap_protocol.protocol, false);
+    ("rw-registers", Consensus.Rw_protocol.protocol, false);
+    ("buffers-1", Consensus.Buffers_protocol.protocol ~capacity:1, false);
+    ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2, false);
+    ("buffers-3", Consensus.Buffers_protocol.protocol ~capacity:3, false);
+    ("buffers-2+multi", Consensus.Buffers_protocol.multi_assignment_protocol ~capacity:2, false);
+    ("hetero-[3;3;2]", Consensus.Hetero_protocol.protocol ~capacities:[ 3; 3; 2 ], false);
+    ("earliest-writer", Consensus.Assignment_protocol.earliest_writer, false);
+    ( "increment-logn",
+      Consensus.Increment_protocol.protocol ~flavour:Isets.Incr.Increment_only,
+      false );
+    ("tracks-tas", Consensus.Tracks_protocol.protocol ~flavour:Isets.Bits.Tas_only, false);
+  ]
+
+let heavy =
+  [
+    ("write01-binary", Consensus.Nlogn_protocol.binary ~flavour:Isets.Bits.Write01, true);
+    ("write01-nlogn", Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Write01, false);
+    ("tas-reset-nlogn", Consensus.Nlogn_protocol.protocol ~flavour:Isets.Bits.Tas_reset, false);
+  ]
+
+let test_light () =
+  List.iter (fun (n, p, b) -> sweep n p ~binary:b ~ns:[ 2; 3; 4; 6 ] ~seeds:(seeds 25)) light
+
+let test_medium () =
+  List.iter (fun (n, p, b) -> sweep n p ~binary:b ~ns:[ 2; 3; 5 ] ~seeds:(seeds 12)) medium
+
+let test_heavy () =
+  List.iter (fun (n, p, b) -> sweep n p ~binary:b ~ns:[ 2; 4 ] ~seeds:(seeds 4)) heavy
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "light protocols, 25 seeds" `Slow test_light;
+          Alcotest.test_case "medium protocols, 12 seeds" `Slow test_medium;
+          Alcotest.test_case "heavy protocols, 4 seeds" `Slow test_heavy;
+        ] );
+    ]

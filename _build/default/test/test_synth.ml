@@ -1,0 +1,139 @@
+(* Tests for bounded protocol synthesis: known-possible machines must yield
+   protocols, known-impossible ones must be exhausted, and the checker must
+   separate correct from broken protocols. *)
+
+let test_cas_found () =
+  match Synth.search Synth.cas_cell ~depth:1 with
+  | Synth.Found p ->
+    Alcotest.(check bool) "found protocol passes check" true
+      (Synth.check Synth.cas_cell p)
+  | Synth.Impossible_within_depth ->
+    Alcotest.fail "compare-and-swap solves 2-consensus in one instruction"
+
+let test_swap_found () =
+  match Synth.search Synth.swap_cell ~depth:1 with
+  | Synth.Found p ->
+    Alcotest.(check bool) "found protocol passes check" true
+      (Synth.check Synth.swap_cell p)
+  | Synth.Impossible_within_depth ->
+    Alcotest.fail "swap solves 2-consensus in one instruction"
+
+let test_tas_impossible () =
+  List.iter
+    (fun depth ->
+      match Synth.search Synth.tas_bit ~depth with
+      | Synth.Impossible_within_depth -> ()
+      | Synth.Found p ->
+        Alcotest.fail
+          (Format.asprintf
+             "single tas bit cannot solve binary consensus, yet: %a"
+             (Synth.pp_tree ~ops:Synth.tas_bit.ops)
+             p.t00))
+    [ 1; 2; 3 ]
+
+let test_rw01_impossible () =
+  List.iter
+    (fun depth ->
+      match Synth.search Synth.rw01_bit ~depth with
+      | Synth.Impossible_within_depth -> ()
+      | Synth.Found _ ->
+        Alcotest.fail "a single read/write bit cannot solve binary consensus")
+    [ 1; 2 ]
+
+let test_candidates_solo_valid () =
+  (* every enumerated candidate decides its input solo *)
+  List.iter
+    (fun input ->
+      let cands = Synth.candidates Synth.tas_bit ~depth:2 ~input in
+      Alcotest.(check bool) "non-empty" true (cands <> []);
+      (* decide-immediately is always among them *)
+      Alcotest.(check bool) "contains Decide input" true
+        (List.mem (Synth.Decide input) cands))
+    [ 0; 1 ]
+
+let test_check_rejects_broken () =
+  (* "everyone decides their own input" fails the mixed pairing *)
+  let broken =
+    {
+      Synth.t00 = Synth.Decide 0;
+      t01 = Synth.Decide 1;
+      t10 = Synth.Decide 0;
+      t11 = Synth.Decide 1;
+    }
+  in
+  Alcotest.(check bool) "broken rejected" false (Synth.check Synth.cas_cell broken)
+
+let test_check_accepts_handwritten_cas () =
+  (* the canonical protocol: cas(⊥, own); decide the installed value *)
+  let tree input =
+    (* op 0 = cas(bot,0), op 1 = cas(bot,1); branch = old state: 0 = ⊥,
+       1 = value 0, 2 = value 1 *)
+    Synth.Invoke
+      (input, [| Synth.Decide input; Synth.Decide 0; Synth.Decide 1 |])
+  in
+  let p = { Synth.t00 = tree 0; t01 = tree 1; t10 = tree 0; t11 = tree 1 } in
+  Alcotest.(check bool) "handwritten cas protocol accepted" true
+    (Synth.check Synth.cas_cell p)
+
+let test_leader_election_tree_is_not_consensus () =
+  (* tas leader election: winner decides own input, loser decides the
+     opposite — fine when inputs differ, broken when they agree. *)
+  let tree input =
+    Synth.Invoke (1, [| Synth.Decide input; Synth.Decide (1 - input) |])
+  in
+  let p = { Synth.t00 = tree 0; t01 = tree 1; t10 = tree 0; t11 = tree 1 } in
+  Alcotest.(check bool) "leader election is not value consensus" false
+    (Synth.check Synth.tas_bit p)
+
+(* --- three processes: consensus numbers --------------------------------- *)
+
+let test_cas_three_processes () =
+  match Synth.search3 ~mode:`Symmetric Synth.cas_cell ~depth:1 with
+  | Synth.Found3 trees ->
+    Alcotest.(check bool) "found3 passes check3" true (Synth.check3 Synth.cas_cell trees)
+  | Synth.Impossible3_within_depth ->
+    Alcotest.fail "cas has infinite consensus number; 3 processes must work"
+
+let test_swap_three_processes_impossible () =
+  (* swap has consensus number 2: no one-instruction 3-process protocol *)
+  match Synth.search3 ~mode:`Full Synth.swap_cell ~depth:1 with
+  | Synth.Impossible3_within_depth -> ()
+  | Synth.Found3 _ -> Alcotest.fail "swap cannot solve 3-process consensus"
+
+let test_tas_three_processes_impossible () =
+  match Synth.search3 ~mode:`Full Synth.tas_bit ~depth:3 with
+  | Synth.Impossible3_within_depth -> ()
+  | Synth.Found3 _ -> Alcotest.fail "a tas bit cannot solve 3-process consensus"
+
+let test_check3_rejects_pairwise_broken () =
+  (* everyone decides own input: fails even pairwise *)
+  let t v = Synth.Decide v in
+  let trees = [| [| t 0; t 1 |]; [| t 0; t 1 |]; [| t 0; t 1 |] |] in
+  Alcotest.(check bool) "rejected" false (Synth.check3 Synth.cas_cell trees)
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "synthesis",
+        [
+          Alcotest.test_case "cas found at depth 1" `Quick test_cas_found;
+          Alcotest.test_case "swap found at depth 1" `Quick test_swap_found;
+          Alcotest.test_case "tas bit impossible to depth 3" `Quick test_tas_impossible;
+          Alcotest.test_case "rw01 bit impossible to depth 2" `Quick test_rw01_impossible;
+          Alcotest.test_case "candidates are solo-valid" `Quick test_candidates_solo_valid;
+          Alcotest.test_case "checker rejects broken" `Quick test_check_rejects_broken;
+          Alcotest.test_case "checker accepts handwritten cas" `Quick
+            test_check_accepts_handwritten_cas;
+          Alcotest.test_case "leader election is not consensus" `Quick
+            test_leader_election_tree_is_not_consensus;
+        ] );
+      ( "consensus numbers (3 processes)",
+        [
+          Alcotest.test_case "cas solves 3 processes" `Quick test_cas_three_processes;
+          Alcotest.test_case "swap cannot (consensus number 2)" `Quick
+            test_swap_three_processes_impossible;
+          Alcotest.test_case "tas bit cannot" `Quick test_tas_three_processes_impossible;
+          Alcotest.test_case "check3 rejects pairwise-broken" `Quick
+            test_check3_rejects_pairwise_broken;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the universal construction (one history object implements any
+   sequential object) and the heterogeneous-buffer machinery. *)
+
+open Model
+open Proc.Syntax
+
+(* --- a FIFO queue specification ---------------------------------------- *)
+
+type queue_op = Enqueue of int | Dequeue
+
+let queue_spec : (int list, queue_op, int option) Objects.Universal.spec =
+  {
+    initial = [];
+    apply =
+      (fun q op ->
+        match op with
+        | Enqueue x -> (q @ [ x ], None)
+        | Dequeue -> (match q with [] -> ([], None) | x :: rest -> (rest, Some x)));
+    encode =
+      (function
+        | Enqueue x -> Value.Pair (Value.Int 0, Value.Int x)
+        | Dequeue -> Value.Pair (Value.Int 1, Value.Unit));
+    decode =
+      (function
+        | Value.Pair (Value.Int 0, Value.Int x) -> Enqueue x
+        | Value.Pair (Value.Int 1, Value.Unit) -> Dequeue
+        | v -> Format.kasprintf invalid_arg "bad queue op %a" Value.pp v);
+  }
+
+module B3 = Isets.Buffer_set.Make (struct
+  let capacity = 3
+  let multi_assignment = false
+end)
+
+module M = Machine.Make (B3)
+
+let run_procs ~n ~sched procs =
+  let cfg = M.make ~n procs in
+  let cfg, outcome = M.run ~sched cfg in
+  (match outcome with `All_decided -> () | _ -> Alcotest.fail "run did not finish");
+  cfg
+
+let test_queue_sequential () =
+  let q = Objects.Universal.create ~loc:0 queue_spec in
+  let proc =
+    let* r1 = Objects.Universal.invoke q ~pid:0 ~seq:0 (Enqueue 10) in
+    let* r2 = Objects.Universal.invoke q ~pid:0 ~seq:1 (Enqueue 20) in
+    let* r3 = Objects.Universal.invoke q ~pid:0 ~seq:2 Dequeue in
+    let* r4 = Objects.Universal.invoke q ~pid:0 ~seq:3 Dequeue in
+    let* r5 = Objects.Universal.invoke q ~pid:0 ~seq:4 Dequeue in
+    let* state = Objects.Universal.observe q in
+    Proc.return (r1, r2, r3, r4, r5, state)
+  in
+  let cfg = run_procs ~n:1 ~sched:(Sched.solo 0) (fun _ -> proc) in
+  let r1, r2, r3, r4, r5, state = Option.get (M.decision cfg 0) in
+  Alcotest.(check (option int)) "enqueue returns nothing" None r1;
+  Alcotest.(check (option int)) "enqueue returns nothing" None r2;
+  Alcotest.(check (option int)) "fifo first" (Some 10) r3;
+  Alcotest.(check (option int)) "fifo second" (Some 20) r4;
+  Alcotest.(check (option int)) "empty dequeue" None r5;
+  Alcotest.(check (list int)) "final state empty" [] state
+
+let test_queue_concurrent_linearizable () =
+  (* Three producers (= ℓ appenders) each enqueue two items under random
+     schedules; afterwards the queue must contain all six items, with each
+     producer's items in its program order. *)
+  List.iter
+    (fun seed ->
+      let q = Objects.Universal.create ~loc:0 queue_spec in
+      let producer pid =
+        let* _ = Objects.Universal.invoke q ~pid ~seq:0 (Enqueue (10 * (pid + 1))) in
+        let* _ = Objects.Universal.invoke q ~pid ~seq:1 (Enqueue ((10 * (pid + 1)) + 1)) in
+        Objects.Universal.observe q
+      in
+      let cfg =
+        run_procs ~n:3
+          ~sched:(Sched.random_then_sequential ~seed ~prefix:60)
+          (fun pid -> producer pid)
+      in
+      (* the longest observed state is the full queue *)
+      let final =
+        List.fold_left
+          (fun acc (_, st) -> if List.length st > List.length acc then st else acc)
+          []
+          (M.decisions cfg)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all six enqueues survive (seed %d)" seed)
+        6 (List.length final);
+      List.iter
+        (fun pid ->
+          let mine = List.filter (fun x -> x / 10 = pid + 1) final in
+          Alcotest.(check (list int))
+            (Printf.sprintf "producer %d order (seed %d)" pid seed)
+            [ 10 * (pid + 1); (10 * (pid + 1)) + 1 ]
+            mine)
+        [ 0; 1; 2 ])
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_invoke_returns_own_result () =
+  (* Two processes race dequeues after a seeded queue: exactly one gets the
+     item under every schedule explored. *)
+  let q = Objects.Universal.create ~loc:0 queue_spec in
+  let seeder =
+    let* _ = Objects.Universal.invoke q ~pid:0 ~seq:0 (Enqueue 7) in
+    Objects.Universal.invoke q ~pid:0 ~seq:1 Dequeue
+  in
+  let racer = Objects.Universal.invoke q ~pid:1 ~seq:0 Dequeue in
+  List.iter
+    (fun seed ->
+      let cfg =
+        run_procs ~n:2
+          ~sched:(Sched.random_then_sequential ~seed ~prefix:20)
+          (fun pid -> if pid = 0 then seeder else racer)
+      in
+      let r0 = Option.get (M.decision cfg 0) and r1 = Option.get (M.decision cfg 1) in
+      let got = List.filter (fun r -> r = Some 7) [ r0; r1 ] in
+      Alcotest.(check int)
+        (Printf.sprintf "exactly one dequeue wins (seed %d)" seed)
+        1 (List.length got))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* --- heterogeneous buffers --------------------------------------------- *)
+
+module H = Isets.Hetero_buffer
+module MH = Machine.Make (Isets.Hetero_buffer)
+
+let caps = function 0 -> 3 | 1 -> 2 | _ -> 1
+
+let test_hetero_cells () =
+  let proc =
+    let* () = H.write ~capacities:caps 0 (Value.Int 1) in
+    let* () = H.write ~capacities:caps 0 (Value.Int 2) in
+    let* () = H.write ~capacities:caps 0 (Value.Int 3) in
+    let* () = H.write ~capacities:caps 0 (Value.Int 4) in
+    let* v0 = H.read ~capacities:caps 0 in
+    let* () = H.write ~capacities:caps 1 (Value.Int 9) in
+    let* v1 = H.read ~capacities:caps 1 in
+    Proc.return (v0, v1)
+  in
+  let cfg = MH.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = MH.run ~sched:(Sched.solo 0) cfg in
+  let v0, v1 = Option.get (MH.decision cfg 0) in
+  Alcotest.(check int) "capacity-3 location keeps 3" 3 (Array.length v0);
+  Alcotest.(check bool) "oldest of the last three" true (Value.equal v0.(0) (Value.Int 2));
+  Alcotest.(check int) "capacity-2 location keeps 2" 2 (Array.length v1);
+  Alcotest.(check bool) "front ⊥-padded" true (Value.equal v1.(0) Value.Bot)
+
+let test_hetero_capacity_mismatch () =
+  let bad =
+    let* () = H.write ~capacities:(fun _ -> 3) 0 (Value.Int 1) in
+    let* () = H.write ~capacities:(fun _ -> 2) 0 (Value.Int 2) in
+    Proc.return 0
+  in
+  let cfg = MH.make ~n:1 (fun _ -> bad) in
+  (try
+     ignore (MH.run ~sched:(Sched.solo 0) cfg);
+     Alcotest.fail "capacity mismatch must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_hetero_swregs_validation () =
+  Alcotest.check_raises "sum below n rejected"
+    (Invalid_argument "Hetero_swregs.create: total capacity 4 < 5 processes") (fun () ->
+      ignore (Objects.Hetero_swregs.create ~capacities:[ 2; 2 ] ~n:5));
+  let regs = Objects.Hetero_swregs.create ~capacities:[ 3; 2; 2 ] ~n:7 in
+  Alcotest.(check int) "buffers" 3 (Objects.Hetero_swregs.buffers regs);
+  Alcotest.(check int) "reg 0 in buffer 0" 0 (Objects.Hetero_swregs.buffer_of regs 0);
+  Alcotest.(check int) "reg 2 in buffer 0" 0 (Objects.Hetero_swregs.buffer_of regs 2);
+  Alcotest.(check int) "reg 3 in buffer 1" 1 (Objects.Hetero_swregs.buffer_of regs 3);
+  Alcotest.(check int) "reg 6 in buffer 2" 2 (Objects.Hetero_swregs.buffer_of regs 6);
+  Alcotest.(check int) "capacity of buffer 1" 2 (Objects.Hetero_swregs.capacity_at regs 1)
+
+let test_hetero_register_roundtrip () =
+  let regs = Objects.Hetero_swregs.create ~capacities:[ 2; 2 ] ~n:4 in
+  let proc =
+    let* () = Objects.Hetero_swregs.write regs ~pid:0 ~seq:0 (Value.Int 5) in
+    let* () = Objects.Hetero_swregs.write regs ~pid:3 ~seq:0 (Value.Int 8) in
+    let* v0 = Objects.Hetero_swregs.read regs ~reg:0 in
+    let* v3 = Objects.Hetero_swregs.read regs ~reg:3 in
+    let* v2 = Objects.Hetero_swregs.read regs ~reg:2 in
+    let* values, total = Objects.Hetero_swregs.collect regs in
+    Proc.return (v0, v3, v2, values, total)
+  in
+  let cfg = MH.make ~n:1 (fun _ -> proc) in
+  let cfg, _ = MH.run ~sched:(Sched.solo 0) cfg in
+  let v0, v3, v2, values, total = Option.get (MH.decision cfg 0) in
+  Alcotest.(check bool) "reg 0" true (Value.equal v0 (Value.Int 5));
+  Alcotest.(check bool) "reg 3" true (Value.equal v3 (Value.Int 8));
+  Alcotest.(check bool) "unwritten reg" true (Value.equal v2 Value.Bot);
+  Alcotest.(check bool) "collect agrees" true (Value.equal values.(3) (Value.Int 8));
+  Alcotest.(check int) "two writes" 2 total
+
+let () =
+  Alcotest.run "universal"
+    [
+      ( "universal construction",
+        [
+          Alcotest.test_case "queue sequential" `Quick test_queue_sequential;
+          Alcotest.test_case "queue concurrent linearizable" `Quick
+            test_queue_concurrent_linearizable;
+          Alcotest.test_case "invoke returns own result" `Quick
+            test_invoke_returns_own_result;
+        ] );
+      ( "heterogeneous buffers",
+        [
+          Alcotest.test_case "cells" `Quick test_hetero_cells;
+          Alcotest.test_case "capacity mismatch" `Quick test_hetero_capacity_mismatch;
+          Alcotest.test_case "swregs validation" `Quick test_hetero_swregs_validation;
+          Alcotest.test_case "register roundtrip" `Quick test_hetero_register_roundtrip;
+        ] );
+    ]

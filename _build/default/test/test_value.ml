@@ -1,0 +1,172 @@
+(* Tests for the universal memory value type. *)
+
+open Model
+
+let v_int i = Value.Int i
+let v_big i = Value.Big (Bignum.of_int i)
+
+let test_equal () =
+  Alcotest.(check bool) "bot = bot" true (Value.equal Value.Bot Value.Bot);
+  Alcotest.(check bool) "int = int" true (Value.equal (v_int 3) (v_int 3));
+  Alcotest.(check bool) "int <> int" false (Value.equal (v_int 3) (v_int 4));
+  Alcotest.(check bool) "int = big (numeric)" true (Value.equal (v_int 3) (v_big 3));
+  Alcotest.(check bool)
+    "pairs" true
+    (Value.equal (Value.Pair (v_int 1, Value.Bot)) (Value.Pair (v_int 1, Value.Bot)));
+  Alcotest.(check bool)
+    "vectors" true
+    (Value.equal (Value.Vec [| v_int 1; v_int 2 |]) (Value.Vec [| v_int 1; v_int 2 |]));
+  Alcotest.(check bool)
+    "vector length matters" false
+    (Value.equal (Value.Vec [| v_int 1 |]) (Value.Vec [| v_int 1; v_int 2 |]));
+  Alcotest.(check bool)
+    "tags distinguish writers" false
+    (Value.equal (Value.Tag (0, 1, v_int 5)) (Value.Tag (1, 1, v_int 5)));
+  Alcotest.(check bool)
+    "tags distinguish sequence numbers" false
+    (Value.equal (Value.Tag (0, 1, v_int 5)) (Value.Tag (0, 2, v_int 5)))
+
+let test_compare_total_order () =
+  let samples =
+    [
+      Value.Bot;
+      Value.Unit;
+      v_int (-1);
+      v_int 0;
+      v_int 7;
+      v_big 7;
+      Value.Pair (v_int 1, v_int 2);
+      Value.Vec [| v_int 1 |];
+      Value.Vec [| v_int 1; v_int 2 |];
+      Value.Tag (0, 0, v_int 1);
+      Value.Tag (2, 5, Value.Bot);
+    ]
+  in
+  (* reflexive, antisymmetric, transitive on the sample set *)
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "reflexive" 0 (Value.compare a a);
+      List.iter
+        (fun c_ ->
+          let ab = Value.compare a c_ and ba = Value.compare c_ a in
+          Alcotest.(check bool) "antisymmetric" true (compare ab 0 = compare 0 ba))
+        samples)
+    samples;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun bv ->
+          List.iter
+            (fun c ->
+              if Value.compare a bv <= 0 && Value.compare bv c <= 0 then
+                Alcotest.(check bool) "transitive" true (Value.compare a c <= 0))
+            samples)
+        samples)
+    samples
+
+let test_accessors () =
+  Alcotest.(check int) "to_int_exn" 9 (Value.to_int_exn (v_int 9));
+  Alcotest.check_raises "to_int_exn on Bot" (Invalid_argument "Value.to_int_exn: ⊥")
+    (fun () -> ignore (Value.to_int_exn Value.Bot));
+  Alcotest.(check string)
+    "to_big_exn on Int" "12"
+    (Bignum.to_string (Value.to_big_exn (v_int 12)));
+  Alcotest.(check string)
+    "to_big_exn on Big" "-3"
+    (Bignum.to_string (Value.to_big_exn (v_big (-3))));
+  Alcotest.(check bool)
+    "untag strips" true
+    (Value.equal (v_int 4) (Value.untag (Value.Tag (1, 2, v_int 4))));
+  Alcotest.(check bool) "untag id" true (Value.equal (v_int 4) (Value.untag (v_int 4)))
+
+let test_pp () =
+  let s v = Format.asprintf "%a" Value.pp v in
+  Alcotest.(check string) "bot" "⊥" (s Value.Bot);
+  Alcotest.(check string) "int" "42" (s (v_int 42));
+  Alcotest.(check string) "tag" "5@1.2" (s (Value.Tag (1, 2, v_int 5)));
+  Alcotest.(check bool) "vec printable" true (String.length (s (Value.Vec [| v_int 1 |])) > 0)
+
+let test_hash () =
+  let vals = [ Value.Bot; Value.Unit; v_int 5; Value.Tag (1, 2, v_int 5) ] in
+  List.iter
+    (fun v -> Alcotest.(check int) "hash self-consistent" (Value.hash v) (Value.hash v))
+    vals;
+  Alcotest.(check bool)
+    "equal values, equal hashes" true
+    (Value.hash (Value.Vec [| v_int 1; v_int 2 |])
+    = Value.hash (Value.Vec [| v_int 1; v_int 2 |]))
+
+(* --- qcheck: order laws on random value trees --------------------------- *)
+
+let value_gen =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 4) (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                pure Value.Bot;
+                pure Value.Unit;
+                map (fun i -> Value.Int i) (int_range (-5) 5);
+                map (fun i -> Value.Big (Bignum.of_int i)) (int_range (-5) 5);
+              ]
+          else
+            oneof
+              [
+                map (fun i -> Value.Int i) (int_range (-5) 5);
+                map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2));
+                map (fun l -> Value.Vec (Array.of_list l))
+                  (list_size (int_range 0 3) (self (n / 2)));
+                map3 (fun p s v -> Value.Tag (p, s, v)) (int_range 0 3) (int_range 0 3)
+                  (self (n / 2));
+              ])
+        n)
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"compare is reflexive" ~count:300 value_gen (fun v ->
+      Value.compare v v = 0 && Value.equal v v)
+
+let prop_compare_antisymmetric =
+  QCheck2.Test.make ~name:"compare is antisymmetric" ~count:300
+    (QCheck2.Gen.pair value_gen value_gen)
+    (fun (a, b) -> compare (Value.compare a b) 0 = compare 0 (Value.compare b a))
+
+let prop_compare_transitive =
+  QCheck2.Test.make ~name:"compare is transitive" ~count:300
+    (QCheck2.Gen.triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0 && Value.compare x z <= 0
+      | _ -> false)
+
+(* Int and Big representations of the same number are equal, so they must
+   hash identically (this property caught a real bug). *)
+let prop_equal_hash =
+  QCheck2.Test.make ~name:"equal values hash equally (Int vs Big)" ~count:300
+    (QCheck2.Gen.int_range (-1000) 1000)
+    (fun i ->
+      Value.equal (Value.Int i) (Value.Big (Bignum.of_int i))
+      && Value.hash (Value.Int i) = Value.hash (Value.Big (Bignum.of_int i)))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "hash" `Quick test_hash;
+        ] );
+      ( "order laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compare_reflexive;
+            prop_compare_antisymmetric;
+            prop_compare_transitive;
+            prop_equal_hash;
+          ] );
+    ]
