@@ -475,6 +475,96 @@ let randomized () =
       ("buffers-2", Consensus.Buffers_protocol.protocol ~capacity:2);
     ]
 
+(* ---------------------------------------------------------------- MC -- *)
+
+(* Model-checking engines head-to-head: the naive full-tree walk vs the
+   fingerprint-memoized walk vs the parallel frontier, over depth × n for a
+   few representative protocols.  Memo visits fewer configurations by
+   design, so the honest work-rate comparison is the *effective* rate:
+   naive's configuration count divided by each engine's wall-clock (the
+   speedup column is exactly the elapsed-time ratio).  Results also go to
+   BENCH_modelcheck.json for machine consumption. *)
+let mc ?(smoke = false) () =
+  section "MC: model-checking engines — naive vs memoized vs parallel";
+  let protos =
+    [
+      ("rw", Consensus.Rw_protocol.protocol);
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+    ]
+  in
+  let sweeps = if smoke then [ (2, 6) ] else [ (2, 10); (3, 8) ] in
+  let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ] in
+  let json = Buffer.create 4096 in
+  Printf.bprintf json "{\n  \"cores\": %d,\n  \"smoke\": %b,\n  \"rows\": ["
+    (Domain.recommended_domain_count ())
+    smoke;
+  let first_row = ref true in
+  Printf.printf "%-10s %-3s %-5s %-11s %10s %8s %10s %12s %8s  %s\n" "protocol" "n"
+    "depth" "engine" "configs" "dedup" "elapsed_s" "eff_cfg/s" "speedup" "verdict";
+  List.iter
+    (fun (n, depth) ->
+      List.iter
+        (fun (pname, proto) ->
+          let inputs = Array.init n (fun i -> i) in
+          let naive_elapsed = ref 0.0 and naive_configs = ref 0 in
+          List.iter
+            (fun (ename, engine) ->
+              match Explore.run ~probe:`Leaves ~engine proto ~inputs ~depth with
+              | Ok s ->
+                if engine = `Naive then begin
+                  naive_elapsed := s.Explore.elapsed;
+                  naive_configs := s.Explore.configs
+                end;
+                let elapsed = Float.max s.Explore.elapsed 1e-6 in
+                let eff_rate = float_of_int !naive_configs /. elapsed in
+                let speedup = Float.max !naive_elapsed 1e-6 /. elapsed in
+                Printf.printf "%-10s %-3d %-5d %-11s %10d %8d %10.4f %12.0f %7.1fx  ok\n"
+                  pname n depth ename s.Explore.configs s.Explore.dedup_hits
+                  s.Explore.elapsed eff_rate speedup;
+                Printf.bprintf json
+                  "%s\n    {\"proto\": \"%s\", \"n\": %d, \"depth\": %d, \"engine\": \
+                   \"%s\", \"configs\": %d, \"probes\": %d, \"truncated\": %b, \
+                   \"dedup_hits\": %d, \"elapsed\": %.6f, \
+                   \"effective_configs_per_sec\": %.0f, \"speedup_vs_naive\": %.2f}"
+                  (if !first_row then "" else ",")
+                  pname n depth ename s.Explore.configs s.Explore.probes
+                  s.Explore.truncated s.Explore.dedup_hits s.Explore.elapsed eff_rate
+                  speedup;
+                first_row := false
+              | Error e -> Printf.printf "%-10s %-3d %-5d %-11s VIOLATION %s\n" pname n depth ename e)
+            engines)
+        protos)
+    sweeps;
+  Buffer.add_string json "\n  ],\n  \"deepen\": [";
+  let budget = if smoke then 0.2 else 1.0 in
+  Printf.printf
+    "\niterative deepening (memo engine, %.1f s budget per protocol, n=2):\n" budget;
+  Printf.printf "%-10s %-13s %-9s %14s %10s\n" "protocol" "depth_reached" "complete"
+    "total_configs" "elapsed_s";
+  let first_row = ref true in
+  List.iter
+    (fun (pname, proto) ->
+      match Explore.deepen ~engine:`Memo ~budget proto ~inputs:[| 0; 1 |] ~max_depth:30 with
+      | Ok r ->
+        Printf.printf "%-10s %-13d %-9b %14d %10.4f\n" pname r.Explore.depth_reached
+          r.Explore.complete r.Explore.total_configs r.Explore.total_elapsed;
+        Printf.bprintf json
+          "%s\n    {\"proto\": \"%s\", \"budget\": %.2f, \"depth_reached\": %d, \
+           \"complete\": %b, \"total_configs\": %d, \"total_elapsed\": %.6f}"
+          (if !first_row then "" else ",")
+          pname budget r.Explore.depth_reached r.Explore.complete r.Explore.total_configs
+          r.Explore.total_elapsed;
+        first_row := false
+      | Error e -> Printf.printf "%-10s VIOLATION %s\n" pname e)
+    protos;
+  Buffer.add_string json "\n  ]\n}\n";
+  let oc = open_out "BENCH_modelcheck.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_modelcheck.json\n"
+
 (* -------------------------------------------------------------- TIME -- *)
 
 let bechamel_suite () =
@@ -541,21 +631,45 @@ let bechamel_suite () =
       | _ -> Printf.printf "%-28s %14s\n" name "n/a")
     rows
 
+(* ------------------------------------------------------------ driver -- *)
+
+let sections : (string * (smoke:bool -> unit)) list =
+  [
+    ("T1", fun ~smoke:_ -> table1 ());
+    ("T1-LB", fun ~smoke:_ -> table1_lower_bounds ());
+    ("F1", fun ~smoke:_ -> figure1 ());
+    ("INTRO", fun ~smoke:_ -> intro ());
+    ("STEPS", fun ~smoke:_ -> steps_bound ());
+    ("BUF", fun ~smoke:_ -> buffer_sweep ());
+    ("MULTI", fun ~smoke:_ -> multi_assignment ());
+    ("HETERO", fun ~smoke:_ -> hetero ());
+    ("ASSIGN", fun ~smoke:_ -> assignment ());
+    ("SYNTH", fun ~smoke:_ -> synth ());
+    ("STEPC", fun ~smoke:_ -> step_complexity ());
+    ("CONJ", fun ~smoke:_ -> conjecture_curve ());
+    ("RAND", fun ~smoke:_ -> randomized ());
+    ( "ABL",
+      fun ~smoke:_ ->
+        ablation_threshold ();
+        ablation_stability () );
+    ("MC", fun ~smoke -> mc ~smoke ());
+    ("TIME", fun ~smoke:_ -> bechamel_suite ());
+  ]
+
+(* Usage: main.exe [--smoke] [SECTION ...] — no sections means all of them. *)
 let () =
-  table1 ();
-  table1_lower_bounds ();
-  figure1 ();
-  intro ();
-  steps_bound ();
-  buffer_sweep ();
-  multi_assignment ();
-  hetero ();
-  assignment ();
-  synth ();
-  step_complexity ();
-  conjecture_curve ();
-  randomized ();
-  ablation_threshold ();
-  ablation_stability ();
-  bechamel_suite ();
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let wanted = List.filter (fun a -> a <> "--smoke") args in
+  let run_one name =
+    match List.assoc_opt name sections with
+    | Some f -> f ~smoke
+    | None ->
+      Printf.eprintf "unknown section %s (known: %s)\n" name
+        (String.concat " " (List.map fst sections));
+      exit 2
+  in
+  (match wanted with
+   | [] -> List.iter (fun (_, f) -> f ~smoke) sections
+   | names -> List.iter run_one names);
   print_newline ()

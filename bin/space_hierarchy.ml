@@ -64,20 +64,33 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere =
+  let run ells id n depth everywhere engine domains =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
           else Array.init n (fun i -> i mod n)
         in
         let probe = if everywhere then `Everywhere else `Leaves in
-        match Modelcheck.explore ~probe row.protocol ~inputs ~depth with
-        | Ok s ->
-          Printf.printf
-            "%s: OK — %d configurations, %d probes%s\n" row.iset s.configs s.probes
-            (if s.truncated then Printf.sprintf " (truncated at depth %d)" depth else "");
-          `Ok ()
-        | Error e -> `Error (false, "violation: " ^ e))
+        let engine =
+          match engine with
+          | "naive" -> Ok `Naive
+          | "memo" -> Ok `Memo
+          | "parallel" -> Ok (`Parallel domains)
+          | e -> Error (Printf.sprintf "unknown engine %S (naive|memo|parallel)" e)
+        in
+        match engine with
+        | Error e -> `Error (false, e)
+        | Ok engine ->
+          (match Explore.run ~probe ~engine row.protocol ~inputs ~depth with
+           | Ok s ->
+             Printf.printf
+               "%s: OK — %d configurations, %d probes, %d dedup hits, %.3f s%s\n"
+               row.iset s.Explore.configs s.Explore.probes s.Explore.dedup_hits
+               s.Explore.elapsed
+               (if s.Explore.truncated then Printf.sprintf " (truncated at depth %d)" depth
+                else "");
+             `Ok ()
+           | Error e -> `Error (false, "violation: " ^ e)))
   in
   let depth_arg =
     let doc = "Exhaustive exploration depth (all schedules)." in
@@ -87,10 +100,21 @@ let modelcheck_cmd =
     let doc = "Probe obstruction-freedom at every configuration (slower)." in
     Arg.(value & flag & info [ "everywhere" ] ~doc)
   in
+  let engine_arg =
+    let doc = "Exploration engine: naive, memo, or parallel." in
+    Arg.(value & opt string "memo" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains for --engine=parallel." in
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"K" ~doc)
+  in
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
-    Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg))
+    Term.(
+      ret
+        (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
+       $ domains_arg))
 
 let growth_cmd =
   let run rounds n =

@@ -330,4 +330,19 @@ let of_string s =
 let hash x =
   Array.fold_left (fun acc d -> (acc * 65599) + d) (x.sign + 17) x.mag land Stdlib.max_int
 
+(* Folds the base-2^31 digits of [i] exactly as [hash (of_int i)] would,
+   without building the digit array. *)
+let hash_of_int i =
+  if i = 0 then 17
+  else if i = Stdlib.min_int then hash (of_int Stdlib.min_int)
+  else begin
+    let acc = ref ((if i < 0 then -1 else 1) + 17) in
+    let m = ref (Stdlib.abs i) in
+    while !m <> 0 do
+      acc := (!acc * 65599) + (!m land base_mask);
+      m := !m lsr base_bits
+    done;
+    !acc land Stdlib.max_int
+  end
+
 let pp ppf x = Format.pp_print_string ppf (to_string x)

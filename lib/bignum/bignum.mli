@@ -104,4 +104,10 @@ val digits : t -> int -> int list
 (** {1 Misc} *)
 
 val hash : t -> int
+
+val hash_of_int : int -> int
+(** [hash_of_int i = hash (of_int i)] without allocating the bignum — the
+    fast path for hashing native integers that must agree with their
+    arbitrary-precision representation (e.g. [Value.Int] vs [Value.Big]). *)
+
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,8 @@ module Add = struct
   let trivial = function Read -> true | Add _ -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -49,6 +51,8 @@ module Mul = struct
   let trivial = function Read -> true | Mul _ -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -76,6 +80,8 @@ module Setbit = struct
   let trivial = function Read -> true | Set_bit _ -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -99,6 +105,8 @@ module Faa = struct
   let trivial (Fetch_add x) = Bignum.is_zero x
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
   let pp_op ppf (Fetch_add x) = Format.fprintf ppf "fetch-and-add(%a)" Bignum.pp x
@@ -119,6 +127,8 @@ module Fam = struct
   let trivial (Fetch_mul x) = Bignum.equal x Bignum.one
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
   let pp_op ppf (Fetch_mul x) = Format.fprintf ppf "fetch-and-multiply(%a)" Bignum.pp x
@@ -144,6 +154,8 @@ module Decmul = struct
   let trivial = function Read -> true | Decrement | Multiply _ -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -175,6 +187,8 @@ module Faa2_tas = struct
   let trivial = function Fetch_add2 | Tas -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 

@@ -49,6 +49,8 @@ struct
   let trivial = function Read -> true | Write0 | Write1 | Tas | Reset -> false
   let multi_assignment = false
   let equal_cell = Bool.equal
+  let hash_cell c = if c then 1 else 0
+  let hash_result = Value.hash
   let pp_cell ppf c = Format.pp_print_int ppf (if c then 1 else 0)
   let pp_result = Value.pp
 

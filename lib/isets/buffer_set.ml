@@ -40,6 +40,11 @@ struct
 
   let equal_cell a b = List.length a = List.length b && List.for_all2 Value.equal a b
 
+  let hash_cell c =
+    List.fold_left (fun acc x -> (acc * 0x100000001b3) lxor Value.hash x) (List.length c) c
+
+  let hash_result = Value.hash
+
   let pp_cell ppf c =
     Format.fprintf ppf "[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)

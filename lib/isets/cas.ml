@@ -13,6 +13,8 @@ let apply (Cas (expected, desired)) c =
 let trivial (Cas (expected, desired)) = Value.equal expected desired
 let multi_assignment = false
 let equal_cell = Value.equal
+let hash_cell = Value.hash
+let hash_result = Value.hash
 let pp_cell = Value.pp
 let pp_result = Value.pp
 

@@ -44,6 +44,14 @@ let multi_assignment = false
 let equal_cell (c1, e1) (c2, e2) =
   c1 = c2 && List.length e1 = List.length e2 && List.for_all2 Value.equal e1 e2
 
+let hash_cell (c, entries) =
+  List.fold_left
+    (fun acc x -> (acc * 0x100000001b3) lxor Value.hash x)
+    ((c * 0x100000001b3) lxor List.length entries)
+    entries
+
+let hash_result = Value.hash
+
 let pp_cell ppf (c, entries) =
   Format.fprintf ppf "cap=%d [%a]" c
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)

@@ -42,6 +42,8 @@ struct
   let trivial = function Read -> true | Write _ | Increment | Fetch_incr -> false
   let multi_assignment = false
   let equal_cell = Bignum.equal
+  let hash_cell = Bignum.hash
+  let hash_result = Value.hash
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 

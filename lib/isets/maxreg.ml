@@ -15,6 +15,8 @@ let apply op c =
 let trivial = function Read_max -> true | Write_max _ -> false
 let multi_assignment = false
 let equal_cell = Bignum.equal
+let hash_cell = Bignum.hash
+let hash_result = Value.hash
 let pp_cell = Bignum.pp
 let pp_result = Value.pp
 

@@ -15,6 +15,8 @@ let apply op c =
 let trivial = function Read -> true | Write _ -> false
 let multi_assignment = false
 let equal_cell = Value.equal
+let hash_cell = Value.hash
+let hash_result = Value.hash
 let pp_cell = Value.pp
 let pp_result = Value.pp
 

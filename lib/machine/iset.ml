@@ -32,6 +32,17 @@ module type S = sig
 
   val equal_cell : cell -> cell -> bool
 
+  val hash_cell : cell -> int
+  (** Must agree with [equal_cell]: equal cells hash equally.  Keys the
+      memory part of {!Machine.Make.fingerprint}, which the model checker's
+      transposition table dedups on. *)
+
+  val hash_result : result -> int
+  (** Must agree with structural equality of results.  A process is a
+      deterministic function of the results it has seen, so the rolling
+      per-process result-history hash identifies its continuation in
+      {!Machine.Make.fingerprint}. *)
+
   val pp_cell : Format.formatter -> cell -> unit
   val pp_op : Format.formatter -> op -> unit
   val pp_result : Format.formatter -> result -> unit

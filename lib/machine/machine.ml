@@ -1,6 +1,12 @@
 module Imap = Map.Make (Int)
 module Iset_int = Set.Make (Int)
 
+(* Multiplicative mix (64-bit FNV prime) with an avalanche shift, shared by
+   the per-process history hashes and the configuration fingerprint. *)
+let mix acc h =
+  let x = (acc * 0x100000001b3) lxor h in
+  x lxor (x lsr 29)
+
 module Make (I : Iset.S) = struct
   type 'a proc = (I.op, I.result, 'a) Proc.t
 
@@ -16,19 +22,29 @@ module Make (I : Iset.S) = struct
     steps_per_process : int array;
     touched : Iset_int.t;
     trace : event list;  (* most recent first *)
+    record_trace : bool;
+    running_count : int;  (* cached |running|, kept exact by [step] *)
+    hist : int array;  (* rolling hash of each process's observed results *)
   }
 
   exception Multi_assignment_not_supported
 
-  let make ~n f =
+  let runnable = function Proc.Step (_ :: _, _) -> true | Proc.Step ([], _) | Proc.Done _ -> false
+
+  let make ?(record_trace = true) ~n f =
     if n < 1 then invalid_arg "Machine.make: n < 1";
+    let procs = Array.init n f in
+    let running_count = Array.fold_left (fun k p -> if runnable p then k + 1 else k) 0 procs in
     {
       mem = Imap.empty;
-      procs = Array.init n f;
+      procs;
       steps = 0;
       steps_per_process = Array.make n 0;
       touched = Iset_int.empty;
       trace = [];
+      record_trace;
+      running_count;
+      hist = Array.make n 0;
     }
 
   let n_processes cfg = Array.length cfg.procs
@@ -49,11 +65,11 @@ module Make (I : Iset.S) = struct
   let running cfg =
     let out = ref [] in
     for pid = Array.length cfg.procs - 1 downto 0 do
-      match cfg.procs.(pid) with
-      | Proc.Step (_ :: _, _) -> out := pid :: !out
-      | Proc.Step ([], _) | Proc.Done _ -> ()
+      if runnable cfg.procs.(pid) then out := pid :: !out
     done;
     !out
+
+  let running_count cfg = cfg.running_count
 
   let poised cfg pid =
     match cfg.procs.(pid) with
@@ -67,6 +83,18 @@ module Make (I : Iset.S) = struct
 
   let fold_cells cfg ~init ~f =
     Imap.fold (fun loc c acc -> f acc loc c) cfg.mem init
+
+  (* Canonical fingerprint: memory contents (location, cell hash, in
+     ascending location order) plus each process's result-history hash.  A
+     process is a deterministic function of the results it has observed, so
+     two configurations of the same initial machine with equal fingerprints
+     behave identically (modulo hash collisions) — in particular,
+     configurations reached by commuting independent steps coincide. *)
+  let fingerprint cfg =
+    let h =
+      Imap.fold (fun loc c acc -> mix (mix acc loc) (I.hash_cell c)) cfg.mem 0x517cc1b7
+    in
+    Array.fold_left mix h cfg.hist
 
   let trace cfg = List.rev cfg.trace
 
@@ -105,11 +133,18 @@ module Make (I : Iset.S) = struct
       in
       let results = List.rev rev_results in
       let procs = Array.copy cfg.procs in
-      procs.(pid) <- k results;
+      let next = k results in
+      procs.(pid) <- next;
       let steps_per_process = Array.copy cfg.steps_per_process in
       steps_per_process.(pid) <- steps_per_process.(pid) + 1;
-      let event =
-        { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
+      let hist = Array.copy cfg.hist in
+      hist.(pid) <-
+        List.fold_left (fun acc r -> mix acc (I.hash_result r)) (mix hist.(pid) 0x9e37) results;
+      let trace =
+        if cfg.record_trace then
+          { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
+          :: cfg.trace
+        else cfg.trace
       in
       {
         mem;
@@ -117,20 +152,21 @@ module Make (I : Iset.S) = struct
         steps = cfg.steps + 1;
         steps_per_process;
         touched;
-        trace = event :: cfg.trace;
+        trace;
+        record_trace = cfg.record_trace;
+        running_count = (cfg.running_count - if runnable next then 0 else 1);
+        hist;
       }
 
   let run ?(fuel = 1_000_000) ~sched cfg =
     let rec go cfg sched remaining =
-      match running cfg with
-      | [] -> (cfg, `All_decided)
-      | pids ->
-        if remaining <= 0 then (cfg, `Out_of_fuel)
-        else begin
-          match Sched.next sched ~running:pids ~step:cfg.steps with
-          | None -> (cfg, `Sched_stopped)
-          | Some (pid, sched') -> go (step cfg pid) sched' (remaining - 1)
-        end
+      if cfg.running_count = 0 then (cfg, `All_decided)
+      else if remaining <= 0 then (cfg, `Out_of_fuel)
+      else begin
+        match Sched.next sched ~running:(running cfg) ~step:cfg.steps with
+        | None -> (cfg, `Sched_stopped)
+        | Some (pid, sched') -> go (step cfg pid) sched' (remaining - 1)
+      end
     in
     go cfg sched fuel
 

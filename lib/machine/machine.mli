@@ -15,8 +15,11 @@ module Make (I : Iset.S) : sig
 
   exception Multi_assignment_not_supported
 
-  val make : n:int -> (int -> 'a proc) -> 'a config
-  (** [make ~n f] starts [n] processes, process [pid] running [f pid]. *)
+  val make : ?record_trace:bool -> n:int -> (int -> 'a proc) -> 'a config
+  (** [make ~n f] starts [n] processes, process [pid] running [f pid].
+      [record_trace] (default [true]) controls whether [step] accumulates
+      the event trace; the model checker turns it off so exploration does
+      not allocate an event per step ([trace] is then empty). *)
 
   val n_processes : 'a config -> int
 
@@ -30,6 +33,10 @@ module Make (I : Iset.S) : sig
 
   val running : 'a config -> int list
   (** Sorted ids of processes that have not decided (and are not blocked). *)
+
+  val running_count : 'a config -> int
+  (** [List.length (running cfg)], cached — O(1) in the exploration hot
+      loop instead of rebuilding the list. *)
 
   val poised : 'a config -> int -> (int * I.op) list option
   (** The atomic accesses process [pid] is poised to perform, or [None] if
@@ -52,6 +59,16 @@ module Make (I : Iset.S) : sig
 
   val fold_cells : 'a config -> init:'b -> f:('b -> int -> I.cell -> 'b) -> 'b
   (** Fold over every location that has been written (ascending). *)
+
+  val fingerprint : 'a config -> int
+  (** Canonical hash of the configuration: memory contents (via
+      [I.hash_cell]) mixed with a rolling hash of every process's observed
+      results (via [I.hash_result]).  Since a process is a deterministic
+      function of the results it has seen, two configurations of the same
+      initial machine with equal fingerprints behave identically modulo
+      hash collisions; configurations reached by permuting independent
+      (commuting) steps get equal fingerprints, which is what the model
+      checker's transposition table dedups on. *)
 
   type event = {
     pid : int;

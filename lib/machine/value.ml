@@ -49,15 +49,23 @@ let rec compare a b =
 
 let equal a b = compare a b = 0
 
+(* A multiplicative mix (64-bit FNV prime) with an avalanche shift:
+   [h * 31 + x] loses high bits under composition, which matters now that
+   hashes key the model checker's transposition table. *)
+let mix acc h =
+  let x = (acc * 0x100000001b3) lxor h in
+  x lxor (x lsr 29)
+
 let rec hash = function
   | Bot -> 3
   | Unit -> 5
-  (* Int and Big compare equal on equal numbers, so they must hash alike. *)
-  | Int i -> Bignum.hash (Bignum.of_int i)
+  (* Int and Big compare equal on equal numbers, so they must hash alike;
+     hash_of_int is the no-allocation fast path of the shared digit fold. *)
+  | Int i -> Bignum.hash_of_int i
   | Big b -> Bignum.hash b
-  | Pair (a, b) -> (hash a * 31) + hash b
-  | Vec v -> Array.fold_left (fun acc x -> (acc * 31) + hash x) 7 v
-  | Tag (p, s, v) -> (((p * 31) + s) * 31) + hash v
+  | Pair (a, b) -> mix (mix 11 (hash a)) (hash b)
+  | Vec v -> Array.fold_left (fun acc x -> mix acc (hash x)) 7 v
+  | Tag (p, s, v) -> mix (mix (mix 13 p) s) (hash v)
 
 let rec pp ppf = function
   | Bot -> Format.pp_print_string ppf "⊥"

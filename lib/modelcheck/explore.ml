@@ -1,0 +1,269 @@
+(* The exploration engines behind [Modelcheck.explore].
+
+   Three engines share one DFS core:
+   - [`Naive] is the original depth-first walk of every schedule.
+   - [`Memo] adds a transposition table keyed on [Machine.fingerprint]:
+     configurations reached by permuting independent (commuting) steps
+     coincide and their subtrees are explored once.  Each entry remembers
+     the largest remaining depth already explored from that configuration,
+     so a revisit is pruned only when the stored exploration covers it.
+   - [`Parallel k] grows a sequential BFS prefix until the frontier is wide
+     enough to share, then [k] domains drain the frontier from a shared
+     work queue, each running the memoized DFS with a domain-local table. *)
+
+type engine = [ `Naive | `Memo | `Parallel of int ]
+type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type stats = {
+  configs : int;
+  probes : int;
+  truncated : bool;
+  dedup_hits : int;
+  elapsed : float;
+}
+
+type outcome = (stats, string) result
+
+exception Violation of string
+
+let violationf fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let check_decisions ~inputs decisions =
+  match decisions with
+  | [] -> ()
+  | (_, first) :: _ ->
+    List.iter
+      (fun (pid, v) ->
+        if v <> first then
+          violationf "agreement: process %d decided %d but %d was also decided" pid v first)
+      decisions;
+    if not (Array.exists (fun i -> i = first) inputs) then
+      violationf "validity: %d decided but never proposed" first
+
+module Run (P : Consensus.Proto.S) = struct
+  module M = Model.Machine.Make (P.I)
+
+  type counters = {
+    mutable configs : int;
+    mutable probes : int;
+    mutable truncated : bool;
+    mutable hits : int;
+  }
+
+  let fresh () = { configs = 0; probes = 0; truncated = false; hits = 0 }
+
+  let merge into c =
+    into.configs <- into.configs + c.configs;
+    into.probes <- into.probes + c.probes;
+    into.truncated <- into.truncated || c.truncated;
+    into.hits <- into.hits + c.hits
+
+  (* Run [pid] solo (it must decide — obstruction-freedom), then everyone
+     else sequentially, and check the complete decision set. *)
+  let probe_one ~solo_fuel ~inputs c cfg pid =
+    c.probes <- c.probes + 1;
+    let cfg, dec = M.run_solo ~fuel:solo_fuel ~pid cfg in
+    (match dec with
+     | None ->
+       violationf "obstruction-freedom: process %d did not decide solo within %d steps"
+         pid solo_fuel
+     | Some _ -> ());
+    let rec finish cfg =
+      match M.running cfg with
+      | [] -> cfg
+      | q :: _ -> finish (fst (M.run_solo ~fuel:solo_fuel ~pid:q cfg))
+    in
+    let cfg = finish cfg in
+    (match M.running cfg with
+     | [] -> ()
+     | q :: _ -> violationf "termination: process %d still undecided after solo runs" q);
+    check_decisions ~inputs (M.decisions cfg)
+
+  exception Stop
+
+  (* The DFS core all engines share.  [table = None] is the naive engine;
+     [Some tbl] prunes a revisited fingerprint whose stored remaining depth
+     covers the current one.  [stop] aborts cooperatively (parallel mode). *)
+  let dfs ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth =
+    let rec go cfg d =
+      match table with
+      | None -> visit cfg d
+      | Some tbl ->
+        let fp = M.fingerprint cfg in
+        (match Hashtbl.find_opt tbl fp with
+         | Some d' when d' >= d -> c.hits <- c.hits + 1
+         | _ ->
+           Hashtbl.replace tbl fp d;
+           visit cfg d)
+    and visit cfg d =
+      if stop () then raise Stop;
+      c.configs <- c.configs + 1;
+      check_decisions ~inputs (M.decisions cfg);
+      if M.running_count cfg > 0 then begin
+        let running = M.running cfg in
+        let at_bound = d <= 0 in
+        if at_bound then c.truncated <- true;
+        let should_probe =
+          match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true
+        in
+        if should_probe then List.iter (probe_one ~solo_fuel ~inputs c cfg) running;
+        if not at_bound then List.iter (fun pid -> go (M.step cfg pid) (d - 1)) running
+      end
+    in
+    go cfg depth
+
+  let no_stop () = false
+
+  (* Parallel frontier: a sequential BFS prefix visits the shallow
+     configurations (so their checks and `Everywhere probes still run
+     exactly once), then the unvisited frontier is deduped by fingerprint
+     and drained by [domains] workers from a shared queue. *)
+  let parallel ~domains ~probe ~solo_fuel ~inputs c root depth =
+    let domains = max 1 domains in
+    let target = max 16 (4 * domains) in
+    let rec prefix level d =
+      if d <= 0 || List.length level >= target then (level, d)
+      else begin
+        let next =
+          List.concat_map
+            (fun cfg ->
+              c.configs <- c.configs + 1;
+              check_decisions ~inputs (M.decisions cfg);
+              if M.running_count cfg = 0 then []
+              else begin
+                let running = M.running cfg in
+                if probe = `Everywhere then
+                  List.iter (probe_one ~solo_fuel ~inputs c cfg) running;
+                List.map (M.step cfg) running
+              end)
+            level
+        in
+        if next = [] then ([], d - 1) else prefix next (d - 1)
+      end
+    in
+    let frontier, d = prefix [ root ] depth in
+    let seen = Hashtbl.create 64 in
+    let frontier =
+      List.filter
+        (fun cfg ->
+          let fp = M.fingerprint cfg in
+          if Hashtbl.mem seen fp then begin
+            c.hits <- c.hits + 1;
+            false
+          end
+          else begin
+            Hashtbl.add seen fp ();
+            true
+          end)
+        frontier
+    in
+    let items = Array.of_list frontier in
+    let next_item = Atomic.make 0 in
+    let stopped = Atomic.make false in
+    let mu = Mutex.create () in
+    let errors = ref [] in
+    let worker_counters = ref [] in
+    let worker () =
+      let wc = fresh () in
+      let table = Some (Hashtbl.create 4096) in
+      let stop () = Atomic.get stopped in
+      let rec loop () =
+        if not (Atomic.get stopped) then begin
+          let i = Atomic.fetch_and_add next_item 1 in
+          if i < Array.length items then begin
+            (match dfs ~probe ~solo_fuel ~inputs ~table ~stop wc items.(i) d with
+             | () -> ()
+             | exception Violation msg ->
+               Mutex.lock mu;
+               errors := (i, msg) :: !errors;
+               Mutex.unlock mu;
+               Atomic.set stopped true
+             | exception Stop -> ());
+            loop ()
+          end
+        end
+      in
+      loop ();
+      Mutex.lock mu;
+      worker_counters := wc :: !worker_counters;
+      Mutex.unlock mu
+    in
+    let doms = List.init domains (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    List.iter (merge c) !worker_counters;
+    (* Report the violation of the earliest frontier item that found one,
+       so the message is as deterministic as the work split allows. *)
+    match List.sort compare !errors with
+    | (_, msg) :: _ -> raise (Violation msg)
+    | [] -> ()
+end
+
+let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive)
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  let module R = Run (P) in
+  let n = Array.length inputs in
+  let t0 = Unix.gettimeofday () in
+  let c = R.fresh () in
+  let root =
+    R.M.make ~record_trace:false ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid))
+  in
+  let result =
+    try
+      (match engine with
+       | `Naive ->
+         R.dfs ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth
+       | `Memo ->
+         R.dfs ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
+           ~stop:R.no_stop c root depth
+       | `Parallel k -> R.parallel ~domains:k ~probe ~solo_fuel ~inputs c root depth);
+      Ok ()
+    with Violation msg -> Error msg
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      configs = c.configs;
+      probes = c.probes;
+      truncated = c.truncated;
+      dedup_hits = c.hits;
+      elapsed;
+    }
+  in
+  match result with Ok () -> Ok stats | Error msg -> Error msg
+
+type deepen_report = {
+  depth_reached : int;
+  complete : bool;
+  last : stats;
+  total_configs : int;
+  total_elapsed : float;
+}
+
+let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
+    proto ~inputs ~max_depth =
+  if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let rec go d best =
+    let out_of_budget = match best with Some _ -> elapsed () >= budget | None -> false in
+    if d > max_depth || out_of_budget then Ok (Option.get best)
+    else begin
+      match run ~probe ~solo_fuel ~engine proto ~inputs ~depth:d with
+      | Error e -> Error e
+      | Ok s ->
+        let total_configs =
+          (match best with Some b -> b.total_configs | None -> 0) + s.configs
+        in
+        let b =
+          {
+            depth_reached = d;
+            complete = not s.truncated;
+            last = s;
+            total_configs;
+            total_elapsed = elapsed ();
+          }
+        in
+        if not s.truncated then Ok b else go (d + 1) (Some b)
+    end
+  in
+  go 1 None

@@ -1,0 +1,70 @@
+(** The exploration engines behind {!Modelcheck.explore}.
+
+    All engines decide the same property — they walk the schedule tree of a
+    protocol to a depth bound, checking agreement/validity at every visited
+    configuration and optionally probing obstruction-freedom — but differ in
+    how much of the tree they actually touch:
+
+    - [`Naive] walks every schedule (the original engine).
+    - [`Memo] keeps a transposition table keyed on
+      {!Model.Machine.Make.fingerprint}: schedules that permute independent
+      (commuting) steps converge to the same configuration, whose subtree is
+      then explored once.  Entries remember the deepest remaining depth
+      already covered, so pruning never loses reachable configurations.
+    - [`Parallel k] expands a sequential BFS prefix and hands the frontier
+      to [k] domains ([Domain.spawn]) that drain a shared work queue, each
+      with a domain-local transposition table.
+
+    Engines agree on the verdict: [Ok _] vs [Error _], and the violation
+    class, match across engines on the same protocol/depth (the exact
+    counter-example message may differ for [`Parallel]).  Stats differ by
+    design — [`Memo] visits fewer configurations. *)
+
+type engine = [ `Naive | `Memo | `Parallel of int ]
+type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type stats = {
+  configs : int;      (** configurations visited (dedup'd ones not counted) *)
+  probes : int;       (** solo/termination probes run *)
+  truncated : bool;   (** some branch hit the depth bound *)
+  dedup_hits : int;   (** revisits pruned by the transposition table *)
+  elapsed : float;    (** wall-clock seconds for the whole exploration *)
+}
+
+type outcome = (stats, string) result
+(** [Error msg] describes the first violation found. *)
+
+val run :
+  ?probe:probe_policy ->
+  ?solo_fuel:int ->
+  ?engine:engine ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  depth:int ->
+  outcome
+(** [run proto ~inputs ~depth] explores the schedule tree to [depth] steps
+    with the chosen [engine] (default [`Naive]).  Probing (default
+    [`Leaves]) is as in {!Modelcheck.explore}. *)
+
+type deepen_report = {
+  depth_reached : int;   (** deepest completed iteration *)
+  complete : bool;       (** exploration finished without hitting the bound *)
+  last : stats;          (** stats of the deepest iteration *)
+  total_configs : int;   (** configurations visited across all iterations *)
+  total_elapsed : float; (** wall-clock seconds across all iterations *)
+}
+
+val deepen :
+  ?probe:probe_policy ->
+  ?solo_fuel:int ->
+  ?engine:engine ->
+  ?budget:float ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  max_depth:int ->
+  (deepen_report, string) result
+(** Iterative deepening: run depth 1, 2, … until the exploration completes
+    (no branch truncated), [max_depth] is reached, or the wall-clock
+    [budget] (default 1.0 s, checked between iterations) runs out.  The
+    default [engine] is [`Memo], which makes each re-iteration cheap.
+    [Error msg] if any iteration finds a violation. *)

@@ -8,67 +8,14 @@ type outcome = (stats, string) result
 
 exception Violation of string
 
-let violationf fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
-
-let check_decisions ~inputs decisions =
-  match decisions with
-  | [] -> ()
-  | (_, first) :: _ ->
-    List.iter
-      (fun (pid, v) ->
-        if v <> first then
-          violationf "agreement: process %d decided %d but %d was also decided" pid v first)
-      decisions;
-    if not (Array.exists (fun i -> i = first) inputs) then
-      violationf "validity: %d decided but never proposed" first
-
-let explore ?(probe = `Leaves) ?(solo_fuel = 100_000) (module P : Consensus.Proto.S)
-    ~inputs ~depth =
-  let module M = Model.Machine.Make (P.I) in
-  let n = Array.length inputs in
-  let configs = ref 0 and probes = ref 0 and truncated = ref false in
-  (* Run [pid] solo (it must decide — obstruction-freedom), then everyone
-     else sequentially, and check the complete decision set. *)
-  let probe_config cfg pid =
-    incr probes;
-    let cfg, dec = M.run_solo ~fuel:solo_fuel ~pid cfg in
-    (match dec with
-     | None ->
-       violationf "obstruction-freedom: process %d did not decide solo within %d steps"
-         pid solo_fuel
-     | Some _ -> ());
-    let rec finish cfg =
-      match M.running cfg with
-      | [] -> cfg
-      | q :: _ -> finish (fst (M.run_solo ~fuel:solo_fuel ~pid:q cfg))
-    in
-    let cfg = finish cfg in
-    (match M.running cfg with
-     | [] -> ()
-     | q :: _ -> violationf "termination: process %d still undecided after solo runs" q);
-    check_decisions ~inputs (M.decisions cfg)
-  in
-  let rec go cfg d =
-    incr configs;
-    check_decisions ~inputs (M.decisions cfg);
-    match M.running cfg with
-    | [] -> ()
-    | running ->
-      let at_bound = d <= 0 in
-      if at_bound then truncated := true;
-      let should_probe =
-        match probe with
-        | `Never -> false
-        | `Leaves -> at_bound
-        | `Everywhere -> true
-      in
-      if should_probe then List.iter (probe_config cfg) running;
-      if not at_bound then List.iter (fun pid -> go (M.step cfg pid) (d - 1)) running
-  in
-  let cfg = M.make ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
-  match go cfg depth with
-  | () -> Ok { configs = !configs; probes = !probes; truncated = !truncated }
-  | exception Violation msg -> Error msg
+(* The exploration engines live in [Explore]; this is the historical entry
+   point, kept as a thin wrapper so existing callers (synthesis, tests,
+   executables) keep their signature. *)
+let explore ?probe ?solo_fuel ?engine p ~inputs ~depth =
+  match Explore.run ?probe ?solo_fuel ?engine p ~inputs ~depth with
+  | Ok (s : Explore.stats) ->
+    Ok { configs = s.Explore.configs; probes = s.Explore.probes; truncated = s.Explore.truncated }
+  | Error msg -> Error msg
 
 let decidable_values ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs ~depth =
   let module M = Model.Machine.Make (P.I) in
@@ -91,7 +38,7 @@ let decidable_values ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inpu
         running;
       if d > 0 then List.iter (fun pid -> go (M.step cfg pid) (d - 1)) running
   in
-  let cfg = M.make ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
+  let cfg = M.make ~record_trace:false ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) in
   match go cfg depth with
   | () -> Ok (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen []))
   | exception Violation msg -> Error msg

@@ -23,6 +23,7 @@ type outcome = (stats, string) result
 val explore :
   ?probe:[ `Leaves | `Everywhere | `Never ] ->
   ?solo_fuel:int ->
+  ?engine:[ `Naive | `Memo | `Parallel of int ] ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -31,7 +32,16 @@ val explore :
     steps.  Probing (default [`Leaves]: only where the depth bound cuts the
     tree off, or [`Everywhere]: at every configuration) checks that each
     undecided process decides within [solo_fuel] solo steps and that the
-    resulting decisions agree and are valid. *)
+    resulting decisions agree and are valid.
+
+    [engine] selects the exploration strategy (default [`Naive]): [`Memo]
+    dedups configurations reached by commuting independent steps via a
+    transposition table on {!Model.Machine.Make.fingerprint}; [`Parallel k]
+    additionally splits the schedule tree across [k] domains.  All engines
+    return the same verdict; [`Memo]/[`Parallel] visit fewer configurations
+    and may report [truncated] differently at the same bound.  This is a
+    thin wrapper over {!Explore.run}, which also exposes dedup/timing stats
+    and iterative deepening ({!Explore.deepen}). *)
 
 val decidable_values :
   ?solo_fuel:int ->

@@ -31,24 +31,50 @@ let rec pp_tree ~ops ppf = function
 
 (* --- state-set machinery ------------------------------------------------ *)
 
-let mem m s set = List.exists (m.equal s) set
-let add m s set = if mem m s set then set else s :: set
+(* State sets used to be plain lists with linear [mem], so every closure was
+   O(n²) in the number of reachable cell states.  A hashtable keyed on the
+   generic structural hash, with buckets resolved through [m.equal], makes
+   membership O(1).  This requires [m.equal] to be hash-compatible (equal
+   cells hash equal), which holds for the structural equalities every
+   machine here uses. *)
+module Stateset = struct
+  type 'cell t = {
+    tbl : (int, 'cell list) Hashtbl.t;
+    equal : 'cell -> 'cell -> bool;
+  }
 
-(* All cell states the peer can produce from [set] with any op sequence. *)
+  let create equal = { tbl = Hashtbl.create 64; equal }
+
+  (* Insert [s]; [true] iff it was not already present. *)
+  let add t s =
+    let h = Hashtbl.hash s in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt t.tbl h) in
+    if List.exists (t.equal s) bucket then false
+    else begin
+      Hashtbl.replace t.tbl h (s :: bucket);
+      true
+    end
+end
+
+(* All cell states the peer can produce from [set] with any op sequence.
+   Returns each reachable state once; enumeration below depends only on the
+   state {e set}, so the change of representation is invisible to it. *)
 let closure m set =
-  let rec go frontier seen =
-    match frontier with
-    | [] -> seen
-    | s :: rest ->
-      let nexts =
-        Array.to_list m.ops
-        |> List.filter_map (fun (_, sem) ->
-               let s', _ = sem s in
-               if mem m s' seen then None else Some s')
-      in
-      go (nexts @ rest) (List.fold_left (fun acc s' -> add m s' acc) seen nexts)
+  let seen = Stateset.create m.equal in
+  let frontier = Queue.create () in
+  let out = ref [] in
+  let visit s =
+    if Stateset.add seen s then begin
+      out := s :: !out;
+      Queue.add s frontier
+    end
   in
-  go set set
+  List.iter visit set;
+  while not (Queue.is_empty frontier) do
+    let s = Queue.pop frontier in
+    Array.iter (fun (_, sem) -> visit (fst (sem s))) m.ops
+  done;
+  List.rev !out
 
 (* --- enumeration --------------------------------------------------------- *)
 

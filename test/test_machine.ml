@@ -16,6 +16,8 @@ module Cell = struct
   let trivial = function Read -> true | Write _ -> false
   let multi_assignment = false
   let equal_cell = Int.equal
+  let hash_cell c = c
+  let hash_result r = r
   let pp_cell = Format.pp_print_int
   let pp_op ppf = function
     | Read -> Format.pp_print_string ppf "read"

@@ -194,6 +194,98 @@ let test_stats_shape () =
   Alcotest.(check int) "no probes when `Never" 0 s.probes;
   Alcotest.(check bool) "complete" false s.truncated
 
+(* 9. Differential: the three engines decide the same verdict.  Stats may
+   differ by design (memo visits fewer configurations), so we compare the
+   outcome class: Ok, or the violation kind (message prefix up to ':'). *)
+let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ]
+
+let outcome_class = function
+  | Ok (_ : Modelcheck.stats) -> "ok"
+  | Error msg ->
+    (match String.index_opt msg ':' with
+     | Some i -> "violation:" ^ String.sub msg 0 i
+     | None -> "violation")
+
+let check_engines_agree ?solo_fuel name proto inputs depth =
+  let verdict engine =
+    outcome_class
+      (Modelcheck.explore ~probe:`Everywhere ?solo_fuel ~engine proto ~inputs ~depth)
+  in
+  let reference = verdict `Naive in
+  List.iter
+    (fun (ename, engine) ->
+      Alcotest.(check string) (Printf.sprintf "%s: %s vs naive" name ename) reference
+        (verdict engine))
+    engines;
+  reference
+
+let test_engines_agree_correct () =
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      let verdict = check_engines_agree name proto inputs depth in
+      Alcotest.(check string) (name ^ ": verdict is ok") "ok" verdict)
+    [
+      ("cas n=2", Consensus.Cas_protocol.protocol, [| 0; 1 |], 6);
+      ("cas n=3", Consensus.Cas_protocol.protocol, [| 0; 1; 2 |], 8);
+      ("rw", Consensus.Rw_protocol.protocol, [| 0; 1 |], 7);
+      ("maxreg", Consensus.Maxreg_protocol.protocol, [| 0; 1 |], 7);
+      ("swap", Consensus.Swap_protocol.protocol, [| 0; 1 |], 7);
+      ("arith-add", Consensus.Arith_protocols.add, [| 0; 1 |], 7);
+      ("faa2+tas", Consensus.Intro_protocols.faa2_tas, [| 0; 1 |], 6);
+    ]
+
+let test_engines_agree_broken () =
+  let maxreg_victim : Consensus.Proto.t =
+    let (module V) = Lowerbound.Victims.naive_maxreg in
+    (module V)
+  in
+  let fai_victim : Consensus.Proto.t =
+    let (module V) = Lowerbound.Victims.naive_fai in
+    (module V)
+  in
+  List.iter
+    (fun (name, proto, inputs, depth, solo_fuel) ->
+      let verdict = check_engines_agree ~solo_fuel name proto inputs depth in
+      Alcotest.(check bool)
+        (name ^ ": all engines report a violation")
+        true
+        (String.length verdict >= 9 && String.sub verdict 0 9 = "violation"))
+    [
+      ("disagree", broken_disagree, [| 0; 1 |], 3, 100_000);
+      ("invalid", broken_invalid, [| 0; 1 |], 3, 100_000);
+      ("spin", broken_nonterminating, [| 0; 1 |], 2, 1_000);
+      ("naive-maxreg victim", maxreg_victim, [| 0; 1 |], 6, 100_000);
+      ("naive-fai victim", fai_victim, [| 0; 1 |], 8, 100_000);
+    ]
+
+(* 10. The transposition table earns its keep: on read/write consensus with
+   three processes, commuting steps collapse and memo visits strictly fewer
+   configurations than naive while actually hitting the table. *)
+let test_memo_dedups () =
+  let inputs = [| 0; 1; 2 |] and depth = 8 in
+  let run engine =
+    match Explore.run ~probe:`Leaves ~engine Consensus.Rw_protocol.protocol ~inputs ~depth with
+    | Ok s -> s
+    | Error e -> Alcotest.fail ("unexpected violation: " ^ e)
+  in
+  let naive = run `Naive and memo = run `Memo in
+  Alcotest.(check bool) "memo hits the table" true (memo.Explore.dedup_hits > 0);
+  Alcotest.(check bool) "memo visits fewer configs" true
+    (memo.Explore.configs < naive.Explore.configs);
+  Alcotest.(check int) "naive never hits the table" 0 naive.Explore.dedup_hits
+
+(* 11. Iterative deepening completes on a finite tree and reports it. *)
+let test_deepen_completes () =
+  match
+    Explore.deepen ~budget:10.0 Consensus.Cas_protocol.protocol ~inputs:[| 0; 1 |]
+      ~max_depth:10
+  with
+  | Ok r ->
+    Alcotest.(check bool) "complete" true r.Explore.complete;
+    (* each process takes exactly one step, so depth 2 finishes the tree *)
+    Alcotest.(check int) "depth reached" 2 r.Explore.depth_reached
+  | Error e -> Alcotest.fail e
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -213,5 +305,14 @@ let () =
         [
           Alcotest.test_case "catches broken protocols" `Quick test_catches_broken;
           Alcotest.test_case "finds interleaving bug" `Quick test_finds_interleaving_bug;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "engines agree (correct protocols)" `Quick
+            test_engines_agree_correct;
+          Alcotest.test_case "engines agree (broken protocols)" `Quick
+            test_engines_agree_broken;
+          Alcotest.test_case "memo dedups" `Quick test_memo_dedups;
+          Alcotest.test_case "deepen completes" `Quick test_deepen_completes;
         ] );
     ]
