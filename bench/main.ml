@@ -230,7 +230,7 @@ let ablation_threshold () =
        | Ok s ->
          Printf.printf "lead=%d: no violation in %d configurations (depth 12)\n" lead
            s.configs
-       | Error e -> Printf.printf "lead=%d: VIOLATION — %s\n" lead e);
+       | Error f -> Printf.printf "lead=%d: VIOLATION — %s\n" lead (Modelcheck.failure_message f));
       (* and the steps cost at n=6 under contention *)
       let inputs = Array.init 6 (fun i -> i) in
       let report =
@@ -533,7 +533,9 @@ let mc ?(smoke = false) () =
                   s.Explore.truncated s.Explore.dedup_hits s.Explore.elapsed eff_rate
                   speedup;
                 first_row := false
-              | Error e -> Printf.printf "%-10s %-3d %-5d %-11s VIOLATION %s\n" pname n depth ename e)
+              | Error f ->
+                Printf.printf "%-10s %-3d %-5d %-11s VIOLATION %s\n" pname n depth ename
+                  (Explore.failure_message f))
             engines)
         protos)
     sweeps;
@@ -557,13 +559,67 @@ let mc ?(smoke = false) () =
           pname budget r.Explore.depth_reached r.Explore.complete r.Explore.total_configs
           r.Explore.total_elapsed;
         first_row := false
-      | Error e -> Printf.printf "%-10s VIOLATION %s\n" pname e)
+      | Error f -> Printf.printf "%-10s VIOLATION %s\n" pname (Explore.failure_message f))
     protos;
   Buffer.add_string json "\n  ]\n}\n";
   let oc = open_out "BENCH_modelcheck.json" in
   Buffer.output_buffer oc json;
   close_out oc;
   Printf.printf "\nwrote BENCH_modelcheck.json\n"
+
+(* --------------------------------------------------------------- WIT -- *)
+
+(* Counterexample witnesses: run each engine against the lower-bound victim
+   protocols (known-broken by Theorems 4.1/5.1), and report the witness each
+   engine finds, how far shrinking got, and whether the shrunk schedule
+   replays to the same violation. *)
+let witnesses ?(smoke = false) () =
+  section "WIT: counterexample witnesses — capture, shrink, replay";
+  let victims =
+    [
+      ( "naive-maxreg",
+        (let (module V) = Lowerbound.Victims.naive_maxreg in
+         ((module V) : Consensus.Proto.t)),
+        6 );
+      ( "naive-fai",
+        (let (module V) = Lowerbound.Victims.naive_fai in
+         ((module V) : Consensus.Proto.t)),
+        8 );
+    ]
+  in
+  let engines =
+    if smoke then [ ("naive", `Naive); ("memo", `Memo) ]
+    else [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ]
+  in
+  Printf.printf "%-14s %-11s %-20s %8s %8s %9s %8s\n" "victim" "engine" "kind" "found"
+    "shrunk" "attempts" "replays";
+  List.iter
+    (fun (vname, proto, depth) ->
+      List.iter
+        (fun (ename, engine) ->
+          match Explore.run ~probe:`Everywhere ~engine proto ~inputs:[| 0; 1 |] ~depth with
+          | Ok s ->
+            Printf.printf "%-14s %-11s no violation in %d configurations?!\n" vname ename
+              s.Explore.configs
+          | Error f ->
+            let w = f.Explore.witness in
+            let replays =
+              match Explore.replay proto ~inputs:[| 0; 1 |] w with
+              | Ok r ->
+                (match r.Explore.violation with
+                 | Some (k, _) -> k = w.Explore.kind
+                 | None -> false)
+              | Error _ -> false
+            in
+            Printf.printf "%-14s %-11s %-20s %8d %8d %9d %8b\n" vname ename
+              (Explore.kind_name w.Explore.kind)
+              (List.length f.Explore.original.Explore.schedule)
+              (List.length w.Explore.schedule)
+              f.Explore.shrink_attempts replays;
+            Printf.printf "    %s\n"
+              (Format.asprintf "%a" Explore.pp_witness w))
+        engines)
+    victims
 
 (* -------------------------------------------------------------- TIME -- *)
 
@@ -653,6 +709,7 @@ let sections : (string * (smoke:bool -> unit)) list =
         ablation_threshold ();
         ablation_stability () );
     ("MC", fun ~smoke -> mc ~smoke ());
+    ("WIT", fun ~smoke -> witnesses ~smoke ());
     ("TIME", fun ~smoke:_ -> bechamel_suite ());
   ]
 

@@ -64,7 +64,7 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere engine domains =
+  let run ells id n depth everywhere engine domains trace no_shrink =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -81,7 +81,10 @@ let modelcheck_cmd =
         match engine with
         | Error e -> `Error (false, e)
         | Ok engine ->
-          (match Explore.run ~probe ~engine row.protocol ~inputs ~depth with
+          (match
+             Explore.run ~probe ~engine ~shrink:(not no_shrink) row.protocol ~inputs
+               ~depth
+           with
            | Ok s ->
              Printf.printf
                "%s: OK — %d configurations, %d probes, %d dedup hits, %.3f s%s\n"
@@ -90,7 +93,35 @@ let modelcheck_cmd =
                (if s.Explore.truncated then Printf.sprintf " (truncated at depth %d)" depth
                 else "");
              `Ok ()
-           | Error e -> `Error (false, "violation: " ^ e)))
+           | Error f ->
+             let w = f.Explore.witness in
+             let b = Buffer.create 256 in
+             Buffer.add_string b ("violation: " ^ w.Explore.message ^ "\n");
+             Buffer.add_string b
+               (Printf.sprintf "  kind: %s\n" (Explore.kind_name w.Explore.kind));
+             let orig = List.length f.Explore.original.Explore.schedule in
+             let now = List.length w.Explore.schedule in
+             Buffer.add_string b
+               (Printf.sprintf "  schedule (%d step%s%s): [%s]%s\n" now
+                  (if now = 1 then "" else "s")
+                  (if now < orig then Printf.sprintf ", shrunk from %d" orig else "")
+                  (String.concat "; "
+                     (List.map (fun p -> "p" ^ string_of_int p) w.Explore.schedule))
+                  (match w.Explore.probe with
+                   | Some p -> Printf.sprintf " then p%d solo" p
+                   | None -> ""));
+             Buffer.add_string b
+               (Printf.sprintf "  replay reproduces: %b\n" f.Explore.reproduced);
+             if trace then begin
+               match f.Explore.trace with
+               | Some t ->
+                 Buffer.add_string b "  event trace of the replay:\n";
+                 String.split_on_char '\n' t
+                 |> List.iter (fun line ->
+                        if line <> "" then Buffer.add_string b ("  " ^ line ^ "\n"))
+               | None -> Buffer.add_string b "  (no trace: replay did not reproduce)\n"
+             end;
+             `Error (false, String.trim (Buffer.contents b))))
   in
   let depth_arg =
     let doc = "Exhaustive exploration depth (all schedules)." in
@@ -108,13 +139,21 @@ let modelcheck_cmd =
     let doc = "Worker domains for --engine=parallel." in
     Arg.(value & opt int 2 & info [ "domains" ] ~docv:"K" ~doc)
   in
+  let trace_arg =
+    let doc = "On a violation, print the replayed event trace of the witness." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report the witness exactly as found, without delta-debugging it." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
     Term.(
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
-       $ domains_arg))
+       $ domains_arg $ trace_arg $ no_shrink_arg))
 
 let growth_cmd =
   let run rounds n =

@@ -19,7 +19,7 @@ let () =
      Printf.printf
        "max-registers, n=2: no violation in %d configurations (%d solo probes)\n"
        s.configs s.probes
-   | Error e -> Printf.printf "unexpected violation: %s\n" e);
+   | Error f -> Printf.printf "unexpected violation: %s\n" (Modelcheck.failure_message f));
 
   (* 2. Plant a bug: racing counters deciding at a lead of 1 instead of n.
      The checker produces the interleaving that breaks agreement. *)
@@ -38,7 +38,15 @@ let () =
   in
   (match Modelcheck.explore ~probe:`Everywhere buggy ~inputs:[| 0; 1 |] ~depth:12 with
    | Ok _ -> print_endline "?! the bug survived"
-   | Error e -> Printf.printf "planted bug caught: %s\n" e);
+   | Error f ->
+     (* The failure carries a replayable witness, already shrunk to a minimal
+        interleaving by delta debugging. *)
+     Printf.printf "planted bug caught: %s\n" (Modelcheck.failure_message f);
+     Format.printf "  minimal interleaving: @[%a@]@." Explore.pp_witness
+       f.Explore.witness;
+     Printf.printf "  (shrunk from %d scheduled steps, replay reproduces: %b)\n"
+       (List.length f.Explore.original.Explore.schedule)
+       f.Explore.reproduced);
 
   (* 3. Synthesis: ask for a wait-free 2-process consensus protocol on a
      bare compare-and-swap cell.  The search rediscovers Table 1's row. *)

@@ -89,10 +89,17 @@ module Make (I : Iset.S) = struct
      process is a deterministic function of the results it has observed, so
      two configurations of the same initial machine with equal fingerprints
      behave identically (modulo hash collisions) — in particular,
-     configurations reached by commuting independent steps coincide. *)
+     configurations reached by commuting independent steps coincide.
+     Cells equal to [I.init] are skipped: a location explicitly written
+     back to the initial value is indistinguishable from an untouched one
+     ([cell] returns [I.init] either way), so both must fingerprint
+     identically or the model checker's dedup silently misses them. *)
   let fingerprint cfg =
     let h =
-      Imap.fold (fun loc c acc -> mix (mix acc loc) (I.hash_cell c)) cfg.mem 0x517cc1b7
+      Imap.fold
+        (fun loc c acc ->
+          if I.equal_cell c I.init then acc else mix (mix acc loc) (I.hash_cell c))
+        cfg.mem 0x517cc1b7
     in
     Array.fold_left mix h cfg.hist
 

@@ -68,7 +68,10 @@ module Make (I : Iset.S) : sig
       initial machine with equal fingerprints behave identically modulo
       hash collisions; configurations reached by permuting independent
       (commuting) steps get equal fingerprints, which is what the model
-      checker's transposition table dedups on. *)
+      checker's transposition table dedups on.  Locations holding a value
+      equal to [I.init] do not contribute, so writing the initial value
+      back to an untouched location leaves the fingerprint unchanged —
+      exactly as it leaves the configuration's behaviour unchanged. *)
 
   type event = {
     pid : int;

@@ -87,10 +87,14 @@ let fair ~bound ~seed =
             let roll = Random.State.int st' (List.length running) in
             let debt p = Option.value ~default:0 (List.assoc_opt p debts) in
             let pid =
-              (* an overdue process must go; otherwise pick at random *)
-              match List.find_opt (fun p -> debt p >= bound - 1) running with
-              | Some p -> p
-              | None -> List.nth running roll
+              (* an overdue process must go — the most overdue one, so ties
+                 rotate instead of always favouring the lowest pid (at
+                 bound = 1 every process is overdue every step, and picking
+                 the first would starve the rest forever) *)
+              match List.filter (fun p -> debt p >= bound - 1) running with
+              | [] -> List.nth running roll
+              | p :: ps ->
+                List.fold_left (fun best q -> if debt q > debt best then q else best) p ps
             in
             let debts' =
               List.map (fun p -> (p, if p = pid then 0 else debt p + 1)) running

@@ -39,7 +39,8 @@ val alternate : int list -> t
 val fair : bound:int -> seed:int -> t
 (** Semi-synchronous fairness ([FLMS05]'s unknown-bound model): random
     choices, except that no running process goes more than [bound] steps
-    of others without taking one itself.  Deterministic in [seed]. *)
+    of others without taking one itself — when several are overdue the
+    most overdue goes first.  Deterministic in [seed]. *)
 
 val phased : (int * t) list -> t -> t
 (** [phased [(k1, s1); (k2, s2); …] last] follows [s1] for [k1] steps (or

@@ -9,10 +9,52 @@
      so a revisit is pruned only when the stored exploration covers it.
    - [`Parallel k] grows a sequential BFS prefix until the frontier is wide
      enough to share, then [k] domains drain the frontier from a shared
-     work queue, each running the memoized DFS with a domain-local table. *)
+     work queue, each running the memoized DFS with a domain-local table.
+
+   Every engine threads the schedule — the list of pids stepped from the
+   root, plus the pid of the solo probe that exposed the violation, if any —
+   to each configuration it visits.  A violation is therefore reported as a
+   structured [witness] rather than a prose string: the witness replays
+   deterministically through [Model.Machine] (regenerating the full event
+   trace), and is shrunk by greedy segment deletion, keeping a candidate iff
+   its replay still raises the same violation kind. *)
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
+
+let kind_name = function
+  | `Agreement -> "agreement"
+  | `Validity -> "validity"
+  | `Obstruction_freedom -> "obstruction-freedom"
+  | `Termination -> "termination"
+
+type witness = {
+  kind : violation_kind;
+  message : string;
+  schedule : int list;
+  probe : int option;
+}
+
+type failure = {
+  witness : witness;
+  original : witness;
+  reproduced : bool;
+  shrink_attempts : int;
+  trace : string option;
+}
+
+let failure_message f = f.witness.message
+
+let pp_witness ppf w =
+  (* [message] already starts with "<kind>:" *)
+  Format.fprintf ppf "@[<v>%s@,schedule (%d steps): [%s]%s@]" w.message
+    (List.length w.schedule)
+    (String.concat " " (List.map (fun p -> "p" ^ string_of_int p) w.schedule))
+    (match w.probe with
+     | None -> ""
+     | Some pid -> Printf.sprintf " then p%d solo" pid)
 
 type stats = {
   configs : int;
@@ -22,11 +64,15 @@ type stats = {
   elapsed : float;
 }
 
-type outcome = (stats, string) result
+type outcome = (stats, failure) result
 
-exception Violation of string
+exception Violation of witness
 
-let violationf fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+(* Internal: a property check failed; the engine in whose context it fired
+   attaches the schedule and re-raises [Violation]. *)
+exception Check of violation_kind * string
+
+let checkf kind fmt = Format.kasprintf (fun s -> raise (Check (kind, s))) fmt
 
 let check_decisions ~inputs decisions =
   match decisions with
@@ -35,10 +81,11 @@ let check_decisions ~inputs decisions =
     List.iter
       (fun (pid, v) ->
         if v <> first then
-          violationf "agreement: process %d decided %d but %d was also decided" pid v first)
+          checkf `Agreement "agreement: process %d decided %d but %d was also decided" pid v
+            first)
       decisions;
     if not (Array.exists (fun i -> i = first) inputs) then
-      violationf "validity: %d decided but never proposed" first
+      checkf `Validity "validity: %d decided but never proposed" first
 
 module Run (P : Consensus.Proto.S) = struct
   module M = Model.Machine.Make (P.I)
@@ -58,47 +105,84 @@ module Run (P : Consensus.Proto.S) = struct
     into.truncated <- into.truncated || c.truncated;
     into.hits <- into.hits + c.hits
 
-  (* Run [pid] solo (it must decide — obstruction-freedom), then everyone
-     else sequentially, and check the complete decision set. *)
-  let probe_one ~solo_fuel ~inputs c cfg pid =
-    c.probes <- c.probes + 1;
+  let root_config ~record_trace ~inputs =
+    let n = Array.length inputs in
+    M.make ~record_trace ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid))
+
+  (* [path] is the reversed schedule from the root; witnesses store it in
+     execution order. *)
+  let witness_of ~path ~probe (kind, message) =
+    { kind; message; schedule = List.rev path; probe }
+
+  let check ~inputs ~path cfg =
+    match check_decisions ~inputs (M.decisions cfg) with
+    | () -> ()
+    | exception Check (k, m) -> raise (Violation (witness_of ~path ~probe:None (k, m)))
+
+  (* One solo probe from [cfg]: run [pid] solo (it must decide —
+     obstruction-freedom), then every other running process solo {e once
+     each} — a non-deciding straggler must surface as a termination
+     violation, not retry the same pid forever — and check the complete
+     decision set.  Returns the final configuration and the violation the
+     probe ran into, if any. *)
+  let probe_steps ~solo_fuel ~inputs cfg pid =
     let cfg, dec = M.run_solo ~fuel:solo_fuel ~pid cfg in
-    (match dec with
-     | None ->
-       violationf "obstruction-freedom: process %d did not decide solo within %d steps"
-         pid solo_fuel
-     | Some _ -> ());
-    let rec finish cfg =
-      match M.running cfg with
-      | [] -> cfg
-      | q :: _ -> finish (fst (M.run_solo ~fuel:solo_fuel ~pid:q cfg))
-    in
-    let cfg = finish cfg in
-    (match M.running cfg with
-     | [] -> ()
-     | q :: _ -> violationf "termination: process %d still undecided after solo runs" q);
-    check_decisions ~inputs (M.decisions cfg)
+    match dec with
+    | None ->
+      ( cfg,
+        Some
+          ( `Obstruction_freedom,
+            Printf.sprintf
+              "obstruction-freedom: process %d did not decide solo within %d steps" pid
+              solo_fuel ) )
+    | Some _ ->
+      let cfg =
+        List.fold_left
+          (fun cfg q -> fst (M.run_solo ~fuel:solo_fuel ~pid:q cfg))
+          cfg (M.running cfg)
+      in
+      (match M.running cfg with
+       | q :: _ ->
+         ( cfg,
+           Some
+             ( `Termination,
+               Printf.sprintf "termination: process %d still undecided after solo runs" q
+             ) )
+       | [] ->
+         (match check_decisions ~inputs (M.decisions cfg) with
+          | () -> (cfg, None)
+          | exception Check (k, m) -> (cfg, Some (k, m))))
+
+  let probe_one ~solo_fuel ~inputs ~path c cfg pid =
+    c.probes <- c.probes + 1;
+    match probe_steps ~solo_fuel ~inputs cfg pid with
+    | _, None -> ()
+    | _, Some v -> raise (Violation (witness_of ~path ~probe:(Some pid) v))
 
   exception Stop
 
-  (* The DFS core all engines share.  [table = None] is the naive engine;
-     [Some tbl] prunes a revisited fingerprint whose stored remaining depth
-     covers the current one.  [stop] aborts cooperatively (parallel mode). *)
-  let dfs ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth =
-    let rec go cfg d =
-      match table with
-      | None -> visit cfg d
-      | Some tbl ->
-        let fp = M.fingerprint cfg in
-        (match Hashtbl.find_opt tbl fp with
-         | Some d' when d' >= d -> c.hits <- c.hits + 1
-         | _ ->
-           Hashtbl.replace tbl fp d;
-           visit cfg d)
-    and visit cfg d =
+  (* Transposition-table guard shared by the checking DFS and
+     [decidable_values]: run [visit] unless [cfg] was already explored at
+     least [d] deep ([table = None] always visits — the naive engines). *)
+  let guard ~table c cfg d visit =
+    match table with
+    | None -> visit ()
+    | Some tbl ->
+      let fp = M.fingerprint cfg in
+      (match Hashtbl.find_opt tbl fp with
+       | Some d' when d' >= d -> c.hits <- c.hits + 1
+       | _ ->
+         Hashtbl.replace tbl fp d;
+         visit ())
+
+  (* The DFS core all engines share.  [stop] aborts cooperatively (parallel
+     mode); [path] seeds the schedule of every witness found below [cfg]. *)
+  let dfs ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth path =
+    let rec go cfg d path = guard ~table c cfg d (fun () -> visit cfg d path)
+    and visit cfg d path =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
-      check_decisions ~inputs (M.decisions cfg);
+      check ~inputs ~path cfg;
       if M.running_count cfg > 0 then begin
         let running = M.running cfg in
         let at_bound = d <= 0 in
@@ -106,18 +190,20 @@ module Run (P : Consensus.Proto.S) = struct
         let should_probe =
           match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true
         in
-        if should_probe then List.iter (probe_one ~solo_fuel ~inputs c cfg) running;
-        if not at_bound then List.iter (fun pid -> go (M.step cfg pid) (d - 1)) running
+        if should_probe then List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
+        if not at_bound then
+          List.iter (fun pid -> go (M.step cfg pid) (d - 1) (pid :: path)) running
       end
     in
-    go cfg depth
+    go cfg depth path
 
   let no_stop () = false
 
   (* Parallel frontier: a sequential BFS prefix visits the shallow
      configurations (so their checks and `Everywhere probes still run
      exactly once), then the unvisited frontier is deduped by fingerprint
-     and drained by [domains] workers from a shared queue. *)
+     and drained by [domains] workers from a shared queue.  Each frontier
+     item carries its schedule prefix so workers report full witnesses. *)
   let parallel ~domains ~probe ~solo_fuel ~inputs c root depth =
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
@@ -126,26 +212,26 @@ module Run (P : Consensus.Proto.S) = struct
       else begin
         let next =
           List.concat_map
-            (fun cfg ->
+            (fun (path, cfg) ->
               c.configs <- c.configs + 1;
-              check_decisions ~inputs (M.decisions cfg);
+              check ~inputs ~path cfg;
               if M.running_count cfg = 0 then []
               else begin
                 let running = M.running cfg in
                 if probe = `Everywhere then
-                  List.iter (probe_one ~solo_fuel ~inputs c cfg) running;
-                List.map (M.step cfg) running
+                  List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
+                List.map (fun pid -> (pid :: path, M.step cfg pid)) running
               end)
             level
         in
         if next = [] then ([], d - 1) else prefix next (d - 1)
       end
     in
-    let frontier, d = prefix [ root ] depth in
+    let frontier, d = prefix [ ([], root) ] depth in
     let seen = Hashtbl.create 64 in
     let frontier =
       List.filter
-        (fun cfg ->
+        (fun (_, cfg) ->
           let fp = M.fingerprint cfg in
           if Hashtbl.mem seen fp then begin
             c.hits <- c.hits + 1;
@@ -171,11 +257,12 @@ module Run (P : Consensus.Proto.S) = struct
         if not (Atomic.get stopped) then begin
           let i = Atomic.fetch_and_add next_item 1 in
           if i < Array.length items then begin
-            (match dfs ~probe ~solo_fuel ~inputs ~table ~stop wc items.(i) d with
+            let path, cfg = items.(i) in
+            (match dfs ~probe ~solo_fuel ~inputs ~table ~stop wc cfg d path with
              | () -> ()
-             | exception Violation msg ->
+             | exception Violation w ->
                Mutex.lock mu;
-               errors := (i, msg) :: !errors;
+               errors := (i, w) :: !errors;
                Mutex.unlock mu;
                Atomic.set stopped true
              | exception Stop -> ());
@@ -192,32 +279,142 @@ module Run (P : Consensus.Proto.S) = struct
     List.iter Domain.join doms;
     List.iter (merge c) !worker_counters;
     (* Report the violation of the earliest frontier item that found one,
-       so the message is as deterministic as the work split allows. *)
+       so the witness is as deterministic as the work split allows. *)
     match List.sort compare !errors with
-    | (_, msg) :: _ -> raise (Violation msg)
+    | (_, w) :: _ -> raise (Violation w)
     | [] -> ()
+
+  exception Invalid_schedule
+
+  (* Deterministically re-execute a witness from the root: step its schedule
+     pid by pid, then re-run the solo probe if it has one, then re-check.
+     Returns the final configuration and the violation the execution ran
+     into, if any.  Raises [Invalid_schedule] when the schedule names a pid
+     that cannot step — possible only for shrink candidates and hand-edited
+     witnesses, never for a witness an engine just reported. *)
+  let replay ~record_trace ~solo_fuel ~inputs (w : witness) =
+    let n = Array.length inputs in
+    let step cfg pid =
+      if pid < 0 || pid >= n then raise Invalid_schedule;
+      match M.poised cfg pid with
+      | Some (_ :: _) -> M.step cfg pid
+      | Some [] | None -> raise Invalid_schedule
+    in
+    let cfg = List.fold_left step (root_config ~record_trace ~inputs) w.schedule in
+    match w.probe with
+    | Some pid when pid >= 0 && pid < n -> probe_steps ~solo_fuel ~inputs cfg pid
+    | Some _ -> raise Invalid_schedule
+    | None ->
+      (match check_decisions ~inputs (M.decisions cfg) with
+       | () -> (cfg, None)
+       | exception Check (k, m) -> (cfg, Some (k, m)))
+
+  (* Greedy delta debugging on the schedule: repeatedly delete segments,
+     halving the segment size from len/2 down to single steps; a deletion is
+     kept iff the shortened witness still replays to the same violation
+     kind.  Returns the shrunk witness and the number of candidate replays
+     attempted. *)
+  let shrink ~solo_fuel ~inputs (w : witness) =
+    let attempts = ref 0 in
+    let reproduces sched =
+      incr attempts;
+      let cand = { w with schedule = sched } in
+      match replay ~record_trace:false ~solo_fuel ~inputs cand with
+      | _, Some (k, m) when k = w.kind -> Some { cand with message = m }
+      | _, _ -> None
+      | exception Invalid_schedule -> None
+    in
+    let rec sweep w chunk i =
+      if i >= List.length w.schedule then w
+      else begin
+        let cand = List.filteri (fun j _ -> j < i || j >= i + chunk) w.schedule in
+        match reproduces cand with
+        | Some w' -> sweep w' chunk i
+        | None -> sweep w chunk (i + chunk)
+      end
+    in
+    let rec halve w chunk = if chunk < 1 then w else halve (sweep w chunk 0) (chunk / 2) in
+    let len = List.length w.schedule in
+    let w = if len = 0 then w else halve w (max 1 (len / 2)) in
+    (w, !attempts)
+
+  let trace_of cfg = Format.asprintf "%a" M.pp_trace cfg
+
+  (* Package a caught violation: verify the witness replays to the same
+     kind, shrink it if asked, and regenerate the full event trace of the
+     (shrunk) replay with trace recording on. *)
+  let failure ~shrink:do_shrink ~solo_fuel ~inputs (w : witness) =
+    let reproduced =
+      match replay ~record_trace:false ~solo_fuel ~inputs w with
+      | _, Some (k, _) -> k = w.kind
+      | _, None -> false
+      | exception Invalid_schedule -> false
+    in
+    let witness, shrink_attempts =
+      if do_shrink && reproduced then shrink ~solo_fuel ~inputs w else (w, 0)
+    in
+    let trace =
+      if not reproduced then None
+      else begin
+        match replay ~record_trace:true ~solo_fuel ~inputs witness with
+        | cfg, _ -> Some (trace_of cfg)
+        | exception Invalid_schedule -> None
+      end
+    in
+    { witness; original = w; reproduced; shrink_attempts; trace }
+
+  (* The bivalence walk of [Modelcheck.decidable_values], on the shared
+     memoized core: collect every value decided in some reachable
+     configuration or decidable by a solo continuation from one.  Sound to
+     prune on the fingerprint table because equal fingerprints imply equal
+     future behaviour, hence equal decidable-value contributions. *)
+  let decidable ~solo_fuel ~table c cfg depth =
+    let seen = Hashtbl.create 7 in
+    let rec go cfg d path = guard ~table c cfg d (fun () -> visit cfg d path)
+    and visit cfg d path =
+      c.configs <- c.configs + 1;
+      List.iter (fun (_, v) -> Hashtbl.replace seen v ()) (M.decisions cfg);
+      match M.running cfg with
+      | [] -> ()
+      | running ->
+        List.iter
+          (fun pid ->
+            c.probes <- c.probes + 1;
+            match M.run_solo ~fuel:solo_fuel ~pid cfg with
+            | _, Some v -> Hashtbl.replace seen v ()
+            | _, None ->
+              raise
+                (Violation
+                   (witness_of ~path ~probe:(Some pid)
+                      ( `Obstruction_freedom,
+                        Printf.sprintf
+                          "obstruction-freedom: process %d did not decide solo within %d \
+                           steps"
+                          pid solo_fuel ))))
+          running;
+        if d > 0 then List.iter (fun pid -> go (M.step cfg pid) (d - 1) (pid :: path)) running
+    in
+    go cfg depth [];
+    List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 end
 
-let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive)
+let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
     (module P : Consensus.Proto.S) ~inputs ~depth =
   let module R = Run (P) in
-  let n = Array.length inputs in
   let t0 = Unix.gettimeofday () in
   let c = R.fresh () in
-  let root =
-    R.M.make ~record_trace:false ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid))
-  in
+  let root = R.root_config ~record_trace:false ~inputs in
   let result =
     try
       (match engine with
        | `Naive ->
-         R.dfs ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth
+         R.dfs ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth []
        | `Memo ->
          R.dfs ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
-           ~stop:R.no_stop c root depth
+           ~stop:R.no_stop c root depth []
        | `Parallel k -> R.parallel ~domains:k ~probe ~solo_fuel ~inputs c root depth);
       Ok ()
-    with Violation msg -> Error msg
+    with Violation w -> Error (R.failure ~shrink ~solo_fuel ~inputs w)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   let stats =
@@ -229,7 +426,29 @@ let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive)
       elapsed;
     }
   in
-  match result with Ok () -> Ok stats | Error msg -> Error msg
+  match result with Ok () -> Ok stats | Error f -> Error f
+
+type replay_report = {
+  violation : (violation_kind * string) option;
+  events : string;
+}
+
+let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
+  let module R = Run (P) in
+  match R.replay ~record_trace:true ~solo_fuel ~inputs w with
+  | cfg, violation -> Ok { violation; events = R.trace_of cfg }
+  | exception R.Invalid_schedule ->
+    Error "invalid witness: the schedule names a process that cannot step"
+
+let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  let module R = Run (P) in
+  let c = R.fresh () in
+  let root = R.root_config ~record_trace:false ~inputs in
+  let table = if memo then Some (Hashtbl.create 4096) else None in
+  match R.decidable ~solo_fuel ~table c root depth with
+  | values -> Ok values
+  | exception Violation w -> Error (R.failure ~shrink ~solo_fuel ~inputs w)
 
 type deepen_report = {
   depth_reached : int;
@@ -240,7 +459,7 @@ type deepen_report = {
 }
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
-    proto ~inputs ~max_depth =
+    ?shrink proto ~inputs ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -248,8 +467,8 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
     let out_of_budget = match best with Some _ -> elapsed () >= budget | None -> false in
     if d > max_depth || out_of_budget then Ok (Option.get best)
     else begin
-      match run ~probe ~solo_fuel ~engine proto ~inputs ~depth:d with
-      | Error e -> Error e
+      match run ~probe ~solo_fuel ~engine ?shrink proto ~inputs ~depth:d with
+      | Error f -> Error f
       | Ok s ->
         let total_configs =
           (match best with Some b -> b.total_configs | None -> 0) + s.configs

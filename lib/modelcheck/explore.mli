@@ -16,12 +16,55 @@
       with a domain-local transposition table.
 
     Engines agree on the verdict: [Ok _] vs [Error _], and the violation
-    class, match across engines on the same protocol/depth (the exact
-    counter-example message may differ for [`Parallel]).  Stats differ by
-    design — [`Memo] visits fewer configurations. *)
+    {!violation_kind}, match across engines on the same protocol/depth (the
+    exact counter-example may differ for [`Parallel]).  Stats differ by
+    design — [`Memo] visits fewer configurations.
+
+    Every engine additionally threads the schedule leading to each
+    configuration, so a violation is reported as a structured {!witness}:
+    the adversarial interleaving as data, in the spirit of the paper's
+    lower-bound proofs ("here is the execution that breaks you").  Witnesses
+    replay deterministically ({!replay}) and are shrunk to a minimal
+    interleaving by delta debugging before being reported. *)
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
+
+val kind_name : violation_kind -> string
+(** ["agreement"], ["validity"], ["obstruction-freedom"], ["termination"] —
+    also the prefix of every violation message. *)
+
+type witness = {
+  kind : violation_kind;
+  message : string;    (** human-readable description of the violation *)
+  schedule : int list; (** pids stepped from the root, in execution order *)
+  probe : int option;
+      (** the pid whose solo probe (followed by one bounded solo run of each
+          remaining process) exposed the violation, if it was found by a
+          probe rather than at the scheduled configuration itself *)
+}
+(** A counterexample: replaying [schedule] from the initial configuration —
+    then the solo probe of [probe], if any — reproduces the violation. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+
+type failure = {
+  witness : witness;       (** the shrunk witness (equal to [original] when
+                               shrinking is disabled or replay failed) *)
+  original : witness;      (** the witness exactly as the engine found it *)
+  reproduced : bool;       (** replaying [original] raised the same kind *)
+  shrink_attempts : int;   (** candidate replays tried while shrinking *)
+  trace : string option;   (** pretty-printed event trace of the shrunk
+                               witness's replay ({!Model.Machine.Make.pp_trace}) *)
+}
+(** Everything known about one violation.  [witness.message] is the
+    string earlier releases reported; {!failure_message} recovers it. *)
+
+val failure_message : failure -> string
+(** The violation message of the (shrunk) witness — string-compatible with
+    the pre-witness API. *)
 
 type stats = {
   configs : int;      (** configurations visited (dedup'd ones not counted) *)
@@ -31,20 +74,57 @@ type stats = {
   elapsed : float;    (** wall-clock seconds for the whole exploration *)
 }
 
-type outcome = (stats, string) result
-(** [Error msg] describes the first violation found. *)
+type outcome = (stats, failure) result
+(** [Error f] describes the first violation found, with its witness. *)
 
 val run :
   ?probe:probe_policy ->
   ?solo_fuel:int ->
   ?engine:engine ->
+  ?shrink:bool ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
   outcome
 (** [run proto ~inputs ~depth] explores the schedule tree to [depth] steps
     with the chosen [engine] (default [`Naive]).  Probing (default
-    [`Leaves]) is as in {!Modelcheck.explore}. *)
+    [`Leaves]) is as in {!Modelcheck.explore}.  On a violation the witness
+    is replayed for confirmation and, unless [shrink:false], minimized by
+    greedy schedule-segment deletion (each candidate kept iff its replay
+    still raises the same violation kind). *)
+
+type replay_report = {
+  violation : (violation_kind * string) option;
+      (** the violation the replay ran into ([None]: it completed cleanly —
+          the witness does not reproduce) *)
+  events : string;  (** the full event trace of the replayed execution *)
+}
+
+val replay :
+  ?solo_fuel:int ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  witness ->
+  (replay_report, string) result
+(** Deterministically re-execute a witness from the initial configuration:
+    step its schedule pid by pid, then re-run its solo probe, then re-check
+    agreement/validity.  [Error _] if the schedule names a process that
+    cannot step (only possible for hand-edited witnesses). *)
+
+val decidable_values :
+  ?solo_fuel:int ->
+  ?memo:bool ->
+  ?shrink:bool ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  depth:int ->
+  (int list, failure) result
+(** The set of values some solo continuation decides from some configuration
+    reachable within [depth] steps — ≥ 2 values demonstrate bivalence
+    (Lemma 6.4).  Runs on the same fingerprint transposition table as the
+    [`Memo] engine (disable with [memo:false] to get the naive walk); a
+    process that fails to decide solo is reported as an obstruction-freedom
+    failure with a witness. *)
 
 type deepen_report = {
   depth_reached : int;   (** deepest completed iteration *)
@@ -59,12 +139,13 @@ val deepen :
   ?solo_fuel:int ->
   ?engine:engine ->
   ?budget:float ->
+  ?shrink:bool ->
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->
-  (deepen_report, string) result
+  (deepen_report, failure) result
 (** Iterative deepening: run depth 1, 2, … until the exploration completes
     (no branch truncated), [max_depth] is reached, or the wall-clock
     [budget] (default 1.0 s, checked between iterations) runs out.  The
     default [engine] is [`Memo], which makes each re-iteration cheap.
-    [Error msg] if any iteration finds a violation. *)
+    [Error f] if any iteration finds a violation. *)

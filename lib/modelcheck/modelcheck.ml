@@ -4,20 +4,34 @@ type stats = {
   truncated : bool;
 }
 
-type outcome = (stats, string) result
+type outcome = (stats, Explore.failure) result
 
 exception Violation of string
 
+let failure_message = Explore.failure_message
+
 (* The exploration engines live in [Explore]; this is the historical entry
    point, kept as a thin wrapper so existing callers (synthesis, tests,
-   executables) keep their signature. *)
-let explore ?probe ?solo_fuel ?engine p ~inputs ~depth =
-  match Explore.run ?probe ?solo_fuel ?engine p ~inputs ~depth with
+   executables) keep their signature.  Violations now carry a replayable,
+   shrunk witness; [failure_message] recovers the old string. *)
+let explore ?probe ?solo_fuel ?engine ?shrink p ~inputs ~depth =
+  match Explore.run ?probe ?solo_fuel ?engine ?shrink p ~inputs ~depth with
   | Ok (s : Explore.stats) ->
     Ok { configs = s.Explore.configs; probes = s.Explore.probes; truncated = s.Explore.truncated }
-  | Error msg -> Error msg
+  | Error f -> Error f
 
-let decidable_values ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs ~depth =
+(* Bivalence on the shared memoized DFS core (Explore's fingerprint
+   transposition table); errors flattened back to strings for the callers
+   that predate witnesses. *)
+let decidable_values ?solo_fuel p ~inputs ~depth =
+  match Explore.decidable_values ?solo_fuel ~memo:true p ~inputs ~depth with
+  | Ok vs -> Ok vs
+  | Error f -> Error (failure_message f)
+
+(* The original unmemoized walk, kept verbatim as the reference
+   implementation for differential testing of the port above. *)
+let decidable_values_naive ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs
+    ~depth =
   let module M = Model.Machine.Make (P.I) in
   let n = Array.length inputs in
   let seen = Hashtbl.create 7 in

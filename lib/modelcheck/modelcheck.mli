@@ -9,7 +9,9 @@
 
     This is the executable counterpart of the paper's proof obligations:
     agreement and validity in all executions, solo termination from every
-    reachable configuration. *)
+    reachable configuration.  A violation is reported as a structured
+    {!Explore.failure} carrying a replayable, shrunk schedule witness — the
+    adversarial interleaving as data. *)
 
 type stats = {
   configs : int;        (** configurations visited *)
@@ -17,13 +19,19 @@ type stats = {
   truncated : bool;     (** some branch hit the depth bound *)
 }
 
-type outcome = (stats, string) result
-(** [Error msg] describes the first violation found. *)
+type outcome = (stats, Explore.failure) result
+(** [Error f] describes the first violation found; [f.witness.schedule] is
+    the minimal interleaving that reproduces it. *)
+
+val failure_message : Explore.failure -> string
+(** The violation message — string-compatible with the pre-witness API
+    (re-export of {!Explore.failure_message}). *)
 
 val explore :
   ?probe:[ `Leaves | `Everywhere | `Never ] ->
   ?solo_fuel:int ->
   ?engine:[ `Naive | `Memo | `Parallel of int ] ->
+  ?shrink:bool ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -39,9 +47,12 @@ val explore :
     transposition table on {!Model.Machine.Make.fingerprint}; [`Parallel k]
     additionally splits the schedule tree across [k] domains.  All engines
     return the same verdict; [`Memo]/[`Parallel] visit fewer configurations
-    and may report [truncated] differently at the same bound.  This is a
-    thin wrapper over {!Explore.run}, which also exposes dedup/timing stats
-    and iterative deepening ({!Explore.deepen}). *)
+    and may report [truncated] differently at the same bound.  On a
+    violation the reported witness has been replayed for confirmation and
+    (unless [shrink:false]) minimized by delta debugging.  This is a thin
+    wrapper over {!Explore.run}, which also exposes dedup/timing stats,
+    witness replay ({!Explore.replay}) and iterative deepening
+    ({!Explore.deepen}). *)
 
 val decidable_values :
   ?solo_fuel:int ->
@@ -51,4 +62,16 @@ val decidable_values :
   (int list, string) result
 (** The set of values some solo continuation decides from some configuration
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
-    (Lemma 6.4). *)
+    (Lemma 6.4).  Runs on the [`Memo] engine's fingerprint transposition
+    table ({!Explore.decidable_values}), so commuting schedules are walked
+    once. *)
+
+val decidable_values_naive :
+  ?solo_fuel:int ->
+  Consensus.Proto.t ->
+  inputs:int array ->
+  depth:int ->
+  (int list, string) result
+(** The original unmemoized walk of every schedule — kept as the reference
+    implementation that {!decidable_values} is differentially tested
+    against.  Prefer {!decidable_values}. *)

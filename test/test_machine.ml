@@ -196,6 +196,24 @@ let test_fold_cells () =
   Alcotest.(check bool) "cells recorded" true
     (List.mem (2, 5) cells && List.mem (8, 6) cells)
 
+let test_fingerprint_init_write () =
+  (* A location explicitly written back to the initial value is
+     indistinguishable from an untouched one, so it must not contribute to
+     the fingerprint: writing init to location 5 and writing init to
+     location 9 give configurations with equal fingerprints (the write's
+     result — the old value, 0 — is the same, so the histories agree). *)
+  let at loc v = M.step (M.make ~n:1 (fun _ -> Proc.map (fun () -> 0) (write loc v))) 0 in
+  Alcotest.(check int)
+    "init writes land on the untouched fingerprint"
+    (M.fingerprint (at 5 Cell.init))
+    (M.fingerprint (at 9 Cell.init));
+  Alcotest.(check bool)
+    "non-init writes still distinguish locations" true
+    (M.fingerprint (at 5 1) <> M.fingerprint (at 9 1));
+  Alcotest.(check bool)
+    "init vs non-init write differs" true
+    (M.fingerprint (at 5 Cell.init) <> M.fingerprint (at 5 1))
+
 let test_run_fuel () =
   let rec spin () = Proc.bind (read 0) (fun _ -> spin ()) in
   let cfg = M.make ~n:1 (fun _ -> spin ()) in
@@ -270,6 +288,80 @@ let test_sched_excluding_and_phased () =
     trace (Sched.phased [ (4, Sched.solo 2) ] (Sched.solo 0)) ~n:3 ~steps:7
   in
   Alcotest.(check (list int)) "phase switch" [ 2; 2; 2; 2; 0; 0; 0 ] t
+
+let test_sched_fair_tight_bounds () =
+  (* Regression: with bound = 1 every process is overdue at every step, and
+     picking the {e first} overdue one scheduled p0 forever.  For small
+     bounds and several seeds, every process must keep appearing and no
+     process may sit out more than [bound] consecutive steps. *)
+  List.iter
+    (fun bound ->
+      List.iter
+        (fun seed ->
+          let n = 2 in
+          let t = trace (Sched.fair ~bound ~seed) ~n ~steps:40 in
+          let last = Array.make n (-1) in
+          List.iteri
+            (fun i p ->
+              Array.iteri
+                (fun q lq ->
+                  if q <> p then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "bound=%d seed=%d: p%d gap at step %d" bound seed q i)
+                      true
+                      (i - lq <= bound))
+                last;
+              last.(p) <- i)
+            t;
+          Array.iteri
+            (fun q lq ->
+              Alcotest.(check bool)
+                (Printf.sprintf "bound=%d seed=%d: p%d scheduled at all" bound seed q)
+                true (lq >= 0))
+            last)
+        [ 0; 1; 2; 3; 4 ])
+    [ 1; 2; 3 ]
+
+let test_sched_phased_budgets () =
+  (* each phase hands over after exactly its budget *)
+  Alcotest.(check (list int))
+    "budgets respected in sequence"
+    [ 1; 1; 2; 2; 2; 0; 0; 0 ]
+    (trace (Sched.phased [ (2, Sched.solo 1); (3, Sched.solo 2) ] (Sched.solo 0)) ~n:3 ~steps:8);
+  (* a zero-budget phase is skipped without consuming a step *)
+  Alcotest.(check (list int))
+    "zero-budget phase skipped"
+    [ 2; 2; 0; 0 ]
+    (trace (Sched.phased [ (0, Sched.solo 1); (2, Sched.solo 2) ] (Sched.solo 0)) ~n:3 ~steps:4)
+
+let test_sched_alternate_skips_decided () =
+  (* pid 1 decides before taking a step; alternate must cycle through the
+     still-running pids without stalling on it *)
+  let cfg =
+    M.make ~n:3 (fun pid ->
+        if pid = 1 then Proc.return 0
+        else
+          Proc.rec_loop 0 (fun i ->
+              Proc.bind (write 0 i) (fun () -> Proc.return (Either.Left (i + 1)))))
+  in
+  let rec go cfg sched acc k =
+    if k = 0 then List.rev acc
+    else begin
+      match Sched.next sched ~running:(M.running cfg) ~step:(M.steps cfg) with
+      | None -> List.rev acc
+      | Some (pid, sched') -> go (M.step cfg pid) sched' (pid :: acc) (k - 1)
+    end
+  in
+  Alcotest.(check (list int))
+    "skips the decided pid"
+    [ 0; 2; 0; 2; 0 ]
+    (go cfg (Sched.alternate [ 0; 1; 2 ]) [] 5)
+
+let test_sched_excluding_all_crashed () =
+  (* crashing every process stops the run instead of spinning *)
+  Alcotest.(check (list int))
+    "no step when everyone crashed" []
+    (trace (Sched.excluding [ 0; 1; 2 ] Sched.round_robin) ~n:3 ~steps:5)
 
 let test_sched_random_then_sequential () =
   let t = trace (Sched.random_then_sequential ~seed:1 ~prefix:5) ~n:3 ~steps:12 in
@@ -353,6 +445,8 @@ let () =
           Alcotest.test_case "multi-assignment allowed" `Quick test_multi_assignment_allowed;
           Alcotest.test_case "multi-assignment atomicity" `Quick test_multi_atomicity;
           Alcotest.test_case "fold_cells" `Quick test_fold_cells;
+          Alcotest.test_case "fingerprint skips init-valued cells" `Quick
+            test_fingerprint_init_write;
           Alcotest.test_case "fuel" `Quick test_run_fuel;
           Alcotest.test_case "trace records steps" `Quick test_trace_records_steps;
         ] );
@@ -367,7 +461,13 @@ let () =
           Alcotest.test_case "random deterministic" `Quick test_sched_random_deterministic;
           Alcotest.test_case "alternate" `Quick test_sched_alternate;
           Alcotest.test_case "fair" `Quick test_sched_fair;
+          Alcotest.test_case "fair tight bounds" `Quick test_sched_fair_tight_bounds;
           Alcotest.test_case "excluding and phased" `Quick test_sched_excluding_and_phased;
+          Alcotest.test_case "phased budgets" `Quick test_sched_phased_budgets;
+          Alcotest.test_case "alternate skips decided" `Quick
+            test_sched_alternate_skips_decided;
+          Alcotest.test_case "excluding all crashed" `Quick
+            test_sched_excluding_all_crashed;
           Alcotest.test_case "random then sequential" `Quick test_sched_random_then_sequential;
         ] );
     ]

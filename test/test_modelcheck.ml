@@ -4,7 +4,7 @@
 
 let ok_stats = function
   | Ok (s : Modelcheck.stats) -> s
-  | Error e -> Alcotest.fail ("unexpected violation: " ^ e)
+  | Error f -> Alcotest.fail ("unexpected violation: " ^ Modelcheck.failure_message f)
 
 (* 1. Exhaustive verification of one-shot protocols (complete tree). *)
 let test_exhaustive_one_shot () =
@@ -201,10 +201,8 @@ let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) 
 
 let outcome_class = function
   | Ok (_ : Modelcheck.stats) -> "ok"
-  | Error msg ->
-    (match String.index_opt msg ':' with
-     | Some i -> "violation:" ^ String.sub msg 0 i
-     | None -> "violation")
+  | Error (f : Explore.failure) ->
+    "violation:" ^ Explore.kind_name f.Explore.witness.Explore.kind
 
 let check_engines_agree ?solo_fuel name proto inputs depth =
   let verdict engine =
@@ -266,7 +264,7 @@ let test_memo_dedups () =
   let run engine =
     match Explore.run ~probe:`Leaves ~engine Consensus.Rw_protocol.protocol ~inputs ~depth with
     | Ok s -> s
-    | Error e -> Alcotest.fail ("unexpected violation: " ^ e)
+    | Error f -> Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
   in
   let naive = run `Naive and memo = run `Memo in
   Alcotest.(check bool) "memo hits the table" true (memo.Explore.dedup_hits > 0);
@@ -274,7 +272,128 @@ let test_memo_dedups () =
     (memo.Explore.configs < naive.Explore.configs);
   Alcotest.(check int) "naive never hits the table" 0 naive.Explore.dedup_hits
 
-(* 11. Iterative deepening completes on a finite tree and reports it. *)
+(* 11. Witnesses: every engine's reported counterexample replays to the
+   same violation kind, and shrinking only ever removes steps. *)
+let test_witness_replay_all_engines () =
+  let maxreg_victim : Consensus.Proto.t =
+    let (module V) = Lowerbound.Victims.naive_maxreg in
+    (module V)
+  in
+  let cases =
+    [
+      ("disagree", broken_disagree, [| 0; 1 |], 3, 100_000);
+      ("invalid", broken_invalid, [| 0; 1 |], 3, 100_000);
+      ("spin", broken_nonterminating, [| 0; 1 |], 2, 1_000);
+      ("naive-maxreg", maxreg_victim, [| 0; 1 |], 6, 100_000);
+    ]
+  in
+  List.iter
+    (fun (name, proto, inputs, depth, solo_fuel) ->
+      List.iter
+        (fun (ename, engine) ->
+          let label what = Printf.sprintf "%s/%s: %s" name ename what in
+          match Explore.run ~probe:`Everywhere ~solo_fuel ~engine proto ~inputs ~depth with
+          | Ok _ -> Alcotest.fail (label "violation not detected")
+          | Error f ->
+            let w = f.Explore.witness and o = f.Explore.original in
+            Alcotest.(check bool) (label "original replays") true f.Explore.reproduced;
+            Alcotest.(check bool)
+              (label "shrunk schedule no longer than found")
+              true
+              (List.length w.Explore.schedule <= List.length o.Explore.schedule);
+            Alcotest.(check string)
+              (label "shrinking preserves the kind")
+              (Explore.kind_name o.Explore.kind)
+              (Explore.kind_name w.Explore.kind);
+            Alcotest.(check bool) (label "trace regenerated") true (f.Explore.trace <> None);
+            (match Explore.replay ~solo_fuel proto ~inputs w with
+             | Error e -> Alcotest.fail (label ("replay rejected the witness: " ^ e))
+             | Ok r ->
+               (match r.Explore.violation with
+                | None -> Alcotest.fail (label "shrunk witness replayed clean")
+                | Some (k, _) ->
+                  Alcotest.(check string)
+                    (label "replay raises the same kind")
+                    (Explore.kind_name w.Explore.kind)
+                    (Explore.kind_name k))))
+        engines)
+    cases
+
+(* 12. Regression: the probe's finish loop used to retry every still-running
+   process forever; with a process that only its peer can release, probing
+   any configuration livelocked.  It must now give up after one bounded
+   solo run per process and report a termination violation. *)
+let broken_peer_spin : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Rw
+
+    let name = "broken-peer-spin"
+    let locations ~n:_ = Some 2
+
+    (* p0 decides immediately (so the obstruction-freedom probes pass);
+       everyone else spins on a location nobody ever writes. *)
+    let proc ~n:_ ~pid ~input =
+      let open Model.Proc.Syntax in
+      if pid = 0 then
+        let* () = Isets.Rw.write 0 (Model.Value.Int input) in
+        Model.Proc.return input
+      else
+        Model.Proc.rec_loop () (fun () ->
+            let* v = Isets.Rw.read 1 in
+            match v with
+            | Model.Value.Int w -> Model.Proc.return (Either.Right w)
+            | _ -> Model.Proc.return (Either.Left ()))
+  end)
+
+let test_probe_finish_bounded () =
+  List.iter
+    (fun (ename, engine) ->
+      match
+        Explore.run ~probe:`Everywhere ~solo_fuel:500 ~engine broken_peer_spin
+          ~inputs:[| 0; 1 |] ~depth:2
+      with
+      | Ok _ -> Alcotest.fail (ename ^ ": violation not detected")
+      | Error f ->
+        Alcotest.(check string)
+          (ename ^ ": reported as non-termination")
+          "termination"
+          (Explore.kind_name f.Explore.witness.Explore.kind))
+    engines
+
+(* 13. Differential: the memoized decidable-values walk equals the original
+   naive one — same value sets, same verdict on broken protocols. *)
+let test_decidable_memo_differential () =
+  let cases =
+    [
+      ("maxreg 0/1", Consensus.Maxreg_protocol.protocol, [| 0; 1 |], 4);
+      ("maxreg unanimous", Consensus.Maxreg_protocol.protocol, [| 1; 1 |], 5);
+      ("swap", Consensus.Swap_protocol.protocol, [| 0; 1 |], 4);
+      ("cas", Consensus.Cas_protocol.protocol, [| 0; 1 |], 4);
+      ("rw n=3", Consensus.Rw_protocol.protocol, [| 0; 1; 2 |], 4);
+    ]
+  in
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      let memo = Modelcheck.decidable_values proto ~inputs ~depth in
+      let naive = Modelcheck.decidable_values_naive proto ~inputs ~depth in
+      match (memo, naive) with
+      | Ok m, Ok n -> Alcotest.(check (list int)) (name ^ ": same value set") n m
+      | Error e, _ -> Alcotest.fail (name ^ ": memoized walk failed: " ^ e)
+      | _, Error e -> Alcotest.fail (name ^ ": naive walk failed: " ^ e))
+    cases;
+  let memo =
+    Modelcheck.decidable_values ~solo_fuel:200 broken_nonterminating ~inputs:[| 0; 1 |]
+      ~depth:2
+  in
+  let naive =
+    Modelcheck.decidable_values_naive ~solo_fuel:200 broken_nonterminating
+      ~inputs:[| 0; 1 |] ~depth:2
+  in
+  (match (memo, naive) with
+   | Error _, Error _ -> ()
+   | _ -> Alcotest.fail "spin: both walks must report the solo failure")
+
+(* 14. Iterative deepening completes on a finite tree and reports it. *)
 let test_deepen_completes () =
   match
     Explore.deepen ~budget:10.0 Consensus.Cas_protocol.protocol ~inputs:[| 0; 1 |]
@@ -284,7 +403,7 @@ let test_deepen_completes () =
     Alcotest.(check bool) "complete" true r.Explore.complete;
     (* each process takes exactly one step, so depth 2 finishes the tree *)
     Alcotest.(check int) "depth reached" 2 r.Explore.depth_reached
-  | Error e -> Alcotest.fail e
+  | Error f -> Alcotest.fail (Explore.failure_message f)
 
 let () =
   Alcotest.run "modelcheck"
@@ -314,5 +433,14 @@ let () =
             test_engines_agree_broken;
           Alcotest.test_case "memo dedups" `Quick test_memo_dedups;
           Alcotest.test_case "deepen completes" `Quick test_deepen_completes;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "witness replays under every engine" `Quick
+            test_witness_replay_all_engines;
+          Alcotest.test_case "probe finish loop is bounded" `Quick
+            test_probe_finish_bounded;
+          Alcotest.test_case "decidable_values memo differential" `Quick
+            test_decidable_memo_differential;
         ] );
     ]
