@@ -567,6 +567,98 @@ let mc ?(smoke = false) () =
   close_out oc;
   Printf.printf "\nwrote BENCH_modelcheck.json\n"
 
+(* --------------------------------------------------------------- RED -- *)
+
+(* The reduction layer vs the plain memoized engine: commutativity sleep
+   sets prune redundant interleavings of independent steps, and process
+   symmetry (sound for these pid-symmetric protocols) quotients the
+   transposition table by permutations of equal-input processes.  The
+   headline metric is the configuration-count ratio of plain [`Memo] to
+   [`Memo]+full reduction; verdicts are cross-checked against [`Naive] on
+   every row.  Results also go to BENCH_reduce.json. *)
+let red ?(smoke = false) () =
+  section "RED: state-space reduction — commutativity sleep sets + process symmetry";
+  (* every protocol here is pid-symmetric: its code never branches on the
+     process id except through the input, so `symmetric is sound *)
+  let protos =
+    [
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("cas", Consensus.Cas_protocol.protocol);
+      ("tug-of-war", Consensus.Tugofwar_protocol.protocol);
+    ]
+  in
+  let protos = if smoke then [ List.hd protos; List.nth protos 1 ] else protos in
+  let n = 3 in
+  let depth = if smoke then 6 else 8 in
+  (* duplicate inputs are where symmetry bites: with all-distinct inputs no
+     two processes are interchangeable and `symmetric degenerates to plain
+     fingerprinting *)
+  let input_sets = [ ("unanimous", Array.make n 1); ("mixed", [| 0; 1; 1 |]) ] in
+  let reductions =
+    [
+      ("none", Explore.no_reduction);
+      ("commute", { Explore.commute = true; symmetric = false });
+      ("symmetric", { Explore.commute = false; symmetric = true });
+      ("full", Explore.full_reduction);
+    ]
+  in
+  let verdict_kind = function
+    | Ok _ -> "ok"
+    | Error (f : Explore.failure) -> Explore.kind_name f.Explore.witness.Explore.kind
+  in
+  let json = Buffer.create 4096 in
+  Printf.bprintf json "{\n  \"n\": %d,\n  \"depth\": %d,\n  \"smoke\": %b,\n  \"rows\": ["
+    n depth smoke;
+  let first_row = ref true in
+  let target_hits = ref 0 in
+  Printf.printf "%-11s %-9s %-10s %10s %8s %12s %10s %7s  %s\n" "protocol" "inputs"
+    "reduce" "configs" "dedup" "sleep_pruned" "elapsed_s" "ratio" "verdict";
+  List.iter
+    (fun (pname, proto) ->
+      List.iter
+        (fun (iname, inputs) ->
+          let naive_verdict =
+            verdict_kind (Explore.run ~probe:`Leaves ~engine:`Naive proto ~inputs ~depth)
+          in
+          let base_configs = ref 0 in
+          List.iter
+            (fun (rname, reduce) ->
+              let out = Explore.run ~probe:`Leaves ~engine:`Memo ~reduce proto ~inputs ~depth in
+              let v = verdict_kind out in
+              let agree = v = naive_verdict in
+              let s =
+                match out with Ok s -> s | Error f -> f.Explore.stats
+              in
+              if rname = "none" then base_configs := s.Explore.configs;
+              let ratio = float_of_int !base_configs /. float_of_int (max 1 s.Explore.configs) in
+              if rname = "full" && iname = "unanimous" && ratio >= 3.0 then incr target_hits;
+              Printf.printf "%-11s %-9s %-10s %10d %8d %12d %10.4f %6.2fx  %s%s\n" pname
+                iname rname s.Explore.configs s.Explore.dedup_hits s.Explore.sleep_pruned
+                s.Explore.elapsed ratio v
+                (if agree then "" else "  [DISAGREES WITH NAIVE: " ^ naive_verdict ^ "]");
+              Printf.bprintf json
+                "%s\n    {\"proto\": \"%s\", \"inputs\": \"%s\", \"reduce\": \"%s\", \
+                 \"configs\": %d, \"probes\": %d, \"truncated\": %b, \"dedup_hits\": %d, \
+                 \"sleep_pruned\": %d, \"elapsed\": %.6f, \"ratio_vs_plain_memo\": %.3f, \
+                 \"verdict\": \"%s\", \"agrees_with_naive\": %b}"
+                (if !first_row then "" else ",")
+                pname iname rname s.Explore.configs s.Explore.probes s.Explore.truncated
+                s.Explore.dedup_hits s.Explore.sleep_pruned s.Explore.elapsed ratio v agree;
+              first_row := false)
+            reductions)
+        input_sets)
+    protos;
+  Printf.bprintf json "\n  ],\n  \"protocols_with_3x_reduction_unanimous\": %d\n}\n"
+    !target_hits;
+  let oc = open_out "BENCH_reduce.json" in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  Printf.printf
+    "\n%d protocol(s) with >= 3x fewer configurations under full reduction (unanimous \
+     inputs)\nwrote BENCH_reduce.json\n"
+    !target_hits
+
 (* --------------------------------------------------------------- WIT -- *)
 
 (* Counterexample witnesses: run each engine against the lower-bound victim
@@ -709,6 +801,7 @@ let sections : (string * (smoke:bool -> unit)) list =
         ablation_threshold ();
         ablation_stability () );
     ("MC", fun ~smoke -> mc ~smoke ());
+    ("RED", fun ~smoke -> red ~smoke ());
     ("WIT", fun ~smoke -> witnesses ~smoke ());
     ("TIME", fun ~smoke:_ -> bechamel_suite ());
   ]

@@ -64,7 +64,7 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere engine domains trace no_shrink =
+  let run ells id n depth everywhere engine domains trace no_shrink reduce =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -78,18 +78,27 @@ let modelcheck_cmd =
           | "parallel" -> Ok (`Parallel domains)
           | e -> Error (Printf.sprintf "unknown engine %S (naive|memo|parallel)" e)
         in
-        match engine with
-        | Error e -> `Error (false, e)
-        | Ok engine ->
+        let reduce =
+          match reduce with
+          | "none" -> Ok Explore.no_reduction
+          | "commute" -> Ok { Explore.commute = true; symmetric = false }
+          | "symmetric" -> Ok { Explore.commute = false; symmetric = true }
+          | "full" -> Ok Explore.full_reduction
+          | r -> Error (Printf.sprintf "unknown reduction %S (none|commute|symmetric|full)" r)
+        in
+        match (engine, reduce) with
+        | Error e, _ | _, Error e -> `Error (false, e)
+        | Ok engine, Ok reduce ->
           (match
-             Explore.run ~probe ~engine ~shrink:(not no_shrink) row.protocol ~inputs
-               ~depth
+             Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce row.protocol
+               ~inputs ~depth
            with
            | Ok s ->
              Printf.printf
-               "%s: OK — %d configurations, %d probes, %d dedup hits, %.3f s%s\n"
+               "%s: OK — %d configurations, %d probes, %d dedup hits, %d sleep-pruned, \
+                %.3f s%s\n"
                row.iset s.Explore.configs s.Explore.probes s.Explore.dedup_hits
-               s.Explore.elapsed
+               s.Explore.sleep_pruned s.Explore.elapsed
                (if s.Explore.truncated then Printf.sprintf " (truncated at depth %d)" depth
                 else "");
              `Ok ()
@@ -147,13 +156,21 @@ let modelcheck_cmd =
     let doc = "Report the witness exactly as found, without delta-debugging it." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
   in
+  let reduce_arg =
+    let doc =
+      "State-space reduction: none, commute (sleep-set commutativity, sound for every \
+       protocol), symmetric (process-symmetry fingerprints, sound only for \
+       pid-symmetric protocols), or full (both)."
+    in
+    Arg.(value & opt string "none" & info [ "reduce" ] ~docv:"REDUCTION" ~doc)
+  in
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
     Term.(
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
-       $ domains_arg $ trace_arg $ no_shrink_arg))
+       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg))
 
 let growth_cmd =
   let run rounds n =

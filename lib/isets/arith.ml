@@ -17,6 +17,11 @@ module Add = struct
     | Add x -> (Bignum.add c x, Value.Unit)
 
   let trivial = function Read -> true | Add _ -> false
+
+  (* addition is commutative and add returns unit *)
+  let commutes a b =
+    match (a, b) with Read, Read | Add _, Add _ -> true | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -49,6 +54,11 @@ module Mul = struct
     | Mul x -> (Bignum.mul c x, Value.Unit)
 
   let trivial = function Read -> true | Mul _ -> false
+
+  (* multiplication is commutative and multiply returns unit *)
+  let commutes a b =
+    match (a, b) with Read, Read | Mul _, Mul _ -> true | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -78,6 +88,11 @@ module Setbit = struct
     | Set_bit i -> (Bignum.set_bit c i, Value.Unit)
 
   let trivial = function Read -> true | Set_bit _ -> false
+
+  (* setting bits is idempotent and order-insensitive *)
+  let commutes a b =
+    match (a, b) with Read, Read | Set_bit _, Set_bit _ -> true | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -103,6 +118,11 @@ module Faa = struct
 
   let apply (Fetch_add x) c = (Bignum.add c x, big_result c)
   let trivial (Fetch_add x) = Bignum.is_zero x
+
+  (* fetch-and-add returns the old value, so any non-trivial invocation is
+     observed by the other's result *)
+  let commutes a b = trivial a && trivial b
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -125,6 +145,8 @@ module Fam = struct
 
   let apply (Fetch_mul x) c = (Bignum.mul c x, big_result c)
   let trivial (Fetch_mul x) = Bignum.equal x Bignum.one
+
+  let commutes a b = trivial a && trivial b
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -152,6 +174,14 @@ module Decmul = struct
     | Multiply x -> (Bignum.mul_int c x, Value.Unit)
 
   let trivial = function Read -> true | Decrement | Multiply _ -> false
+
+  (* decrements commute with decrements and multiplies with multiplies, but
+     (c-1)·x ≠ c·x - 1: the mixed pair is order-sensitive *)
+  let commutes a b =
+    match (a, b) with
+    | Read, Read | Decrement, Decrement | Multiply _, Multiply _ -> true
+    | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
@@ -185,6 +215,10 @@ module Faa2_tas = struct
       (c', big_result c)
 
   let trivial = function Fetch_add2 | Tas -> false
+
+  (* both instructions return the old value: nothing commutes *)
+  let commutes _ _ = false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash

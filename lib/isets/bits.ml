@@ -47,6 +47,16 @@ struct
     | Tas -> (true, Value.Int (if c then 1 else 0))
 
   let trivial = function Read -> true | Write0 | Write1 | Tas | Reset -> false
+
+  (* write(1) pairs and clearing pairs (write(0)/reset()) land the bit in the
+     same state and return unit; test-and-set returns the old bit, so it never
+     commutes with anything that can change it (including another tas). *)
+  let commutes a b =
+    match (a, b) with
+    | Read, Read | Write1, Write1 -> true
+    | (Write0 | Reset), (Write0 | Reset) -> true
+    | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bool.equal
   let hash_cell c = if c then 1 else 0

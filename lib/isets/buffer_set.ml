@@ -36,6 +36,15 @@ struct
       (c', Value.Unit)
 
   let trivial = function Buf_read -> true | Buf_write _ -> false
+
+  (* writes of distinct values leave the buffer in a different newest-first
+     order, so only equal-value write pairs (and read pairs) commute *)
+  let commutes a b =
+    match (a, b) with
+    | Buf_read, Buf_read -> true
+    | Buf_write x, Buf_write y -> Value.equal x y
+    | _ -> false
+
   let multi_assignment = C.multi_assignment
 
   let equal_cell a b = List.length a = List.length b && List.for_all2 Value.equal a b

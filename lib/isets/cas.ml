@@ -11,6 +11,11 @@ let apply (Cas (expected, desired)) c =
   if Value.equal c expected then (desired, c) else (c, c)
 
 let trivial (Cas (expected, desired)) = Value.equal expected desired
+
+(* compare-and-swap returns the old value, so any state-changing pair is
+   order-sensitive; only two no-op CASes (expected = desired) commute. *)
+let commutes a b = trivial a && trivial b
+
 let multi_assignment = false
 let equal_cell = Value.equal
 let hash_cell = Value.hash

@@ -39,6 +39,15 @@ let apply op cell =
     ((c, entries), Value.Unit)
 
 let trivial = function Buf_read _ -> true | Buf_write _ -> false
+
+(* Mismatched declared capacities raise in [apply], so we additionally require
+   agreeing capacities before declaring a pair independent. *)
+let commutes a b =
+  match (a, b) with
+  | Buf_read c1, Buf_read c2 -> c1 = c2
+  | Buf_write (c1, x), Buf_write (c2, y) -> c1 = c2 && Value.equal x y
+  | _ -> false
+
 let multi_assignment = false
 
 let equal_cell (c1, e1) (c2, e2) =

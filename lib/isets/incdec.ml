@@ -15,6 +15,16 @@ let apply op c =
   | Decrement -> (Bignum.pred c, Value.Unit)
 
 let trivial = function Read -> true | Write _ | Increment | Decrement -> false
+
+(* increment and decrement both commute with each other (succ and pred
+   compose in either order) and return unit; writes only with equal writes. *)
+let commutes a b =
+  match (a, b) with
+  | Read, Read -> true
+  | (Increment | Decrement), (Increment | Decrement) -> true
+  | Write x, Write y -> Bignum.equal x y
+  | _ -> false
+
 let multi_assignment = false
 let equal_cell = Bignum.equal
 let hash_cell = Bignum.hash

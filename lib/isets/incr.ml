@@ -40,6 +40,15 @@ struct
     | Fetch_incr -> (Bignum.succ c, Value.Big c)
 
   let trivial = function Read -> true | Write _ | Increment | Fetch_incr -> false
+
+  (* fetch-and-increment returns the old value, so only blind operations
+     commute: reads, increments, and writes of the same value. *)
+  let commutes a b =
+    match (a, b) with
+    | Read, Read | Increment, Increment -> true
+    | Write x, Write y -> Bignum.equal x y
+    | _ -> false
+
   let multi_assignment = false
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash

@@ -13,6 +13,15 @@ let apply op c =
   | Write_max x -> (Bignum.max c x, Value.Unit)
 
 let trivial = function Read_max -> true | Write_max _ -> false
+
+(* max is commutative and write-max returns unit, so any two write-max
+   invocations are independent — the heart of why max-registers sit low in
+   the hierarchy. *)
+let commutes a b =
+  match (a, b) with
+  | Read_max, Read_max | Write_max _, Write_max _ -> true
+  | _ -> false
+
 let multi_assignment = false
 let equal_cell = Bignum.equal
 let hash_cell = Bignum.hash

@@ -13,6 +13,15 @@ let apply op c =
   | Write v -> (v, Value.Unit)
 
 let trivial = function Read -> true | Write _ -> false
+
+(* Two reads reorder freely; two writes of the {e same} value do too (the
+   cell ends up holding that value either way and both return unit). *)
+let commutes a b =
+  match (a, b) with
+  | Read, Read -> true
+  | Write x, Write y -> Value.equal x y
+  | _ -> false
+
 let multi_assignment = false
 let equal_cell = Value.equal
 let hash_cell = Value.hash

@@ -13,6 +13,11 @@ let apply op c =
   | Swap v -> (v, c)
 
 let trivial = function Read -> true | Swap _ -> false
+
+(* Swaps return the old value, so even equal-argument swaps observe the
+   order; only read pairs are independent. *)
+let commutes a b = trivial a && trivial b
+
 let multi_assignment = false
 let equal_cell = Value.equal
 let hash_cell = Value.hash

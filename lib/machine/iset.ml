@@ -25,6 +25,20 @@ module type S = sig
   val trivial : op -> bool
   (** A trivial instruction never changes the cell (e.g. [read]). *)
 
+  val commutes : op -> op -> bool
+  (** Whether two instructions applied to the {e same} location are
+      independent: executed in either order they leave the cell in the same
+      state {e and} return the same result to each invoker.  Must be
+      over-approximation-free — declaring a non-independent pair commuting
+      makes the model checker's commutativity reduction unsound, while
+      missing pairs only costs pruning.  [trivial a && trivial b] must
+      imply [commutes a b] (two cell-preserving instructions reorder
+      freely); richer sets can declare more, e.g. two [add(x)] invocations
+      commute (same final sum, both return unit) while two
+      [fetch-and-add(x)] invocations do not (each returns the old value).
+      Instructions on {e distinct} locations always commute and are not
+      routed through this predicate. *)
+
   val multi_assignment : bool
   (** Whether a process may atomically apply one instruction to several
       locations in a single step (Section 7).  The machine rejects

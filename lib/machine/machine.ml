@@ -94,14 +94,38 @@ module Make (I : Iset.S) = struct
      back to the initial value is indistinguishable from an untouched one
      ([cell] returns [I.init] either way), so both must fingerprint
      identically or the model checker's dedup silently misses them. *)
-  let fingerprint cfg =
-    let h =
-      Imap.fold
-        (fun loc c acc ->
-          if I.equal_cell c I.init then acc else mix (mix acc loc) (I.hash_cell c))
-        cfg.mem 0x517cc1b7
-    in
-    Array.fold_left mix h cfg.hist
+  let mem_hash cfg =
+    Imap.fold
+      (fun loc c acc ->
+        if I.equal_cell c I.init then acc else mix (mix acc loc) (I.hash_cell c))
+      cfg.mem 0x517cc1b7
+
+  let fingerprint cfg = Array.fold_left mix (mem_hash cfg) cfg.hist
+
+  (* Quotient the fingerprint by process permutations: hash each process as a
+     (input, history, decision) triple and fold the triples in sorted order,
+     so two configurations that differ only by exchanging the full states of
+     two same-input processes collide on purpose.  Baking the input into each
+     triple makes the global sort equivalent to sorting within equal-input
+     groups, which is the permutation actually allowed.  Decisions are hashed
+     with the polymorphic [Hashtbl.hash] (decision values are small
+     first-order data in practice).  Only sound when the protocol itself is
+     pid-symmetric — see the [Explore] documentation. *)
+  let canonical_fingerprint ~inputs cfg =
+    let n = Array.length cfg.procs in
+    if Array.length inputs <> n then
+      invalid_arg "Machine.canonical_fingerprint: inputs length mismatch";
+    let comp = Array.make n 0 in
+    for pid = 0 to n - 1 do
+      let d =
+        match cfg.procs.(pid) with
+        | Proc.Done v -> mix 0x51ded (Hashtbl.hash v)
+        | Proc.Step _ -> 0x0b5e55
+      in
+      comp.(pid) <- mix (mix (mix 0x7f4a7c15 inputs.(pid)) cfg.hist.(pid)) d
+    done;
+    Array.sort compare comp;
+    Array.fold_left mix (mem_hash cfg) comp
 
   let trace cfg = List.rev cfg.trace
 

@@ -73,6 +73,24 @@ module Make (I : Iset.S) : sig
       back to an untouched location leaves the fingerprint unchanged —
       exactly as it leaves the configuration's behaviour unchanged. *)
 
+  val canonical_fingerprint : inputs:int array -> 'a config -> int
+  (** Like {!fingerprint}, but quotiented by process symmetry: each process
+      contributes a hash of its (input, observed-result history, decision)
+      triple and the triples are folded in sorted order, so configurations
+      that differ only by permuting the complete states of processes with
+      equal inputs collide deliberately.  [inputs.(pid)] must be the input
+      handed to process [pid] (length must equal the number of processes);
+      decisions are hashed with the polymorphic [Hashtbl.hash], so decision
+      values should be first-order data (no closures).
+
+      {b Soundness caveat}: deduplicating on this fingerprint is only valid
+      for pid-symmetric protocols — those whose code ignores the process id
+      except through its input (formally, [f pid] and [f pid'] are the same
+      procedure whenever their inputs agree).  For pid-dependent protocols
+      two configurations with equal canonical fingerprints can behave
+      differently, and a model checker deduplicating on them may miss
+      violations. *)
+
   type event = {
     pid : int;
     accesses : (int * I.op * I.result) list;

@@ -1,3 +1,5 @@
+module Pid_map = Map.Make (Int)
+
 type t = { next : running:int list -> step:int -> (int * t) option }
 
 let next t ~running ~step = t.next ~running ~step
@@ -85,7 +87,7 @@ let fair ~bound ~seed =
           | _ ->
             let st' = Random.State.copy st in
             let roll = Random.State.int st' (List.length running) in
-            let debt p = Option.value ~default:0 (List.assoc_opt p debts) in
+            let debt p = Option.value ~default:0 (Pid_map.find_opt p debts) in
             let pid =
               (* an overdue process must go — the most overdue one, so ties
                  rotate instead of always favouring the lowest pid (at
@@ -96,13 +98,19 @@ let fair ~bound ~seed =
               | p :: ps ->
                 List.fold_left (fun best q -> if debt q > debt best then q else best) p ps
             in
+            (* the map keeps debt owed to processes absent from [running]
+               this step (e.g. filtered by [excluding], or transiently
+               blocked); rebuilding the ledger from [running] alone used to
+               zero it *)
             let debts' =
-              List.map (fun p -> (p, if p = pid then 0 else debt p + 1)) running
+              List.fold_left
+                (fun m p -> Pid_map.add p (if p = pid then 0 else debt p + 1) m)
+                debts running
             in
             Some (pid, from st' debts'))
     }
   in
-  from (Random.State.make [| seed |]) []
+  from (Random.State.make [| seed |]) Pid_map.empty
 
 let phased phases last =
   let rec go phases last =

@@ -17,10 +17,41 @@
    structured [witness] rather than a prose string: the witness replays
    deterministically through [Model.Machine] (regenerating the full event
    trace), and is shrunk by greedy segment deletion, keeping a candidate iff
-   its replay still raises the same violation kind. *)
+   its replay still raises the same violation kind.
+
+   On top of the engines sits an optional reduction layer ([reduction]):
+
+   - Commutativity (sleep sets).  When two processes are poised at accesses
+     that are independent — disjoint locations, or the same location with
+     [I.commutes] instructions — stepping them in either order reaches the
+     same configuration, so only one interleaving of the pair needs its
+     subtree explored.  We use Godefroid-style sleep sets: after exploring
+     sibling [p] at a node, [p] is put to sleep in the subtrees of its later
+     siblings and stays asleep until a dependent step wakes it.  Sleep sets
+     prune redundant {e transitions} but still visit every reachable
+     configuration (at the same depth, since commuting schedules have equal
+     length), so the per-configuration checks and probes see exactly the
+     states they would without reduction.  Combined with the transposition
+     table this needs care: a stored exploration only covers a revisit if it
+     explored at least as deep {e and} from a sleep set no larger than the
+     current one, so table entries store (depth, sleep set) and both are
+     compared — with reduction off the sleep sets are always empty and the
+     guard degenerates to the old depth-only check.
+
+   - Process symmetry.  For pid-symmetric protocols (the process code
+     ignores its pid except through its input), permuting the full states
+     of equal-input processes yields an equivalent configuration, so the
+     table can key on [Machine.canonical_fingerprint] instead of
+     [Machine.fingerprint].  This is opt-in ([symmetric = true]) and
+     unsound for pid-dependent protocols — see [Machine.mli]. *)
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type reduction = { commute : bool; symmetric : bool }
+
+let no_reduction = { commute = false; symmetric = false }
+let full_reduction = { commute = true; symmetric = true }
 
 type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
 
@@ -37,12 +68,23 @@ type witness = {
   probe : int option;
 }
 
+type stats = {
+  configs : int;
+  probes : int;
+  truncated : bool;
+  dedup_hits : int;
+  sleep_pruned : int;
+  elapsed : float;
+}
+
 type failure = {
   witness : witness;
   original : witness;
   reproduced : bool;
   shrink_attempts : int;
   trace : string option;
+  stats : stats;
+  diagnosis_elapsed : float;
 }
 
 let failure_message f = f.witness.message
@@ -55,14 +97,6 @@ let pp_witness ppf w =
     (match w.probe with
      | None -> ""
      | Some pid -> Printf.sprintf " then p%d solo" pid)
-
-type stats = {
-  configs : int;
-  probes : int;
-  truncated : bool;
-  dedup_hits : int;
-  elapsed : float;
-}
 
 type outcome = (stats, failure) result
 
@@ -87,23 +121,37 @@ let check_decisions ~inputs decisions =
     if not (Array.exists (fun i -> i = first) inputs) then
       checkf `Validity "validity: %d decided but never proposed" first
 
-module Run (P : Consensus.Proto.S) = struct
-  module M = Model.Machine.Make (P.I)
+(* Mutable per-run counters, shared by all engines (each parallel worker
+   gets its own and they are merged at the end). *)
+type counters = {
+  mutable configs : int;
+  mutable probes : int;
+  mutable truncated : bool;
+  mutable hits : int;
+  mutable sleeps : int;
+}
 
-  type counters = {
-    mutable configs : int;
-    mutable probes : int;
-    mutable truncated : bool;
-    mutable hits : int;
+let fresh () = { configs = 0; probes = 0; truncated = false; hits = 0; sleeps = 0 }
+
+let merge into c =
+  into.configs <- into.configs + c.configs;
+  into.probes <- into.probes + c.probes;
+  into.truncated <- into.truncated || c.truncated;
+  into.hits <- into.hits + c.hits;
+  into.sleeps <- into.sleeps + c.sleeps
+
+let stats_of c ~elapsed =
+  {
+    configs = c.configs;
+    probes = c.probes;
+    truncated = c.truncated;
+    dedup_hits = c.hits;
+    sleep_pruned = c.sleeps;
+    elapsed;
   }
 
-  let fresh () = { configs = 0; probes = 0; truncated = false; hits = 0 }
-
-  let merge into c =
-    into.configs <- into.configs + c.configs;
-    into.probes <- into.probes + c.probes;
-    into.truncated <- into.truncated || c.truncated;
-    into.hits <- into.hits + c.hits
+module Run (P : Consensus.Proto.S) = struct
+  module M = Model.Machine.Make (P.I)
 
   let root_config ~record_trace ~inputs =
     let n = Array.length inputs in
@@ -161,25 +209,62 @@ module Run (P : Consensus.Proto.S) = struct
 
   exception Stop
 
+  (* The fingerprint the transposition table keys on: plain, or quotiented
+     by process symmetry when the reduction asks for it. *)
+  let fingerprint_fn ~reduce ~inputs =
+    if reduce.symmetric then M.canonical_fingerprint ~inputs else M.fingerprint
+
+  (* Whether the atomic steps [p] and [q] are poised at are independent:
+     every pair of accesses is to distinct locations or commutes on the
+     shared one.  Only meaningful when both are poised. *)
+  let independent cfg p q =
+    match (M.poised cfg p, M.poised cfg q) with
+    | Some ap, Some aq ->
+      List.for_all
+        (fun (l1, o1) ->
+          List.for_all (fun (l2, o2) -> l1 <> l2 || P.I.commutes o1 o2) aq)
+        ap
+    | _ -> false
+
   (* Transposition-table guard shared by the checking DFS and
      [decidable_values]: run [visit] unless [cfg] was already explored at
-     least [d] deep ([table = None] always visits — the naive engines). *)
-  let guard ~table c cfg d visit =
+     least [d] deep {e from a sleep set no larger than [sleep]} — the stored
+     pass explored a superset of the transitions the current one would, so
+     the revisit is covered.  Sleep sets are pid bitmasks; with reduction
+     off both masks are 0 and this is the old depth-only check.
+     [table = None] always visits — the naive engines. *)
+  let guard ~table ~fp c cfg d sleep visit =
     match table with
     | None -> visit ()
     | Some tbl ->
-      let fp = M.fingerprint cfg in
-      (match Hashtbl.find_opt tbl fp with
-       | Some d' when d' >= d -> c.hits <- c.hits + 1
-       | _ ->
-         Hashtbl.replace tbl fp d;
+      let h = fp cfg in
+      (match Hashtbl.find_opt tbl h with
+       | Some (d', sleep') when d' >= d && sleep' land lnot sleep = 0 ->
+         c.hits <- c.hits + 1
+       | stored ->
+         (* keep the stored entry unless the current pass covers it — an
+            incomparable entry may still prune future revisits that the
+            current (deeper-sleeping or shallower) pass could not *)
+         (match stored with
+          | Some (d', sleep') when not (d >= d' && sleep land lnot sleep' = 0) -> ()
+          | _ -> Hashtbl.replace tbl h (d, sleep));
          visit ())
 
   (* The DFS core all engines share.  [stop] aborts cooperatively (parallel
-     mode); [path] seeds the schedule of every witness found below [cfg]. *)
-  let dfs ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth path =
-    let rec go cfg d path = guard ~table c cfg d (fun () -> visit cfg d path)
-    and visit cfg d path =
+     mode); [path] seeds the schedule of every witness found below [cfg].
+
+     [sleep] is the sleep set: pids whose subtrees here are already covered
+     by an equivalent interleaving explored at a sibling.  Sleeping pids are
+     not stepped, but they still count as running for checks and probes —
+     sleep sets preserve the set of visited configurations, only pruning
+     redundant transitions into them.  After exploring child [pid], later
+     siblings inherit [pid] asleep as long as their step is independent of
+     [pid]'s; a dependent step wakes it. *)
+  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth path =
+    let fp = fingerprint_fn ~reduce ~inputs in
+    let rec go cfg d path sleep =
+      guard ~table ~fp c cfg d sleep (fun () -> visit cfg d path sleep)
+    and visit cfg d path sleep =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
       check ~inputs ~path cfg;
@@ -191,11 +276,32 @@ module Run (P : Consensus.Proto.S) = struct
           match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true
         in
         if should_probe then List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
-        if not at_bound then
-          List.iter (fun pid -> go (M.step cfg pid) (d - 1) (pid :: path)) running
+        if not at_bound then begin
+          (* [asleep] accumulates the inherited sleep set plus the siblings
+             already explored at this node. *)
+          let asleep = ref sleep in
+          List.iter
+            (fun pid ->
+              if !asleep land (1 lsl pid) <> 0 then c.sleeps <- c.sleeps + 1
+              else begin
+                let succ_sleep =
+                  if not reduce.commute then 0
+                  else
+                    List.fold_left
+                      (fun m q ->
+                        if !asleep land (1 lsl q) <> 0 && independent cfg q pid then
+                          m lor (1 lsl q)
+                        else m)
+                      0 running
+                in
+                go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
+                asleep := !asleep lor (1 lsl pid)
+              end)
+            running
+        end
       end
     in
-    go cfg depth path
+    go cfg depth path 0
 
   let no_stop () = false
 
@@ -204,7 +310,8 @@ module Run (P : Consensus.Proto.S) = struct
      exactly once), then the unvisited frontier is deduped by fingerprint
      and drained by [domains] workers from a shared queue.  Each frontier
      item carries its schedule prefix so workers report full witnesses. *)
-  let parallel ~domains ~probe ~solo_fuel ~inputs c root depth =
+  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs c root depth =
+    let fp = fingerprint_fn ~reduce ~inputs in
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
     let rec prefix level d =
@@ -232,13 +339,13 @@ module Run (P : Consensus.Proto.S) = struct
     let frontier =
       List.filter
         (fun (_, cfg) ->
-          let fp = M.fingerprint cfg in
-          if Hashtbl.mem seen fp then begin
+          let h = fp cfg in
+          if Hashtbl.mem seen h then begin
             c.hits <- c.hits + 1;
             false
           end
           else begin
-            Hashtbl.add seen fp ();
+            Hashtbl.add seen h ();
             true
           end)
         frontier
@@ -258,7 +365,7 @@ module Run (P : Consensus.Proto.S) = struct
           let i = Atomic.fetch_and_add next_item 1 in
           if i < Array.length items then begin
             let path, cfg = items.(i) in
-            (match dfs ~probe ~solo_fuel ~inputs ~table ~stop wc cfg d path with
+            (match dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~stop wc cfg d path with
              | () -> ()
              | exception Violation w ->
                Mutex.lock mu;
@@ -324,26 +431,38 @@ module Run (P : Consensus.Proto.S) = struct
       | _, _ -> None
       | exception Invalid_schedule -> None
     in
-    let rec sweep w chunk i =
-      if i >= List.length w.schedule then w
+    (* [len] is [List.length w.schedule], maintained across deletions rather
+       than recomputed at every index (which made one sweep quadratic). *)
+    let rec sweep w len chunk i =
+      if i >= len then (w, len)
       else begin
         let cand = List.filteri (fun j _ -> j < i || j >= i + chunk) w.schedule in
         match reproduces cand with
-        | Some w' -> sweep w' chunk i
-        | None -> sweep w chunk (i + chunk)
+        | Some w' -> sweep w' (len - min chunk (len - i)) chunk i
+        | None -> sweep w len chunk (i + chunk)
       end
     in
-    let rec halve w chunk = if chunk < 1 then w else halve (sweep w chunk 0) (chunk / 2) in
+    let rec halve w len chunk =
+      if chunk < 1 then w
+      else begin
+        let w, len = sweep w len chunk 0 in
+        halve w len (chunk / 2)
+      end
+    in
     let len = List.length w.schedule in
-    let w = if len = 0 then w else halve w (max 1 (len / 2)) in
+    let w = if len = 0 then w else halve w len (max 1 (len / 2)) in
     (w, !attempts)
 
   let trace_of cfg = Format.asprintf "%a" M.pp_trace cfg
 
   (* Package a caught violation: verify the witness replays to the same
      kind, shrink it if asked, and regenerate the full event trace of the
-     (shrunk) replay with trace recording on. *)
-  let failure ~shrink:do_shrink ~solo_fuel ~inputs (w : witness) =
+     (shrunk) replay with trace recording on.  [stats] are the engine's
+     counters up to the violation; the replay/shrink work done here is timed
+     separately as [diagnosis_elapsed] so engine comparisons are not skewed
+     by diagnosis cost. *)
+  let failure ~shrink:do_shrink ~solo_fuel ~inputs ~stats (w : witness) =
+    let t0 = Unix.gettimeofday () in
     let reproduced =
       match replay ~record_trace:false ~solo_fuel ~inputs w with
       | _, Some (k, _) -> k = w.kind
@@ -361,22 +480,35 @@ module Run (P : Consensus.Proto.S) = struct
         | exception Invalid_schedule -> None
       end
     in
-    { witness; original = w; reproduced; shrink_attempts; trace }
+    {
+      witness;
+      original = w;
+      reproduced;
+      shrink_attempts;
+      trace;
+      stats;
+      diagnosis_elapsed = Unix.gettimeofday () -. t0;
+    }
 
   (* The bivalence walk of [Modelcheck.decidable_values], on the shared
      memoized core: collect every value decided in some reachable
      configuration or decidable by a solo continuation from one.  Sound to
      prune on the fingerprint table because equal fingerprints imply equal
      future behaviour, hence equal decidable-value contributions. *)
-  let decidable ~solo_fuel ~table c cfg depth =
+  let decidable ~reduce ~solo_fuel ~inputs ~table c cfg depth =
+    let fp = fingerprint_fn ~reduce ~inputs in
     let seen = Hashtbl.create 7 in
-    let rec go cfg d path = guard ~table c cfg d (fun () -> visit cfg d path)
-    and visit cfg d path =
+    let rec go cfg d path sleep =
+      guard ~table ~fp c cfg d sleep (fun () -> visit cfg d path sleep)
+    and visit cfg d path sleep =
       c.configs <- c.configs + 1;
       List.iter (fun (_, v) -> Hashtbl.replace seen v ()) (M.decisions cfg);
       match M.running cfg with
       | [] -> ()
       | running ->
+        (* solo probes run from every visited configuration for {e all}
+           running processes, sleeping or not — reduction prunes redundant
+           transitions, never the per-configuration probing *)
         List.iter
           (fun pid ->
             c.probes <- c.probes + 1;
@@ -392,41 +524,57 @@ module Run (P : Consensus.Proto.S) = struct
                            steps"
                           pid solo_fuel ))))
           running;
-        if d > 0 then List.iter (fun pid -> go (M.step cfg pid) (d - 1) (pid :: path)) running
+        if d > 0 then begin
+          let asleep = ref sleep in
+          List.iter
+            (fun pid ->
+              if !asleep land (1 lsl pid) <> 0 then c.sleeps <- c.sleeps + 1
+              else begin
+                let succ_sleep =
+                  if not reduce.commute then 0
+                  else
+                    List.fold_left
+                      (fun m q ->
+                        if !asleep land (1 lsl q) <> 0 && independent cfg q pid then
+                          m lor (1 lsl q)
+                        else m)
+                      0 running
+                in
+                go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
+                asleep := !asleep lor (1 lsl pid)
+              end)
+            running
+        end
     in
-    go cfg depth [];
+    go cfg depth [] 0;
     List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 end
 
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
-    (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(reduce = no_reduction) (module P : Consensus.Proto.S) ~inputs ~depth =
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
-  let c = R.fresh () in
+  let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
   let result =
     try
       (match engine with
        | `Naive ->
-         R.dfs ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth []
+         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth
+           []
        | `Memo ->
-         R.dfs ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
+         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
            ~stop:R.no_stop c root depth []
-       | `Parallel k -> R.parallel ~domains:k ~probe ~solo_fuel ~inputs c root depth);
+       | `Parallel k ->
+         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs c root depth);
       Ok ()
-    with Violation w -> Error (R.failure ~shrink ~solo_fuel ~inputs w)
+    with Violation w -> Error w
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  let stats =
-    {
-      configs = c.configs;
-      probes = c.probes;
-      truncated = c.truncated;
-      dedup_hits = c.hits;
-      elapsed;
-    }
-  in
-  match result with Ok () -> Ok stats | Error f -> Error f
+  (* engine time only — witness replay/shrink below is timed separately *)
+  let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
+  match result with
+  | Ok () -> Ok stats
+  | Error w -> Error (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
 
 type replay_report = {
   violation : (violation_kind * string) option;
@@ -441,14 +589,17 @@ let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
     Error "invalid witness: the schedule names a process that cannot step"
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
-    (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(reduce = no_reduction) (module P : Consensus.Proto.S) ~inputs ~depth =
   let module R = Run (P) in
-  let c = R.fresh () in
+  let t0 = Unix.gettimeofday () in
+  let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
   let table = if memo then Some (Hashtbl.create 4096) else None in
-  match R.decidable ~solo_fuel ~table c root depth with
+  match R.decidable ~reduce ~solo_fuel ~inputs ~table c root depth with
   | values -> Ok values
-  | exception Violation w -> Error (R.failure ~shrink ~solo_fuel ~inputs w)
+  | exception Violation w ->
+    let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
+    Error (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
 
 type deepen_report = {
   depth_reached : int;
@@ -459,7 +610,7 @@ type deepen_report = {
 }
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
-    ?shrink proto ~inputs ~max_depth =
+    ?shrink ?reduce proto ~inputs ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -467,7 +618,7 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
     let out_of_budget = match best with Some _ -> elapsed () >= budget | None -> false in
     if d > max_depth || out_of_budget then Ok (Option.get best)
     else begin
-      match run ~probe ~solo_fuel ~engine ?shrink proto ~inputs ~depth:d with
+      match run ~probe ~solo_fuel ~engine ?shrink ?reduce proto ~inputs ~depth:d with
       | Error f -> Error f
       | Ok s ->
         let total_configs =

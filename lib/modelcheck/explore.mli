@@ -30,6 +30,37 @@
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
 
+type reduction = {
+  commute : bool;
+      (** Commutativity reduction via sleep sets: when two enabled processes
+          are poised at independent accesses — disjoint locations, or the
+          same location with instructions declared independent by
+          [I.commutes] — only one order of the pair is explored.  Sleep sets
+          prune redundant transitions but still visit every reachable
+          configuration at its shallowest depth, so verdicts, probes and
+          decidable-value sets are preserved for {e every} protocol.
+          Composes with any engine; under [`Memo]/[`Parallel] the
+          transposition-table entries carry the sleep set they were explored
+          from and a revisit is only pruned when covered. *)
+  symmetric : bool;
+      (** Process-symmetry reduction: key the transposition table on
+          {!Model.Machine.Make.canonical_fingerprint}, conflating
+          configurations that differ only by permuting the full states of
+          equal-input processes.  {b Only sound for pid-symmetric protocols}
+          — those whose code ignores the process id except through its input
+          ([proc ~n ~pid ~input] must not read [pid] other than to thread it
+          to accesses' bookkeeping).  For pid-dependent protocols this can
+          conflate genuinely different configurations and miss violations;
+          it is therefore opt-in and has no effect on [`Naive] (which keeps
+          no table). *)
+}
+(** Which state-space reductions to layer over an engine.  Both default to
+    off ({!no_reduction}), preserving historical behaviour exactly. *)
+
+val no_reduction : reduction
+val full_reduction : reduction
+(** [full_reduction] enables both; only use it on pid-symmetric protocols. *)
+
 type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
 
 val kind_name : violation_kind -> string
@@ -50,6 +81,16 @@ type witness = {
 
 val pp_witness : Format.formatter -> witness -> unit
 
+type stats = {
+  configs : int;      (** configurations visited (dedup'd ones not counted) *)
+  probes : int;       (** solo/termination probes run *)
+  truncated : bool;   (** some branch hit the depth bound *)
+  dedup_hits : int;   (** revisits pruned by the transposition table *)
+  sleep_pruned : int; (** transitions pruned by the commutativity reduction *)
+  elapsed : float;    (** wall-clock seconds of the engine proper (excludes
+                          witness replay/shrink on the failure path) *)
+}
+
 type failure = {
   witness : witness;       (** the shrunk witness (equal to [original] when
                                shrinking is disabled or replay failed) *)
@@ -58,6 +99,13 @@ type failure = {
   shrink_attempts : int;   (** candidate replays tried while shrinking *)
   trace : string option;   (** pretty-printed event trace of the shrunk
                                witness's replay ({!Model.Machine.Make.pp_trace}) *)
+  stats : stats;           (** the engine's counters up to the violation —
+                               failing runs report their exploration effort
+                               too, not just successful ones *)
+  diagnosis_elapsed : float;
+      (** wall-clock seconds spent replaying, shrinking and re-tracing the
+          witness, kept separate from [stats.elapsed] so engine timings
+          compare like with like *)
 }
 (** Everything known about one violation.  [witness.message] is the
     string earlier releases reported; {!failure_message} recovers it. *)
@@ -65,14 +113,6 @@ type failure = {
 val failure_message : failure -> string
 (** The violation message of the (shrunk) witness — string-compatible with
     the pre-witness API. *)
-
-type stats = {
-  configs : int;      (** configurations visited (dedup'd ones not counted) *)
-  probes : int;       (** solo/termination probes run *)
-  truncated : bool;   (** some branch hit the depth bound *)
-  dedup_hits : int;   (** revisits pruned by the transposition table *)
-  elapsed : float;    (** wall-clock seconds for the whole exploration *)
-}
 
 type outcome = (stats, failure) result
 (** [Error f] describes the first violation found, with its witness. *)
@@ -82,16 +122,19 @@ val run :
   ?solo_fuel:int ->
   ?engine:engine ->
   ?shrink:bool ->
+  ?reduce:reduction ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
   outcome
 (** [run proto ~inputs ~depth] explores the schedule tree to [depth] steps
     with the chosen [engine] (default [`Naive]).  Probing (default
-    [`Leaves]) is as in {!Modelcheck.explore}.  On a violation the witness
-    is replayed for confirmation and, unless [shrink:false], minimized by
-    greedy schedule-segment deletion (each candidate kept iff its replay
-    still raises the same violation kind). *)
+    [`Leaves]) is as in {!Modelcheck.explore}.  [reduce] (default
+    {!no_reduction}) layers commutativity and/or symmetry reduction over the
+    engine — see {!reduction} for the soundness contract.  On a violation
+    the witness is replayed for confirmation and, unless [shrink:false],
+    minimized by greedy schedule-segment deletion (each candidate kept iff
+    its replay still raises the same violation kind). *)
 
 type replay_report = {
   violation : (violation_kind * string) option;
@@ -115,6 +158,7 @@ val decidable_values :
   ?solo_fuel:int ->
   ?memo:bool ->
   ?shrink:bool ->
+  ?reduce:reduction ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -122,9 +166,11 @@ val decidable_values :
 (** The set of values some solo continuation decides from some configuration
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the same fingerprint transposition table as the
-    [`Memo] engine (disable with [memo:false] to get the naive walk); a
-    process that fails to decide solo is reported as an obstruction-freedom
-    failure with a witness. *)
+    [`Memo] engine (disable with [memo:false] to get the naive walk) and
+    honours [reduce] like {!run} — reductions preserve the decidable-value
+    set because every reachable configuration is still probed; a process
+    that fails to decide solo is reported as an obstruction-freedom failure
+    with a witness. *)
 
 type deepen_report = {
   depth_reached : int;   (** deepest completed iteration *)
@@ -140,6 +186,7 @@ val deepen :
   ?engine:engine ->
   ?budget:float ->
   ?shrink:bool ->
+  ?reduce:reduction ->
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->

@@ -32,6 +32,7 @@ val explore :
   ?solo_fuel:int ->
   ?engine:[ `Naive | `Memo | `Parallel of int ] ->
   ?shrink:bool ->
+  ?reduce:Explore.reduction ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -49,13 +50,16 @@ val explore :
     return the same verdict; [`Memo]/[`Parallel] visit fewer configurations
     and may report [truncated] differently at the same bound.  On a
     violation the reported witness has been replayed for confirmation and
-    (unless [shrink:false]) minimized by delta debugging.  This is a thin
+    (unless [shrink:false]) minimized by delta debugging.  [reduce] layers
+    commutativity/symmetry reduction over the engine (default off — see
+    {!Explore.reduction} for when each half is sound).  This is a thin
     wrapper over {!Explore.run}, which also exposes dedup/timing stats,
     witness replay ({!Explore.replay}) and iterative deepening
     ({!Explore.deepen}). *)
 
 val decidable_values :
   ?solo_fuel:int ->
+  ?reduce:Explore.reduction ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -64,7 +68,7 @@ val decidable_values :
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the [`Memo] engine's fingerprint transposition
     table ({!Explore.decidable_values}), so commuting schedules are walked
-    once. *)
+    once; [reduce] as in {!explore}. *)
 
 val decidable_values_naive :
   ?solo_fuel:int ->

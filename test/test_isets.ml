@@ -309,6 +309,128 @@ let test_reduction_rejects_outside_set () =
 
 (* --- uniformity sanity: names ------------------------------------------ *)
 
+(* --- commutes --------------------------------------------------------- *)
+
+module BW01 = Isets.Bits.Make (struct
+  let flavour = Isets.Bits.Write01
+end)
+
+module B2 = Isets.Buffer_set.Make (struct
+  let capacity = 2
+  let multi_assignment = false
+end)
+
+(* Soundness of each [commutes] predicate on sample cells: a pair declared
+   independent must leave the cell in the same state and return the same
+   result to each invoker in both orders.  (The converse — missed commuting
+   pairs — only costs pruning, so it is not checked exhaustively; a few
+   known-commuting pairs are asserted directly below.) *)
+let check_commutes_exact (type c o) name
+    (module I : Model.Iset.S with type cell = c and type op = o) ops cells =
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if I.commutes a b then begin
+                let c1, ra1 = I.apply a cell in
+                let c1, rb1 = I.apply b c1 in
+                let c2, rb2 = I.apply b cell in
+                let c2, ra2 = I.apply a c2 in
+                let label =
+                  Format.asprintf "%s: %a / %a on %a" name I.pp_op a I.pp_op b I.pp_cell
+                    cell
+                in
+                Alcotest.(check bool) (label ^ ": same cell") true (I.equal_cell c1 c2);
+                Alcotest.(check bool) (label ^ ": same results") true
+                  (ra1 = ra2 && rb1 = rb2)
+              end)
+            ops)
+        ops)
+    cells
+
+let test_commutes_sound () =
+  check_commutes_exact "rw"
+    (module Isets.Rw)
+    [ Isets.Rw.Read; Write (Value.Int 1); Write (Value.Int 2) ]
+    [ Value.Bot; Value.Int 1; Value.Int 2 ];
+  check_commutes_exact "swap"
+    (module Isets.Swap)
+    [ Isets.Swap.Read; Swap (Value.Int 1); Swap (Value.Int 2) ]
+    [ Value.Bot; Value.Int 1 ];
+  check_commutes_exact "cas"
+    (module Isets.Cas)
+    [
+      Isets.Cas.Cas (Value.Bot, Value.Int 1);
+      Cas (Value.Int 1, Value.Int 2);
+      Cas (Value.Bot, Value.Bot);
+    ]
+    [ Value.Bot; Value.Int 1 ];
+  check_commutes_exact "maxreg"
+    (module Isets.Maxreg)
+    [ Isets.Maxreg.Read_max; Write_max (b 1); Write_max (b 4) ]
+    [ b 0; b 2; b 5 ];
+  check_commutes_exact "arith-add"
+    (module Isets.Arith.Add)
+    [ Isets.Arith.Add.Read; Add (b 1); Add (b 3) ]
+    [ b 0; b 2 ];
+  check_commutes_exact "faa"
+    (module Isets.Arith.Faa)
+    [ Isets.Arith.Faa.Fetch_add (b 0); Fetch_add (b 1) ]
+    [ b 0; b 2 ];
+  check_commutes_exact "dec+mul"
+    (module Isets.Arith.Decmul)
+    [ Isets.Arith.Decmul.Read; Decrement; Multiply 3 ]
+    [ b 1; b 4 ];
+  check_commutes_exact "incdec"
+    (module Isets.Incdec)
+    [ Isets.Incdec.Read; Write (b 2); Increment; Decrement ]
+    [ b 0; b 3 ];
+  check_commutes_exact "bits-write01"
+    (module BW01)
+    [ Isets.Bits.Read; Write0; Write1 ]
+    [ false; true ];
+  check_commutes_exact "buffer-2"
+    (module B2)
+    [ Isets.Buffer_set.Buf_read; Buf_write (Value.Int 1); Buf_write (Value.Int 2) ]
+    [ []; [ Value.Int 1 ] ];
+  check_commutes_exact "hetero"
+    (module Isets.Hetero_buffer)
+    [
+      Isets.Hetero_buffer.Buf_read 2;
+      Buf_write (2, Value.Int 1);
+      Buf_write (2, Value.Int 2);
+    ]
+    [ (0, []); (2, [ Value.Int 1 ]) ]
+
+let test_commutes_pairs () =
+  (* blind symmetric updates commute *)
+  Alcotest.(check bool) "write-max pair" true
+    Isets.Maxreg.(commutes (Write_max (b 1)) (Write_max (b 9)));
+  Alcotest.(check bool) "add pair" true
+    Isets.Arith.Add.(commutes (Add (b 1)) (Add (b 2)));
+  Alcotest.(check bool) "inc/dec" true Isets.Incdec.(commutes Increment Decrement);
+  (* returning the old value breaks independence *)
+  Alcotest.(check bool) "swap pair" false
+    Isets.Swap.(commutes (Swap (Value.Int 1)) (Swap (Value.Int 1)));
+  Alcotest.(check bool) "fetch-add pair" false
+    Isets.Arith.Faa.(commutes (Fetch_add (b 1)) (Fetch_add (b 2)));
+  Alcotest.(check bool) "cas pair" false
+    Isets.Cas.(commutes (Cas (Value.Bot, Value.Int 1)) (Cas (Value.Bot, Value.Int 1)));
+  (* distinct written values are order-sensitive *)
+  Alcotest.(check bool) "rw distinct writes" false
+    Isets.Rw.(commutes (Write (Value.Int 1)) (Write (Value.Int 2)));
+  Alcotest.(check bool) "rw equal writes" true
+    Isets.Rw.(commutes (Write (Value.Int 1)) (Write (Value.Int 1)));
+  (* mixed decrement/multiply is order-sensitive *)
+  Alcotest.(check bool) "dec vs mul" false
+    Isets.Arith.Decmul.(commutes Decrement (Multiply 3));
+  (* trivial ops always commute (the contract documented in Iset.S) *)
+  Alcotest.(check bool) "reads" true Isets.Rw.(commutes Read Read);
+  Alcotest.(check bool) "trivial cas" true
+    Isets.Cas.(commutes (Cas (Value.Bot, Value.Bot)) (Cas (Value.Int 1, Value.Int 1)))
+
 let test_names () =
   Alcotest.(check string) "rw" "{read(), write(x)}" Isets.Rw.name;
   Alcotest.(check string) "swap" "{read(), swap(x)}" Isets.Swap.name;
@@ -338,6 +460,8 @@ let () =
           Alcotest.test_case "1-buffer is a register" `Quick test_buffer_one_is_register;
           Alcotest.test_case "buffer capacity validation" `Quick
             test_buffer_capacity_validation;
+          Alcotest.test_case "commutes is exact" `Quick test_commutes_sound;
+          Alcotest.test_case "commutes known pairs" `Quick test_commutes_pairs;
           Alcotest.test_case "names" `Quick test_names;
         ] );
       ( "buffered reduction (Sec 6.2 remark)",

@@ -14,6 +14,9 @@ module Cell = struct
   let init = 0
   let apply op c = match op with Read -> (c, c) | Write x -> (x, c)
   let trivial = function Read -> true | Write _ -> false
+
+  (* this Write returns the old cell, so only read pairs commute *)
+  let commutes a b = trivial a && trivial b
   let multi_assignment = false
   let equal_cell = Int.equal
   let hash_cell c = c
@@ -214,6 +217,75 @@ let test_fingerprint_init_write () =
     "init vs non-init write differs" true
     (M.fingerprint (at 5 Cell.init) <> M.fingerprint (at 5 1))
 
+let test_canonical_fingerprint_symmetry () =
+  (* Two processes running the same program: stepping p0 first and stepping
+     p1 first yield configurations that are process permutations of each
+     other.  The plain fingerprint tells them apart (per-pid histories live
+     at different indices); the canonical one — the basis of the explorer's
+     [~symmetric] reduction — identifies them when the inputs agree. *)
+  let prog _pid =
+    let* _ = read 0 in
+    let* _ = read 0 in
+    Proc.return 0
+  in
+  let cfg = M.make ~n:2 prog in
+  let a = M.step cfg 0 and b = M.step cfg 1 in
+  Alcotest.(check bool)
+    "plain fingerprints differ" true
+    (M.fingerprint a <> M.fingerprint b);
+  Alcotest.(check int)
+    "canonical fingerprints collide under equal inputs"
+    (M.canonical_fingerprint ~inputs:[| 7; 7 |] a)
+    (M.canonical_fingerprint ~inputs:[| 7; 7 |] b);
+  (* with distinct inputs the permutation is no longer a symmetry *)
+  Alcotest.(check bool)
+    "distinct inputs are not conflated" true
+    (M.canonical_fingerprint ~inputs:[| 1; 2 |] a
+     <> M.canonical_fingerprint ~inputs:[| 1; 2 |] b)
+
+let test_canonical_fingerprint_arity () =
+  let cfg = M.make ~n:2 (fun _ -> Proc.return 0) in
+  Alcotest.check_raises "inputs length mismatch"
+    (Invalid_argument "Machine.canonical_fingerprint: inputs length mismatch")
+    (fun () -> ignore (M.canonical_fingerprint ~inputs:[| 0 |] cfg))
+
+let test_canonical_fingerprint_asymmetric_conflation () =
+  (* Why [~symmetric] reduction is opt-in: for a pid-DEPENDENT program the
+     canonical fingerprint conflates behaviourally different configurations.
+     p0 needs three reads to decide, p1 only two; after one step by either
+     process the per-pid (input, history, decision) components form the same
+     multiset, so the two configurations canonicalize identically — yet p1's
+     solo distance to a decision differs between them.  An explorer keyed on
+     the canonical fingerprint would prune one of the two, which is exactly
+     the unsoundness the documentation warns about. *)
+  let prog pid =
+    if pid = 0 then
+      let* _ = read 0 in
+      let* _ = read 0 in
+      let* _ = read 0 in
+      Proc.return 0
+    else
+      let* _ = read 0 in
+      let* _ = read 0 in
+      Proc.return 0
+  in
+  let cfg = M.make ~n:2 prog in
+  let a = M.step cfg 0 (* p0: 2 reads left, p1: 2 *) in
+  let b = M.step cfg 1 (* p0: 3 reads left, p1: 1 *) in
+  Alcotest.(check int)
+    "canonical fingerprints conflate the asymmetric pair"
+    (M.canonical_fingerprint ~inputs:[| 0; 0 |] a)
+    (M.canonical_fingerprint ~inputs:[| 0; 0 |] b);
+  let solo_steps cfg pid =
+    let rec go cfg k =
+      if M.decision cfg pid <> None then k else go (M.step cfg pid) (k + 1)
+    in
+    go cfg 0
+  in
+  Alcotest.(check bool)
+    "yet p1's solo distance differs" true
+    (solo_steps a 1 <> solo_steps b 1)
+
 let test_run_fuel () =
   let rec spin () = Proc.bind (read 0) (fun _ -> spin ()) in
   let cfg = M.make ~n:1 (fun _ -> spin ()) in
@@ -370,6 +442,29 @@ let test_sched_random_then_sequential () =
   let tail = List.filteri (fun i _ -> i >= 5) t in
   List.iter (fun p -> Alcotest.(check int) "sequential tail" 0 p) tail
 
+let test_sched_fair_debt_survives_filtering () =
+  (* Regression: the debt ledger must keep entries for pids absent from the
+     current running list.  With bound = 1 every running pid is overdue, so
+     the most-indebted one is picked deterministically (the random roll is
+     never consulted).  p2 sits out step 2; the debt it earned at step 1 must
+     survive so that it — not p1 — outranks everyone by step 4.  The buggy
+     scheduler rebuilt the ledger from the running list alone, zeroing p2's
+     debt and picking [0; 1; 0; 1]. *)
+  let feed = [ [ 0; 1; 2 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 0; 1; 2 ] ] in
+  let _, picks =
+    List.fold_left
+      (fun (sched, acc) running ->
+        match Sched.next sched ~running ~step:(List.length acc) with
+        | None -> Alcotest.fail "fair returned None on nonempty running"
+        | Some (pid, sched') -> (sched', pid :: acc))
+      (Sched.fair ~bound:1 ~seed:0, [])
+      feed
+  in
+  Alcotest.(check (list int))
+    "debt survives a filtered step"
+    [ 0; 1; 0; 2 ]
+    (List.rev picks)
+
 (* --- traces -------------------------------------------------------------- *)
 
 let test_trace_records_steps () =
@@ -447,6 +542,12 @@ let () =
           Alcotest.test_case "fold_cells" `Quick test_fold_cells;
           Alcotest.test_case "fingerprint skips init-valued cells" `Quick
             test_fingerprint_init_write;
+          Alcotest.test_case "canonical fingerprint symmetry" `Quick
+            test_canonical_fingerprint_symmetry;
+          Alcotest.test_case "canonical fingerprint arity" `Quick
+            test_canonical_fingerprint_arity;
+          Alcotest.test_case "canonical fingerprint conflates asymmetric" `Quick
+            test_canonical_fingerprint_asymmetric_conflation;
           Alcotest.test_case "fuel" `Quick test_run_fuel;
           Alcotest.test_case "trace records steps" `Quick test_trace_records_steps;
         ] );
@@ -462,6 +563,8 @@ let () =
           Alcotest.test_case "alternate" `Quick test_sched_alternate;
           Alcotest.test_case "fair" `Quick test_sched_fair;
           Alcotest.test_case "fair tight bounds" `Quick test_sched_fair_tight_bounds;
+          Alcotest.test_case "fair debt survives filtering" `Quick
+            test_sched_fair_debt_survives_filtering;
           Alcotest.test_case "excluding and phased" `Quick test_sched_excluding_and_phased;
           Alcotest.test_case "phased budgets" `Quick test_sched_phased_budgets;
           Alcotest.test_case "alternate skips decided" `Quick

@@ -405,6 +405,142 @@ let test_deepen_completes () =
     Alcotest.(check int) "depth reached" 2 r.Explore.depth_reached
   | Error f -> Alcotest.fail (Explore.failure_message f)
 
+(* 15. Reduction soundness, differentially.  The commutativity half (sleep
+   sets) preserves the verdict for EVERY protocol; the symmetry half only
+   for pid-symmetric ones, so it is exercised on those alone.  Every
+   (protocol, inputs, reduction, engine) cell must match the plain Naive
+   verdict — same outcome class AND same decidable-value set. *)
+let reductions =
+  [
+    ("none", Explore.no_reduction);
+    ("commute", { Explore.commute = true; symmetric = false });
+    ("symmetric", { Explore.commute = false; symmetric = true });
+    ("full", Explore.full_reduction);
+  ]
+
+let symmetric_cases =
+  [
+    ("cas unanimous", Consensus.Cas_protocol.protocol, [| 1; 1; 1 |], 6);
+    ("cas mixed", Consensus.Cas_protocol.protocol, [| 0; 1; 1 |], 6);
+    ("maxreg unanimous", Consensus.Maxreg_protocol.protocol, [| 1; 1; 1 |], 6);
+    ("maxreg mixed", Consensus.Maxreg_protocol.protocol, [| 0; 1; 1 |], 6);
+    ("arith-add mixed", Consensus.Arith_protocols.add, [| 0; 1; 1 |], 6);
+    ("tug-of-war mixed", Consensus.Tugofwar_protocol.binary, [| 0; 1; 1 |], 6);
+  ]
+
+(* commute is sound for pid-dependent protocols too — including broken ones,
+   where the violation must survive the pruning *)
+let commute_only_cases =
+  [
+    ("rw", Consensus.Rw_protocol.protocol, [| 0; 1 |], 7);
+    ("swap", Consensus.Swap_protocol.protocol, [| 0; 1 |], 7);
+    ("disagree", broken_disagree, [| 0; 1 |], 3);
+    ("invalid", broken_invalid, [| 0; 1 |], 3);
+  ]
+
+let test_reduce_differential () =
+  let verdict ?(reduce = Explore.no_reduction) engine proto inputs depth =
+    outcome_class
+      (Modelcheck.explore ~probe:`Everywhere ~engine ~reduce proto ~inputs ~depth)
+  in
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      let reference = verdict `Naive proto inputs depth in
+      List.iter
+        (fun (rname, reduce) ->
+          List.iter
+            (fun (ename, engine) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: %s/%s vs plain naive" name ename rname)
+                reference
+                (verdict ~reduce engine proto inputs depth))
+            engines)
+        reductions)
+    symmetric_cases;
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      let reference = verdict `Naive proto inputs depth in
+      let reduce = { Explore.commute = true; symmetric = false } in
+      List.iter
+        (fun (ename, engine) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s/commute vs plain naive" name ename)
+            reference
+            (verdict ~reduce engine proto inputs depth))
+        engines)
+    commute_only_cases
+
+(* 16. Reduction preserves the decidable-value sets (bivalence analysis),
+   not just the ok/violation verdict. *)
+let test_reduce_decidable_values () =
+  let cases =
+    [
+      ("maxreg unanimous", Consensus.Maxreg_protocol.protocol, [| 1; 1 |], 5);
+      ("maxreg mixed", Consensus.Maxreg_protocol.protocol, [| 0; 1 |], 4);
+      ("cas mixed", Consensus.Cas_protocol.protocol, [| 0; 1 |], 4);
+      ("arith-add n=3", Consensus.Arith_protocols.add, [| 1; 1; 1 |], 5);
+    ]
+  in
+  List.iter
+    (fun (name, proto, inputs, depth) ->
+      let reference = Modelcheck.decidable_values_naive proto ~inputs ~depth in
+      List.iter
+        (fun (rname, reduce) ->
+          match (Modelcheck.decidable_values ~reduce proto ~inputs ~depth, reference) with
+          | Ok got, Ok want ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: %s value set" name rname)
+              want got
+          | Error e, _ ->
+            Alcotest.fail (Printf.sprintf "%s: %s walk failed: %s" name rname e)
+          | _, Error e -> Alcotest.fail (name ^ ": naive walk failed: " ^ e))
+        reductions)
+    cases
+
+(* 17. The reduction earns its keep: under unanimous inputs symmetry
+   collapses the transposition table by >= 3x on arith-add, and sleep sets
+   actually prune transitions (the counter moves) while staying silent when
+   the reduction is off. *)
+let test_reduce_effectiveness () =
+  let proto = Consensus.Arith_protocols.add and inputs = [| 1; 1; 1 |] and depth = 8 in
+  let run reduce =
+    match Explore.run ~probe:`Leaves ~engine:`Memo ~reduce proto ~inputs ~depth with
+    | Ok s -> s
+    | Error f -> Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
+  in
+  let plain = run Explore.no_reduction in
+  let full = run Explore.full_reduction in
+  let commute = run { Explore.commute = true; symmetric = false } in
+  Alcotest.(check bool)
+    "symmetry collapses the table >= 3x" true
+    (plain.Explore.configs >= 3 * full.Explore.configs);
+  Alcotest.(check bool)
+    "sleep sets prune transitions" true
+    (commute.Explore.sleep_pruned > 0);
+  Alcotest.(check int) "no sleep pruning when off" 0 plain.Explore.sleep_pruned
+
+(* 18. Failing runs report their exploration effort and keep engine time
+   separate from witness diagnosis time. *)
+let test_failure_reports_stats () =
+  List.iter
+    (fun (ename, engine) ->
+      match
+        Explore.run ~probe:`Everywhere ~solo_fuel:1_000 ~engine broken_disagree
+          ~inputs:[| 0; 1 |] ~depth:3
+      with
+      | Ok _ -> Alcotest.fail (ename ^ ": violation not detected")
+      | Error f ->
+        Alcotest.(check bool)
+          (ename ^ ": engine stats attached") true
+          (f.Explore.stats.Explore.configs > 0);
+        Alcotest.(check bool)
+          (ename ^ ": engine time non-negative") true
+          (f.Explore.stats.Explore.elapsed >= 0.);
+        Alcotest.(check bool)
+          (ename ^ ": diagnosis time non-negative") true
+          (f.Explore.diagnosis_elapsed >= 0.))
+    engines
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -442,5 +578,14 @@ let () =
             test_probe_finish_bounded;
           Alcotest.test_case "decidable_values memo differential" `Quick
             test_decidable_memo_differential;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "reduced runs match plain naive" `Quick
+            test_reduce_differential;
+          Alcotest.test_case "reduction preserves decidable values" `Quick
+            test_reduce_decidable_values;
+          Alcotest.test_case "reduction effectiveness" `Quick test_reduce_effectiveness;
+          Alcotest.test_case "failures carry stats" `Quick test_failure_reports_stats;
         ] );
     ]
