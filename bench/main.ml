@@ -11,6 +11,7 @@
      BUF     Section 6 — ⌈n/ℓ⌉ capacity sweep
      MULTI   Section 7 — multiple assignment bounds
      ABL     ablations: racing decision threshold, scan stability
+     LINT    static-analysis passes: symmetry certification, registry lint
      TIME    bechamel wall-clock per protocol *)
 
 let section title =
@@ -713,6 +714,54 @@ let witnesses ?(smoke = false) () =
         engines)
     victims
 
+(* -------------------------------------------------------------- LINT -- *)
+
+(* The static-analysis passes: per-row symmetry certification timing (and the
+   effect of the run cache), then the full-registry lint with its findings
+   summary — the same pass CI runs via `space_hierarchy lint --strict`. *)
+let lint_bench ~smoke () =
+  section "LINT: protocol & iset linter (certify / contracts / space claims)";
+  let ns = if smoke then [ 2 ] else [ 2; 3 ] in
+  let rows = Hierarchy.rows () in
+  Printf.printf "%-22s %-44s %10s %10s\n" "row" "symmetry verdict (n=2)" "cold ms"
+    "cached ms";
+  List.iter
+    (fun (row : Hierarchy.row) ->
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let v = f () in
+        (v, (Unix.gettimeofday () -. t0) *. 1e3)
+      in
+      Hashtbl.reset Analysis.Symmetry.run_cache;
+      let inputs = [| 0; 0 |] in
+      let verdict, cold =
+        time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
+      in
+      let _, cached =
+        time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
+      in
+      Printf.printf "%-22s %-44s %10.2f %10.3f\n" row.id
+        (Format.asprintf "%a" Analysis.Symmetry.pp_verdict verdict)
+        cold cached)
+    rows;
+  let t0 = Unix.gettimeofday () in
+  let findings = Analysis.Lint.run ~ns () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "\nfull registry lint (ns = %s): %d findings, %d errors, %d warnings in %.2f s\n"
+    (String.concat "," (List.map string_of_int ns))
+    (List.length findings)
+    (Analysis.Report.errors findings)
+    (Analysis.Report.warnings findings)
+    dt;
+  let t0 = Unix.gettimeofday () in
+  let self = Analysis.Lint.selftest () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "mutant selftest: %d findings, %d escapes in %.2f s\n"
+    (List.length self)
+    (Analysis.Report.errors self)
+    dt
+
 (* -------------------------------------------------------------- TIME -- *)
 
 let bechamel_suite () =
@@ -803,6 +852,7 @@ let sections : (string * (smoke:bool -> unit)) list =
     ("MC", fun ~smoke -> mc ~smoke ());
     ("RED", fun ~smoke -> red ~smoke ());
     ("WIT", fun ~smoke -> witnesses ~smoke ());
+    ("LINT", fun ~smoke -> lint_bench ~smoke ());
     ("TIME", fun ~smoke:_ -> bechamel_suite ());
   ]
 

@@ -64,7 +64,7 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere engine domains trace no_shrink reduce =
+  let run ells id n depth everywhere engine domains trace no_shrink reduce force =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -86,13 +86,27 @@ let modelcheck_cmd =
           | "full" -> Ok Explore.full_reduction
           | r -> Error (Printf.sprintf "unknown reduction %S (none|commute|symmetric|full)" r)
         in
+        let notify_symmetry verdict =
+          Format.printf "symmetry certificate: %a%s@." Analysis.Symmetry.pp_verdict
+            verdict
+            (if force && not (Analysis.Symmetry.certified verdict) then
+               " — proceeding anyway (--force; reduction may be unsound)"
+             else "")
+        in
         match (engine, reduce) with
         | Error e, _ | _, Error e -> `Error (false, e)
         | Ok engine, Ok reduce ->
           (match
-             Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce row.protocol
-               ~inputs ~depth
+             Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce ~force
+               ~notify_symmetry row.protocol ~inputs ~depth
            with
+           | exception Explore.Uncertified_symmetry { protocol; verdict } ->
+             `Error
+               ( false,
+                 Format.asprintf
+                   "symmetric reduction refused for %s: %a@.(use --force to run the \
+                    reduction anyway, at your own risk)"
+                   protocol Analysis.Symmetry.pp_verdict verdict )
            | Ok s ->
              Printf.printf
                "%s: OK — %d configurations, %d probes, %d dedup hits, %d sleep-pruned, \
@@ -160,9 +174,20 @@ let modelcheck_cmd =
     let doc =
       "State-space reduction: none, commute (sleep-set commutativity, sound for every \
        protocol), symmetric (process-symmetry fingerprints, sound only for \
-       pid-symmetric protocols), or full (both)."
+       pid-symmetric protocols), or full (both).  Symmetric reduction is gated on the \
+       pid-symmetry certifier (see the lint command): the run prints the certificate \
+       verdict and refuses uncertified protocols unless --force is given."
     in
     Arg.(value & opt string "none" & info [ "reduce" ] ~docv:"REDUCTION" ~doc)
+  in
+  let force_arg =
+    let doc =
+      "Run a symmetric reduction even when the certifier does not certify the protocol \
+       pid-symmetric.  The exploration may then conflate configurations the protocol \
+       distinguishes and miss violations — use only to experiment with what the \
+       (unsound) reduction would prune."
+    in
+    Arg.(value & flag & info [ "force" ] ~doc)
   in
   Cmd.v
     (Cmd.info "modelcheck"
@@ -170,7 +195,87 @@ let modelcheck_cmd =
     Term.(
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
-       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg))
+       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg))
+
+let lint_cmd =
+  let run ells ns ids strict json selftest mutants =
+    let findings =
+      if selftest then Ok (Analysis.Lint.selftest ())
+      else if mutants then
+        Ok
+          (List.concat_map
+             (fun (m : Analysis.Mutants.iset_mutant) -> Analysis.Lint.lint_iset m.iset)
+             Analysis.Mutants.iset_mutants
+          @ List.concat_map
+              (fun (m : Analysis.Mutants.proto_mutant) ->
+                Analysis.Lint.lint_protocol ~ns m.proto)
+              Analysis.Mutants.proto_mutants)
+      else
+        match Analysis.Lint.run ~ells ~ns ~ids () with
+        | fs -> Ok fs
+        | exception Invalid_argument msg -> Error msg
+    in
+    match findings with
+    | Error msg -> `Error (false, msg)
+    | Ok findings ->
+      let errors = Analysis.Report.errors findings in
+      let warnings = Analysis.Report.warnings findings in
+      if json then print_endline (Analysis.Report.json_of_findings findings)
+      else begin
+        List.iter (fun f -> Format.printf "%a@." Analysis.Report.pp_finding f) findings;
+        Printf.printf "%d finding%s: %d error%s, %d warning%s\n" (List.length findings)
+          (if List.length findings = 1 then "" else "s")
+          errors
+          (if errors = 1 then "" else "s")
+          warnings
+          (if warnings = 1 then "" else "s")
+      end;
+      if strict && errors > 0 then
+        `Error (false, Printf.sprintf "lint --strict: %d error finding(s)" errors)
+      else `Ok ()
+  in
+  let lint_ns_arg =
+    let doc = "Process counts to certify and space-check protocols at." in
+    Arg.(value & opt (list int) [ 2; 3 ] & info [ "ns" ] ~docv:"N1,N2,…" ~doc)
+  in
+  let rows_arg =
+    let doc = "Rows to lint (default: all registered rows); e.g. cas max-register." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ROW…" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero if any Error-severity finding is reported." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings as a JSON array instead of aligned text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let selftest_arg =
+    let doc =
+      "Lint the mutant regression corpus and check every deliberately broken \
+       instruction set and protocol trips its expected rule; an escaped mutant is an \
+       Error."
+    in
+    Arg.(value & flag & info [ "selftest" ] ~doc)
+  in
+  let mutants_arg =
+    let doc =
+      "Lint the mutant corpus as if it were real code (expected to fail --strict) — \
+       demonstrates what each rule's report looks like."
+    in
+    Arg.(value & flag & info [ "mutants" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse instruction sets and protocols: property-check each \
+          iset's declared commutativity/triviality/hashing contracts, certify each \
+          protocol pid-symmetric (or not) by symbolic unfolding, and check declared \
+          Table-1 space claims against concrete, exhaustive and symbolic footprints.")
+    Term.(
+      ret
+        (const run $ ells_arg $ lint_ns_arg $ rows_arg $ strict_arg $ json_arg
+       $ selftest_arg $ mutants_arg))
 
 let growth_cmd =
   let run rounds n =
@@ -320,6 +425,7 @@ let () =
             table_cmd;
             run_cmd;
             modelcheck_cmd;
+            lint_cmd;
             growth_cmd;
             adversary_cmd;
             synth_cmd;

@@ -1,0 +1,250 @@
+(* Regression corpus for the linter: deliberately broken instruction sets and
+   protocols, each tagged with the rule it must trip.  [Lint.selftest] runs
+   the linter over this corpus and fails if any mutant escapes — so a future
+   refactor that quietly blinds a check shows up as a test failure, not as a
+   model checker silently trusting a broken contract.
+
+   The mutants are built around [Sound_register], a deliberately boring
+   read/write register (writes return a unit-like [0], so equal-value writes
+   genuinely commute) that the linter passes clean; each mutant overrides
+   exactly one declaration. *)
+
+open Model
+
+module Sound_register = struct
+  type cell = int
+  type op = Read | Write of int
+  type result = int
+
+  let name = "mutant-base {read(), write(x)}"
+  let init = 0
+  let apply op c = match op with Read -> (c, c) | Write x -> (x, 0)
+  let trivial = function Read -> true | Write _ -> false
+
+  let commutes a b =
+    match (a, b) with
+    | Read, Read -> true
+    | Write x, Write y -> x = y
+    | _ -> false
+
+  let multi_assignment = false
+  let equal_cell = Int.equal
+  let hash_cell c = c
+  let hash_result r = r
+  let pp_cell = Format.pp_print_int
+  let pp_result = Format.pp_print_int
+
+  let pp_op ppf = function
+    | Read -> Format.fprintf ppf "read()"
+    | Write x -> Format.fprintf ppf "write(%d)" x
+
+  let sample_cells = Iset.memo (fun () -> [ 0; 1; 2 ])
+  let sample_ops = Iset.memo (fun () -> [ Read; Write 0; Write 1; Write 2 ])
+end
+
+module Commutes_unsound = struct
+  include Sound_register
+
+  let name = "mutant: order-sensitive writes declared commuting"
+  let commutes a b = match (a, b) with Write _, Write _ -> true | _ -> commutes a b
+end
+
+module Commutes_asymmetric = struct
+  include Sound_register
+
+  let name = "mutant: commutes not symmetric"
+  let commutes a b = match (a, b) with Read, Write _ -> true | _ -> commutes a b
+end
+
+module Trivial_unsound = struct
+  include Sound_register
+
+  let name = "mutant: writes declared trivial"
+  let trivial = function Read | Write _ -> true
+end
+
+module Trivial_pair_noncommuting = struct
+  include Sound_register
+
+  let name = "mutant: trivial pair declared non-commuting"
+  let commutes a b = match (a, b) with Read, Read -> false | _ -> commutes a b
+end
+
+module Hash_cell_incoherent = struct
+  include Sound_register
+
+  let name = "mutant: equal_cell coarser than hash_cell"
+
+  (* cells 0 and 2 are now "equal" but still hash to 0 and 2 *)
+  let equal_cell a b = a mod 2 = b mod 2
+end
+
+module Equal_cell_irreflexive = struct
+  include Sound_register
+
+  let name = "mutant: equal_cell is irreflexive"
+  let equal_cell a b = a <> b
+end
+
+module Hash_result_incoherent = struct
+  type cell = int
+  type op = Read | Write of int
+
+  (* the [tag] is invisible to [pp_result] but visible to [hash_result]:
+     read-of-0 and any write print identically yet hash apart *)
+  type result = { v : int; tag : int }
+
+  let name = "mutant: hash_result distinguishes equal-printing results"
+  let init = 0
+
+  let apply op c =
+    match op with
+    | Read -> (c, { v = c; tag = 0 })
+    | Write x -> (x, { v = 0; tag = 1 })
+
+  let trivial = function Read -> true | Write _ -> false
+
+  let commutes a b =
+    match (a, b) with
+    | Read, Read -> true
+    | Write x, Write y -> x = y
+    | _ -> false
+
+  let multi_assignment = false
+  let equal_cell = Int.equal
+  let hash_cell c = c
+  let hash_result r = (r.v * 31) + r.tag
+  let pp_cell = Format.pp_print_int
+  let pp_result ppf r = Format.pp_print_int ppf r.v
+
+  let pp_op ppf = function
+    | Read -> Format.fprintf ppf "read()"
+    | Write x -> Format.fprintf ppf "write(%d)" x
+
+  let sample_cells = Iset.memo (fun () -> [ 0; 1; 2 ])
+  let sample_ops = Iset.memo (fun () -> [ Read; Write 0; Write 1; Write 2 ])
+end
+
+type iset_mutant = {
+  label : string;
+  expected_rule : string;  (** an [Error] finding with this rule must fire *)
+  iset : (module Iset.S);
+}
+
+let iset_mutants =
+  [
+    { label = "commutes-unsound"; expected_rule = "commutes-unsound";
+      iset = (module Commutes_unsound : Iset.S) };
+    { label = "commutes-asymmetric"; expected_rule = "commutes-asymmetric";
+      iset = (module Commutes_asymmetric : Iset.S) };
+    { label = "trivial-unsound"; expected_rule = "trivial-unsound";
+      iset = (module Trivial_unsound : Iset.S) };
+    { label = "trivial-pair-noncommuting"; expected_rule = "trivial-pair-noncommuting";
+      iset = (module Trivial_pair_noncommuting : Iset.S) };
+    { label = "hash-cell-incoherent"; expected_rule = "hash-cell-incoherent";
+      iset = (module Hash_cell_incoherent : Iset.S) };
+    { label = "equal-cell-irreflexive"; expected_rule = "equal-cell-irreflexive";
+      iset = (module Equal_cell_irreflexive : Iset.S) };
+    { label = "hash-result-incoherent"; expected_rule = "hash-result-incoherent";
+      iset = (module Hash_result_incoherent : Iset.S) };
+  ]
+
+(* --- protocol mutants --------------------------------------------------- *)
+
+(* Declares one location, concretely touches two: the concrete space check
+   must flag it as an Error. *)
+module Space_overrun = struct
+  module I = Sound_register
+
+  let name = "mutant: declares 1 location, touches 2"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid:_ ~input =
+    let open Proc.Syntax in
+    let* _ = Proc.access 0 (I.Write input) in
+    let* _ = Proc.access 1 (I.Write input) in
+    Proc.return input
+end
+
+(* Touches the extra location only behind a read result (2) that no concrete
+   execution produces (nothing ever writes 2): concrete runs stay within the
+   claim, but the symbolic unfolding — which feeds all sampled results —
+   names the extra location and must Warn. *)
+module Space_symbolic_overrun = struct
+  module I = Sound_register
+
+  let name = "mutant: touches location 5 on an unreachable branch"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid:_ ~input =
+    let open Proc.Syntax in
+    let* v = Proc.access 0 I.Read in
+    if v = 2 then
+      let* _ = Proc.access 5 (I.Write input) in
+      Proc.return input
+    else Proc.return input
+end
+
+(* Pid-asymmetric in its memory accesses: each process writes to its own
+   location.  The symmetry certifier must return [Asymmetric]. *)
+module Pid_dependent_access = struct
+  module I = Sound_register
+
+  let name = "mutant: writes to location pid"
+  let locations ~n = Some n
+
+  let proc ~n:_ ~pid ~input =
+    let open Proc.Syntax in
+    let* _ = Proc.access pid (I.Write input) in
+    Proc.return input
+end
+
+(* Pid-asymmetric in its decision: accesses are uniform but the decision
+   leaks the pid. *)
+module Pid_dependent_decision = struct
+  module I = Sound_register
+
+  let name = "mutant: decides pid"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid ~input:_ =
+    let open Proc.Syntax in
+    let* _ = Proc.access 0 I.Read in
+    Proc.return pid
+end
+
+(* Positive control: pid plays no part at all, so the certifier must return
+   [Certified_symmetric] — if it cannot certify even this, it is broken. *)
+module Uniform = struct
+  module I = Sound_register
+
+  let name = "mutant-control: uniform reader"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid:_ ~input =
+    let open Proc.Syntax in
+    let* _ = Proc.access 0 I.Read in
+    Proc.return input
+end
+
+type proto_mutant = {
+  label : string;
+  expected_rule : string;
+  expected_severity : Report.severity;
+  proto : (module Consensus.Proto.S);
+}
+
+let proto_mutants =
+  [
+    { label = "space-overrun-concrete"; expected_rule = "space-claim-violated";
+      expected_severity = Report.Error;
+      proto = (module Space_overrun : Consensus.Proto.S) };
+    { label = "space-overrun-symbolic"; expected_rule = "space-claim-symbolic";
+      expected_severity = Report.Warning;
+      proto = (module Space_symbolic_overrun : Consensus.Proto.S) };
+  ]
+
+let asymmetric_access = (module Pid_dependent_access : Consensus.Proto.S)
+let asymmetric_decision = (module Pid_dependent_decision : Consensus.Proto.S)
+let symmetric_control = (module Uniform : Consensus.Proto.S)
+let sound_iset = (module Sound_register : Iset.S)

@@ -1,0 +1,53 @@
+(* Findings and reports emitted by the lint passes.  A finding is one
+   diagnostic: a severity, a stable rule identifier (machine-matchable), the
+   subject it is about (an instruction set or protocol name), and prose
+   detail.  Reports render as aligned text for humans and as JSON for CI. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type finding = {
+  severity : severity;
+  rule : string;
+  subject : string;
+  detail : string;
+}
+
+let finding severity ~rule ~subject fmt =
+  Format.kasprintf (fun detail -> { severity; rule; subject; detail }) fmt
+
+let count sev findings =
+  List.length (List.filter (fun f -> f.severity = sev) findings)
+
+let errors = count Error
+let warnings = count Warning
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%-7s %-26s %s: %s" (severity_name f.severity) f.rule f.subject
+    f.detail
+
+(* --- JSON rendering (no external dependency) --------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_finding f =
+  Printf.sprintf
+    "{\"severity\": \"%s\", \"rule\": \"%s\", \"subject\": \"%s\", \"detail\": \"%s\"}"
+    (severity_name f.severity) (json_escape f.rule) (json_escape f.subject)
+    (json_escape f.detail)
+
+let json_of_findings fs =
+  "[" ^ String.concat ", " (List.map json_of_finding fs) ^ "]"

@@ -1,0 +1,218 @@
+(* Pid-symmetry certification by lockstep symbolic unfolding.
+
+   [Machine.canonical_fingerprint] (and hence [Explore]'s [symmetric]
+   reduction) treats processes with equal inputs as interchangeable.  That is
+   sound only when the protocol's code is oblivious to [pid] given equal
+   inputs: both processes must issue the same accesses to the same locations
+   and decide the same values whenever they have observed the same results.
+
+   We certify this by unfolding the {!Model.Proc.t} free monad of
+   [proc ~pid:a ~input] and [proc ~pid:b ~input] in lockstep: at each [Step]
+   the two access lists must agree location-by-location and op-by-op
+   (compared on printed form — ops print injectively in this codebase); then
+   every enumerable result vector — results obtained by applying each op to
+   the instruction set's sampled cells — is fed to both continuations and
+   the comparison recurses.  Continuations that raise are compared on the
+   printed exception: protocols guard infeasible branches with
+   [invalid_arg], and two processes rejecting a branch identically is
+   symmetric behaviour.
+
+   The certificate is {e depth-bounded}: [Certified_symmetric { depth; _ }]
+   means the two processes are indistinguishable through [depth] steps each.
+   That is exactly what a bounded exploration needs — a run that gives no
+   process more than [depth] steps never observes behaviour beyond the
+   certified prefix — so reaching the depth limit with every branch matched
+   is a successful (bounded) certification, not a failure.  Protocols whose
+   retry loops never symbolically terminate (a tug-of-war process re-reads
+   until its round is decided, and the sampled results can keep it spinning
+   forever) still certify this way.
+
+   Exhausting the node or width budget is different: branches were left
+   {e unexplored} before the depth was covered, so nothing can be claimed
+   and the verdict is [Unknown] — never a certificate. *)
+
+type witness = { pid_a : int; pid_b : int; input : int; detail : string }
+
+type verdict =
+  | Certified_symmetric of { depth : int; pairs : int }
+      (** Every compared pair of unfoldings matched through [depth] steps
+          per process; [pairs] (pid-pair × input) combinations were
+          compared.  Sound for any exploration that gives no process more
+          than [depth] steps. *)
+  | Asymmetric of witness
+  | Unknown of string
+      (** Node or width budget exhausted before the depth was covered:
+          branches were left unexplored, so no claim is made. *)
+
+let pp_witness ppf w =
+  Format.fprintf ppf "pids %d/%d with input %d: %s" w.pid_a w.pid_b w.input w.detail
+
+let pp_verdict ppf = function
+  | Certified_symmetric { depth; pairs } ->
+    Format.fprintf ppf "certified pid-symmetric (depth %d, %d pair runs)" depth pairs
+  | Asymmetric w -> Format.fprintf ppf "ASYMMETRIC: %a" pp_witness w
+  | Unknown reason -> Format.fprintf ppf "unknown (%s)" reason
+
+let certified = function Certified_symmetric _ -> true | _ -> false
+
+let default_depth = 5
+let default_budget = 500_000
+let width_cap = 256
+
+exception Diverged of string
+exception Out_of_budget of string
+
+(* Compare the unfoldings of one pid pair at one shared input.  [Ok ()] when
+   all explored branches match. *)
+let certify_pair (module P : Consensus.Proto.S) ~n ~pid_a ~pid_b ~input ~depth
+    ~budget =
+  let module I = P.I in
+  let op_str o = Format.asprintf "%a" I.pp_op o in
+  let res_str r = Format.asprintf "%a" I.pp_result r in
+  (* Results an op can return, over the sampled cells, deduplicated on
+     printed form; memoized per op. *)
+  let results_tbl : (string, I.result list) Hashtbl.t = Hashtbl.create 16 in
+  let results_of op =
+    let key = op_str op in
+    match Hashtbl.find_opt results_tbl key with
+    | Some rs -> rs
+    | None ->
+      let all =
+        List.filter_map
+          (fun c -> try Some (snd (I.apply op c)) with _ -> None)
+          (I.sample_cells ())
+      in
+      let rs =
+        List.fold_left
+          (fun acc r ->
+            if List.exists (fun r' -> res_str r = res_str r') acc then acc else r :: acc)
+          [] all
+        |> List.rev
+      in
+      if rs = [] then
+        raise (Out_of_budget (Printf.sprintf "no sampled cell accepts %s" key));
+      Hashtbl.add results_tbl key rs;
+      rs
+  in
+  let cartesian lists =
+    List.fold_left
+      (fun acc l ->
+        let acc' =
+          List.concat_map (fun pre -> List.map (fun x -> pre @ [ x ]) l) acc
+        in
+        if List.length acc' > width_cap then
+          raise (Out_of_budget "result branching exceeds width cap");
+        acc')
+      [ [] ] lists
+  in
+  let feed k rs = try Ok (k rs) with e -> Error (Printexc.to_string e) in
+  let nodes = ref 0 in
+  let rec go d (ta : (I.op, I.result, int) Model.Proc.t) tb =
+    incr nodes;
+    if !nodes > budget then raise (Out_of_budget "node budget exceeded");
+    match (ta, tb) with
+    | Model.Proc.Done a, Model.Proc.Done b ->
+      if a <> b then
+        raise (Diverged (Printf.sprintf "decisions differ: %d vs %d" a b))
+    | Done a, Step _ ->
+      raise
+        (Diverged (Printf.sprintf "pid %d decides %d while pid %d accesses memory" pid_a a pid_b))
+    | Step _, Done b ->
+      raise
+        (Diverged (Printf.sprintf "pid %d decides %d while pid %d accesses memory" pid_b b pid_a))
+    | Step (aa, ka), Step (ab, kb) ->
+      let signature acc = List.map (fun (loc, op) -> (loc, op_str op)) acc in
+      let sa = signature aa and sb = signature ab in
+      if sa <> sb then
+        raise
+          (Diverged
+             (Printf.sprintf "access lists differ: [%s] vs [%s]"
+                (String.concat "; " (List.map (fun (l, o) -> Printf.sprintf "%d:%s" l o) sa))
+                (String.concat "; " (List.map (fun (l, o) -> Printf.sprintf "%d:%s" l o) sb))));
+      if aa = [] then () (* both blocked (loop_forever): symmetric *)
+      else if d = 0 then () (* matched through the whole certified depth *)
+      else
+        let vectors = cartesian (List.map (fun (_, op) -> results_of op) aa) in
+        List.iter
+          (fun rs ->
+            match (feed ka rs, feed kb rs) with
+            | Ok ta', Ok tb' -> go (d - 1) ta' tb'
+            | Error ea, Error eb ->
+              (* identical rejections of an infeasible branch are symmetric *)
+              if ea <> eb then
+                raise
+                  (Diverged
+                     (Printf.sprintf "continuations raise differently: %s vs %s" ea eb))
+            | Ok _, Error e ->
+              raise
+                (Diverged
+                   (Printf.sprintf "pid %d raises (%s) where pid %d continues" pid_b e pid_a))
+            | Error e, Ok _ ->
+              raise
+                (Diverged
+                   (Printf.sprintf "pid %d raises (%s) where pid %d continues" pid_a e pid_b)))
+          vectors
+  in
+  match go depth (P.proc ~n ~pid:pid_a ~input) (P.proc ~n ~pid:pid_b ~input) with
+  | () -> Ok ()
+  | exception Diverged detail -> Error (`Asymmetric { pid_a; pid_b; input; detail })
+  | exception Out_of_budget reason -> Error (`Unknown reason)
+  | exception e ->
+    Error (`Unknown (Printf.sprintf "unfolding raised %s" (Printexc.to_string e)))
+
+let certify_pairs (module P : Consensus.Proto.S) ~n ~depth ~budget pair_inputs =
+  let exception Stop of verdict in
+  try
+    let pairs = ref 0 in
+    List.iter
+      (fun (pid_a, pid_b, input) ->
+        incr pairs;
+        match certify_pair (module P) ~n ~pid_a ~pid_b ~input ~depth ~budget with
+        | Ok () -> ()
+        | Error (`Asymmetric w) -> raise (Stop (Asymmetric w))
+        | Error (`Unknown reason) -> raise (Stop (Unknown reason)))
+      pair_inputs;
+    Certified_symmetric { depth; pairs = !pairs }
+  with Stop v -> v
+
+(* Certify all pid pairs at every sampled input: the unconditional claim the
+   lint report makes about a protocol. *)
+let certify ?(depth = default_depth) ?(budget = default_budget) ?(inputs = [ 0; 1 ])
+    (module P : Consensus.Proto.S) ~n =
+  let pair_inputs =
+    List.concat_map
+      (fun input ->
+        List.concat
+          (List.init n (fun a -> List.init (n - a - 1) (fun d -> (a, a + d + 1, input)))))
+      inputs
+  in
+  certify_pairs (module P) ~n ~depth ~budget pair_inputs
+
+(* Certify exactly what one exploration run relies on: processes are only
+   conflated by [canonical_fingerprint] when their inputs are equal, so only
+   equal-input pid pairs need certificates.  No such pair (all inputs
+   distinct) certifies vacuously.  Memoized: the differential tests certify
+   each (protocol, inputs, depth) once across engines and reductions. *)
+let run_cache : (string, verdict) Hashtbl.t = Hashtbl.create 32
+
+let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
+    (module P : Consensus.Proto.S) ~inputs =
+  let n = Array.length inputs in
+  let key =
+    Printf.sprintf "%s|%d|%s|%d|%d" P.name n
+      (String.concat "," (List.map string_of_int (Array.to_list inputs)))
+      depth budget
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some v -> v
+  | None ->
+    let pair_inputs = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if inputs.(a) = inputs.(b) then
+          pair_inputs := (a, b, inputs.(a)) :: !pair_inputs
+      done
+    done;
+    let v = certify_pairs (module P) ~n ~depth ~budget (List.rev !pair_inputs) in
+    Hashtbl.add run_cache key v;
+    v

@@ -3,6 +3,10 @@ open Model
 (* Shared plumbing for instruction sets whose cells are integers. *)
 let big_result b = Value.Big b
 
+(* Shared cell sample for the integer-cell sets (the lint's bounded
+   enumerators); sets with a different natural range override it. *)
+let sample_ints is = List.map Bignum.of_int is
+
 module Add = struct
   type cell = Bignum.t
   type op = Read | Add of Bignum.t
@@ -32,6 +36,11 @@ module Add = struct
   let pp_op ppf = function
     | Read -> Format.pp_print_string ppf "read()"
     | Add x -> Format.fprintf ppf "add(%a)" Bignum.pp x
+
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 0; 1; 2; 5 ])
+
+  let sample_ops =
+    Iset.memo (fun () -> Read :: List.map (fun x -> Add x) (sample_ints [ 1; 2; 3 ]))
 
   let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
   let add loc x = Proc.map ignore (Proc.access loc (Add x))
@@ -70,6 +79,11 @@ module Mul = struct
     | Read -> Format.pp_print_string ppf "read()"
     | Mul x -> Format.fprintf ppf "multiply(%a)" Bignum.pp x
 
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 1; 2; 3; 6 ])
+
+  let sample_ops =
+    Iset.memo (fun () -> Read :: List.map (fun x -> Mul x) (sample_ints [ 2; 3; 5 ]))
+
   let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
   let mul loc x = Proc.map ignore (Proc.access loc (Mul x))
 end
@@ -104,6 +118,11 @@ module Setbit = struct
     | Read -> Format.pp_print_string ppf "read()"
     | Set_bit i -> Format.fprintf ppf "set-bit(%d)" i
 
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 0; 1; 2; 5 ])
+
+  let sample_ops =
+    Iset.memo (fun () -> [ Read; Set_bit 0; Set_bit 1; Set_bit 3 ])
+
   let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
   let set_bit loc i = Proc.map ignore (Proc.access loc (Set_bit i))
 end
@@ -131,6 +150,11 @@ module Faa = struct
   let pp_result = Value.pp
   let pp_op ppf (Fetch_add x) = Format.fprintf ppf "fetch-and-add(%a)" Bignum.pp x
 
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 0; 1; 2; 5 ])
+
+  let sample_ops =
+    Iset.memo (fun () -> List.map (fun x -> Fetch_add x) (sample_ints [ 0; 1; 2 ]))
+
   let fetch_add loc x = Proc.map Value.to_big_exn (Proc.access loc (Fetch_add x))
   let read loc = fetch_add loc Bignum.zero
 end
@@ -154,6 +178,11 @@ module Fam = struct
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
   let pp_op ppf (Fetch_mul x) = Format.fprintf ppf "fetch-and-multiply(%a)" Bignum.pp x
+
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 1; 2; 3; 6 ])
+
+  let sample_ops =
+    Iset.memo (fun () -> List.map (fun x -> Fetch_mul x) (sample_ints [ 1; 2; 3 ]))
 
   let fetch_mul loc x = Proc.map Value.to_big_exn (Proc.access loc (Fetch_mul x))
   let read loc = fetch_mul loc Bignum.one
@@ -194,6 +223,9 @@ module Decmul = struct
     | Decrement -> Format.pp_print_string ppf "decrement()"
     | Multiply x -> Format.fprintf ppf "multiply(%d)" x
 
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 1; 2; 3; 0; -1 ])
+  let sample_ops = Iset.memo (fun () -> [ Read; Decrement; Multiply 2; Multiply 3 ])
+
   let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
   let decrement loc = Proc.map ignore (Proc.access loc Decrement)
   let multiply loc x = Proc.map ignore (Proc.access loc (Multiply x))
@@ -229,6 +261,9 @@ module Faa2_tas = struct
   let pp_op ppf = function
     | Fetch_add2 -> Format.pp_print_string ppf "fetch-and-add(2)"
     | Tas -> Format.pp_print_string ppf "test-and-set()"
+
+  let sample_cells = Iset.memo (fun () -> sample_ints [ 0; 1; 2; 3 ])
+  let sample_ops = Iset.memo (fun () -> [ Fetch_add2; Tas ])
 
   let fetch_add2 loc = Proc.map Value.to_big_exn (Proc.access loc Fetch_add2)
   let tas loc = Proc.map Value.to_big_exn (Proc.access loc Tas)

@@ -64,6 +64,12 @@ struct
   let pp_cell ppf c = Format.pp_print_int ppf (if c then 1 else 0)
   let pp_result = Value.pp
 
+  let sample_cells = Iset.memo (fun () -> [ false; true ])
+
+  (* only the flavour's own instructions: [apply] rejects the others *)
+  let sample_ops =
+    Iset.memo (fun () -> List.filter allowed [ Read; Write0; Write1; Tas; Reset ])
+
   let read loc = Proc.map Value.to_int_exn (Proc.access loc Read)
 
   let write1 loc =

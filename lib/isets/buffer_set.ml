@@ -65,6 +65,22 @@ struct
     | Buf_read -> Format.fprintf ppf "%d-buffer-read()" capacity
     | Buf_write v -> Format.fprintf ppf "%d-buffer-write(%a)" capacity Value.pp v
 
+  (* every newest-first stack over {0,1} up to min(capacity,2) deep: small
+     but hits the truncation boundary when capacity ≤ 2 *)
+  let sample_cells =
+    Iset.memo (fun () ->
+        let vals = [ Value.Int 0; Value.Int 1 ] in
+        let depth1 = List.map (fun v -> [ v ]) vals in
+        let depth2 =
+          if capacity < 2 then []
+          else List.concat_map (fun v -> List.map (fun w -> [ v; w ]) vals) vals
+        in
+        ([] :: depth1) @ depth2)
+
+  let sample_ops =
+    Iset.memo (fun () ->
+        [ Buf_read; Buf_write (Value.Int 0); Buf_write (Value.Int 1) ])
+
   let read loc =
     Proc.map
       (function

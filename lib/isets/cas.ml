@@ -26,4 +26,13 @@ let pp_result = Value.pp
 let pp_op ppf (Cas (x, y)) =
   Format.fprintf ppf "compare-and-swap(%a, %a)" Value.pp x Value.pp y
 
+let sample_values = [ Value.Bot; Value.Int 0; Value.Int 1; Value.Int 2 ]
+let sample_cells = Iset.memo (fun () -> sample_values)
+
+let sample_ops =
+  Iset.memo (fun () ->
+      List.concat_map
+        (fun x -> List.map (fun y -> Cas (x, y)) sample_values)
+        sample_values)
+
 let cas loc ~expected ~desired = Proc.access loc (Cas (expected, desired))

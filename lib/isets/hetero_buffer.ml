@@ -68,6 +68,18 @@ let pp_cell ppf (c, entries) =
 
 let pp_result = Value.pp
 
+(* Cells of capacities 1 and 2 plus the untouched cell; ops declare the same
+   two capacities, so the linter's apply calls on mismatched (op, cell) pairs
+   raise and are skipped as inapplicable. *)
+let sample_cells =
+  Iset.memo (fun () ->
+      [ init; (1, [ Value.Int 0 ]); (2, [ Value.Int 1 ]); (2, [ Value.Int 0; Value.Int 1 ]) ])
+
+let sample_ops =
+  Iset.memo (fun () ->
+      [ Buf_read 1; Buf_write (1, Value.Int 0); Buf_write (1, Value.Int 1);
+        Buf_read 2; Buf_write (2, Value.Int 0) ])
+
 let read ~capacities loc =
   Proc.map
     (function

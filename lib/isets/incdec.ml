@@ -38,6 +38,13 @@ let pp_op ppf = function
   | Increment -> Format.pp_print_string ppf "increment()"
   | Decrement -> Format.pp_print_string ppf "decrement()"
 
+let sample_cells =
+  Iset.memo (fun () -> List.map Bignum.of_int [ 0; 1; -1; 2; -2; 3; -3 ])
+
+let sample_ops =
+  Iset.memo (fun () ->
+      [ Read; Write Bignum.zero; Write Bignum.two; Increment; Decrement ])
+
 let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
 let write loc x = Proc.map ignore (Proc.access loc (Write x))
 let increment loc = Proc.map ignore (Proc.access loc Increment)

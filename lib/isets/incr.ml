@@ -56,6 +56,14 @@ struct
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
+  let sample_cells = Iset.memo (fun () -> List.map Bignum.of_int [ 0; 1; 2; 3 ])
+
+  let sample_ops =
+    Iset.memo (fun () ->
+        List.filter allowed
+          [ Read; Write Bignum.zero; Write Bignum.one; Write Bignum.two;
+            Increment; Fetch_incr ])
+
   let read loc = Proc.map Value.to_big_exn (Proc.access loc Read)
   let write loc x = Proc.map ignore (Proc.access loc (Write x))
 

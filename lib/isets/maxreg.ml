@@ -33,5 +33,11 @@ let pp_op ppf = function
   | Read_max -> Format.pp_print_string ppf "read-max()"
   | Write_max x -> Format.fprintf ppf "write-max(%a)" Bignum.pp x
 
+let sample_bigs = List.map Bignum.of_int [ 0; 1; 2; 5 ]
+let sample_cells = Iset.memo (fun () -> sample_bigs)
+
+let sample_ops =
+  Iset.memo (fun () -> Read_max :: List.map (fun x -> Write_max x) sample_bigs)
+
 let read_max loc = Proc.map Value.to_big_exn (Proc.access loc Read_max)
 let write_max loc x = Proc.map ignore (Proc.access loc (Write_max x))

@@ -33,5 +33,9 @@ let pp_op ppf = function
   | Read -> Format.pp_print_string ppf "read()"
   | Write v -> Format.fprintf ppf "write(%a)" Value.pp v
 
+let sample_values = [ Value.Bot; Value.Int 0; Value.Int 1; Value.Int 2 ]
+let sample_cells = Iset.memo (fun () -> sample_values)
+let sample_ops = Iset.memo (fun () -> Read :: List.map (fun v -> Write v) sample_values)
+
 let read loc = Proc.access loc Read
 let write loc v = Proc.map ignore (Proc.access loc (Write v))

@@ -29,5 +29,9 @@ let pp_op ppf = function
   | Read -> Format.pp_print_string ppf "read()"
   | Swap v -> Format.fprintf ppf "swap(%a)" Value.pp v
 
+let sample_values = [ Value.Bot; Value.Int 0; Value.Int 1; Value.Int 2 ]
+let sample_cells = Iset.memo (fun () -> sample_values)
+let sample_ops = Iset.memo (fun () -> Read :: List.map (fun v -> Swap v) sample_values)
+
 let read loc = Proc.access loc Read
 let swap loc v = Proc.access loc (Swap v)

@@ -60,4 +60,30 @@ module type S = sig
   val pp_cell : Format.formatter -> cell -> unit
   val pp_op : Format.formatter -> op -> unit
   val pp_result : Format.formatter -> result -> unit
+
+  (** {2 Bounded enumerators}
+
+      Small, representative samples of the (usually infinite) cell and
+      instruction spaces, used by the static analyses in [Analysis]: the
+      contract linter exhaustively property-checks [commutes], [trivial] and
+      the hash/equality coherences over these samples, and the symmetry
+      certifier feeds their [apply] results into process continuations when
+      unfolding a protocol symbolically.  Requirements:
+
+      - [sample_cells ()] includes [init];
+      - [sample_ops ()] covers every instruction of the set (each
+        constructor, with a few argument values for parameterized ones), and
+        contains only instructions [apply] accepts;
+      - both are memoized: the list is computed once per module and repeated
+        calls return the cached value, so lint passes and property tests do
+        not regenerate them per op pair. *)
+
+  val sample_cells : unit -> cell list
+  val sample_ops : unit -> op list
 end
+
+(** Memoization helper for the enumerators: [memo (fun () -> ...)] computes
+    the list on first call and returns the cached value afterwards. *)
+let memo f =
+  let l = lazy (f ()) in
+  fun () -> Lazy.force l

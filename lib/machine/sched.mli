@@ -26,6 +26,11 @@ val script : int list -> t
 (** Follow the given pids, skipping entries that are not running; stops at
     the end of the list. *)
 
+val sequential : t
+(** Run the lowest-id running process until it decides, then the next, and
+    so on — the all-solo schedule ([random_then_sequential] with an empty
+    random prefix). *)
+
 val random_then_sequential : seed:int -> prefix:int -> t
 (** Random adversary for [prefix] steps, then run the lowest-id running
     process solo until it decides, then the next, and so on.  Under an

@@ -43,7 +43,19 @@
      of equal-input processes yields an equivalent configuration, so the
      table can key on [Machine.canonical_fingerprint] instead of
      [Machine.fingerprint].  This is opt-in ([symmetric = true]) and
-     unsound for pid-dependent protocols — see [Machine.mli]. *)
+     unsound for pid-dependent protocols — see [Machine.mli].
+
+     Because an over-eager [symmetric = true] silently corrupts the
+     exploration (states conflated that the protocol distinguishes), the
+     reduction is gated on [Analysis.Symmetry.certify_for_run]: every
+     equal-input pid pair is certified pid-oblivious through the requested
+     depth by lockstep symbolic unfolding.  An uncertified protocol raises
+     [Uncertified_symmetry] instead of exploring unsoundly; [~force:true]
+     overrides the gate (for experiments — e.g. measuring what the unsound
+     reduction would prune), and [~notify_symmetry] surfaces the verdict to
+     the caller either way.  Note the certificate's bounds: solo probes can
+     run processes beyond the certified depth, so for probe-heavy runs the
+     certificate is strong evidence rather than proof. *)
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
@@ -52,6 +64,34 @@ type reduction = { commute : bool; symmetric : bool }
 
 let no_reduction = { commute = false; symmetric = false }
 let full_reduction = { commute = true; symmetric = true }
+
+exception
+  Uncertified_symmetry of { protocol : string; verdict : Analysis.Symmetry.verdict }
+
+let () =
+  Printexc.register_printer (function
+    | Uncertified_symmetry { protocol; verdict } ->
+      Some
+        (Format.asprintf
+           "Uncertified_symmetry: symmetric reduction refused for %s (%a); rerun with \
+            ~force:true to override"
+           protocol Analysis.Symmetry.pp_verdict verdict)
+    | _ -> None)
+
+(* The gate in front of every [symmetric = true] exploration: certify the
+   equal-input pid pairs of this run to (at least) the exploration depth.
+   Certification is memoized in [Analysis.Symmetry], so engines, depths and
+   repeated runs over the same (protocol, inputs) share the work. *)
+let certify_gate ~reduce ~force ~notify (module P : Consensus.Proto.S) ~inputs ~depth =
+  if reduce.symmetric then begin
+    let depth = max depth Analysis.Symmetry.default_depth in
+    let verdict =
+      Analysis.Symmetry.certify_for_run (module P : Consensus.Proto.S) ~inputs ~depth
+    in
+    (match notify with Some f -> f verdict | None -> ());
+    if (not (Analysis.Symmetry.certified verdict)) && not force then
+      raise (Uncertified_symmetry { protocol = P.name; verdict })
+  end
 
 type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
 
@@ -551,7 +591,9 @@ module Run (P : Consensus.Proto.S) = struct
 end
 
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
-    ?(reduce = no_reduction) (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let c = fresh () in
@@ -589,7 +631,9 @@ let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
     Error "invalid witness: the schedule names a process that cannot step"
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
-    ?(reduce = no_reduction) (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let c = fresh () in
@@ -610,15 +654,19 @@ type deepen_report = {
 }
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
-    ?shrink ?reduce proto ~inputs ~max_depth =
+    ?shrink ?(reduce = no_reduction) ?(force = false) ?notify_symmetry proto ~inputs
+    ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
+  (* gate (and notify) once at the deepest depth the iteration can reach,
+     then let the per-depth runs through — their certificates are implied *)
+  certify_gate ~reduce ~force ~notify:notify_symmetry proto ~inputs ~depth:max_depth;
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let rec go d best =
     let out_of_budget = match best with Some _ -> elapsed () >= budget | None -> false in
     if d > max_depth || out_of_budget then Ok (Option.get best)
     else begin
-      match run ~probe ~solo_fuel ~engine ?shrink ?reduce proto ~inputs ~depth:d with
+      match run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true proto ~inputs ~depth:d with
       | Error f -> Error f
       | Ok s ->
         let total_configs =

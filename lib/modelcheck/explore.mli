@@ -52,7 +52,15 @@ type reduction = {
           to accesses' bookkeeping).  For pid-dependent protocols this can
           conflate genuinely different configurations and miss violations;
           it is therefore opt-in and has no effect on [`Naive] (which keeps
-          no table). *)
+          no table).
+
+          Soundness is {e enforced}: every [symmetric = true] entry point
+          first certifies the protocol pid-oblivious for this run's
+          equal-input pid pairs, to the exploration depth, by lockstep
+          symbolic unfolding ({!Analysis.Symmetry.certify_for_run}).  An
+          uncertified protocol raises {!Uncertified_symmetry}; pass
+          [~force:true] to run the reduction anyway (unsound — for
+          experiments only). *)
 }
 (** Which state-space reductions to layer over an engine.  Both default to
     off ({!no_reduction}), preserving historical behaviour exactly. *)
@@ -60,6 +68,15 @@ type reduction = {
 val no_reduction : reduction
 val full_reduction : reduction
 (** [full_reduction] enables both; only use it on pid-symmetric protocols. *)
+
+exception
+  Uncertified_symmetry of { protocol : string; verdict : Analysis.Symmetry.verdict }
+(** Raised (before any exploration) by {!run}, {!decidable_values} and
+    {!deepen} when [reduce.symmetric = true] but
+    {!Analysis.Symmetry.certify_for_run} could not certify the protocol
+    pid-symmetric for the run's inputs — the [verdict] carries the
+    divergence witness ([Asymmetric]) or the budget failure ([Unknown]).
+    Suppressed by [~force:true]. *)
 
 type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
 
@@ -123,6 +140,8 @@ val run :
   ?engine:engine ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?force:bool ->
+  ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -131,10 +150,14 @@ val run :
     with the chosen [engine] (default [`Naive]).  Probing (default
     [`Leaves]) is as in {!Modelcheck.explore}.  [reduce] (default
     {!no_reduction}) layers commutativity and/or symmetry reduction over the
-    engine — see {!reduction} for the soundness contract.  On a violation
-    the witness is replayed for confirmation and, unless [shrink:false],
-    minimized by greedy schedule-segment deletion (each candidate kept iff
-    its replay still raises the same violation kind). *)
+    engine — see {!reduction} for the soundness contract.  With
+    [reduce.symmetric] the protocol is first certified pid-symmetric for
+    these inputs; an uncertified protocol raises {!Uncertified_symmetry}
+    unless [force] (default [false]) is set, and [notify_symmetry] (if
+    given) receives the verdict either way.  On a violation the witness is
+    replayed for confirmation and, unless [shrink:false], minimized by
+    greedy schedule-segment deletion (each candidate kept iff its replay
+    still raises the same violation kind). *)
 
 type replay_report = {
   violation : (violation_kind * string) option;
@@ -159,6 +182,8 @@ val decidable_values :
   ?memo:bool ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?force:bool ->
+  ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -187,6 +212,8 @@ val deepen :
   ?budget:float ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?force:bool ->
+  ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->
@@ -195,4 +222,6 @@ val deepen :
     (no branch truncated), [max_depth] is reached, or the wall-clock
     [budget] (default 1.0 s, checked between iterations) runs out.  The
     default [engine] is [`Memo], which makes each re-iteration cheap.
-    [Error f] if any iteration finds a violation. *)
+    [Error f] if any iteration finds a violation.  The symmetry gate
+    ([reduce.symmetric], [force], [notify_symmetry] — see {!run}) fires
+    once, against [max_depth]. *)

@@ -14,8 +14,12 @@ let failure_message = Explore.failure_message
    point, kept as a thin wrapper so existing callers (synthesis, tests,
    executables) keep their signature.  Violations now carry a replayable,
    shrunk witness; [failure_message] recovers the old string. *)
-let explore ?probe ?solo_fuel ?engine ?shrink ?reduce p ~inputs ~depth =
-  match Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce p ~inputs ~depth with
+let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry p ~inputs
+    ~depth =
+  match
+    Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry p
+      ~inputs ~depth
+  with
   | Ok (s : Explore.stats) ->
     Ok { configs = s.Explore.configs; probes = s.Explore.probes; truncated = s.Explore.truncated }
   | Error f -> Error f
@@ -23,8 +27,11 @@ let explore ?probe ?solo_fuel ?engine ?shrink ?reduce p ~inputs ~depth =
 (* Bivalence on the shared memoized DFS core (Explore's fingerprint
    transposition table); errors flattened back to strings for the callers
    that predate witnesses. *)
-let decidable_values ?solo_fuel ?reduce p ~inputs ~depth =
-  match Explore.decidable_values ?solo_fuel ~memo:true ?reduce p ~inputs ~depth with
+let decidable_values ?solo_fuel ?reduce ?force ?notify_symmetry p ~inputs ~depth =
+  match
+    Explore.decidable_values ?solo_fuel ~memo:true ?reduce ?force ?notify_symmetry p
+      ~inputs ~depth
+  with
   | Ok vs -> Ok vs
   | Error f -> Error (failure_message f)
 

@@ -33,6 +33,8 @@ val explore :
   ?engine:[ `Naive | `Memo | `Parallel of int ] ->
   ?shrink:bool ->
   ?reduce:Explore.reduction ->
+  ?force:bool ->
+  ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -52,7 +54,10 @@ val explore :
     violation the reported witness has been replayed for confirmation and
     (unless [shrink:false]) minimized by delta debugging.  [reduce] layers
     commutativity/symmetry reduction over the engine (default off — see
-    {!Explore.reduction} for when each half is sound).  This is a thin
+    {!Explore.reduction} for when each half is sound).  Symmetric reduction
+    is gated on the pid-symmetry certifier: an uncertified protocol raises
+    {!Explore.Uncertified_symmetry} unless [force] is set, and
+    [notify_symmetry] receives the certification verdict.  This is a thin
     wrapper over {!Explore.run}, which also exposes dedup/timing stats,
     witness replay ({!Explore.replay}) and iterative deepening
     ({!Explore.deepen}). *)
@@ -60,6 +65,8 @@ val explore :
 val decidable_values :
   ?solo_fuel:int ->
   ?reduce:Explore.reduction ->
+  ?force:bool ->
+  ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->

@@ -1,0 +1,234 @@
+(* Tests for the static-analysis subsystem (lib/analysis): iset contract
+   checking, pid-symmetry certification, space-claim linting, the mutant
+   selftest corpus, and the soundness gate the certifier puts in front of
+   the symmetric state-space reduction. *)
+
+open Analysis
+
+let sym = { Explore.commute = false; symmetric = true }
+
+(* 1. The mutant corpus selftest: the clean base lints clean and every
+   deliberately broken iset/protocol trips exactly its expected rule. *)
+let test_selftest () =
+  let findings = Lint.selftest () in
+  let escaped =
+    List.filter (fun f -> f.Report.severity = Report.Error) findings
+  in
+  List.iter (fun f -> Format.eprintf "%a@." Report.pp_finding f) escaped;
+  Alcotest.(check int) "no mutant escapes the linter" 0 (List.length escaped);
+  Alcotest.(check bool) "selftest reports each catch" true
+    (List.length findings >= List.length Mutants.iset_mutants
+                             + List.length Mutants.proto_mutants)
+
+(* 2. Every registered hierarchy row lints without errors: iset contracts
+   hold, space claims are respected, symmetry verdicts are classifiable. *)
+let test_registry_lints_clean () =
+  let findings = Lint.run ~ns:[ 2 ] () in
+  let bad =
+    List.filter (fun f -> f.Report.severity <> Report.Info) findings
+  in
+  List.iter (fun f -> Format.eprintf "%a@." Report.pp_finding f) bad;
+  Alcotest.(check int) "registry: no errors or warnings" 0 (List.length bad)
+
+(* 3. Symmetry verdicts on known protocols: the paper's upper-bound
+   protocols treat equal-input processes identically; the rw and swap
+   protocols index per-process registers by pid. *)
+let test_symmetry_verdicts () =
+  let certified_protos =
+    [
+      ("cas", Consensus.Cas_protocol.protocol);
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+      ("tug-of-war", Consensus.Tugofwar_protocol.binary);
+      ("faa2+tas", Consensus.Intro_protocols.faa2_tas);
+    ]
+  in
+  List.iter
+    (fun (name, proto) ->
+      let v = Symmetry.certify proto ~n:2 in
+      Alcotest.(check bool)
+        (Format.asprintf "%s certifies (%a)" name Symmetry.pp_verdict v)
+        true (Symmetry.certified v))
+    certified_protos;
+  let asymmetric_protos =
+    [
+      ("rw", Consensus.Rw_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+    ]
+  in
+  List.iter
+    (fun (name, proto) ->
+      match Symmetry.certify proto ~n:2 with
+      | Symmetry.Asymmetric _ -> ()
+      | v ->
+        Alcotest.failf "%s: expected Asymmetric, got %a" name Symmetry.pp_verdict v)
+    asymmetric_protos
+
+(* 4. The certifier on the hand-built mutants: pid-dependent accesses and
+   pid-dependent decisions both produce a concrete witness; the uniform
+   control certifies. *)
+let test_symmetry_mutants () =
+  (match Symmetry.certify Mutants.asymmetric_access ~n:2 with
+   | Symmetry.Asymmetric w ->
+     Alcotest.(check bool) "witness names distinct pids" true (w.pid_a <> w.pid_b)
+   | v -> Alcotest.failf "asymmetric access: got %a" Symmetry.pp_verdict v);
+  (match Symmetry.certify Mutants.asymmetric_decision ~n:2 with
+   | Symmetry.Asymmetric _ -> ()
+   | v -> Alcotest.failf "asymmetric decision: got %a" Symmetry.pp_verdict v);
+  Alcotest.(check bool) "uniform control certifies" true
+    (Symmetry.certified (Symmetry.certify Mutants.symmetric_control ~n:2))
+
+(* 5. The soundness gate: symmetric reduction on an uncertified protocol is
+   refused with the verdict attached, runs under [~force:true], and runs
+   silently for a certified protocol.  Equal inputs make the certification
+   non-vacuous (the reduction only conflates equal-input processes, so
+   all-distinct inputs certify trivially). *)
+let test_gate_refuses_uncertified () =
+  let rw = Consensus.Rw_protocol.protocol in
+  (match
+     Explore.run ~engine:`Memo ~reduce:sym rw ~inputs:[| 0; 0 |] ~depth:4
+   with
+   | exception Explore.Uncertified_symmetry { protocol; verdict } ->
+     Alcotest.(check string) "names the protocol" "read-write-registers" protocol;
+     (match verdict with
+      | Symmetry.Asymmetric _ -> ()
+      | v -> Alcotest.failf "gate verdict: got %a" Symmetry.pp_verdict v)
+   | Ok _ | Error _ -> Alcotest.fail "gate did not fire on rw with equal inputs");
+  (* decidable_values goes through the same gate *)
+  (match Explore.decidable_values ~reduce:sym rw ~inputs:[| 0; 0 |] ~depth:4 with
+   | exception Explore.Uncertified_symmetry _ -> ()
+   | _ -> Alcotest.fail "decidable_values gate did not fire");
+  (* --force suppresses the refusal but still reports the verdict *)
+  let notified = ref None in
+  (match
+     Explore.run ~engine:`Memo ~reduce:sym ~force:true
+       ~notify_symmetry:(fun v -> notified := Some v)
+       rw ~inputs:[| 0; 0 |] ~depth:4
+   with
+   | Ok _ -> ()
+   | Error f -> Alcotest.failf "forced run failed: %s" (Explore.failure_message f)
+   | exception Explore.Uncertified_symmetry _ ->
+     Alcotest.fail "gate fired despite ~force:true");
+  (match !notified with
+   | Some (Symmetry.Asymmetric _) -> ()
+   | Some v -> Alcotest.failf "notified verdict: %a" Symmetry.pp_verdict v
+   | None -> Alcotest.fail "notify_symmetry was not called")
+
+let test_gate_passes_certified () =
+  let notified = ref None in
+  match
+    Explore.run ~engine:`Memo ~reduce:sym
+      ~notify_symmetry:(fun v -> notified := Some v)
+      Consensus.Cas_protocol.protocol ~inputs:[| 0; 0 |] ~depth:6
+  with
+  | Ok _ ->
+    Alcotest.(check bool) "verdict is a certificate" true
+      (match !notified with Some v -> Symmetry.certified v | None -> false)
+  | Error f -> Alcotest.failf "cas failed: %s" (Explore.failure_message f)
+  | exception Explore.Uncertified_symmetry { verdict; _ } ->
+    Alcotest.failf "gate refused certified cas: %a" Symmetry.pp_verdict verdict
+
+(* 6. Differential: on certified protocols the symmetric reduction changes
+   only the amount of work, never the verdict or the decidable-value set —
+   across all three engines. *)
+let test_certified_reduction_differential () =
+  let protos =
+    [
+      ("cas", Consensus.Cas_protocol.protocol, 6);
+      ("faa2+tas", Consensus.Intro_protocols.faa2_tas, 6);
+      ("tug-of-war", Consensus.Tugofwar_protocol.binary, 8);
+    ]
+  in
+  let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel", `Parallel 2) ] in
+  List.iter
+    (fun (name, proto, depth) ->
+      List.iter
+        (fun inputs ->
+          let plain =
+            Explore.run ~engine:`Naive proto ~inputs ~depth |> Result.is_ok
+          in
+          List.iter
+            (fun (ename, engine) ->
+              let reduced =
+                Explore.run ~engine ~reduce:Explore.full_reduction proto ~inputs
+                  ~depth
+                |> Result.is_ok
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s: reduced verdict matches plain" name ename)
+                plain reduced)
+            engines;
+          let values r = Result.get_ok r in
+          let plain_vs = values (Explore.decidable_values proto ~inputs ~depth) in
+          let reduced_vs =
+            values
+              (Explore.decidable_values ~reduce:Explore.full_reduction proto
+                 ~inputs ~depth)
+          in
+          Alcotest.(check (list int))
+            (name ^ ": reduction preserves decidable values")
+            plain_vs reduced_vs)
+        [ [| 0; 0 |]; [| 0; 1 |] ])
+    protos
+
+(* 7. Contract checker: spot-check two real isets and the report renderer. *)
+let test_contracts_and_report () =
+  let findings = Lint.lint_iset (module Isets.Cas) in
+  Alcotest.(check int) "cas iset: clean" 0 (Report.errors findings);
+  let findings = Lint.lint_iset (module Isets.Maxreg) in
+  Alcotest.(check int) "maxreg iset: clean" 0 (Report.errors findings);
+  (* mutants produce machine-readable findings; JSON survives round-trip
+     characters (quotes in op printers etc.) *)
+  let (module Bad : Model.Iset.S) = (List.hd Mutants.iset_mutants).iset in
+  let bad = Lint.lint_iset (module Bad) in
+  Alcotest.(check bool) "mutant produces errors" true (Report.errors bad > 0);
+  let json = Report.json_of_findings bad in
+  Alcotest.(check bool) "json is an array" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
+
+(* 8. Space lint: the overrun mutant is an Error, the symbolic-only overrun
+   is a Warning (never observed concretely), and a sound protocol is quiet. *)
+let test_space_lint () =
+  let rules sev fs =
+    List.filter_map
+      (fun f -> if f.Report.severity = sev then Some f.Report.rule else None)
+      fs
+  in
+  let overrun =
+    List.find (fun (m : Mutants.proto_mutant) -> m.expected_rule = "space-claim-violated")
+      Mutants.proto_mutants
+  in
+  let fs = Space.lint overrun.proto ~n:2 in
+  Alcotest.(check bool) "overrun mutant: error" true
+    (List.mem "space-claim-violated" (rules Report.Error fs));
+  let fs = Space.lint Mutants.symmetric_control ~n:2 in
+  Alcotest.(check int) "control protocol: no errors" 0 (Report.errors fs)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "selftest",
+        [
+          Alcotest.test_case "mutant corpus selftest" `Quick test_selftest;
+          Alcotest.test_case "registry lints clean" `Slow test_registry_lints_clean;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "verdicts on known protocols" `Quick
+            test_symmetry_verdicts;
+          Alcotest.test_case "verdicts on mutants" `Quick test_symmetry_mutants;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "refuses uncertified" `Quick test_gate_refuses_uncertified;
+          Alcotest.test_case "passes certified" `Quick test_gate_passes_certified;
+          Alcotest.test_case "certified reduction differential" `Quick
+            test_certified_reduction_differential;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "real isets and report JSON" `Quick
+            test_contracts_and_report;
+          Alcotest.test_case "space lint severities" `Quick test_space_lint;
+        ] );
+    ]

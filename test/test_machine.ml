@@ -26,6 +26,8 @@ module Cell = struct
     | Read -> Format.pp_print_string ppf "read"
     | Write x -> Format.fprintf ppf "write %d" x
   let pp_result = Format.pp_print_int
+  let sample_cells = Iset.memo (fun () -> [ 0; 1; 2 ])
+  let sample_ops = Iset.memo (fun () -> [ Read; Write 1; Write 2 ])
 end
 
 module Multi_cell = struct
