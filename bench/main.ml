@@ -228,10 +228,14 @@ let ablation_threshold () =
         Modelcheck.explore ~probe:`Everywhere (proto lead) ~inputs:[| 0; 1 |] ~depth:12
       in
       (match outcome with
-       | Ok s ->
+       | Explore.Completed s ->
          Printf.printf "lead=%d: no violation in %d configurations (depth 12)\n" lead
            s.configs
-       | Error f -> Printf.printf "lead=%d: VIOLATION — %s\n" lead (Modelcheck.failure_message f));
+       | Explore.Timed_out t ->
+         Printf.printf "lead=%d: timed out after %d configurations\n" lead
+           t.Explore.partial.Explore.configs
+       | Explore.Falsified f ->
+         Printf.printf "lead=%d: VIOLATION — %s\n" lead (Modelcheck.failure_message f));
       (* and the steps cost at n=6 under contention *)
       let inputs = Array.init 6 (fun i -> i) in
       let report =
@@ -483,8 +487,37 @@ let randomized () =
    few representative protocols.  Memo visits fewer configurations by
    design, so the honest work-rate comparison is the *effective* rate:
    naive's configuration count divided by each engine's wall-clock (the
-   speedup column is exactly the elapsed-time ratio).  Results also go to
-   BENCH_modelcheck.json for machine consumption. *)
+   speedup column is exactly the elapsed-time ratio).  Results go to
+   BENCH_modelcheck.json as {!Campaign.Record} lists — the same schema the
+   campaign store persists, so bench and campaign outputs share tooling. *)
+
+let status_of_witness (w : Explore.witness) =
+  Campaign.Record.Violation
+    {
+      kind = Explore.kind_name w.Explore.kind;
+      message = w.Explore.message;
+      schedule = w.Explore.schedule;
+      probe = w.Explore.probe;
+    }
+
+let bench_record ~kind ~row ~proto ~inputs ~params ~n ~depth ~engine ~reduce ~status
+    ~(stats : Explore.stats) ~extra =
+  Campaign.Record.make
+    ~task:(Campaign.Task.digest proto ~inputs ~params)
+    ~kind ~row
+    ~protocol:(Consensus.Proto.name proto)
+    ~n ~depth ~engine ~reduce ~status ~configs:stats.Explore.configs
+    ~probes:stats.Explore.probes ~dedup_hits:stats.Explore.dedup_hits
+    ~sleep_pruned:stats.Explore.sleep_pruned ~truncated:stats.Explore.truncated
+    ~elapsed:stats.Explore.elapsed ~extra ()
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Campaign.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let mc ?(smoke = false) () =
   section "MC: model-checking engines — naive vs memoized vs parallel";
   let protos =
@@ -497,11 +530,7 @@ let mc ?(smoke = false) () =
   in
   let sweeps = if smoke then [ (2, 6) ] else [ (2, 10); (3, 8) ] in
   let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ] in
-  let json = Buffer.create 4096 in
-  Printf.bprintf json "{\n  \"cores\": %d,\n  \"smoke\": %b,\n  \"rows\": ["
-    (Domain.recommended_domain_count ())
-    smoke;
-  let first_row = ref true in
+  let records = ref [] in
   Printf.printf "%-10s %-3s %-5s %-11s %10s %8s %10s %12s %8s  %s\n" "protocol" "n"
     "depth" "engine" "configs" "dedup" "elapsed_s" "eff_cfg/s" "speedup" "verdict";
   List.iter
@@ -512,8 +541,15 @@ let mc ?(smoke = false) () =
           let naive_elapsed = ref 0.0 and naive_configs = ref 0 in
           List.iter
             (fun (ename, engine) ->
+              let record ~status ~stats ~extra =
+                records :=
+                  bench_record ~kind:"bench-mc" ~row:pname ~proto ~inputs
+                    ~params:(Printf.sprintf "bench-mc/%s/%d/%d" ename n depth)
+                    ~n ~depth ~engine:ename ~reduce:"none" ~status ~stats ~extra
+                  :: !records
+              in
               match Explore.run ~probe:`Leaves ~engine proto ~inputs ~depth with
-              | Ok s ->
+              | Explore.Completed s ->
                 if engine = `Naive then begin
                   naive_elapsed := s.Explore.elapsed;
                   naive_configs := s.Explore.configs
@@ -524,49 +560,75 @@ let mc ?(smoke = false) () =
                 Printf.printf "%-10s %-3d %-5d %-11s %10d %8d %10.4f %12.0f %7.1fx  ok\n"
                   pname n depth ename s.Explore.configs s.Explore.dedup_hits
                   s.Explore.elapsed eff_rate speedup;
-                Printf.bprintf json
-                  "%s\n    {\"proto\": \"%s\", \"n\": %d, \"depth\": %d, \"engine\": \
-                   \"%s\", \"configs\": %d, \"probes\": %d, \"truncated\": %b, \
-                   \"dedup_hits\": %d, \"elapsed\": %.6f, \
-                   \"effective_configs_per_sec\": %.0f, \"speedup_vs_naive\": %.2f}"
-                  (if !first_row then "" else ",")
-                  pname n depth ename s.Explore.configs s.Explore.probes
-                  s.Explore.truncated s.Explore.dedup_hits s.Explore.elapsed eff_rate
-                  speedup;
-                first_row := false
-              | Error f ->
+                record ~status:Campaign.Record.Verified ~stats:s
+                  ~extra:
+                    [
+                      ("effective_configs_per_sec", Campaign.Json.Float eff_rate);
+                      ("speedup_vs_naive", Campaign.Json.Float speedup);
+                    ]
+              | Explore.Timed_out t ->
+                Printf.printf "%-10s %-3d %-5d %-11s timed out after %d configurations\n"
+                  pname n depth ename t.Explore.partial.Explore.configs;
+                record ~status:Campaign.Record.Timeout ~stats:t.Explore.partial ~extra:[]
+              | Explore.Falsified f ->
                 Printf.printf "%-10s %-3d %-5d %-11s VIOLATION %s\n" pname n depth ename
-                  (Explore.failure_message f))
+                  (Explore.failure_message f);
+                record ~status:(status_of_witness f.Explore.witness)
+                  ~stats:f.Explore.stats ~extra:[])
             engines)
         protos)
     sweeps;
-  Buffer.add_string json "\n  ],\n  \"deepen\": [";
   let budget = if smoke then 0.2 else 1.0 in
   Printf.printf
     "\niterative deepening (memo engine, %.1f s budget per protocol, n=2):\n" budget;
   Printf.printf "%-10s %-13s %-9s %14s %10s\n" "protocol" "depth_reached" "complete"
     "total_configs" "elapsed_s";
-  let first_row = ref true in
+  let deepen_records = ref [] in
   List.iter
     (fun (pname, proto) ->
-      match Explore.deepen ~engine:`Memo ~budget proto ~inputs:[| 0; 1 |] ~max_depth:30 with
-      | Ok r ->
+      let inputs = [| 0; 1 |] in
+      let record ~status ~depth ~configs ~elapsed ~extra =
+        deepen_records :=
+          Campaign.Record.make
+            ~task:
+              (Campaign.Task.digest proto ~inputs
+                 ~params:(Printf.sprintf "bench-deepen/%.2f" budget))
+            ~kind:"bench-deepen" ~row:pname
+            ~protocol:(Consensus.Proto.name proto)
+            ~n:2 ~depth ~engine:"memo" ~reduce:"none" ~status ~configs ~elapsed
+            ~extra:(("budget", Campaign.Json.Float budget) :: extra)
+            ()
+          :: !deepen_records
+      in
+      match Explore.deepen ~engine:`Memo ~budget proto ~inputs ~max_depth:30 with
+      | Explore.Completed r ->
         Printf.printf "%-10s %-13d %-9b %14d %10.4f\n" pname r.Explore.depth_reached
           r.Explore.complete r.Explore.total_configs r.Explore.total_elapsed;
-        Printf.bprintf json
-          "%s\n    {\"proto\": \"%s\", \"budget\": %.2f, \"depth_reached\": %d, \
-           \"complete\": %b, \"total_configs\": %d, \"total_elapsed\": %.6f}"
-          (if !first_row then "" else ",")
-          pname budget r.Explore.depth_reached r.Explore.complete r.Explore.total_configs
-          r.Explore.total_elapsed;
-        first_row := false
-      | Error f -> Printf.printf "%-10s VIOLATION %s\n" pname (Explore.failure_message f))
+        record ~status:Campaign.Record.Verified ~depth:r.Explore.depth_reached
+          ~configs:r.Explore.total_configs ~elapsed:r.Explore.total_elapsed
+          ~extra:[ ("complete", Campaign.Json.Bool r.Explore.complete) ]
+      | Explore.Timed_out t ->
+        Printf.printf "%-10s timed out before completing depth 1\n" pname;
+        record ~status:Campaign.Record.Timeout ~depth:1
+          ~configs:t.Explore.partial.Explore.configs
+          ~elapsed:t.Explore.partial.Explore.elapsed ~extra:[]
+      | Explore.Falsified f ->
+        Printf.printf "%-10s VIOLATION %s\n" pname (Explore.failure_message f);
+        record
+          ~status:(status_of_witness f.Explore.witness)
+          ~depth:1 ~configs:f.Explore.stats.Explore.configs
+          ~elapsed:f.Explore.stats.Explore.elapsed ~extra:[])
     protos;
-  Buffer.add_string json "\n  ]\n}\n";
-  let oc = open_out "BENCH_modelcheck.json" in
-  Buffer.output_buffer oc json;
-  close_out oc;
-  Printf.printf "\nwrote BENCH_modelcheck.json\n"
+  write_json "BENCH_modelcheck.json"
+    (Campaign.Json.Obj
+       [
+         ("cores", Campaign.Json.Int (Domain.recommended_domain_count ()));
+         ("smoke", Campaign.Json.Bool smoke);
+         ( "rows",
+           Campaign.Json.List (List.rev_map Campaign.Record.to_json !records) );
+         ( "deepen",
+           Campaign.Json.List (List.rev_map Campaign.Record.to_json !deepen_records) );
+       ])
 
 (* --------------------------------------------------------------- RED -- *)
 
@@ -605,13 +667,22 @@ let red ?(smoke = false) () =
     ]
   in
   let verdict_kind = function
-    | Ok _ -> "ok"
-    | Error (f : Explore.failure) -> Explore.kind_name f.Explore.witness.Explore.kind
+    | Explore.Completed _ -> "ok"
+    | Explore.Timed_out _ -> "timeout"
+    | Explore.Falsified (f : Explore.failure) ->
+      Explore.kind_name f.Explore.witness.Explore.kind
   in
-  let json = Buffer.create 4096 in
-  Printf.bprintf json "{\n  \"n\": %d,\n  \"depth\": %d,\n  \"smoke\": %b,\n  \"rows\": ["
-    n depth smoke;
-  let first_row = ref true in
+  let stats_of = function
+    | Explore.Completed s -> s
+    | Explore.Timed_out t -> t.Explore.partial
+    | Explore.Falsified f -> f.Explore.stats
+  in
+  let status_of = function
+    | Explore.Completed _ -> Campaign.Record.Verified
+    | Explore.Timed_out _ -> Campaign.Record.Timeout
+    | Explore.Falsified f -> status_of_witness f.Explore.witness
+  in
+  let records = ref [] in
   let target_hits = ref 0 in
   Printf.printf "%-11s %-9s %-10s %10s %8s %12s %10s %7s  %s\n" "protocol" "inputs"
     "reduce" "configs" "dedup" "sleep_pruned" "elapsed_s" "ratio" "verdict";
@@ -628,9 +699,7 @@ let red ?(smoke = false) () =
               let out = Explore.run ~probe:`Leaves ~engine:`Memo ~reduce proto ~inputs ~depth in
               let v = verdict_kind out in
               let agree = v = naive_verdict in
-              let s =
-                match out with Ok s -> s | Error f -> f.Explore.stats
-              in
+              let s = stats_of out in
               if rname = "none" then base_configs := s.Explore.configs;
               let ratio = float_of_int !base_configs /. float_of_int (max 1 s.Explore.configs) in
               if rname = "full" && iname = "unanimous" && ratio >= 3.0 then incr target_hits;
@@ -638,27 +707,33 @@ let red ?(smoke = false) () =
                 iname rname s.Explore.configs s.Explore.dedup_hits s.Explore.sleep_pruned
                 s.Explore.elapsed ratio v
                 (if agree then "" else "  [DISAGREES WITH NAIVE: " ^ naive_verdict ^ "]");
-              Printf.bprintf json
-                "%s\n    {\"proto\": \"%s\", \"inputs\": \"%s\", \"reduce\": \"%s\", \
-                 \"configs\": %d, \"probes\": %d, \"truncated\": %b, \"dedup_hits\": %d, \
-                 \"sleep_pruned\": %d, \"elapsed\": %.6f, \"ratio_vs_plain_memo\": %.3f, \
-                 \"verdict\": \"%s\", \"agrees_with_naive\": %b}"
-                (if !first_row then "" else ",")
-                pname iname rname s.Explore.configs s.Explore.probes s.Explore.truncated
-                s.Explore.dedup_hits s.Explore.sleep_pruned s.Explore.elapsed ratio v agree;
-              first_row := false)
+              records :=
+                bench_record ~kind:"bench-reduce" ~row:pname ~proto ~inputs
+                  ~params:(Printf.sprintf "bench-reduce/%s/%s/%d/%d" iname rname n depth)
+                  ~n ~depth ~engine:"memo" ~reduce:rname ~status:(status_of out) ~stats:s
+                  ~extra:
+                    [
+                      ("inputs", Campaign.Json.String iname);
+                      ("ratio_vs_plain_memo", Campaign.Json.Float ratio);
+                      ("agrees_with_naive", Campaign.Json.Bool agree);
+                    ]
+                :: !records)
             reductions)
         input_sets)
     protos;
-  Printf.bprintf json "\n  ],\n  \"protocols_with_3x_reduction_unanimous\": %d\n}\n"
-    !target_hits;
-  let oc = open_out "BENCH_reduce.json" in
-  Buffer.output_buffer oc json;
-  close_out oc;
   Printf.printf
     "\n%d protocol(s) with >= 3x fewer configurations under full reduction (unanimous \
-     inputs)\nwrote BENCH_reduce.json\n"
-    !target_hits
+     inputs)\n"
+    !target_hits;
+  write_json "BENCH_reduce.json"
+    (Campaign.Json.Obj
+       [
+         ("n", Campaign.Json.Int n);
+         ("depth", Campaign.Json.Int depth);
+         ("smoke", Campaign.Json.Bool smoke);
+         ("rows", Campaign.Json.List (List.rev_map Campaign.Record.to_json !records));
+         ("protocols_with_3x_reduction_unanimous", Campaign.Json.Int !target_hits);
+       ])
 
 (* --------------------------------------------------------------- WIT -- *)
 
@@ -691,10 +766,13 @@ let witnesses ?(smoke = false) () =
       List.iter
         (fun (ename, engine) ->
           match Explore.run ~probe:`Everywhere ~engine proto ~inputs:[| 0; 1 |] ~depth with
-          | Ok s ->
+          | Explore.Completed s ->
             Printf.printf "%-14s %-11s no violation in %d configurations?!\n" vname ename
               s.Explore.configs
-          | Error f ->
+          | Explore.Timed_out t ->
+            Printf.printf "%-14s %-11s timed out after %d configurations?!\n" vname ename
+              t.Explore.partial.Explore.configs
+          | Explore.Falsified f ->
             let w = f.Explore.witness in
             let replays =
               match Explore.replay proto ~inputs:[| 0; 1 |] w with
@@ -713,6 +791,52 @@ let witnesses ?(smoke = false) () =
               (Format.asprintf "%a" Explore.pp_witness w))
         engines)
     victims
+
+(* -------------------------------------------------------------- CAMP -- *)
+
+(* The campaign runner itself: a cold smoke campaign into a fresh store,
+   then the same campaign again — the warm run must execute nothing and
+   cost (almost) nothing, which is the resume path's whole point.  Results
+   go to BENCH_campaign.json. *)
+let campaign_bench ~smoke () =
+  section "CAMP: campaign runner — cold run vs resumed warm run";
+  let spec =
+    if smoke then Campaign.Spec.smoke
+    else { Campaign.Spec.default with Campaign.Spec.ns = [ 2 ] }
+  in
+  match Campaign.Spec.tasks spec with
+  | Error e -> Printf.printf "spec error: %s\n" e
+  | Ok tasks ->
+    let dir = Filename.temp_file "bench_campaign" "" in
+    Sys.remove dir;
+    let run label =
+      let store = Campaign.Store.open_ ~dir in
+      let o = Campaign.Executor.run ~store tasks in
+      Printf.printf "%-5s %3d task(s): %3d executed, %3d cached, %.3f s\n" label
+        o.Campaign.Executor.total o.Campaign.Executor.executed
+        o.Campaign.Executor.cached o.Campaign.Executor.elapsed;
+      o
+    in
+    let cold = run "cold" in
+    let warm = run "warm" in
+    let report = Campaign.Report.make warm.Campaign.Executor.records in
+    let unexpected = List.length (Campaign.Report.unexpected report) in
+    Printf.printf "unexpected (non-verified) verdicts: %d\n" unexpected;
+    write_json "BENCH_campaign.json"
+      (Campaign.Json.Obj
+         [
+           ("smoke", Campaign.Json.Bool smoke);
+           ("tasks", Campaign.Json.Int cold.Campaign.Executor.total);
+           ("cold_executed", Campaign.Json.Int cold.Campaign.Executor.executed);
+           ("cold_elapsed", Campaign.Json.Float cold.Campaign.Executor.elapsed);
+           ("warm_executed", Campaign.Json.Int warm.Campaign.Executor.executed);
+           ("warm_cached", Campaign.Json.Int warm.Campaign.Executor.cached);
+           ("warm_elapsed", Campaign.Json.Float warm.Campaign.Executor.elapsed);
+           ("unexpected", Campaign.Json.Int unexpected);
+           ( "records",
+             Campaign.Json.List
+               (List.map Campaign.Record.to_json warm.Campaign.Executor.records) );
+         ])
 
 (* -------------------------------------------------------------- LINT -- *)
 
@@ -852,6 +976,7 @@ let sections : (string * (smoke:bool -> unit)) list =
     ("MC", fun ~smoke -> mc ~smoke ());
     ("RED", fun ~smoke -> red ~smoke ());
     ("WIT", fun ~smoke -> witnesses ~smoke ());
+    ("CAMP", fun ~smoke -> campaign_bench ~smoke ());
     ("LINT", fun ~smoke -> lint_bench ~smoke ());
     ("TIME", fun ~smoke:_ -> bechamel_suite ());
   ]

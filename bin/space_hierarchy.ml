@@ -64,7 +64,7 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere engine domains trace no_shrink reduce force =
+  let run ells id n depth everywhere engine domains trace no_shrink reduce force timeout =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -98,7 +98,7 @@ let modelcheck_cmd =
         | Ok engine, Ok reduce ->
           (match
              Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce ~force
-               ~notify_symmetry row.protocol ~inputs ~depth
+               ~notify_symmetry ?deadline:timeout row.protocol ~inputs ~depth
            with
            | exception Explore.Uncertified_symmetry { protocol; verdict } ->
              `Error
@@ -107,7 +107,7 @@ let modelcheck_cmd =
                    "symmetric reduction refused for %s: %a@.(use --force to run the \
                     reduction anyway, at your own risk)"
                    protocol Analysis.Symmetry.pp_verdict verdict )
-           | Ok s ->
+           | Explore.Completed s ->
              Printf.printf
                "%s: OK — %d configurations, %d probes, %d dedup hits, %d sleep-pruned, \
                 %.3f s%s\n"
@@ -116,7 +116,16 @@ let modelcheck_cmd =
                (if s.Explore.truncated then Printf.sprintf " (truncated at depth %d)" depth
                 else "");
              `Ok ()
-           | Error f ->
+           | Explore.Timed_out t ->
+             `Error
+               ( false,
+                 Printf.sprintf
+                   "%s: TIMEOUT — wall-clock budget of %.3gs expired after %d \
+                    configurations and %d probes (%.3f s); raise --timeout or lower \
+                    --depth"
+                   row.iset t.Explore.deadline t.Explore.partial.Explore.configs
+                   t.Explore.partial.Explore.probes t.Explore.partial.Explore.elapsed )
+           | Explore.Falsified f ->
              let w = f.Explore.witness in
              let b = Buffer.create 256 in
              Buffer.add_string b ("violation: " ^ w.Explore.message ^ "\n");
@@ -189,13 +198,20 @@ let modelcheck_cmd =
     in
     Arg.(value & flag & info [ "force" ] ~doc)
   in
+  let timeout_arg =
+    let doc =
+      "Wall-clock budget in seconds; an expired run exits non-zero reporting the \
+       partial statistics instead of exploring unbounded."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
     Term.(
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
-       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg))
+       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg $ timeout_arg))
 
 let lint_cmd =
   let run ells ns ids strict json selftest mutants =
@@ -412,6 +428,215 @@ let synth_cmd =
           consensus protocol on a one-location machine.")
     Term.(ret (const run $ machine_arg $ depth_arg))
 
+let campaign_cmd =
+  let run rows exclude ells ns depths engines reduces timeout solo_fuel stress_seeds
+      stress_prefix stress_burst domains dir smoke fresh dry_run json_file csv_file
+      quiet fail_on_unexpected =
+    let base = if smoke then Campaign.Spec.smoke else Campaign.Spec.default in
+    let ( |? ) opt default = Option.value opt ~default in
+    let parse_all f l =
+      List.fold_right
+        (fun x acc ->
+          match (f x, acc) with
+          | Ok v, Ok acc -> Ok (v :: acc)
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        l (Ok [])
+    in
+    let engines =
+      match engines with
+      | None -> Ok base.Campaign.Spec.engines
+      | Some es -> parse_all Campaign.Spec.engine_of_string es
+    in
+    let reduces =
+      match reduces with
+      | None -> Ok base.Campaign.Spec.reduces
+      | Some rs -> parse_all Campaign.Spec.reduction_of_string rs
+    in
+    match (engines, reduces) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok engines, Ok reduces ->
+      let spec =
+        {
+          base with
+          Campaign.Spec.include_rows = rows;
+          exclude_rows = exclude;
+          ells = ells |? base.Campaign.Spec.ells;
+          ns = ns |? base.Campaign.Spec.ns;
+          depths = depths |? base.Campaign.Spec.depths;
+          engines;
+          reduces;
+          solo_fuel = solo_fuel |? base.Campaign.Spec.solo_fuel;
+          deadline =
+            (match timeout with
+             | Some t -> if t > 0.0 then Some t else None
+             | None -> base.Campaign.Spec.deadline);
+          stress_seeds = stress_seeds |? base.Campaign.Spec.stress_seeds;
+          stress_prefix = stress_prefix |? base.Campaign.Spec.stress_prefix;
+          stress_max_burst = stress_burst |? base.Campaign.Spec.stress_max_burst;
+        }
+      in
+      (match Campaign.Spec.tasks spec with
+       | Error e -> `Error (false, e)
+       | Ok tasks when dry_run ->
+         List.iter
+           (fun t ->
+             Printf.printf "%s  %s\n" (Campaign.Task.fingerprint t)
+               (Campaign.Task.describe t))
+           tasks;
+         Printf.printf "%d task(s) — dry run, nothing executed\n" (List.length tasks);
+         `Ok ()
+       | Ok tasks ->
+         let store = Campaign.Store.open_ ~dir in
+         let total = List.length tasks in
+         let on_event ev =
+           if not quiet then
+             match ev with
+             | Campaign.Executor.Campaign_started { total; cached } ->
+               Printf.printf "campaign: %d task(s), %d already in %s\n%!" total cached
+                 (Campaign.Store.dir store)
+             | Campaign.Executor.Task_started _ -> ()
+             | Campaign.Executor.Task_finished { index; task; record; cached } ->
+               Printf.printf "[%3d/%d] %-9s %s (%.2fs)%s\n%!" (index + 1) total
+                 (Campaign.Record.status_name record.Campaign.Record.status)
+                 (Campaign.Task.describe task) record.Campaign.Record.elapsed
+                 (if cached then " [cached]" else "")
+             | Campaign.Executor.Campaign_finished o ->
+               Printf.printf
+                 "campaign finished: %d executed, %d cached, %d aborted (%.2fs)\n%!"
+                 o.Campaign.Executor.executed o.Campaign.Executor.cached
+                 o.Campaign.Executor.aborted o.Campaign.Executor.elapsed
+         in
+         let outcome =
+           Campaign.Executor.run ~domains ~use_cache:(not fresh) ~on_event ~store tasks
+         in
+         let report = Campaign.Report.make outcome.Campaign.Executor.records in
+         print_newline ();
+         print_string (Campaign.Report.render report);
+         let write_file path s =
+           let oc = open_out path in
+           output_string oc s;
+           close_out oc
+         in
+         Option.iter
+           (fun p ->
+             write_file p (Campaign.Json.to_string_pretty (Campaign.Report.to_json report)))
+           json_file;
+         Option.iter (fun p -> write_file p (Campaign.Report.to_csv report)) csv_file;
+         (match Campaign.Report.unexpected report with
+          | [] -> `Ok ()
+          | bad when fail_on_unexpected ->
+            List.iter
+              (fun r -> Format.eprintf "unexpected: %a@." Campaign.Record.pp r)
+              bad;
+            `Error
+              (false, Printf.sprintf "%d task(s) did not verify" (List.length bad))
+          | _ -> `Ok ()))
+  in
+  let rows_arg =
+    let doc = "Rows to include (default: every registered row); e.g. cas buffer-2." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ROW…" ~doc)
+  in
+  let exclude_arg =
+    let doc = "Rows to exclude from the grid." in
+    Arg.(value & opt (list string) [] & info [ "exclude" ] ~docv:"ROW,…" ~doc)
+  in
+  let opt_ints name docv doc =
+    Arg.(value & opt (some (list int)) None & info [ name ] ~docv ~doc)
+  in
+  let ells_arg = opt_ints "ells" "L1,…" "Buffer capacities for the ℓ-buffer rows." in
+  let ns_arg = opt_ints "ns" "N1,…" "Process counts in the grid." in
+  let depths_arg = opt_ints "depths" "D1,…" "Exploration depths in the grid." in
+  let engines_arg =
+    let doc = "Engines in the grid: naive, memo, parallel or parallel-<k>." in
+    Arg.(value & opt (some (list string)) None & info [ "engines" ] ~docv:"E1,…" ~doc)
+  in
+  let reduces_arg =
+    let doc = "Reductions in the grid: none, commute, symmetric, full." in
+    Arg.(value & opt (some (list string)) None & info [ "reduce" ] ~docv:"R1,…" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-task wall-clock budget in seconds for check tasks (0 disables); an \
+       expired task records a timeout verdict and the sweep continues."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let solo_fuel_arg =
+    let doc = "Solo-probe fuel for check tasks." in
+    Arg.(value & opt (some int) None & info [ "solo-fuel" ] ~docv:"FUEL" ~doc)
+  in
+  let stress_seeds_arg =
+    let doc = "Stress-run seeds (one stress task per row, n and seed)." in
+    Arg.(value & opt (some (list int)) None & info [ "stress-seeds" ] ~docv:"S1,…" ~doc)
+  in
+  let stress_prefix_arg =
+    let doc = "Adversarial random steps before each stress run's sequential finish." in
+    Arg.(value & opt (some int) None & info [ "stress-prefix" ] ~docv:"STEPS" ~doc)
+  in
+  let stress_burst_arg =
+    let doc = "Maximum burst length of the stress runs' bursty-random adversary." in
+    Arg.(value & opt (some int) None & info [ "stress-burst" ] ~docv:"B" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains executing tasks concurrently." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Campaign store directory: results land in DIR/results, telemetry in \
+       DIR/events.jsonl.  Re-running with the same directory resumes, skipping \
+       every task already recorded."
+    in
+    Arg.(value & opt string "_campaign" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Use the CI smoke preset (every registry row, n=2, depth 4, one stress seed) \
+       as the base grid; other flags still override it."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let fresh_arg =
+    let doc = "Ignore stored results: re-run and overwrite every task." in
+    Arg.(value & flag & info [ "fresh" ] ~doc)
+  in
+  let dry_run_arg =
+    let doc = "Print the expanded task list with fingerprints and exit." in
+    Arg.(value & flag & info [ "dry-run" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the JSON report (grid + every record) to this file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the per-record CSV report to this file." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-task progress lines (the report still prints)." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let fail_arg =
+    let doc = "Exit non-zero if any task's verdict is not `verified'." in
+    Arg.(value & flag & info [ "fail-on-unexpected" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a persistent, resumable verification campaign over the Table-1 \
+          matrix: expand a rows × n × depth × engine × reduction grid (plus \
+          seeded stress runs) into content-addressed tasks, execute them over a \
+          domain pool with per-task deadlines and crash isolation, store every \
+          verdict on disk, and render the verified slice of Table 1.  Killing a \
+          campaign loses nothing: re-running with the same --dir resumes where \
+          it stopped.")
+    Term.(
+      ret
+        (const run $ rows_arg $ exclude_arg $ ells_arg $ ns_arg $ depths_arg
+       $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ stress_seeds_arg
+       $ stress_prefix_arg $ stress_burst_arg $ domains_arg $ dir_arg $ smoke_arg
+       $ fresh_arg $ dry_run_arg $ json_arg $ csv_arg $ quiet_arg $ fail_arg))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -425,6 +650,7 @@ let () =
             table_cmd;
             run_cmd;
             modelcheck_cmd;
+            campaign_cmd;
             lint_cmd;
             growth_cmd;
             adversary_cmd;

@@ -15,11 +15,13 @@ let () =
      Modelcheck.explore ~probe:`Everywhere Consensus.Maxreg_protocol.protocol
        ~inputs:[| 0; 1 |] ~depth:12
    with
-   | Ok s ->
+   | Explore.Completed s ->
      Printf.printf
        "max-registers, n=2: no violation in %d configurations (%d solo probes)\n"
        s.configs s.probes
-   | Error f -> Printf.printf "unexpected violation: %s\n" (Modelcheck.failure_message f));
+   | Explore.Timed_out _ -> print_endline "?! unbounded run timed out"
+   | Explore.Falsified f ->
+     Printf.printf "unexpected violation: %s\n" (Modelcheck.failure_message f));
 
   (* 2. Plant a bug: racing counters deciding at a lead of 1 instead of n.
      The checker produces the interleaving that breaks agreement. *)
@@ -37,8 +39,8 @@ let () =
     end)
   in
   (match Modelcheck.explore ~probe:`Everywhere buggy ~inputs:[| 0; 1 |] ~depth:12 with
-   | Ok _ -> print_endline "?! the bug survived"
-   | Error f ->
+   | Explore.Completed _ | Explore.Timed_out _ -> print_endline "?! the bug survived"
+   | Explore.Falsified f ->
      (* The failure carries a replayable witness, already shrunk to a minimal
         interleaving by delta debugging. *)
      Printf.printf "planted bug caught: %s\n" (Modelcheck.failure_message f);

@@ -1,0 +1,148 @@
+type outcome = {
+  total : int;
+  executed : int;
+  cached : int;
+  aborted : int;
+  records : Record.t list;
+  elapsed : float;
+}
+
+type event =
+  | Campaign_started of { total : int; cached : int }
+  | Task_started of { index : int; task : Task.t }
+  | Task_finished of {
+      index : int;
+      task : Task.t;
+      record : Record.t;
+      cached : bool;
+    }
+  | Campaign_finished of outcome
+
+let json_of_event = function
+  | Campaign_started { total; cached } ->
+    Json.Obj
+      [
+        ("event", Json.String "campaign_started");
+        ("total", Json.Int total);
+        ("cached", Json.Int cached);
+      ]
+  | Task_started { index; task } ->
+    Json.Obj
+      [
+        ("event", Json.String "task_started");
+        ("index", Json.Int index);
+        ("task", Json.String (Task.fingerprint task));
+        ("describe", Json.String (Task.describe task));
+      ]
+  | Task_finished { index; task = _; record; cached } ->
+    Json.Obj
+      [
+        ("event", Json.String "task_finished");
+        ("index", Json.Int index);
+        ("task", Json.String record.Record.task);
+        ("status", Json.String (Record.status_name record.status));
+        ("configs", Json.Int record.configs);
+        ("elapsed", Json.Float record.elapsed);
+        ("cached", Json.Bool cached);
+      ]
+  | Campaign_finished o ->
+    Json.Obj
+      [
+        ("event", Json.String "campaign_finished");
+        ("total", Json.Int o.total);
+        ("executed", Json.Int o.executed);
+        ("cached", Json.Int o.cached);
+        ("aborted", Json.Int o.aborted);
+        ("elapsed", Json.Float o.elapsed);
+      ]
+
+(* Warm the symmetry-certification cache before the pool starts:
+   [Analysis.Symmetry.run_cache] is a plain Hashtbl mutated on miss, so
+   concurrent first lookups from worker domains would race.  Hits are
+   read-only, so certifying each distinct (protocol, inputs) pair here once
+   makes the workers' lookups safe. *)
+let precertify tasks =
+  List.iter
+    (fun (t : Task.t) ->
+      match t.work with
+      | Task.Check { reduce; _ } when reduce.Explore.symmetric ->
+        ignore
+          (Analysis.Symmetry.certify_for_run t.row.protocol ~inputs:t.inputs)
+      | _ -> ())
+    tasks
+
+let run ?(domains = 1) ?(use_cache = true) ?(stop = fun () -> false)
+    ?(on_event = fun _ -> ()) ~store tasks =
+  let t0 = Unix.gettimeofday () in
+  let items =
+    List.mapi (fun index task -> (index, task, Task.fingerprint task)) tasks
+  in
+  let total = List.length items in
+  let cached, pending =
+    List.partition_map
+      (fun (index, task, fp) ->
+        match if use_cache then Store.find store fp else None with
+        | Some record -> Either.Left (index, task, record)
+        | None -> Either.Right (index, task))
+      items
+  in
+  let mu = Mutex.create () in
+  let emit ev =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        Store.log_event store (json_of_event ev);
+        on_event ev)
+  in
+  emit (Campaign_started { total; cached = List.length cached });
+  let results = Array.make total None in
+  List.iter
+    (fun (index, task, record) ->
+      results.(index) <- Some record;
+      emit (Task_finished { index; task; record; cached = true }))
+    cached;
+  precertify (List.map snd pending);
+  let queue = Array.of_list pending in
+  let next = Atomic.make 0 in
+  let executed = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if stop () then continue := false
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length queue then continue := false
+        else begin
+          let index, task = queue.(i) in
+          emit (Task_started { index; task });
+          let record = Task.run task in
+          Store.put store record;
+          results.(index) <- Some record;
+          Atomic.incr executed;
+          emit (Task_finished { index; task; record; cached = false })
+        end
+      end
+    done
+  in
+  let width = max 1 (min domains (Array.length queue)) in
+  if width <= 1 then worker ()
+  else
+    Array.init width (fun _ -> Domain.spawn worker)
+    |> Array.iter Domain.join;
+  let executed = Atomic.get executed in
+  let records =
+    Array.to_list results |> List.filter_map (fun r -> r)
+  in
+  let outcome =
+    {
+      total;
+      executed;
+      cached = List.length cached;
+      aborted = total - executed - List.length cached;
+      records;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  emit (Campaign_finished outcome);
+  outcome

@@ -1,0 +1,58 @@
+(** The campaign work-queue executor.
+
+    Expands nothing and decides nothing: it takes the task list a {!Spec}
+    produced, skips every task whose fingerprint already has a record in the
+    {!Store} (the resume path), and runs the rest over a pool of domains
+    with crash isolation — a task that raises becomes a [Crash] record, not
+    a dead campaign.  Every task completion is persisted to the store
+    before the next task starts, so killing the process at any point loses
+    at most the tasks in flight. *)
+
+type outcome = {
+  total : int;  (** tasks in the campaign *)
+  executed : int;  (** tasks actually run in this invocation *)
+  cached : int;  (** tasks skipped because the store already had a record *)
+  aborted : int;  (** tasks never started because [stop] fired *)
+  records : Record.t list;
+      (** one record per non-aborted task, in task-list order *)
+  elapsed : float;
+}
+
+type event =
+  | Campaign_started of { total : int; cached : int }
+  | Task_started of { index : int; task : Task.t }
+  | Task_finished of {
+      index : int;
+      task : Task.t;
+      record : Record.t;
+      cached : bool;
+    }
+  | Campaign_finished of outcome
+
+val json_of_event : event -> Json.t
+(** The structured telemetry rendering appended to the store's
+    [events.jsonl] for every event. *)
+
+val run :
+  ?domains:int ->
+  ?use_cache:bool ->
+  ?stop:(unit -> bool) ->
+  ?on_event:(event -> unit) ->
+  store:Store.t ->
+  Task.t list ->
+  outcome
+(** Run a campaign.
+
+    [domains] (default 1) is the worker-pool width; with 1 the tasks run
+    inline on the calling domain.  [use_cache] (default [true]) controls
+    the resume path — [false] re-runs every task, overwriting stored
+    records.  [stop] (default never) is polled before each task is
+    claimed; once it returns [true] no further tasks start, already
+    running tasks finish, and the remainder count as [aborted].
+    [on_event] observes progress; it is called under the executor's lock,
+    so events arrive serialized and in order per task.
+
+    Symmetric-reduction tasks are pre-certified sequentially before the
+    pool starts (the certification cache is not safe to populate from
+    concurrent domains); the certification cost is attributed to the first
+    task that needs each (protocol, inputs) pair. *)

@@ -1,0 +1,43 @@
+(** A minimal JSON tree, printer and parser.
+
+    The repository deliberately carries no third-party JSON dependency; this
+    module is the single JSON implementation shared by the campaign store,
+    the campaign reports and the bench writers, so all of their outputs
+    round-trip through the same code and are diffable with the same
+    tooling.  It covers exactly the JSON this repository emits: finite
+    floats, 63-bit integers, UTF-8 passed through byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Floats print with
+    enough digits to round-trip exactly through {!of_string}. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for files meant to be read by humans
+    (campaign reports, bench outputs). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed); [Error _] carries
+    a byte offset.  Numbers with a ['.'], ['e'] or ['E'] parse as [Float],
+    the rest as [Int]. *)
+
+val member : string -> t -> t
+(** Field of an [Obj], or [Null] when absent or not an object — composes
+    without option-plumbing: [json |> member "a" |> member "b"]. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** [Int] values promote. *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option

@@ -1,0 +1,177 @@
+type status =
+  | Verified
+  | Violation of {
+      kind : string;
+      message : string;
+      schedule : int list;
+      probe : int option;
+    }
+  | Timeout
+  | Crash of string
+
+let status_name = function
+  | Verified -> "verified"
+  | Violation { kind; _ } -> "violation:" ^ kind
+  | Timeout -> "timeout"
+  | Crash _ -> "crash"
+
+type t = {
+  task : string;
+  kind : string;
+  row : string;
+  protocol : string;
+  n : int;
+  depth : int;
+  engine : string;
+  reduce : string;
+  status : status;
+  configs : int;
+  probes : int;
+  dedup_hits : int;
+  sleep_pruned : int;
+  truncated : bool;
+  elapsed : float;
+  extra : (string * Json.t) list;
+}
+
+let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ~status ?(configs = 0)
+    ?(probes = 0) ?(dedup_hits = 0) ?(sleep_pruned = 0) ?(truncated = false)
+    ?(elapsed = 0.0) ?(extra = []) () =
+  {
+    task;
+    kind;
+    row;
+    protocol;
+    n;
+    depth;
+    engine;
+    reduce;
+    status;
+    configs;
+    probes;
+    dedup_hits;
+    sleep_pruned;
+    truncated;
+    elapsed;
+    extra;
+  }
+
+let json_of_status = function
+  | Verified -> [ ("status", Json.String "verified") ]
+  | Violation { kind; message; schedule; probe } ->
+    [
+      ("status", Json.String "violation");
+      ( "violation",
+        Json.Obj
+          [
+            ("kind", Json.String kind);
+            ("message", Json.String message);
+            ("schedule", Json.List (List.map (fun p -> Json.Int p) schedule));
+            ("probe", match probe with Some p -> Json.Int p | None -> Json.Null);
+          ] );
+    ]
+  | Timeout -> [ ("status", Json.String "timeout") ]
+  | Crash message ->
+    [ ("status", Json.String "crash"); ("crash", Json.String message) ]
+
+let to_json r =
+  Json.Obj
+    ([
+       ("task", Json.String r.task);
+       ("kind", Json.String r.kind);
+       ("row", Json.String r.row);
+       ("protocol", Json.String r.protocol);
+       ("n", Json.Int r.n);
+       ("depth", Json.Int r.depth);
+       ("engine", Json.String r.engine);
+       ("reduce", Json.String r.reduce);
+     ]
+    @ json_of_status r.status
+    @ [
+        ("configs", Json.Int r.configs);
+        ("probes", Json.Int r.probes);
+        ("dedup_hits", Json.Int r.dedup_hits);
+        ("sleep_pruned", Json.Int r.sleep_pruned);
+        ("truncated", Json.Bool r.truncated);
+        ("elapsed", Json.Float r.elapsed);
+      ]
+    @ match r.extra with [] -> [] | extra -> [ ("extra", Json.Obj extra) ])
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name get =
+    match get (Json.member name json) with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "record: missing or ill-typed field %S" name)
+  in
+  let* task = field "task" Json.get_string in
+  let* kind = field "kind" Json.get_string in
+  let* row = field "row" Json.get_string in
+  let* protocol = field "protocol" Json.get_string in
+  let* n = field "n" Json.get_int in
+  let* depth = field "depth" Json.get_int in
+  let* engine = field "engine" Json.get_string in
+  let* reduce = field "reduce" Json.get_string in
+  let* status =
+    match Json.get_string (Json.member "status" json) with
+    | Some "verified" -> Ok Verified
+    | Some "timeout" -> Ok Timeout
+    | Some "crash" ->
+      let* message = field "crash" Json.get_string in
+      Ok (Crash message)
+    | Some "violation" ->
+      let v = Json.member "violation" json in
+      let vfield name get =
+        match get (Json.member name v) with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "record: violation missing field %S" name)
+      in
+      let* vkind = vfield "kind" Json.get_string in
+      let* message = vfield "message" Json.get_string in
+      let* schedule_json = vfield "schedule" Json.get_list in
+      let* schedule =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match Json.get_int item with
+            | Some p -> Ok (p :: acc)
+            | None -> Error "record: non-integer pid in violation schedule")
+          schedule_json (Ok [])
+      in
+      let probe = Json.get_int (Json.member "probe" v) in
+      Ok (Violation { kind = vkind; message; schedule; probe })
+    | Some other -> Error (Printf.sprintf "record: unknown status %S" other)
+    | None -> Error "record: missing status"
+  in
+  let* configs = field "configs" Json.get_int in
+  let* probes = field "probes" Json.get_int in
+  let* dedup_hits = field "dedup_hits" Json.get_int in
+  let* sleep_pruned = field "sleep_pruned" Json.get_int in
+  let* truncated = field "truncated" Json.get_bool in
+  let* elapsed = field "elapsed" Json.get_float in
+  let extra =
+    match Json.member "extra" json with Json.Obj fields -> fields | _ -> []
+  in
+  Ok
+    {
+      task;
+      kind;
+      row;
+      protocol;
+      n;
+      depth;
+      engine;
+      reduce;
+      status;
+      configs;
+      probes;
+      dedup_hits;
+      sleep_pruned;
+      truncated;
+      elapsed;
+      extra;
+    }
+
+let pp ppf r =
+  Format.fprintf ppf "%s n=%d %s/%s d=%d: %s (%d configs, %.3f s)" r.row r.n r.engine
+    r.reduce r.depth (status_name r.status) r.configs r.elapsed

@@ -1,0 +1,212 @@
+type cell = {
+  row : string;
+  n : int;
+  status : Record.status;
+  verified : int;
+  total : int;
+  configs : int;
+  elapsed : float;
+}
+
+type t = {
+  row_ids : string list;
+  ns : int list;
+  grid : cell list;
+  records : Record.t list;
+}
+
+let severity = function
+  | Record.Violation _ -> 3
+  | Record.Crash _ -> 2
+  | Record.Timeout -> 1
+  | Record.Verified -> 0
+
+(* wide enough to cover every ℓ a campaign plausibly instantiates *)
+let registry_ells = List.init 12 (fun i -> i + 1)
+
+let registry = lazy (Hierarchy.rows ~ells:registry_ells ())
+
+let registry_row id =
+  List.find_opt (fun (r : Hierarchy.row) -> r.id = id) (Lazy.force registry)
+
+let make records =
+  let sorted_uniq cmp l = List.sort_uniq cmp l in
+  let ids = sorted_uniq compare (List.map (fun (r : Record.t) -> r.row) records) in
+  let row_ids =
+    (* registry order first, then ids the registry does not know *)
+    let known =
+      List.filter_map
+        (fun (r : Hierarchy.row) -> if List.mem r.id ids then Some r.id else None)
+        (Lazy.force registry)
+    in
+    known @ List.filter (fun id -> not (List.mem id known)) ids
+  in
+  let ns = sorted_uniq compare (List.map (fun (r : Record.t) -> r.n) records) in
+  let grid =
+    List.concat_map
+      (fun row ->
+        List.filter_map
+          (fun n ->
+            match
+              List.filter (fun (r : Record.t) -> r.row = row && r.n = n) records
+            with
+            | [] -> None
+            | rs ->
+              let worst =
+                List.fold_left
+                  (fun acc (r : Record.t) ->
+                    if severity r.status > severity acc then r.status else acc)
+                  Record.Verified rs
+              in
+              Some
+                {
+                  row;
+                  n;
+                  status = worst;
+                  verified =
+                    List.length
+                      (List.filter
+                         (fun (r : Record.t) -> r.status = Record.Verified)
+                         rs);
+                  total = List.length rs;
+                  configs =
+                    List.fold_left (fun a (r : Record.t) -> a + r.configs) 0 rs;
+                  elapsed =
+                    List.fold_left (fun a (r : Record.t) -> a +. r.elapsed) 0. rs;
+                })
+          ns)
+      row_ids
+  in
+  { row_ids; ns; grid; records }
+
+let cells t = t.grid
+
+let unexpected t =
+  List.filter (fun (r : Record.t) -> r.status <> Record.Verified) t.records
+
+let status_cellname = function
+  | Record.Verified -> "ok"
+  | Record.Violation { kind; _ } -> "VIOLATION:" ^ kind
+  | Record.Timeout -> "timeout"
+  | Record.Crash _ -> "CRASH"
+
+let cell_text c =
+  match c.status with
+  | Record.Verified -> Printf.sprintf "ok %d/%d %.2fs" c.verified c.total c.elapsed
+  | status ->
+    Printf.sprintf "%s %d/%d" (status_cellname status) (c.total - c.verified) c.total
+
+let render t =
+  let find_cell row n =
+    List.find_opt (fun c -> c.row = row && c.n = n) t.grid
+  in
+  let header =
+    [ "row"; "iset"; "paper lower"; "paper upper" ]
+    @ List.map (fun n -> Printf.sprintf "n=%d" n) t.ns
+  in
+  let line row =
+    let iset, lower, upper =
+      match registry_row row with
+      | Some r -> (r.iset, r.paper_lower, r.paper_upper)
+      | None -> ("?", "?", "?")
+    in
+    [ row; iset; lower; upper ]
+    @ List.map
+        (fun n ->
+          match find_cell row n with None -> "\xe2\x80\x94" | Some c -> cell_text c)
+        t.ns
+  in
+  let table = header :: List.map line t.row_ids in
+  (* display width: the em dash is 3 bytes, 1 column *)
+  let width s = if s = "\xe2\x80\x94" then 1 else String.length s in
+  let cols = List.length header in
+  let colw =
+    List.init cols (fun i ->
+        List.fold_left (fun w line -> max w (width (List.nth line i))) 0 table)
+  in
+  let buf = Buffer.create 1024 in
+  let emit line =
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf s;
+        if i < cols - 1 then
+          Buffer.add_string buf (String.make (List.nth colw i - width s + 2) ' '))
+      line;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  emit (List.map (fun w -> String.make w '-') colw);
+  List.iter (fun row -> emit (line row)) t.row_ids;
+  Buffer.contents buf
+
+let to_json t =
+  let cell_json c =
+    Json.Obj
+      [
+        ("n", Json.Int c.n);
+        ("status", Json.String (Record.status_name c.status));
+        ("verified", Json.Int c.verified);
+        ("total", Json.Int c.total);
+        ("configs", Json.Int c.configs);
+        ("elapsed", Json.Float c.elapsed);
+      ]
+  in
+  let row_json id =
+    let meta =
+      match registry_row id with
+      | Some r ->
+        [
+          ("iset", Json.String r.iset);
+          ("paper_lower", Json.String r.paper_lower);
+          ("paper_upper", Json.String r.paper_upper);
+        ]
+      | None -> []
+    in
+    Json.Obj
+      ((("id", Json.String id) :: meta)
+      @ [
+          ( "cells",
+            Json.List
+              (List.filter_map
+                 (fun c -> if c.row = id then Some (cell_json c) else None)
+                 t.grid) );
+        ])
+  in
+  Json.Obj
+    [
+      ("ns", Json.List (List.map (fun n -> Json.Int n) t.ns));
+      ("rows", Json.List (List.map row_json t.row_ids));
+      ("unexpected", Json.Int (List.length (unexpected t)));
+      ("records", Json.List (List.map Record.to_json t.records));
+    ]
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "row,n,kind,engine,reduce,depth,status,configs,probes,elapsed,task\n";
+  List.iter
+    (fun (r : Record.t) ->
+      Buffer.add_string buf
+        (String.concat ","
+           [
+             csv_field r.row;
+             string_of_int r.n;
+             csv_field r.kind;
+             csv_field r.engine;
+             csv_field r.reduce;
+             string_of_int r.depth;
+             csv_field (Record.status_name r.status);
+             string_of_int r.configs;
+             string_of_int r.probes;
+             Printf.sprintf "%.6f" r.elapsed;
+             csv_field r.task;
+           ]);
+      Buffer.add_char buf '\n')
+    t.records;
+  Buffer.contents buf

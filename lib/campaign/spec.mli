@@ -1,0 +1,45 @@
+(** Declarative campaign specifications.
+
+    A spec is a grid — registry rows × process counts × depths × engines ×
+    reductions, plus stress seeds — with include/exclude row filters.
+    {!tasks} expands it into the concrete task list the executor runs; the
+    expansion is deterministic, so the same spec always names the same
+    content-addressed tasks and a re-run resumes instead of restarting. *)
+
+type t = {
+  ells : int list;  (** ℓ-buffer instantiations, as in {!Hierarchy.rows} *)
+  include_rows : string list;  (** row ids to keep; empty means every row *)
+  exclude_rows : string list;
+  ns : int list;
+  depths : int list;
+  engines : Explore.engine list;
+  reduces : Explore.reduction list;
+  probe : Explore.probe_policy;
+  solo_fuel : int;
+  deadline : float option;  (** per-task wall-clock budget for checks *)
+  stress_seeds : int list;  (** one stress task per (row, n, seed) *)
+  stress_prefix : int;
+  stress_max_burst : int;
+  stress_fuel : int;
+}
+
+val default : t
+(** Every row, [ns = [2; 3]], depths [[6]], memo engine, commute reduction,
+    10 s deadline, two stress seeds. *)
+
+val smoke : t
+(** The CI preset: every registry row ([ells = [1; 2]]) at [n = 2],
+    depth 4, memo engine with commutativity reduction, a 10 s per-task
+    deadline and one stress seed — small enough for a pull-request gate,
+    wide enough to cover the full Table 1 registry. *)
+
+val engine_of_string : string -> (Explore.engine, string) result
+(** ["naive"], ["memo"], ["parallel"] or ["parallel-<k>"]. *)
+
+val reduction_of_string : string -> (Explore.reduction, string) result
+(** ["none"], ["commute"], ["symmetric"], ["full"]. *)
+
+val tasks : t -> (Task.t list, string) result
+(** Expand the grid: per (row, n), one [Check] task per depth × engine ×
+    reduction and one [Stress] task per stress seed.  [Error _] if a filter
+    names an unknown row id or a grid dimension is empty. *)

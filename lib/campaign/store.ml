@@ -1,0 +1,85 @@
+type t = {
+  dir : string;
+  results_dir : string;
+  events_file : string;
+  index : (string, Record.t) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let rec mkdirs path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let dir t = t.dir
+
+let open_ ~dir =
+  let results_dir = Filename.concat dir "results" in
+  mkdirs results_dir;
+  let index = Hashtbl.create 64 in
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".json" then begin
+        let path = Filename.concat results_dir file in
+        match Result.bind (Json.of_string (read_file path)) Record.of_json with
+        | Ok r -> Hashtbl.replace index r.Record.task r
+        | Error e ->
+          Printf.eprintf "campaign store: skipping unreadable %s (%s)\n%!" path e
+        | exception Sys_error e ->
+          Printf.eprintf "campaign store: skipping unreadable %s (%s)\n%!" path e
+      end)
+    (Sys.readdir results_dir);
+  {
+    dir;
+    results_dir;
+    events_file = Filename.concat dir "events.jsonl";
+    index;
+    mu = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let find t task = locked t (fun () -> Hashtbl.find_opt t.index task)
+let mem t task = locked t (fun () -> Hashtbl.mem t.index task)
+
+let put t (r : Record.t) =
+  locked t (fun () ->
+      let final = Filename.concat t.results_dir (r.task ^ ".json") in
+      (* atomic on POSIX: a crashed campaign leaves whole records or none *)
+      let tmp = final ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Json.to_string_pretty (Record.to_json r));
+          output_char oc '\n');
+      Sys.rename tmp final;
+      Hashtbl.replace t.index r.task r)
+
+let records t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ r acc -> r :: acc) t.index []
+      |> List.sort (fun (a : Record.t) (b : Record.t) ->
+             compare (a.row, a.n, a.kind, a.task) (b.row, b.n, b.kind, b.task)))
+
+let count t = locked t (fun () -> Hashtbl.length t.index)
+
+let log_event t json =
+  locked t (fun () ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.events_file
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Json.to_string json);
+          output_char oc '\n'))

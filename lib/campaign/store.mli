@@ -1,0 +1,39 @@
+(** The persistent, content-addressed campaign result store.
+
+    On-disk layout under the store directory:
+    {v
+      results/<task-fingerprint>.json    one Record.t per completed task
+      events.jsonl                       append-only telemetry log
+    v}
+
+    Records are written atomically (temp file + rename), so a campaign
+    killed mid-run leaves only whole records behind; re-opening the store
+    recovers every completed task and the executor skips them.  Corrupt or
+    foreign files under [results/] are ignored with a warning rather than
+    poisoning the sweep.  All operations are safe to call from multiple
+    domains. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating directories as needed) and index every valid record. *)
+
+val dir : t -> string
+
+val find : t -> string -> Record.t option
+(** Look up by task fingerprint. *)
+
+val mem : t -> string -> bool
+
+val put : t -> Record.t -> unit
+(** Persist atomically under [results/<r.task>.json] and index in memory;
+    overwrites any previous record for the same task. *)
+
+val records : t -> Record.t list
+(** Every indexed record, sorted by (row, n, kind, task) for stable
+    reports. *)
+
+val count : t -> int
+
+val log_event : t -> Json.t -> unit
+(** Append one compact JSON line to [events.jsonl]. *)

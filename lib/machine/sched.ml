@@ -38,6 +38,33 @@ let random ~seed =
   in
   from (Random.State.make [| seed |])
 
+let random_bursts ~seed ~max_burst =
+  if max_burst < 1 then invalid_arg "Sched.random_bursts: max_burst < 1";
+  (* like [random], state is copied before use so a retained scheduler value
+     replays the same choices *)
+  let rec fresh st =
+    { next =
+        (fun ~running ~step:_ ->
+          match running with
+          | [] -> None
+          | _ ->
+            let st = Random.State.copy st in
+            let pid = List.nth running (Random.State.int st (List.length running)) in
+            let burst = 1 + Random.State.int st max_burst in
+            Some (pid, continue st pid (burst - 1)))
+    }
+  and continue st pid remaining =
+    if remaining = 0 then fresh st
+    else
+      { next =
+          (fun ~running ~step ->
+            (* the burst owner decided (or was never running): re-roll *)
+            if List.mem pid running then Some (pid, continue st pid (remaining - 1))
+            else (fresh st).next ~running ~step)
+      }
+  in
+  fresh (Random.State.make [| seed |])
+
 let rec script pids =
   { next =
       (fun ~running ~step:_ ->

@@ -22,6 +22,15 @@ val round_robin : t
 val random : seed:int -> t
 (** Uniformly random choice at each step, deterministic in [seed]. *)
 
+val random_bursts : seed:int -> max_burst:int -> t
+(** A bursty adversary: pick a running process uniformly, run it for a
+    uniform 1‥[max_burst] consecutive steps (cut short if it decides), then
+    pick again.  Deterministic in [seed] — equal seeds replay identical
+    schedules, which is what lets stress campaign tasks be content-addressed
+    and replayed.  Bursts stress the solo-progress paths that a per-step
+    uniform adversary rarely exercises.
+    @raise Invalid_argument if [max_burst < 1]. *)
+
 val script : int list -> t
 (** Follow the given pids, skipping entries that are not running; stops at
     the end of the list. *)

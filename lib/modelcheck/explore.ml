@@ -138,7 +138,12 @@ let pp_witness ppf w =
      | None -> ""
      | Some pid -> Printf.sprintf " then p%d solo" pid)
 
-type outcome = (stats, failure) result
+type timeout = { partial : stats; deadline : float }
+
+type 'a verdict =
+  | Completed of 'a
+  | Falsified of failure
+  | Timed_out of timeout
 
 exception Violation of witness
 
@@ -350,7 +355,7 @@ module Run (P : Consensus.Proto.S) = struct
      exactly once), then the unvisited frontier is deduped by fingerprint
      and drained by [domains] workers from a shared queue.  Each frontier
      item carries its schedule prefix so workers report full witnesses. *)
-  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs c root depth =
+  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~past c root depth =
     let fp = fingerprint_fn ~reduce ~inputs in
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
@@ -360,6 +365,7 @@ module Run (P : Consensus.Proto.S) = struct
         let next =
           List.concat_map
             (fun (path, cfg) ->
+              if past () then raise Stop;
               c.configs <- c.configs + 1;
               check ~inputs ~path cfg;
               if M.running_count cfg = 0 then []
@@ -393,15 +399,26 @@ module Run (P : Consensus.Proto.S) = struct
     let items = Array.of_list frontier in
     let next_item = Atomic.make 0 in
     let stopped = Atomic.make false in
+    let timed = Atomic.make false in
     let mu = Mutex.create () in
     let errors = ref [] in
     let worker_counters = ref [] in
     let worker () =
       let wc = fresh () in
       let table = Some (Hashtbl.create 4096) in
-      let stop () = Atomic.get stopped in
+      (* the deadline stops a worker exactly like a sibling's violation does;
+         [timed] remembers which of the two it was *)
+      let stop () =
+        Atomic.get stopped
+        ||
+        if past () then begin
+          Atomic.set timed true;
+          true
+        end
+        else Atomic.get timed
+      in
       let rec loop () =
-        if not (Atomic.get stopped) then begin
+        if not (Atomic.get stopped || Atomic.get timed) then begin
           let i = Atomic.fetch_and_add next_item 1 in
           if i < Array.length items then begin
             let path, cfg = items.(i) in
@@ -426,10 +443,11 @@ module Run (P : Consensus.Proto.S) = struct
     List.iter Domain.join doms;
     List.iter (merge c) !worker_counters;
     (* Report the violation of the earliest frontier item that found one,
-       so the witness is as deterministic as the work split allows. *)
+       so the witness is as deterministic as the work split allows.  A
+       violation outranks the deadline: it is real partial evidence. *)
     match List.sort compare !errors with
     | (_, w) :: _ -> raise (Violation w)
-    | [] -> ()
+    | [] -> if Atomic.get timed then raise Stop
 
   exception Invalid_schedule
 
@@ -535,12 +553,13 @@ module Run (P : Consensus.Proto.S) = struct
      configuration or decidable by a solo continuation from one.  Sound to
      prune on the fingerprint table because equal fingerprints imply equal
      future behaviour, hence equal decidable-value contributions. *)
-  let decidable ~reduce ~solo_fuel ~inputs ~table c cfg depth =
+  let decidable ~reduce ~solo_fuel ~inputs ~table ~stop c cfg depth =
     let fp = fingerprint_fn ~reduce ~inputs in
     let seen = Hashtbl.create 7 in
     let rec go cfg d path sleep =
       guard ~table ~fp c cfg d sleep (fun () -> visit cfg d path sleep)
     and visit cfg d path sleep =
+      if stop () then raise Stop;
       c.configs <- c.configs + 1;
       List.iter (fun (_, v) -> Hashtbl.replace seen v ()) (M.decisions cfg);
       match M.running cfg with
@@ -590,33 +609,46 @@ module Run (P : Consensus.Proto.S) = struct
     List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 end
 
+(* The deadline clock starts after the symmetry gate: certification cost is
+   bounded and cached, and billing it to the engine would make the same task
+   time out on a cold cache but complete on a warm one. *)
+let past_of ~t0 = function
+  | None -> None
+  | Some d ->
+    let at = t0 +. d in
+    Some (fun () -> Unix.gettimeofday () > at)
+
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
-    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry
+    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
     (module P : Consensus.Proto.S) ~inputs ~depth =
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
+  let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
   let result =
     try
       (match engine with
        | `Naive ->
-         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~stop:R.no_stop c root depth
-           []
+         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~stop:past c root depth []
        | `Memo ->
          R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
-           ~stop:R.no_stop c root depth []
+           ~stop:past c root depth []
        | `Parallel k ->
-         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs c root depth);
-      Ok ()
-    with Violation w -> Error w
+         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~past c root depth);
+      `Done
+    with
+    | Violation w -> `Violation w
+    | R.Stop -> `Timeout
   in
   (* engine time only — witness replay/shrink below is timed separately *)
   let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
   match result with
-  | Ok () -> Ok stats
-  | Error w -> Error (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+  | `Done -> Completed stats
+  | `Violation w -> Falsified (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+  | `Timeout ->
+    Timed_out { partial = stats; deadline = Option.value deadline ~default:0. }
 
 type replay_report = {
   violation : (violation_kind * string) option;
@@ -631,19 +663,23 @@ let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
     Error "invalid witness: the schedule names a process that cannot step"
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
-    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry
+    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
     (module P : Consensus.Proto.S) ~inputs ~depth =
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
+  let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
   let table = if memo then Some (Hashtbl.create 4096) else None in
-  match R.decidable ~reduce ~solo_fuel ~inputs ~table c root depth with
-  | values -> Ok values
+  match R.decidable ~reduce ~solo_fuel ~inputs ~table ~stop:past c root depth with
+  | values -> Completed values
   | exception Violation w ->
     let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
-    Error (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+    Falsified (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+  | exception R.Stop ->
+    let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
+    Timed_out { partial = stats; deadline = Option.value deadline ~default:0. }
 
 type deepen_report = {
   depth_reached : int;
@@ -664,11 +700,26 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
   let elapsed () = Unix.gettimeofday () -. t0 in
   let rec go d best =
     let out_of_budget = match best with Some _ -> elapsed () >= budget | None -> false in
-    if d > max_depth || out_of_budget then Ok (Option.get best)
+    if d > max_depth || out_of_budget then Completed (Option.get best)
     else begin
-      match run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true proto ~inputs ~depth:d with
-      | Error f -> Error f
-      | Ok s ->
+      (* the remaining budget bounds each iteration, so one oversized
+         iteration can no longer blow past the budget *)
+      match
+        run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true
+          ~deadline:(budget -. elapsed ()) proto ~inputs ~depth:d
+      with
+      | Falsified f -> Falsified f
+      | Timed_out t ->
+        (match best with
+         | Some b ->
+           Completed
+             {
+               b with
+               total_configs = b.total_configs + t.partial.configs;
+               total_elapsed = elapsed ();
+             }
+         | None -> Timed_out { t with deadline = budget })
+      | Completed s ->
         let total_configs =
           (match best with Some b -> b.total_configs | None -> 0) + s.configs
         in
@@ -681,7 +732,7 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
             total_elapsed = elapsed ();
           }
         in
-        if not s.truncated then Ok b else go (d + 1) (Some b)
+        if not s.truncated then Completed b else go (d + 1) (Some b)
     end
   in
   go 1 None

@@ -131,8 +131,19 @@ val failure_message : failure -> string
 (** The violation message of the (shrunk) witness — string-compatible with
     the pre-witness API. *)
 
-type outcome = (stats, failure) result
-(** [Error f] describes the first violation found, with its witness. *)
+type timeout = {
+  partial : stats;  (** the engine's counters up to the moment it stopped *)
+  deadline : float; (** the wall-clock budget (seconds) that expired *)
+}
+
+type 'a verdict =
+  | Completed of 'a       (** exploration ran to its depth bound *)
+  | Falsified of failure  (** a violation was found, with its witness *)
+  | Timed_out of timeout  (** the wall-clock deadline expired first *)
+(** The three-way outcome of a deadline-aware exploration.  [Completed]
+    carries the engine stats ({!run}) or the decidable-value set
+    ({!decidable_values}); [Timed_out] is a structured partial result, not
+    an error — the campaign executor records it per task and moves on. *)
 
 val run :
   ?probe:probe_policy ->
@@ -142,10 +153,11 @@ val run :
   ?reduce:reduction ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
+  ?deadline:float ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
-  outcome
+  stats verdict
 (** [run proto ~inputs ~depth] explores the schedule tree to [depth] steps
     with the chosen [engine] (default [`Naive]).  Probing (default
     [`Leaves]) is as in {!Modelcheck.explore}.  [reduce] (default
@@ -157,7 +169,15 @@ val run :
     given) receives the verdict either way.  On a violation the witness is
     replayed for confirmation and, unless [shrink:false], minimized by
     greedy schedule-segment deletion (each candidate kept iff its replay
-    still raises the same violation kind). *)
+    still raises the same violation kind).
+
+    [deadline] (wall-clock seconds; default unbounded) bounds the engine
+    proper: every engine — including each parallel worker — checks it at
+    each visited configuration and returns [Timed_out] with the counters
+    accumulated so far instead of running unbounded.  The deadline clock
+    starts after the symmetry gate, and a configuration's probes are not
+    interrupted mid-probe (solo runs are already bounded by [solo_fuel]),
+    so expiry is detected within one configuration's worth of work. *)
 
 type replay_report = {
   violation : (violation_kind * string) option;
@@ -184,18 +204,19 @@ val decidable_values :
   ?reduce:reduction ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
+  ?deadline:float ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
-  (int list, failure) result
+  int list verdict
 (** The set of values some solo continuation decides from some configuration
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the same fingerprint transposition table as the
     [`Memo] engine (disable with [memo:false] to get the naive walk) and
-    honours [reduce] like {!run} — reductions preserve the decidable-value
-    set because every reachable configuration is still probed; a process
-    that fails to decide solo is reported as an obstruction-freedom failure
-    with a witness. *)
+    honours [reduce] and [deadline] like {!run} — reductions preserve the
+    decidable-value set because every reachable configuration is still
+    probed; a process that fails to decide solo is reported ([Falsified]) as
+    an obstruction-freedom failure with a witness. *)
 
 type deepen_report = {
   depth_reached : int;   (** deepest completed iteration *)
@@ -217,11 +238,15 @@ val deepen :
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->
-  (deepen_report, failure) result
+  deepen_report verdict
 (** Iterative deepening: run depth 1, 2, … until the exploration completes
     (no branch truncated), [max_depth] is reached, or the wall-clock
-    [budget] (default 1.0 s, checked between iterations) runs out.  The
-    default [engine] is [`Memo], which makes each re-iteration cheap.
-    [Error f] if any iteration finds a violation.  The symmetry gate
+    [budget] (default 1.0 s) runs out.  The default [engine] is [`Memo],
+    which makes each re-iteration cheap.  The remaining budget is passed to
+    each iteration as its [deadline], so a single oversized iteration can no
+    longer blow past the budget: an iteration that times out returns the
+    deepest previously completed report ([Completed], with
+    [complete = false]), or [Timed_out] if even depth 1 did not finish.
+    [Falsified f] if any iteration finds a violation.  The symmetry gate
     ([reduce.symmetric], [force], [notify_symmetry] — see {!run}) fires
     once, against [max_depth]. *)

@@ -4,8 +4,6 @@ type stats = {
   truncated : bool;
 }
 
-type outcome = (stats, Explore.failure) result
-
 exception Violation of string
 
 let failure_message = Explore.failure_message
@@ -14,26 +12,34 @@ let failure_message = Explore.failure_message
    point, kept as a thin wrapper so existing callers (synthesis, tests,
    executables) keep their signature.  Violations now carry a replayable,
    shrunk witness; [failure_message] recovers the old string. *)
-let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry p ~inputs
-    ~depth =
+let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry ?deadline p
+    ~inputs ~depth =
   match
-    Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry p
-      ~inputs ~depth
+    Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry
+      ?deadline p ~inputs ~depth
   with
-  | Ok (s : Explore.stats) ->
-    Ok { configs = s.Explore.configs; probes = s.Explore.probes; truncated = s.Explore.truncated }
-  | Error f -> Error f
+  | Explore.Completed (s : Explore.stats) ->
+    Explore.Completed
+      { configs = s.Explore.configs; probes = s.Explore.probes; truncated = s.Explore.truncated }
+  | Falsified f -> Falsified f
+  | Timed_out t -> Timed_out t
 
 (* Bivalence on the shared memoized DFS core (Explore's fingerprint
    transposition table); errors flattened back to strings for the callers
-   that predate witnesses. *)
-let decidable_values ?solo_fuel ?reduce ?force ?notify_symmetry p ~inputs ~depth =
+   that predate witnesses — a timeout flattens too, since for bivalence a
+   partial value set is not a sound answer. *)
+let decidable_values ?solo_fuel ?reduce ?force ?notify_symmetry ?deadline p ~inputs
+    ~depth =
   match
-    Explore.decidable_values ?solo_fuel ~memo:true ?reduce ?force ?notify_symmetry p
-      ~inputs ~depth
+    Explore.decidable_values ?solo_fuel ~memo:true ?reduce ?force ?notify_symmetry
+      ?deadline p ~inputs ~depth
   with
-  | Ok vs -> Ok vs
-  | Error f -> Error (failure_message f)
+  | Explore.Completed vs -> Ok vs
+  | Falsified f -> Error (failure_message f)
+  | Timed_out t ->
+    Error
+      (Printf.sprintf "timed out after %.3gs (%d configurations visited)" t.deadline
+         t.partial.configs)
 
 (* The original unmemoized walk, kept verbatim as the reference
    implementation for differential testing of the port above. *)

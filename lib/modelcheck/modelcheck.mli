@@ -19,10 +19,6 @@ type stats = {
   truncated : bool;     (** some branch hit the depth bound *)
 }
 
-type outcome = (stats, Explore.failure) result
-(** [Error f] describes the first violation found; [f.witness.schedule] is
-    the minimal interleaving that reproduces it. *)
-
 val failure_message : Explore.failure -> string
 (** The violation message — string-compatible with the pre-witness API
     (re-export of {!Explore.failure_message}). *)
@@ -35,10 +31,11 @@ val explore :
   ?reduce:Explore.reduction ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
+  ?deadline:float ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
-  outcome
+  stats Explore.verdict
 (** [explore proto ~inputs ~depth] walks the full schedule tree to [depth]
     steps.  Probing (default [`Leaves]: only where the depth bound cuts the
     tree off, or [`Everywhere]: at every configuration) checks that each
@@ -57,16 +54,19 @@ val explore :
     {!Explore.reduction} for when each half is sound).  Symmetric reduction
     is gated on the pid-symmetry certifier: an uncertified protocol raises
     {!Explore.Uncertified_symmetry} unless [force] is set, and
-    [notify_symmetry] receives the certification verdict.  This is a thin
-    wrapper over {!Explore.run}, which also exposes dedup/timing stats,
-    witness replay ({!Explore.replay}) and iterative deepening
-    ({!Explore.deepen}). *)
+    [notify_symmetry] receives the certification verdict.  [deadline]
+    bounds the wall-clock budget: an expired run returns
+    [Explore.Timed_out] with the partial counters instead of running
+    unbounded.  This is a thin wrapper over {!Explore.run}, which also
+    exposes dedup/timing stats, witness replay ({!Explore.replay}) and
+    iterative deepening ({!Explore.deepen}). *)
 
 val decidable_values :
   ?solo_fuel:int ->
   ?reduce:Explore.reduction ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
+  ?deadline:float ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -75,7 +75,9 @@ val decidable_values :
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the [`Memo] engine's fingerprint transposition
     table ({!Explore.decidable_values}), so commuting schedules are walked
-    once; [reduce] as in {!explore}. *)
+    once; [reduce] as in {!explore}.  [deadline] as in {!explore}, but
+    flattened to [Error _]: a partial value set would not witness anything,
+    so a timeout here is just a failure to answer. *)
 
 val decidable_values_naive :
   ?solo_fuel:int ->

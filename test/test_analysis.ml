@@ -93,7 +93,8 @@ let test_gate_refuses_uncertified () =
      (match verdict with
       | Symmetry.Asymmetric _ -> ()
       | v -> Alcotest.failf "gate verdict: got %a" Symmetry.pp_verdict v)
-   | Ok _ | Error _ -> Alcotest.fail "gate did not fire on rw with equal inputs");
+   | Explore.Completed _ | Explore.Falsified _ | Explore.Timed_out _ ->
+     Alcotest.fail "gate did not fire on rw with equal inputs");
   (* decidable_values goes through the same gate *)
   (match Explore.decidable_values ~reduce:sym rw ~inputs:[| 0; 0 |] ~depth:4 with
    | exception Explore.Uncertified_symmetry _ -> ()
@@ -105,8 +106,9 @@ let test_gate_refuses_uncertified () =
        ~notify_symmetry:(fun v -> notified := Some v)
        rw ~inputs:[| 0; 0 |] ~depth:4
    with
-   | Ok _ -> ()
-   | Error f -> Alcotest.failf "forced run failed: %s" (Explore.failure_message f)
+   | Explore.Completed _ -> ()
+   | Explore.Falsified f -> Alcotest.failf "forced run failed: %s" (Explore.failure_message f)
+   | Explore.Timed_out _ -> Alcotest.fail "forced run timed out without a deadline"
    | exception Explore.Uncertified_symmetry _ ->
      Alcotest.fail "gate fired despite ~force:true");
   (match !notified with
@@ -121,10 +123,11 @@ let test_gate_passes_certified () =
       ~notify_symmetry:(fun v -> notified := Some v)
       Consensus.Cas_protocol.protocol ~inputs:[| 0; 0 |] ~depth:6
   with
-  | Ok _ ->
+  | Explore.Completed _ ->
     Alcotest.(check bool) "verdict is a certificate" true
       (match !notified with Some v -> Symmetry.certified v | None -> false)
-  | Error f -> Alcotest.failf "cas failed: %s" (Explore.failure_message f)
+  | Explore.Falsified f -> Alcotest.failf "cas failed: %s" (Explore.failure_message f)
+  | Explore.Timed_out _ -> Alcotest.fail "cas timed out without a deadline"
   | exception Explore.Uncertified_symmetry { verdict; _ } ->
     Alcotest.failf "gate refused certified cas: %a" Symmetry.pp_verdict verdict
 
@@ -144,21 +147,25 @@ let test_certified_reduction_differential () =
     (fun (name, proto, depth) ->
       List.iter
         (fun inputs ->
+          let completed = function Explore.Completed _ -> true | _ -> false in
           let plain =
-            Explore.run ~engine:`Naive proto ~inputs ~depth |> Result.is_ok
+            Explore.run ~engine:`Naive proto ~inputs ~depth |> completed
           in
           List.iter
             (fun (ename, engine) ->
               let reduced =
                 Explore.run ~engine ~reduce:Explore.full_reduction proto ~inputs
                   ~depth
-                |> Result.is_ok
+                |> completed
               in
               Alcotest.(check bool)
                 (Printf.sprintf "%s/%s: reduced verdict matches plain" name ename)
                 plain reduced)
             engines;
-          let values r = Result.get_ok r in
+          let values = function
+            | Explore.Completed vs -> vs
+            | _ -> Alcotest.fail "decidable_values did not complete"
+          in
           let plain_vs = values (Explore.decidable_values proto ~inputs ~depth) in
           let reduced_vs =
             values

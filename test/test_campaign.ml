@@ -1,0 +1,406 @@
+(* The campaign subsystem: JSON round-trips, the shared record schema, task
+   fingerprints, the persistent store, and the resumable executor. *)
+
+let temp_dir () =
+  let dir = Filename.temp_file "test_campaign" "" in
+  Sys.remove dir;
+  dir
+
+(* --- json -------------------------------------------------------------- *)
+
+let sample_json =
+  Campaign.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("bool", Bool true);
+        ("int", Int (-42));
+        ("float", Float 1.5);
+        ("big", Float 6.02214076e23);
+        ("string", String "with \"quotes\", a \\ backslash,\n a newline and \t tab");
+        ("list", List [ Int 1; Int 2; List []; Obj [] ]);
+        ("nested", Obj [ ("inner", List [ Bool false; Null ]) ]);
+      ])
+
+let test_json_roundtrip () =
+  List.iter
+    (fun to_string ->
+      match Campaign.Json.of_string (to_string sample_json) with
+      | Ok j -> Alcotest.(check bool) "round-trips" true (j = sample_json)
+      | Error e -> Alcotest.fail e)
+    [ Campaign.Json.to_string; Campaign.Json.to_string_pretty ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Campaign.Json.of_string s with
+      | Ok _ -> Alcotest.failf "parsed %S?!" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "{} trailing" ]
+
+let test_json_accessors () =
+  let j = sample_json in
+  Alcotest.(check (option int)) "int" (Some (-42))
+    (Campaign.Json.get_int (Campaign.Json.member "int" j));
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Campaign.Json.get_bool (Campaign.Json.member "bool" j));
+  Alcotest.(check (option (float 1e-9))) "int promotes to float" (Some (-42.0))
+    (Campaign.Json.get_float (Campaign.Json.member "int" j));
+  Alcotest.(check bool) "absent member is Null" true
+    (Campaign.Json.member "no-such-key" j = Campaign.Json.Null)
+
+(* --- record ------------------------------------------------------------ *)
+
+let record ?(status = Campaign.Record.Verified) ?(task = "0123456789abcdef") () =
+  Campaign.Record.make ~task ~kind:"check" ~row:"cas" ~protocol:"cas-consensus" ~n:3
+    ~depth:6 ~engine:"memo" ~reduce:"commute" ~status ~configs:120 ~probes:14
+    ~dedup_hits:9 ~sleep_pruned:2 ~truncated:true ~elapsed:0.125
+    ~extra:[ ("seed", Campaign.Json.Int 7) ]
+    ()
+
+let statuses =
+  [
+    Campaign.Record.Verified;
+    Campaign.Record.Violation
+      { kind = "agreement"; message = "p0=1 p1=0"; schedule = [ 0; 1; 1 ]; probe = Some 1 };
+    Campaign.Record.Violation
+      { kind = "validity"; message = "decided 9"; schedule = []; probe = None };
+    Campaign.Record.Timeout;
+    Campaign.Record.Crash "Stack_overflow";
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun status ->
+      let r = record ~status () in
+      match Campaign.Record.of_json (Campaign.Record.to_json r) with
+      | Ok r' -> Alcotest.(check bool) "round-trips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    statuses
+
+let test_record_rejects_garbage () =
+  List.iter
+    (fun j ->
+      match Campaign.Record.of_json j with
+      | Ok _ -> Alcotest.fail "accepted a non-record?!"
+      | Error _ -> ())
+    [
+      Campaign.Json.Null;
+      Campaign.Json.Obj [ ("task", Campaign.Json.String "x") ];
+      Campaign.Json.Obj [ ("status", Campaign.Json.String "verified") ];
+    ]
+
+(* --- tasks and fingerprints -------------------------------------------- *)
+
+let row id =
+  match Hierarchy.find ~ells:[ 1; 2 ] id with
+  | Some r -> r
+  | None -> Alcotest.failf "registry row %s missing" id
+
+let commute = { Explore.commute = true; symmetric = false }
+
+let test_fingerprint_stable_and_distinct () =
+  let task = Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:4 (row "cas") ~n:2 in
+  let fp = Campaign.Task.fingerprint task in
+  Alcotest.(check string) "deterministic" fp (Campaign.Task.fingerprint task);
+  Alcotest.(check int) "16 hex chars" 16 (String.length fp);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    fp;
+  let fingerprints =
+    List.map Campaign.Task.fingerprint
+      [
+        task;
+        Campaign.Task.check ~engine:`Naive ~reduce:commute ~depth:4 (row "cas") ~n:2;
+        Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:5 (row "cas") ~n:2;
+        Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:4 (row "cas") ~n:3;
+        Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:4 (row "swap") ~n:2;
+        Campaign.Task.stress ~seed:1 ~prefix:64 ~max_burst:4 (row "cas") ~n:2;
+        Campaign.Task.stress ~seed:2 ~prefix:64 ~max_burst:4 (row "cas") ~n:2;
+      ]
+  in
+  Alcotest.(check int) "all distinct"
+    (List.length fingerprints)
+    (List.length (List.sort_uniq compare fingerprints))
+
+let test_spec_expansion () =
+  let spec =
+    {
+      Campaign.Spec.smoke with
+      Campaign.Spec.include_rows = [ "cas"; "swap" ];
+      ns = [ 2; 3 ];
+      depths = [ 3; 4 ];
+      stress_seeds = [ 1 ];
+    }
+  in
+  match Campaign.Spec.tasks spec with
+  | Error e -> Alcotest.fail e
+  | Ok tasks ->
+    (* 2 rows x 2 ns x (2 depths x 1 engine x 1 reduction + 1 stress seed) *)
+    Alcotest.(check int) "grid size" 12 (List.length tasks);
+    (match Campaign.Spec.tasks { spec with Campaign.Spec.include_rows = [ "no-such" ] } with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "accepted an unknown row id");
+    (match Campaign.Spec.tasks { spec with Campaign.Spec.ns = [] } with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "accepted an empty n grid")
+
+(* --- store ------------------------------------------------------------- *)
+
+let test_store_roundtrip_and_reopen () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  Alcotest.(check int) "fresh store empty" 0 (Campaign.Store.count store);
+  let r1 = record ~task:"aaaaaaaaaaaaaaaa" () in
+  let r2 = record ~task:"bbbbbbbbbbbbbbbb" ~status:Campaign.Record.Timeout () in
+  Campaign.Store.put store r1;
+  Campaign.Store.put store r2;
+  Alcotest.(check bool) "mem" true (Campaign.Store.mem store "aaaaaaaaaaaaaaaa");
+  Alcotest.(check bool) "find" true (Campaign.Store.find store "bbbbbbbbbbbbbbbb" = Some r2);
+  (* a second handle on the same directory recovers both records *)
+  let store' = Campaign.Store.open_ ~dir in
+  Alcotest.(check int) "reopened count" 2 (Campaign.Store.count store');
+  Alcotest.(check bool) "reopened record" true
+    (Campaign.Store.find store' "aaaaaaaaaaaaaaaa" = Some r1);
+  (* overwrite wins *)
+  let r1' = { r1 with Campaign.Record.elapsed = 9.0 } in
+  Campaign.Store.put store' r1';
+  Alcotest.(check bool) "overwritten" true
+    (Campaign.Store.find store' "aaaaaaaaaaaaaaaa" = Some r1')
+
+let test_store_skips_corrupt_files () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  Campaign.Store.put store (record ~task:"cccccccccccccccc" ());
+  let write name contents =
+    let oc = open_out (Filename.concat (Filename.concat dir "results") name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "not-json.json" "{ this is not json";
+  write "not-a-record.json" "{\"hello\": 1}";
+  let store' = Campaign.Store.open_ ~dir in
+  Alcotest.(check int) "only the valid record" 1 (Campaign.Store.count store');
+  Alcotest.(check bool) "valid record survives" true
+    (Campaign.Store.mem store' "cccccccccccccccc")
+
+(* --- executor ---------------------------------------------------------- *)
+
+let smoke_tasks () =
+  let spec =
+    {
+      Campaign.Spec.smoke with
+      Campaign.Spec.include_rows = [ "cas"; "swap"; "max-register" ];
+      depths = [ 3 ];
+    }
+  in
+  match Campaign.Spec.tasks spec with
+  | Ok tasks -> tasks
+  | Error e -> Alcotest.fail e
+
+let test_executor_runs_and_verifies () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  let tasks = smoke_tasks () in
+  let o = Campaign.Executor.run ~store tasks in
+  Alcotest.(check int) "total" (List.length tasks) o.Campaign.Executor.total;
+  Alcotest.(check int) "all executed" (List.length tasks) o.Campaign.Executor.executed;
+  Alcotest.(check int) "none cached" 0 o.Campaign.Executor.cached;
+  Alcotest.(check int) "records for every task" (List.length tasks)
+    (List.length o.Campaign.Executor.records);
+  List.iter
+    (fun (r : Campaign.Record.t) ->
+      Alcotest.(check string) "verified"
+        "verified"
+        (Campaign.Record.status_name r.Campaign.Record.status))
+    o.Campaign.Executor.records;
+  (* the report covers every requested row with a verified cell *)
+  let report = Campaign.Report.make o.Campaign.Executor.records in
+  Alcotest.(check int) "nothing unexpected" 0
+    (List.length (Campaign.Report.unexpected report));
+  let rendered = Campaign.Report.render report in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (id ^ " appears in the rendering")
+        true (contains rendered id))
+    [ "cas"; "swap"; "max-register" ]
+
+let test_executor_resumes_after_interrupt () =
+  let dir = temp_dir () in
+  let tasks = smoke_tasks () in
+  let total = List.length tasks in
+  (* first run: stop after 4 completed tasks — an interrupted campaign *)
+  let finished = ref 0 in
+  let on_event = function
+    | Campaign.Executor.Task_finished _ -> incr finished
+    | _ -> ()
+  in
+  let store = Campaign.Store.open_ ~dir in
+  let first =
+    Campaign.Executor.run ~store ~stop:(fun () -> !finished >= 4) ~on_event tasks
+  in
+  Alcotest.(check int) "first run executed 4" 4 first.Campaign.Executor.executed;
+  Alcotest.(check int) "first run aborted the rest" (total - 4)
+    first.Campaign.Executor.aborted;
+  (* second run against the same directory: picks up exactly the remainder *)
+  let store' = Campaign.Store.open_ ~dir in
+  let second = Campaign.Executor.run ~store:store' tasks in
+  Alcotest.(check int) "second run skips completed tasks" 4
+    second.Campaign.Executor.cached;
+  Alcotest.(check int) "second run executes the remainder" (total - 4)
+    second.Campaign.Executor.executed;
+  Alcotest.(check int) "nothing aborted" 0 second.Campaign.Executor.aborted;
+  Alcotest.(check int) "full record set" total
+    (List.length second.Campaign.Executor.records);
+  (* third run: everything cached, nothing executed *)
+  let third = Campaign.Executor.run ~store:(Campaign.Store.open_ ~dir) tasks in
+  Alcotest.(check int) "third run all cached" total third.Campaign.Executor.cached;
+  Alcotest.(check int) "third run executes nothing" 0 third.Campaign.Executor.executed
+
+let test_executor_honours_deadline () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  (* a negative deadline expires at the first check: verdict must be a
+     timeout record, not a hang and not a crash *)
+  let task =
+    Campaign.Task.check ~deadline:(-1.0) ~engine:`Memo ~reduce:commute ~depth:8
+      (row "swap") ~n:3
+  in
+  let o = Campaign.Executor.run ~store [ task ] in
+  match o.Campaign.Executor.records with
+  | [ r ] ->
+    Alcotest.(check string) "timeout verdict" "timeout"
+      (Campaign.Record.status_name r.Campaign.Record.status)
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_executor_isolates_crashes () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  let broken : Consensus.Proto.t =
+    (module struct
+      module I = Isets.Rw
+
+      let name = "deliberately-broken"
+      let locations ~n:_ = Some 1
+      let proc ~n:_ ~pid:_ ~input:_ = failwith "boom"
+    end)
+  in
+  let broken_row =
+    { (row "cas") with Hierarchy.id = "broken"; protocol = broken }
+  in
+  let tasks =
+    [
+      Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 broken_row ~n:2;
+      Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 (row "cas") ~n:2;
+    ]
+  in
+  let o = Campaign.Executor.run ~store tasks in
+  Alcotest.(check int) "both tasks ran" 2 o.Campaign.Executor.executed;
+  match o.Campaign.Executor.records with
+  | [ r_broken; r_ok ] ->
+    Alcotest.(check string) "crash captured" "crash"
+      (Campaign.Record.status_name r_broken.Campaign.Record.status);
+    Alcotest.(check string) "sweep continued past it" "verified"
+      (Campaign.Record.status_name r_ok.Campaign.Record.status)
+  | rs -> Alcotest.failf "expected two records, got %d" (List.length rs)
+
+let test_executor_logs_events () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir in
+  let tasks = [ Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 (row "cas") ~n:2 ] in
+  ignore (Campaign.Executor.run ~store tasks);
+  let ic = open_in (Filename.concat dir "events.jsonl") in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let events =
+    List.rev_map
+      (fun line ->
+        match Campaign.Json.of_string line with
+        | Ok j -> Option.get (Campaign.Json.get_string (Campaign.Json.member "event" j))
+        | Error e -> Alcotest.failf "unparseable event line %S: %s" line e)
+      !lines
+  in
+  Alcotest.(check (list string)) "telemetry sequence"
+    [ "campaign_started"; "task_started"; "task_finished"; "campaign_finished" ]
+    events
+
+(* --- report ------------------------------------------------------------ *)
+
+let test_report_worst_status_wins () =
+  let rs =
+    [
+      record ~task:"1111111111111111" ();
+      record ~task:"2222222222222222" ~status:Campaign.Record.Timeout ();
+      record ~task:"3333333333333333"
+        ~status:
+          (Campaign.Record.Violation
+             { kind = "agreement"; message = "boom"; schedule = [ 0 ]; probe = None })
+        ();
+    ]
+  in
+  let report = Campaign.Report.make rs in
+  (match Campaign.Report.cells report with
+   | [ c ] ->
+     Alcotest.(check string) "violation dominates" "violation:agreement"
+       (Campaign.Record.status_name c.Campaign.Report.status);
+     Alcotest.(check int) "verified count" 1 c.Campaign.Report.verified;
+     Alcotest.(check int) "total count" 3 c.Campaign.Report.total
+   | cs -> Alcotest.failf "expected one cell, got %d" (List.length cs));
+  Alcotest.(check int) "two unexpected records" 2
+    (List.length (Campaign.Report.unexpected report));
+  (* csv: a header plus one line per record *)
+  let csv = Campaign.Report.to_csv report in
+  Alcotest.(check int) "csv lines" 4
+    (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "round-trip all statuses" `Quick test_record_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_record_rejects_garbage;
+        ] );
+      ( "task",
+        [
+          Alcotest.test_case "fingerprints stable and distinct" `Quick
+            test_fingerprint_stable_and_distinct;
+          Alcotest.test_case "spec expansion" `Quick test_spec_expansion;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round-trip and reopen" `Quick test_store_roundtrip_and_reopen;
+          Alcotest.test_case "skips corrupt files" `Quick test_store_skips_corrupt_files;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "runs and verifies" `Quick test_executor_runs_and_verifies;
+          Alcotest.test_case "resumes after interrupt" `Quick
+            test_executor_resumes_after_interrupt;
+          Alcotest.test_case "honours deadlines" `Quick test_executor_honours_deadline;
+          Alcotest.test_case "isolates crashes" `Quick test_executor_isolates_crashes;
+          Alcotest.test_case "logs telemetry events" `Quick test_executor_logs_events;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "worst status wins" `Quick test_report_worst_status_wins;
+        ] );
+    ]

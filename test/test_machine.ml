@@ -333,6 +333,36 @@ let test_sched_random_deterministic () =
   Alcotest.(check bool) "different seed differs" true (t1 <> t3);
   List.iter (fun p -> Alcotest.(check bool) "pid in range" true (p >= 0 && p < 3)) t1
 
+let test_sched_random_bursts () =
+  let t1 = trace (Sched.random_bursts ~seed:5 ~max_burst:4) ~n:3 ~steps:60 in
+  let t2 = trace (Sched.random_bursts ~seed:5 ~max_burst:4) ~n:3 ~steps:60 in
+  let t3 = trace (Sched.random_bursts ~seed:9 ~max_burst:4) ~n:3 ~steps:60 in
+  Alcotest.(check (list int)) "same seed, same trace" t1 t2;
+  Alcotest.(check bool) "different seed differs" true (t1 <> t3);
+  List.iter (fun p -> Alcotest.(check bool) "pid in range" true (p >= 0 && p < 3)) t1;
+  (* bursty: some run of equal pids longer than 1, yet every pid gets a turn
+     (back-to-back bursts of one pid can chain, so no upper run bound) *)
+  let longest_run =
+    let best, _, _ =
+      List.fold_left
+        (fun (best, run, prev) p ->
+          let run = if Some p = prev then run + 1 else 1 in
+          (max best run, run, Some p))
+        (0, 0, None) t1
+    in
+    best
+  in
+  Alcotest.(check bool) "some burst longer than 1" true (longest_run > 1);
+  List.iter
+    (fun pid -> Alcotest.(check bool) "every pid scheduled" true (List.mem pid t1))
+    [ 0; 1; 2 ];
+  (* max_burst = 1 degenerates to a plain uniform pick every step *)
+  let t = trace (Sched.random_bursts ~seed:5 ~max_burst:1) ~n:3 ~steps:40 in
+  Alcotest.(check int) "still schedules" 40 (List.length t);
+  Alcotest.check_raises "max_burst must be positive"
+    (Invalid_argument "Sched.random_bursts: max_burst < 1") (fun () ->
+      ignore (Sched.random_bursts ~seed:1 ~max_burst:0))
+
 let test_sched_alternate () =
   Alcotest.(check (list int))
     "alternates"
@@ -562,6 +592,7 @@ let () =
           Alcotest.test_case "solo" `Quick test_sched_solo;
           Alcotest.test_case "script" `Quick test_sched_script;
           Alcotest.test_case "random deterministic" `Quick test_sched_random_deterministic;
+          Alcotest.test_case "random bursts" `Quick test_sched_random_bursts;
           Alcotest.test_case "alternate" `Quick test_sched_alternate;
           Alcotest.test_case "fair" `Quick test_sched_fair;
           Alcotest.test_case "fair tight bounds" `Quick test_sched_fair_tight_bounds;

@@ -3,8 +3,10 @@
    ability to catch deliberately broken protocols. *)
 
 let ok_stats = function
-  | Ok (s : Modelcheck.stats) -> s
-  | Error f -> Alcotest.fail ("unexpected violation: " ^ Modelcheck.failure_message f)
+  | Explore.Completed (s : Modelcheck.stats) -> s
+  | Explore.Falsified f ->
+    Alcotest.fail ("unexpected violation: " ^ Modelcheck.failure_message f)
+  | Explore.Timed_out _ -> Alcotest.fail "unexpected timeout (no deadline given)"
 
 (* 1. Exhaustive verification of one-shot protocols (complete tree). *)
 let test_exhaustive_one_shot () =
@@ -160,8 +162,9 @@ let broken_nonterminating : Consensus.Proto.t =
 
 let expect_violation name outcome =
   match outcome with
-  | Error _ -> ()
-  | Ok (_ : Modelcheck.stats) -> Alcotest.fail (name ^ ": violation not detected")
+  | Explore.Falsified _ -> ()
+  | Explore.Completed (_ : Modelcheck.stats) | Explore.Timed_out _ ->
+    Alcotest.fail (name ^ ": violation not detected")
 
 let test_catches_broken () =
   expect_violation "disagree"
@@ -200,9 +203,10 @@ let test_stats_shape () =
 let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ]
 
 let outcome_class = function
-  | Ok (_ : Modelcheck.stats) -> "ok"
-  | Error (f : Explore.failure) ->
+  | Explore.Completed (_ : Modelcheck.stats) -> "ok"
+  | Explore.Falsified (f : Explore.failure) ->
     "violation:" ^ Explore.kind_name f.Explore.witness.Explore.kind
+  | Explore.Timed_out _ -> "timeout"
 
 let check_engines_agree ?solo_fuel name proto inputs depth =
   let verdict engine =
@@ -263,8 +267,10 @@ let test_memo_dedups () =
   let inputs = [| 0; 1; 2 |] and depth = 8 in
   let run engine =
     match Explore.run ~probe:`Leaves ~engine Consensus.Rw_protocol.protocol ~inputs ~depth with
-    | Ok s -> s
-    | Error f -> Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
+    | Explore.Completed s -> s
+    | Explore.Falsified f ->
+      Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
+    | Explore.Timed_out _ -> Alcotest.fail "unexpected timeout (no deadline given)"
   in
   let naive = run `Naive and memo = run `Memo in
   Alcotest.(check bool) "memo hits the table" true (memo.Explore.dedup_hits > 0);
@@ -293,8 +299,9 @@ let test_witness_replay_all_engines () =
         (fun (ename, engine) ->
           let label what = Printf.sprintf "%s/%s: %s" name ename what in
           match Explore.run ~probe:`Everywhere ~solo_fuel ~engine proto ~inputs ~depth with
-          | Ok _ -> Alcotest.fail (label "violation not detected")
-          | Error f ->
+          | Explore.Completed _ | Explore.Timed_out _ ->
+            Alcotest.fail (label "violation not detected")
+          | Explore.Falsified f ->
             let w = f.Explore.witness and o = f.Explore.original in
             Alcotest.(check bool) (label "original replays") true f.Explore.reproduced;
             Alcotest.(check bool)
@@ -352,8 +359,9 @@ let test_probe_finish_bounded () =
         Explore.run ~probe:`Everywhere ~solo_fuel:500 ~engine broken_peer_spin
           ~inputs:[| 0; 1 |] ~depth:2
       with
-      | Ok _ -> Alcotest.fail (ename ^ ": violation not detected")
-      | Error f ->
+      | Explore.Completed _ | Explore.Timed_out _ ->
+        Alcotest.fail (ename ^ ": violation not detected")
+      | Explore.Falsified f ->
         Alcotest.(check string)
           (ename ^ ": reported as non-termination")
           "termination"
@@ -399,11 +407,12 @@ let test_deepen_completes () =
     Explore.deepen ~budget:10.0 Consensus.Cas_protocol.protocol ~inputs:[| 0; 1 |]
       ~max_depth:10
   with
-  | Ok r ->
+  | Explore.Completed r ->
     Alcotest.(check bool) "complete" true r.Explore.complete;
     (* each process takes exactly one step, so depth 2 finishes the tree *)
     Alcotest.(check int) "depth reached" 2 r.Explore.depth_reached
-  | Error f -> Alcotest.fail (Explore.failure_message f)
+  | Explore.Falsified f -> Alcotest.fail (Explore.failure_message f)
+  | Explore.Timed_out _ -> Alcotest.fail "deepen timed out within a 10 s budget"
 
 (* 15. Reduction soundness, differentially.  The commutativity half (sleep
    sets) preserves the verdict for EVERY protocol; the symmetry half only
@@ -505,8 +514,10 @@ let test_reduce_effectiveness () =
   let proto = Consensus.Arith_protocols.add and inputs = [| 1; 1; 1 |] and depth = 8 in
   let run reduce =
     match Explore.run ~probe:`Leaves ~engine:`Memo ~reduce proto ~inputs ~depth with
-    | Ok s -> s
-    | Error f -> Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
+    | Explore.Completed s -> s
+    | Explore.Falsified f ->
+      Alcotest.fail ("unexpected violation: " ^ Explore.failure_message f)
+    | Explore.Timed_out _ -> Alcotest.fail "unexpected timeout (no deadline given)"
   in
   let plain = run Explore.no_reduction in
   let full = run Explore.full_reduction in
@@ -528,8 +539,9 @@ let test_failure_reports_stats () =
         Explore.run ~probe:`Everywhere ~solo_fuel:1_000 ~engine broken_disagree
           ~inputs:[| 0; 1 |] ~depth:3
       with
-      | Ok _ -> Alcotest.fail (ename ^ ": violation not detected")
-      | Error f ->
+      | Explore.Completed _ | Explore.Timed_out _ ->
+        Alcotest.fail (ename ^ ": violation not detected")
+      | Explore.Falsified f ->
         Alcotest.(check bool)
           (ename ^ ": engine stats attached") true
           (f.Explore.stats.Explore.configs > 0);
@@ -540,6 +552,53 @@ let test_failure_reports_stats () =
           (ename ^ ": diagnosis time non-negative") true
           (f.Explore.diagnosis_elapsed >= 0.))
     engines
+
+(* 19. Deadlines: an already-expired budget times out every engine
+   immediately — with the partial counters attached — while a generous one
+   leaves verdicts unchanged, including on broken protocols. *)
+let test_deadline_times_out () =
+  List.iter
+    (fun (ename, engine) ->
+      match
+        Explore.run ~engine ~deadline:(-1.0) Consensus.Maxreg_protocol.protocol
+          ~inputs:[| 0; 1 |] ~depth:10
+      with
+      | Explore.Timed_out t ->
+        Alcotest.(check (float 0.0)) (ename ^ ": deadline echoed") (-1.0) t.Explore.deadline;
+        Alcotest.(check bool)
+          (ename ^ ": partial stats are partial")
+          true
+          (t.Explore.partial.Explore.configs <= 1)
+      | Explore.Completed _ -> Alcotest.fail (ename ^ ": expired deadline completed")
+      | Explore.Falsified f -> Alcotest.fail (ename ^ ": " ^ Explore.failure_message f))
+    engines;
+  (match
+     Explore.decidable_values ~deadline:(-1.0) Consensus.Maxreg_protocol.protocol
+       ~inputs:[| 0; 1 |] ~depth:4
+   with
+   | Explore.Timed_out _ -> ()
+   | _ -> Alcotest.fail "decidable_values ignored the expired deadline");
+  match
+    Modelcheck.decidable_values ~deadline:(-1.0) Consensus.Maxreg_protocol.protocol
+      ~inputs:[| 0; 1 |] ~depth:4
+  with
+  | Error e ->
+    Alcotest.(check bool) "wrapper flattens the timeout to a message" true
+      (String.length e >= 9 && String.sub e 0 9 = "timed out")
+  | Ok _ -> Alcotest.fail "Modelcheck.decidable_values ignored the expired deadline"
+
+let test_deadline_generous_is_invisible () =
+  List.iter
+    (fun (ename, engine) ->
+      let s =
+        ok_stats
+          (Modelcheck.explore ~probe:`Everywhere ~engine ~deadline:3600.0
+             Consensus.Cas_protocol.protocol ~inputs:[| 0; 1 |] ~depth:6)
+      in
+      Alcotest.(check bool) (ename ^ ": complete under deadline") false s.truncated)
+    engines;
+  expect_violation "disagree under deadline"
+    (Modelcheck.explore ~deadline:3600.0 broken_disagree ~inputs:[| 0; 1 |] ~depth:3)
 
 let () =
   Alcotest.run "modelcheck"
@@ -587,5 +646,11 @@ let () =
             test_reduce_decidable_values;
           Alcotest.test_case "reduction effectiveness" `Quick test_reduce_effectiveness;
           Alcotest.test_case "failures carry stats" `Quick test_failure_reports_stats;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "expired deadline times out" `Quick test_deadline_times_out;
+          Alcotest.test_case "generous deadline is invisible" `Quick
+            test_deadline_generous_is_invisible;
         ] );
     ]
