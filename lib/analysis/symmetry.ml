@@ -195,6 +195,16 @@ let certify ?(depth = default_depth) ?(budget = default_budget) ?(inputs = [ 0; 
    each (protocol, inputs, depth) once across engines and reductions. *)
 let run_cache : (string, verdict) Hashtbl.t = Hashtbl.create 32
 
+(* The cache is shared across worker domains (the campaign executor certifies
+   from a pool); all Hashtbl accesses go through this lock.  Certification
+   itself runs outside the lock — a lost race recomputes an identical
+   immutable verdict, which is harmless. *)
+let run_cache_mu = Mutex.create ()
+
+let with_run_cache f =
+  Mutex.lock run_cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock run_cache_mu) f
+
 let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
     (module P : Consensus.Proto.S) ~inputs =
   let n = Array.length inputs in
@@ -203,7 +213,7 @@ let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
       (String.concat "," (List.map string_of_int (Array.to_list inputs)))
       depth budget
   in
-  match Hashtbl.find_opt run_cache key with
+  match with_run_cache (fun () -> Hashtbl.find_opt run_cache key) with
   | Some v -> v
   | None ->
     let pair_inputs = ref [] in
@@ -214,5 +224,9 @@ let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
       done
     done;
     let v = certify_pairs (module P) ~n ~depth ~budget (List.rev !pair_inputs) in
-    Hashtbl.add run_cache key v;
-    v
+    with_run_cache (fun () ->
+        match Hashtbl.find_opt run_cache key with
+        | Some v -> v
+        | None ->
+          Hashtbl.add run_cache key v;
+          v)

@@ -56,18 +56,20 @@ let json_of_event = function
         ("elapsed", Json.Float o.elapsed);
       ]
 
-(* Warm the symmetry-certification cache before the pool starts:
-   [Analysis.Symmetry.run_cache] is a plain Hashtbl mutated on miss, so
-   concurrent first lookups from worker domains would race.  Hits are
-   read-only, so certifying each distinct (protocol, inputs) pair here once
-   makes the workers' lookups safe. *)
+(* Warm the symmetry-certification cache before the pool starts, so worker
+   domains hit it instead of each redoing the (expensive) lockstep unfolding.
+   The key must match the one [Explore.certify_gate] computes for the task:
+   same inputs, and the gate's effective depth — it clamps the exploration
+   depth up to [Analysis.Symmetry.default_depth].  The cache itself is
+   mutex-protected, so a mismatch here costs duplicated work, not a race. *)
 let precertify tasks =
   List.iter
     (fun (t : Task.t) ->
       match t.work with
-      | Task.Check { reduce; _ } when reduce.Explore.symmetric ->
+      | Task.Check { reduce; depth; _ } when reduce.Explore.symmetric ->
         ignore
-          (Analysis.Symmetry.certify_for_run t.row.protocol ~inputs:t.inputs)
+          (Analysis.Symmetry.certify_for_run t.row.protocol ~inputs:t.inputs
+             ~depth:(max depth Analysis.Symmetry.default_depth))
       | _ -> ())
     tasks
 

@@ -130,7 +130,20 @@ let of_string s =
          | Some 'u' ->
            advance ();
            if !pos + 4 > n then fail "truncated \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           let hex = String.sub s !pos 4 in
+           let is_hex = function
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+             | _ -> false
+           in
+           (* validate before converting: int_of_string accepts OCaml-isms
+              (underscores, sign) and raises on garbage, both of which must
+              surface as a parse error, not an escaping Failure *)
+           if not (String.for_all is_hex hex) then fail "bad \\u escape";
+           let code =
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some code -> code
+             | None -> fail "bad \\u escape"
+           in
            pos := !pos + 4;
            (* we only emit \u for control characters; decode the BMP point
               as UTF-8 so parse inverts print *)

@@ -18,6 +18,7 @@ let sample_json =
         ("float", Float 1.5);
         ("big", Float 6.02214076e23);
         ("string", String "with \"quotes\", a \\ backslash,\n a newline and \t tab");
+        ("control", String "bell \007 and escape \027 go through \\u");
         ("list", List [ Int 1; Int 2; List []; Obj [] ]);
         ("nested", Obj [ ("inner", List [ Bool false; Null ]) ]);
       ])
@@ -36,7 +37,20 @@ let test_json_parse_errors () =
       match Campaign.Json.of_string s with
       | Ok _ -> Alcotest.failf "parsed %S?!" s
       | Error _ -> ())
-    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "{} trailing" ]
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\" 1}";
+      "nul";
+      "\"unterminated";
+      "{} trailing";
+      (* \u escapes: non-hex, OCaml-isms int_of_string would accept, truncated *)
+      "\"\\uZZZZ\"";
+      "\"\\u00_7\"";
+      "\"\\u-001\"";
+      "\"\\u12\"";
+    ]
 
 let test_json_accessors () =
   let j = sample_json in
@@ -181,6 +195,7 @@ let test_store_skips_corrupt_files () =
   in
   write "not-json.json" "{ this is not json";
   write "not-a-record.json" "{\"hello\": 1}";
+  write "bad-escape.json" "{\"task\": \"\\uZZZZ\"}";
   let store' = Campaign.Store.open_ ~dir in
   Alcotest.(check int) "only the valid record" 1 (Campaign.Store.count store');
   Alcotest.(check bool) "valid record survives" true
