@@ -1,0 +1,146 @@
+(* CI perf-smoke gate.
+
+   Reads the BENCH_modelcheck.json / BENCH_reduce.json a bench run just
+   wrote, plus the baseline BENCH_modelcheck.json committed in the tree
+   (copied aside before the run overwrites it), and fails (exit 1) when:
+
+   - any RED row explored *more* configurations under a reduction
+     (commute / symmetric / full) than the plain memoized engine did on the
+     same (protocol, inputs) — the reductions must dominate plain memo;
+   - any memoized MC row's configs/sec fell below the committed baseline's
+     slowest memoized rate for that protocol divided by a generous factor
+     (CI machines are noisy and the smoke grid is shallower than the
+     baseline grid, so only an order-of-magnitude collapse trips this).
+
+   Usage: perf_gate --baseline <committed MC json> \
+                    --current <fresh MC json> --reduce <fresh RED json> *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("perf-gate: " ^ s); exit 2) fmt
+
+(* An order-of-magnitude guard, not a tight bound: the smoke grid is
+   shallower than the baseline grid and CI boxes are noisy. *)
+let floor_divisor = 8.0
+
+let read_json path =
+  let ic = try open_in path with Sys_error e -> die "cannot open %s: %s" path e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Campaign.Json.of_string s with
+  | Ok j -> j
+  | Error e -> die "%s: %s" path e
+
+let rows json =
+  match Campaign.Json.(get_list (member "rows" json)) with
+  | Some l -> l
+  | None -> die "no \"rows\" array in bench json"
+
+let str name j = Campaign.Json.(get_string (member name j)) |> Option.value ~default:""
+let int name j = Campaign.Json.(get_int (member name j)) |> Option.value ~default:0
+
+let extra_float name j =
+  Campaign.Json.(get_float (member name (member "extra" j)))
+
+(* --------------------------------------------------- RED domination -- *)
+
+let check_reduction_domination red_json =
+  let rows = rows red_json in
+  (* plain-memo configs per (protocol row, input set) *)
+  let base = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if str "reduce" r = "none" then
+        let inputs =
+          match Campaign.Json.(get_string (member "inputs" (member "extra" r))) with
+          | Some s -> s
+          | None -> "?"
+        in
+        Hashtbl.replace base (str "row" r, inputs) (int "configs" r))
+    rows;
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      let reduce = str "reduce" r in
+      if reduce <> "none" then begin
+        let inputs =
+          match Campaign.Json.(get_string (member "inputs" (member "extra" r))) with
+          | Some s -> s
+          | None -> "?"
+        in
+        let row = str "row" r in
+        match Hashtbl.find_opt base (row, inputs) with
+        | None -> die "RED row %s/%s has no plain-memo counterpart" row inputs
+        | Some plain ->
+          let configs = int "configs" r in
+          if configs > plain then begin
+            incr failures;
+            Printf.printf
+              "FAIL %-11s %-9s %-10s explored %d configs > plain memo's %d\n" row
+              inputs reduce configs plain
+          end
+          else
+            Printf.printf "ok   %-11s %-9s %-10s %d <= %d\n" row inputs reduce configs
+              plain
+      end)
+    rows;
+  !failures
+
+(* ------------------------------------------------- MC throughput floor -- *)
+
+let memo_rates json =
+  List.filter_map
+    (fun r ->
+      if str "engine" r = "memo" then
+        match extra_float "configs_per_sec" r with
+        | Some rate -> Some (str "row" r, rate)
+        | None -> None
+      else None)
+    (rows json)
+
+let check_throughput_floor ~baseline ~current =
+  let base = memo_rates baseline in
+  let floor_of row =
+    (* slowest committed memoized rate for this protocol, across the
+       baseline grid's (n, depth) points *)
+    match List.filter_map (fun (r, v) -> if r = row then Some v else None) base with
+    | [] -> None
+    | rates -> Some (List.fold_left Float.min infinity rates /. floor_divisor)
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (row, rate) ->
+      match floor_of row with
+      | None -> Printf.printf "ok   %-11s memo %.0f cfg/s (no committed baseline row)\n" row rate
+      | Some floor ->
+        if rate < floor then begin
+          incr failures;
+          Printf.printf "FAIL %-11s memo %.0f cfg/s below floor %.0f (baseline/%.0f)\n"
+            row rate floor floor_divisor
+        end
+        else Printf.printf "ok   %-11s memo %.0f cfg/s >= floor %.0f\n" row rate floor)
+    (memo_rates current);
+  !failures
+
+let () =
+  let baseline = ref "" and current = ref "" and reduce = ref "" in
+  let rec parse = function
+    | "--baseline" :: v :: rest -> baseline := v; parse rest
+    | "--current" :: v :: rest -> current := v; parse rest
+    | "--reduce" :: v :: rest -> reduce := v; parse rest
+    | [] -> ()
+    | a :: _ -> die "unknown argument %s" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline = "" || !current = "" || !reduce = "" then
+    die "usage: perf_gate --baseline <mc.json> --current <mc.json> --reduce <red.json>";
+  print_endline "== reduction domination (RED rows) ==";
+  let f1 = check_reduction_domination (read_json !reduce) in
+  print_endline "== memoized throughput floor (MC rows) ==";
+  let f2 =
+    check_throughput_floor ~baseline:(read_json !baseline) ~current:(read_json !current)
+  in
+  if f1 + f2 > 0 then begin
+    Printf.printf "perf-gate: %d failure(s)\n" (f1 + f2);
+    exit 1
+  end;
+  print_endline "perf-gate: all checks passed"

@@ -193,17 +193,29 @@ let certify ?(depth = default_depth) ?(budget = default_budget) ?(inputs = [ 0; 
    equal-input pid pairs need certificates.  No such pair (all inputs
    distinct) certifies vacuously.  Memoized: the differential tests certify
    each (protocol, inputs, depth) once across engines and reductions. *)
-let run_cache : (string, verdict) Hashtbl.t = Hashtbl.create 32
-
 (* The cache is shared across worker domains (the campaign executor certifies
-   from a pool); all Hashtbl accesses go through this lock.  Certification
-   itself runs outside the lock — a lost race recomputes an identical
-   immutable verdict, which is harmless. *)
-let run_cache_mu = Mutex.create ()
+   from a pool).  It is sharded by key hash: each shard is an independent
+   mutex-protected Hashtbl, so domains certifying different rows never
+   contend on one global lock.  Certification itself runs outside any lock —
+   a lost race recomputes an identical immutable verdict, which is
+   harmless. *)
+let run_cache_shards = 16
 
-let with_run_cache f =
-  Mutex.lock run_cache_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock run_cache_mu) f
+type shard = { mu : Mutex.t; tbl : (string, verdict) Hashtbl.t }
+
+let run_cache : shard array =
+  Array.init run_cache_shards (fun _ ->
+      { mu = Mutex.create (); tbl = Hashtbl.create 8 })
+
+let shard_of key = run_cache.(Hashtbl.hash key land (run_cache_shards - 1))
+
+let with_shard s f =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+(* Empty every shard — benchmarks use this to measure cold certification. *)
+let reset_run_cache () =
+  Array.iter (fun s -> with_shard s (fun () -> Hashtbl.reset s.tbl)) run_cache
 
 let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
     (module P : Consensus.Proto.S) ~inputs =
@@ -213,7 +225,8 @@ let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
       (String.concat "," (List.map string_of_int (Array.to_list inputs)))
       depth budget
   in
-  match with_run_cache (fun () -> Hashtbl.find_opt run_cache key) with
+  let shard = shard_of key in
+  match with_shard shard (fun () -> Hashtbl.find_opt shard.tbl key) with
   | Some v -> v
   | None ->
     let pair_inputs = ref [] in
@@ -224,9 +237,9 @@ let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
       done
     done;
     let v = certify_pairs (module P) ~n ~depth ~budget (List.rev !pair_inputs) in
-    with_run_cache (fun () ->
-        match Hashtbl.find_opt run_cache key with
+    with_shard shard (fun () ->
+        match Hashtbl.find_opt shard.tbl key with
         | Some v -> v
         | None ->
-          Hashtbl.add run_cache key v;
+          Hashtbl.add shard.tbl key v;
           v)

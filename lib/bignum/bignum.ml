@@ -21,18 +21,25 @@ let make sign mag =
   else if k = n then { sign; mag }
   else { sign; mag = Array.sub mag 0 k }
 
+(* Build directly from a signed value with |v| < 2^62 — at most two
+   base-2^31 digits, allocated without the generic renormalising copy.
+   This is the single-digit fast-path constructor the arithmetic below
+   leans on: model-checked protocols overwhelmingly compute on cell values
+   that fit one digit. *)
+let of_small v =
+  if v = 0 then zero
+  else begin
+    let sign = if v < 0 then -1 else 1 in
+    let m = Stdlib.abs v in
+    let d1 = m lsr base_bits in
+    { sign; mag = (if d1 = 0 then [| m |] else [| m land base_mask; d1 |]) }
+  end
+
 let of_int i =
-  if i = 0 then zero
-  else if i = Stdlib.min_int then
+  if i = Stdlib.min_int then
     (* |min_int| = 2^62, i.e. bit 0 of the third base-2^31 digit. *)
     { sign = -1; mag = [| 0; 0; 1 |] }
-  else begin
-    let sign = if i < 0 then -1 else 1 in
-    let rec digits acc m =
-      if m = 0 then List.rev acc else digits ((m land base_mask) :: acc) (m lsr base_bits)
-    in
-    make sign (Array.of_list (digits [] (Stdlib.abs i)))
-  end
+  else of_small i
 
 let one = of_int 1
 let two = of_int 2
@@ -56,6 +63,38 @@ let compare x y =
   else cmp_mag y.mag x.mag
 
 let equal x y = compare x y = 0
+
+(* [compare x (of_int y)] without building the bignum.  Any non-min_int
+   native magnitude fits in at most two base-2^31 digits (|y| <= 2^62 - 1);
+   min_int's magnitude is exactly 2^62, whose precomputed representation is
+   the only allocation-free way to avoid [abs min_int] overflowing. *)
+let min_int_big = { sign = -1; mag = [| 0; 0; 1 |] }
+
+let compare_int x y =
+  if y = 0 then Stdlib.compare x.sign 0
+  else if y = Stdlib.min_int then compare x min_int_big
+  else begin
+    let ys = if y < 0 then -1 else 1 in
+    if x.sign <> ys then Stdlib.compare x.sign ys
+    else begin
+      let m = Stdlib.abs y in
+      let d0 = m land base_mask in
+      let d1 = m lsr base_bits in
+      let ylen = if d1 <> 0 then 2 else 1 in
+      let xlen = Array.length x.mag in
+      let c =
+        if xlen <> ylen then Stdlib.compare xlen ylen
+        else if xlen = 2 then begin
+          let c1 = Stdlib.compare x.mag.(1) d1 in
+          if c1 <> 0 then c1 else Stdlib.compare x.mag.(0) d0
+        end
+        else Stdlib.compare x.mag.(0) d0
+      in
+      if x.sign < 0 then -c else c
+    end
+  end
+
+let equal_int x y = compare_int x y = 0
 let min x y = if compare x y <= 0 then x else y
 let max x y = if compare x y >= 0 then x else y
 
@@ -93,6 +132,11 @@ let sub_mag a b =
 let add x y =
   if x.sign = 0 then y
   else if y.sign = 0 then x
+  else if Array.length x.mag = 1 && Array.length y.mag = 1 then
+    (* single-digit operands: one machine-int add replaces the carry loop
+       and the renormalising copy — the overwhelmingly common case in the
+       model checker's arithmetic instruction sets *)
+    of_small ((x.sign * x.mag.(0)) + (y.sign * y.mag.(0)))
   else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
   else begin
     match cmp_mag x.mag y.mag with
@@ -107,6 +151,10 @@ let pred x = sub x one
 
 let mul x y =
   if x.sign = 0 || y.sign = 0 then zero
+  else if Array.length x.mag = 1 && Array.length y.mag = 1 then
+    (* single-digit operands: the product of two base-2^31 digits fits a
+       native int (< 2^62), skipping the schoolbook loop entirely *)
+    of_small (x.sign * y.sign * (x.mag.(0) * y.mag.(0)))
   else begin
     let a = x.mag and b = y.mag in
     let la = Array.length a and lb = Array.length b in
@@ -138,6 +186,10 @@ let mul_int x i = mul x (of_int i)
 let divmod_small x d =
   if d <= 0 || d >= base then invalid_arg "Bignum.divmod_small: divisor out of range";
   if x.sign = 0 then (zero, 0)
+  else if Array.length x.mag = 1 then begin
+    let m = x.mag.(0) in
+    (of_small (x.sign * (m / d)), x.sign * (m mod d))
+  end
   else begin
     let a = x.mag in
     let l = Array.length a in
@@ -247,6 +299,14 @@ let pow b e =
   go one b e
 
 let to_int x =
+  if Array.length x.mag <= 2 then
+    (* at most 62 significant bits: always representable *)
+    Some
+      (match x.mag with
+       | [||] -> 0
+       | [| d0 |] -> x.sign * d0
+       | m -> x.sign * ((m.(1) lsl base_bits) lor m.(0)))
+  else begin
   (* An int fits iff the magnitude has at most 62 significant bits (or is
      exactly 2^62 for min_int). *)
   let n = num_bits x in
@@ -260,6 +320,7 @@ let to_int x =
   end
   else if n = 63 && x.sign < 0 && equal x (of_int Stdlib.min_int) then Some Stdlib.min_int
   else None
+  end
 
 let to_int_exn x =
   match to_int x with
@@ -269,6 +330,11 @@ let to_int_exn x =
 let valuation x p =
   if p <= 1 then invalid_arg "Bignum.valuation";
   if x.sign = 0 then (0, zero)
+  else if Array.length x.mag = 1 then begin
+    (* single-digit magnitude: strip factors of [p] on machine ints *)
+    let rec go k m = if m mod p = 0 then go (k + 1) (m / p) else (k, of_small (x.sign * m)) in
+    go 0 x.mag.(0)
+  end
   else begin
     let rec go k v =
       let q, r = divmod_small v p in

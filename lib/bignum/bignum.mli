@@ -38,6 +38,15 @@ val to_string : t -> string
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val compare_int : t -> int -> int
+(** [compare_int x y = compare x (of_int y)] without allocating the bignum —
+    the fast path for the mixed native/arbitrary-precision comparisons in
+    [Value.compare], which sit on the model checker's hot loop. *)
+
+val equal_int : t -> int -> bool
+(** [equal_int x y = compare_int x y = 0]. *)
+
 val sign : t -> int
 (** [-1], [0] or [1]. *)
 

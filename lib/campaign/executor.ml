@@ -61,7 +61,8 @@ let json_of_event = function
    The key must match the one [Explore.certify_gate] computes for the task:
    same inputs, and the gate's effective depth — it clamps the exploration
    depth up to [Analysis.Symmetry.default_depth].  The cache itself is
-   mutex-protected, so a mismatch here costs duplicated work, not a race. *)
+   sharded by key hash with a mutex per shard, so a mismatch here costs
+   duplicated work, not a race. *)
 let precertify tasks =
   List.iter
     (fun (t : Task.t) ->

@@ -1,0 +1,71 @@
+(* Hash-consing to dense integer ids.
+
+   An intern table maps structured keys (values, instruction-set ops) to
+   small consecutive ids, after which equality and hashing of interned data
+   are single machine-word operations — the ids double as indices into flat
+   side tables (the exploration engines build commutation bit-matrices over
+   op ids this way).  Tables are deliberately {e not} thread-safe: the hot
+   loops that intern are per-domain, and a lock per lookup would cost more
+   than the recursive hash it replaces.  Give each domain its own table. *)
+
+module type S = sig
+  type key
+  type t
+
+  val create : ?size:int -> unit -> t
+  val id : t -> key -> int
+  val value : t -> int -> key
+  val size : t -> int
+end
+
+module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
+  module H = Hashtbl.Make (K)
+
+  type key = K.t
+
+  type t = {
+    ids : int H.t;
+    mutable values : key array; (* values.(i) is the key with id [i] *)
+    mutable n : int;
+  }
+
+  let create ?(size = 64) () = { ids = H.create size; values = [||]; n = 0 }
+
+  let id t k =
+    match H.find_opt t.ids k with
+    | Some i -> i
+    | None ->
+      let i = t.n in
+      let cap = Array.length t.values in
+      if i >= cap then begin
+        let values = Array.make (Stdlib.max 16 (2 * cap)) k in
+        Array.blit t.values 0 values 0 cap;
+        t.values <- values
+      end;
+      t.values.(i) <- k;
+      t.n <- i + 1;
+      H.replace t.ids k i;
+      i
+
+  let value t i =
+    if i < 0 || i >= t.n then invalid_arg "Intern.value: unknown id";
+    t.values.(i)
+
+  let size t = t.n
+end
+
+(* Interning on structural equality and the polymorphic hash — for key types
+   without a hand-written [HashedType] (instruction-set ops are plain data
+   constructors over ints, bignums and values, on which structural equality
+   is sound because [Bignum.t] is canonical).  Structural equality can be
+   finer than the type's semantic equality (e.g. [Value.Int 1] vs
+   [Value.Big 1]); such aliases get distinct ids, which costs a duplicate
+   table slot but never conflates distinct keys. *)
+module Poly (T : sig
+  type t
+end) : S with type key = T.t = Make (struct
+  type t = T.t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,47 @@
+(** Hash-consing of structured keys to dense integer ids.
+
+    Interning trades one hash + lookup at first sight of a key for O(1)
+    equality and hashing ever after: the id {e is} the hash, and ids are
+    dense ([0 .. size-1]) so they index flat side tables directly.  The
+    exploration engines intern instruction-set ops this way and precompute
+    commutation bit-matrices over the ids, turning the sleep-set
+    independence test from a recursive structural walk into two array
+    loads.
+
+    Tables are {b not thread-safe} — intern tables live on per-domain hot
+    paths where a lock per lookup would cost more than it saves.  Create
+    one table per domain. *)
+
+module type S = sig
+  type key
+
+  type t
+  (** A mutable intern table. *)
+
+  val create : ?size:int -> unit -> t
+  (** [create ()] is an empty table; [size] (default 64) is the initial
+      hash-table capacity. *)
+
+  val id : t -> key -> int
+  (** [id t k] is the unique id of [k] in [t], interning it on first
+      sight.  Ids are assigned consecutively from 0 in insertion order. *)
+
+  val value : t -> int -> key
+  (** The key interned with this id.
+      @raise Invalid_argument if the id was never assigned. *)
+
+  val size : t -> int
+  (** Number of distinct keys interned so far (= the smallest unassigned
+      id). *)
+end
+
+module Make (K : Hashtbl.HashedType) : S with type key = K.t
+(** Interning keyed on a hand-written equality/hash pair. *)
+
+module Poly (T : sig
+  type t
+end) : S with type key = T.t
+(** Interning on structural equality ([=]) and [Hashtbl.hash] — for plain
+    algebraic data (instruction-set ops).  Keys whose semantic equality is
+    coarser than structural equality (e.g. [Value.Int 1] vs [Value.Big 1])
+    intern to distinct ids: wasteful, never unsound. *)

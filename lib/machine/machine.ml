@@ -2,10 +2,31 @@ module Imap = Map.Make (Int)
 module Iset_int = Set.Make (Int)
 
 (* Multiplicative mix (64-bit FNV prime) with an avalanche shift, shared by
-   the per-process history hashes and the configuration fingerprint. *)
+   the per-process history hashes and the slow-path fingerprints. *)
 let mix acc h =
   let x = (acc * 0x100000001b3) lxor h in
   x lxor (x lsr 29)
+
+(* Two-round multiply/shift avalanche for the flat fingerprint lanes.  The
+   multipliers are odd and deliberately below 2^62 (OCaml int literals are
+   63-bit); each lane uses its own pair so an input collision in one lane is
+   independent of the other — together the two lanes are a 128-bit digest. *)
+let ava m1 m2 k =
+  let k = k * m1 in
+  let k = k lxor (k lsr 29) in
+  let k = k * m2 in
+  k lxor (k lsr 32)
+
+let am1 = 0x2545F4914F6CDD1D
+let am2 = 0x27D4EB2F165667C5
+let bm1 = 0x165667B19E3779F9
+let bm2 = 0x1C69B3F74AC4AE35
+
+(* Fold the two lanes into the single-word fingerprint the public API
+   exposes. *)
+let combine a b =
+  let x = (a * am1) lxor b in
+  x lxor (x lsr 31)
 
 module Make (I : Iset.S) = struct
   type 'a proc = (I.op, I.result, 'a) Proc.t
@@ -15,8 +36,20 @@ module Make (I : Iset.S) = struct
     accesses : (int * I.op * I.result) list;
   }
 
+  (* The flat fingerprint is maintained as four wrapping-int sums: each
+     written cell and each process history slot contributes one
+     pseudo-random word per lane, and native addition — an invertible,
+     commutative group operation — lets [step] update the digest by
+     subtracting the old contribution and adding the new one, in O(1) per
+     transition instead of re-folding O(mem + n) state.  The memory map
+     stores each cell's two lane contributions next to the cell, so
+     [I.hash_cell] runs once per write and is a lookup ever after. *)
   type 'a config = {
-    mem : I.cell Imap.t;
+    mem : (I.cell * int * int) Imap.t;
+        (* loc -> (cell, lane-A contribution, lane-B contribution);
+           contributions are (0, 0) for cells equal to [I.init], which keeps
+           an explicit write of the initial value indistinguishable from an
+           untouched location *)
     procs : 'a proc array;
     steps : int;
     steps_per_process : int array;
@@ -25,9 +58,21 @@ module Make (I : Iset.S) = struct
     record_trace : bool;
     running_count : int;  (* cached |running|, kept exact by [step] *)
     hist : int array;  (* rolling hash of each process's observed results *)
+    mem_a : int;  (* sum of every cell's lane-A contribution *)
+    mem_b : int;
+    hist_a : int;  (* sum of every (pid, hist.(pid)) lane-A contribution *)
+    hist_b : int;
   }
 
   exception Multi_assignment_not_supported
+
+  (* One cell's (or history slot's) contribution to a digest lane: avalanche
+     the content hash salted by the slot index, with lane-specific input
+     mixing so the lanes fail independently. *)
+  let cell_contrib_a loc hc = ava am1 am2 (hc + (((2 * loc) + 1) * am2))
+  let cell_contrib_b loc hc = ava bm1 bm2 (hc + (((2 * loc) + 1) * bm2))
+  let hist_contrib_a pid h = ava am1 am2 ((h lxor 0x9e37) + (((2 * pid) + 1) * am1))
+  let hist_contrib_b pid h = ava bm1 bm2 ((h lxor 0x9e37) + (((2 * pid) + 1) * bm1))
 
   let runnable = function Proc.Step (_ :: _, _) -> true | Proc.Step ([], _) | Proc.Done _ -> false
 
@@ -35,6 +80,11 @@ module Make (I : Iset.S) = struct
     if n < 1 then invalid_arg "Machine.make: n < 1";
     let procs = Array.init n f in
     let running_count = Array.fold_left (fun k p -> if runnable p then k + 1 else k) 0 procs in
+    let hist_a = ref 0 and hist_b = ref 0 in
+    for pid = 0 to n - 1 do
+      hist_a := !hist_a + hist_contrib_a pid 0;
+      hist_b := !hist_b + hist_contrib_b pid 0
+    done;
     {
       mem = Imap.empty;
       procs;
@@ -45,12 +95,16 @@ module Make (I : Iset.S) = struct
       record_trace;
       running_count;
       hist = Array.make n 0;
+      mem_a = 0;
+      mem_b = 0;
+      hist_a = !hist_a;
+      hist_b = !hist_b;
     }
 
   let n_processes cfg = Array.length cfg.procs
 
   let cell cfg loc =
-    match Imap.find_opt loc cfg.mem with Some c -> c | None -> I.init
+    match Imap.find_opt loc cfg.mem with Some (c, _, _) -> c | None -> I.init
 
   let decision cfg pid =
     match cfg.procs.(pid) with Proc.Done v -> Some v | Proc.Step _ -> None
@@ -82,25 +136,33 @@ module Make (I : Iset.S) = struct
   let max_location cfg = Iset_int.max_elt_opt cfg.touched
 
   let fold_cells cfg ~init ~f =
-    Imap.fold (fun loc c acc -> f acc loc c) cfg.mem init
+    Imap.fold (fun loc (c, _, _) acc -> f acc loc c) cfg.mem init
 
-  (* Canonical fingerprint: memory contents (location, cell hash, in
-     ascending location order) plus each process's result-history hash.  A
-     process is a deterministic function of the results it has observed, so
-     two configurations of the same initial machine with equal fingerprints
-     behave identically (modulo hash collisions) — in particular,
-     configurations reached by commuting independent steps coincide.
-     Cells equal to [I.init] are skipped: a location explicitly written
-     back to the initial value is indistinguishable from an untouched one
-     ([cell] returns [I.init] either way), so both must fingerprint
-     identically or the model checker's dedup silently misses them. *)
+  (* Fingerprint semantics: memory contents plus each process's
+     result-history hash.  A process is a deterministic function of the
+     results it has observed, so two configurations of the same initial
+     machine with equal fingerprints behave identically (modulo hash
+     collisions) — in particular, configurations reached by commuting
+     independent steps coincide.  Cells equal to [I.init] are skipped: a
+     location explicitly written back to the initial value is
+     indistinguishable from an untouched one ([cell] returns [I.init]
+     either way), so both must fingerprint identically or the model
+     checker's dedup silently misses them.
+
+     The maintained digest reads off in O(1); [slow_fingerprint] recomputes
+     the original fold from scratch and is kept for differential testing
+     (the [SPACE_HIERARCHY_FP=fold] debug path in [Explore]). *)
+  let fingerprint_words cfg = (cfg.mem_a + cfg.hist_a, cfg.mem_b + cfg.hist_b)
+
+  let fingerprint cfg = combine (cfg.mem_a + cfg.hist_a) (cfg.mem_b + cfg.hist_b)
+
   let mem_hash cfg =
     Imap.fold
-      (fun loc c acc ->
+      (fun loc (c, _, _) acc ->
         if I.equal_cell c I.init then acc else mix (mix acc loc) (I.hash_cell c))
       cfg.mem 0x517cc1b7
 
-  let fingerprint cfg = Array.fold_left mix (mem_hash cfg) cfg.hist
+  let slow_fingerprint cfg = Array.fold_left mix (mem_hash cfg) cfg.hist
 
   (* Quotient the fingerprint by process permutations: hash each process as a
      (input, history, decision) triple and fold the triples in sorted order,
@@ -110,8 +172,12 @@ module Make (I : Iset.S) = struct
      groups, which is the permutation actually allowed.  Decisions are hashed
      with the polymorphic [Hashtbl.hash] (decision values are small
      first-order data in practice).  Only sound when the protocol itself is
-     pid-symmetric — see the [Explore] documentation. *)
-  let canonical_fingerprint ~inputs cfg =
+     pid-symmetric — see the [Explore] documentation.
+
+     The memory part reads off the maintained lane sums (themselves
+     permutation-insensitive); only the per-process triples — O(n log n) for
+     the handful of processes a run has — are rebuilt per call. *)
+  let canonical_components ~inputs cfg =
     let n = Array.length cfg.procs in
     if Array.length inputs <> n then
       invalid_arg "Machine.canonical_fingerprint: inputs length mismatch";
@@ -125,6 +191,24 @@ module Make (I : Iset.S) = struct
       comp.(pid) <- mix (mix (mix 0x7f4a7c15 inputs.(pid)) cfg.hist.(pid)) d
     done;
     Array.sort compare comp;
+    comp
+
+  let canonical_fingerprint_words ~inputs cfg =
+    let comp = canonical_components ~inputs cfg in
+    let a = ref cfg.mem_a and b = ref cfg.mem_b in
+    Array.iter
+      (fun cmp ->
+        a := ava am1 am2 (!a lxor cmp);
+        b := ava bm1 bm2 (!b lxor cmp))
+      comp;
+    (!a, !b)
+
+  let canonical_fingerprint ~inputs cfg =
+    let a, b = canonical_fingerprint_words ~inputs cfg in
+    combine a b
+
+  let slow_canonical_fingerprint ~inputs cfg =
+    let comp = canonical_components ~inputs cfg in
     Array.fold_left mix (mem_hash cfg) comp
 
   let trace cfg = List.rev cfg.trace
@@ -146,48 +230,94 @@ module Make (I : Iset.S) = struct
       (fun i e -> Format.fprintf ppf "%4d  %a@." i pp_event e)
       (trace cfg)
 
+  (* Assemble the successor configuration once a step's memory effects and
+     results are known — shared by the singleton fast path and the
+     multi-assignment branch of [step]. *)
+  let finish_step cfg pid k accesses results mem touched mem_a mem_b =
+    let procs = Array.copy cfg.procs in
+    let next = k results in
+    procs.(pid) <- next;
+    let steps_per_process = Array.copy cfg.steps_per_process in
+    steps_per_process.(pid) <- steps_per_process.(pid) + 1;
+    let hist = Array.copy cfg.hist in
+    let old_h = hist.(pid) in
+    let new_h =
+      List.fold_left (fun acc r -> mix acc (I.hash_result r)) (mix old_h 0x9e37) results
+    in
+    hist.(pid) <- new_h;
+    let trace =
+      if cfg.record_trace then
+        { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
+        :: cfg.trace
+      else cfg.trace
+    in
+    {
+      mem;
+      procs;
+      steps = cfg.steps + 1;
+      steps_per_process;
+      touched;
+      trace;
+      record_trace = cfg.record_trace;
+      running_count = (cfg.running_count - if runnable next then 0 else 1);
+      hist;
+      mem_a;
+      mem_b;
+      hist_a = cfg.hist_a - hist_contrib_a pid old_h + hist_contrib_a pid new_h;
+      hist_b = cfg.hist_b - hist_contrib_b pid old_h + hist_contrib_b pid new_h;
+    }
+
   let step cfg pid =
     match cfg.procs.(pid) with
     | Proc.Done _ -> invalid_arg "Machine.step: process has decided"
     | Proc.Step ([], _) -> invalid_arg "Machine.step: blocked process"
+    | Proc.Step (([ (loc, op) ] as accesses), k) ->
+      (* the overwhelmingly common shape: one instruction on one location *)
+      if loc < 0 then invalid_arg "Machine.step: negative location";
+      let c, pa, pb =
+        match Imap.find_opt loc cfg.mem with
+        | Some cell -> cell
+        | None -> (I.init, 0, 0)
+      in
+      let c', r = I.apply op c in
+      let na, nb =
+        if I.equal_cell c' I.init then (0, 0)
+        else begin
+          let hc = I.hash_cell c' in
+          (cell_contrib_a loc hc, cell_contrib_b loc hc)
+        end
+      in
+      finish_step cfg pid k accesses [ r ]
+        (Imap.add loc (c', na, nb) cfg.mem)
+        (Iset_int.add loc cfg.touched)
+        (cfg.mem_a + na - pa) (cfg.mem_b + nb - pb)
     | Proc.Step (accesses, k) ->
-      if List.length accesses > 1 && not I.multi_assignment then
-        raise Multi_assignment_not_supported;
-      let apply_one (mem, rs, touched) (loc, op) =
+      if not I.multi_assignment then raise Multi_assignment_not_supported;
+      let apply_one (mem, rs, touched, ma, mb) (loc, op) =
         if loc < 0 then invalid_arg "Machine.step: negative location";
-        let c = match Imap.find_opt loc mem with Some c -> c | None -> I.init in
+        let c, pa, pb =
+          match Imap.find_opt loc mem with
+          | Some cell -> cell
+          | None -> (I.init, 0, 0)
+        in
         let c', r = I.apply op c in
-        (Imap.add loc c' mem, r :: rs, Iset_int.add loc touched)
+        let na, nb =
+          if I.equal_cell c' I.init then (0, 0)
+          else begin
+            let hc = I.hash_cell c' in
+            (cell_contrib_a loc hc, cell_contrib_b loc hc)
+          end
+        in
+        ( Imap.add loc (c', na, nb) mem,
+          r :: rs,
+          Iset_int.add loc touched,
+          ma + na - pa,
+          mb + nb - pb )
       in
-      let mem, rev_results, touched =
-        List.fold_left apply_one (cfg.mem, [], cfg.touched) accesses
+      let mem, rev_results, touched, mem_a, mem_b =
+        List.fold_left apply_one (cfg.mem, [], cfg.touched, cfg.mem_a, cfg.mem_b) accesses
       in
-      let results = List.rev rev_results in
-      let procs = Array.copy cfg.procs in
-      let next = k results in
-      procs.(pid) <- next;
-      let steps_per_process = Array.copy cfg.steps_per_process in
-      steps_per_process.(pid) <- steps_per_process.(pid) + 1;
-      let hist = Array.copy cfg.hist in
-      hist.(pid) <-
-        List.fold_left (fun acc r -> mix acc (I.hash_result r)) (mix hist.(pid) 0x9e37) results;
-      let trace =
-        if cfg.record_trace then
-          { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
-          :: cfg.trace
-        else cfg.trace
-      in
-      {
-        mem;
-        procs;
-        steps = cfg.steps + 1;
-        steps_per_process;
-        touched;
-        trace;
-        record_trace = cfg.record_trace;
-        running_count = (cfg.running_count - if runnable next then 0 else 1);
-        hist;
-      }
+      finish_step cfg pid k accesses (List.rev rev_results) mem touched mem_a mem_b
 
   let run ?(fuel = 1_000_000) ~sched cfg =
     let rec go cfg sched remaining =
@@ -204,4 +334,121 @@ module Make (I : Iset.S) = struct
   let run_solo ?(fuel = 1_000_000) ~pid cfg =
     let cfg', _ = run ~fuel ~sched:(Sched.solo pid) cfg in
     (cfg', decision cfg' pid)
+
+  (* A mutable throwaway copy of a configuration for solo probes.  The model
+     checker runs orders of magnitude more probe steps than scheduled steps
+     (every leaf probes every running process, and each probe chains solo
+     runs of every survivor), and none of those intermediate configurations
+     is ever fingerprinted, traced or branched from — so paying [step]'s
+     persistent-structure costs (three array copies, map rebalancing, digest
+     deltas, a 14-field record) per probe step is pure waste.  A scratch
+     workspace mutates a hashtable and one process array in place; its
+     [run_solo] agrees with the persistent one on decisions, runnability and
+     results observed (differentially tested in [test_modelcheck]). *)
+  module Scratch = struct
+    (* Memory as a dense array indexed by location — protocols use small
+       location indices, so a cell read/write is an array access instead of
+       a hashtable probe.  Locations past [small_limit] (none of the
+       in-tree instruction sets go anywhere near it) spill to a lazily
+       created overflow hashtable so a pathological protocol stays correct
+       without a pathological allocation. *)
+    type 'a t = {
+      mutable cells : I.cell array;
+      mutable overflow : (int, I.cell) Hashtbl.t option;
+      sprocs : 'a proc array;
+    }
+
+    let small_limit = 1 lsl 16
+
+    let set t loc c =
+      let len = Array.length t.cells in
+      if loc < len then t.cells.(loc) <- c
+      else if loc < small_limit then begin
+        let grown = Array.make (Stdlib.max (2 * len) (loc + 1)) I.init in
+        Array.blit t.cells 0 grown 0 len;
+        t.cells <- grown;
+        grown.(loc) <- c
+      end
+      else begin
+        let h =
+          match t.overflow with
+          | Some h -> h
+          | None ->
+            let h = Hashtbl.create 8 in
+            t.overflow <- Some h;
+            h
+        in
+        Hashtbl.replace h loc c
+      end
+
+    let cell t loc =
+      if loc < Array.length t.cells then t.cells.(loc)
+      else
+        match t.overflow with
+        | None -> I.init
+        | Some h -> ( match Hashtbl.find_opt h loc with Some c -> c | None -> I.init)
+
+    let of_config cfg =
+      let t =
+        { cells = Array.make 16 I.init; overflow = None; sprocs = Array.copy cfg.procs }
+      in
+      Imap.iter (fun loc (c, _, _) -> set t loc c) cfg.mem;
+      t
+
+    let apply_one t (loc, op) =
+      if loc < 0 then invalid_arg "Machine.step: negative location";
+      let c', r = I.apply op (cell t loc) in
+      set t loc c';
+      r
+
+    let step t pid =
+      match t.sprocs.(pid) with
+      | Proc.Done _ -> invalid_arg "Machine.step: process has decided"
+      | Proc.Step ([], _) -> invalid_arg "Machine.step: blocked process"
+      | Proc.Step ([ access ], k) -> t.sprocs.(pid) <- k [ apply_one t access ]
+      | Proc.Step (accesses, k) ->
+        if not I.multi_assignment then raise Multi_assignment_not_supported;
+        let rev = List.fold_left (fun rs a -> apply_one t a :: rs) [] accesses in
+        t.sprocs.(pid) <- k (List.rev rev)
+
+    (* Mirrors [run ~sched:(Sched.solo pid)]: step [pid] while it is
+       runnable, up to [fuel] steps, and report its decision.  The hot
+       single-access case is inlined so each iteration is one match. *)
+    let run_solo ?(fuel = 1_000_000) ~pid t =
+      let rec go remaining =
+        match t.sprocs.(pid) with
+        | Proc.Done v -> Some v
+        | Proc.Step ([], _) -> None
+        | Proc.Step ([ (loc, op) ], k) ->
+          if remaining <= 0 then None
+          else begin
+            if loc < 0 then invalid_arg "Machine.step: negative location";
+            let c', r = I.apply op (cell t loc) in
+            set t loc c';
+            t.sprocs.(pid) <- k [ r ];
+            go (remaining - 1)
+          end
+        | Proc.Step _ ->
+          if remaining <= 0 then None
+          else begin
+            step t pid;
+            go (remaining - 1)
+          end
+      in
+      go fuel
+
+    let running t =
+      let out = ref [] in
+      for pid = Array.length t.sprocs - 1 downto 0 do
+        if runnable t.sprocs.(pid) then out := pid :: !out
+      done;
+      !out
+
+    let decisions t =
+      let out = ref [] in
+      Array.iteri
+        (fun pid p -> match p with Proc.Done v -> out := (pid, v) :: !out | Proc.Step _ -> ())
+        t.sprocs;
+      List.rev !out
+  end
 end

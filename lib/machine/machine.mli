@@ -71,7 +71,26 @@ module Make (I : Iset.S) : sig
       checker's transposition table dedups on.  Locations holding a value
       equal to [I.init] do not contribute, so writing the initial value
       back to an untouched location leaves the fingerprint unchanged —
-      exactly as it leaves the configuration's behaviour unchanged. *)
+      exactly as it leaves the configuration's behaviour unchanged.
+
+      The fingerprint is maintained incrementally: [step] delta-updates a
+      two-lane digest on the written cell and the stepping process's
+      history slot, so reading it here is O(1) — no per-call fold over
+      memory.  [I.hash_cell] runs once per write; the per-cell
+      contributions are cached alongside the cells. *)
+
+  val fingerprint_words : 'a config -> int * int
+  (** The two raw 63-bit digest lanes behind {!fingerprint}.  The lanes
+      avalanche independently, so keying on the pair is a 126-bit digest —
+      what the model checker's transposition tables use to make collisions
+      negligible (and to pick a shard from the low bits). *)
+
+  val slow_fingerprint : 'a config -> int
+  (** The original from-scratch fingerprint fold (O(mem + n) per call).
+      Its {e value} differs from {!fingerprint} — only the induced
+      partition of configurations matters — and it is retained purely as
+      the differential-testing reference for the incremental digest (the
+      [SPACE_HIERARCHY_FP=fold] debug path in [Explore]). *)
 
   val canonical_fingerprint : inputs:int array -> 'a config -> int
   (** Like {!fingerprint}, but quotiented by process symmetry: each process
@@ -89,7 +108,19 @@ module Make (I : Iset.S) : sig
       procedure whenever their inputs agree).  For pid-dependent protocols
       two configurations with equal canonical fingerprints can behave
       differently, and a model checker deduplicating on them may miss
-      violations. *)
+      violations.
+
+      The memory part reads off the maintained digest in O(1); only the
+      per-process triples (O(n log n) for a run's handful of processes)
+      are rebuilt per call. *)
+
+  val canonical_fingerprint_words : inputs:int array -> 'a config -> int * int
+  (** Two-lane variant of {!canonical_fingerprint}, mirroring
+      {!fingerprint_words}. *)
+
+  val slow_canonical_fingerprint : inputs:int array -> 'a config -> int
+  (** From-scratch reference fold for {!canonical_fingerprint}, kept for
+      differential testing like {!slow_fingerprint}. *)
 
   type event = {
     pid : int;
@@ -122,4 +153,35 @@ module Make (I : Iset.S) : sig
   (** Run one process alone until it decides (the solo executions of the
       obstruction-freedom definition); returns its decision if it decided
       within [fuel] steps. *)
+
+  (** A mutable throwaway copy of a configuration, for running solo probes
+      without the persistent [step]'s copying and digest maintenance.  Probe
+      steps dominate the model checker's wall clock (every leaf probes every
+      running process) yet their intermediate configurations are never
+      fingerprinted or branched from, so the scratch workspace executes them
+      in place: memory in a hashtable, processes in one mutated array.
+      Semantics match the persistent machine exactly — same results
+      observed, same decisions, same blocked/undecided classification —
+      which the differential probe tests assert.  A scratch value is
+      single-use state: it shares nothing with the configuration it was
+      built from, and is meant to be dropped after the probe. *)
+  module Scratch : sig
+    type 'a t
+
+    val of_config : 'a config -> 'a t
+    (** Snapshot a configuration into a mutable workspace (O(memory in use
+        + n); the source configuration is not affected by later steps). *)
+
+    val run_solo : ?fuel:int -> pid:int -> 'a t -> 'a option
+    (** In-place equivalent of the machine's [run_solo]: step [pid] while
+        it is runnable, up to [fuel] steps, and return its decision if it
+        decided.  Mutates the workspace. *)
+
+    val running : 'a t -> int list
+    (** Sorted ids of processes not decided and not blocked. *)
+
+    val decisions : 'a t -> (int * 'a) list
+    (** Decided processes in pid order — same order and contents as
+        [decisions] on an equivalent configuration. *)
+  end
 end

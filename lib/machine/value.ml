@@ -16,8 +16,10 @@ let rec compare a b =
   | Unit, _ -> -1
   | _, Unit -> 1
   | Int x, Int y -> Stdlib.compare x y
-  | Int x, Big y -> Bignum.compare (Bignum.of_int x) y
-  | Big x, Int y -> Bignum.compare x (Bignum.of_int y)
+  (* Mixed representations of the same number must compare equal; the
+     [compare_int] fast path avoids allocating a bignum per comparison. *)
+  | Int x, Big y -> -Bignum.compare_int y x
+  | Big x, Int y -> Bignum.compare_int x y
   | Int _, _ -> -1
   | _, Int _ -> 1
   | Big x, Big y -> Bignum.compare x y
@@ -91,3 +93,14 @@ let to_big_exn = function
 let untag = function
   | Tag (_, _, v) -> v
   | v -> v
+
+(* Hash-consing of values on semantic equality ([Int]/[Big] aliases of the
+   same number share an id, unlike the structural [Intern.Poly]).  Analyses
+   that repeatedly hash the same large values can intern once and work with
+   word-sized ids thereafter. *)
+module Intern = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -31,3 +31,9 @@ val to_big_exn : t -> Bignum.t
 
 val untag : t -> t
 (** Strips an outer [Tag] if present. *)
+
+module Intern : Intern.S with type key = t
+(** Hash-consing of values to dense integer ids on {e semantic} equality —
+    [Int i] and [Big (Bignum.of_int i)] intern to the same id.  See
+    {!Intern} for the id contract; like every intern table, instances are
+    per-domain (not thread-safe). *)

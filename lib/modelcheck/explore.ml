@@ -2,14 +2,24 @@
 
    Three engines share one DFS core:
    - [`Naive] is the original depth-first walk of every schedule.
-   - [`Memo] adds a transposition table keyed on [Machine.fingerprint]:
-     configurations reached by permuting independent (commuting) steps
-     coincide and their subtrees are explored once.  Each entry remembers
-     the largest remaining depth already explored from that configuration,
-     so a revisit is pruned only when the stored exploration covers it.
+   - [`Memo] adds a transposition table ([Transposition]) keyed on the
+     two-word [Machine.fingerprint_words]: configurations reached by
+     permuting independent (commuting) steps coincide and their subtrees
+     are explored once.  Entries are claim lists remembering the remaining
+     depths (and sleep sets) already explored from that configuration, so a
+     revisit is pruned when covered — and only {e partially} re-explored
+     when a prior pass covered the depth from an incomparable sleep set.
    - [`Parallel k] grows a sequential BFS prefix until the frontier is wide
      enough to share, then [k] domains drain the frontier from a shared
-     work queue, each running the memoized DFS with a domain-local table.
+     work queue in batches, all updating one {e shared, sharded}
+     transposition table — work one domain claims is never repeated by
+     another, which is what domain-local tables used to do.
+
+   Fingerprints are read off the machine's incrementally maintained
+   two-lane digest (O(1) per configuration).  Setting the environment
+   variable [SPACE_HIERARCHY_FP=fold] (or passing [~fingerprint_mode:`Fold])
+   switches every engine to the original from-scratch fingerprint fold —
+   the debug path the differential tests compare against.
 
    Every engine threads the schedule — the list of pids stepped from the
    root, plus the pid of the solo probe that exposed the violation, if any —
@@ -59,6 +69,14 @@
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
+type fingerprint_mode = [ `Flat | `Fold ]
+
+(* The debug escape hatch: [SPACE_HIERARCHY_FP=fold] forces every engine
+   onto the original from-scratch fingerprint fold, read once at load. *)
+let default_fingerprint_mode : fingerprint_mode =
+  match Sys.getenv_opt "SPACE_HIERARCHY_FP" with
+  | Some ("fold" | "FOLD" | "slow") -> `Fold
+  | _ -> `Flat
 
 type reduction = { commute : bool; symmetric : bool }
 
@@ -246,54 +264,158 @@ module Run (P : Consensus.Proto.S) = struct
           | () -> (cfg, None)
           | exception Check (k, m) -> (cfg, Some (k, m))))
 
+  (* The same decision logic as [probe_steps], on a mutable scratch copy
+     ([M.Scratch]) instead of the persistent machine.  Probe steps are the
+     model checker's hot loop — every leaf probes every running process, and
+     each probe chains full solo runs — but none of their intermediate
+     configurations is fingerprinted or branched from, so the in-place
+     workspace does the same stepping several times faster.  [probe_steps]
+     stays as the persistent reference: [replay] uses it (witness replays
+     want the event trace) and the differential tests pin the two paths to
+     identical violations. *)
+  let probe_violation ~solo_fuel ~inputs cfg pid =
+    let s = M.Scratch.of_config cfg in
+    match M.Scratch.run_solo ~fuel:solo_fuel ~pid s with
+    | None ->
+      Some
+        ( `Obstruction_freedom,
+          Printf.sprintf
+            "obstruction-freedom: process %d did not decide solo within %d steps" pid
+            solo_fuel )
+    | Some _ ->
+      List.iter
+        (fun q -> ignore (M.Scratch.run_solo ~fuel:solo_fuel ~pid:q s))
+        (M.Scratch.running s);
+      (match M.Scratch.running s with
+       | q :: _ ->
+         Some
+           ( `Termination,
+             Printf.sprintf "termination: process %d still undecided after solo runs" q )
+       | [] ->
+         (match check_decisions ~inputs (M.Scratch.decisions s) with
+          | () -> None
+          | exception Check (k, m) -> Some (k, m)))
+
   let probe_one ~solo_fuel ~inputs ~path c cfg pid =
     c.probes <- c.probes + 1;
-    match probe_steps ~solo_fuel ~inputs cfg pid with
-    | _, None -> ()
-    | _, Some v -> raise (Violation (witness_of ~path ~probe:(Some pid) v))
+    match probe_violation ~solo_fuel ~inputs cfg pid with
+    | None -> ()
+    | Some v -> raise (Violation (witness_of ~path ~probe:(Some pid) v))
 
   exception Stop
 
-  (* The fingerprint the transposition table keys on: plain, or quotiented
-     by process symmetry when the reduction asks for it. *)
-  let fingerprint_fn ~reduce ~inputs =
-    if reduce.symmetric then M.canonical_fingerprint ~inputs else M.fingerprint
+  (* The two-word fingerprint the transposition table keys on: plain, or
+     quotiented by process symmetry when the reduction asks for it.  In
+     [`Fold] mode the original from-scratch single-word fold is used for
+     both lanes — the reference the differential tests compare the
+     incremental digest against. *)
+  let fingerprint_words_fn ~reduce ~inputs ~fp_mode =
+    match (fp_mode : fingerprint_mode) with
+    | `Flat ->
+      if reduce.symmetric then M.canonical_fingerprint_words ~inputs
+      else M.fingerprint_words
+    | `Fold ->
+      if reduce.symmetric then fun cfg ->
+        let h = M.slow_canonical_fingerprint ~inputs cfg in
+        (h, h)
+      else fun cfg ->
+        let h = M.slow_fingerprint cfg in
+        (h, h)
 
-  (* Whether the atomic steps [p] and [q] are poised at are independent:
-     every pair of accesses is to distinct locations or commutes on the
-     shared one.  Only meaningful when both are poised. *)
-  let independent cfg p q =
-    match (M.poised cfg p, M.poised cfg q) with
-    | Some ap, Some aq ->
-      List.for_all
-        (fun (l1, o1) ->
-          List.for_all (fun (l2, o2) -> l1 <> l2 || P.I.commutes o1 o2) aq)
-        ap
-    | _ -> false
+  (* Interned-op independence for the sleep-set filter: each domain interns
+     the ops it encounters to dense ids ([Model.Intern]) and keeps an
+     eagerly filled commutation bit-matrix over the ids, so the repeated
+     question "do these two poised accesses commute?" is two array loads
+     instead of a structural match per query.  The closure owns its table —
+     create one per domain (intern tables are not thread-safe).
 
-  (* Transposition-table guard shared by the checking DFS and
-     [decidable_values]: run [visit] unless [cfg] was already explored at
-     least [d] deep {e from a sleep set no larger than [sleep]} — the stored
-     pass explored a superset of the transitions the current one would, so
-     the revisit is covered.  Sleep sets are pid bitmasks; with reduction
-     off both masks are 0 and this is the old depth-only check.
-     [table = None] always visits — the naive engines. *)
-  let guard ~table ~fp c cfg d sleep visit =
-    match table with
-    | None -> visit ()
-    | Some tbl ->
-      let h = fp cfg in
-      (match Hashtbl.find_opt tbl h with
-       | Some (d', sleep') when d' >= d && sleep' land lnot sleep = 0 ->
-         c.hits <- c.hits + 1
-       | stored ->
-         (* keep the stored entry unless the current pass covers it — an
-            incomparable entry may still prune future revisits that the
-            current (deeper-sleeping or shallower) pass could not *)
-         (match stored with
-          | Some (d', sleep') when not (d >= d' && sleep land lnot sleep' = 0) -> ()
-          | _ -> Hashtbl.replace tbl h (d, sleep));
-         visit ())
+     [indep cfg p q]: whether the atomic steps [p] and [q] are poised at
+     are independent — every pair of accesses is to distinct locations or
+     commutes on the shared one.  Only meaningful when both are poised. *)
+  let make_independent () =
+    let module OI = Model.Intern.Poly (struct
+      type t = P.I.op
+    end) in
+    let ops = OI.create () in
+    let cap = ref 0 in
+    let mat = ref Bytes.empty in
+    let filled = ref 0 in
+    let fill upto =
+      if upto > !cap then begin
+        let ncap = Stdlib.max 16 (Stdlib.max upto (!cap * 2)) in
+        let nmat = Bytes.make (ncap * ncap) '\000' in
+        for i = 0 to !filled - 1 do
+          Bytes.blit !mat (i * !cap) nmat (i * ncap) !filled
+        done;
+        cap := ncap;
+        mat := nmat
+      end;
+      for i = !filled to upto - 1 do
+        let oi = OI.value ops i in
+        for j = 0 to upto - 1 do
+          let oj = OI.value ops j in
+          Bytes.set !mat ((i * !cap) + j) (if P.I.commutes oi oj then '\001' else '\000');
+          Bytes.set !mat ((j * !cap) + i) (if P.I.commutes oj oi then '\001' else '\000')
+        done
+      done;
+      filled := upto
+    in
+    let op_id o =
+      let i = OI.id ops o in
+      if OI.size ops > !filled then fill (OI.size ops);
+      i
+    in
+    let commutes_id i j = Bytes.get !mat ((i * !cap) + j) = '\001' in
+    fun cfg p q ->
+      match (M.poised cfg p, M.poised cfg q) with
+      | Some ap, Some aq ->
+        List.for_all
+          (fun (l1, o1) ->
+            let i1 = op_id o1 in
+            List.for_all (fun (l2, o2) -> l1 <> l2 || commutes_id i1 (op_id o2)) aq)
+          ap
+      | _ -> false
+
+  (* The sibling loop shared by full visits and partial revisits.  [inter]
+     restricts which transitions still need exploring: a pid outside it was
+     already explored from this configuration by a prior, at-least-as-deep
+     pass (a full visit passes [-1] — everything needs exploring).  Covered
+     pids join the sleep set up front: their subtrees are explored
+     elsewhere, which is exactly the sleep-set invariant, so later siblings
+     may sleep on them like on any explored sibling.
+
+     [asleep] accumulates the inherited sleep set plus the siblings already
+     explored at this node; after exploring child [pid], later siblings
+     inherit [pid] asleep as long as their step is independent of [pid]'s —
+     a dependent step wakes it. *)
+  let children ~reduce ~indep ~go c cfg d path sleep inter =
+    let running = M.running cfg in
+    let covered = lnot inter in
+    let asleep = ref sleep in
+    if covered <> 0 then
+      List.iter
+        (fun q -> if covered land (1 lsl q) <> 0 then asleep := !asleep lor (1 lsl q))
+        running;
+    List.iter
+      (fun pid ->
+        let bit = 1 lsl pid in
+        if !asleep land bit <> 0 then begin
+          if covered land bit = 0 then c.sleeps <- c.sleeps + 1
+        end
+        else begin
+          let succ_sleep =
+            if not reduce.commute then 0
+            else
+              List.fold_left
+                (fun m q ->
+                  if !asleep land (1 lsl q) <> 0 && indep cfg q pid then m lor (1 lsl q)
+                  else m)
+                0 running
+          in
+          go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
+          asleep := !asleep lor bit
+        end)
+      running
 
   (* The DFS core all engines share.  [stop] aborts cooperatively (parallel
      mode); [path] seeds the schedule of every witness found below [cfg].
@@ -302,13 +424,27 @@ module Run (P : Consensus.Proto.S) = struct
      by an equivalent interleaving explored at a sibling.  Sleeping pids are
      not stepped, but they still count as running for checks and probes —
      sleep sets preserve the set of visited configurations, only pruning
-     redundant transitions into them.  After exploring child [pid], later
-     siblings inherit [pid] asleep as long as their step is independent of
-     [pid]'s; a dependent step wakes it. *)
-  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~stop c cfg depth path =
-    let fp = fingerprint_fn ~reduce ~inputs in
+     redundant transitions into them.
+
+     On a [Partial] revisit — the configuration's depth is covered by prior
+     passes, but some transitions were asleep in all of them — only those
+     transitions are explored, and the per-configuration work (counting,
+     checking, probing) is skipped: it ran when the configuration was first
+     visited, and depends only on the configuration. *)
+  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop c cfg depth path =
     let rec go cfg d path sleep =
-      guard ~table ~fp c cfg d sleep (fun () -> visit cfg d path sleep)
+      match table with
+      | None -> visit cfg d path sleep
+      | Some tbl ->
+        let a, b = fpw cfg in
+        (match Transposition.plan tbl a b ~depth:d ~sleep with
+         | Transposition.Hit -> c.hits <- c.hits + 1
+         | Transposition.Visit -> visit cfg d path sleep
+         | Transposition.Partial inter ->
+           c.hits <- c.hits + 1;
+           if stop () then raise Stop;
+           if d > 0 && M.running_count cfg > 0 then
+             children ~reduce ~indep ~go c cfg d path sleep inter)
     and visit cfg d path sleep =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
@@ -321,29 +457,7 @@ module Run (P : Consensus.Proto.S) = struct
           match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true
         in
         if should_probe then List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
-        if not at_bound then begin
-          (* [asleep] accumulates the inherited sleep set plus the siblings
-             already explored at this node. *)
-          let asleep = ref sleep in
-          List.iter
-            (fun pid ->
-              if !asleep land (1 lsl pid) <> 0 then c.sleeps <- c.sleeps + 1
-              else begin
-                let succ_sleep =
-                  if not reduce.commute then 0
-                  else
-                    List.fold_left
-                      (fun m q ->
-                        if !asleep land (1 lsl q) <> 0 && independent cfg q pid then
-                          m lor (1 lsl q)
-                        else m)
-                      0 running
-                in
-                go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
-                asleep := !asleep lor (1 lsl pid)
-              end)
-            running
-        end
+        if not at_bound then children ~reduce ~indep ~go c cfg d path sleep (-1)
       end
     in
     go cfg depth path 0
@@ -353,10 +467,20 @@ module Run (P : Consensus.Proto.S) = struct
   (* Parallel frontier: a sequential BFS prefix visits the shallow
      configurations (so their checks and `Everywhere probes still run
      exactly once), then the unvisited frontier is deduped by fingerprint
-     and drained by [domains] workers from a shared queue.  Each frontier
-     item carries its schedule prefix so workers report full witnesses. *)
-  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~past c root depth =
-    let fp = fingerprint_fn ~reduce ~inputs in
+     and drained by [domains] workers from a shared queue in batches.  Each
+     frontier item carries its schedule prefix so workers report full
+     witnesses.
+
+     All workers share one sharded transposition table: a subtree one
+     domain claims is never re-explored by another (domain-local tables
+     used to repeat that work), and the shard locks — selected by the
+     fingerprint's low bits — almost never contend.  Claims are optimistic
+     (inserted before the subtree is walked); that is sound here because
+     every worker joins before a verdict is produced, so a claim whose
+     exploration was cut short can only coexist with a [Falsified] or
+     [Timed_out] verdict, never launder an incomplete [Completed]. *)
+  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~fp_mode ~past c root depth =
+    let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
     let rec prefix level d =
@@ -385,7 +509,7 @@ module Run (P : Consensus.Proto.S) = struct
     let frontier =
       List.filter
         (fun (_, cfg) ->
-          let h = fp cfg in
+          let h = fpw cfg in
           if Hashtbl.mem seen h then begin
             c.hits <- c.hits + 1;
             false
@@ -397,6 +521,13 @@ module Run (P : Consensus.Proto.S) = struct
         frontier
     in
     let items = Array.of_list frontier in
+    let len = Array.length items in
+    (* Batching the work queue: a worker claims a run of consecutive items
+       per fetch-and-add, so domains stop hitting the shared counter on
+       every item.  Small frontiers degenerate to batch 1 (maximal load
+       balance); the cap keeps one slow batch from starving the rest. *)
+    let batch = Stdlib.max 1 (Stdlib.min 16 (len / (domains * 8))) in
+    let table = Some (Transposition.create ~concurrent:true ()) in
     let next_item = Atomic.make 0 in
     let stopped = Atomic.make false in
     let timed = Atomic.make false in
@@ -404,8 +535,14 @@ module Run (P : Consensus.Proto.S) = struct
     let errors = ref [] in
     let worker_counters = ref [] in
     let worker () =
+      (* Enlarge this domain's minor heap (4M words): every minor
+         collection in OCaml 5 is a stop-the-world handshake across all
+         domains, and on an oversubscribed host each handshake can cost a
+         scheduling quantum — fewer, larger collections roughly halve the
+         engine's wall clock when domains exceed cores. *)
+      Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22 };
       let wc = fresh () in
-      let table = Some (Hashtbl.create 4096) in
+      let indep = make_independent () in
       (* the deadline stops a worker exactly like a sibling's violation does;
          [timed] remembers which of the two it was *)
       let stop () =
@@ -417,19 +554,29 @@ module Run (P : Consensus.Proto.S) = struct
         end
         else Atomic.get timed
       in
+      let item i =
+        let path, cfg = items.(i) in
+        match dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop wc cfg d path with
+        | () -> ()
+        | exception Violation w ->
+          Mutex.lock mu;
+          errors := (i, w) :: !errors;
+          Mutex.unlock mu;
+          Atomic.set stopped true
+        | exception Stop -> ()
+      in
       let rec loop () =
         if not (Atomic.get stopped || Atomic.get timed) then begin
-          let i = Atomic.fetch_and_add next_item 1 in
-          if i < Array.length items then begin
-            let path, cfg = items.(i) in
-            (match dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~stop wc cfg d path with
-             | () -> ()
-             | exception Violation w ->
-               Mutex.lock mu;
-               errors := (i, w) :: !errors;
-               Mutex.unlock mu;
-               Atomic.set stopped true
-             | exception Stop -> ());
+          let i0 = Atomic.fetch_and_add next_item batch in
+          if i0 < len then begin
+            let hi = Stdlib.min len (i0 + batch) in
+            let rec batch_loop i =
+              if i < hi && not (Atomic.get stopped || Atomic.get timed) then begin
+                item i;
+                batch_loop (i + 1)
+              end
+            in
+            batch_loop i0;
             loop ()
           end
         end
@@ -553,11 +700,26 @@ module Run (P : Consensus.Proto.S) = struct
      configuration or decidable by a solo continuation from one.  Sound to
      prune on the fingerprint table because equal fingerprints imply equal
      future behaviour, hence equal decidable-value contributions. *)
-  let decidable ~reduce ~solo_fuel ~inputs ~table ~stop c cfg depth =
-    let fp = fingerprint_fn ~reduce ~inputs in
+  let decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode ~stop c cfg depth =
+    let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
+    let indep = make_independent () in
     let seen = Hashtbl.create 7 in
     let rec go cfg d path sleep =
-      guard ~table ~fp c cfg d sleep (fun () -> visit cfg d path sleep)
+      match table with
+      | None -> visit cfg d path sleep
+      | Some tbl ->
+        let a, b = fpw cfg in
+        (match Transposition.plan tbl a b ~depth:d ~sleep with
+         | Transposition.Hit -> c.hits <- c.hits + 1
+         | Transposition.Visit -> visit cfg d path sleep
+         | Transposition.Partial inter ->
+           (* decisions and probes ran when this configuration was first
+              visited; only the transitions every adequate prior pass left
+              asleep still need subtrees *)
+           c.hits <- c.hits + 1;
+           if stop () then raise Stop;
+           if d > 0 && M.running_count cfg > 0 then
+             children ~reduce ~indep ~go c cfg d path sleep inter)
     and visit cfg d path sleep =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
@@ -571,9 +733,9 @@ module Run (P : Consensus.Proto.S) = struct
         List.iter
           (fun pid ->
             c.probes <- c.probes + 1;
-            match M.run_solo ~fuel:solo_fuel ~pid cfg with
-            | _, Some v -> Hashtbl.replace seen v ()
-            | _, None ->
+            match M.Scratch.run_solo ~fuel:solo_fuel ~pid (M.Scratch.of_config cfg) with
+            | Some v -> Hashtbl.replace seen v ()
+            | None ->
               raise
                 (Violation
                    (witness_of ~path ~probe:(Some pid)
@@ -583,27 +745,7 @@ module Run (P : Consensus.Proto.S) = struct
                            steps"
                           pid solo_fuel ))))
           running;
-        if d > 0 then begin
-          let asleep = ref sleep in
-          List.iter
-            (fun pid ->
-              if !asleep land (1 lsl pid) <> 0 then c.sleeps <- c.sleeps + 1
-              else begin
-                let succ_sleep =
-                  if not reduce.commute then 0
-                  else
-                    List.fold_left
-                      (fun m q ->
-                        if !asleep land (1 lsl q) <> 0 && independent cfg q pid then
-                          m lor (1 lsl q)
-                        else m)
-                      0 running
-                in
-                go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
-                asleep := !asleep lor (1 lsl pid)
-              end)
-            running
-        end
+        if d > 0 then children ~reduce ~indep ~go c cfg d path sleep (-1)
     in
     go cfg depth [] 0;
     List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
@@ -620,23 +762,29 @@ let past_of ~t0 = function
 
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
     ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
-    (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(fingerprint_mode = default_fingerprint_mode) (module P : Consensus.Proto.S)
+    ~inputs ~depth =
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
+  let fp_mode = fingerprint_mode in
+  let fpw = R.fingerprint_words_fn ~reduce ~inputs ~fp_mode in
   let result =
     try
       (match engine with
        | `Naive ->
-         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~stop:past c root depth []
+         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~fpw
+           ~indep:(R.make_independent ()) ~stop:past c root depth []
        | `Memo ->
-         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:(Some (Hashtbl.create 4096))
-           ~stop:past c root depth []
+         R.dfs ~reduce ~probe ~solo_fuel ~inputs
+           ~table:(Some (Transposition.create ~concurrent:false ())) ~fpw
+           ~indep:(R.make_independent ()) ~stop:past c root depth []
        | `Parallel k ->
-         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~past c root depth);
+         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~fp_mode ~past c root
+           depth);
       `Done
     with
     | Violation w -> `Violation w
@@ -664,15 +812,19 @@ let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
     ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
-    (module P : Consensus.Proto.S) ~inputs ~depth =
+    ?(fingerprint_mode = default_fingerprint_mode) (module P : Consensus.Proto.S)
+    ~inputs ~depth =
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
-  let table = if memo then Some (Hashtbl.create 4096) else None in
-  match R.decidable ~reduce ~solo_fuel ~inputs ~table ~stop:past c root depth with
+  let table = if memo then Some (Transposition.create ~concurrent:false ()) else None in
+  match
+    R.decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode:fingerprint_mode ~stop:past c
+      root depth
+  with
   | values -> Completed values
   | exception Violation w ->
     let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
@@ -690,8 +842,8 @@ type deepen_report = {
 }
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
-    ?shrink ?(reduce = no_reduction) ?(force = false) ?notify_symmetry proto ~inputs
-    ~max_depth =
+    ?shrink ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?fingerprint_mode
+    proto ~inputs ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
   (* gate (and notify) once at the deepest depth the iteration can reach,
      then let the per-depth runs through — their certificates are implied *)
@@ -705,7 +857,7 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
       (* the remaining budget bounds each iteration, so one oversized
          iteration can no longer blow past the budget *)
       match
-        run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true
+        run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true ?fingerprint_mode
           ~deadline:(budget -. elapsed ()) proto ~inputs ~depth:d
       with
       | Falsified f -> Falsified f

@@ -6,14 +6,18 @@
     how much of the tree they actually touch:
 
     - [`Naive] walks every schedule (the original engine).
-    - [`Memo] keeps a transposition table keyed on
-      {!Model.Machine.Make.fingerprint}: schedules that permute independent
-      (commuting) steps converge to the same configuration, whose subtree is
-      then explored once.  Entries remember the deepest remaining depth
-      already covered, so pruning never loses reachable configurations.
+    - [`Memo] keeps a transposition table ({!Transposition}) keyed on the
+      two-word {!Model.Machine.Make.fingerprint_words}: schedules that
+      permute independent (commuting) steps converge to the same
+      configuration, whose subtree is then explored once.  Entries are
+      claim lists remembering the remaining depths (and sleep sets)
+      already covered, so pruning never loses reachable configurations —
+      and a revisit whose depth is covered from an incomparable sleep set
+      re-explores only the transitions no prior pass stepped.
     - [`Parallel k] expands a sequential BFS prefix and hands the frontier
-      to [k] domains ([Domain.spawn]) that drain a shared work queue, each
-      with a domain-local transposition table.
+      to [k] domains ([Domain.spawn]) that drain a shared work queue in
+      batches, all updating one shared sharded transposition table — work
+      one domain claims is never repeated by another.
 
     Engines agree on the verdict: [Ok _] vs [Error _], and the violation
     {!violation_kind}, match across engines on the same protocol/depth (the
@@ -29,6 +33,19 @@
 
 type engine = [ `Naive | `Memo | `Parallel of int ]
 type probe_policy = [ `Leaves | `Everywhere | `Never ]
+
+type fingerprint_mode = [ `Flat | `Fold ]
+(** Which fingerprint implementation keys the transposition tables:
+    [`Flat] (the default) reads the machine's incrementally maintained
+    two-lane digest in O(1) per configuration; [`Fold] recomputes the
+    original from-scratch fold ({!Model.Machine.Make.slow_fingerprint})
+    every time — the debug/differential-testing reference.  Verdicts,
+    witness schedules and decidable-value sets are identical in both modes
+    (modulo hash collisions); only speed differs. *)
+
+val default_fingerprint_mode : fingerprint_mode
+(** [`Fold] when the environment variable [SPACE_HIERARCHY_FP] is set to
+    ["fold"] at load time, else [`Flat]. *)
 
 type reduction = {
   commute : bool;
@@ -154,6 +171,7 @@ val run :
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
+  ?fingerprint_mode:fingerprint_mode ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -205,6 +223,7 @@ val decidable_values :
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
+  ?fingerprint_mode:fingerprint_mode ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -235,6 +254,7 @@ val deepen :
   ?reduce:reduction ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
+  ?fingerprint_mode:fingerprint_mode ->
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->
