@@ -870,7 +870,7 @@ let campaign_bench ~smoke () =
     let dir = Filename.temp_file "bench_campaign" "" in
     Sys.remove dir;
     let run label =
-      let store = Campaign.Store.open_ ~dir in
+      let store = Campaign.Store.open_ ~dir () in
       let o = Campaign.Executor.run ~store tasks in
       Printf.printf "%-5s %3d task(s): %3d executed, %3d cached, %.3f s\n" label
         o.Campaign.Executor.total o.Campaign.Executor.executed
@@ -882,6 +882,23 @@ let campaign_bench ~smoke () =
     let report = Campaign.Report.make warm.Campaign.Executor.records in
     let unexpected = List.length (Campaign.Report.unexpected report) in
     Printf.printf "unexpected (non-verified) verdicts: %d\n" unexpected;
+    (* the shared-store (claim-per-task) path: same spec into a fresh dir,
+       then warm again — measures the lease protocol's overhead relative to
+       the plain executor and re-checks the dedupe invariant *)
+    let shared_dir = Filename.temp_file "bench_campaign_shared" "" in
+    Sys.remove shared_dir;
+    let run_shared label =
+      let store = Campaign.Store.open_ ~dir:shared_dir () in
+      let o = Campaign.Executor.run_shared ~store tasks in
+      Printf.printf "%-11s %3d task(s): %3d executed, %3d cached, %.3f s\n" label
+        o.Campaign.Executor.total o.Campaign.Executor.executed
+        o.Campaign.Executor.cached o.Campaign.Executor.elapsed;
+      o
+    in
+    let shared_cold = run_shared "shared-cold" in
+    let shared_warm = run_shared "shared-warm" in
+    Printf.printf "claim-protocol overhead vs plain cold run: %+.3f s\n"
+      (shared_cold.Campaign.Executor.elapsed -. cold.Campaign.Executor.elapsed);
     write_json "BENCH_campaign.json"
       (Campaign.Json.Obj
          [
@@ -892,6 +909,16 @@ let campaign_bench ~smoke () =
            ("warm_executed", Campaign.Json.Int warm.Campaign.Executor.executed);
            ("warm_cached", Campaign.Json.Int warm.Campaign.Executor.cached);
            ("warm_elapsed", Campaign.Json.Float warm.Campaign.Executor.elapsed);
+           ( "shared_cold_executed",
+             Campaign.Json.Int shared_cold.Campaign.Executor.executed );
+           ( "shared_cold_elapsed",
+             Campaign.Json.Float shared_cold.Campaign.Executor.elapsed );
+           ( "shared_warm_executed",
+             Campaign.Json.Int shared_warm.Campaign.Executor.executed );
+           ( "shared_warm_cached",
+             Campaign.Json.Int shared_warm.Campaign.Executor.cached );
+           ( "shared_warm_elapsed",
+             Campaign.Json.Float shared_warm.Campaign.Executor.elapsed );
            ("unexpected", Campaign.Json.Int unexpected);
            ( "records",
              Campaign.Json.List

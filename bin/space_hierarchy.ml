@@ -429,9 +429,8 @@ let synth_cmd =
     Term.(ret (const run $ machine_arg $ depth_arg))
 
 let campaign_cmd =
-  let run rows exclude ells ns depths engines reduces timeout solo_fuel stress_seeds
-      stress_prefix stress_burst domains dir smoke fresh dry_run json_file csv_file
-      quiet fail_on_unexpected =
+  let build_spec rows exclude ells ns depths engines reduces timeout solo_fuel
+      stress_seeds stress_prefix stress_burst smoke =
     let base = if smoke then Campaign.Spec.smoke else Campaign.Spec.default in
     let ( |? ) opt default = Option.value opt ~default in
     let parse_all f l =
@@ -453,9 +452,9 @@ let campaign_cmd =
       | Some rs -> parse_all Campaign.Spec.reduction_of_string rs
     in
     match (engines, reduces) with
-    | Error e, _ | _, Error e -> `Error (false, e)
+    | Error e, _ | _, Error e -> Error e
     | Ok engines, Ok reduces ->
-      let spec =
+      Ok
         {
           base with
           Campaign.Spec.include_rows = rows;
@@ -474,7 +473,51 @@ let campaign_cmd =
           stress_prefix = stress_prefix |? base.Campaign.Spec.stress_prefix;
           stress_max_burst = stress_burst |? base.Campaign.Spec.stress_max_burst;
         }
-      in
+  in
+  let progress ~quiet ~dir ~total ev =
+    if not quiet then
+      match ev with
+      | Campaign.Executor.Campaign_started { total; cached } ->
+        Printf.printf "campaign: %d task(s), %d already in %s\n%!" total cached dir
+      | Campaign.Executor.Task_started _ -> ()
+      | Campaign.Executor.Task_yielded { index; task } ->
+        Printf.printf "[%3d/%d] %-9s %s (another worker holds the lease)\n%!"
+          (index + 1) total "yielded" (Campaign.Task.describe task)
+      | Campaign.Executor.Task_finished { index; task; record; cached } ->
+        Printf.printf "[%3d/%d] %-9s %s (%.2fs)%s\n%!" (index + 1) total
+          (Campaign.Record.status_name record.Campaign.Record.status)
+          (Campaign.Task.describe task) record.Campaign.Record.elapsed
+          (if cached then " [cached]" else "")
+      | Campaign.Executor.Campaign_finished o ->
+        Printf.printf
+          "campaign finished: %d executed, %d cached, %d aborted (%.2fs)\n%!"
+          o.Campaign.Executor.executed o.Campaign.Executor.cached
+          o.Campaign.Executor.aborted o.Campaign.Executor.elapsed
+  in
+  let write_file path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  let finish_with_report ~json_file ~csv_file ~fail_on_unexpected report =
+    print_newline ();
+    print_string (Campaign.Report.render report);
+    Option.iter
+      (fun p ->
+        write_file p (Campaign.Json.to_string_pretty (Campaign.Report.to_json report)))
+      json_file;
+    Option.iter (fun p -> write_file p (Campaign.Report.to_csv report)) csv_file;
+    match Campaign.Report.unexpected report with
+    | [] -> `Ok ()
+    | bad when fail_on_unexpected ->
+      List.iter (fun r -> Format.eprintf "unexpected: %a@." Campaign.Record.pp r) bad;
+      `Error (false, Printf.sprintf "%d task(s) did not verify" (List.length bad))
+    | _ -> `Ok ()
+  in
+  let run spec domains dir fresh dry_run json_file csv_file quiet fail_on_unexpected =
+    match spec with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
       (match Campaign.Spec.tasks spec with
        | Error e -> `Error (false, e)
        | Ok tasks when dry_run ->
@@ -486,51 +529,45 @@ let campaign_cmd =
          Printf.printf "%d task(s) — dry run, nothing executed\n" (List.length tasks);
          `Ok ()
        | Ok tasks ->
-         let store = Campaign.Store.open_ ~dir in
-         let total = List.length tasks in
-         let on_event ev =
-           if not quiet then
-             match ev with
-             | Campaign.Executor.Campaign_started { total; cached } ->
-               Printf.printf "campaign: %d task(s), %d already in %s\n%!" total cached
-                 (Campaign.Store.dir store)
-             | Campaign.Executor.Task_started _ -> ()
-             | Campaign.Executor.Task_finished { index; task; record; cached } ->
-               Printf.printf "[%3d/%d] %-9s %s (%.2fs)%s\n%!" (index + 1) total
-                 (Campaign.Record.status_name record.Campaign.Record.status)
-                 (Campaign.Task.describe task) record.Campaign.Record.elapsed
-                 (if cached then " [cached]" else "")
-             | Campaign.Executor.Campaign_finished o ->
-               Printf.printf
-                 "campaign finished: %d executed, %d cached, %d aborted (%.2fs)\n%!"
-                 o.Campaign.Executor.executed o.Campaign.Executor.cached
-                 o.Campaign.Executor.aborted o.Campaign.Executor.elapsed
-         in
+         let store = Campaign.Store.open_ ~dir () in
+         let on_event = progress ~quiet ~dir ~total:(List.length tasks) in
          let outcome =
            Campaign.Executor.run ~domains ~use_cache:(not fresh) ~on_event ~store tasks
          in
-         let report = Campaign.Report.make outcome.Campaign.Executor.records in
-         print_newline ();
-         print_string (Campaign.Report.render report);
-         let write_file path s =
-           let oc = open_out path in
-           output_string oc s;
-           close_out oc
-         in
-         Option.iter
-           (fun p ->
-             write_file p (Campaign.Json.to_string_pretty (Campaign.Report.to_json report)))
-           json_file;
-         Option.iter (fun p -> write_file p (Campaign.Report.to_csv report)) csv_file;
-         (match Campaign.Report.unexpected report with
-          | [] -> `Ok ()
-          | bad when fail_on_unexpected ->
-            List.iter
-              (fun r -> Format.eprintf "unexpected: %a@." Campaign.Record.pp r)
-              bad;
-            `Error
-              (false, Printf.sprintf "%d task(s) did not verify" (List.length bad))
-          | _ -> `Ok ()))
+         finish_with_report ~json_file ~csv_file ~fail_on_unexpected
+           (Campaign.Report.make outcome.Campaign.Executor.records))
+  in
+  let worker spec domains dir lease_ttl quiet fail_on_unexpected =
+    match spec with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+      (match Campaign.Spec.tasks spec with
+       | Error e -> `Error (false, e)
+       | Ok tasks ->
+         if not quiet then
+           Printf.printf "worker %d: claiming tasks from %s\n%!" (Unix.getpid ()) dir;
+         let store = Campaign.Store.open_ ~lease_ttl ~dir () in
+         let on_event = progress ~quiet ~dir ~total:(List.length tasks) in
+         let outcome = Campaign.Executor.run_shared ~domains ~on_event ~store tasks in
+         finish_with_report ~json_file:None ~csv_file:None ~fail_on_unexpected
+           (Campaign.Report.make outcome.Campaign.Executor.records))
+  in
+  let status dir as_json =
+    match Campaign.Status.load ~dir with
+    | Error e -> `Error (false, e)
+    | Ok s ->
+      if as_json then
+        print_endline (Campaign.Json.to_string_pretty (Campaign.Status.to_json s))
+      else print_string (Campaign.Status.render s);
+      `Ok ()
+  in
+  let report dir json_file csv_file fail_on_unexpected =
+    let store = Campaign.Store.open_ ~dir () in
+    if Campaign.Store.count store = 0 then
+      `Error (false, Printf.sprintf "no campaign records under %s" dir)
+    else
+      finish_with_report ~json_file ~csv_file ~fail_on_unexpected
+        (Campaign.Report.of_store store)
   in
   let rows_arg =
     let doc = "Rows to include (default: every registered row); e.g. cas buffer-2." in
@@ -583,9 +620,10 @@ let campaign_cmd =
   in
   let dir_arg =
     let doc =
-      "Campaign store directory: results land in DIR/results, telemetry in \
-       DIR/events.jsonl.  Re-running with the same directory resumes, skipping \
-       every task already recorded."
+      "Campaign store directory: results land in DIR/results, claim leases in \
+       DIR/claims, telemetry in DIR/events.jsonl.  Re-running with the same \
+       directory resumes, skipping every task already recorded.  Any number of \
+       `worker' processes may share one directory."
     in
     Arg.(value & opt string "_campaign" & info [ "dir" ] ~docv:"DIR" ~doc)
   in
@@ -620,7 +658,42 @@ let campaign_cmd =
     let doc = "Exit non-zero if any task's verdict is not `verified'." in
     Arg.(value & flag & info [ "fail-on-unexpected" ] ~doc)
   in
-  Cmd.v
+  let lease_ttl_arg =
+    let doc =
+      "Seconds after which another worker's claim lease counts as crashed and \
+       its task may be re-claimed.  Must exceed the slowest task's runtime, or \
+       live tasks get duplicated (harmlessly — verdicts are deterministic)."
+    in
+    Arg.(value & opt float 120.0 & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let status_json_arg =
+    let doc = "Emit the aggregated status as JSON instead of the aligned table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let spec_term =
+    Term.(
+      const build_spec $ rows_arg $ exclude_arg $ ells_arg $ ns_arg $ depths_arg
+      $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ stress_seeds_arg
+      $ stress_prefix_arg $ stress_burst_arg $ smoke_arg)
+  in
+  let run_term =
+    Term.(
+      ret
+        (const run $ spec_term $ domains_arg $ dir_arg $ fresh_arg $ dry_run_arg
+       $ json_arg $ csv_arg $ quiet_arg $ fail_arg))
+  in
+  let worker_term =
+    Term.(
+      ret
+        (const worker $ spec_term $ domains_arg $ dir_arg $ lease_ttl_arg $ quiet_arg
+       $ fail_arg))
+  in
+  let status_term = Term.(ret (const status $ dir_arg $ status_json_arg)) in
+  let report_term =
+    Term.(ret (const report $ dir_arg $ json_arg $ csv_arg $ fail_arg))
+  in
+  Cmd.group
+    ~default:run_term
     (Cmd.info "campaign"
        ~doc:
          "Run a persistent, resumable verification campaign over the Table-1 \
@@ -629,13 +702,40 @@ let campaign_cmd =
           domain pool with per-task deadlines and crash isolation, store every \
           verdict on disk, and render the verified slice of Table 1.  Killing a \
           campaign loses nothing: re-running with the same --dir resumes where \
-          it stopped.")
-    Term.(
-      ret
-        (const run $ rows_arg $ exclude_arg $ ells_arg $ ns_arg $ depths_arg
-       $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ stress_seeds_arg
-       $ stress_prefix_arg $ stress_burst_arg $ domains_arg $ dir_arg $ smoke_arg
-       $ fresh_arg $ dry_run_arg $ json_arg $ csv_arg $ quiet_arg $ fail_arg))
+          it stopped.  Subcommands: `worker' joins a fleet of processes sharing \
+          one --dir through claim leases, `status' aggregates every writer's \
+          telemetry, `report' renders the store without executing anything.")
+    [
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:
+             "Run a campaign as the directory's only writer (the default when \
+              no subcommand is given).")
+        run_term;
+      Cmd.v
+        (Cmd.info "worker"
+           ~doc:
+             "Run a campaign as one worker of a fleet: N processes sharing one \
+              --dir claim pending tasks through lease files instead of \
+              partitioning statically; claim losers re-read the winner's record \
+              instead of re-executing, and a crashed worker's tasks are \
+              re-claimed after --lease-ttl.")
+        worker_term;
+      Cmd.v
+        (Cmd.info "status"
+           ~doc:
+             "Fold every writer's events.jsonl telemetry into per-worker \
+              progress and throughput: tasks claimed / executed / cached / \
+              yielded, configurations per second, duplicated executions.")
+        status_term;
+      Cmd.v
+        (Cmd.info "report"
+           ~doc:
+             "Render the Table-1 report from the records already in --dir \
+              without executing anything — the aggregation step after a worker \
+              fleet finishes.")
+        report_term;
+    ]
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -10,6 +10,7 @@ type outcome = {
 type event =
   | Campaign_started of { total : int; cached : int }
   | Task_started of { index : int; task : Task.t }
+  | Task_yielded of { index : int; task : Task.t }
   | Task_finished of {
       index : int;
       task : Task.t;
@@ -33,6 +34,13 @@ let json_of_event = function
         ("index", Json.Int index);
         ("task", Json.String (Task.fingerprint task));
         ("describe", Json.String (Task.describe task));
+      ]
+  | Task_yielded { index; task } ->
+    Json.Obj
+      [
+        ("event", Json.String "task_yielded");
+        ("index", Json.Int index);
+        ("task", Json.String (Task.fingerprint task));
       ]
   | Task_finished { index; task = _; record; cached } ->
     Json.Obj
@@ -89,14 +97,12 @@ let run ?(domains = 1) ?(use_cache = true) ?(stop = fun () -> false)
         | None -> Either.Right (index, task))
       items
   in
-  let mu = Mutex.create () in
+  (* the store's own lock serializes the telemetry lines; the user callback
+     runs outside any lock so a slow progress printer cannot serialize the
+     worker domains *)
   let emit ev =
-    Mutex.lock mu;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock mu)
-      (fun () ->
-        Store.log_event store (json_of_event ev);
-        on_event ev)
+    Store.log_event store (json_of_event ev);
+    on_event ev
   in
   emit (Campaign_started { total; cached = List.length cached });
   let results = Array.make total None in
@@ -143,6 +149,123 @@ let run ?(domains = 1) ?(use_cache = true) ?(stop = fun () -> false)
       executed;
       cached = List.length cached;
       aborted = total - executed - List.length cached;
+      records;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  emit (Campaign_finished outcome);
+  outcome
+
+(* ------------------------------------------------- shared-store worker -- *)
+
+(* The `campaign worker` engine: N OS processes share one store directory
+   and one spec; instead of statically partitioning the task list, each
+   pending task is claimed through the store's lease protocol.  Claim
+   losers park the task and poll for the winner's record (re-claiming only
+   if the winner's lease expires), so a task is executed once fleet-wide in
+   the common case and at most once per lease expiry in the worst. *)
+let run_shared ?(domains = 1) ?(stop = fun () -> false) ?(on_event = fun _ -> ())
+    ?(poll_interval = 0.05) ~store tasks =
+  let t0 = Unix.gettimeofday () in
+  let items =
+    List.mapi (fun index task -> (index, task, Task.fingerprint task)) tasks
+  in
+  let total = List.length items in
+  let emit ev =
+    Store.log_event store (json_of_event ev);
+    on_event ev
+  in
+  let cached, pending =
+    List.partition_map
+      (fun (index, task, fp) ->
+        match Store.find store fp with
+        | Some record -> Either.Left (index, task, record)
+        | None -> Either.Right (index, task, fp))
+      items
+  in
+  emit (Campaign_started { total; cached = List.length cached });
+  let results = Array.make total None in
+  List.iter
+    (fun (index, task, record) ->
+      results.(index) <- Some record;
+      emit (Task_finished { index; task; record; cached = true }))
+    cached;
+  precertify (List.map (fun (_, task, _) -> task) pending);
+  (* start each worker process at a pid-dependent offset so a fleet
+     launched simultaneously contends on different tasks, not the head *)
+  let queue = Array.of_list (Spec.rotate ~by:(Unix.getpid ()) pending) in
+  let next = Atomic.make 0 in
+  let executed = Atomic.make 0 in
+  let deduped = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  let settle (index, task) record ~ran =
+    results.(index) <- Some record;
+    Atomic.incr (if ran then executed else deduped);
+    emit (Task_finished { index; task; record; cached = not ran })
+  in
+  (* Returns false iff another live writer holds the task's lease. *)
+  let resolve ~announce_yield (index, task, fp) =
+    match Store.claim store fp with
+    | `Done record ->
+      settle (index, task) record ~ran:false;
+      true
+    | `Lost ->
+      if announce_yield then emit (Task_yielded { index; task });
+      false
+    | `Claimed ->
+      emit (Task_started { index; task });
+      let record = Task.run task in
+      Store.put store record;
+      settle (index, task) record ~ran:true;
+      true
+  in
+  let dmu = Mutex.create () in
+  let deferred = ref [] in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if stop () then begin
+        Atomic.set stopped true;
+        continue := false
+      end
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length queue then continue := false
+        else if not (resolve ~announce_yield:true queue.(i)) then begin
+          Mutex.lock dmu;
+          deferred := queue.(i) :: !deferred;
+          Mutex.unlock dmu
+        end
+      end
+    done
+  in
+  let width = max 1 (min domains (Array.length queue)) in
+  if width <= 1 then worker ()
+  else
+    Array.init width (fun _ -> Domain.spawn worker) |> Array.iter Domain.join;
+  (* waiting room: tasks some other writer holds.  Poll for their records;
+     if a holder dies, its lease expires and the re-claim executes here. *)
+  let rec drain backlog =
+    if backlog <> [] && not (stop () || Atomic.get stopped) then begin
+      let unresolved =
+        List.filter
+          (fun item -> not (resolve ~announce_yield:false item))
+          backlog
+      in
+      if unresolved <> [] then Unix.sleepf poll_interval;
+      drain unresolved
+    end
+  in
+  drain !deferred;
+  let executed = Atomic.get executed in
+  let cached = List.length cached + Atomic.get deduped in
+  let records = Array.to_list results |> List.filter_map (fun r -> r) in
+  let outcome =
+    {
+      total;
+      executed;
+      cached;
+      aborted = total - executed - cached;
       records;
       elapsed = Unix.gettimeofday () -. t0;
     }

@@ -6,12 +6,21 @@
     with crash isolation — a task that raises becomes a [Crash] record, not
     a dead campaign.  Every task completion is persisted to the store
     before the next task starts, so killing the process at any point loses
-    at most the tasks in flight. *)
+    at most the tasks in flight.
+
+    Two execution modes share that contract.  {!run} owns its task list
+    outright (one process per store directory).  {!run_shared} is the
+    [campaign worker] engine: any number of OS processes open the same
+    store directory and the same spec, and each pending task is {e claimed}
+    through the store's lease protocol instead of statically partitioned —
+    claim losers re-read the winner's record instead of re-executing. *)
 
 type outcome = {
   total : int;  (** tasks in the campaign *)
   executed : int;  (** tasks actually run in this invocation *)
-  cached : int;  (** tasks skipped because the store already had a record *)
+  cached : int;
+      (** tasks resolved without executing here: already recorded when the
+          run started, or (shared mode) executed by a concurrent worker *)
   aborted : int;  (** tasks never started because [stop] fired *)
   records : Record.t list;
       (** one record per non-aborted task, in task-list order *)
@@ -21,6 +30,9 @@ type outcome = {
 type event =
   | Campaign_started of { total : int; cached : int }
   | Task_started of { index : int; task : Task.t }
+  | Task_yielded of { index : int; task : Task.t }
+      (** shared mode only: another live worker holds this task's lease;
+          this process parks it and will re-read the winner's record *)
   | Task_finished of {
       index : int;
       task : Task.t;
@@ -31,7 +43,8 @@ type event =
 
 val json_of_event : event -> Json.t
 (** The structured telemetry rendering appended to the store's
-    [events.jsonl] for every event. *)
+    [events.jsonl] for every event (the store stamps each line with the
+    writer's [pid] and a [ts] timestamp). *)
 
 val run :
   ?domains:int ->
@@ -49,10 +62,42 @@ val run :
     records.  [stop] (default never) is polled before each task is
     claimed; once it returns [true] no further tasks start, already
     running tasks finish, and the remainder count as [aborted].
-    [on_event] observes progress; it is called under the executor's lock,
-    so events arrive serialized and in order per task.
+    [on_event] observes progress; telemetry is logged under the store's
+    lock but the callback itself runs outside any lock, so a slow callback
+    never serializes the worker domains — with [domains > 1] it may be
+    invoked from several domains concurrently.
 
     Symmetric-reduction tasks are pre-certified sequentially before the
     pool starts (the certification cache is not safe to populate from
     concurrent domains); the certification cost is attributed to the first
     task that needs each (protocol, inputs) pair. *)
+
+val run_shared :
+  ?domains:int ->
+  ?stop:(unit -> bool) ->
+  ?on_event:(event -> unit) ->
+  ?poll_interval:float ->
+  store:Store.t ->
+  Task.t list ->
+  outcome
+(** Run a campaign as one worker of a fleet sharing the store directory.
+
+    Each pending task goes through {!Store.claim}: [`Claimed] executes and
+    persists here; [`Done] (another writer already recorded it) counts as
+    [cached]; [`Lost] (another live writer holds the lease) emits
+    {!Task_yielded} and parks the task.  After the claimable tasks drain,
+    parked tasks are polled every [poll_interval] seconds (default 0.05)
+    until the winner's record appears — or the winner crashes, its lease
+    expires and the re-claim executes the task here, so a dead worker
+    delays its in-flight tasks by at most the store's lease TTL.  The task
+    list is rotated by this process's pid before claiming, so a fleet
+    launched simultaneously spreads over the grid.
+
+    Fleet-wide, every task is executed exactly once in the absence of
+    crashes; duplicate execution is possible only through lease expiry and
+    is harmless — tasks are deterministic and records content-addressed,
+    so concurrent writers' records agree on the verdict
+    ({!Record.same_verdict}) and the atomic store keeps whichever rename
+    lands last.  [stop] aborts both the claim loop and the polling loop.
+    A rerun over a completed store reports [0 executed] exactly like
+    {!run} — the resume property is mode-independent. *)

@@ -172,6 +172,11 @@ let of_json json =
       extra;
     }
 
+let same_verdict (a : t) (b : t) =
+  a.task = b.task && a.kind = b.kind && a.row = b.row && a.protocol = b.protocol
+  && a.n = b.n && a.depth = b.depth && a.engine = b.engine && a.reduce = b.reduce
+  && a.status = b.status
+
 let pp ppf r =
   Format.fprintf ppf "%s n=%d %s/%s d=%d: %s (%d configs, %.3f s)" r.row r.n r.engine
     r.reduce r.depth (status_name r.status) r.configs r.elapsed

@@ -70,5 +70,13 @@ val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result
 (** Inverse of {!to_json}: [of_json (to_json r) = Ok r]. *)
 
+val same_verdict : t -> t -> bool
+(** Equality on everything that identifies the work and its verdict — task,
+    kind, row, protocol, n, depth, engine, reduce, status — ignoring the
+    timing and search counters that legitimately differ between two writers
+    executing the same task (elapsed, configs, probes, …).  This is the
+    dedupe invariant of multi-writer campaigns: any two records written for
+    one task fingerprint must satisfy [same_verdict]. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line human rendering (row, n, engine/reduce, status, timing). *)

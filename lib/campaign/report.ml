@@ -79,6 +79,8 @@ let make records =
   in
   { row_ids; ns; grid; records }
 
+let of_store store = make (Store.records store)
+
 let cells t = t.grid
 
 let unexpected t =

@@ -24,6 +24,14 @@ val make : Record.t list -> t
     ({!Hierarchy.rows}) where ids match, unknown ids last,
     alphabetically; [ns] are sorted ascending. *)
 
+val of_store : Store.t -> t
+(** [make] over everything the store has indexed — the `campaign report`
+    path: renders the merged result of any number of workers' runs without
+    re-executing anything.  Because cells aggregate by verdict and the
+    multi-writer store guarantees verdict-identical records per task
+    ({!Record.same_verdict}), the rendering is independent of how many
+    processes produced the records. *)
+
 val cells : t -> cell list
 
 val unexpected : t -> Record.t list

@@ -63,6 +63,18 @@ let reduction_of_string = function
   | "full" -> Ok Explore.full_reduction
   | r -> Error (Printf.sprintf "unknown reduction %S (none|commute|symmetric|full)" r)
 
+(* Deterministic left-rotation: `campaign worker` processes rotate the
+   shared task list by their pid so a simultaneously launched fleet claims
+   from different ends of the grid instead of racing on the head. *)
+let rotate ~by l =
+  match l with
+  | [] | [ _ ] -> l
+  | l ->
+    let a = Array.of_list l in
+    let n = Array.length a in
+    let by = ((by mod n) + n) mod n in
+    List.init n (fun i -> a.((i + by) mod n))
+
 let tasks spec =
   let all_rows = Hierarchy.rows ~ells:spec.ells () in
   let known id = List.exists (fun (r : Hierarchy.row) -> r.id = id) all_rows in

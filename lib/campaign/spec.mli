@@ -39,6 +39,12 @@ val engine_of_string : string -> (Explore.engine, string) result
 val reduction_of_string : string -> (Explore.reduction, string) result
 (** ["none"], ["commute"], ["symmetric"], ["full"]. *)
 
+val rotate : by:int -> 'a list -> 'a list
+(** Left-rotate a list by [by mod length] (negative [by] allowed).  Used by
+    shared-store workers to start claiming at a pid-dependent offset, so a
+    fleet launched at once spreads over the grid instead of contending on
+    the first task. *)
+
 val tasks : t -> (Task.t list, string) result
 (** Expand the grid: per (row, n), one [Check] task per depth × engine ×
     reduction and one [Stress] task per stress seed.  [Error _] if a filter

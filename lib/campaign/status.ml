@@ -1,0 +1,204 @@
+type worker = {
+  pid : int;
+  runs : int;
+  claimed : int;
+  executed : int;
+  cached : int;
+  yielded : int;
+  configs : int;
+  task_seconds : float;
+  first_ts : float;
+  last_ts : float;
+}
+
+type t = {
+  workers : worker list;
+  tasks_finished : int;
+  executions : int;
+  duplicated : int;
+  events : int;
+  malformed : int;
+  span : float;
+}
+
+let fresh_worker pid =
+  {
+    pid;
+    runs = 0;
+    claimed = 0;
+    executed = 0;
+    cached = 0;
+    yielded = 0;
+    configs = 0;
+    task_seconds = 0.0;
+    first_ts = infinity;
+    last_ts = neg_infinity;
+  }
+
+let of_lines lines =
+  let workers : (int, worker) Hashtbl.t = Hashtbl.create 8 in
+  (* task fingerprint -> number of non-cached executions, fleet-wide *)
+  let executions_by_task : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let finished_tasks : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let events = ref 0 in
+  let malformed = ref 0 in
+  let span_lo = ref infinity and span_hi = ref neg_infinity in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | Error _ -> incr malformed
+        | Ok json -> (
+          match Json.get_string (Json.member "event" json) with
+          | None -> incr malformed
+          | Some event ->
+            incr events;
+            (* lines written before the multi-writer schema carry no pid *)
+            let pid =
+              Option.value ~default:0 (Json.get_int (Json.member "pid" json))
+            in
+            let w =
+              match Hashtbl.find_opt workers pid with
+              | Some w -> w
+              | None -> fresh_worker pid
+            in
+            let w =
+              match Json.get_float (Json.member "ts" json) with
+              | None -> w
+              | Some ts ->
+                if ts < !span_lo then span_lo := ts;
+                if ts > !span_hi then span_hi := ts;
+                { w with first_ts = min w.first_ts ts; last_ts = max w.last_ts ts }
+            in
+            let w =
+              match event with
+              | "campaign_started" -> { w with runs = w.runs + 1 }
+              | "task_started" -> { w with claimed = w.claimed + 1 }
+              | "task_yielded" -> { w with yielded = w.yielded + 1 }
+              | "task_finished" ->
+                let cached =
+                  Option.value ~default:false
+                    (Json.get_bool (Json.member "cached" json))
+                in
+                let configs =
+                  Option.value ~default:0 (Json.get_int (Json.member "configs" json))
+                in
+                let elapsed =
+                  Option.value ~default:0.0
+                    (Json.get_float (Json.member "elapsed" json))
+                in
+                (match Json.get_string (Json.member "task" json) with
+                 | None -> ()
+                 | Some task ->
+                   Hashtbl.replace finished_tasks task ();
+                   if not cached then
+                     Hashtbl.replace executions_by_task task
+                       (1
+                       + Option.value ~default:0
+                           (Hashtbl.find_opt executions_by_task task)));
+                if cached then { w with cached = w.cached + 1 }
+                else
+                  {
+                    w with
+                    executed = w.executed + 1;
+                    configs = w.configs + configs;
+                    task_seconds = w.task_seconds +. elapsed;
+                  }
+              | _ -> w
+            in
+            Hashtbl.replace workers pid w))
+    lines;
+  let workers =
+    Hashtbl.fold (fun _ w acc -> w :: acc) workers []
+    |> List.sort (fun a b -> compare a.pid b.pid)
+  in
+  let executions = Hashtbl.fold (fun _ c acc -> acc + c) executions_by_task 0 in
+  let duplicated =
+    Hashtbl.fold (fun _ c acc -> acc + max 0 (c - 1)) executions_by_task 0
+  in
+  {
+    workers;
+    tasks_finished = Hashtbl.length finished_tasks;
+    executions;
+    duplicated;
+    events = !events;
+    malformed = !malformed;
+    span = (if !span_hi >= !span_lo then !span_hi -. !span_lo else 0.0);
+  }
+
+let of_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    Ok (of_lines (List.rev !lines))
+
+let load ~dir =
+  let path = Filename.concat dir "events.jsonl" in
+  if Sys.file_exists path then of_file path
+  else Error (Printf.sprintf "no campaign telemetry at %s" path)
+
+let worker_span w =
+  if w.last_ts > w.first_ts then w.last_ts -. w.first_ts else 0.0
+
+let throughput w =
+  let span = worker_span w in
+  if span > 0.0 then float_of_int w.configs /. span else 0.0
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %5s %8s %9s %7s %8s %10s %11s %9s\n" "worker" "runs"
+       "claimed" "executed" "cached" "yielded" "configs" "configs/s" "span");
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %5d %8d %9d %7d %8d %10d %11.1f %8.2fs\n"
+           (if w.pid = 0 then "(no pid)" else Printf.sprintf "pid %d" w.pid)
+           w.runs w.claimed w.executed w.cached w.yielded w.configs
+           (throughput w) (worker_span w)))
+    t.workers;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d worker(s), %d event(s)%s; %d task(s) finished, %d execution(s), %d \
+        duplicated; span %.2fs\n"
+       (List.length t.workers) t.events
+       (if t.malformed = 0 then ""
+        else Printf.sprintf " (%d malformed line(s) skipped)" t.malformed)
+       t.tasks_finished t.executions t.duplicated t.span);
+  Buffer.contents buf
+
+let to_json t =
+  let worker_json w =
+    Json.Obj
+      [
+        ("pid", Json.Int w.pid);
+        ("runs", Json.Int w.runs);
+        ("claimed", Json.Int w.claimed);
+        ("executed", Json.Int w.executed);
+        ("cached", Json.Int w.cached);
+        ("yielded", Json.Int w.yielded);
+        ("configs", Json.Int w.configs);
+        ("task_seconds", Json.Float w.task_seconds);
+        ("span", Json.Float (worker_span w));
+        ("configs_per_sec", Json.Float (throughput w));
+      ]
+  in
+  Json.Obj
+    [
+      ("workers", Json.List (List.map worker_json t.workers));
+      ("tasks_finished", Json.Int t.tasks_finished);
+      ("executions", Json.Int t.executions);
+      ("duplicated", Json.Int t.duplicated);
+      ("events", Json.Int t.events);
+      ("malformed", Json.Int t.malformed);
+      ("span", Json.Float t.span);
+    ]

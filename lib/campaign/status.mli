@@ -1,0 +1,58 @@
+(** The `campaign status` aggregator: fold every writer's [events.jsonl]
+    lines into live per-worker progress and throughput.
+
+    The store appends one JSON line per {!Executor.event}, stamped with the
+    writer's [pid] and a [ts] timestamp (see {!Store.log_event}); because
+    each line is a single [O_APPEND] write, the file is a well-formed
+    multi-writer log that can be folded at any time — mid-campaign for live
+    progress, or afterwards for a throughput post-mortem.  Lines from
+    several runs over the same directory accumulate and are all counted;
+    lines predating the multi-writer schema (no [pid] field) fold under
+    pid 0.  Malformed lines are counted and skipped, never fatal. *)
+
+type worker = {
+  pid : int;
+  runs : int;  (** campaign_started lines: invocations by this writer *)
+  claimed : int;  (** task_started lines: leases won and executed here *)
+  executed : int;  (** task_finished with [cached = false] *)
+  cached : int;
+      (** task_finished with [cached = true]: resumed from the store or
+          deduped against a concurrent writer's record *)
+  yielded : int;  (** task_yielded lines: leases lost to another writer *)
+  configs : int;  (** configurations explored by this writer's executions *)
+  task_seconds : float;  (** summed task [elapsed] of executions *)
+  first_ts : float;  (** earliest event timestamp ([infinity] if none) *)
+  last_ts : float;  (** latest event timestamp ([neg_infinity] if none) *)
+}
+
+type t = {
+  workers : worker list;  (** sorted by pid *)
+  tasks_finished : int;  (** distinct task fingerprints with a record *)
+  executions : int;  (** non-cached executions, fleet-wide *)
+  duplicated : int;
+      (** executions beyond the first per task — claim races and lease
+          expiries; 0 in a healthy fleet *)
+  events : int;
+  malformed : int;
+  span : float;  (** latest minus earliest timestamp across all writers *)
+}
+
+val of_lines : string list -> t
+(** Fold raw event lines (blank lines ignored). *)
+
+val of_file : string -> (t, string) result
+
+val load : dir:string -> (t, string) result
+(** Fold [dir/events.jsonl]; [Error _] if the store has no telemetry. *)
+
+val worker_span : worker -> float
+(** Seconds between the worker's first and last event (0 if fewer than
+    two timestamped events). *)
+
+val throughput : worker -> float
+(** Explored configurations per second of wall-clock span. *)
+
+val render : t -> string
+(** Aligned per-worker table plus a fleet summary line. *)
+
+val to_json : t -> Json.t

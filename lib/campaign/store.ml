@@ -1,10 +1,18 @@
 type t = {
   dir : string;
   results_dir : string;
+  claims_dir : string;
   events_file : string;
+  mutable events_fd : Unix.file_descr option;
+  lease_ttl : float;
+  pid : int;
   index : (string, Record.t) Hashtbl.t;
   mu : Mutex.t;
 }
+
+(* Tmp-name disambiguator shared by every store handle in this process: two
+   handles on the same directory (same pid) must still never reuse a name. *)
+let tmp_counter = Atomic.make 0
 
 let rec mkdirs path =
   if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
@@ -18,11 +26,47 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let dir t = t.dir
 
-let open_ ~dir =
+(* Crashed writers leave two kinds of debris: half-written [*.json.tmp*]
+   files under results/ and lease files under claims/.  Both are junk once
+   older than the lease: a live writer holds a tmp file for milliseconds and
+   refreshes nothing, so age is the discriminator. *)
+let sweep_stale ~ttl dirpath keep =
+  match Sys.readdir dirpath with
+  | exception Sys_error _ -> ()
+  | entries ->
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun file ->
+        if not (keep file) then begin
+          let path = Filename.concat dirpath file in
+          match Unix.stat path with
+          | s when now -. s.Unix.st_mtime > ttl -> (
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          | _ | (exception Unix.Unix_error _) -> ()
+        end)
+      entries
+
+let open_ ?(lease_ttl = 120.0) ~dir () =
   let results_dir = Filename.concat dir "results" in
+  let claims_dir = Filename.concat dir "claims" in
   mkdirs results_dir;
+  mkdirs claims_dir;
+  sweep_stale ~ttl:lease_ttl results_dir (fun f ->
+      not (contains_substring f ".json.tmp"));
+  sweep_stale ~ttl:lease_ttl claims_dir (fun _ -> false);
   let index = Hashtbl.create 64 in
   Array.iter
     (fun file ->
@@ -39,7 +83,11 @@ let open_ ~dir =
   {
     dir;
     results_dir;
+    claims_dir;
     events_file = Filename.concat dir "events.jsonl";
+    events_fd = None;
+    lease_ttl;
+    pid = Unix.getpid ();
     index;
     mu = Mutex.create ();
   }
@@ -48,22 +96,109 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let find t task = locked t (fun () -> Hashtbl.find_opt t.index task)
-let mem t task = locked t (fun () -> Hashtbl.mem t.index task)
+let result_path t task = Filename.concat t.results_dir (task ^ ".json")
+
+(* The index is one writer's view; other processes rename records into
+   results/ behind our back.  A miss therefore probes the disk before
+   answering — this is the reconciliation step the claim protocol's losers
+   rely on to re-read instead of re-execute. *)
+let find_unlocked t task =
+  match Hashtbl.find_opt t.index task with
+  | Some _ as r -> r
+  | None -> (
+    match read_file (result_path t task) with
+    | exception Sys_error _ -> None
+    | contents -> (
+      match Result.bind (Json.of_string contents) Record.of_json with
+      | Ok r when r.Record.task = task ->
+        Hashtbl.replace t.index task r;
+        Some r
+      | Ok _ | Error _ -> None))
+
+let find t task = locked t (fun () -> find_unlocked t task)
+let mem t task = locked t (fun () -> find_unlocked t task <> None)
+
+(* ------------------------------------------------------------- claims -- *)
+
+(* One lease per task: the holder's writer-unique file [claims/<task>.<pid>]
+   hard-linked to the arbitration name [claims/<task>.lease].  [link] is
+   atomic on POSIX, so exactly one contender wins even across processes; a
+   lease whose mtime is older than [lease_ttl] counts as a crashed holder
+   and may be broken by any contender. *)
+
+let claim_paths t task =
+  ( Filename.concat t.claims_dir (Printf.sprintf "%s.%d" task t.pid),
+    Filename.concat t.claims_dir (task ^ ".lease") )
+
+let same_inode a b =
+  match (Unix.stat a, Unix.stat b) with
+  | sa, sb -> sa.Unix.st_ino = sb.Unix.st_ino && sa.Unix.st_dev = sb.Unix.st_dev
+  | exception Unix.Unix_error _ -> false
+
+let release_unlocked t task =
+  let own, lock = claim_paths t task in
+  if same_inode own lock then (
+    try Unix.unlink lock with Unix.Unix_error _ -> ());
+  try Unix.unlink own with Unix.Unix_error _ -> ()
+
+let release t task = locked t (fun () -> release_unlocked t task)
+
+let claim t task =
+  locked t (fun () ->
+      match find_unlocked t task with
+      | Some r -> `Done r
+      | None ->
+        let own, lock = claim_paths t task in
+        write_file own (string_of_int t.pid ^ "\n");
+        let rec acquire retries =
+          match Unix.link own lock with
+          | () -> (
+            (* the previous holder may have renamed its record between our
+               index miss and the link — hand it back instead of re-running *)
+            match find_unlocked t task with
+            | Some r ->
+              release_unlocked t task;
+              `Done r
+            | None -> `Claimed)
+          | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+            if same_inode own lock then `Claimed (* re-claim by the holder *)
+            else begin
+              let expired =
+                match Unix.stat lock with
+                | s -> Unix.gettimeofday () -. s.Unix.st_mtime > t.lease_ttl
+                | exception Unix.Unix_error _ -> true (* vanished: free *)
+              in
+              if expired && retries > 0 then begin
+                (try Unix.unlink lock with Unix.Unix_error _ -> ());
+                acquire (retries - 1)
+              end
+              else begin
+                (try Unix.unlink own with Unix.Unix_error _ -> ());
+                match find_unlocked t task with
+                | Some r -> `Done r
+                | None -> `Lost
+              end
+            end
+        in
+        acquire 2)
+
+(* ------------------------------------------------------------ records -- *)
 
 let put t (r : Record.t) =
   locked t (fun () ->
-      let final = Filename.concat t.results_dir (r.task ^ ".json") in
-      (* atomic on POSIX: a crashed campaign leaves whole records or none *)
-      let tmp = final ^ ".tmp" in
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (Json.to_string_pretty (Record.to_json r));
-          output_char oc '\n');
+      let final = result_path t r.task in
+      (* writer-unique tmp name: two processes racing on the same task each
+         write their own file, and the rename is atomic on POSIX — a crashed
+         campaign leaves whole records or swept-at-open tmp debris, never a
+         truncated record under the final name *)
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" final t.pid
+          (Atomic.fetch_and_add tmp_counter 1)
+      in
+      write_file tmp (Json.to_string_pretty (Record.to_json r) ^ "\n");
       Sys.rename tmp final;
-      Hashtbl.replace t.index r.task r)
+      Hashtbl.replace t.index r.task r;
+      release_unlocked t r.task)
 
 let records t =
   locked t (fun () ->
@@ -73,13 +208,41 @@ let records t =
 
 let count t = locked t (fun () -> Hashtbl.length t.index)
 
+(* ------------------------------------------------------------- events -- *)
+
 let log_event t json =
   locked t (fun () ->
-      let oc =
-        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.events_file
+      let fd =
+        match t.events_fd with
+        | Some fd -> fd
+        | None ->
+          let fd =
+            Unix.openfile t.events_file
+              [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+              0o644
+          in
+          t.events_fd <- Some fd;
+          fd
       in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (Json.to_string json);
-          output_char oc '\n'))
+      let json =
+        match json with
+        | Json.Obj fields ->
+          Json.Obj
+            (fields
+            @ [ ("pid", Json.Int t.pid); ("ts", Json.Float (Unix.gettimeofday ())) ])
+        | j -> j
+      in
+      let line = Bytes.of_string (Json.to_string json ^ "\n") in
+      let len = Bytes.length line in
+      (* one O_APPEND write per event: concurrent writers' lines land whole,
+         in some order, never interleaved byte-wise *)
+      let written = Unix.single_write fd line 0 len in
+      assert (written = len))
+
+let close t =
+  locked t (fun () ->
+      match t.events_fd with
+      | None -> ()
+      | Some fd ->
+        t.events_fd <- None;
+        (try Unix.close fd with Unix.Unix_error _ -> ()))

@@ -1,33 +1,63 @@
-(** The persistent, content-addressed campaign result store.
+(** The persistent, content-addressed campaign result store — a safe
+    multi-writer substrate.
 
     On-disk layout under the store directory:
     {v
       results/<task-fingerprint>.json    one Record.t per completed task
+      claims/<task>.<pid>                a writer's lease file (see claim)
+      claims/<task>.lease                hard link to the winning lease
       events.jsonl                       append-only telemetry log
     v}
 
-    Records are written atomically (temp file + rename), so a campaign
-    killed mid-run leaves only whole records behind; re-opening the store
-    recovers every completed task and the executor skips them.  Corrupt or
-    foreign files under [results/] are ignored with a warning rather than
-    poisoning the sweep.  All operations are safe to call from multiple
-    domains. *)
+    Records are written through a {e writer-unique} temp name
+    ([<final>.tmp.<pid>.<counter>]) and renamed into place, so any number of
+    processes sharing the directory can race on the same task and the final
+    file is always one writer's whole record — never a truncation of two.
+    Stale [*.json.tmp*] files and expired claim leases left by crashed runs
+    are swept when the store is opened.  Corrupt or foreign files under
+    [results/] are ignored with a warning rather than poisoning the sweep.
+    All operations are safe to call from multiple domains of one process
+    {e and} from multiple processes sharing the directory (one host; the
+    claim protocol relies on POSIX [link(2)] atomicity and live pids). *)
 
 type t
 
-val open_ : dir:string -> t
-(** Open (creating directories as needed) and index every valid record. *)
+val open_ : ?lease_ttl:float -> dir:string -> unit -> t
+(** Open (creating directories as needed), sweep stale temp files and
+    expired claims, and index every valid record.  [lease_ttl] (default
+    120 s) is the age at which another writer's claim lease — and any
+    leftover temp file — counts as a crashed holder and may be broken. *)
 
 val dir : t -> string
 
 val find : t -> string -> Record.t option
-(** Look up by task fingerprint. *)
+(** Look up by task fingerprint.  On an index miss the store probes
+    [results/] on disk before answering, so records renamed into place by
+    {e other processes} are found without reopening. *)
 
 val mem : t -> string -> bool
 
+val claim : t -> string -> [ `Claimed | `Done of Record.t | `Lost ]
+(** Optimistic claim-then-write: try to become the unique executor of a
+    task.  [`Done r] — the task already has a record (possibly another
+    writer's; losers re-read instead of re-executing).  [`Claimed] — this
+    writer now holds the lease and should execute then {!put} (which
+    releases).  [`Lost] — another live writer holds the lease; poll
+    {!find} for its record, or {!claim} again once the lease could have
+    expired.  Arbitration is a hard link from the writer's own lease file
+    [claims/<task>.<pid>] to [claims/<task>.lease]: atomic on POSIX, so at
+    most one claimant wins while the lease is live.  A lease older than
+    [lease_ttl] is treated as crashed and broken.  Re-claiming a task this
+    writer already holds returns [`Claimed]. *)
+
+val release : t -> string -> unit
+(** Drop this writer's claim on a task without writing a record (the
+    failure path; {!put} releases automatically). *)
+
 val put : t -> Record.t -> unit
-(** Persist atomically under [results/<r.task>.json] and index in memory;
-    overwrites any previous record for the same task. *)
+(** Persist atomically under [results/<r.task>.json] (unique temp name +
+    rename), index in memory, and release any claim this writer holds on
+    the task; overwrites any previous record for the same task. *)
 
 val records : t -> Record.t list
 (** Every indexed record, sorted by (row, n, kind, task) for stable
@@ -36,4 +66,10 @@ val records : t -> Record.t list
 val count : t -> int
 
 val log_event : t -> Json.t -> unit
-(** Append one compact JSON line to [events.jsonl]. *)
+(** Append one compact JSON line to [events.jsonl].  Object events gain
+    ["pid"] and ["ts"] fields identifying the writer.  The line is emitted
+    as a single [O_APPEND] write on a channel kept open for the store's
+    lifetime, so concurrent writers' lines never interleave byte-wise. *)
+
+val close : t -> unit
+(** Close the telemetry channel (reopened lazily if logging resumes). *)

@@ -6,6 +6,35 @@ let temp_dir () =
   Sys.remove dir;
   dir
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let list_claims dir =
+  match Sys.readdir (Filename.concat dir "claims") with
+  | entries -> List.sort compare (Array.to_list entries)
+  | exception Sys_error _ -> []
+
+let write_raw path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let age_file path seconds =
+  let past = Unix.gettimeofday () -. seconds in
+  Unix.utimes path past past
+
 (* --- json -------------------------------------------------------------- *)
 
 let sample_json =
@@ -104,6 +133,26 @@ let test_record_rejects_garbage () =
       Campaign.Json.Obj [ ("status", Campaign.Json.String "verified") ];
     ]
 
+let test_record_same_verdict () =
+  let r = record () in
+  Alcotest.(check bool) "timing and counters are not part of the verdict" true
+    (Campaign.Record.same_verdict r
+       {
+         r with
+         Campaign.Record.configs = 1;
+         probes = 0;
+         dedup_hits = 0;
+         sleep_pruned = 0;
+         truncated = false;
+         elapsed = 99.0;
+         extra = [];
+       });
+  Alcotest.(check bool) "a status difference is a verdict difference" false
+    (Campaign.Record.same_verdict r
+       { r with Campaign.Record.status = Campaign.Record.Timeout });
+  Alcotest.(check bool) "different tasks never share a verdict" false
+    (Campaign.Record.same_verdict r (record ~task:"fedcba9876543210" ()))
+
 (* --- tasks and fingerprints -------------------------------------------- *)
 
 let row id =
@@ -165,7 +214,7 @@ let test_spec_expansion () =
 
 let test_store_roundtrip_and_reopen () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   Alcotest.(check int) "fresh store empty" 0 (Campaign.Store.count store);
   let r1 = record ~task:"aaaaaaaaaaaaaaaa" () in
   let r2 = record ~task:"bbbbbbbbbbbbbbbb" ~status:Campaign.Record.Timeout () in
@@ -174,7 +223,7 @@ let test_store_roundtrip_and_reopen () =
   Alcotest.(check bool) "mem" true (Campaign.Store.mem store "aaaaaaaaaaaaaaaa");
   Alcotest.(check bool) "find" true (Campaign.Store.find store "bbbbbbbbbbbbbbbb" = Some r2);
   (* a second handle on the same directory recovers both records *)
-  let store' = Campaign.Store.open_ ~dir in
+  let store' = Campaign.Store.open_ ~dir () in
   Alcotest.(check int) "reopened count" 2 (Campaign.Store.count store');
   Alcotest.(check bool) "reopened record" true
     (Campaign.Store.find store' "aaaaaaaaaaaaaaaa" = Some r1);
@@ -186,7 +235,7 @@ let test_store_roundtrip_and_reopen () =
 
 let test_store_skips_corrupt_files () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   Campaign.Store.put store (record ~task:"cccccccccccccccc" ());
   let write name contents =
     let oc = open_out (Filename.concat (Filename.concat dir "results") name) in
@@ -196,10 +245,159 @@ let test_store_skips_corrupt_files () =
   write "not-json.json" "{ this is not json";
   write "not-a-record.json" "{\"hello\": 1}";
   write "bad-escape.json" "{\"task\": \"\\uZZZZ\"}";
-  let store' = Campaign.Store.open_ ~dir in
+  let store' = Campaign.Store.open_ ~dir () in
   Alcotest.(check int) "only the valid record" 1 (Campaign.Store.count store');
   Alcotest.(check bool) "valid record survives" true
     (Campaign.Store.mem store' "cccccccccccccccc")
+
+let test_store_claim_protocol () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir () in
+  let task = "aaaaaaaaaaaaaaaa" in
+  (match Campaign.Store.claim store task with
+   | `Claimed -> ()
+   | `Done _ | `Lost -> Alcotest.fail "fresh claim should win");
+  Alcotest.(check (list string)) "lease files on disk"
+    [ Printf.sprintf "%s.%d" task (Unix.getpid ()); task ^ ".lease" ]
+    (list_claims dir);
+  (* re-claiming one's own live lease is idempotent, not a deadlock *)
+  (match Campaign.Store.claim store task with
+   | `Claimed -> ()
+   | `Done _ | `Lost -> Alcotest.fail "the holder must be able to re-claim");
+  Campaign.Store.put store (record ~task ());
+  Alcotest.(check (list string)) "put releases the lease" [] (list_claims dir);
+  match Campaign.Store.claim store task with
+  | `Done r -> Alcotest.(check string) "claim short-circuits to the record" task
+                 r.Campaign.Record.task
+  | `Claimed | `Lost -> Alcotest.fail "a completed task must claim as Done"
+
+let test_store_claim_release () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir () in
+  let task = "bbbbbbbbbbbbbbbb" in
+  (match Campaign.Store.claim store task with
+   | `Claimed -> ()
+   | `Done _ | `Lost -> Alcotest.fail "fresh claim should win");
+  Campaign.Store.release store task;
+  Alcotest.(check (list string)) "release clears claims/" [] (list_claims dir);
+  match Campaign.Store.claim store task with
+  | `Claimed -> ()
+  | `Done _ | `Lost -> Alcotest.fail "a released task must be claimable again"
+
+let test_store_claim_foreign_lease () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir () in
+  let task = "cccccccccccccccc" in
+  (* a live lease from some other writer: a distinct inode, fresh mtime *)
+  let lock = Filename.concat (Filename.concat dir "claims") (task ^ ".lease") in
+  write_raw lock "99999\n";
+  (match Campaign.Store.claim store task with
+   | `Lost -> ()
+   | `Claimed | `Done _ -> Alcotest.fail "a live foreign lease must not be stolen");
+  (* the loser withdraws its own pid file; the foreign lease survives *)
+  Alcotest.(check (list string)) "only the foreign lease remains"
+    [ task ^ ".lease" ] (list_claims dir);
+  (* once the holder is presumed dead (mtime beyond the ttl), break the lease *)
+  age_file lock 3600.0;
+  match Campaign.Store.claim store task with
+  | `Claimed -> ()
+  | `Done _ | `Lost -> Alcotest.fail "an expired lease must be re-claimable"
+
+let test_store_sweeps_stale_debris () =
+  let dir = temp_dir () in
+  ignore (Campaign.Store.open_ ~dir ());
+  let results = Filename.concat dir "results" in
+  let record_path = Filename.concat results "dddddddddddddddd.json" in
+  write_raw record_path
+    (Campaign.Json.to_string
+       (Campaign.Record.to_json (record ~task:"dddddddddddddddd" ())));
+  age_file record_path 7200.0;
+  let stale_tmp = Filename.concat results "eeeeeeeeeeeeeeee.json.tmp.424242.7" in
+  write_raw stale_tmp "{ truncated by a crashed wri";
+  age_file stale_tmp 7200.0;
+  let fresh_tmp = Filename.concat results "ffffffffffffffff.json.tmp.424242.8" in
+  write_raw fresh_tmp "{ a live writer is mid-put";
+  let stale_claim =
+    Filename.concat (Filename.concat dir "claims") "dddddddddddddddd.lease"
+  in
+  write_raw stale_claim "424242\n";
+  age_file stale_claim 7200.0;
+  let store = Campaign.Store.open_ ~dir () in
+  Alcotest.(check bool) "stale tmp swept" false (Sys.file_exists stale_tmp);
+  Alcotest.(check bool) "fresh tmp kept" true (Sys.file_exists fresh_tmp);
+  Alcotest.(check bool) "stale claim swept" false (Sys.file_exists stale_claim);
+  Alcotest.(check bool) "old records are never swept" true
+    (Campaign.Store.mem store "dddddddddddddddd")
+
+let test_store_put_race_two_handles () =
+  let dir = temp_dir () in
+  let a = Campaign.Store.open_ ~dir () in
+  let b = Campaign.Store.open_ ~dir () in
+  let task = "0000000000000000" in
+  (* two handles share a pid but must never share a tmp name: hammer the same
+     final path from two domains and require a whole record at the end *)
+  let hammer store =
+    Domain.spawn (fun () ->
+        for i = 1 to 40 do
+          Campaign.Store.put store
+            { (record ~task ()) with Campaign.Record.elapsed = float_of_int i }
+        done)
+  in
+  let d1 = hammer a and d2 = hammer b in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check (list string)) "one whole record file, no tmp debris"
+    [ task ^ ".json" ]
+    (List.sort compare (Array.to_list (Sys.readdir (Filename.concat dir "results"))));
+  let store = Campaign.Store.open_ ~dir () in
+  match Campaign.Store.find store task with
+  | Some r -> Alcotest.(check string) "record parses whole" task r.Campaign.Record.task
+  | None -> Alcotest.fail "record lost in the race"
+
+let test_store_find_rescans_disk () =
+  let dir = temp_dir () in
+  let a = Campaign.Store.open_ ~dir () in
+  let b = Campaign.Store.open_ ~dir () in
+  let task = "1111111111111111" in
+  Alcotest.(check bool) "b starts empty" false (Campaign.Store.mem b task);
+  Campaign.Store.put a (record ~task ());
+  (* b's in-memory index missed it; the on-miss disk probe must reconcile *)
+  Alcotest.(check bool) "b sees a's record without reopening" true
+    (Campaign.Store.mem b task)
+
+let test_store_event_lines_stay_whole () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir () in
+  let payload = String.make 64 'x' in
+  let writers =
+    Array.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to 25 do
+              Campaign.Store.log_event store
+                (Campaign.Json.Obj
+                   [
+                     ("event", Campaign.Json.String "noise");
+                     ("writer", Campaign.Json.Int w);
+                     ("i", Campaign.Json.Int i);
+                     ("pad", Campaign.Json.String payload);
+                   ])
+            done))
+  in
+  Array.iter Domain.join writers;
+  Campaign.Store.close store;
+  let lines = read_lines (Filename.concat dir "events.jsonl") in
+  Alcotest.(check int) "one line per event" 100 (List.length lines);
+  List.iter
+    (fun line ->
+      match Campaign.Json.of_string line with
+      | Error e -> Alcotest.failf "interleaved or torn line %S: %s" line e
+      | Ok j ->
+        Alcotest.(check (option int)) "stamped with the writer pid"
+          (Some (Unix.getpid ()))
+          (Campaign.Json.get_int (Campaign.Json.member "pid" j));
+        Alcotest.(check bool) "stamped with a timestamp" true
+          (Campaign.Json.get_float (Campaign.Json.member "ts" j) <> None))
+    lines
 
 (* --- executor ---------------------------------------------------------- *)
 
@@ -217,7 +415,7 @@ let smoke_tasks () =
 
 let test_executor_runs_and_verifies () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   let tasks = smoke_tasks () in
   let o = Campaign.Executor.run ~store tasks in
   Alcotest.(check int) "total" (List.length tasks) o.Campaign.Executor.total;
@@ -258,7 +456,7 @@ let test_executor_resumes_after_interrupt () =
     | Campaign.Executor.Task_finished _ -> incr finished
     | _ -> ()
   in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   let first =
     Campaign.Executor.run ~store ~stop:(fun () -> !finished >= 4) ~on_event tasks
   in
@@ -266,7 +464,7 @@ let test_executor_resumes_after_interrupt () =
   Alcotest.(check int) "first run aborted the rest" (total - 4)
     first.Campaign.Executor.aborted;
   (* second run against the same directory: picks up exactly the remainder *)
-  let store' = Campaign.Store.open_ ~dir in
+  let store' = Campaign.Store.open_ ~dir () in
   let second = Campaign.Executor.run ~store:store' tasks in
   Alcotest.(check int) "second run skips completed tasks" 4
     second.Campaign.Executor.cached;
@@ -276,13 +474,13 @@ let test_executor_resumes_after_interrupt () =
   Alcotest.(check int) "full record set" total
     (List.length second.Campaign.Executor.records);
   (* third run: everything cached, nothing executed *)
-  let third = Campaign.Executor.run ~store:(Campaign.Store.open_ ~dir) tasks in
+  let third = Campaign.Executor.run ~store:(Campaign.Store.open_ ~dir ()) tasks in
   Alcotest.(check int) "third run all cached" total third.Campaign.Executor.cached;
   Alcotest.(check int) "third run executes nothing" 0 third.Campaign.Executor.executed
 
 let test_executor_honours_deadline () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   (* a negative deadline expires at the first check: verdict must be a
      timeout record, not a hang and not a crash *)
   let task =
@@ -298,7 +496,7 @@ let test_executor_honours_deadline () =
 
 let test_executor_isolates_crashes () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   let broken : Consensus.Proto.t =
     (module struct
       module I = Isets.Rw
@@ -329,7 +527,7 @@ let test_executor_isolates_crashes () =
 
 let test_executor_logs_events () =
   let dir = temp_dir () in
-  let store = Campaign.Store.open_ ~dir in
+  let store = Campaign.Store.open_ ~dir () in
   let tasks = [ Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 (row "cas") ~n:2 ] in
   ignore (Campaign.Executor.run ~store tasks);
   let ic = open_in (Filename.concat dir "events.jsonl") in
@@ -350,6 +548,110 @@ let test_executor_logs_events () =
   Alcotest.(check (list string)) "telemetry sequence"
     [ "campaign_started"; "task_started"; "task_finished"; "campaign_finished" ]
     events
+
+let test_run_shared_executes_then_dedupes () =
+  let dir = temp_dir () in
+  let tasks = smoke_tasks () in
+  let total = List.length tasks in
+  let store = Campaign.Store.open_ ~dir () in
+  let first = Campaign.Executor.run_shared ~store tasks in
+  Alcotest.(check int) "first run executes everything" total
+    first.Campaign.Executor.executed;
+  Alcotest.(check int) "nothing cached" 0 first.Campaign.Executor.cached;
+  Alcotest.(check int) "nothing aborted" 0 first.Campaign.Executor.aborted;
+  Alcotest.(check (list string)) "no leases left behind" [] (list_claims dir);
+  (* a second worker over the same directory replays from the store *)
+  let store' = Campaign.Store.open_ ~dir () in
+  let second = Campaign.Executor.run_shared ~store:store' tasks in
+  Alcotest.(check int) "rerun executes nothing" 0 second.Campaign.Executor.executed;
+  Alcotest.(check int) "rerun fully cached" total second.Campaign.Executor.cached;
+  (* `campaign report` over the store renders exactly what the run returned *)
+  Alcotest.(check string) "report over the store matches the run's records"
+    (Campaign.Report.render (Campaign.Report.make first.Campaign.Executor.records))
+    (Campaign.Report.render (Campaign.Report.of_store store'))
+
+let test_run_shared_breaks_expired_leases () =
+  let dir = temp_dir () in
+  let task =
+    Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 (row "cas") ~n:2
+  in
+  let fp = Campaign.Task.fingerprint task in
+  let store = Campaign.Store.open_ ~lease_ttl:0.2 ~dir () in
+  (* a crashed worker's lease: live at first sight, expired shortly after *)
+  write_raw (Filename.concat (Filename.concat dir "claims") (fp ^ ".lease"))
+    "99999\n";
+  let yielded = ref 0 in
+  let on_event = function
+    | Campaign.Executor.Task_yielded _ -> incr yielded
+    | _ -> ()
+  in
+  let o = Campaign.Executor.run_shared ~store ~on_event ~poll_interval:0.02 [ task ] in
+  Alcotest.(check bool) "the live lease was honoured first" true (!yielded >= 1);
+  Alcotest.(check int) "executed here once the lease expired" 1
+    o.Campaign.Executor.executed;
+  Alcotest.(check int) "nothing aborted" 0 o.Campaign.Executor.aborted;
+  Alcotest.(check (list string)) "claims dir clean afterwards" [] (list_claims dir)
+
+(* --- status ------------------------------------------------------------ *)
+
+let test_status_folds_multiwriter_log () =
+  let lines =
+    [
+      {|{"event": "campaign_started", "total": 2, "cached": 0, "pid": 11, "ts": 10.0}|};
+      {|{"event": "task_started", "index": 0, "task": "t1", "pid": 11, "ts": 10.5}|};
+      {|{"event": "task_finished", "task": "t1", "cached": false, "configs": 40, "elapsed": 1.5, "pid": 11, "ts": 12.0}|};
+      {|{"event": "task_yielded", "index": 1, "task": "t2", "pid": 11, "ts": 12.1}|};
+      {|{"event": "task_finished", "task": "t2", "cached": false, "configs": 10, "elapsed": 0.5, "pid": 22, "ts": 12.5}|};
+      {|{"event": "task_finished", "task": "t2", "cached": true, "pid": 11, "ts": 13.0}|};
+      {|{"event": "task_finished", "task": "t2", "cached": false, "configs": 10, "elapsed": 0.4, "pid": 33, "ts": 13.5}|};
+      (* a line predating the multi-writer schema: no pid, folds under pid 0 *)
+      {|{"event": "campaign_finished", "executed": 1}|};
+      "this line is not json";
+      "";
+    ]
+  in
+  let s = Campaign.Status.of_lines lines in
+  Alcotest.(check int) "workers (three pids plus legacy)" 4
+    (List.length s.Campaign.Status.workers);
+  Alcotest.(check int) "events" 8 s.Campaign.Status.events;
+  Alcotest.(check int) "malformed lines skipped, not fatal" 1
+    s.Campaign.Status.malformed;
+  Alcotest.(check int) "tasks finished" 2 s.Campaign.Status.tasks_finished;
+  Alcotest.(check int) "executions" 3 s.Campaign.Status.executions;
+  Alcotest.(check int) "t2 ran twice: one duplicated" 1 s.Campaign.Status.duplicated;
+  let w11 =
+    List.find (fun w -> w.Campaign.Status.pid = 11) s.Campaign.Status.workers
+  in
+  Alcotest.(check int) "pid 11 runs" 1 w11.Campaign.Status.runs;
+  Alcotest.(check int) "pid 11 claimed" 1 w11.Campaign.Status.claimed;
+  Alcotest.(check int) "pid 11 executed" 1 w11.Campaign.Status.executed;
+  Alcotest.(check int) "pid 11 cached" 1 w11.Campaign.Status.cached;
+  Alcotest.(check int) "pid 11 yielded" 1 w11.Campaign.Status.yielded;
+  Alcotest.(check int) "pid 11 configs" 40 w11.Campaign.Status.configs;
+  Alcotest.(check (float 1e-9)) "pid 11 span" 3.0 (Campaign.Status.worker_span w11);
+  Alcotest.(check (float 1e-9)) "fleet span" 3.5 s.Campaign.Status.span;
+  let rendered = Campaign.Status.render s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true (contains rendered needle))
+    [ "pid 11"; "pid 22"; "(no pid)"; "3 execution(s)"; "1 duplicated" ]
+
+let test_status_of_live_run () =
+  let dir = temp_dir () in
+  let store = Campaign.Store.open_ ~dir () in
+  let tasks = smoke_tasks () in
+  ignore (Campaign.Executor.run_shared ~store tasks);
+  Campaign.Store.close store;
+  match Campaign.Status.load ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check int) "one worker" 1 (List.length s.Campaign.Status.workers);
+    Alcotest.(check int) "no malformed telemetry" 0 s.Campaign.Status.malformed;
+    Alcotest.(check int) "every task finished" (List.length tasks)
+      s.Campaign.Status.tasks_finished;
+    Alcotest.(check int) "one execution per task" (List.length tasks)
+      s.Campaign.Status.executions;
+    Alcotest.(check int) "no duplicated executions" 0 s.Campaign.Status.duplicated
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -393,6 +695,8 @@ let () =
         [
           Alcotest.test_case "round-trip all statuses" `Quick test_record_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_record_rejects_garbage;
+          Alcotest.test_case "same verdict ignores timing" `Quick
+            test_record_same_verdict;
         ] );
       ( "task",
         [
@@ -404,6 +708,18 @@ let () =
         [
           Alcotest.test_case "round-trip and reopen" `Quick test_store_roundtrip_and_reopen;
           Alcotest.test_case "skips corrupt files" `Quick test_store_skips_corrupt_files;
+          Alcotest.test_case "claim protocol" `Quick test_store_claim_protocol;
+          Alcotest.test_case "claim release" `Quick test_store_claim_release;
+          Alcotest.test_case "foreign leases: honoured then broken" `Quick
+            test_store_claim_foreign_lease;
+          Alcotest.test_case "sweeps stale debris at open" `Quick
+            test_store_sweeps_stale_debris;
+          Alcotest.test_case "put race between two handles" `Quick
+            test_store_put_race_two_handles;
+          Alcotest.test_case "find rescans the disk" `Quick
+            test_store_find_rescans_disk;
+          Alcotest.test_case "event lines stay whole" `Quick
+            test_store_event_lines_stay_whole;
         ] );
       ( "executor",
         [
@@ -413,6 +729,17 @@ let () =
           Alcotest.test_case "honours deadlines" `Quick test_executor_honours_deadline;
           Alcotest.test_case "isolates crashes" `Quick test_executor_isolates_crashes;
           Alcotest.test_case "logs telemetry events" `Quick test_executor_logs_events;
+          Alcotest.test_case "shared mode executes then dedupes" `Quick
+            test_run_shared_executes_then_dedupes;
+          Alcotest.test_case "shared mode breaks expired leases" `Quick
+            test_run_shared_breaks_expired_leases;
+        ] );
+      ( "status",
+        [
+          Alcotest.test_case "folds a multi-writer log" `Quick
+            test_status_folds_multiwriter_log;
+          Alcotest.test_case "folds a live run's telemetry" `Quick
+            test_status_of_live_run;
         ] );
       ( "report",
         [

@@ -1,0 +1,190 @@
+(* The multi-writer store under real OS-process concurrency: four forked
+   workers share one campaign directory and the same task list, so every task
+   is contended by all four.  The claim protocol must arbitrate them down to
+   exactly one execution per task fleet-wide, with no lost or torn record
+   files, verdicts identical to a single-process run, and a telemetry log
+   whose lines all parse.
+
+   This is a plain executable (exit 0 = pass): alcotest and [Unix.fork] do
+   not mix, and each child must be a single-domain process for fork safety. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("test_campaign_multiproc: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun s ->
+      if not cond then (
+        prerr_endline ("test_campaign_multiproc: FAIL: " ^ s);
+        exit 1))
+    fmt
+
+let temp_dir () =
+  let dir = Filename.temp_file "campaign_multiproc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let tasks () =
+  let spec =
+    {
+      Campaign.Spec.smoke with
+      Campaign.Spec.include_rows = [ "cas"; "swap"; "max-register" ];
+      depths = [ 3 ];
+    }
+  in
+  match Campaign.Spec.tasks spec with
+  | Ok tasks -> tasks
+  | Error e -> fail "spec: %s" e
+
+let workers = 4
+
+(* Each child runs the whole overlapping task list through the shared-store
+   executor and reports its outcome through a file; asserting inside a forked
+   child would be invisible to the parent's exit code, so children only
+   report and the parent judges. *)
+let child ~dir ~out tasks =
+  let report =
+    try
+      let store = Campaign.Store.open_ ~dir () in
+      let o = Campaign.Executor.run_shared ~store tasks in
+      Campaign.Store.close store;
+      Printf.sprintf "%d %d %d %d" o.Campaign.Executor.executed
+        o.Campaign.Executor.cached o.Campaign.Executor.aborted
+        (List.length o.Campaign.Executor.records)
+    with exn -> "EXN " ^ Printexc.to_string exn
+  in
+  let oc = open_out out in
+  output_string oc report;
+  close_out oc;
+  Unix._exit 0
+
+let () =
+  let tasks = tasks () in
+  let total = List.length tasks in
+  let dir = temp_dir () in
+  let out i = Filename.concat dir (Printf.sprintf "outcome.%d" i) in
+  flush stdout;
+  flush stderr;
+  let pids =
+    List.init workers (fun i ->
+        match Unix.fork () with
+        | 0 -> child ~dir ~out:(out i) tasks
+        | pid -> pid)
+  in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, status ->
+        let s =
+          match status with
+          | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+        in
+        fail "worker %d died: %s" pid s)
+    pids;
+  (* every worker accounted for every task, and nobody aborted *)
+  let outcomes =
+    List.init workers (fun i ->
+        let report = read_file (out i) in
+        match Scanf.sscanf report "%d %d %d %d" (fun a b c d -> (a, b, c, d)) with
+        | outcome -> outcome
+        | exception _ -> fail "worker %d reported %S" i report)
+  in
+  List.iteri
+    (fun i (executed, cached, aborted, records) ->
+      check (executed + cached = total)
+        "worker %d: executed %d + cached %d <> %d tasks" i executed cached total;
+      check (aborted = 0) "worker %d aborted %d task(s)" i aborted;
+      check (records = total) "worker %d returned %d/%d records" i records total)
+    outcomes;
+  (* the claim protocol arbitrated to exactly one execution per task *)
+  let executions =
+    List.fold_left (fun acc (executed, _, _, _) -> acc + executed) 0 outcomes
+  in
+  check (executions = total)
+    "fleet executed %d task(s) for %d distinct tasks (lost or duplicated work)"
+    executions total;
+  (* no lost, torn, or half-renamed record files *)
+  let store = Campaign.Store.open_ ~dir () in
+  check (Campaign.Store.count store = total) "store holds %d/%d records"
+    (Campaign.Store.count store) total;
+  (* verdicts are identical to an uncontended single-process run *)
+  let reference_store = Campaign.Store.open_ ~dir:(temp_dir ()) () in
+  let reference = Campaign.Executor.run ~store:reference_store tasks in
+  List.iter
+    (fun task ->
+      let fp = Campaign.Task.fingerprint task in
+      let shared =
+        match Campaign.Store.find store fp with
+        | Some r -> r
+        | None -> fail "no shared record for %s" fp
+      in
+      let solo =
+        match Campaign.Store.find reference_store fp with
+        | Some r -> r
+        | None -> fail "no reference record for %s" fp
+      in
+      check
+        (Campaign.Record.same_verdict shared solo)
+        "verdict diverged for %s: %s (shared) vs %s (solo)" fp
+        (Campaign.Record.status_name shared.Campaign.Record.status)
+        (Campaign.Record.status_name solo.Campaign.Record.status))
+    tasks;
+  ignore reference;
+  (* the shared telemetry log parses line by line and names all four pids *)
+  let pids_seen = Hashtbl.create 8 in
+  let lines = read_lines (Filename.concat dir "events.jsonl") in
+  List.iter
+    (fun line ->
+      match Campaign.Json.of_string line with
+      | Error e -> fail "torn event line %S: %s" line e
+      | Ok j -> (
+        match Campaign.Json.get_int (Campaign.Json.member "pid" j) with
+        | Some pid -> Hashtbl.replace pids_seen pid ()
+        | None -> fail "event line without a pid: %S" line))
+    lines;
+  check
+    (Hashtbl.length pids_seen = workers)
+    "telemetry names %d pid(s), expected %d" (Hashtbl.length pids_seen) workers;
+  (* the status aggregator agrees: zero duplicated executions *)
+  (match Campaign.Status.load ~dir with
+   | Error e -> fail "status: %s" e
+   | Ok s ->
+     check
+       (s.Campaign.Status.tasks_finished = total)
+       "status folded %d finished task(s), expected %d"
+       s.Campaign.Status.tasks_finished total;
+     check
+       (s.Campaign.Status.executions = total)
+       "status counted %d execution(s), expected %d" s.Campaign.Status.executions
+       total;
+     check
+       (s.Campaign.Status.duplicated = 0)
+       "status counted %d duplicated execution(s)" s.Campaign.Status.duplicated;
+     check (s.Campaign.Status.malformed = 0) "status skipped %d malformed line(s)"
+       s.Campaign.Status.malformed);
+  (* no leases survive a clean fleet *)
+  (match Sys.readdir (Filename.concat dir "claims") with
+   | [||] -> ()
+   | leftover -> fail "claims/ not empty: %s" (String.concat ", " (Array.to_list leftover)));
+  Printf.printf
+    "test_campaign_multiproc: ok — %d workers, %d tasks, %d executions, 0 \
+     duplicated\n"
+    workers total executions
