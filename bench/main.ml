@@ -690,6 +690,72 @@ let mc ?(smoke = false) () =
            Campaign.Json.List (List.rev_map Campaign.Record.to_json !deepen_records) );
        ])
 
+(* --------------------------------------------------------------- OBS -- *)
+
+(* Observer overhead: the same memoized exploration with no observers,
+   with the default safety/liveness set, and with every built-in attached.
+   The headline metric is the wall-clock ratio against the unobserved run —
+   the perf acceptance bar for the subsystem is "defaults cost < 10% on the
+   memo engine" (the no-observer path shares no code with the hooks, so an
+   empty set is free by construction). *)
+let obs ?(smoke = false) () =
+  section "OBS: observer overhead — memo engine, unobserved vs monitored";
+  let protos =
+    [
+      ("rw", Consensus.Rw_protocol.protocol);
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+    ]
+  in
+  let sweeps = if smoke then [ (2, 6) ] else [ (2, 10); (3, 8) ] in
+  let all_observers =
+    List.filter_map
+      (fun (name, _doc) ->
+        match Observer.of_name name with Ok o -> Some o | Error _ -> None)
+      Observer.known
+  in
+  let sets =
+    [
+      ("none", []);
+      ("default", Observer.defaults);
+      ("all", all_observers);
+    ]
+  in
+  Printf.printf "%-10s %-3s %-5s %-9s %10s %10s %9s  %s\n" "protocol" "n" "depth"
+    "observers" "configs" "elapsed_s" "overhead" "verdict";
+  List.iter
+    (fun (n, depth) ->
+      List.iter
+        (fun (pname, proto) ->
+          let inputs = Array.init n (fun i -> i) in
+          let base_elapsed = ref 0.0 in
+          List.iter
+            (fun (sname, observers) ->
+              let reps = if smoke then 2 else 5 in
+              let best = ref Float.infinity and configs = ref 0 and ok = ref true in
+              for _ = 1 to reps do
+                match
+                  Explore.run ~probe:`Leaves ~engine:`Memo ~observers proto
+                    ~inputs ~depth
+                with
+                | Explore.Completed s ->
+                  best := Float.min !best s.Explore.elapsed;
+                  configs := s.Explore.configs
+                | _ -> ok := false
+              done;
+              if !ok then begin
+                if observers = [] then base_elapsed := !best;
+                let overhead = !best /. Float.max !base_elapsed 1e-9 in
+                Printf.printf "%-10s %-3d %-5d %-9s %10d %10.4f %8.2fx  ok\n" pname
+                  n depth sname !configs !best overhead
+              end
+              else
+                Printf.printf "%-10s %-3d %-5d %-9s %10s %10s %9s  NOT VERIFIED\n"
+                  pname n depth sname "-" "-" "-")
+            sets)
+        protos)
+    sweeps
+
 (* --------------------------------------------------------------- RED -- *)
 
 (* The reduction layer vs the plain memoized engine: commutativity sleep
@@ -1061,6 +1127,7 @@ let sections : (string * (smoke:bool -> unit)) list =
         ablation_threshold ();
         ablation_stability () );
     ("MC", fun ~smoke -> mc ~smoke ());
+    ("OBS", fun ~smoke -> obs ~smoke ());
     ("RED", fun ~smoke -> red ~smoke ());
     ("WIT", fun ~smoke -> witnesses ~smoke ());
     ("CAMP", fun ~smoke -> campaign_bench ~smoke ());

@@ -64,7 +64,8 @@ let run_cmd =
     Term.(ret (const run $ ells_arg $ row_arg $ n_arg $ seed_arg $ prefix_arg))
 
 let modelcheck_cmd =
-  let run ells id n depth everywhere engine domains trace no_shrink reduce force timeout =
+  let run ells id n depth everywhere engine domains trace no_shrink reduce force timeout
+      observe =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -93,13 +94,21 @@ let modelcheck_cmd =
                " — proceeding anyway (--force; reduction may be unsound)"
              else "")
         in
-        match (engine, reduce) with
-        | Error e, _ | _, Error e -> `Error (false, e)
-        | Ok engine, Ok reduce ->
+        match (engine, reduce, Observer.of_names observe) with
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+        | Ok engine, Ok reduce, Ok observers ->
           (match
              Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce ~force
-               ~notify_symmetry ?deadline:timeout row.protocol ~inputs ~depth
+               ~observers ~notify_symmetry ?deadline:timeout row.protocol ~inputs ~depth
            with
+           | exception Explore.Observer_unsafe_reduction { observer; reduction } ->
+             `Error
+               ( false,
+                 Printf.sprintf
+                   "observer %s is not sound under the %s reduction — drop the \
+                    reduction or the observer (or --force to run anyway, at your own \
+                    risk)"
+                   observer reduction )
            | exception Explore.Uncertified_symmetry { protocol; verdict } ->
              `Error
                ( false,
@@ -205,13 +214,23 @@ let modelcheck_cmd =
     in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let observe_arg =
+    let doc =
+      "Check these observers instead of the built-in agreement/validity/termination \
+       checks: agreement, validity, solo-termination, lockout, maxreg-monotonic, or \
+       `default' (the first three).  Observers marked unsafe under the chosen \
+       --reduce refuse to run unless --force is given."
+    in
+    Arg.(value & opt (list string) [] & info [ "observe" ] ~docv:"OBS1,…" ~doc)
+  in
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Exhaustively explore all schedules of a row's protocol up to a depth.")
     Term.(
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
-       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg $ timeout_arg))
+       $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg $ timeout_arg
+       $ observe_arg))
 
 let lint_cmd =
   let run ells ns ids strict json selftest mutants =
@@ -429,7 +448,7 @@ let synth_cmd =
     Term.(ret (const run $ machine_arg $ depth_arg))
 
 let campaign_cmd =
-  let build_spec rows exclude ells ns depths engines reduces timeout solo_fuel
+  let build_spec rows exclude ells ns depths engines reduces timeout solo_fuel observe
       stress_seeds stress_prefix stress_burst smoke =
     let base = if smoke then Campaign.Spec.smoke else Campaign.Spec.default in
     let ( |? ) opt default = Option.value opt ~default in
@@ -465,6 +484,7 @@ let campaign_cmd =
           engines;
           reduces;
           solo_fuel = solo_fuel |? base.Campaign.Spec.solo_fuel;
+          observe = observe |? base.Campaign.Spec.observe;
           deadline =
             (match timeout with
              | Some t -> if t > 0.0 then Some t else None
@@ -602,6 +622,15 @@ let campaign_cmd =
     let doc = "Solo-probe fuel for check tasks." in
     Arg.(value & opt (some int) None & info [ "solo-fuel" ] ~docv:"FUEL" ~doc)
   in
+  let observe_arg =
+    let doc =
+      "Observer names applied to every check task (see `modelcheck --observe'); \
+       empty (the default) keeps the legacy built-in checks.  The observer set is \
+       part of each task's fingerprint, so observed and unobserved sweeps coexist \
+       in one store."
+    in
+    Arg.(value & opt (some (list string)) None & info [ "observe" ] ~docv:"OBS1,…" ~doc)
+  in
   let stress_seeds_arg =
     let doc = "Stress-run seeds (one stress task per row, n and seed)." in
     Arg.(value & opt (some (list int)) None & info [ "stress-seeds" ] ~docv:"S1,…" ~doc)
@@ -673,8 +702,8 @@ let campaign_cmd =
   let spec_term =
     Term.(
       const build_spec $ rows_arg $ exclude_arg $ ells_arg $ ns_arg $ depths_arg
-      $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ stress_seeds_arg
-      $ stress_prefix_arg $ stress_burst_arg $ smoke_arg)
+      $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ observe_arg
+      $ stress_seeds_arg $ stress_prefix_arg $ stress_burst_arg $ smoke_arg)
   in
   let run_term =
     Term.(

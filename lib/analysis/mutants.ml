@@ -31,6 +31,7 @@ module Sound_register = struct
   let equal_cell = Int.equal
   let hash_cell c = c
   let hash_result r = r
+  let observe_result r = Some r
   let pp_cell = Format.pp_print_int
   let pp_result = Format.pp_print_int
 
@@ -114,6 +115,7 @@ module Hash_result_incoherent = struct
   let equal_cell = Int.equal
   let hash_cell c = c
   let hash_result r = (r.v * 31) + r.tag
+  let observe_result r = Some r.v
   let pp_cell = Format.pp_print_int
   let pp_result ppf r = Format.pp_print_int ppf r.v
 

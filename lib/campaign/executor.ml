@@ -165,8 +165,16 @@ let run ?(domains = 1) ?(use_cache = true) ?(stop = fun () -> false)
    if the winner's lease expires), so a task is executed once fleet-wide in
    the common case and at most once per lease expiry in the worst. *)
 let run_shared ?(domains = 1) ?(stop = fun () -> false) ?(on_event = fun _ -> ())
-    ?(poll_interval = 0.05) ~store tasks =
+    ?(poll_interval = 0.05) ?drain_timeout ~store tasks =
   let t0 = Unix.gettimeofday () in
+  (* Two lease TTLs covers the worst honest case: a winner that claimed a
+     task just before we parked it has a full TTL to finish, and a crashed
+     winner's lease takes at most one more TTL to look expired. *)
+  let drain_timeout =
+    match drain_timeout with
+    | Some s -> s
+    | None -> Stdlib.max (2.0 *. Store.lease_ttl store) 1.0
+  in
   let items =
     List.mapi (fun index task -> (index, task, Task.fingerprint task)) tasks
   in
@@ -244,7 +252,14 @@ let run_shared ?(domains = 1) ?(stop = fun () -> false) ?(on_event = fun _ -> ()
   else
     Array.init width (fun _ -> Domain.spawn worker) |> Array.iter Domain.join;
   (* waiting room: tasks some other writer holds.  Poll for their records;
-     if a holder dies, its lease expires and the re-claim executes here. *)
+     if a holder dies, its lease expires and the re-claim executes here.
+     The poll is bounded by [drain_timeout]: a lease whose mtime sits in
+     the future (clock-skewed holder) never looks expired to [Store.claim],
+     so an unbounded loop could spin forever.  Past the bound each stuck
+     lease is force-broken ([Store.break_lease]) and the task resolved one
+     final time — executed here, or returned unresolved (counted
+     [aborted]) if yet another writer snatches the freed lease. *)
+  let drain_deadline = Unix.gettimeofday () +. drain_timeout in
   let rec drain backlog =
     if backlog <> [] && not (stop () || Atomic.get stopped) then begin
       let unresolved =
@@ -252,8 +267,18 @@ let run_shared ?(domains = 1) ?(stop = fun () -> false) ?(on_event = fun _ -> ()
           (fun item -> not (resolve ~announce_yield:false item))
           backlog
       in
-      if unresolved <> [] then Unix.sleepf poll_interval;
-      drain unresolved
+      if unresolved <> [] then begin
+        if Unix.gettimeofday () > drain_deadline then
+          List.iter
+            (fun ((_, _, fp) as item) ->
+              Store.break_lease store fp;
+              ignore (resolve ~announce_yield:false item))
+            unresolved
+        else begin
+          Unix.sleepf poll_interval;
+          drain unresolved
+        end
+      end
     end
   in
   drain !deferred;

@@ -77,6 +77,7 @@ val run_shared :
   ?stop:(unit -> bool) ->
   ?on_event:(event -> unit) ->
   ?poll_interval:float ->
+  ?drain_timeout:float ->
   store:Store.t ->
   Task.t list ->
   outcome
@@ -92,6 +93,16 @@ val run_shared :
     delays its in-flight tasks by at most the store's lease TTL.  The task
     list is rotated by this process's pid before claiming, so a fleet
     launched simultaneously spreads over the grid.
+
+    The polling loop is bounded: {!Store.claim} only breaks leases that
+    {e look} expired by mtime, so a lease stamped in the future — a holder
+    whose clock is skewed — would otherwise park its task forever.  After
+    [drain_timeout] seconds (default [max (2 * lease TTL) 1]: one TTL for
+    an honest winner to finish plus one for a crashed winner's lease to
+    age out) each still-stuck lease is force-broken
+    ({!Store.break_lease}) and the task claimed one final time — executed
+    here, or counted [aborted] if yet another writer takes the freed
+    lease first.
 
     Fleet-wide, every task is executed exactly once in the absence of
     crashes; duplicate execution is possible only through lease expiry and

@@ -25,6 +25,12 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* JSON has no literal for non-finite floats: the old code printed "inf" /
+   "nan" here, which [of_string] rejects — a record containing one was
+   silently dropped when the store re-read its log.  Non-finite floats are
+   instead serialized as the string sentinels ["Infinity"], ["-Infinity"]
+   and ["NaN"] (see [emit]), which [get_float] maps back, so the numeric
+   view round-trips even though the constructor changes to [String]. *)
 let float_literal f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else
@@ -32,12 +38,21 @@ let float_literal f =
     let s = Printf.sprintf "%.12g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
+let nonfinite_sentinel f =
+  if Float.is_nan f then Some "NaN"
+  else if f = Float.infinity then Some "Infinity"
+  else if f = Float.neg_infinity then Some "-Infinity"
+  else None
+
 (* [indent = None] is the compact form; [Some pad] pretty-prints. *)
 let rec emit buf ~indent ~level = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_literal f)
+  | Float f ->
+    (match nonfinite_sentinel f with
+     | Some sentinel -> escape buf sentinel
+     | None -> Buffer.add_string buf (float_literal f))
   | String s -> escape buf s
   | List [] -> Buffer.add_string buf "[]"
   | List items ->
@@ -267,6 +282,9 @@ let get_int = function Int i -> Some i | _ -> None
 let get_float = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  | String "Infinity" -> Some Float.infinity
+  | String "-Infinity" -> Some Float.neg_infinity
+  | String "NaN" -> Some Float.nan
   | _ -> None
 
 let get_bool = function Bool b -> Some b | _ -> None

@@ -17,8 +17,14 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Compact rendering (no insignificant whitespace).  Floats print with
-    enough digits to round-trip exactly through {!of_string}. *)
+(** Compact rendering (no insignificant whitespace).  Finite floats print
+    with enough digits to round-trip exactly through {!of_string}.  JSON
+    has no non-finite number literals, so [Float nan] and [Float
+    (±infinity)] render as the documented string sentinels ["NaN"],
+    ["Infinity"] and ["-Infinity]" — still valid JSON (earlier versions
+    printed the unparsable ["nan"]/["inf"], silently corrupting any record
+    containing one); {!get_float} maps the sentinels back, so the numeric
+    view round-trips even though the re-parsed constructor is [String]. *)
 
 val to_string_pretty : t -> string
 (** Two-space-indented rendering for files meant to be read by humans
@@ -37,7 +43,9 @@ val get_string : t -> string option
 val get_int : t -> int option
 
 val get_float : t -> float option
-(** [Int] values promote. *)
+(** [Int] values promote; the non-finite string sentinels ["NaN"],
+    ["Infinity"], ["-Infinity"] map back to their floats (see
+    {!to_string}). *)
 
 val get_bool : t -> bool option
 val get_list : t -> t list option

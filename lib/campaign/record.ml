@@ -24,6 +24,7 @@ type t = {
   depth : int;
   engine : string;
   reduce : string;
+  observers : string list;
   status : status;
   configs : int;
   probes : int;
@@ -34,9 +35,9 @@ type t = {
   extra : (string * Json.t) list;
 }
 
-let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ~status ?(configs = 0)
-    ?(probes = 0) ?(dedup_hits = 0) ?(sleep_pruned = 0) ?(truncated = false)
-    ?(elapsed = 0.0) ?(extra = []) () =
+let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ?(observers = []) ~status
+    ?(configs = 0) ?(probes = 0) ?(dedup_hits = 0) ?(sleep_pruned = 0)
+    ?(truncated = false) ?(elapsed = 0.0) ?(extra = []) () =
   {
     task;
     kind;
@@ -46,6 +47,7 @@ let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ~status ?(configs 
     depth;
     engine;
     reduce;
+    observers;
     status;
     configs;
     probes;
@@ -86,6 +88,11 @@ let to_json r =
        ("engine", Json.String r.engine);
        ("reduce", Json.String r.reduce);
      ]
+    (* absent ≡ []: records minted before observers existed stay readable,
+       and legacy records round-trip byte-for-byte *)
+    @ (match r.observers with
+      | [] -> []
+      | os -> [ ("observers", Json.List (List.map (fun o -> Json.String o) os)) ])
     @ json_of_status r.status
     @ [
         ("configs", Json.Int r.configs);
@@ -112,6 +119,21 @@ let of_json json =
   let* depth = field "depth" Json.get_int in
   let* engine = field "engine" Json.get_string in
   let* reduce = field "reduce" Json.get_string in
+  let* observers =
+    match Json.member "observers" json with
+    | Json.Null -> Ok [] (* pre-observer record *)
+    | j -> (
+      match Json.get_list j with
+      | None -> Error "record: ill-typed field \"observers\""
+      | Some items ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match Json.get_string item with
+            | Some name -> Ok (name :: acc)
+            | None -> Error "record: non-string observer name")
+          items (Ok []))
+  in
   let* status =
     match Json.get_string (Json.member "status" json) with
     | Some "verified" -> Ok Verified
@@ -162,6 +184,7 @@ let of_json json =
       depth;
       engine;
       reduce;
+      observers;
       status;
       configs;
       probes;
@@ -175,7 +198,7 @@ let of_json json =
 let same_verdict (a : t) (b : t) =
   a.task = b.task && a.kind = b.kind && a.row = b.row && a.protocol = b.protocol
   && a.n = b.n && a.depth = b.depth && a.engine = b.engine && a.reduce = b.reduce
-  && a.status = b.status
+  && a.observers = b.observers && a.status = b.status
 
 let pp ppf r =
   Format.fprintf ppf "%s n=%d %s/%s d=%d: %s (%d configs, %.3f s)" r.row r.n r.engine

@@ -32,6 +32,10 @@ type t = {
   depth : int;        (** exploration depth, or schedule-prefix length *)
   engine : string;    (** ["naive"], ["memo"], ["parallel-k"], ["driver"] *)
   reduce : string;    (** ["none"], ["commute"], ["symmetric"], ["full"] *)
+  observers : string list;
+      (** observer names the check ran under ({!Task.t.observe}); [[]]
+          means the legacy hard-coded checks.  Serialized only when
+          non-empty, so pre-observer records parse back unchanged. *)
   status : status;
   configs : int;
   probes : int;
@@ -53,6 +57,7 @@ val make :
   depth:int ->
   engine:string ->
   reduce:string ->
+  ?observers:string list ->
   status:status ->
   ?configs:int ->
   ?probes:int ->
@@ -72,7 +77,8 @@ val of_json : Json.t -> (t, string) result
 
 val same_verdict : t -> t -> bool
 (** Equality on everything that identifies the work and its verdict — task,
-    kind, row, protocol, n, depth, engine, reduce, status — ignoring the
+    kind, row, protocol, n, depth, engine, reduce, observers, status —
+    ignoring the
     timing and search counters that legitimately differ between two writers
     executing the same task (elapsed, configs, probes, …).  This is the
     dedupe invariant of multi-writer campaigns: any two records written for

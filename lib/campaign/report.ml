@@ -191,7 +191,8 @@ let csv_field s =
 
 let to_csv t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "row,n,kind,engine,reduce,depth,status,configs,probes,elapsed,task\n";
+  Buffer.add_string buf
+    "row,n,kind,engine,reduce,observers,depth,status,configs,probes,elapsed,task\n";
   List.iter
     (fun (r : Record.t) ->
       Buffer.add_string buf
@@ -202,6 +203,7 @@ let to_csv t =
              csv_field r.kind;
              csv_field r.engine;
              csv_field r.reduce;
+             csv_field (String.concat "+" r.observers);
              string_of_int r.depth;
              csv_field (Record.status_name r.status);
              string_of_int r.configs;

@@ -49,4 +49,6 @@ val to_json : t -> Json.t
 
 val to_csv : t -> string
 (** One line per record:
-    [row,n,kind,engine,reduce,depth,status,configs,probes,elapsed,task]. *)
+    [row,n,kind,engine,reduce,observers,depth,status,configs,probes,elapsed,task]
+    — [observers] is the ["+"]-joined observer-name list, empty for the
+    legacy checks. *)

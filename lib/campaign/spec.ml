@@ -9,6 +9,7 @@ type t = {
   probe : Explore.probe_policy;
   solo_fuel : int;
   deadline : float option;
+  observe : string list;
   stress_seeds : int list;
   stress_prefix : int;
   stress_max_burst : int;
@@ -27,6 +28,7 @@ let default =
     probe = `Leaves;
     solo_fuel = 100_000;
     deadline = Some 10.0;
+    observe = [];
     stress_seeds = [ 1; 2 ];
     stress_prefix = 200;
     stress_max_burst = 4;
@@ -76,6 +78,12 @@ let rotate ~by l =
     List.init n (fun i -> a.((i + by) mod n))
 
 let tasks spec =
+  match Observer.of_names spec.observe with
+  | Error e -> Error e
+  | Ok observer_set ->
+  (* canonical observer names ("default" expanded), so two spellings of one
+     observer set name the same content-addressed tasks *)
+  let observe = List.map (fun ((module O) : Observer.t) -> O.name) observer_set in
   let all_rows = Hierarchy.rows ~ells:spec.ells () in
   let known id = List.exists (fun (r : Hierarchy.row) -> r.id = id) all_rows in
   let unknown = List.filter (fun id -> not (known id)) (spec.include_rows @ spec.exclude_rows) in
@@ -107,7 +115,8 @@ let tasks spec =
                        List.map
                          (fun reduce ->
                            Task.check ~probe:spec.probe ~solo_fuel:spec.solo_fuel
-                             ?deadline:spec.deadline ~engine ~reduce ~depth row ~n)
+                             ?deadline:spec.deadline ~observe ~engine ~reduce ~depth
+                             row ~n)
                          spec.reduces)
                      spec.engines)
                  spec.depths

@@ -17,6 +17,11 @@ type t = {
   probe : Explore.probe_policy;
   solo_fuel : int;
   deadline : float option;  (** per-task wall-clock budget for checks *)
+  observe : string list;
+      (** observer names ({!Observer.of_names}; ["default"] expands) applied
+          to every [Check] task; empty means the legacy hard-coded checks.
+          Validated and canonicalized by {!tasks}, so a misspelt name fails
+          the whole expansion rather than crashing tasks one by one. *)
   stress_seeds : int list;  (** one stress task per (row, n, seed) *)
   stress_prefix : int;
   stress_max_burst : int;
@@ -48,4 +53,5 @@ val rotate : by:int -> 'a list -> 'a list
 val tasks : t -> (Task.t list, string) result
 (** Expand the grid: per (row, n), one [Check] task per depth × engine ×
     reduction and one [Stress] task per stress seed.  [Error _] if a filter
-    names an unknown row id or a grid dimension is empty. *)
+    names an unknown row id, a grid dimension is empty, or [observe] names
+    an unknown observer. *)

@@ -38,6 +38,7 @@ let contains_substring hay needle =
   go 0
 
 let dir t = t.dir
+let lease_ttl t = t.lease_ttl
 
 (* Crashed writers leave two kinds of debris: half-written [*.json.tmp*]
    files under results/ and lease files under claims/.  Both are junk once
@@ -142,6 +143,17 @@ let release_unlocked t task =
   try Unix.unlink own with Unix.Unix_error _ -> ()
 
 let release t task = locked t (fun () -> release_unlocked t task)
+
+(* Escape hatch for visibly-stuck leases: [claim] only breaks a lease whose
+   mtime is older than [lease_ttl], so a lease stamped in the future (a
+   holder with a skewed clock, or a crash during a clock step) never looks
+   expired and would block contenders forever.  Unconditionally unlinking
+   the arbitration link frees the task; the worst case is one duplicate
+   execution, which the store's atomic rename already tolerates. *)
+let break_lease t task =
+  locked t (fun () ->
+      let _own, lock = claim_paths t task in
+      try Unix.unlink lock with Unix.Unix_error _ -> ())
 
 let claim t task =
   locked t (fun () ->

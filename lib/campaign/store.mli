@@ -30,6 +30,11 @@ val open_ : ?lease_ttl:float -> dir:string -> unit -> t
 
 val dir : t -> string
 
+val lease_ttl : t -> float
+(** The TTL this store was opened with — callers deriving their own
+    patience from the lease protocol (e.g. {!Executor.run_shared}'s drain
+    bound) read it here instead of re-stating the default. *)
+
 val find : t -> string -> Record.t option
 (** Look up by task fingerprint.  On an index miss the store probes
     [results/] on disk before answering, so records renamed into place by
@@ -53,6 +58,16 @@ val claim : t -> string -> [ `Claimed | `Done of Record.t | `Lost ]
 val release : t -> string -> unit
 (** Drop this writer's claim on a task without writing a record (the
     failure path; {!put} releases automatically). *)
+
+val break_lease : t -> string -> unit
+(** Unconditionally remove the task's arbitration lease, whoever holds it
+    and whatever its age.  {!claim} only breaks leases older than
+    [lease_ttl] {e by mtime}, so a lease stamped in the future — a holder
+    with a skewed clock — never looks expired; this is the documented
+    escape hatch for such visibly-stuck leases (used by
+    {!Executor.run_shared} once its drain bound expires).  Breaking a {e
+    live} holder's lease risks one duplicate execution, which the store's
+    atomic record rename tolerates by design. *)
 
 val put : t -> Record.t -> unit
 (** Persist atomically under [results/<r.task>.json] (unique temp name +

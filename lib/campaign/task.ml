@@ -13,6 +13,7 @@ type t = {
   inputs : int array;
   solo_fuel : int;
   deadline : float option;
+  observe : string list;
   work : work;
 }
 
@@ -22,14 +23,15 @@ let inputs_for (row : Hierarchy.row) ~n =
   if row.binary_only then Array.init n (fun i -> i land 1)
   else Array.init n (fun i -> i mod n)
 
-let check ?(probe = `Leaves) ?(solo_fuel = 100_000) ?deadline ~engine ~reduce ~depth row
-    ~n =
+let check ?(probe = `Leaves) ?(solo_fuel = 100_000) ?deadline ?(observe = []) ~engine
+    ~reduce ~depth row ~n =
   {
     row;
     n;
     inputs = inputs_for row ~n;
     solo_fuel;
     deadline;
+    observe;
     work = Check { engine; reduce; depth; probe };
   }
 
@@ -40,6 +42,7 @@ let stress ?(solo_fuel = 100_000) ?(fuel = 50_000_000) ~seed ~prefix ~max_burst 
     inputs = inputs_for row ~n;
     solo_fuel;
     deadline = None;
+    observe = [];
     work = Stress { seed; prefix; max_burst; fuel };
   }
 
@@ -60,8 +63,11 @@ let probe_name = function `Leaves -> "leaves" | `Everywhere -> "everywhere" | `N
 let describe t =
   match t.work with
   | Check { engine; reduce; depth; probe } ->
-    Printf.sprintf "%s n=%d check %s/%s depth=%d probe=%s%s" t.row.id t.n
+    Printf.sprintf "%s n=%d check %s/%s depth=%d probe=%s%s%s" t.row.id t.n
       (engine_name engine) (reduce_name reduce) depth (probe_name probe)
+      (match t.observe with
+       | [] -> ""
+       | os -> " observe=" ^ String.concat "," os)
       (match t.deadline with
        | Some d -> Printf.sprintf " deadline=%.3gs" d
        | None -> "")
@@ -118,8 +124,13 @@ let fingerprint t =
   let params =
     match t.work with
     | Check { engine; reduce; depth; probe } ->
-      Printf.sprintf "check/%s/%s/%d/%s/%d" (engine_name engine) (reduce_name reduce)
+      (* the observer suffix appears only when the set is non-empty, so every
+         fingerprint minted before observers existed stays valid *)
+      Printf.sprintf "check/%s/%s/%d/%s/%d%s" (engine_name engine) (reduce_name reduce)
         depth (probe_name probe) t.solo_fuel
+        (match t.observe with
+         | [] -> ""
+         | os -> "/obs=" ^ String.concat "+" os)
     | Stress { seed; prefix; max_burst; fuel } ->
       Printf.sprintf "stress/%d/%d/%d/%d" seed prefix max_burst fuel
   in
@@ -132,8 +143,9 @@ let run t =
   let protocol = Consensus.Proto.name t.row.protocol in
   let base ~kind ~depth ~engine ~reduce =
     fun ~status ?configs ?probes ?dedup_hits ?sleep_pruned ?truncated ?elapsed ?extra () ->
-    Record.make ~task ~kind ~row:t.row.id ~protocol ~n:t.n ~depth ~engine ~reduce ~status
-      ?configs ?probes ?dedup_hits ?sleep_pruned ?truncated ?elapsed ?extra ()
+    Record.make ~task ~kind ~row:t.row.id ~protocol ~n:t.n ~depth ~engine ~reduce
+      ~observers:t.observe ~status ?configs ?probes ?dedup_hits ?sleep_pruned ?truncated
+      ?elapsed ?extra ()
   in
   let t0 = Unix.gettimeofday () in
   match t.work with
@@ -144,11 +156,20 @@ let run t =
         ~sleep_pruned:s.sleep_pruned ~truncated:s.truncated ~elapsed:s.elapsed ()
     in
     (match
-       Explore.run ~probe ~solo_fuel:t.solo_fuel ~engine ~reduce ?deadline:t.deadline
-         t.row.protocol ~inputs:t.inputs ~depth
+       (* observer names resolve at run time, not construction time, so an
+          unknown name in a stored spec surfaces as a Crash record instead of
+          sinking the whole campaign *)
+       match Observer.of_names t.observe with
+       | Error e -> Error e
+       | Ok observers ->
+         Ok
+           (Explore.run ~probe ~solo_fuel:t.solo_fuel ~engine ~reduce ~observers
+              ?deadline:t.deadline t.row.protocol ~inputs:t.inputs ~depth)
      with
-     | Explore.Completed s -> of_stats Record.Verified s
-     | Explore.Falsified f ->
+     | Error e ->
+       record ~status:(Record.Crash e) ~elapsed:(Unix.gettimeofday () -. t0) ()
+     | Ok (Explore.Completed s) -> of_stats Record.Verified s
+     | Ok (Explore.Falsified f) ->
        let w = f.witness in
        of_stats
          (Record.Violation
@@ -159,7 +180,7 @@ let run t =
               probe = w.probe;
             })
          f.stats
-     | Explore.Timed_out { partial; _ } -> of_stats Record.Timeout partial
+     | Ok (Explore.Timed_out { partial; _ }) -> of_stats Record.Timeout partial
      | exception Explore.Uncertified_symmetry { verdict; _ } ->
        record
          ~status:

@@ -28,6 +28,14 @@ type t = {
   inputs : int array;  (** [i mod n], or [i land 1] for binary-only rows *)
   solo_fuel : int;
   deadline : float option;  (** wall-clock budget for [Check] work *)
+  observe : string list;
+      (** observer names ({!Observer.of_names}) checked during [Check]
+          work; resolved at {!run} time, so an unknown name yields a
+          [Crash] record rather than an exception.  Empty — always the
+          case for [Stress] — means the legacy hard-coded
+          agreement/validity/termination checks.  A non-empty set is part
+          of the task's {!fingerprint}: observed and unobserved runs of
+          the same grid point are distinct store entries. *)
   work : work;
 }
 
@@ -35,6 +43,7 @@ val check :
   ?probe:Explore.probe_policy ->
   ?solo_fuel:int ->
   ?deadline:float ->
+  ?observe:string list ->
   engine:Explore.engine ->
   reduce:Explore.reduction ->
   depth:int ->

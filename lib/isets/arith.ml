@@ -30,6 +30,7 @@ module Add = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -72,6 +73,7 @@ module Mul = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -111,6 +113,7 @@ module Setbit = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -146,6 +149,7 @@ module Faa = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
   let pp_op ppf (Fetch_add x) = Format.fprintf ppf "fetch-and-add(%a)" Bignum.pp x
@@ -175,6 +179,7 @@ module Fam = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
   let pp_op ppf (Fetch_mul x) = Format.fprintf ppf "fetch-and-multiply(%a)" Bignum.pp x
@@ -215,6 +220,7 @@ module Decmul = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 
@@ -255,6 +261,7 @@ module Faa2_tas = struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 

@@ -61,6 +61,7 @@ struct
   let equal_cell = Bool.equal
   let hash_cell c = if c then 1 else 0
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell ppf c = Format.pp_print_int ppf (if c then 1 else 0)
   let pp_result = Value.pp
 

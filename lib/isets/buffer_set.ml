@@ -53,6 +53,7 @@ struct
     List.fold_left (fun acc x -> (acc * 0x100000001b3) lxor Value.hash x) (List.length c) c
 
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
 
   let pp_cell ppf c =
     Format.fprintf ppf "[%a]"

@@ -60,6 +60,7 @@ let hash_cell (c, entries) =
     entries
 
 let hash_result = Value.hash
+let observe_result = Value.observe_int
 
 let pp_cell ppf (c, entries) =
   Format.fprintf ppf "cap=%d [%a]" c

@@ -29,6 +29,7 @@ let multi_assignment = false
 let equal_cell = Bignum.equal
 let hash_cell = Bignum.hash
 let hash_result = Value.hash
+let observe_result = Value.observe_int
 let pp_cell = Bignum.pp
 let pp_result = Value.pp
 

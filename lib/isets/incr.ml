@@ -53,6 +53,7 @@ struct
   let equal_cell = Bignum.equal
   let hash_cell = Bignum.hash
   let hash_result = Value.hash
+  let observe_result = Value.observe_int
   let pp_cell = Bignum.pp
   let pp_result = Value.pp
 

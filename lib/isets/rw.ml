@@ -26,6 +26,7 @@ let multi_assignment = false
 let equal_cell = Value.equal
 let hash_cell = Value.hash
 let hash_result = Value.hash
+let observe_result = Value.observe_int
 let pp_cell = Value.pp
 let pp_result = Value.pp
 

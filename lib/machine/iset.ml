@@ -57,6 +57,16 @@ module type S = sig
       per-process result-history hash identifies its continuation in
       {!Machine.Make.fingerprint}. *)
 
+  val observe_result : result -> int option
+  (** The integer view of a result, consumed by property observers
+      ({!Observer.S.on_access}): what an instruction returned to the
+      invoking process, as an [int] when one exists ([None] for structured
+      or unit-like results).  Purely observational — the model checker
+      never branches on it — so [None] is always safe, it just blinds
+      value-level observers (e.g. max-register monotonicity) to this set.
+      Sets whose [result] is {!Value.t} implement it as
+      {!Value.observe_int}. *)
+
   val pp_cell : Format.formatter -> cell -> unit
   val pp_op : Format.formatter -> op -> unit
   val pp_result : Format.formatter -> result -> unit

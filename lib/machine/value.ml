@@ -94,6 +94,12 @@ let untag = function
   | Tag (_, _, v) -> v
   | v -> v
 
+let rec observe_int = function
+  | Int i -> Some i
+  | Big b -> Bignum.to_int b
+  | Tag (_, _, v) -> observe_int v
+  | Bot | Unit | Pair _ | Vec _ -> None
+
 (* Hash-consing of values on semantic equality ([Int]/[Big] aliases of the
    same number share an id, unlike the structural [Intern.Poly]).  Analyses
    that repeatedly hash the same large values can intern once and work with

@@ -32,6 +32,13 @@ val to_big_exn : t -> Bignum.t
 val untag : t -> t
 (** Strips an outer [Tag] if present. *)
 
+val observe_int : t -> int option
+(** The integer view of a value, for property observers: [Int i] is [Some i],
+    [Big b] is [Some] its int when it fits, a [Tag] is observed through to
+    its payload; structured values ([Bot], [Unit], [Pair], [Vec]) observe as
+    [None].  The standard implementation of {!Iset.S.observe_result} for
+    instruction sets whose results are {!t}. *)
+
 module Intern : Intern.S with type key = t
 (** Hash-consing of values to dense integer ids on {e semantic} equality —
     [Int i] and [Big (Bignum.of_int i)] intern to the same id.  See

@@ -96,6 +96,32 @@ let () =
            protocol Analysis.Symmetry.pp_verdict verdict)
     | _ -> None)
 
+exception Observer_unsafe_reduction of { observer : string; reduction : string }
+
+let () =
+  Printexc.register_printer (function
+    | Observer_unsafe_reduction { observer; reduction } ->
+      Some
+        (Printf.sprintf
+           "Observer_unsafe_reduction: observer %s declares the %s reduction unsound for \
+            itself; drop the reduction or the observer, or rerun with ~force:true"
+           observer reduction)
+    | _ -> None)
+
+(* The gate in front of every reduced observer run: an observer that
+   declares a requested reduction unsafe ([commute_safe]/[symmetric_safe],
+   see [Observer.S]) refuses the combination instead of exploring
+   unsoundly.  [~force:true] overrides, mirroring the symmetry gate. *)
+let observer_gate ~reduce ~force observers =
+  if not force then begin
+    match
+      Observer.Run.first_unsafe ~commute:reduce.commute ~symmetric:reduce.symmetric
+        observers
+    with
+    | None -> ()
+    | Some (observer, reduction) -> raise (Observer_unsafe_reduction { observer; reduction })
+  end
+
 (* The gate in front of every [symmetric = true] exploration: certify the
    equal-input pid pairs of this run to (at least) the exploration depth.
    Certification is memoized in [Analysis.Symmetry], so engines, depths and
@@ -111,13 +137,26 @@ let certify_gate ~reduce ~force ~notify (module P : Consensus.Proto.S) ~inputs ~
       raise (Uncertified_symmetry { protocol = P.name; verdict })
   end
 
-type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
+type violation_kind =
+  [ `Agreement | `Validity | `Obstruction_freedom | `Termination | `Observer of string ]
 
 let kind_name = function
   | `Agreement -> "agreement"
   | `Validity -> "validity"
   | `Obstruction_freedom -> "obstruction-freedom"
   | `Termination -> "termination"
+  | `Observer s -> s
+
+(* Observer verdict kinds name witnesses; the legacy names map back onto the
+   legacy constructors so the observer-driven agreement/validity/probe checks
+   report kinds indistinguishable from the hard-coded path (the differential
+   tests compare them directly). *)
+let kind_of_name : string -> violation_kind = function
+  | "agreement" -> `Agreement
+  | "validity" -> `Validity
+  | "obstruction-freedom" -> `Obstruction_freedom
+  | "termination" -> `Termination
+  | s -> `Observer s
 
 type witness = {
   kind : violation_kind;
@@ -302,6 +341,102 @@ module Run (P : Consensus.Proto.S) = struct
     | None -> ()
     | Some v -> raise (Violation (witness_of ~path ~probe:(Some pid) v))
 
+  (* ---- observer plumbing ----------------------------------------------
+
+     [obs] is [Some run] iff the caller supplied observers; [None] keeps
+     every engine on the legacy hard-coded checker.  With observers the
+     legacy agreement/validity checks and probe judgments are {e replaced}:
+     the observer set defines the property (the legacy set is
+     [Observer.defaults], differentially pinned by the test suite).
+
+     Soundness with the transposition table: [obs_key] folds the observer
+     digest into both fingerprint lanes — a product construction, the
+     monitor rides along in the explored state space — so a revisit is
+     pruned only when machine fingerprint {e and} observer digest coincide.
+     By the [Observer.S.digest] contract (digest determines verdict and
+     future behaviour) the first visit already rendered this verdict and
+     the observers behave identically below, so pruning, [Partial]
+     revisits and the commute/symmetric reductions (gated per observer by
+     [observer_gate]) stay exact. *)
+
+  let feed_accesses o cfg pid =
+    match M.poised cfg pid with
+    | None | Some [] -> o
+    | Some [ (loc, op) ] ->
+      let _, r = P.I.apply op (M.cell cfg loc) in
+      Observer.Run.access o ~pid ~loc ~value:(P.I.observe_result r)
+    | Some accesses ->
+      (* multi-assignment: later ops of the step see earlier writes *)
+      let overlay = ref [] in
+      List.fold_left
+        (fun o (loc, op) ->
+          let cell =
+            match List.assoc_opt loc !overlay with
+            | Some c -> c
+            | None -> M.cell cfg loc
+          in
+          let cell', r = P.I.apply op cell in
+          overlay := (loc, cell') :: !overlay;
+          Observer.Run.access o ~pid ~loc ~value:(P.I.observe_result r))
+        o accesses
+
+  (* Advance the monitors over one scheduled step [cfg --pid--> cfg']:
+     accesses (when wanted), then the step, then the decision it made, if
+     any. *)
+  let obs_step o cfg pid cfg' =
+    let o = if Observer.Run.wants_accesses o then feed_accesses o cfg pid else o in
+    let o = Observer.Run.step o ~pid in
+    match M.decision cfg' pid with
+    | Some v -> Observer.Run.decide o ~pid ~value:v
+    | None -> o
+
+  let obs_advance obs cfg pid cfg' =
+    match obs with None -> None | Some o -> Some (obs_step o cfg pid cfg')
+
+  (* A process built from [Proc.return] is decided in the root configuration,
+     before any step exists to observe; feed those decisions at creation so
+     the monitors see the same decision sets the legacy checker reads off the
+     configuration. *)
+  let obs_make set ~inputs root =
+    let o = Observer.Run.make set ~n:(Array.length inputs) ~inputs in
+    List.fold_left
+      (fun o (pid, value) -> Observer.Run.decide o ~pid ~value)
+      o (M.decisions root)
+
+  let obs_check ~path ~probe o =
+    match Observer.Run.verdict o with
+    | None -> ()
+    | Some (kind, _liveness, message) ->
+      raise (Violation (witness_of ~path ~probe (kind_of_name kind, message)))
+
+  let obs_key obs (a, b) =
+    match obs with
+    | None -> (a, b)
+    | Some o ->
+      let h = Observer.Run.digest o in
+      ((a lxor (h * 0x100000001B3)) land max_int, (b lxor (h * 0x1000193)) land max_int)
+
+  (* The probe chain of [probe_violation], summarized as an event for the
+     observers.  Runs on the scratch workspace; config-local — the caller
+     checks the post-probe verdict and discards the state, mirroring the
+     legacy probes (which never mutate the exploration). *)
+  let scratch_outcome ~solo_fuel cfg pid =
+    let s = M.Scratch.of_config cfg in
+    match M.Scratch.run_solo ~fuel:solo_fuel ~pid s with
+    | None -> Observer.Probe_stuck { pid; fuel = solo_fuel }
+    | Some _ ->
+      List.iter
+        (fun q -> ignore (M.Scratch.run_solo ~fuel:solo_fuel ~pid:q s))
+        (M.Scratch.running s);
+      (match M.Scratch.running s with
+       | q :: _ -> Observer.Probe_starved { pid; straggler = q }
+       | [] -> Observer.Probe_decided { pid; decisions = M.Scratch.decisions s })
+
+  let obs_probe_one ~solo_fuel ~path c cfg o pid =
+    c.probes <- c.probes + 1;
+    obs_check ~path ~probe:(Some pid)
+      (Observer.Run.probe o (scratch_outcome ~solo_fuel cfg pid))
+
   exception Stop
 
   (* The two-word fingerprint the transposition table keys on: plain, or
@@ -388,7 +523,7 @@ module Run (P : Consensus.Proto.S) = struct
      explored at this node; after exploring child [pid], later siblings
      inherit [pid] asleep as long as their step is independent of [pid]'s —
      a dependent step wakes it. *)
-  let children ~reduce ~indep ~go c cfg d path sleep inter =
+  let children ~reduce ~indep ~go c cfg d path sleep obs inter =
     let running = M.running cfg in
     let covered = lnot inter in
     let asleep = ref sleep in
@@ -412,7 +547,8 @@ module Run (P : Consensus.Proto.S) = struct
                   else m)
                 0 running
           in
-          go (M.step cfg pid) (d - 1) (pid :: path) succ_sleep;
+          let cfg' = M.step cfg pid in
+          go cfg' (d - 1) (pid :: path) succ_sleep (obs_advance obs cfg pid cfg');
           asleep := !asleep lor bit
         end)
       running
@@ -431,36 +567,43 @@ module Run (P : Consensus.Proto.S) = struct
      transitions are explored, and the per-configuration work (counting,
      checking, probing) is skipped: it ran when the configuration was first
      visited, and depends only on the configuration. *)
-  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop c cfg depth path =
-    let rec go cfg d path sleep =
+  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop ~obs c cfg depth path =
+    let rec go cfg d path sleep obs =
       match table with
-      | None -> visit cfg d path sleep
+      | None -> visit cfg d path sleep obs
       | Some tbl ->
-        let a, b = fpw cfg in
+        let a, b = obs_key obs (fpw cfg) in
         (match Transposition.plan tbl a b ~depth:d ~sleep with
          | Transposition.Hit -> c.hits <- c.hits + 1
-         | Transposition.Visit -> visit cfg d path sleep
+         | Transposition.Visit -> visit cfg d path sleep obs
          | Transposition.Partial inter ->
            c.hits <- c.hits + 1;
            if stop () then raise Stop;
            if d > 0 && M.running_count cfg > 0 then
-             children ~reduce ~indep ~go c cfg d path sleep inter)
-    and visit cfg d path sleep =
+             children ~reduce ~indep ~go c cfg d path sleep obs inter)
+    and visit cfg d path sleep obs =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
-      check ~inputs ~path cfg;
+      (match obs with
+       | None -> check ~inputs ~path cfg
+       | Some o -> obs_check ~path ~probe:None o);
       if M.running_count cfg > 0 then begin
         let running = M.running cfg in
         let at_bound = d <= 0 in
         if at_bound then c.truncated <- true;
         let should_probe =
-          match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true
+          (match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true)
+          && (match obs with None -> true | Some o -> Observer.Run.wants_probes o)
         in
-        if should_probe then List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
-        if not at_bound then children ~reduce ~indep ~go c cfg d path sleep (-1)
+        if should_probe then begin
+          match obs with
+          | None -> List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running
+          | Some o -> List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
+        end;
+        if not at_bound then children ~reduce ~indep ~go c cfg d path sleep obs (-1)
       end
     in
-    go cfg depth path 0
+    go cfg depth path 0 obs
 
   let no_stop () = false
 
@@ -479,7 +622,7 @@ module Run (P : Consensus.Proto.S) = struct
      every worker joins before a verdict is produced, so a claim whose
      exploration was cut short can only coexist with a [Falsified] or
      [Timed_out] verdict, never launder an incomplete [Completed]. *)
-  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~fp_mode ~past c root depth =
+  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~fp_mode ~past ~obs c root depth =
     let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
@@ -488,28 +631,41 @@ module Run (P : Consensus.Proto.S) = struct
       else begin
         let next =
           List.concat_map
-            (fun (path, cfg) ->
+            (fun (path, cfg, obs) ->
               if past () then raise Stop;
               c.configs <- c.configs + 1;
-              check ~inputs ~path cfg;
+              (match obs with
+               | None -> check ~inputs ~path cfg
+               | Some o -> obs_check ~path ~probe:None o);
               if M.running_count cfg = 0 then []
               else begin
                 let running = M.running cfg in
-                if probe = `Everywhere then
-                  List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running;
-                List.map (fun pid -> (pid :: path, M.step cfg pid)) running
+                let probe_here =
+                  probe = `Everywhere
+                  && (match obs with None -> true | Some o -> Observer.Run.wants_probes o)
+                in
+                if probe_here then begin
+                  match obs with
+                  | None -> List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running
+                  | Some o -> List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
+                end;
+                List.map
+                  (fun pid ->
+                    let cfg' = M.step cfg pid in
+                    (pid :: path, cfg', obs_advance obs cfg pid cfg'))
+                  running
               end)
             level
         in
         if next = [] then ([], d - 1) else prefix next (d - 1)
       end
     in
-    let frontier, d = prefix [ ([], root) ] depth in
+    let frontier, d = prefix [ ([], root, obs) ] depth in
     let seen = Hashtbl.create 64 in
     let frontier =
       List.filter
-        (fun (_, cfg) ->
-          let h = fpw cfg in
+        (fun (_, cfg, obs) ->
+          let h = obs_key obs (fpw cfg) in
           if Hashtbl.mem seen h then begin
             c.hits <- c.hits + 1;
             false
@@ -555,8 +711,10 @@ module Run (P : Consensus.Proto.S) = struct
         else Atomic.get timed
       in
       let item i =
-        let path, cfg = items.(i) in
-        match dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop wc cfg d path with
+        let path, cfg, obs = items.(i) in
+        match
+          dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop ~obs wc cfg d path
+        with
         | () -> ()
         | exception Violation w ->
           Mutex.lock mu;
@@ -598,13 +756,39 @@ module Run (P : Consensus.Proto.S) = struct
 
   exception Invalid_schedule
 
+  (* [probe_steps]'s persistent chain, summarized as an [Observer]
+     outcome — the replay counterpart of [scratch_outcome] (witness replays
+     want the event trace, so they stay on the persistent machine). *)
+  let probe_outcome_steps ~solo_fuel cfg pid =
+    let cfg, dec = M.run_solo ~fuel:solo_fuel ~pid cfg in
+    match dec with
+    | None -> (cfg, Observer.Probe_stuck { pid; fuel = solo_fuel })
+    | Some _ ->
+      let cfg =
+        List.fold_left
+          (fun cfg q -> fst (M.run_solo ~fuel:solo_fuel ~pid:q cfg))
+          cfg (M.running cfg)
+      in
+      (match M.running cfg with
+       | q :: _ -> (cfg, Observer.Probe_starved { pid; straggler = q })
+       | [] -> (cfg, Observer.Probe_decided { pid; decisions = M.decisions cfg }))
+
   (* Deterministically re-execute a witness from the root: step its schedule
      pid by pid, then re-run the solo probe if it has one, then re-check.
      Returns the final configuration and the violation the execution ran
      into, if any.  Raises [Invalid_schedule] when the schedule names a pid
-     that cannot step — possible only for shrink candidates and hand-edited
-     witnesses, never for a witness an engine just reported. *)
-  let replay ~record_trace ~solo_fuel ~inputs (w : witness) =
+     that cannot step, or when [probe] names a pid that is not running at
+     the end of the schedule (a decided or finished process cannot be
+     probed) — possible only for shrink candidates and hand-edited
+     witnesses, never for a witness an engine just reported.
+
+     With [observers] the observer set defines the property, exactly as in
+     the engines: the monitors are advanced over every step and their
+     verdict is checked after each one (the engines check at every visited
+     configuration, so a non-latching observer — e.g. [Observer.lockout] —
+     must be re-checked per step here too); the replay stops at the first
+     violation. *)
+  let replay ?(observers = []) ~record_trace ~solo_fuel ~inputs (w : witness) =
     let n = Array.length inputs in
     let step cfg pid =
       if pid < 0 || pid >= n then raise Invalid_schedule;
@@ -612,26 +796,53 @@ module Run (P : Consensus.Proto.S) = struct
       | Some (_ :: _) -> M.step cfg pid
       | Some [] | None -> raise Invalid_schedule
     in
-    let cfg = List.fold_left step (root_config ~record_trace ~inputs) w.schedule in
-    match w.probe with
-    | Some pid when pid >= 0 && pid < n -> probe_steps ~solo_fuel ~inputs cfg pid
-    | Some _ -> raise Invalid_schedule
-    | None ->
-      (match check_decisions ~inputs (M.decisions cfg) with
-       | () -> (cfg, None)
-       | exception Check (k, m) -> (cfg, Some (k, m)))
+    let probeable cfg pid = pid >= 0 && pid < n && List.mem pid (M.running cfg) in
+    let root = root_config ~record_trace ~inputs in
+    match observers with
+    | [] ->
+      let cfg = List.fold_left step root w.schedule in
+      (match w.probe with
+       | Some pid when probeable cfg pid -> probe_steps ~solo_fuel ~inputs cfg pid
+       | Some _ -> raise Invalid_schedule
+       | None ->
+         (match check_decisions ~inputs (M.decisions cfg) with
+          | () -> (cfg, None)
+          | exception Check (k, m) -> (cfg, Some (k, m))))
+    | set ->
+      let violation o =
+        match Observer.Run.verdict o with
+        | None -> None
+        | Some (kind, _liveness, m) -> Some (kind_of_name kind, m)
+      in
+      let rec steps cfg o = function
+        | [] ->
+          (match w.probe with
+           | None -> (cfg, None)
+           | Some pid when probeable cfg pid ->
+             let cfg, outcome = probe_outcome_steps ~solo_fuel cfg pid in
+             (cfg, violation (Observer.Run.probe o outcome))
+           | Some _ -> raise Invalid_schedule)
+        | pid :: rest ->
+          let cfg' = step cfg pid in
+          let o = obs_step o cfg pid cfg' in
+          (match violation o with
+           | Some v -> (cfg', Some v)
+           | None -> steps cfg' o rest)
+      in
+      let o = obs_make set ~inputs root in
+      (match violation o with Some v -> (root, Some v) | None -> steps root o w.schedule)
 
   (* Greedy delta debugging on the schedule: repeatedly delete segments,
      halving the segment size from len/2 down to single steps; a deletion is
      kept iff the shortened witness still replays to the same violation
      kind.  Returns the shrunk witness and the number of candidate replays
      attempted. *)
-  let shrink ~solo_fuel ~inputs (w : witness) =
+  let shrink ~observers ~solo_fuel ~inputs (w : witness) =
     let attempts = ref 0 in
     let reproduces sched =
       incr attempts;
       let cand = { w with schedule = sched } in
-      match replay ~record_trace:false ~solo_fuel ~inputs cand with
+      match replay ~observers ~record_trace:false ~solo_fuel ~inputs cand with
       | _, Some (k, m) when k = w.kind -> Some { cand with message = m }
       | _, _ -> None
       | exception Invalid_schedule -> None
@@ -666,21 +877,21 @@ module Run (P : Consensus.Proto.S) = struct
      counters up to the violation; the replay/shrink work done here is timed
      separately as [diagnosis_elapsed] so engine comparisons are not skewed
      by diagnosis cost. *)
-  let failure ~shrink:do_shrink ~solo_fuel ~inputs ~stats (w : witness) =
+  let failure ~shrink:do_shrink ~observers ~solo_fuel ~inputs ~stats (w : witness) =
     let t0 = Unix.gettimeofday () in
     let reproduced =
-      match replay ~record_trace:false ~solo_fuel ~inputs w with
+      match replay ~observers ~record_trace:false ~solo_fuel ~inputs w with
       | _, Some (k, _) -> k = w.kind
       | _, None -> false
       | exception Invalid_schedule -> false
     in
     let witness, shrink_attempts =
-      if do_shrink && reproduced then shrink ~solo_fuel ~inputs w else (w, 0)
+      if do_shrink && reproduced then shrink ~observers ~solo_fuel ~inputs w else (w, 0)
     in
     let trace =
       if not reproduced then None
       else begin
-        match replay ~record_trace:true ~solo_fuel ~inputs witness with
+        match replay ~observers ~record_trace:true ~solo_fuel ~inputs witness with
         | cfg, _ -> Some (trace_of cfg)
         | exception Invalid_schedule -> None
       end
@@ -700,18 +911,18 @@ module Run (P : Consensus.Proto.S) = struct
      configuration or decidable by a solo continuation from one.  Sound to
      prune on the fingerprint table because equal fingerprints imply equal
      future behaviour, hence equal decidable-value contributions. *)
-  let decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode ~stop c cfg depth =
+  let decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode ~stop ~obs c cfg depth =
     let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
     let indep = make_independent () in
     let seen = Hashtbl.create 7 in
-    let rec go cfg d path sleep =
+    let rec go cfg d path sleep obs =
       match table with
-      | None -> visit cfg d path sleep
+      | None -> visit cfg d path sleep obs
       | Some tbl ->
-        let a, b = fpw cfg in
+        let a, b = obs_key obs (fpw cfg) in
         (match Transposition.plan tbl a b ~depth:d ~sleep with
          | Transposition.Hit -> c.hits <- c.hits + 1
-         | Transposition.Visit -> visit cfg d path sleep
+         | Transposition.Visit -> visit cfg d path sleep obs
          | Transposition.Partial inter ->
            (* decisions and probes ran when this configuration was first
               visited; only the transitions every adequate prior pass left
@@ -719,17 +930,21 @@ module Run (P : Consensus.Proto.S) = struct
            c.hits <- c.hits + 1;
            if stop () then raise Stop;
            if d > 0 && M.running_count cfg > 0 then
-             children ~reduce ~indep ~go c cfg d path sleep inter)
-    and visit cfg d path sleep =
+             children ~reduce ~indep ~go c cfg d path sleep obs inter)
+    and visit cfg d path sleep obs =
       if stop () then raise Stop;
       c.configs <- c.configs + 1;
+      (match obs with None -> () | Some o -> obs_check ~path ~probe:None o);
       List.iter (fun (_, v) -> Hashtbl.replace seen v ()) (M.decisions cfg);
       match M.running cfg with
       | [] -> ()
       | running ->
         (* solo probes run from every visited configuration for {e all}
            running processes, sleeping or not — reduction prunes redundant
-           transitions, never the per-configuration probing *)
+           transitions, never the per-configuration probing.  The bivalence
+           walk keeps its native obstruction-freedom raise (it needs the
+           decided values regardless of the observer set); observers that
+           want probes are fed the full probe chain on top. *)
         List.iter
           (fun pid ->
             c.probes <- c.probes + 1;
@@ -745,9 +960,13 @@ module Run (P : Consensus.Proto.S) = struct
                            steps"
                           pid solo_fuel ))))
           running;
-        if d > 0 then children ~reduce ~indep ~go c cfg d path sleep (-1)
+        (match obs with
+         | Some o when Observer.Run.wants_probes o ->
+           List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
+         | _ -> ());
+        if d > 0 then children ~reduce ~indep ~go c cfg d path sleep obs (-1)
     in
-    go cfg depth [] 0;
+    go cfg depth [] 0 obs;
     List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 end
 
@@ -762,14 +981,20 @@ let past_of ~t0 = function
 
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
     ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
-    ?(fingerprint_mode = default_fingerprint_mode) (module P : Consensus.Proto.S)
-    ~inputs ~depth =
+    ?(fingerprint_mode = default_fingerprint_mode) ?(observers = [])
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  observer_gate ~reduce ~force observers;
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
+  let obs =
+    match observers with
+    | [] -> None
+    | set -> Some (R.obs_make set ~inputs root)
+  in
   let fp_mode = fingerprint_mode in
   let fpw = R.fingerprint_words_fn ~reduce ~inputs ~fp_mode in
   let result =
@@ -777,14 +1002,14 @@ let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = 
       (match engine with
        | `Naive ->
          R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~fpw
-           ~indep:(R.make_independent ()) ~stop:past c root depth []
+           ~indep:(R.make_independent ()) ~stop:past ~obs c root depth []
        | `Memo ->
          R.dfs ~reduce ~probe ~solo_fuel ~inputs
            ~table:(Some (Transposition.create ~concurrent:false ())) ~fpw
-           ~indep:(R.make_independent ()) ~stop:past c root depth []
+           ~indep:(R.make_independent ()) ~stop:past ~obs c root depth []
        | `Parallel k ->
-         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~fp_mode ~past c root
-           depth);
+         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~fp_mode ~past ~obs c
+           root depth);
       `Done
     with
     | Violation w -> `Violation w
@@ -794,7 +1019,7 @@ let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = 
   let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
   match result with
   | `Done -> Completed stats
-  | `Violation w -> Falsified (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+  | `Violation w -> Falsified (R.failure ~shrink ~observers ~solo_fuel ~inputs ~stats w)
   | `Timeout ->
     Timed_out { partial = stats; deadline = Option.value deadline ~default:0. }
 
@@ -803,32 +1028,41 @@ type replay_report = {
   events : string;
 }
 
-let replay ?(solo_fuel = 100_000) (module P : Consensus.Proto.S) ~inputs w =
+let replay ?(solo_fuel = 100_000) ?(observers = []) (module P : Consensus.Proto.S)
+    ~inputs w =
   let module R = Run (P) in
-  match R.replay ~record_trace:true ~solo_fuel ~inputs w with
+  match R.replay ~observers ~record_trace:true ~solo_fuel ~inputs w with
   | cfg, violation -> Ok { violation; events = R.trace_of cfg }
   | exception R.Invalid_schedule ->
-    Error "invalid witness: the schedule names a process that cannot step"
+    Error
+      "invalid witness: the schedule names a process that cannot step, or the probe \
+       names a process that is not running"
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
     ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
-    ?(fingerprint_mode = default_fingerprint_mode) (module P : Consensus.Proto.S)
-    ~inputs ~depth =
+    ?(fingerprint_mode = default_fingerprint_mode) ?(observers = [])
+    (module P : Consensus.Proto.S) ~inputs ~depth =
+  observer_gate ~reduce ~force observers;
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
   let t0 = Unix.gettimeofday () in
   let past = Option.value (past_of ~t0 deadline) ~default:R.no_stop in
   let c = fresh () in
   let root = R.root_config ~record_trace:false ~inputs in
+  let obs =
+    match observers with
+    | [] -> None
+    | set -> Some (R.obs_make set ~inputs root)
+  in
   let table = if memo then Some (Transposition.create ~concurrent:false ()) else None in
   match
-    R.decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode:fingerprint_mode ~stop:past c
-      root depth
+    R.decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode:fingerprint_mode ~stop:past
+      ~obs c root depth
   with
   | values -> Completed values
   | exception Violation w ->
     let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
-    Falsified (R.failure ~shrink ~solo_fuel ~inputs ~stats w)
+    Falsified (R.failure ~shrink ~observers ~solo_fuel ~inputs ~stats w)
   | exception R.Stop ->
     let stats = stats_of c ~elapsed:(Unix.gettimeofday () -. t0) in
     Timed_out { partial = stats; deadline = Option.value deadline ~default:0. }
@@ -843,10 +1077,12 @@ type deepen_report = {
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
     ?shrink ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?fingerprint_mode
-    proto ~inputs ~max_depth =
+    ?(observers = []) proto ~inputs ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
   (* gate (and notify) once at the deepest depth the iteration can reach,
-     then let the per-depth runs through — their certificates are implied *)
+     then let the per-depth runs through — their certificates are implied
+     (the per-depth [run]s pass [~force:true], which skips both gates) *)
+  observer_gate ~reduce ~force observers;
   certify_gate ~reduce ~force ~notify:notify_symmetry proto ~inputs ~depth:max_depth;
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -858,7 +1094,7 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
          iteration can no longer blow past the budget *)
       match
         run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true ?fingerprint_mode
-          ~deadline:(budget -. elapsed ()) proto ~inputs ~depth:d
+          ~observers ~deadline:(budget -. elapsed ()) proto ~inputs ~depth:d
       with
       | Falsified f -> Falsified f
       | Timed_out t ->

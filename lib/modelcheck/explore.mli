@@ -2,8 +2,9 @@
 
     All engines decide the same property — they walk the schedule tree of a
     protocol to a depth bound, checking agreement/validity at every visited
-    configuration and optionally probing obstruction-freedom — but differ in
-    how much of the tree they actually touch:
+    configuration and optionally probing obstruction-freedom (or, with
+    [?observers], whatever property the supplied {!Observer} set monitors) —
+    but differ in how much of the tree they actually touch:
 
     - [`Naive] walks every schedule (the original engine).
     - [`Memo] keeps a transposition table ({!Transposition}) keyed on the
@@ -95,11 +96,29 @@ exception
     divergence witness ([Asymmetric]) or the budget failure ([Unknown]).
     Suppressed by [~force:true]. *)
 
-type violation_kind = [ `Agreement | `Validity | `Obstruction_freedom | `Termination ]
+exception Observer_unsafe_reduction of { observer : string; reduction : string }
+(** Raised (before any exploration) by {!run}, {!decidable_values} and
+    {!deepen} when the requested [reduce] enables a reduction some supplied
+    observer declares unsound for itself ({!Observer.S.commute_safe},
+    {!Observer.S.symmetric_safe}) — e.g. {!Observer.lockout} under either
+    reduction.  Suppressed by [~force:true] (unsound — for experiments). *)
+
+type violation_kind =
+  [ `Agreement | `Validity | `Obstruction_freedom | `Termination | `Observer of string ]
+(** [`Observer name] is a violation reported by a custom observer whose
+    verdict kind matches none of the legacy names; the built-in
+    agreement/validity/solo-termination observers report the legacy
+    constructors, so observer-driven runs and the hard-coded checker yield
+    comparable witnesses. *)
 
 val kind_name : violation_kind -> string
-(** ["agreement"], ["validity"], ["obstruction-freedom"], ["termination"] —
-    also the prefix of every violation message. *)
+(** ["agreement"], ["validity"], ["obstruction-freedom"], ["termination"],
+    or the observer's verdict kind — also the prefix of every violation
+    message. *)
+
+val kind_of_name : string -> violation_kind
+(** Inverse of {!kind_name}: the four legacy names map to the legacy
+    constructors, anything else to [`Observer name]. *)
 
 type witness = {
   kind : violation_kind;
@@ -172,6 +191,7 @@ val run :
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
   ?fingerprint_mode:fingerprint_mode ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -188,6 +208,19 @@ val run :
     replayed for confirmation and, unless [shrink:false], minimized by
     greedy schedule-segment deletion (each candidate kept iff its replay
     still raises the same violation kind).
+
+    [observers] (default [[]]) replaces the hard-coded agreement/validity
+    checks and probe judgments with the supplied {!Observer} set: the
+    monitors are advanced inline over every scheduled step, their verdict is
+    checked at every visited configuration, and solo probes run iff the
+    probe policy allows them {e and} some observer wants them
+    ({!Observer.S.wants_probes}), feeding each probe's outcome to the set.
+    [Observer.defaults] reproduces the legacy checker.  Under [`Memo] and
+    [`Parallel] the observer digest is folded into the transposition key (a
+    product construction), so memoization remains exact; a reduction an
+    observer declares unsafe for itself raises
+    {!Observer_unsafe_reduction} unless [force] is set.  The empty set
+    keeps the engines on the legacy checker, byte for byte.
 
     [deadline] (wall-clock seconds; default unbounded) bounds the engine
     proper: every engine — including each parallel worker — checks it at
@@ -206,14 +239,20 @@ type replay_report = {
 
 val replay :
   ?solo_fuel:int ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   witness ->
   (replay_report, string) result
 (** Deterministically re-execute a witness from the initial configuration:
     step its schedule pid by pid, then re-run its solo probe, then re-check
-    agreement/validity.  [Error _] if the schedule names a process that
-    cannot step (only possible for hand-edited witnesses). *)
+    agreement/validity — or, with [observers], advance the observer set over
+    every step (checking its verdict after each one, stopping at the first
+    violation) and feed it the probe's outcome.  [Error _] if the schedule
+    names a process that cannot step, or if the witness's [probe] names a
+    process that is not running once the schedule has been executed — a
+    decided or finished process cannot be probed (only possible for
+    hand-edited witnesses; engine-reported witnesses always replay). *)
 
 val decidable_values :
   ?solo_fuel:int ->
@@ -224,6 +263,7 @@ val decidable_values :
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
   ?fingerprint_mode:fingerprint_mode ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -232,10 +272,13 @@ val decidable_values :
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the same fingerprint transposition table as the
     [`Memo] engine (disable with [memo:false] to get the naive walk) and
-    honours [reduce] and [deadline] like {!run} — reductions preserve the
-    decidable-value set because every reachable configuration is still
-    probed; a process that fails to decide solo is reported ([Falsified]) as
-    an obstruction-freedom failure with a witness. *)
+    honours [reduce], [deadline] and [observers] like {!run} — reductions
+    preserve the decidable-value set because every reachable configuration
+    is still probed; a process that fails to decide solo is reported
+    ([Falsified]) as an obstruction-freedom failure with a witness.  The
+    bivalence walk's own solo probes (which collect the decided values)
+    always run regardless of the observer set; supplied observers are
+    checked at every visited configuration on top. *)
 
 type deepen_report = {
   depth_reached : int;   (** deepest completed iteration *)
@@ -255,6 +298,7 @@ val deepen :
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?fingerprint_mode:fingerprint_mode ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   max_depth:int ->

@@ -32,6 +32,7 @@ val explore :
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->
@@ -57,9 +58,11 @@ val explore :
     [notify_symmetry] receives the certification verdict.  [deadline]
     bounds the wall-clock budget: an expired run returns
     [Explore.Timed_out] with the partial counters instead of running
-    unbounded.  This is a thin wrapper over {!Explore.run}, which also
-    exposes dedup/timing stats, witness replay ({!Explore.replay}) and
-    iterative deepening ({!Explore.deepen}). *)
+    unbounded.  [observers] swaps the hard-coded agreement/validity/probe
+    checks for a pluggable {!Observer} set — see {!Explore.run}.  This is a
+    thin wrapper over {!Explore.run}, which also exposes dedup/timing
+    stats, witness replay ({!Explore.replay}) and iterative deepening
+    ({!Explore.deepen}). *)
 
 val decidable_values :
   ?solo_fuel:int ->
@@ -67,6 +70,7 @@ val decidable_values :
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
+  ?observers:Observer.t list ->
   Consensus.Proto.t ->
   inputs:int array ->
   depth:int ->

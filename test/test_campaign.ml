@@ -92,6 +92,46 @@ let test_json_accessors () =
   Alcotest.(check bool) "absent member is Null" true
     (Campaign.Json.member "no-such-key" j = Campaign.Json.Null)
 
+let test_json_nonfinite () =
+  (* JSON has no literals for these; [to_string] must still emit something
+     [of_string] accepts (a sentinel string), and [get_float] must map the
+     sentinel back to the original float. *)
+  let reparse f =
+    let rendered = Campaign.Json.to_string (Campaign.Json.Float f) in
+    match Campaign.Json.of_string rendered with
+    | Error e -> Alcotest.failf "Float %h rendered as unparsable %S: %s" f rendered e
+    | Ok j -> j
+  in
+  let numeric_view f =
+    match Campaign.Json.get_float (reparse f) with
+    | Some v -> v
+    | None -> Alcotest.failf "Float %h lost its numeric view across a round-trip" f
+  in
+  Alcotest.(check bool) "nan survives" true (Float.is_nan (numeric_view Float.nan));
+  Alcotest.(check (float 0.0)) "infinity survives" Float.infinity
+    (numeric_view Float.infinity);
+  Alcotest.(check (float 0.0)) "-infinity survives" Float.neg_infinity
+    (numeric_view Float.neg_infinity);
+  (* -0.0 is finite: it must stay a real JSON number, sign included *)
+  (match reparse (-0.0) with
+   | Campaign.Json.Float v ->
+     Alcotest.(check bool) "negative zero keeps its sign" true
+       (1.0 /. v = Float.neg_infinity)
+   | j -> Alcotest.failf "-0.0 re-parsed as %s" (Campaign.Json.to_string j));
+  (* the original bug: a whole record with a non-finite elapsed must
+     round-trip through the store's serialization instead of corrupting *)
+  let r =
+    Campaign.Record.make ~task:"0123456789abcdef" ~kind:"check" ~row:"cas"
+      ~protocol:"cas-consensus" ~n:3 ~depth:6 ~engine:"memo" ~reduce:"commute"
+      ~status:Campaign.Record.Timeout ~configs:0 ~probes:0 ~dedup_hits:0
+      ~sleep_pruned:0 ~truncated:true ~elapsed:Float.nan ()
+  in
+  match Campaign.Record.of_json (Campaign.Record.to_json r) with
+  | Error e -> Alcotest.fail ("record with nan elapsed: " ^ e)
+  | Ok r' ->
+    Alcotest.(check bool) "nan elapsed survives a record round-trip" true
+      (Float.is_nan r'.Campaign.Record.elapsed)
+
 (* --- record ------------------------------------------------------------ *)
 
 let record ?(status = Campaign.Record.Verified) ?(task = "0123456789abcdef") () =
@@ -153,6 +193,47 @@ let test_record_same_verdict () =
   Alcotest.(check bool) "different tasks never share a verdict" false
     (Campaign.Record.same_verdict r (record ~task:"fedcba9876543210" ()))
 
+let test_record_observers () =
+  let make observers =
+    Campaign.Record.make ~task:"0123456789abcdef" ~kind:"check" ~row:"cas"
+      ~protocol:"cas-consensus" ~n:3 ~depth:6 ~engine:"memo" ~reduce:"commute"
+      ~observers ~status:Campaign.Record.Verified ~configs:120 ~probes:14
+      ~dedup_hits:9 ~sleep_pruned:2 ~truncated:false ~elapsed:0.125 ()
+  in
+  let observed = make [ "agreement"; "validity" ] in
+  (match Campaign.Record.of_json (Campaign.Record.to_json observed) with
+   | Ok r' -> Alcotest.(check bool) "observed record round-trips" true (observed = r')
+   | Error e -> Alcotest.fail e);
+  (* a record written before the observer field existed has no "observers"
+     member: it must parse (as the empty set) and re-serialize byte-for-byte *)
+  let legacy = make [] in
+  let legacy_json = Campaign.Record.to_json legacy in
+  Alcotest.(check bool) "empty observer set is omitted from the JSON" true
+    (Campaign.Json.member "observers" legacy_json = Campaign.Json.Null);
+  (match Campaign.Record.of_json legacy_json with
+   | Ok r' ->
+     Alcotest.(check (list string)) "absent field parses as no observers" []
+       r'.Campaign.Record.observers;
+     Alcotest.(check string) "pre-observer records re-serialize unchanged"
+       (Campaign.Json.to_string legacy_json)
+       (Campaign.Json.to_string (Campaign.Record.to_json r'))
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "the observer set is part of the verdict" false
+    (Campaign.Record.same_verdict observed legacy);
+  match
+    Campaign.Record.of_json
+      (Campaign.Json.Obj
+         (List.map
+            (fun (k, v) ->
+              if k = "observers" then (k, Campaign.Json.List [ Campaign.Json.Int 3 ])
+              else (k, v))
+            (match Campaign.Record.to_json observed with
+             | Campaign.Json.Obj fields -> fields
+             | _ -> Alcotest.fail "record JSON is not an object")))
+  with
+  | Ok _ -> Alcotest.fail "accepted a non-string observer name"
+  | Error _ -> ()
+
 (* --- tasks and fingerprints -------------------------------------------- *)
 
 let row id =
@@ -209,6 +290,59 @@ let test_spec_expansion () =
     (match Campaign.Spec.tasks { spec with Campaign.Spec.ns = [] } with
      | Error _ -> ()
      | Ok _ -> Alcotest.fail "accepted an empty n grid")
+
+let test_observed_tasks () =
+  let check ?observe () =
+    Campaign.Task.check ?observe ~engine:`Memo
+      ~reduce:{ Explore.commute = true; symmetric = false }
+      ~depth:3
+      (match Hierarchy.find ~ells:[ 1; 2 ] "cas" with
+       | Some r -> r
+       | None -> Alcotest.fail "cas row missing")
+      ~n:2
+  in
+  let plain = check () in
+  let observed = check ~observe:[ "agreement"; "validity" ] () in
+  (* the observer set is part of the content address: an observed run must
+     never be answered from an unobserved run's cached record *)
+  Alcotest.(check bool) "observer set changes the fingerprint" false
+    (Campaign.Task.fingerprint plain = Campaign.Task.fingerprint observed);
+  Alcotest.(check string) "no observers leaves the legacy fingerprint alone"
+    (Campaign.Task.fingerprint plain)
+    (Campaign.Task.fingerprint (check ~observe:[] ()));
+  let r = Campaign.Task.run observed in
+  Alcotest.(check (list string)) "record carries the observer names"
+    [ "agreement"; "validity" ] r.Campaign.Record.observers;
+  (match r.Campaign.Record.status with
+   | Campaign.Record.Verified -> ()
+   | _ -> Alcotest.fail "observed cas check should verify");
+  (* unknown names resolve at run time into a Crash record, not an exception *)
+  (match (Campaign.Task.run (check ~observe:[ "no-such-monitor" ] ())).Campaign.Record.status with
+   | Campaign.Record.Crash _ -> ()
+   | _ -> Alcotest.fail "unknown observer name should crash the task");
+  (* specs canonicalize names before building tasks, so "default" and its
+     expansion fingerprint identically *)
+  let spec observe =
+    {
+      Campaign.Spec.smoke with
+      Campaign.Spec.include_rows = [ "cas" ];
+      ns = [ 2 ];
+      depths = [ 3 ];
+      stress_seeds = [];
+      observe;
+    }
+  in
+  let fingerprints observe =
+    match Campaign.Spec.tasks (spec observe) with
+    | Ok tasks -> List.map Campaign.Task.fingerprint tasks
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list string)) "\"default\" expands before fingerprinting"
+    (fingerprints [ "agreement"; "validity"; "solo-termination" ])
+    (fingerprints [ "default" ]);
+  match Campaign.Spec.tasks (spec [ "no-such-monitor" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spec accepted an unknown observer name"
 
 (* --- store ------------------------------------------------------------- *)
 
@@ -592,6 +726,34 @@ let test_run_shared_breaks_expired_leases () =
   Alcotest.(check int) "nothing aborted" 0 o.Campaign.Executor.aborted;
   Alcotest.(check (list string)) "claims dir clean afterwards" [] (list_claims dir)
 
+let test_run_shared_drain_bounded_by_timeout () =
+  let dir = temp_dir () in
+  let task =
+    Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:3 (row "cas") ~n:2
+  in
+  let fp = Campaign.Task.fingerprint task in
+  let store = Campaign.Store.open_ ~lease_ttl:0.2 ~dir () in
+  (* a foreign lease whose mtime sits an hour in the future — clock skew on a
+     shared filesystem.  Its age never exceeds the ttl, so before the drain
+     bound existed [run_shared] would honour it forever and spin. *)
+  let lease = Filename.concat (Filename.concat dir "claims") (fp ^ ".lease") in
+  write_raw lease "99999\n";
+  let future = Unix.gettimeofday () +. 3600.0 in
+  Unix.utimes lease future future;
+  let started = Unix.gettimeofday () in
+  let o =
+    Campaign.Executor.run_shared ~store ~poll_interval:0.02 ~drain_timeout:0.3
+      [ task ]
+  in
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check int) "executed after the drain bound broke the stuck lease" 1
+    o.Campaign.Executor.executed;
+  Alcotest.(check int) "nothing aborted" 0 o.Campaign.Executor.aborted;
+  Alcotest.(check bool)
+    (Printf.sprintf "returned promptly (%.1fs)" elapsed)
+    true (elapsed < 30.0);
+  Alcotest.(check (list string)) "claims dir clean afterwards" [] (list_claims dir)
+
 (* --- status ------------------------------------------------------------ *)
 
 let test_status_folds_multiwriter_log () =
@@ -690,6 +852,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "non-finite floats round-trip" `Quick
+            test_json_nonfinite;
         ] );
       ( "record",
         [
@@ -697,12 +861,15 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_record_rejects_garbage;
           Alcotest.test_case "same verdict ignores timing" `Quick
             test_record_same_verdict;
+          Alcotest.test_case "observer field round-trips and back-compats" `Quick
+            test_record_observers;
         ] );
       ( "task",
         [
           Alcotest.test_case "fingerprints stable and distinct" `Quick
             test_fingerprint_stable_and_distinct;
           Alcotest.test_case "spec expansion" `Quick test_spec_expansion;
+          Alcotest.test_case "observed tasks" `Quick test_observed_tasks;
         ] );
       ( "store",
         [
@@ -733,6 +900,8 @@ let () =
             test_run_shared_executes_then_dedupes;
           Alcotest.test_case "shared mode breaks expired leases" `Quick
             test_run_shared_breaks_expired_leases;
+          Alcotest.test_case "shared mode drain is bounded under clock skew"
+            `Quick test_run_shared_drain_bounded_by_timeout;
         ] );
       ( "status",
         [

@@ -368,6 +368,35 @@ let test_probe_finish_bounded () =
           (Explore.kind_name f.Explore.witness.Explore.kind))
     engines
 
+(* 12b. Regression: replay's contract says [Error _] for a witness naming a
+   process that cannot be probed, but probing an already-decided (or
+   out-of-range) pid used to be silently absorbed, replaying "clean" instead
+   of rejecting the witness. *)
+let test_replay_rejects_unprobeable () =
+  (* broken_nonterminating's p1 decides on its first step, so after
+     schedule [1] probing p1 contradicts the contract *)
+  let witness probe schedule =
+    { Explore.kind = `Obstruction_freedom; message = "x"; schedule; probe }
+  in
+  let expect_error name w =
+    List.iter
+      (fun observers ->
+        let tag = if observers = [] then "legacy" else "observed" in
+        match Explore.replay ~observers broken_nonterminating ~inputs:[| 0; 1 |] w with
+        | Error _ -> ()
+        | Ok _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s (%s path): unprobeable witness accepted" name tag))
+      [ []; Observer.defaults ]
+  in
+  expect_error "decided pid" (witness (Some 1) [ 1 ]);
+  expect_error "out of range" (witness (Some 5) []);
+  expect_error "negative" (witness (Some (-1)) []);
+  (* sanity: the same schedule without the bogus probe still replays *)
+  match Explore.replay broken_nonterminating ~inputs:[| 0; 1 |] (witness None [ 1 ]) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("probe-free witness rejected: " ^ e)
+
 (* 13. Differential: the memoized decidable-values walk equals the original
    naive one — same value sets, same verdict on broken protocols. *)
 let test_decidable_memo_differential () =
@@ -635,6 +664,8 @@ let () =
             test_witness_replay_all_engines;
           Alcotest.test_case "probe finish loop is bounded" `Quick
             test_probe_finish_bounded;
+          Alcotest.test_case "replay rejects unprobeable probe pids" `Quick
+            test_replay_rejects_unprobeable;
           Alcotest.test_case "decidable_values memo differential" `Quick
             test_decidable_memo_differential;
         ] );

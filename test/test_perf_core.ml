@@ -92,6 +92,7 @@ module Alias_cell = struct
   let equal_cell = Int.equal
   let hash_cell c = c
   let hash_result r = r
+  let observe_result r = Some r
   let pp_cell = Format.pp_print_int
 
   let pp_op ppf = function
