@@ -994,50 +994,107 @@ let campaign_bench ~smoke () =
 (* -------------------------------------------------------------- LINT -- *)
 
 (* The static-analysis passes: per-row symmetry certification timing (and the
-   effect of the run cache), then the full-registry lint with its findings
-   summary — the same pass CI runs via `space_hierarchy lint --strict`. *)
+   effect of the run cache), certificate warm-up through the campaign store's
+   certs/ side-table (cold compute+persist vs preload from disk), then the
+   full-registry lint with its findings summary — the same pass CI runs via
+   `space_hierarchy lint --strict`.  Results go to BENCH_lint.json. *)
 let lint_bench ~smoke () =
   section "LINT: protocol & iset linter (certify / contracts / space claims)";
   let ns = if smoke then [ 2 ] else [ 2; 3 ] in
   let rows = Hierarchy.rows () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
   Printf.printf "%-22s %-44s %10s %10s\n" "row" "symmetry verdict (n=2)" "cold ms"
     "cached ms";
-  List.iter
-    (fun (row : Hierarchy.row) ->
-      let time f =
-        let t0 = Unix.gettimeofday () in
-        let v = f () in
-        (v, (Unix.gettimeofday () -. t0) *. 1e3)
-      in
-      Analysis.Symmetry.reset_run_cache ();
-      let inputs = [| 0; 0 |] in
-      let verdict, cold =
-        time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
-      in
-      let _, cached =
-        time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
-      in
-      Printf.printf "%-22s %-44s %10.2f %10.3f\n" row.id
-        (Format.asprintf "%a" Analysis.Symmetry.pp_verdict verdict)
-        cold cached)
-    rows;
+  let certify_rows =
+    List.map
+      (fun (row : Hierarchy.row) ->
+        Analysis.Symmetry.reset_run_cache ();
+        let inputs = [| 0; 0 |] in
+        let verdict, cold =
+          time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
+        in
+        let _, cached =
+          time (fun () -> Analysis.Symmetry.certify_for_run row.protocol ~inputs)
+        in
+        let verdict_str = Format.asprintf "%a" Analysis.Symmetry.pp_verdict verdict in
+        Printf.printf "%-22s %-44s %10.2f %10.3f\n" row.id verdict_str
+          (cold *. 1e3) (cached *. 1e3);
+        Campaign.Json.Obj
+          [
+            ("row", Campaign.Json.String row.id);
+            ("verdict", Campaign.Json.String verdict_str);
+            ("cold_s", Campaign.Json.Float cold);
+            ("cached_s", Campaign.Json.Float cached);
+          ])
+      rows
+  in
+  (* Certificate store: cold precertification computes every verdict and
+     persists it under certs/; a second pass with an emptied in-process
+     cache must read every verdict back instead of recomputing — the cost a
+     fleet member pays when another member certified first. *)
+  let store_dir = Filename.temp_file "bench_lint_store" "" in
+  Sys.remove store_dir;
+  let store = Campaign.Store.open_ ~dir:store_dir () in
+  let sym = { Explore.commute = false; symmetric = true } in
+  (* n = 3: binary-only rows then have an equal-input pid pair, so their
+     certification is the real lockstep/CFG work, not the vacuous
+     all-distinct-inputs certificate *)
+  let sym_tasks =
+    List.map
+      (fun row -> Campaign.Task.check ~engine:`Memo ~reduce:sym ~depth:4 row ~n:3)
+      rows
+  in
+  Analysis.Symmetry.reset_run_cache ();
+  let (), store_cold =
+    time (fun () -> Campaign.Executor.precertify ~store sym_tasks)
+  in
+  Analysis.Symmetry.reset_run_cache ();
+  let computed_before = Atomic.get Analysis.Symmetry.computed_count in
+  let (), store_preload =
+    time (fun () -> Campaign.Executor.precertify ~store sym_tasks)
+  in
+  let recomputed = Atomic.get Analysis.Symmetry.computed_count - computed_before in
+  Printf.printf
+    "\ncertificate store (%d rows): cold certify+persist %.2f ms, preload %.2f ms \
+     (%d recomputed)\n"
+    (List.length rows) (store_cold *. 1e3) (store_preload *. 1e3) recomputed;
   let t0 = Unix.gettimeofday () in
   let findings = Analysis.Lint.run ~ns () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let lint_dt = Unix.gettimeofday () -. t0 in
   Printf.printf
     "\nfull registry lint (ns = %s): %d findings, %d errors, %d warnings in %.2f s\n"
     (String.concat "," (List.map string_of_int ns))
     (List.length findings)
     (Analysis.Report.errors findings)
     (Analysis.Report.warnings findings)
-    dt;
+    lint_dt;
   let t0 = Unix.gettimeofday () in
   let self = Analysis.Lint.selftest () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let self_dt = Unix.gettimeofday () -. t0 in
   Printf.printf "mutant selftest: %d findings, %d escapes in %.2f s\n"
     (List.length self)
     (Analysis.Report.errors self)
-    dt
+    self_dt;
+  write_json "BENCH_lint.json"
+    (Campaign.Json.Obj
+       [
+         ("certify", Campaign.Json.List certify_rows);
+         ("store_rows", Campaign.Json.Int (List.length rows));
+         ("store_cold_s", Campaign.Json.Float store_cold);
+         ("store_preload_s", Campaign.Json.Float store_preload);
+         ("store_recomputed", Campaign.Json.Int recomputed);
+         ("lint_findings", Campaign.Json.Int (List.length findings));
+         ("lint_errors", Campaign.Json.Int (Analysis.Report.errors findings));
+         ("lint_warnings", Campaign.Json.Int (Analysis.Report.warnings findings));
+         ("lint_elapsed_s", Campaign.Json.Float lint_dt);
+         ("selftest_findings", Campaign.Json.Int (List.length self));
+         ("selftest_escapes", Campaign.Json.Int (Analysis.Report.errors self));
+         ("selftest_elapsed_s", Campaign.Json.Float self_dt);
+       ])
 
 (* -------------------------------------------------------------- TIME -- *)
 

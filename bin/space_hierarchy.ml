@@ -233,7 +233,7 @@ let modelcheck_cmd =
        $ observe_arg))
 
 let lint_cmd =
-  let run ells ns ids strict json selftest mutants =
+  let run ells ns ids strict json cfg selftest mutants =
     let findings =
       if selftest then Ok (Analysis.Lint.selftest ())
       else if mutants then
@@ -243,10 +243,10 @@ let lint_cmd =
              Analysis.Mutants.iset_mutants
           @ List.concat_map
               (fun (m : Analysis.Mutants.proto_mutant) ->
-                Analysis.Lint.lint_protocol ~ns m.proto)
+                Analysis.Lint.lint_protocol ~cfg ~ns m.proto)
               Analysis.Mutants.proto_mutants)
       else
-        match Analysis.Lint.run ~ells ~ns ~ids () with
+        match Analysis.Lint.run ~ells ~ns ~cfg ~ids () with
         | fs -> Ok fs
         | exception Invalid_argument msg -> Error msg
     in
@@ -285,6 +285,14 @@ let lint_cmd =
     let doc = "Emit the findings as a JSON array instead of aligned text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let cfg_arg =
+    let doc =
+      "Layer the CFG/abstract-interpretation passes on top of the classic evidence \
+       tiers: certified whole-program footprint bounds, dead-branch detection and \
+       decision-reachability (see also the analyze command)."
+    in
+    Arg.(value & flag & info [ "cfg" ] ~doc)
+  in
   let selftest_arg =
     let doc =
       "Lint the mutant regression corpus and check every deliberately broken \
@@ -309,8 +317,169 @@ let lint_cmd =
           Table-1 space claims against concrete, exhaustive and symbolic footprints.")
     Term.(
       ret
-        (const run $ ells_arg $ lint_ns_arg $ rows_arg $ strict_arg $ json_arg
+        (const run $ ells_arg $ lint_ns_arg $ rows_arg $ strict_arg $ json_arg $ cfg_arg
        $ selftest_arg $ mutants_arg))
+
+let analyze_cmd =
+  let run ells ns ids json strict =
+    let rows = Hierarchy.rows ~ells () in
+    let bad =
+      List.filter
+        (fun id -> not (List.exists (fun (r : Hierarchy.row) -> r.id = id) rows))
+        ids
+    in
+    if bad <> [] then
+      `Error
+        (false, Printf.sprintf "unknown row id(s): %s" (String.concat ", " bad))
+    else begin
+      let rows =
+        if ids = [] then rows
+        else List.filter (fun (r : Hierarchy.row) -> List.mem r.id ids) rows
+      in
+      let failures = ref 0 in
+      let entries =
+        List.concat_map
+          (fun (row : Hierarchy.row) ->
+            List.map
+              (fun n ->
+                let (module P : Consensus.Proto.S) = row.protocol in
+                let a = Analysis.Absint.analyze (module P : Consensus.Proto.S) ~n in
+                let verdict =
+                  Analysis.Symmetry.certify (module P : Consensus.Proto.S) ~n
+                in
+                (match verdict with
+                 | Analysis.Symmetry.Unknown _ -> incr failures
+                 | _ -> ());
+                let findings =
+                  Analysis.Absint.lint_findings ?declared:(P.locations ~n) a
+                in
+                if Analysis.Report.errors findings > 0 then incr failures;
+                (row, n, a, verdict, findings))
+              ns)
+          rows
+      in
+      if json then begin
+        let open Campaign.Json in
+        let ints xs = List (List.map (fun i -> Int i) xs) in
+        print_endline
+          (to_string_pretty
+             (List
+                (List.map
+                   (fun ((row : Hierarchy.row), n, (a : Analysis.Absint.t), verdict,
+                         findings) ->
+                     Obj
+                       [
+                         ("row", String row.id);
+                         ("protocol", String a.Analysis.Absint.name);
+                         ("n", Int n);
+                         ("nodes", Int a.Analysis.Absint.nodes);
+                         ("edges", Int a.Analysis.Absint.edges);
+                         ("retro_edges", Int a.Analysis.Absint.retro_edges);
+                         ("sig_depth", Int a.Analysis.Absint.sig_depth);
+                         ("work", Int a.Analysis.Absint.work);
+                         ( "truncated",
+                           match a.Analysis.Absint.truncated with
+                           | None -> Null
+                           | Some r -> String r );
+                         ("converged", Bool a.Analysis.Absint.converged);
+                         ("complete", Bool a.Analysis.Absint.complete);
+                         ("footprint_all", ints a.Analysis.Absint.footprint_all);
+                         ("footprint_feasible", ints a.Analysis.Absint.footprint_feasible);
+                         ("dead_nodes", Int a.Analysis.Absint.dead_nodes);
+                         ("undecided_nodes", Int a.Analysis.Absint.undecided_nodes);
+                         ("decisions", ints a.Analysis.Absint.decisions);
+                         ( "ops",
+                           List
+                             (List.map (fun s -> String s) a.Analysis.Absint.ops) );
+                         ( "symmetry",
+                           String
+                             (match verdict with
+                              | Analysis.Symmetry.Certified_symmetric _ -> "certified"
+                              | Analysis.Symmetry.Asymmetric _ -> "asymmetric"
+                              | Analysis.Symmetry.Unknown _ -> "unknown") );
+                         ( "symmetry_detail",
+                           String
+                             (Format.asprintf "%a" Analysis.Symmetry.pp_verdict verdict)
+                         );
+                         ( "findings",
+                           List
+                             (List.map
+                                (fun (f : Analysis.Report.finding) ->
+                                  Obj
+                                    [
+                                      ( "severity",
+                                        String
+                                          (Analysis.Report.severity_name f.severity) );
+                                      ("rule", String f.rule);
+                                      ("detail", String f.detail);
+                                    ])
+                                findings) );
+                       ])
+                   entries)))
+      end
+      else
+        List.iter
+          (fun ((row : Hierarchy.row), n, (a : Analysis.Absint.t), verdict, findings) ->
+            Printf.printf
+              "%-28s n=%d  %4d nodes  %4d edges  %2d back-edges  %s  footprint %d (%s)%s\n"
+              row.id n a.Analysis.Absint.nodes a.Analysis.Absint.edges
+              a.Analysis.Absint.retro_edges
+              (if a.Analysis.Absint.complete then "certified"
+               else
+                 Printf.sprintf "partial (%s)"
+                   (match a.Analysis.Absint.truncated with
+                    | Some r -> r
+                    | None ->
+                      if not a.Analysis.Absint.converged then "no fixpoint"
+                      else "value closure unbounded"))
+              (List.length a.Analysis.Absint.footprint_feasible)
+              (String.concat "," (List.map string_of_int a.Analysis.Absint.footprint_feasible))
+              (if a.Analysis.Absint.dead_nodes > 0 then
+                 Printf.sprintf "  %d dead" a.Analysis.Absint.dead_nodes
+               else "");
+            Format.printf "  symmetry: %a@." Analysis.Symmetry.pp_verdict verdict;
+            List.iter
+              (fun f -> Format.printf "  %a@." Analysis.Report.pp_finding f)
+              findings)
+          entries;
+      if strict && !failures > 0 then
+        `Error
+          ( false,
+            Printf.sprintf
+              "analyze --strict: %d row(s) with Unknown symmetry or Error findings"
+              !failures )
+      else `Ok ()
+    end
+  in
+  let analyze_ns_arg =
+    let doc = "Process counts to analyze at." in
+    Arg.(value & opt (list int) [ 2; 3 ] & info [ "ns" ] ~docv:"N1,N2,…" ~doc)
+  in
+  let rows_arg =
+    let doc = "Rows to analyze (default: all registered rows)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ROW…" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the per-row summaries as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc =
+      "Exit non-zero if any row's symmetry verdict is Unknown or any CFG finding is \
+       an Error."
+    in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Extract each row's control-flow graph by symbolic unfolding with node \
+          hashing (retry loops become back-edges) and run the abstract-interpretation \
+          passes over it: certified whole-program footprint bounds, dead-branch and \
+          decision-reachability detection, issued-op summaries and the CFG \
+          pid-symmetry certificate.")
+    Term.(
+      ret (const run $ ells_arg $ analyze_ns_arg $ rows_arg $ json_arg $ strict_arg))
 
 let growth_cmd =
   let run rounds n =
@@ -781,6 +950,7 @@ let () =
             modelcheck_cmd;
             campaign_cmd;
             lint_cmd;
+            analyze_cmd;
             growth_cmd;
             adversary_cmd;
             synth_cmd;

@@ -27,16 +27,16 @@ let symmetry_finding (module P : Consensus.Proto.S) ~n verdict =
 
 let lint_iset = Contracts.lint_iset
 
-let lint_protocol ?depth ?budget ?(ns = [ 2; 3 ]) (module P : Consensus.Proto.S) =
+let lint_protocol ?depth ?budget ?cfg ?(ns = [ 2; 3 ]) (module P : Consensus.Proto.S) =
   List.concat_map
     (fun n ->
       let verdict = Symmetry.certify ?depth ?budget (module P : Consensus.Proto.S) ~n in
-      symmetry_finding (module P) ~n verdict :: Space.lint (module P) ~n)
+      symmetry_finding (module P) ~n verdict :: Space.lint ?cfg (module P) ~n)
     ns
 
 (* Rows sharing an instruction set (the two ∞ rows both use flavours of
    [Bits], say) produce one contract pass per distinct [I.name]. *)
-let lint_rows ?depth ?budget ?ns rows =
+let lint_rows ?depth ?budget ?cfg ?ns rows =
   let seen_isets = Hashtbl.create 16 in
   List.concat_map
     (fun (row : Hierarchy.row) ->
@@ -48,10 +48,10 @@ let lint_rows ?depth ?budget ?ns rows =
           lint_iset (module P.I)
         end
       in
-      iset_findings @ lint_protocol ?depth ?budget ?ns row.protocol)
+      iset_findings @ lint_protocol ?depth ?budget ?cfg ?ns row.protocol)
     rows
 
-let run ?ells ?depth ?budget ?ns ?(ids = []) () =
+let run ?ells ?depth ?budget ?cfg ?ns ?(ids = []) () =
   let rows = Hierarchy.rows ?ells () in
   let rows =
     if ids = [] then rows
@@ -64,7 +64,7 @@ let run ?ells ?depth ?budget ?ns ?(ids = []) () =
       List.filter (fun (r : Hierarchy.row) -> List.mem r.id ids) rows
     end
   in
-  lint_rows ?depth ?budget ?ns rows
+  lint_rows ?depth ?budget ?cfg ?ns rows
 
 (* --- selftest over the mutant corpus ----------------------------------- *)
 
@@ -106,7 +106,7 @@ let selftest () =
   List.iter
     (fun (m : Mutants.proto_mutant) ->
       let (module P : Consensus.Proto.S) = m.proto in
-      let fs = Space.lint (module P) ~n:2 in
+      let fs = Space.lint ~cfg:true (module P) ~n:2 in
       let hit =
         List.exists
           (fun f -> f.rule = m.expected_rule && f.severity = m.expected_severity)
@@ -146,4 +146,7 @@ let selftest () =
     "Asymmetric";
   expect_verdict "uniform control" Mutants.symmetric_control Symmetry.certified
     "Certified_symmetric";
+  expect_verdict "asymmetric retry loop" Mutants.asymmetric_retry_loop
+    (function Symmetry.Asymmetric _ -> true | _ -> false)
+    "Asymmetric";
   List.rev !acc

@@ -229,6 +229,63 @@ module Uniform = struct
     Proc.return input
 end
 
+(* Writes one location above its declaration, with the second location's
+   address flowing through a read result: the CFG footprint pass must certify
+   a 2-location whole-program bound and flag the 1-location declaration as an
+   [Error] ([space-claim-cfg]). *)
+module Footprint_overrun = struct
+  module I = Sound_register
+
+  let name = "mutant: certified footprint exceeds declaration"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid:_ ~input =
+    let open Proc.Syntax in
+    let* v = Proc.access 0 I.Read in
+    let* _ = Proc.access 1 (I.Write v) in
+    Proc.return input
+end
+
+(* A continuation no feasible result can enter: the branch is guarded by
+   reading 2 from a location nothing ever writes ([2] is a sampled cell, so
+   the branch {e exists} in the graph), and — unlike [Space_symbolic_overrun]
+   — it stays within the declared footprint, so only the dead-branch pass
+   can see it. *)
+module Dead_branch = struct
+  module I = Sound_register
+
+  let name = "mutant: continuation unreachable under any feasible result"
+  let locations ~n:_ = Some 2
+
+  let proc ~n:_ ~pid:_ ~input =
+    let open Proc.Syntax in
+    let* v = Proc.access 0 I.Read in
+    if v = 2 then
+      let* _ = Proc.access 1 (I.Write input) in
+      Proc.return input
+    else Proc.return input
+end
+
+(* A retry loop whose body leaks the pid through a write argument: bounded
+   lockstep unfolding and the CFG certifier must both return [Asymmetric] —
+   and the loop itself must become a back-edge, not divergence, in the CFG
+   ([Cfg.of_proto] terminates on it). *)
+module Asymmetric_retry_loop = struct
+  module I = Sound_register
+
+  let name = "mutant: retry loop writes pid-dependent value"
+  let locations ~n:_ = Some 1
+
+  let proc ~n:_ ~pid ~input:_ =
+    Proc.rec_loop () (fun () ->
+        let open Proc.Syntax in
+        let* v = Proc.access 0 I.Read in
+        if v >= 1 then Proc.return (Either.Right v)
+        else
+          let* _ = Proc.access 0 (I.Write (pid + 1)) in
+          Proc.return (Either.Left ()))
+end
+
 type proto_mutant = {
   label : string;
   expected_rule : string;
@@ -244,8 +301,15 @@ let proto_mutants =
     { label = "space-overrun-symbolic"; expected_rule = "space-claim-symbolic";
       expected_severity = Report.Warning;
       proto = (module Space_symbolic_overrun : Consensus.Proto.S) };
+    { label = "footprint-overrun-cfg"; expected_rule = "space-claim-cfg";
+      expected_severity = Report.Error;
+      proto = (module Footprint_overrun : Consensus.Proto.S) };
+    { label = "dead-branch"; expected_rule = "dead-branch";
+      expected_severity = Report.Warning;
+      proto = (module Dead_branch : Consensus.Proto.S) };
   ]
 
+let asymmetric_retry_loop = (module Asymmetric_retry_loop : Consensus.Proto.S)
 let asymmetric_access = (module Pid_dependent_access : Consensus.Proto.S)
 let asymmetric_decision = (module Pid_dependent_decision : Consensus.Proto.S)
 let symmetric_control = (module Uniform : Consensus.Proto.S)

@@ -156,18 +156,21 @@ let symbolic_footprint (module P : Consensus.Proto.S) ~n ~depth =
       rs
   in
   let locs = Hashtbl.create 16 in
-  let complete = ref true in
+  (* [None] while complete; the first budget cap to fire records why the
+     unfolding is partial — a clean report must not mean "gave up quietly" *)
+  let truncated = ref None in
+  let trunc fmt = Printf.ksprintf (fun r -> if !truncated = None then truncated := Some r) fmt in
   let nodes = ref 0 in
   let rec go d (t : (I.op, I.result, int) Model.Proc.t) =
     incr nodes;
-    if !nodes > node_budget then complete := false
+    if !nodes > node_budget then trunc "node budget exhausted at %d nodes" node_budget
     else
       match t with
       | Model.Proc.Done _ -> ()
       | Step ([], _) -> ()
       | Step (accesses, k) ->
         List.iter (fun (loc, _) -> Hashtbl.replace locs loc ()) accesses;
-        if d = 0 then complete := false
+        if d = 0 then trunc "unfold depth cap reached"
         else begin
           let vectors =
             List.fold_left
@@ -183,10 +186,10 @@ let symbolic_footprint (module P : Consensus.Proto.S) ~n ~depth =
               (List.map (fun (_, op) -> results_of op) accesses)
           in
           match vectors with
-          | None -> complete := false
+          | None -> trunc "result branching exceeds width cap %d" width_cap
           | Some vectors ->
             (* an op none of the sampled cells accepts leaves no vectors *)
-            if vectors = [] then complete := false;
+            if vectors = [] then trunc "an op admits no sampled result";
             List.iter
               (fun rs ->
                 match k rs with
@@ -202,13 +205,14 @@ let symbolic_footprint (module P : Consensus.Proto.S) ~n ~depth =
       for pid = 0 to n - 1 do
         match P.proc ~n ~pid ~input with
         | t -> go depth t
-        | exception _ -> complete := false
+        | exception e -> trunc "proc construction raised %s" (Printexc.to_string e)
       done)
     [ 0; 1 ];
-  (Hashtbl.fold (fun loc () acc -> loc :: acc) locs [] |> List.sort compare, !complete)
+  ( Hashtbl.fold (fun loc () acc -> loc :: acc) locs [] |> List.sort compare,
+    !truncated )
 
 let symbolic_check out (module P : Consensus.Proto.S) ~n ~declared ~depth =
-  let footprint, complete = symbolic_footprint (module P) ~n ~depth in
+  let footprint, truncated = symbolic_footprint (module P) ~n ~depth in
   let used = List.length footprint in
   if used > declared then
     out
@@ -216,15 +220,28 @@ let symbolic_check out (module P : Consensus.Proto.S) ~n ~declared ~depth =
          "symbolic unfolding to depth %d names %d locations but locations ~n:%d declares \
           %d (some branches may be infeasible)"
          depth used n declared)
-  else if complete && used < declared then
+  else if truncated = None && used < declared then
     out
       (finding Info ~rule:"space-claim-loose" ~subject:P.name
          "complete symbolic unfolding names only %d locations but locations ~n:%d \
           declares %d"
-         used n declared)
+         used n declared);
+  match truncated with
+  | Some reason ->
+    out
+      (finding Info ~rule:"analysis-truncated" ~subject:P.name
+         "symbolic unfolding at n=%d is partial (%s): its evidence covers only the \
+          explored prefix"
+         n reason)
+  | None -> ()
 
+(* [cfg] layers the {!Absint} passes on top of the three evidence tiers:
+   the certified whole-program footprint bound, dead-branch detection and
+   the decision-reachability hint.  Off by default — the CFG build is a
+   heavier analysis than the classic tiers and has its own CLI surface
+   ([lint --cfg], [analyze]). *)
 let lint ?(unfold_depth = default_unfold_depth) ?(explore_depth = default_explore_depth)
-    ?(fuel = default_fuel) (module P : Consensus.Proto.S) ~n =
+    ?(fuel = default_fuel) ?(cfg = false) (module P : Consensus.Proto.S) ~n =
   let acc = ref [] in
   let out f = acc := f :: !acc in
   (match P.locations ~n with
@@ -240,6 +257,13 @@ let lint ?(unfold_depth = default_unfold_depth) ?(explore_depth = default_explor
      else begin
        concrete_check out (module P) ~n ~declared ~fuel;
        explore_check out (module P) ~n ~declared ~depth:explore_depth;
-       symbolic_check out (module P) ~n ~declared ~depth:unfold_depth
+       symbolic_check out (module P) ~n ~declared ~depth:unfold_depth;
+       if cfg then
+         match Absint.analyze (module P : Consensus.Proto.S) ~n with
+         | a -> List.iter out (Absint.lint_findings ~declared a)
+         | exception e ->
+           out
+             (finding Warning ~rule:"space-run-raised" ~subject:P.name
+                "cfg analysis raised %s" (Printexc.to_string e))
      end);
   List.rev !acc

@@ -1,4 +1,5 @@
-(* Pid-symmetry certification by lockstep symbolic unfolding.
+(* Pid-symmetry certification: CFG quotients first, lockstep unfolding as
+   the fallback.
 
    [Machine.canonical_fingerprint] (and hence [Explore]'s [symmetric]
    reduction) treats processes with equal inputs as interchangeable.  That is
@@ -6,7 +7,16 @@
    inputs: both processes must issue the same accesses to the same locations
    and decide the same values whenever they have observed the same results.
 
-   We certify this by unfolding the {!Model.Proc.t} free monad of
+   The primary certifier is the CFG route ({!Cfg}): both pids'
+   unfoldings are interned into {e one} node table, so the pair is symmetric
+   iff their roots land on the same node — signature equality plus the
+   build's merge-stability verification stand in for an explicit lockstep
+   walk, and retry loops that defeat bounded unfolding (node-budget
+   explosions at depth 10+) are ordinary back-edges there.  Distinct roots
+   mean the unfoldings differ observably within the signature depth, i.e. a
+   genuine asymmetry; a truncated build certifies nothing and falls back.
+
+   The fallback unfolds the {!Model.Proc.t} free monad of
    [proc ~pid:a ~input] and [proc ~pid:b ~input] in lockstep: at each [Step]
    the two access lists must agree location-by-location and op-by-op
    (compared on printed form — ops print injectively in this codebase); then
@@ -17,17 +27,17 @@
    [invalid_arg], and two processes rejecting a branch identically is
    symmetric behaviour.
 
-   The certificate is {e depth-bounded}: [Certified_symmetric { depth; _ }]
-   means the two processes are indistinguishable through [depth] steps each.
-   That is exactly what a bounded exploration needs — a run that gives no
-   process more than [depth] steps never observes behaviour beyond the
-   certified prefix — so reaching the depth limit with every branch matched
-   is a successful (bounded) certification, not a failure.  Protocols whose
-   retry loops never symbolically terminate (a tug-of-war process re-reads
-   until its round is decided, and the sampled results can keep it spinning
-   forever) still certify this way.
+   The lockstep certificate is {e depth-bounded}: [Certified_symmetric
+   { depth; _ }] means the two processes are indistinguishable through
+   [depth] steps each.  That is exactly what a bounded exploration needs — a
+   run that gives no process more than [depth] steps never observes
+   behaviour beyond the certified prefix — so reaching the depth limit with
+   every branch matched is a successful (bounded) certification, not a
+   failure.  The CFG route certifies through any requested depth at once
+   (its claim does not weaken with depth), and is reported at the depth the
+   caller asked for.
 
-   Exhausting the node or width budget is different: branches were left
+   Exhausting a node, width or work budget is different: branches were left
    {e unexplored} before the depth was covered, so nothing can be claimed
    and the verdict is [Unknown] — never a certificate. *)
 
@@ -175,18 +185,80 @@ let certify_pairs (module P : Consensus.Proto.S) ~n ~depth ~budget pair_inputs =
     Certified_symmetric { depth; pairs = !pairs }
   with Stop v -> v
 
+let all_pair_inputs ~n inputs =
+  List.concat_map
+    (fun input ->
+      List.concat
+        (List.init n (fun a -> List.init (n - a - 1) (fun d -> (a, a + d + 1, input)))))
+    inputs
+
+(* The CFG route: intern every (pid, input) unfolding into one node table
+   ({!Cfg.of_proto} under the sampled alphabet — the same alphabet the
+   lockstep certifier feeds) and compare root node ids per pair.  Equal
+   roots are a certificate through any depth — node identity is signature
+   equality verified stable by the build.  Distinct roots are a genuine
+   divergence within the signature horizon; the lockstep certifier is then
+   replayed briefly to phrase the witness (it sees the same alphabet), with
+   a generic witness when it cannot.  A truncated build returns [Unknown]
+   so the caller can fall back to lockstep unfolding. *)
+let certify_cfg_pairs (module P : Consensus.Proto.S) ~n ~depth pair_inputs =
+  let inputs = List.sort_uniq compare (List.map (fun (_, _, i) -> i) pair_inputs) in
+  match Cfg.of_proto ~inputs (module P : Consensus.Proto.S) ~n with
+  | exception e ->
+    Unknown (Printf.sprintf "cfg build raised %s" (Printexc.to_string e))
+  | cfg -> (
+    match cfg.Cfg.truncated with
+    | Some reason -> Unknown (Printf.sprintf "cfg truncated: %s" reason)
+    | None ->
+      let root pid input = List.assoc_opt (pid, input) cfg.Cfg.roots in
+      let exception Stop of verdict in
+      (try
+         let pairs = ref 0 in
+         List.iter
+           (fun (pid_a, pid_b, input) ->
+             incr pairs;
+             match (root pid_a input, root pid_b input) with
+             | Some ra, Some rb when ra = rb -> ()
+             | Some _, Some _ ->
+               let w =
+                 match
+                   certify_pair (module P) ~n ~pid_a ~pid_b ~input
+                     ~depth:(cfg.Cfg.sig_depth + 2) ~budget:50_000
+                 with
+                 | Error (`Asymmetric w) -> w
+                 | Ok () | Error (`Unknown _) ->
+                   {
+                     pid_a;
+                     pid_b;
+                     input;
+                     detail =
+                       Printf.sprintf
+                         "cfg roots differ: unfoldings diverge within %d steps"
+                         cfg.Cfg.sig_depth;
+                   }
+               in
+               raise (Stop (Asymmetric w))
+             | None, _ | _, None ->
+               raise (Stop (Unknown "cfg build misses a root unfolding")))
+           pair_inputs;
+         Certified_symmetric { depth; pairs = !pairs }
+       with Stop v -> v))
+
+(* Lockstep-only certification, kept as the differential-testing reference
+   (and as the fallback engine). *)
+let certify_lockstep ?(depth = default_depth) ?(budget = default_budget)
+    ?(inputs = [ 0; 1 ]) (module P : Consensus.Proto.S) ~n =
+  certify_pairs (module P) ~n ~depth ~budget (all_pair_inputs ~n inputs)
+
 (* Certify all pid pairs at every sampled input: the unconditional claim the
-   lint report makes about a protocol. *)
+   lint report makes about a protocol.  CFG first; bounded lockstep when the
+   CFG is truncated. *)
 let certify ?(depth = default_depth) ?(budget = default_budget) ?(inputs = [ 0; 1 ])
     (module P : Consensus.Proto.S) ~n =
-  let pair_inputs =
-    List.concat_map
-      (fun input ->
-        List.concat
-          (List.init n (fun a -> List.init (n - a - 1) (fun d -> (a, a + d + 1, input)))))
-      inputs
-  in
-  certify_pairs (module P) ~n ~depth ~budget pair_inputs
+  let pair_inputs = all_pair_inputs ~n inputs in
+  match certify_cfg_pairs (module P) ~n ~depth pair_inputs with
+  | (Certified_symmetric _ | Asymmetric _) as v -> v
+  | Unknown _ -> certify_pairs (module P) ~n ~depth ~budget pair_inputs
 
 (* Certify exactly what one exploration run relies on: processes are only
    conflated by [canonical_fingerprint] when their inputs are equal, so only
@@ -217,14 +289,38 @@ let with_shard s f =
 let reset_run_cache () =
   Array.iter (fun s -> with_shard s (fun () -> Hashtbl.reset s.tbl)) run_cache
 
+let run_key (module P : Consensus.Proto.S) ~inputs ~depth ~budget =
+  Printf.sprintf "%s|%d|%s|%d|%d" P.name (Array.length inputs)
+    (String.concat "," (List.map string_of_int (Array.to_list inputs)))
+    depth budget
+
+(* Certifications actually computed (cache misses) in this process — lets
+   the campaign tests assert that a store-preloaded fleet recomputes
+   nothing. *)
+let computed_count = Atomic.make 0
+
+(* Read the run cache without computing: the campaign executor consults the
+   store's certificate records on a miss before paying for certification. *)
+let peek_for_run ?(depth = default_depth) ?(budget = default_budget)
+    (module P : Consensus.Proto.S) ~inputs =
+  let key = run_key (module P : Consensus.Proto.S) ~inputs ~depth ~budget in
+  let shard = shard_of key in
+  with_shard shard (fun () -> Hashtbl.find_opt shard.tbl key)
+
+(* Seed the run cache with an externally persisted verdict (a campaign
+   store certificate): subsequent [certify_for_run] calls with the same
+   parameters hit the cache instead of re-certifying. *)
+let preload_for_run ?(depth = default_depth) ?(budget = default_budget)
+    (module P : Consensus.Proto.S) ~inputs verdict =
+  let key = run_key (module P : Consensus.Proto.S) ~inputs ~depth ~budget in
+  let shard = shard_of key in
+  with_shard shard (fun () ->
+      if not (Hashtbl.mem shard.tbl key) then Hashtbl.add shard.tbl key verdict)
+
 let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
     (module P : Consensus.Proto.S) ~inputs =
   let n = Array.length inputs in
-  let key =
-    Printf.sprintf "%s|%d|%s|%d|%d" P.name n
-      (String.concat "," (List.map string_of_int (Array.to_list inputs)))
-      depth budget
-  in
+  let key = run_key (module P : Consensus.Proto.S) ~inputs ~depth ~budget in
   let shard = shard_of key in
   match with_shard shard (fun () -> Hashtbl.find_opt shard.tbl key) with
   | Some v -> v
@@ -236,7 +332,13 @@ let certify_for_run ?(depth = default_depth) ?(budget = default_budget)
           pair_inputs := (a, b, inputs.(a)) :: !pair_inputs
       done
     done;
-    let v = certify_pairs (module P) ~n ~depth ~budget (List.rev !pair_inputs) in
+    let pair_inputs = List.rev !pair_inputs in
+    Atomic.incr computed_count;
+    let v =
+      match certify_cfg_pairs (module P) ~n ~depth pair_inputs with
+      | (Certified_symmetric _ | Asymmetric _) as v -> v
+      | Unknown _ -> certify_pairs (module P) ~n ~depth ~budget pair_inputs
+    in
     with_shard shard (fun () ->
         match Hashtbl.find_opt shard.tbl key with
         | Some v -> v

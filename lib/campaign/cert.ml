@@ -1,0 +1,53 @@
+(* Persistable analysis certificates.
+
+   A pid-symmetry verdict is a pure function of (protocol behaviour, inputs,
+   depth, budget), so it is content-addressed exactly like a task:
+   {!Task.digest} over the protocol's observed behaviour plus a parameter
+   string naming the certifier and its budgets.  Two campaign directories
+   built from different binaries agree on fingerprints iff the protocols
+   behave identically — the property that makes a shared [certs/] directory
+   safe for a worker fleet. *)
+
+let fingerprint (t : Task.t) ~depth ~budget =
+  Task.digest t.Task.row.Hierarchy.protocol ~inputs:t.Task.inputs
+    ~params:(Printf.sprintf "symcert/%d/%d" depth budget)
+
+let verdict_to_json (v : Analysis.Symmetry.verdict) =
+  match v with
+  | Analysis.Symmetry.Certified_symmetric { depth; pairs } ->
+    Json.Obj
+      [ ("kind", Json.String "certified"); ("depth", Json.Int depth);
+        ("pairs", Json.Int pairs) ]
+  | Analysis.Symmetry.Asymmetric w ->
+    Json.Obj
+      [ ("kind", Json.String "asymmetric");
+        ("pid_a", Json.Int w.Analysis.Symmetry.pid_a);
+        ("pid_b", Json.Int w.Analysis.Symmetry.pid_b);
+        ("input", Json.Int w.Analysis.Symmetry.input);
+        ("detail", Json.String w.Analysis.Symmetry.detail) ]
+  | Analysis.Symmetry.Unknown reason ->
+    Json.Obj [ ("kind", Json.String "unknown"); ("reason", Json.String reason) ]
+
+let verdict_of_json json =
+  let str k = Json.get_string (Json.member k json) in
+  let int k = Json.get_int (Json.member k json) in
+  match str "kind" with
+  | Some "certified" -> (
+    match (int "depth", int "pairs") with
+    | Some depth, Some pairs ->
+      Ok (Analysis.Symmetry.Certified_symmetric { depth; pairs })
+    | _ -> Error "certified verdict missing depth/pairs")
+  | Some "asymmetric" -> (
+    match (int "pid_a", int "pid_b", int "input", str "detail") with
+    | Some pid_a, Some pid_b, Some input, Some detail ->
+      Ok (Analysis.Symmetry.Asymmetric { pid_a; pid_b; input; detail })
+    | _ -> Error "asymmetric verdict missing witness fields")
+  | Some "unknown" -> (
+    match str "reason" with
+    | Some reason -> Ok (Analysis.Symmetry.Unknown reason)
+    | None -> Error "unknown verdict missing reason")
+  | Some other -> Error (Printf.sprintf "unknown certificate kind %S" other)
+  | None -> Error "certificate has no kind"
+
+let to_string v = Json.to_string_pretty (verdict_to_json v) ^ "\n"
+let of_string s = Result.bind (Json.of_string s) verdict_of_json

@@ -1,0 +1,21 @@
+(** Content-addressed analysis certificates for the campaign store.
+
+    A pid-symmetry verdict ({!Analysis.Symmetry.verdict}) depends only on
+    the protocol's behaviour, the run inputs and the certifier's budgets, so
+    a fleet sharing one store directory can certify each protocol once and
+    let every other worker read the verdict from [certs/] instead of
+    re-running the certifier (see {!Executor.precertify}). *)
+
+val fingerprint : Task.t -> depth:int -> budget:int -> string
+(** The certificate's address: {!Task.digest} of the task's protocol and
+    inputs under a ["symcert/<depth>/<budget>"] parameter string.  Behaviour
+    hashed, not code: two binaries whose protocols behave identically share
+    certificates. *)
+
+val verdict_to_json : Analysis.Symmetry.verdict -> Json.t
+val verdict_of_json : Json.t -> (Analysis.Symmetry.verdict, string) result
+
+val to_string : Analysis.Symmetry.verdict -> string
+(** Pretty JSON plus trailing newline — the [certs/<fp>.json] file format. *)
+
+val of_string : string -> (Analysis.Symmetry.verdict, string) result

@@ -46,6 +46,15 @@ val json_of_event : event -> Json.t
     [events.jsonl] for every event (the store stamps each line with the
     writer's [pid] and a [ts] timestamp). *)
 
+val precertify : ?store:Store.t -> Task.t list -> unit
+(** Warm the pid-symmetry certification cache for every symmetric-reduction
+    task in the list, deduplicated by certification key.  With [store], each
+    verdict is first looked up in the store's [certs/] side-table ({!Cert})
+    and preloaded on a hit; misses are computed and persisted for the rest
+    of the fleet.  Both {!run} and {!run_shared} call this on their pending
+    tasks before starting workers; it is exposed so benchmarks and external
+    drivers can measure or stage the warm-up separately. *)
+
 val run :
   ?domains:int ->
   ?use_cache:bool ->
@@ -68,9 +77,11 @@ val run :
     invoked from several domains concurrently.
 
     Symmetric-reduction tasks are pre-certified sequentially before the
-    pool starts (the certification cache is not safe to populate from
-    concurrent domains); the certification cost is attributed to the first
-    task that needs each (protocol, inputs) pair. *)
+    pool starts, deduplicated by certification key, so worker domains hit a
+    warm cache instead of each redoing the unfolding.  Each verdict is also
+    read from / persisted to the store's [certs/] side-table ({!Cert}), so a
+    fleet sharing the directory — or a later campaign over it — certifies
+    each (protocol, inputs, budgets) triple once fleet-wide. *)
 
 val run_shared :
   ?domains:int ->

@@ -4,6 +4,7 @@
     On-disk layout under the store directory:
     {v
       results/<task-fingerprint>.json    one Record.t per completed task
+      certs/<cert-fingerprint>.json      one analysis certificate (see Cert)
       claims/<task>.<pid>                a writer's lease file (see claim)
       claims/<task>.lease                hard link to the winning lease
       events.jsonl                       append-only telemetry log
@@ -73,6 +74,17 @@ val put : t -> Record.t -> unit
 (** Persist atomically under [results/<r.task>.json] (unique temp name +
     rename), index in memory, and release any claim this writer holds on
     the task; overwrites any previous record for the same task. *)
+
+val find_cert : t -> string -> string option
+(** Raw contents of [certs/<fingerprint>.json], probed on disk every call —
+    certificates written by other fleet members are visible without
+    reopening.  Parsing belongs to {!Cert}. *)
+
+val put_cert : t -> string -> string -> unit
+(** Persist a certificate atomically under [certs/<fingerprint>.json]
+    (unique temp name + rename; stale temp debris is swept at open).  No
+    claim protocol: racing writers produce identical certificates for the
+    same fingerprint, and the last rename wins harmlessly. *)
 
 val records : t -> Record.t list
 (** Every indexed record, sorted by (row, n, kind, task) for stable

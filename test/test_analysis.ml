@@ -211,6 +211,157 @@ let test_space_lint () =
   let fs = Space.lint Mutants.symmetric_control ~n:2 in
   Alcotest.(check int) "control protocol: no errors" 0 (Report.errors fs)
 
+(* 9. CFG extraction terminates on every registry protocol: the symbolic
+   unfolding either closes into a finite step graph (retry loops become
+   back-edges) or reports why it was truncated — it never diverges or
+   raises.  Untruncated builds must have unfolded a root for every
+   (pid, input) in the sampled grid. *)
+let test_cfg_terminates () =
+  List.iter
+    (fun (row : Hierarchy.row) ->
+      let (module P : Consensus.Proto.S) = row.protocol in
+      let cfg = Cfg.of_proto (module P) ~n:2 in
+      Alcotest.(check bool) (row.id ^ ": cfg has nodes") true
+        (Cfg.node_count cfg >= 1);
+      if cfg.Cfg.truncated = None then
+        List.iter
+          (fun pid ->
+            List.iter
+              (fun input ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: root for pid %d input %d" row.id pid input)
+                  true
+                  (List.mem_assoc (pid, input) cfg.Cfg.roots))
+              [ 0; 1 ])
+          [ 0; 1 ])
+    (Hierarchy.rows ())
+
+(* Concrete worst-case footprint: the schedule portfolio plus a bounded
+   exhaustive walk, both counting distinct locations touched.  This is the
+   ground truth the abstract footprint must dominate. *)
+let concrete_worst_footprint (module P : Consensus.Proto.S) ~inputs ~depth =
+  let worst = ref 0 in
+  let note used = if used > !worst then worst := used in
+  let scheds =
+    [ Model.Sched.sequential; Model.Sched.round_robin;
+      Model.Sched.random ~seed:1; Model.Sched.random ~seed:2 ]
+  in
+  List.iter
+    (fun sched ->
+      match Consensus.Driver.run ~fuel:20_000 (module P) ~inputs ~sched with
+      | r -> note r.Consensus.Driver.locations_used
+      | exception _ -> ())
+    scheds;
+  let module M = Model.Machine.Make (P.I) in
+  let n = Array.length inputs in
+  let seen = Hashtbl.create 1024 in
+  let rec go d cfg =
+    note (M.locations_used cfg);
+    if d > 0 then
+      List.iter
+        (fun pid ->
+          let cfg' = M.step cfg pid in
+          let key = (M.fingerprint cfg', M.locations_used cfg') in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            go (d - 1) cfg'
+          end)
+        (M.running cfg)
+  in
+  (match M.make ~record_trace:false ~n (fun pid -> P.proc ~n ~pid ~input:inputs.(pid)) with
+   | cfg0 -> (try go depth cfg0 with _ -> ())
+   | exception _ -> ());
+  !worst
+
+(* 10. Registry-wide footprint domination differential: wherever the
+   abstract interpretation completes (no truncation, converged, no Top),
+   its certified feasible footprint dominates every concretely observed
+   footprint, and the feasible footprint is a subset of the
+   may-footprint. *)
+let test_footprint_domination () =
+  let complete = ref 0 in
+  List.iter
+    (fun (row : Hierarchy.row) ->
+      let (module P : Consensus.Proto.S) = row.protocol in
+      (* reduced work budget: rows that complete do so well within it, and
+         rows that would truncate at the default budget truncate cheaply
+         instead of burning a million feeds to report the same verdict *)
+      let a =
+        Absint.analyze_uncached ~work_budget:200_000 ~inputs:[ 0; 1 ]
+          (module P) ~n:2
+      in
+      List.iter
+        (fun loc ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: feasible loc %d is in may-footprint" row.id loc)
+            true
+            (List.mem loc a.Absint.footprint_all))
+        a.Absint.footprint_feasible;
+      if a.Absint.complete then begin
+        incr complete;
+        let bound = List.length a.Absint.footprint_feasible in
+        List.iter
+          (fun inputs ->
+            let worst = concrete_worst_footprint (module P) ~inputs ~depth:6 in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s (inputs %d,%d): certified bound %d >= concrete %d"
+                 row.id inputs.(0) inputs.(1) bound worst)
+              true (worst <= bound))
+          [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+      end)
+    (Hierarchy.rows ());
+  Alcotest.(check bool) "several rows analyze to completion" true (!complete >= 3)
+
+(* 11. CFG-vs-lockstep differential: wherever both certifiers are decisive
+   on a registry row, their verdict constructors agree — the CFG route may
+   say Unknown (truncated build falls back to lockstep in [certify]), but
+   it must never contradict the reference unfolding. *)
+let test_cfg_lockstep_agreement () =
+  let compared = ref 0 in
+  List.iter
+    (fun (row : Hierarchy.row) ->
+      let (module P : Consensus.Proto.S) = row.protocol in
+      match Symmetry.certify_lockstep (module P) ~n:2 with
+      | Symmetry.Unknown _ -> ()
+      | lock -> (
+        let pair_inputs = Symmetry.all_pair_inputs ~n:2 [ 0; 1 ] in
+        match
+          Symmetry.certify_cfg_pairs (module P) ~n:2
+            ~depth:Symmetry.default_depth pair_inputs
+        with
+        | Symmetry.Unknown _ -> ()
+        | cfg ->
+          incr compared;
+          let same =
+            match (lock, cfg) with
+            | Symmetry.Certified_symmetric _, Symmetry.Certified_symmetric _
+            | Symmetry.Asymmetric _, Symmetry.Asymmetric _ ->
+              true
+            | _ -> false
+          in
+          Alcotest.(check bool)
+            (Format.asprintf "%s: cfg (%a) agrees with lockstep (%a)" row.id
+               Symmetry.pp_verdict cfg Symmetry.pp_verdict lock)
+            true same))
+    (Hierarchy.rows ());
+  Alcotest.(check bool) "both certifiers decisive on several rows" true
+    (!compared >= 5)
+
+(* 12. Deep-depth regression: the loop-bearing upper-bound protocols that
+   used to exhaust the lockstep unfolding budget at depth 12 now certify
+   through the CFG route (equal roots hold through any depth). *)
+let test_deep_certification () =
+  List.iter
+    (fun id ->
+      match Hierarchy.find id with
+      | None -> Alcotest.failf "registry row %s missing" id
+      | Some row -> (
+        let (module P : Consensus.Proto.S) = row.protocol in
+        match Symmetry.certify (module P) ~n:2 ~depth:12 with
+        | Symmetry.Certified_symmetric _ -> ()
+        | v -> Alcotest.failf "%s at depth 12: %a" id Symmetry.pp_verdict v))
+    [ "increment"; "fetch-incr"; "max-register"; "fetch-add"; "fetch-multiply" ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -237,5 +388,16 @@ let () =
           Alcotest.test_case "real isets and report JSON" `Quick
             test_contracts_and_report;
           Alcotest.test_case "space lint severities" `Quick test_space_lint;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "extraction terminates registry-wide" `Quick
+            test_cfg_terminates;
+          Alcotest.test_case "footprint domination differential" `Slow
+            test_footprint_domination;
+          Alcotest.test_case "cfg-vs-lockstep verdict agreement" `Slow
+            test_cfg_lockstep_agreement;
+          Alcotest.test_case "deep-depth certification" `Quick
+            test_deep_certification;
         ] );
     ]

@@ -844,6 +844,76 @@ let test_report_worst_status_wins () =
   Alcotest.(check int) "csv lines" 4
     (List.length (String.split_on_char '\n' (String.trim csv)))
 
+(* --- certificates ------------------------------------------------------ *)
+
+(* Every verdict kind survives the certs/ file format, and the fingerprint
+   is a pure function of (protocol behaviour, inputs, budgets). *)
+let test_cert_roundtrip () =
+  let verdicts =
+    [
+      Analysis.Symmetry.Certified_symmetric { depth = 7; pairs = 4 };
+      Analysis.Symmetry.Asymmetric
+        { pid_a = 0; pid_b = 1; input = 1; detail = "accesses \"quoted\" loc" };
+      Analysis.Symmetry.Unknown "budget exhausted";
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Campaign.Cert.of_string (Campaign.Cert.to_string v) with
+      | Ok v' -> Alcotest.(check bool) "verdict round-trips" true (v = v')
+      | Error e -> Alcotest.fail e)
+    verdicts;
+  List.iter
+    (fun garbage ->
+      match Campaign.Cert.of_string garbage with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage certificate %S" garbage)
+    [ "nonsense"; "{}"; "{\"kind\": \"certified\"}"; "{\"kind\": \"sideways\"}" ];
+  let task = Campaign.Task.check ~engine:`Memo ~reduce:commute ~depth:4 (row "cas") ~n:2 in
+  let fp = Campaign.Cert.fingerprint task ~depth:5 ~budget:1000 in
+  Alcotest.(check string) "fingerprint deterministic" fp
+    (Campaign.Cert.fingerprint task ~depth:5 ~budget:1000);
+  Alcotest.(check bool) "budgets are part of the address" true
+    (fp <> Campaign.Cert.fingerprint task ~depth:6 ~budget:1000
+     && fp <> Campaign.Cert.fingerprint task ~depth:5 ~budget:2000)
+
+(* Precertification writes its verdicts to the store's certs/ side-table,
+   and a cold process (empty in-process cache) over the same directory
+   preloads them instead of recomputing — the fleet certifies once. *)
+let test_precertify_uses_store () =
+  let dir = temp_dir () in
+  let symmetric = { Explore.commute = false; symmetric = true } in
+  (* a binary-only row at n = 3 has an equal-input pid pair, so the
+     certification is non-vacuous; the two depths clamp to the same
+     certification key, which also exercises the dedup *)
+  let tasks =
+    [
+      Campaign.Task.check ~engine:`Memo ~reduce:symmetric ~depth:3
+        (row "intro-faa2-tas") ~n:3;
+      Campaign.Task.check ~engine:`Memo ~reduce:symmetric ~depth:4
+        (row "intro-faa2-tas") ~n:3;
+    ]
+  in
+  Analysis.Symmetry.reset_run_cache ();
+  let store = Campaign.Store.open_ ~dir () in
+  let o = Campaign.Executor.run ~store tasks in
+  Alcotest.(check int) "first run executes" 2 o.Campaign.Executor.executed;
+  let certs =
+    Sys.readdir (Filename.concat dir "certs")
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+  in
+  Alcotest.(check bool) "certificates persisted" true (certs <> []);
+  (* simulate another fleet member: empty in-process cache, fresh handle *)
+  Analysis.Symmetry.reset_run_cache ();
+  let computed_before = Atomic.get Analysis.Symmetry.computed_count in
+  let store2 = Campaign.Store.open_ ~dir () in
+  let o2 = Campaign.Executor.run ~use_cache:false ~store:store2 tasks in
+  Alcotest.(check int) "second run re-executes" 2 o2.Campaign.Executor.executed;
+  Alcotest.(check int) "certification read from the store, not recomputed"
+    computed_before
+    (Atomic.get Analysis.Symmetry.computed_count)
+
 let () =
   Alcotest.run "campaign"
     [
@@ -902,6 +972,13 @@ let () =
             test_run_shared_breaks_expired_leases;
           Alcotest.test_case "shared mode drain is bounded under clock skew"
             `Quick test_run_shared_drain_bounded_by_timeout;
+        ] );
+      ( "cert",
+        [
+          Alcotest.test_case "verdicts round-trip the file format" `Quick
+            test_cert_roundtrip;
+          Alcotest.test_case "precertify reads and writes the store" `Quick
+            test_precertify_uses_store;
         ] );
       ( "status",
         [
