@@ -11,6 +11,7 @@
      BUF     Section 6 — ⌈n/ℓ⌉ capacity sweep
      MULTI   Section 7 — multiple assignment bounds
      ABL     ablations: racing decision threshold, scan stability
+     CRASH   crash–recovery: crash-point enumeration + crash-free identity
      LINT    static-analysis passes: symmetry certification, registry lint
      TIME    bechamel wall-clock per protocol *)
 
@@ -500,13 +501,13 @@ let status_of_witness (w : Explore.witness) =
       probe = w.Explore.probe;
     }
 
-let bench_record ~kind ~row ~proto ~inputs ~params ~n ~depth ~engine ~reduce ~status
-    ~(stats : Explore.stats) ~extra =
+let bench_record ?(crashes = 0) ~kind ~row ~proto ~inputs ~params ~n ~depth ~engine
+    ~reduce ~status ~(stats : Explore.stats) ~extra () =
   Campaign.Record.make
     ~task:(Campaign.Task.digest proto ~inputs ~params)
     ~kind ~row
     ~protocol:(Consensus.Proto.name proto)
-    ~n ~depth ~engine ~reduce ~status ~configs:stats.Explore.configs
+    ~n ~depth ~engine ~reduce ~crashes ~status ~configs:stats.Explore.configs
     ~probes:stats.Explore.probes ~dedup_hits:stats.Explore.dedup_hits
     ~sleep_pruned:stats.Explore.sleep_pruned ~truncated:stats.Explore.truncated
     ~elapsed:stats.Explore.elapsed ~extra ()
@@ -564,7 +565,7 @@ let mc ?(smoke = false) () =
                 records :=
                   bench_record ~kind:"bench-mc" ~row:pname ~proto ~inputs
                     ~params:(Printf.sprintf "bench-mc/%s/%d/%d" ename n depth)
-                    ~n ~depth ~engine:ename ~reduce:"none" ~status ~stats ~extra
+                    ~n ~depth ~engine:ename ~reduce:"none" ~status ~stats ~extra ()
                   :: !records
               in
               let rec measure i total best =
@@ -843,6 +844,7 @@ let red ?(smoke = false) () =
                       ("ratio_vs_plain_memo", Campaign.Json.Float ratio);
                       ("agrees_with_naive", Campaign.Json.Bool agree);
                     ]
+                  ()
                 :: !records)
             reductions)
         input_sets)
@@ -917,6 +919,164 @@ let witnesses ?(smoke = false) () =
               (Format.asprintf "%a" Explore.pp_witness w))
         engines)
     victims
+
+(* ------------------------------------------------------------- CRASH -- *)
+
+(* The crash–recovery subsystem (Golab, arXiv 1804.10597) on its registry
+   rows: exhaustive crash-point enumeration must falsify the
+   non-recoverable TAS protocol under any positive budget — with a
+   crash-bearing, replayable witness — and certify the CAS protocol on
+   every engine.  Then the crash-free identity check: a [~crashes:0]
+   exploration of the ordinary MC grid must produce statistics
+   bit-identical to a run without the argument, and config counts equal to
+   the committed BENCH_modelcheck.json baselines (asserted by
+   `perf_gate --crash`).  The identity sweep always uses the committed
+   baseline's full (n, depth) grid — memo-only, so it is cheap even under
+   --smoke.  Results go to BENCH_crash.json. *)
+let crash_bench ~smoke () =
+  section "CRASH: crash-recovery — crash-point enumeration + crash-free identity";
+  let rc_rows =
+    List.filter
+      (fun (r : Hierarchy.row) ->
+        String.length r.id >= 3 && String.sub r.id 0 3 = "rc-")
+      (Hierarchy.rows ~recovery:true ())
+  in
+  let engines = [ ("naive", `Naive); ("memo", `Memo); ("parallel-2", `Parallel 2) ] in
+  let budgets_of ename = if smoke || ename <> "memo" then [ 0; 1 ] else [ 0; 1; 2 ] in
+  let depth_of id = if id = "rc-cas" then 14 else 10 in
+  let n = 2 in
+  let records = ref [] in
+  let unexpected = ref 0 in
+  Printf.printf "%-14s %-11s %-7s %10s %8s %10s %8s  %s\n" "row" "engine" "crashes"
+    "configs" "dedup" "elapsed_s" "replays" "verdict";
+  List.iter
+    (fun (row : Hierarchy.row) ->
+      let proto = row.protocol in
+      let inputs = Array.init n (fun i -> i) in
+      let depth = depth_of row.id in
+      List.iter
+        (fun (ename, engine) ->
+          List.iter
+            (fun crashes ->
+              let expect =
+                (* budget 0 completes everywhere; under crashes only the
+                   recoverable row survives — Golab's TAS/CAS separation *)
+                if crashes = 0 || row.id = "rc-cas" then "ok" else "agreement"
+              in
+              let record ~status ~stats ~extra =
+                records :=
+                  bench_record ~crashes ~kind:"bench-crash" ~row:row.id ~proto ~inputs
+                    ~params:(Printf.sprintf "bench-crash/%s/%d/%d/%d" ename n depth crashes)
+                    ~n ~depth ~engine:ename ~reduce:"none" ~status ~stats ~extra ()
+                  :: !records
+              in
+              let line verdict replays (s : Explore.stats) =
+                if verdict <> expect then incr unexpected;
+                Printf.printf "%-14s %-11s %-7d %10d %8d %10.4f %8s  %s%s\n" row.id
+                  ename crashes s.Explore.configs s.Explore.dedup_hits s.Explore.elapsed
+                  replays verdict
+                  (if verdict = expect then "" else "  [EXPECTED " ^ expect ^ "]")
+              in
+              match Explore.run ~probe:`Leaves ~engine ~crashes proto ~inputs ~depth with
+              | Explore.Completed s ->
+                line "ok" "-" s;
+                record ~status:Campaign.Record.Verified ~stats:s
+                  ~extra:[ ("expected", Campaign.Json.String expect) ]
+              | Explore.Timed_out t ->
+                line "timeout" "-" t.Explore.partial;
+                record ~status:Campaign.Record.Timeout ~stats:t.Explore.partial ~extra:[]
+              | Explore.Falsified f ->
+                let w = f.Explore.witness in
+                let crash_events =
+                  List.length (List.filter Explore.is_crash w.Explore.schedule)
+                in
+                let replays =
+                  match Explore.replay proto ~inputs w with
+                  | Ok r ->
+                    (match r.Explore.violation with
+                     | Some (k, _) -> k = w.Explore.kind
+                     | None -> false)
+                  | Error _ -> false
+                in
+                line (Explore.kind_name w.Explore.kind) (string_of_bool replays)
+                  f.Explore.stats;
+                record ~status:(status_of_witness w) ~stats:f.Explore.stats
+                  ~extra:
+                    [
+                      ("expected", Campaign.Json.String expect);
+                      ("crash_events_in_witness", Campaign.Json.Int crash_events);
+                      ( "schedule_found",
+                        Campaign.Json.Int (List.length f.Explore.original.Explore.schedule) );
+                      ( "schedule_shrunk",
+                        Campaign.Json.Int (List.length w.Explore.schedule) );
+                      ("replays", Campaign.Json.Bool replays);
+                    ])
+            (budgets_of ename))
+        engines)
+    rc_rows;
+  (* crash-free identity over the ordinary MC grid: [~crashes:0] must not
+     perturb a single counter — the zero-budget lane is dead code by
+     construction, and this is the observable form of "fingerprints and
+     transposition keys are unchanged" the acceptance bar asks for *)
+  let protos =
+    [
+      ("rw", Consensus.Rw_protocol.protocol);
+      ("maxreg", Consensus.Maxreg_protocol.protocol);
+      ("swap", Consensus.Swap_protocol.protocol);
+      ("arith-add", Consensus.Arith_protocols.add);
+    ]
+  in
+  let free_records = ref [] in
+  Printf.printf "\ncrash-free identity (memo, committed baseline grid):\n";
+  Printf.printf "%-10s %-3s %-5s %10s %10s  %s\n" "protocol" "n" "depth" "configs"
+    "baseline" "identical to run without --crashes";
+  List.iter
+    (fun (n, depth) ->
+      List.iter
+        (fun (pname, proto) ->
+          let inputs = Array.init n (fun i -> i) in
+          let stats_of = function
+            | Explore.Completed s -> s
+            | Explore.Timed_out t -> t.Explore.partial
+            | Explore.Falsified (f : Explore.failure) -> f.Explore.stats
+          in
+          let counters (s : Explore.stats) =
+            (s.Explore.configs, s.Explore.probes, s.Explore.dedup_hits,
+             s.Explore.sleep_pruned, s.Explore.truncated)
+          in
+          let plain =
+            stats_of (Explore.run ~probe:`Leaves ~engine:`Memo proto ~inputs ~depth)
+          in
+          let zero =
+            stats_of
+              (Explore.run ~probe:`Leaves ~engine:`Memo ~crashes:0 proto ~inputs ~depth)
+          in
+          let identical = counters plain = counters zero in
+          if not identical then incr unexpected;
+          Printf.printf "%-10s %-3d %-5d %10d %10s  %s\n" pname n depth
+            zero.Explore.configs "(gate)"
+            (if identical then "yes" else "NO — CRASH SUBSYSTEM PERTURBED THE ENGINE");
+          free_records :=
+            bench_record ~kind:"bench-crash-free" ~row:pname ~proto ~inputs
+              ~params:(Printf.sprintf "bench-crash-free/%d/%d" n depth)
+              ~n ~depth ~engine:"memo" ~reduce:"none" ~status:Campaign.Record.Verified
+              ~stats:zero
+              ~extra:[ ("identical_without_crash_arg", Campaign.Json.Bool identical) ]
+              ()
+            :: !free_records)
+        protos)
+    [ (2, 10); (3, 8) ];
+  Printf.printf "\n%d unexpected verdict(s)\n" !unexpected;
+  write_json "BENCH_crash.json"
+    (Campaign.Json.Obj
+       [
+         ("smoke", Campaign.Json.Bool smoke);
+         ("n", Campaign.Json.Int n);
+         ("unexpected", Campaign.Json.Int !unexpected);
+         ("rows", Campaign.Json.List (List.rev_map Campaign.Record.to_json !records));
+         ( "crash_free",
+           Campaign.Json.List (List.rev_map Campaign.Record.to_json !free_records) );
+       ])
 
 (* -------------------------------------------------------------- CAMP -- *)
 
@@ -1187,6 +1347,7 @@ let sections : (string * (smoke:bool -> unit)) list =
     ("OBS", fun ~smoke -> obs ~smoke ());
     ("RED", fun ~smoke -> red ~smoke ());
     ("WIT", fun ~smoke -> witnesses ~smoke ());
+    ("CRASH", fun ~smoke -> crash_bench ~smoke ());
     ("CAMP", fun ~smoke -> campaign_bench ~smoke ());
     ("LINT", fun ~smoke -> lint_bench ~smoke ());
     ("TIME", fun ~smoke:_ -> bechamel_suite ());

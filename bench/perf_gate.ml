@@ -10,10 +10,19 @@
    - any memoized MC row's configs/sec fell below the committed baseline's
      slowest memoized rate for that protocol divided by a generous factor
      (CI machines are noisy and the smoke grid is shallower than the
-     baseline grid, so only an order-of-magnitude collapse trips this).
+     baseline grid, so only an order-of-magnitude collapse trips this);
+   - with --crash: any crash-free identity row of a fresh BENCH_crash.json
+     disagrees with the committed baseline — the crash subsystem's
+     zero-budget lane must leave every (protocol, n, depth) configuration
+     count bit-identical to the pre-crash baselines, and each row's
+     in-run identity bit (explicit ~crashes:0 vs no argument at all) must
+     hold.  Unlike the throughput floor this is exact equality: the
+     exploration is deterministic, so a single extra configuration means
+     the crash budget leaked into crash-free search.
 
    Usage: perf_gate --baseline <committed MC json> \
-                    --current <fresh MC json> --reduce <fresh RED json> *)
+                    --current <fresh MC json> --reduce <fresh RED json> \
+                    [--crash <fresh CRASH json>] *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("perf-gate: " ^ s); exit 2) fmt
 
@@ -121,26 +130,82 @@ let check_throughput_floor ~baseline ~current =
     (memo_rates current);
   !failures
 
+(* ---------------------------------------------- crash-free identity -- *)
+
+let extra_bool name j = Campaign.Json.(get_bool (member name (member "extra" j)))
+
+let check_crash_free_identity ~baseline crash_json =
+  (* committed memo configs per (protocol row, n, depth) *)
+  let base = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if str "engine" r = "memo" then
+        Hashtbl.replace base (str "row" r, int "n" r, int "depth" r) (int "configs" r))
+    (rows baseline);
+  let free =
+    match Campaign.Json.(get_list (member "crash_free" crash_json)) with
+    | Some l -> l
+    | None -> die "no \"crash_free\" array in crash bench json"
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      let row = str "row" r and n = int "n" r and depth = int "depth" r in
+      let configs = int "configs" r in
+      (match extra_bool "identical_without_crash_arg" r with
+       | Some true -> ()
+       | _ ->
+         incr failures;
+         Printf.printf "FAIL %-11s n=%d d=%d ~crashes:0 differs from no crash argument\n"
+           row n depth);
+      match Hashtbl.find_opt base (row, n, depth) with
+      | None -> die "crash-free row %s n=%d d=%d has no committed baseline row" row n depth
+      | Some committed ->
+        if configs <> committed then begin
+          incr failures;
+          Printf.printf "FAIL %-11s n=%d d=%d explored %d configs, baseline has %d\n" row
+            n depth configs committed
+        end
+        else Printf.printf "ok   %-11s n=%d d=%d %d configs = committed baseline\n" row n
+            depth configs)
+    free;
+  (match Campaign.Json.(get_int (member "unexpected" crash_json)) with
+   | Some 0 | None -> ()
+   | Some k ->
+     incr failures;
+     Printf.printf "FAIL crash bench reported %d unexpected verdict(s)\n" k);
+  !failures
+
 let () =
-  let baseline = ref "" and current = ref "" and reduce = ref "" in
+  let baseline = ref "" and current = ref "" and reduce = ref "" and crash = ref "" in
   let rec parse = function
     | "--baseline" :: v :: rest -> baseline := v; parse rest
     | "--current" :: v :: rest -> current := v; parse rest
     | "--reduce" :: v :: rest -> reduce := v; parse rest
+    | "--crash" :: v :: rest -> crash := v; parse rest
     | [] -> ()
     | a :: _ -> die "unknown argument %s" a
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !baseline = "" || !current = "" || !reduce = "" then
-    die "usage: perf_gate --baseline <mc.json> --current <mc.json> --reduce <red.json>";
+    die
+      "usage: perf_gate --baseline <mc.json> --current <mc.json> --reduce <red.json> \
+       [--crash <crash.json>]";
   print_endline "== reduction domination (RED rows) ==";
   let f1 = check_reduction_domination (read_json !reduce) in
   print_endline "== memoized throughput floor (MC rows) ==";
   let f2 =
     check_throughput_floor ~baseline:(read_json !baseline) ~current:(read_json !current)
   in
-  if f1 + f2 > 0 then begin
-    Printf.printf "perf-gate: %d failure(s)\n" (f1 + f2);
+  let f3 =
+    if !crash = "" then 0
+    else begin
+      print_endline "== crash-free identity (CRASH rows vs committed baseline) ==";
+      check_crash_free_identity ~baseline:(read_json !baseline) (read_json !crash)
+    end
+  in
+  if f1 + f2 + f3 > 0 then begin
+    Printf.printf "perf-gate: %d failure(s)\n" (f1 + f2 + f3);
     exit 1
   end;
   print_endline "perf-gate: all checks passed"

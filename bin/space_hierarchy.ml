@@ -65,7 +65,7 @@ let run_cmd =
 
 let modelcheck_cmd =
   let run ells id n depth everywhere engine domains trace no_shrink reduce force timeout
-      observe =
+      observe crashes =
     with_row ells id (fun row ->
         let inputs =
           if row.binary_only then Array.init n (fun i -> i land 1)
@@ -96,9 +96,10 @@ let modelcheck_cmd =
         in
         match (engine, reduce, Observer.of_names observe) with
         | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+        | _ when crashes < 0 -> `Error (false, "--crashes must be non-negative")
         | Ok engine, Ok reduce, Ok observers ->
           (match
-             Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce ~force
+             Explore.run ~probe ~engine ~shrink:(not no_shrink) ~reduce ~crashes ~force
                ~observers ~notify_symmetry ?deadline:timeout row.protocol ~inputs ~depth
            with
            | exception Explore.Observer_unsafe_reduction { observer; reduction } ->
@@ -118,9 +119,13 @@ let modelcheck_cmd =
                    protocol Analysis.Symmetry.pp_verdict verdict )
            | Explore.Completed s ->
              Printf.printf
-               "%s: OK — %d configurations, %d probes, %d dedup hits, %d sleep-pruned, \
+               "%s: OK%s — %d configurations, %d probes, %d dedup hits, %d sleep-pruned, \
                 %.3f s%s\n"
-               row.iset s.Explore.configs s.Explore.probes s.Explore.dedup_hits
+               row.iset
+               (if crashes > 0 then
+                  Printf.sprintf " under every placement of <= %d crash(es)" crashes
+                else "")
+               s.Explore.configs s.Explore.probes s.Explore.dedup_hits
                s.Explore.sleep_pruned s.Explore.elapsed
                (if s.Explore.truncated then Printf.sprintf " (truncated at depth %d)" depth
                 else "");
@@ -147,7 +152,7 @@ let modelcheck_cmd =
                   (if now = 1 then "" else "s")
                   (if now < orig then Printf.sprintf ", shrunk from %d" orig else "")
                   (String.concat "; "
-                     (List.map (fun p -> "p" ^ string_of_int p) w.Explore.schedule))
+                     (List.map Explore.pp_schedule_entry w.Explore.schedule))
                   (match w.Explore.probe with
                    | Some p -> Printf.sprintf " then p%d solo" p
                    | None -> ""));
@@ -217,11 +222,24 @@ let modelcheck_cmd =
   let observe_arg =
     let doc =
       "Check these observers instead of the built-in agreement/validity/termination \
-       checks: agreement, validity, solo-termination, lockout, maxreg-monotonic, or \
-       `default' (the first three).  Observers marked unsafe under the chosen \
-       --reduce refuse to run unless --force is given."
+       checks: agreement, validity, solo-termination, lockout, maxreg-monotonic, \
+       recoverable-agreement, recoverable-validity, or `default' (the first three).  \
+       Observers marked unsafe under the chosen --reduce refuse to run unless --force \
+       is given."
     in
     Arg.(value & opt (list string) [] & info [ "observe" ] ~docv:"OBS1,…" ~doc)
+  in
+  let crashes_arg =
+    let doc =
+      "Crash budget for exhaustive crash-point enumeration (Golab's crash-recovery \
+       model): every placement of at most this many crash-recover transitions is \
+       explored — a crashed process loses its program state, keeps shared memory, and \
+       restarts from the protocol root.  Crash entries render as †pN in witness \
+       schedules and CRASH events in --trace.  0 (the default) is the historical \
+       crash-free check, bit-identical to a build without the crash subsystem.  The \
+       recovery rows (rc-tas-naive, rc-cas) exist to be checked under this flag."
+    in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"BUDGET" ~doc)
   in
   Cmd.v
     (Cmd.info "modelcheck"
@@ -230,10 +248,10 @@ let modelcheck_cmd =
       ret
         (const run $ ells_arg $ row_arg $ n_arg $ depth_arg $ everywhere_arg $ engine_arg
        $ domains_arg $ trace_arg $ no_shrink_arg $ reduce_arg $ force_arg $ timeout_arg
-       $ observe_arg))
+       $ observe_arg $ crashes_arg))
 
 let lint_cmd =
-  let run ells ns ids strict json cfg selftest mutants =
+  let run ells ns ids strict json cfg selftest mutants recovery =
     let findings =
       if selftest then Ok (Analysis.Lint.selftest ())
       else if mutants then
@@ -246,7 +264,7 @@ let lint_cmd =
                 Analysis.Lint.lint_protocol ~cfg ~ns m.proto)
               Analysis.Mutants.proto_mutants)
       else
-        match Analysis.Lint.run ~ells ~ns ~cfg ~ids () with
+        match Analysis.Lint.run ~ells ~recovery ~ns ~cfg ~ids () with
         | fs -> Ok fs
         | exception Invalid_argument msg -> Error msg
     in
@@ -308,6 +326,15 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "mutants" ] ~doc)
   in
+  let recovery_arg =
+    let doc =
+      "Also lint the crash-recovery rows (rc- prefix).  Each gets the \
+       crash-symmetry rule: symmetry certificates cover crash-free executions only, \
+       so the pid-symmetric reduction must not be combined with a positive \
+       --crashes budget on these rows."
+    in
+    Arg.(value & flag & info [ "recovery" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -318,7 +345,7 @@ let lint_cmd =
     Term.(
       ret
         (const run $ ells_arg $ lint_ns_arg $ rows_arg $ strict_arg $ json_arg $ cfg_arg
-       $ selftest_arg $ mutants_arg))
+       $ selftest_arg $ mutants_arg $ recovery_arg))
 
 let analyze_cmd =
   let run ells ns ids json strict =
@@ -618,7 +645,7 @@ let synth_cmd =
 
 let campaign_cmd =
   let build_spec rows exclude ells ns depths engines reduces timeout solo_fuel observe
-      stress_seeds stress_prefix stress_burst smoke =
+      crashes stress_seeds stress_prefix stress_burst smoke =
     let base = if smoke then Campaign.Spec.smoke else Campaign.Spec.default in
     let ( |? ) opt default = Option.value opt ~default in
     let parse_all f l =
@@ -641,6 +668,7 @@ let campaign_cmd =
     in
     match (engines, reduces) with
     | Error e, _ | _, Error e -> Error e
+    | _ when crashes < 0 -> Error "--crashes must be non-negative"
     | Ok engines, Ok reduces ->
       Ok
         {
@@ -654,6 +682,7 @@ let campaign_cmd =
           reduces;
           solo_fuel = solo_fuel |? base.Campaign.Spec.solo_fuel;
           observe = observe |? base.Campaign.Spec.observe;
+          crashes;
           deadline =
             (match timeout with
              | Some t -> if t > 0.0 then Some t else None
@@ -741,14 +770,33 @@ let campaign_cmd =
          finish_with_report ~json_file:None ~csv_file:None ~fail_on_unexpected
            (Campaign.Report.make outcome.Campaign.Executor.records))
   in
-  let status dir as_json =
-    match Campaign.Status.load ~dir with
-    | Error e -> `Error (false, e)
-    | Ok s ->
-      if as_json then
-        print_endline (Campaign.Json.to_string_pretty (Campaign.Status.to_json s))
-      else print_string (Campaign.Status.render s);
-      `Ok ()
+  let status dir as_json watch =
+    let show () =
+      match Campaign.Status.load ~dir with
+      | Error e -> Error e
+      | Ok s ->
+        if as_json then
+          print_endline (Campaign.Json.to_string_pretty (Campaign.Status.to_json s))
+        else print_string (Campaign.Status.render s);
+        Ok ()
+    in
+    match watch with
+    | None -> (match show () with Ok () -> `Ok () | Error e -> `Error (false, e))
+    | Some period when period <= 0.0 -> `Error (false, "--watch period must be positive")
+    | Some period ->
+      (* live refresh: redraw from each writer's telemetry until interrupted.
+         A transient load error (e.g. a worker mid-write, or no telemetry
+         yet) is displayed and retried rather than aborting the watch. *)
+      let rec loop () =
+        print_string "\027[2J\027[H";
+        (match show () with
+         | Ok () -> ()
+         | Error e -> Printf.printf "status unavailable: %s\n" e);
+        Printf.printf "\n[watching %s every %gs — Ctrl-C to stop]\n%!" dir period;
+        Unix.sleepf period;
+        loop ()
+      in
+      loop ()
   in
   let report dir json_file csv_file fail_on_unexpected =
     let store = Campaign.Store.open_ ~dir () in
@@ -799,6 +847,14 @@ let campaign_cmd =
        in one store."
     in
     Arg.(value & opt (some (list string)) None & info [ "observe" ] ~docv:"OBS1,…" ~doc)
+  in
+  let crashes_spec_arg =
+    let doc =
+      "Crash budget applied to every check task (see `modelcheck --crashes'); 0 (the \
+       default) keeps the historical crash-free grid and its store keys.  A positive \
+       budget also admits the recovery rows (rc- prefix) into the grid."
+    in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"BUDGET" ~doc)
   in
   let stress_seeds_arg =
     let doc = "Stress-run seeds (one stress task per row, n and seed)." in
@@ -872,7 +928,8 @@ let campaign_cmd =
     Term.(
       const build_spec $ rows_arg $ exclude_arg $ ells_arg $ ns_arg $ depths_arg
       $ engines_arg $ reduces_arg $ timeout_arg $ solo_fuel_arg $ observe_arg
-      $ stress_seeds_arg $ stress_prefix_arg $ stress_burst_arg $ smoke_arg)
+      $ crashes_spec_arg $ stress_seeds_arg $ stress_prefix_arg $ stress_burst_arg
+      $ smoke_arg)
   in
   let run_term =
     Term.(
@@ -886,7 +943,15 @@ let campaign_cmd =
         (const worker $ spec_term $ domains_arg $ dir_arg $ lease_ttl_arg $ quiet_arg
        $ fail_arg))
   in
-  let status_term = Term.(ret (const status $ dir_arg $ status_json_arg)) in
+  let watch_arg =
+    let doc =
+      "Refresh the status display every SECONDS (clearing the screen between \
+       redraws) instead of printing once — a live dashboard for a running worker \
+       fleet.  Stop with Ctrl-C."
+    in
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"SECONDS" ~doc)
+  in
+  let status_term = Term.(ret (const status $ dir_arg $ status_json_arg $ watch_arg)) in
   let report_term =
     Term.(ret (const report $ dir_arg $ json_arg $ csv_arg $ fail_arg))
   in

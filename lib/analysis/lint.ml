@@ -34,6 +34,29 @@ let lint_protocol ?depth ?budget ?cfg ?(ns = [ 2; 3 ]) (module P : Consensus.Pro
       symmetry_finding (module P) ~n verdict :: Space.lint ?cfg (module P) ~n)
     ns
 
+(* Crash–recovery rows (the [rc-] registry prefix): the symmetry certifier
+   only ever unfolds crash-free executions, so its verdict says nothing
+   about runs with crash–recover transitions — a crash resets one process
+   to the protocol root while the others keep their program state, and a
+   pid-swapped configuration need not have a pid-swapped crash successor
+   unless the per-process recovery cells are laid out pid-uniformly.  The
+   quotient is therefore unsound under a positive crash budget, whatever
+   the crash-free certificate says; warn so crash campaigns never request
+   the symmetric reduction on these rows. *)
+let crash_symmetry_finding (row : Hierarchy.row) =
+  let open Report in
+  if String.length row.id >= 3 && String.sub row.id 0 3 = "rc-" then
+    let (module P : Consensus.Proto.S) = row.protocol in
+    [
+      finding Warning ~rule:"crash-symmetry" ~subject:P.name
+        "crash-recovery row %s: symmetry certificates cover crash-free executions \
+         only; the pid-symmetric quotient is unsound under a positive crash budget \
+         unless the recovery-cell layout is pid-uniform — use reduce none/commute \
+         with --crashes"
+        row.id;
+    ]
+  else []
+
 (* Rows sharing an instruction set (the two ∞ rows both use flavours of
    [Bits], say) produce one contract pass per distinct [I.name]. *)
 let lint_rows ?depth ?budget ?cfg ?ns rows =
@@ -48,11 +71,13 @@ let lint_rows ?depth ?budget ?cfg ?ns rows =
           lint_iset (module P.I)
         end
       in
-      iset_findings @ lint_protocol ?depth ?budget ?cfg ?ns row.protocol)
+      iset_findings
+      @ crash_symmetry_finding row
+      @ lint_protocol ?depth ?budget ?cfg ?ns row.protocol)
     rows
 
-let run ?ells ?depth ?budget ?cfg ?ns ?(ids = []) () =
-  let rows = Hierarchy.rows ?ells () in
+let run ?ells ?(recovery = false) ?depth ?budget ?cfg ?ns ?(ids = []) () =
+  let rows = Hierarchy.rows ?ells ~recovery () in
   let rows =
     if ids = [] then rows
     else begin

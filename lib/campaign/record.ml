@@ -25,6 +25,7 @@ type t = {
   engine : string;
   reduce : string;
   observers : string list;
+  crashes : int;
   status : status;
   configs : int;
   probes : int;
@@ -35,9 +36,9 @@ type t = {
   extra : (string * Json.t) list;
 }
 
-let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ?(observers = []) ~status
-    ?(configs = 0) ?(probes = 0) ?(dedup_hits = 0) ?(sleep_pruned = 0)
-    ?(truncated = false) ?(elapsed = 0.0) ?(extra = []) () =
+let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ?(observers = [])
+    ?(crashes = 0) ~status ?(configs = 0) ?(probes = 0) ?(dedup_hits = 0)
+    ?(sleep_pruned = 0) ?(truncated = false) ?(elapsed = 0.0) ?(extra = []) () =
   {
     task;
     kind;
@@ -48,6 +49,7 @@ let make ~task ~kind ~row ~protocol ~n ~depth ~engine ~reduce ?(observers = []) 
     engine;
     reduce;
     observers;
+    crashes;
     status;
     configs;
     probes;
@@ -93,6 +95,8 @@ let to_json r =
     @ (match r.observers with
       | [] -> []
       | os -> [ ("observers", Json.List (List.map (fun o -> Json.String o) os)) ])
+    (* absent ≡ 0: crash-free records keep their pre-crash-subsystem bytes *)
+    @ (if r.crashes > 0 then [ ("crashes", Json.Int r.crashes) ] else [])
     @ json_of_status r.status
     @ [
         ("configs", Json.Int r.configs);
@@ -133,6 +137,9 @@ let of_json json =
             | Some name -> Ok (name :: acc)
             | None -> Error "record: non-string observer name")
           items (Ok []))
+  in
+  let crashes =
+    match Json.get_int (Json.member "crashes" json) with Some c -> c | None -> 0
   in
   let* status =
     match Json.get_string (Json.member "status" json) with
@@ -185,6 +192,7 @@ let of_json json =
       engine;
       reduce;
       observers;
+      crashes;
       status;
       configs;
       probes;
@@ -198,8 +206,10 @@ let of_json json =
 let same_verdict (a : t) (b : t) =
   a.task = b.task && a.kind = b.kind && a.row = b.row && a.protocol = b.protocol
   && a.n = b.n && a.depth = b.depth && a.engine = b.engine && a.reduce = b.reduce
-  && a.observers = b.observers && a.status = b.status
+  && a.observers = b.observers && a.crashes = b.crashes && a.status = b.status
 
 let pp ppf r =
-  Format.fprintf ppf "%s n=%d %s/%s d=%d: %s (%d configs, %.3f s)" r.row r.n r.engine
-    r.reduce r.depth (status_name r.status) r.configs r.elapsed
+  Format.fprintf ppf "%s n=%d %s/%s d=%d%s: %s (%d configs, %.3f s)" r.row r.n r.engine
+    r.reduce r.depth
+    (if r.crashes > 0 then Printf.sprintf " crashes=%d" r.crashes else "")
+    (status_name r.status) r.configs r.elapsed

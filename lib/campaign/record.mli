@@ -36,6 +36,10 @@ type t = {
       (** observer names the check ran under ({!Task.t.observe}); [[]]
           means the legacy hard-coded checks.  Serialized only when
           non-empty, so pre-observer records parse back unchanged. *)
+  crashes : int;
+      (** crash budget of the check ([Explore.run ?crashes]); [0] means a
+          crash-free check.  Serialized only when positive, so crash-free
+          records keep their pre-crash-subsystem bytes. *)
   status : status;
   configs : int;
   probes : int;
@@ -58,6 +62,7 @@ val make :
   engine:string ->
   reduce:string ->
   ?observers:string list ->
+  ?crashes:int ->
   status:status ->
   ?configs:int ->
   ?probes:int ->
@@ -77,7 +82,8 @@ val of_json : Json.t -> (t, string) result
 
 val same_verdict : t -> t -> bool
 (** Equality on everything that identifies the work and its verdict — task,
-    kind, row, protocol, n, depth, engine, reduce, observers, status —
+    kind, row, protocol, n, depth, engine, reduce, observers, crashes,
+    status —
     ignoring the
     timing and search counters that legitimately differ between two writers
     executing the same task (elapsed, configs, probes, …).  This is the

@@ -24,7 +24,9 @@ let severity = function
 (* wide enough to cover every ℓ a campaign plausibly instantiates *)
 let registry_ells = List.init 12 (fun i -> i + 1)
 
-let registry = lazy (Hierarchy.rows ~ells:registry_ells ())
+(* metadata lookup only, so including the recovery rows is harmless: a
+   row id appears in the rendering only if some record references it *)
+let registry = lazy (Hierarchy.rows ~ells:registry_ells ~recovery:true ())
 
 let registry_row id =
   List.find_opt (fun (r : Hierarchy.row) -> r.id = id) (Lazy.force registry)

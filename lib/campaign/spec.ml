@@ -10,6 +10,7 @@ type t = {
   solo_fuel : int;
   deadline : float option;
   observe : string list;
+  crashes : int;
   stress_seeds : int list;
   stress_prefix : int;
   stress_max_burst : int;
@@ -29,6 +30,7 @@ let default =
     solo_fuel = 100_000;
     deadline = Some 10.0;
     observe = [];
+    crashes = 0;
     stress_seeds = [ 1; 2 ];
     stress_prefix = 200;
     stress_max_burst = 4;
@@ -84,7 +86,10 @@ let tasks spec =
   (* canonical observer names ("default" expanded), so two spellings of one
      observer set name the same content-addressed tasks *)
   let observe = List.map (fun ((module O) : Observer.t) -> O.name) observer_set in
-  let all_rows = Hierarchy.rows ~ells:spec.ells () in
+  (* a crash campaign sees the recovery rows; crash-free grids keep the
+     historical registry, so their task lists (and store keys) are
+     untouched by the crash subsystem *)
+  let all_rows = Hierarchy.rows ~ells:spec.ells ~recovery:(spec.crashes > 0) () in
   let known id = List.exists (fun (r : Hierarchy.row) -> r.id = id) all_rows in
   let unknown = List.filter (fun id -> not (known id)) (spec.include_rows @ spec.exclude_rows) in
   if unknown <> [] then
@@ -115,8 +120,8 @@ let tasks spec =
                        List.map
                          (fun reduce ->
                            Task.check ~probe:spec.probe ~solo_fuel:spec.solo_fuel
-                             ?deadline:spec.deadline ~observe ~engine ~reduce ~depth
-                             row ~n)
+                             ?deadline:spec.deadline ~observe ~crashes:spec.crashes
+                             ~engine ~reduce ~depth row ~n)
                          spec.reduces)
                      spec.engines)
                  spec.depths

@@ -22,6 +22,12 @@ type t = {
           to every [Check] task; empty means the legacy hard-coded checks.
           Validated and canonicalized by {!tasks}, so a misspelt name fails
           the whole expansion rather than crashing tasks one by one. *)
+  crashes : int;
+      (** crash budget applied to every [Check] task ([Explore.run
+          ?crashes]).  [0] (the default) expands exactly the historical
+          crash-free grid; a positive budget additionally admits the
+          recovery rows ([rc-] prefix) into the registry the row filters
+          see. *)
   stress_seeds : int list;  (** one stress task per (row, n, seed) *)
   stress_prefix : int;
   stress_max_burst : int;

@@ -4,6 +4,7 @@ type work =
       reduce : Explore.reduction;
       depth : int;
       probe : Explore.probe_policy;
+      crashes : int;
     }
   | Stress of { seed : int; prefix : int; max_burst : int; fuel : int }
 
@@ -23,8 +24,8 @@ let inputs_for (row : Hierarchy.row) ~n =
   if row.binary_only then Array.init n (fun i -> i land 1)
   else Array.init n (fun i -> i mod n)
 
-let check ?(probe = `Leaves) ?(solo_fuel = 100_000) ?deadline ?(observe = []) ~engine
-    ~reduce ~depth row ~n =
+let check ?(probe = `Leaves) ?(solo_fuel = 100_000) ?deadline ?(observe = [])
+    ?(crashes = 0) ~engine ~reduce ~depth row ~n =
   {
     row;
     n;
@@ -32,7 +33,7 @@ let check ?(probe = `Leaves) ?(solo_fuel = 100_000) ?deadline ?(observe = []) ~e
     solo_fuel;
     deadline;
     observe;
-    work = Check { engine; reduce; depth; probe };
+    work = Check { engine; reduce; depth; probe; crashes };
   }
 
 let stress ?(solo_fuel = 100_000) ?(fuel = 50_000_000) ~seed ~prefix ~max_burst row ~n =
@@ -62,9 +63,10 @@ let probe_name = function `Leaves -> "leaves" | `Everywhere -> "everywhere" | `N
 
 let describe t =
   match t.work with
-  | Check { engine; reduce; depth; probe } ->
-    Printf.sprintf "%s n=%d check %s/%s depth=%d probe=%s%s%s" t.row.id t.n
+  | Check { engine; reduce; depth; probe; crashes } ->
+    Printf.sprintf "%s n=%d check %s/%s depth=%d probe=%s%s%s%s" t.row.id t.n
       (engine_name engine) (reduce_name reduce) depth (probe_name probe)
+      (if crashes > 0 then Printf.sprintf " crashes=%d" crashes else "")
       (match t.observe with
        | [] -> ""
        | os -> " observe=" ^ String.concat "," os)
@@ -123,14 +125,16 @@ let digest proto ~inputs ~params =
 let fingerprint t =
   let params =
     match t.work with
-    | Check { engine; reduce; depth; probe } ->
-      (* the observer suffix appears only when the set is non-empty, so every
-         fingerprint minted before observers existed stays valid *)
-      Printf.sprintf "check/%s/%s/%d/%s/%d%s" (engine_name engine) (reduce_name reduce)
+    | Check { engine; reduce; depth; probe; crashes } ->
+      (* the observer and crash suffixes appear only when non-trivial, so
+         every fingerprint minted before those features existed stays
+         valid — crash-free grids address the same store entries as ever *)
+      Printf.sprintf "check/%s/%s/%d/%s/%d%s%s" (engine_name engine) (reduce_name reduce)
         depth (probe_name probe) t.solo_fuel
         (match t.observe with
          | [] -> ""
          | os -> "/obs=" ^ String.concat "+" os)
+        (if crashes > 0 then Printf.sprintf "/crashes=%d" crashes else "")
     | Stress { seed; prefix; max_burst; fuel } ->
       Printf.sprintf "stress/%d/%d/%d/%d" seed prefix max_burst fuel
   in
@@ -141,16 +145,19 @@ let fingerprint t =
 let run t =
   let task = fingerprint t in
   let protocol = Consensus.Proto.name t.row.protocol in
-  let base ~kind ~depth ~engine ~reduce =
+  let base ~kind ~depth ~engine ~reduce ?(crashes = 0) =
     fun ~status ?configs ?probes ?dedup_hits ?sleep_pruned ?truncated ?elapsed ?extra () ->
     Record.make ~task ~kind ~row:t.row.id ~protocol ~n:t.n ~depth ~engine ~reduce
-      ~observers:t.observe ~status ?configs ?probes ?dedup_hits ?sleep_pruned ?truncated
-      ?elapsed ?extra ()
+      ~observers:t.observe ~crashes ~status ?configs ?probes ?dedup_hits ?sleep_pruned
+      ?truncated ?elapsed ?extra ()
   in
   let t0 = Unix.gettimeofday () in
   match t.work with
-  | Check { engine; reduce; depth; probe } ->
-    let record = base ~kind:"check" ~depth ~engine:(engine_name engine) ~reduce:(reduce_name reduce) in
+  | Check { engine; reduce; depth; probe; crashes } ->
+    let record =
+      base ~kind:"check" ~depth ~engine:(engine_name engine)
+        ~reduce:(reduce_name reduce) ~crashes
+    in
     let of_stats status (s : Explore.stats) =
       record ~status ~configs:s.configs ~probes:s.probes ~dedup_hits:s.dedup_hits
         ~sleep_pruned:s.sleep_pruned ~truncated:s.truncated ~elapsed:s.elapsed ()
@@ -163,8 +170,8 @@ let run t =
        | Error e -> Error e
        | Ok observers ->
          Ok
-           (Explore.run ~probe ~solo_fuel:t.solo_fuel ~engine ~reduce ~observers
-              ?deadline:t.deadline t.row.protocol ~inputs:t.inputs ~depth)
+           (Explore.run ~probe ~solo_fuel:t.solo_fuel ~engine ~reduce ~crashes
+              ~observers ?deadline:t.deadline t.row.protocol ~inputs:t.inputs ~depth)
      with
      | Error e ->
        record ~status:(Record.Crash e) ~elapsed:(Unix.gettimeofday () -. t0) ()

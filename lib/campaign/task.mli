@@ -15,6 +15,11 @@ type work =
       reduce : Explore.reduction;
       depth : int;
       probe : Explore.probe_policy;
+      crashes : int;
+          (** crash budget for exhaustive crash-point enumeration
+              ([Explore.run ?crashes]); [0] — the default everywhere — is
+              the crash-free check, whose fingerprint is byte-identical to
+              one minted before the crash subsystem existed *)
     }  (** bounded exhaustive exploration, as in [modelcheck] *)
   | Stress of { seed : int; prefix : int; max_burst : int; fuel : int }
       (** one full run under [Sched.random_bursts ~seed ~max_burst] for
@@ -44,6 +49,7 @@ val check :
   ?solo_fuel:int ->
   ?deadline:float ->
   ?observe:string list ->
+  ?crashes:int ->
   engine:Explore.engine ->
   reduce:Explore.reduction ->
   depth:int ->

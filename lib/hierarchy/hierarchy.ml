@@ -37,7 +37,35 @@ let buffer_rows ell =
     };
   ]
 
-let rows ?(ells = [ 1; 2; 3 ]) () =
+(* Crash–recovery rows (Golab, arXiv 1804.10597).  Not part of Table 1 —
+   they exist to be run under a crash budget ([modelcheck --crashes]), so
+   they are appended only on request ([~recovery:true]): the default
+   registry, and everything keyed on it (campaign grids, bench baselines),
+   is unchanged.  The "rc-" prefix is the naming convention the analysis
+   lint keys crash-awareness on. *)
+let recovery_rows =
+  [
+    {
+      id = "rc-tas-naive";
+      iset = "{read(), write(x), test-and-set()} + crash-recovery";
+      paper_lower = "-";
+      paper_upper = "-";
+      upper = (fun ~n -> Some (n + 1));
+      protocol = Recovery.tas_naive;
+      binary_only = false;
+    };
+    {
+      id = "rc-cas";
+      iset = "{compare-and-swap(x,y)} + crash-recovery";
+      paper_lower = "-";
+      paper_upper = "-";
+      upper = (fun ~n -> Some (n + 1));
+      protocol = Recovery.cas_durable;
+      binary_only = false;
+    };
+  ]
+
+let rows ?(ells = [ 1; 2; 3 ]) ?(recovery = false) () =
   [
     {
       id = "tas";
@@ -218,8 +246,9 @@ let rows ?(ells = [ 1; 2; 3 ]) () =
         binary_only = true;
       };
     ]
+  @ (if recovery then recovery_rows else [])
 
-let find ?ells id = List.find_opt (fun r -> r.id = id) (rows ?ells ())
+let find ?ells id = List.find_opt (fun r -> r.id = id) (rows ?ells ~recovery:true ())
 
 type measurement = {
   n : int;

@@ -16,13 +16,17 @@ type row = {
   binary_only : bool;                  (** protocol solves binary consensus only *)
 }
 
-val rows : ?ells:int list -> unit -> row list
+val rows : ?ells:int list -> ?recovery:bool -> unit -> row list
 (** All Table 1 rows; ℓ-buffer rows (with and without multiple assignment)
     instantiated at each ℓ in [ells] (default [[1; 2; 3]]).  Includes the
-    introduction's two collapse examples as extra rows. *)
+    introduction's two collapse examples as extra rows.  With
+    [recovery:true] (default [false]) the crash–recovery rows ([rc-]
+    prefix, {!Recovery}) are appended; they are opt-in so every consumer
+    keyed on the default registry — campaign grids, bench baselines — is
+    unchanged by the crash subsystem. *)
 
 val find : ?ells:int list -> string -> row option
-(** Look up a row by [id]. *)
+(** Look up a row by [id] (recovery rows included). *)
 
 type measurement = {
   n : int;

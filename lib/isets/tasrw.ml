@@ -1,0 +1,54 @@
+open Model
+
+type cell = Value.t
+type op = Read | Write of Value.t | Tas
+type result = Value.t
+
+let name = "{read(), write(x), test-and-set()}"
+let init = Value.Bot
+
+(* test-and-set on a register: an unset cell is claimed (set to 1) and the
+   caller learns it won (0); a set cell is left alone and the caller learns
+   it lost (1).  The conventional 0 = won / 1 = lost return values of the
+   one-shot TAS object. *)
+let apply op c =
+  match op with
+  | Read -> (c, c)
+  | Write v -> (v, Value.Unit)
+  | Tas -> if Value.equal c Value.Bot then (Value.Int 1, Value.Int 0) else (c, Value.Int 1)
+
+let trivial = function Read -> true | Write _ -> false | Tas -> false
+
+(* Reads reorder freely and same-value writes do too (as in {!Rw}); TAS
+   commutes with nothing, not even another TAS — on an unset cell exactly
+   one of the pair wins and the winner depends on the order. *)
+let commutes a b =
+  match (a, b) with
+  | Read, Read -> true
+  | Write x, Write y -> Value.equal x y
+  | _ -> false
+
+let multi_assignment = false
+let equal_cell = Value.equal
+let hash_cell = Value.hash
+let hash_result = Value.hash
+let observe_result = Value.observe_int
+let pp_cell = Value.pp
+let pp_result = Value.pp
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "read()"
+  | Write v -> Format.fprintf ppf "write(%a)" Value.pp v
+  | Tas -> Format.pp_print_string ppf "test-and-set()"
+
+let sample_values = [ Value.Bot; Value.Int 0; Value.Int 1; Value.Int 2 ]
+let sample_cells = Iset.memo (fun () -> sample_values)
+
+let sample_ops =
+  Iset.memo (fun () -> Read :: Tas :: List.map (fun v -> Write v) sample_values)
+
+let read loc = Proc.access loc Read
+let write loc v = Proc.map ignore (Proc.access loc (Write v))
+
+let tas loc =
+  Proc.map (fun r -> Value.equal r (Value.Int 0)) (Proc.access loc Tas)

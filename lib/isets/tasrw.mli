@@ -1,0 +1,23 @@
+(** The instruction set [{read(), write(x), test-and-set()}]: registers plus
+    one-shot test-and-set bits — the classical consensus-number-2 base the
+    crash–recovery separation is stated against (Golab, arXiv 1804.10597:
+    TAS-based consensus does not survive crash–recovery, CAS-based does).
+
+    [Tas] on an unset cell claims it (sets 1) and returns 0 ("won"); on a
+    set cell it is a no-op returning 1 ("lost"). *)
+
+type op = Read | Write of Model.Value.t | Tas
+
+include
+  Model.Iset.S
+    with type cell = Model.Value.t
+     and type op := op
+     and type result = Model.Value.t
+
+(** Typed process helpers. *)
+
+val read : int -> (op, result, Model.Value.t) Model.Proc.t
+val write : int -> Model.Value.t -> (op, result, unit) Model.Proc.t
+
+val tas : int -> (op, result, bool) Model.Proc.t
+(** [true] iff this call won the test-and-set. *)

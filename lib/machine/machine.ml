@@ -31,10 +31,17 @@ let combine a b =
 module Make (I : Iset.S) = struct
   type 'a proc = (I.op, I.result, 'a) Proc.t
 
-  type event = {
-    pid : int;
-    accesses : (int * I.op * I.result) list;
-  }
+  type event =
+    | Step of {
+        pid : int;
+        accesses : (int * I.op * I.result) list;
+      }
+    | Crash of {
+        pid : int;
+        epoch : int;
+      }
+
+  let event_pid = function Step { pid; _ } -> pid | Crash { pid; _ } -> pid
 
   (* The flat fingerprint is maintained as four wrapping-int sums: each
      written cell and each process history slot contributes one
@@ -51,6 +58,10 @@ module Make (I : Iset.S) = struct
            an explicit write of the initial value indistinguishable from an
            untouched location *)
     procs : 'a proc array;
+    root : int -> 'a proc;
+        (* the process builder [make] was given: a crash–recover transition
+           restarts a process from [root pid] (program state is lost, the
+           shared memory above survives — Golab's crash–recovery model) *)
     steps : int;
     steps_per_process : int array;
     touched : Iset_int.t;
@@ -58,10 +69,18 @@ module Make (I : Iset.S) = struct
     record_trace : bool;
     running_count : int;  (* cached |running|, kept exact by [step] *)
     hist : int array;  (* rolling hash of each process's observed results *)
+    epochs : int array;  (* recovery epoch per process: crashes survived *)
+    esteps : int array;
+        (* steps taken since the process's last start/recovery; a process
+           with [esteps = 0] is at its root, so crashing it again changes
+           nothing but the epoch counter — [crashable] excludes it *)
+    crashes : int;  (* total crash–recover transitions so far *)
     mem_a : int;  (* sum of every cell's lane-A contribution *)
     mem_b : int;
     hist_a : int;  (* sum of every (pid, hist.(pid)) lane-A contribution *)
     hist_b : int;
+    epoch_a : int;  (* sum of every nonzero (pid, epoch) lane-A contribution *)
+    epoch_b : int;
   }
 
   exception Multi_assignment_not_supported
@@ -73,6 +92,21 @@ module Make (I : Iset.S) = struct
   let cell_contrib_b loc hc = ava bm1 bm2 (hc + (((2 * loc) + 1) * bm2))
   let hist_contrib_a pid h = ava am1 am2 ((h lxor 0x9e37) + (((2 * pid) + 1) * am1))
   let hist_contrib_b pid h = ava bm1 bm2 ((h lxor 0x9e37) + (((2 * pid) + 1) * bm1))
+
+  (* Recovery epochs are a third fingerprint ingredient: two configurations
+     that agree on memory and histories but differ in how often a process
+     crashed must not be conflated — the remaining crash budget differs.
+     Epoch 0 contributes nothing, so crash-free runs produce bit-identical
+     fingerprints to a machine without the crash extension.  The salt
+     multipliers are xors of the lane pairs, distinct from both the cell and
+     history salt families. *)
+  let epoch_contrib_a pid e =
+    if e = 0 then 0
+    else ava am1 am2 ((e lxor 0xC3A5) + (((2 * pid) + 1) * (am1 lxor am2)))
+
+  let epoch_contrib_b pid e =
+    if e = 0 then 0
+    else ava bm1 bm2 ((e lxor 0xC3A5) + (((2 * pid) + 1) * (bm1 lxor bm2)))
 
   let runnable = function Proc.Step (_ :: _, _) -> true | Proc.Step ([], _) | Proc.Done _ -> false
 
@@ -88,6 +122,7 @@ module Make (I : Iset.S) = struct
     {
       mem = Imap.empty;
       procs;
+      root = f;
       steps = 0;
       steps_per_process = Array.make n 0;
       touched = Iset_int.empty;
@@ -95,10 +130,15 @@ module Make (I : Iset.S) = struct
       record_trace;
       running_count;
       hist = Array.make n 0;
+      epochs = Array.make n 0;
+      esteps = Array.make n 0;
+      crashes = 0;
       mem_a = 0;
       mem_b = 0;
       hist_a = !hist_a;
       hist_b = !hist_b;
+      epoch_a = 0;
+      epoch_b = 0;
     }
 
   let n_processes cfg = Array.length cfg.procs
@@ -132,6 +172,15 @@ module Make (I : Iset.S) = struct
 
   let steps cfg = cfg.steps
   let steps_of cfg pid = cfg.steps_per_process.(pid)
+  let epoch cfg pid = cfg.epochs.(pid)
+  let crashes cfg = cfg.crashes
+
+  let crashable cfg =
+    let out = ref [] in
+    for pid = Array.length cfg.procs - 1 downto 0 do
+      if cfg.esteps.(pid) > 0 then out := pid :: !out
+    done;
+    !out
   let locations_used cfg = Iset_int.cardinal cfg.touched
   let max_location cfg = Iset_int.max_elt_opt cfg.touched
 
@@ -152,9 +201,13 @@ module Make (I : Iset.S) = struct
      The maintained digest reads off in O(1); [slow_fingerprint] recomputes
      the original fold from scratch and is kept for differential testing
      (the [SPACE_HIERARCHY_FP=fold] debug path in [Explore]). *)
-  let fingerprint_words cfg = (cfg.mem_a + cfg.hist_a, cfg.mem_b + cfg.hist_b)
+  let fingerprint_words cfg =
+    (cfg.mem_a + cfg.hist_a + cfg.epoch_a, cfg.mem_b + cfg.hist_b + cfg.epoch_b)
 
-  let fingerprint cfg = combine (cfg.mem_a + cfg.hist_a) (cfg.mem_b + cfg.hist_b)
+  let fingerprint cfg =
+    combine
+      (cfg.mem_a + cfg.hist_a + cfg.epoch_a)
+      (cfg.mem_b + cfg.hist_b + cfg.epoch_b)
 
   let mem_hash cfg =
     Imap.fold
@@ -162,7 +215,16 @@ module Make (I : Iset.S) = struct
         if I.equal_cell c I.init then acc else mix (mix acc loc) (I.hash_cell c))
       cfg.mem 0x517cc1b7
 
-  let slow_fingerprint cfg = Array.fold_left mix (mem_hash cfg) cfg.hist
+  (* Nonzero epochs fold in with a pid salt; all-zero epochs add nothing,
+     so crash-free values equal the pre-crash-subsystem fold exactly. *)
+  let epochs_hash cfg acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun pid e -> if e > 0 then acc := mix (mix !acc (pid lxor 0xC3A5)) e)
+      cfg.epochs;
+    !acc
+
+  let slow_fingerprint cfg = epochs_hash cfg (Array.fold_left mix (mem_hash cfg) cfg.hist)
 
   (* Quotient the fingerprint by process permutations: hash each process as a
      (input, history, decision) triple and fold the triples in sorted order,
@@ -188,7 +250,12 @@ module Make (I : Iset.S) = struct
         | Proc.Done v -> mix 0x51ded (Hashtbl.hash v)
         | Proc.Step _ -> 0x0b5e55
       in
-      comp.(pid) <- mix (mix (mix 0x7f4a7c15 inputs.(pid)) cfg.hist.(pid)) d
+      let c = mix (mix (mix 0x7f4a7c15 inputs.(pid)) cfg.hist.(pid)) d in
+      (* the recovery epoch travels with the process state it identifies:
+         same-input processes swap roles only if their epochs swap too.
+         Epoch 0 leaves the component untouched (crash-free bit-identity). *)
+      comp.(pid) <-
+        (if cfg.epochs.(pid) = 0 then c else mix c (cfg.epochs.(pid) lxor 0xC3A5))
     done;
     Array.sort compare comp;
     comp
@@ -213,11 +280,12 @@ module Make (I : Iset.S) = struct
 
   let trace cfg = List.rev cfg.trace
 
-  let pp_event ppf { pid; accesses } =
-    match accesses with
-    | [ (loc, op, r) ] ->
+  let pp_event ppf = function
+    | Crash { pid; epoch } ->
+      Format.fprintf ppf "p%d: CRASH -> recovers at protocol root (epoch %d)" pid epoch
+    | Step { pid; accesses = [ (loc, op, r) ] } ->
       Format.fprintf ppf "p%d: %a @@ %d -> %a" pid I.pp_op op loc I.pp_result r
-    | accesses ->
+    | Step { pid; accesses } ->
       Format.fprintf ppf "p%d: atomically {@[%a@]}" pid
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
@@ -245,22 +313,26 @@ module Make (I : Iset.S) = struct
       List.fold_left (fun acc r -> mix acc (I.hash_result r)) (mix old_h 0x9e37) results
     in
     hist.(pid) <- new_h;
+    let esteps = Array.copy cfg.esteps in
+    esteps.(pid) <- esteps.(pid) + 1;
     let trace =
       if cfg.record_trace then
-        { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
+        Step
+          { pid; accesses = List.map2 (fun (loc, op) r -> (loc, op, r)) accesses results }
         :: cfg.trace
       else cfg.trace
     in
     {
+      cfg with
       mem;
       procs;
       steps = cfg.steps + 1;
       steps_per_process;
       touched;
       trace;
-      record_trace = cfg.record_trace;
       running_count = (cfg.running_count - if runnable next then 0 else 1);
       hist;
+      esteps;
       mem_a;
       mem_b;
       hist_a = cfg.hist_a - hist_contrib_a pid old_h + hist_contrib_a pid new_h;
@@ -319,6 +391,49 @@ module Make (I : Iset.S) = struct
       in
       finish_step cfg pid k accesses (List.rev rev_results) mem touched mem_a mem_b
 
+  (* The crash–recover transition (Golab, arXiv 1804.10597): the process
+     loses its program state — continuation, observed-result history, even a
+     pending decision — and restarts from its protocol root; shared memory
+     is untouched, which is what makes designated locations act as
+     persistent recovery cells.  Total on every process state (running,
+     blocked, decided): a decided process that crashes re-executes the
+     protocol, which is exactly the re-decision scenario the recoverable
+     observers police.  Not a computation step: [steps] does not advance. *)
+  let crash_recover cfg pid =
+    let old_p = cfg.procs.(pid) in
+    let fresh = cfg.root pid in
+    let procs = Array.copy cfg.procs in
+    procs.(pid) <- fresh;
+    let hist = Array.copy cfg.hist in
+    let old_h = hist.(pid) in
+    hist.(pid) <- 0;
+    let epochs = Array.copy cfg.epochs in
+    let old_e = epochs.(pid) in
+    let new_e = old_e + 1 in
+    epochs.(pid) <- new_e;
+    let esteps = Array.copy cfg.esteps in
+    esteps.(pid) <- 0;
+    let trace =
+      if cfg.record_trace then Crash { pid; epoch = new_e } :: cfg.trace else cfg.trace
+    in
+    {
+      cfg with
+      procs;
+      trace;
+      running_count =
+        (cfg.running_count
+        - (if runnable old_p then 1 else 0)
+        + if runnable fresh then 1 else 0);
+      hist;
+      epochs;
+      esteps;
+      crashes = cfg.crashes + 1;
+      hist_a = cfg.hist_a - hist_contrib_a pid old_h + hist_contrib_a pid 0;
+      hist_b = cfg.hist_b - hist_contrib_b pid old_h + hist_contrib_b pid 0;
+      epoch_a = cfg.epoch_a - epoch_contrib_a pid old_e + epoch_contrib_a pid new_e;
+      epoch_b = cfg.epoch_b - epoch_contrib_b pid old_e + epoch_contrib_b pid new_e;
+    }
+
   let run ?(fuel = 1_000_000) ~sched cfg =
     let rec go cfg sched remaining =
       if cfg.running_count = 0 then (cfg, `All_decided)
@@ -334,6 +449,27 @@ module Make (I : Iset.S) = struct
   let run_solo ?(fuel = 1_000_000) ~pid cfg =
     let cfg', _ = run ~fuel ~sched:(Sched.solo pid) cfg in
     (cfg', decision cfg' pid)
+
+  (* [run] against a crash-aware adversary: the scheduler sees both the
+     running and the crashable process sets and may inject crash–recover
+     transitions between computation steps.  A crash consumes fuel (it is a
+     scheduling decision) so a crash-happy adversary cannot loop forever. *)
+  let run_crashy ?(fuel = 1_000_000) ~sched cfg =
+    let rec go cfg sched remaining =
+      if cfg.running_count = 0 then (cfg, `All_decided)
+      else if remaining <= 0 then (cfg, `Out_of_fuel)
+      else begin
+        match
+          Sched.Crashy.next sched ~running:(running cfg) ~crashable:(crashable cfg)
+            ~step:cfg.steps
+        with
+        | None -> (cfg, `Sched_stopped)
+        | Some (Sched.Crashy.Run pid, sched') -> go (step cfg pid) sched' (remaining - 1)
+        | Some (Sched.Crashy.Crash pid, sched') ->
+          go (crash_recover cfg pid) sched' (remaining - 1)
+      end
+    in
+    go cfg sched fuel
 
   (* A mutable throwaway copy of a configuration for solo probes.  The model
      checker runs orders of magnitude more probe steps than scheduled steps

@@ -50,6 +50,24 @@ module Make (I : Iset.S) : sig
       paper's conclusions call out as the next refinement of the
       hierarchy. *)
 
+  val epoch : 'a config -> int -> int
+  (** Recovery epoch of one process: how many crash–recover transitions it
+      has survived (0 in a crash-free run). *)
+
+  val crashes : 'a config -> int
+  (** Total crash–recover transitions so far — what the model checker's
+      crash budget is charged against. *)
+
+  val crashable : 'a config -> int list
+  (** Sorted ids of processes whose crash would change the configuration:
+      those that have taken at least one step since their last start or
+      recovery.  A process at its protocol root (including one that just
+      recovered) is excluded — crashing it again only bumps the epoch
+      counter — which is also what makes exhaustive crash-point enumeration
+      finite.  Decided processes {e are} included: a decided process that
+      crashes loses its decision and re-executes the protocol, the
+      re-decision scenario recoverable consensus is about. *)
+
   val locations_used : 'a config -> int
   (** Number of distinct memory locations accessed so far: the measured
       space, i.e. this run's contribution to SP(I, n). *)
@@ -72,6 +90,13 @@ module Make (I : Iset.S) : sig
       equal to [I.init] do not contribute, so writing the initial value
       back to an untouched location leaves the fingerprint unchanged —
       exactly as it leaves the configuration's behaviour unchanged.
+
+      Recovery epochs are a third ingredient: configurations that agree on
+      memory and histories but differ in crash counts must not be conflated
+      (the remaining crash budget differs), so each process's nonzero epoch
+      contributes a lane term.  Epoch 0 contributes nothing — crash-free
+      fingerprints are bit-identical to a machine without the crash
+      subsystem.
 
       The fingerprint is maintained incrementally: [step] delta-updates a
       two-lane digest on the written cell and the stepping process's
@@ -122,16 +147,24 @@ module Make (I : Iset.S) : sig
   (** From-scratch reference fold for {!canonical_fingerprint}, kept for
       differential testing like {!slow_fingerprint}. *)
 
-  type event = {
-    pid : int;
-    accesses : (int * I.op * I.result) list;
-        (** the locations and instructions of one atomic step, with results
-            (a multiple assignment lists several) *)
-  }
+  type event =
+    | Step of {
+        pid : int;
+        accesses : (int * I.op * I.result) list;
+            (** the locations and instructions of one atomic step, with
+                results (a multiple assignment lists several) *)
+      }
+    | Crash of {
+        pid : int;
+        epoch : int;  (** the recovery epoch the process entered *)
+      }
+
+  val event_pid : event -> int
+  (** The process an event concerns, uniformly over both constructors. *)
 
   val trace : 'a config -> event list
-  (** Every step taken so far, in execution order — the executions the
-      paper's proofs reason about, as data. *)
+  (** Every step and crash–recover transition so far, in execution order —
+      the executions the paper's proofs reason about, as data. *)
 
   val pp_event : Format.formatter -> event -> unit
 
@@ -143,11 +176,33 @@ module Make (I : Iset.S) : sig
       @raise Multi_assignment_not_supported if the step is a multi-location
       access and [I.multi_assignment] is [false]. *)
 
+  val crash_recover : 'a config -> int -> 'a config
+  (** Crash process [pid] and recover it (Golab's crash–recovery model,
+      arXiv 1804.10597): its continuation, observed-result history and any
+      pending decision are lost and it restarts from its protocol root;
+      shared memory survives untouched — designated locations thereby act
+      as per-process persistent recovery cells.  Total on every process
+      state (running, blocked or decided); bumps the process's {!epoch} and
+      the global {!crashes} count, leaves {!steps} unchanged, and records a
+      [Crash] trace event.  The fingerprint distinguishes recovery epochs,
+      so a recovered configuration never collides with the pre-crash one —
+      while a crash-free run's fingerprints are bit-identical to a machine
+      without this extension (epoch 0 contributes nothing). *)
+
   val run :
     ?fuel:int -> sched:Sched.t -> 'a config ->
     'a config * [ `All_decided | `Sched_stopped | `Out_of_fuel ]
   (** Drive the configuration with a scheduler.  [fuel] (default
       [1_000_000]) bounds the number of steps of this call. *)
+
+  val run_crashy :
+    ?fuel:int -> sched:Sched.Crashy.crashy -> 'a config ->
+    'a config * [ `All_decided | `Sched_stopped | `Out_of_fuel ]
+  (** Drive the configuration with a crash-aware adversary: the scheduler
+      sees both the running and the {!crashable} sets and may interleave
+      {!crash_recover} transitions with computation steps.  Crashes consume
+      [fuel] like steps, so a crash-happy adversary terminates.
+      [run_crashy ~sched:(Sched.Crashy.reliable s)] equals [run ~sched:s]. *)
 
   val run_solo : ?fuel:int -> pid:int -> 'a config -> 'a config * 'a option
   (** Run one process alone until it decides (the solo executions of the

@@ -167,6 +167,77 @@ let rec excluding crashed inner =
             (inner.next ~running:alive ~step))
   }
 
+(* Crash-aware adversaries: at each scheduling decision the adversary either
+   runs a process or crash–recovers one (Golab's crash–recovery model — the
+   victim loses its program state, keeps shared memory, and restarts from its
+   protocol root).  A separate type rather than an extension of [t] so every
+   existing scheduler stays a total, crash-free adversary by construction. *)
+module Crashy = struct
+  type plain = t
+
+  type action =
+    | Run of int
+    | Crash of int
+
+  type crashy = {
+    next :
+      running:int list -> crashable:int list -> step:int -> (action * crashy) option;
+  }
+
+  let next t ~running ~crashable ~step = t.next ~running ~crashable ~step
+
+  (* Any plain scheduler is a crashy scheduler that never crashes anyone. *)
+  let rec reliable (inner : plain) =
+    { next =
+        (fun ~running ~crashable:_ ~step ->
+          Option.map
+            (fun (pid, inner') -> (Run pid, reliable inner'))
+            (inner.next ~running ~step))
+    }
+
+  (* Seeded random crash injection under a crash budget: with probability
+     1/[period] (and budget remaining, and someone crashable) crash a
+     uniformly chosen crashable process, otherwise delegate the step to
+     [inner].  Deterministic in [seed], so runs replay — the property the
+     campaign stress tasks content-address on. *)
+  let crashing ?(period = 8) ~seed ~budget inner =
+    if period < 1 then invalid_arg "Sched.Crashy.crashing: period < 1";
+    if budget < 0 then invalid_arg "Sched.Crashy.crashing: negative budget";
+    let rec from st budget (inner : plain) =
+      { next =
+          (fun ~running ~crashable ~step ->
+            let st = Random.State.copy st in
+            if
+              budget > 0 && crashable <> []
+              && Random.State.int st period = 0
+            then
+              let pid = List.nth crashable (Random.State.int st (List.length crashable)) in
+              Some (Crash pid, from st (budget - 1) inner)
+            else
+              Option.map
+                (fun (pid, inner') -> (Run pid, from st budget inner'))
+                (inner.next ~running ~step))
+      }
+    in
+    from (Random.State.make [| seed; 0xC3A5 |]) budget inner
+
+  (* Follow a script of explicit actions, skipping a Run of a non-running
+     pid and a Crash of a non-crashable pid; stops at the end.  The replay
+     form of a crash witness. *)
+  let rec script actions =
+    { next =
+        (fun ~running ~crashable ~step:_ ->
+          let rec pick = function
+            | [] -> None
+            | Run p :: rest ->
+              if List.mem p running then Some (Run p, script rest) else pick rest
+            | Crash p :: rest ->
+              if List.mem p crashable then Some (Crash p, script rest) else pick rest
+          in
+          pick actions)
+    }
+end
+
 let alternate pids =
   if pids = [] then invalid_arg "Sched.alternate: empty";
   let rec from i =

@@ -66,3 +66,42 @@ val excluding : int list -> t -> t
     model's crashes (Section 2: processes "may crash at any time") are
     exactly schedules that stop allocating steps, so this wrapper turns any
     scheduler into one with permanently crashed processes. *)
+
+(** Crash–{e recover} adversaries (Golab, arXiv 1804.10597): beyond choosing
+    who steps, the adversary may crash a process — it loses its program
+    state, keeps shared memory, and restarts from its protocol root.  Driven
+    by {!Machine.Make.run_crashy}, which passes both the running set and the
+    crashable set (processes that have stepped since their last recovery —
+    crashing anyone else changes nothing).  [excluding] composed under
+    [phased] remains the crash-{e stop} baseline the recover adversary is
+    differentially tested against. *)
+module Crashy : sig
+  type action =
+    | Run of int    (** let this process take its poised step *)
+    | Crash of int  (** crash–recover this process *)
+
+  type crashy
+
+  val next :
+    crashy ->
+    running:int list -> crashable:int list -> step:int -> (action * crashy) option
+  (** Pick the next action: run one of [running], crash one of [crashable],
+      or [None] to stop the run. *)
+
+  val reliable : t -> crashy
+  (** Lift a plain scheduler into one that never crashes anyone — the
+      identity embedding; [run_crashy] under it equals [run]. *)
+
+  val crashing : ?period:int -> seed:int -> budget:int -> t -> crashy
+  (** Seeded random crash injection over the given scheduler: at each
+      decision, with probability 1/[period] (default 8) while crash [budget]
+      remains and some process is crashable, crash a uniformly chosen
+      crashable process; otherwise delegate to the inner scheduler.
+      Deterministic in [seed].
+      @raise Invalid_argument if [period < 1] or [budget < 0]. *)
+
+  val script : action list -> crashy
+  (** Follow explicit actions, skipping inapplicable ones (a [Run] of a
+      non-running pid, a [Crash] of a non-crashable pid); stops at the end
+      of the list — the replay form of a crash witness. *)
+end

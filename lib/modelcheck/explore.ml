@@ -165,6 +165,16 @@ type witness = {
   probe : int option;
 }
 
+(* Crash–recover events ride along in the witness schedule as negative
+   entries: [-(pid+1)] means "crash–recover process pid".  Ordinary pids are
+   non-negative, so the encoding is unambiguous, survives the campaign
+   store's JSON int lists unchanged, and shrinks like any other schedule
+   entry (deleting a crash is just another deletion candidate; replay
+   validates the remainder). *)
+let crash_code pid = -(pid + 1)
+let is_crash code = code < 0
+let crash_pid code = -code - 1
+
 type stats = {
   configs : int;
   probes : int;
@@ -186,11 +196,16 @@ type failure = {
 
 let failure_message f = f.witness.message
 
+let pp_schedule_entry code =
+  if is_crash code then "\xe2\x80\xa0p" ^ string_of_int (crash_pid code)
+  else "p" ^ string_of_int code
+
 let pp_witness ppf w =
-  (* [message] already starts with "<kind>:" *)
+  (* [message] already starts with "<kind>:"; a "†pN" entry is a
+     crash–recover of process N *)
   Format.fprintf ppf "@[<v>%s@,schedule (%d steps): [%s]%s@]" w.message
     (List.length w.schedule)
-    (String.concat " " (List.map (fun p -> "p" ^ string_of_int p) w.schedule))
+    (String.concat " " (List.map pp_schedule_entry w.schedule))
     (match w.probe with
      | None -> ""
      | Some pid -> Printf.sprintf " then p%d solo" pid)
@@ -574,6 +589,32 @@ module Run (P : Consensus.Proto.S) = struct
         end)
       running
 
+  (* Crash–recover branches: one child per crashable process while the run's
+     crash budget allows.  Crashes are kept out of the sleep-set machinery —
+     a crash never sleeps (it does not commute with anything the victim
+     does) and its subtree starts with an empty sleep set.  Unlike steps,
+     crashes also branch from fully-decided configurations: a decided
+     process that crashes loses its decision and re-executes the protocol,
+     which is exactly the re-decision scenario recoverable consensus must
+     survive.  Sound under the transposition table because recovery epochs
+     are folded into the fingerprint: equal keys imply equal epoch vectors,
+     hence equal crash counts and equal remaining budget.  The observer
+     state crosses a crash unchanged — monitors see no event, and the
+     recovered process's later decisions reach them as ordinary [decide]s.
+     With a zero budget all of this is dead code: no [M.crashable] call, no
+     branch, bit-identical exploration. *)
+  let crash_children ~crash_budget ~go cfg d path obs =
+    if crash_budget > 0 && M.crashes cfg < crash_budget then
+      List.iter
+        (fun pid ->
+          let cfg' = M.crash_recover cfg pid in
+          go cfg' (d - 1) (crash_code pid :: path) 0 obs)
+        (M.crashable cfg)
+
+  (* Whether [cfg] still has crash branches the depth bound cut off. *)
+  let crash_truncated ~crash_budget cfg =
+    crash_budget > 0 && M.crashes cfg < crash_budget && M.crashable cfg <> []
+
   (* The DFS core all engines share.  [stop] aborts cooperatively (parallel
      mode); [path] seeds the schedule of every witness found below [cfg].
 
@@ -588,7 +629,8 @@ module Run (P : Consensus.Proto.S) = struct
      transitions are explored, and the per-configuration work (counting,
      checking, probing) is skipped: it ran when the configuration was first
      visited, and depends only on the configuration. *)
-  let dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop ~obs c cfg depth path =
+  let dfs ~reduce ~crash_budget ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop ~obs c
+      cfg depth path =
     let rec go cfg d path sleep obs =
       match table with
       | None -> visit cfg d path sleep obs
@@ -598,6 +640,9 @@ module Run (P : Consensus.Proto.S) = struct
          | Transposition.Hit -> c.hits <- c.hits + 1
          | Transposition.Visit -> visit cfg d path sleep obs
          | Transposition.Partial inter ->
+           (* crash branches are never slept, so the prior pass that covers
+              this depth already explored all of them — only step
+              transitions can still need subtrees here *)
            c.hits <- c.hits + 1;
            if stop () then raise Stop;
            if d > 0 && M.running_count cfg > 0 then
@@ -608,9 +653,9 @@ module Run (P : Consensus.Proto.S) = struct
       (match obs with
        | None -> check ~inputs ~path cfg
        | Some o -> obs_check ~path ~probe:None o);
+      let at_bound = d <= 0 in
       if M.running_count cfg > 0 then begin
         let running = M.running cfg in
-        let at_bound = d <= 0 in
         if at_bound then c.truncated <- true;
         let should_probe =
           (match probe with `Never -> false | `Leaves -> at_bound | `Everywhere -> true)
@@ -622,7 +667,11 @@ module Run (P : Consensus.Proto.S) = struct
           | Some o -> List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
         end;
         if not at_bound then children ~reduce ~indep ~go c cfg d path sleep obs (-1)
+      end;
+      if at_bound then begin
+        if crash_truncated ~crash_budget cfg then c.truncated <- true
       end
+      else crash_children ~crash_budget ~go cfg d path obs
     in
     go cfg depth path 0 obs
 
@@ -643,7 +692,8 @@ module Run (P : Consensus.Proto.S) = struct
      every worker joins before a verdict is produced, so a claim whose
      exploration was cut short can only coexist with a [Falsified] or
      [Timed_out] verdict, never launder an incomplete [Completed]. *)
-  let parallel ~reduce ~domains ~probe ~solo_fuel ~inputs ~fp_mode ~past ~obs c root depth =
+  let parallel ~reduce ~crash_budget ~domains ~probe ~solo_fuel ~inputs ~fp_mode ~past
+      ~obs c root depth =
     let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
     let domains = max 1 domains in
     let target = max 16 (4 * domains) in
@@ -658,24 +708,36 @@ module Run (P : Consensus.Proto.S) = struct
               (match obs with
                | None -> check ~inputs ~path cfg
                | Some o -> obs_check ~path ~probe:None o);
-              if M.running_count cfg = 0 then []
-              else begin
-                let running = M.running cfg in
-                let probe_here =
-                  probe = `Everywhere
-                  && (match obs with None -> true | Some o -> Observer.Run.wants_probes o)
-                in
-                if probe_here then begin
-                  match obs with
-                  | None -> List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running
-                  | Some o -> List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
-                end;
-                List.map
-                  (fun pid ->
-                    let cfg' = M.step cfg pid in
-                    (pid :: path, cfg', obs_advance obs cfg pid cfg'))
-                  running
-              end)
+              let stepped =
+                if M.running_count cfg = 0 then []
+                else begin
+                  let running = M.running cfg in
+                  let probe_here =
+                    probe = `Everywhere
+                    && (match obs with
+                        | None -> true
+                        | Some o -> Observer.Run.wants_probes o)
+                  in
+                  if probe_here then begin
+                    match obs with
+                    | None -> List.iter (probe_one ~solo_fuel ~inputs ~path c cfg) running
+                    | Some o -> List.iter (obs_probe_one ~solo_fuel ~path c cfg o) running
+                  end;
+                  List.map
+                    (fun pid ->
+                      let cfg' = M.step cfg pid in
+                      (pid :: path, cfg', obs_advance obs cfg pid cfg'))
+                    running
+                end
+              in
+              let crashed =
+                if crash_budget > 0 && M.crashes cfg < crash_budget then
+                  List.map
+                    (fun pid -> (crash_code pid :: path, M.crash_recover cfg pid, obs))
+                    (M.crashable cfg)
+                else []
+              in
+              stepped @ crashed)
             level
         in
         if next = [] then ([], d - 1) else prefix next (d - 1)
@@ -737,7 +799,8 @@ module Run (P : Consensus.Proto.S) = struct
       let item i =
         let path, cfg, obs = items.(i) in
         match
-          dfs ~reduce ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop ~obs wc cfg d path
+          dfs ~reduce ~crash_budget ~probe ~solo_fuel ~inputs ~table ~fpw ~indep ~stop
+            ~obs wc cfg d path
         with
         | () -> ()
         | exception Violation w ->
@@ -814,11 +877,23 @@ module Run (P : Consensus.Proto.S) = struct
      violation. *)
   let replay ?(observers = []) ~record_trace ~solo_fuel ~inputs (w : witness) =
     let n = Array.length inputs in
-    let step cfg pid =
-      if pid < 0 || pid >= n then raise Invalid_schedule;
-      match M.poised cfg pid with
-      | Some (_ :: _) -> M.step cfg pid
-      | Some [] | None -> raise Invalid_schedule
+    (* negative schedule entries are crash–recover events ([crash_code]);
+       a crash of a non-crashable process is as invalid as a step of a
+       non-running one — shrink candidates that delete the victim's steps
+       get rejected here instead of replaying a no-op crash *)
+    let step cfg code =
+      if is_crash code then begin
+        let pid = crash_pid code in
+        if pid >= n then raise Invalid_schedule;
+        if List.mem pid (M.crashable cfg) then M.crash_recover cfg pid
+        else raise Invalid_schedule
+      end
+      else begin
+        if code >= n then raise Invalid_schedule;
+        match M.poised cfg code with
+        | Some (_ :: _) -> M.step cfg code
+        | Some [] | None -> raise Invalid_schedule
+      end
     in
     let probeable cfg pid = pid >= 0 && pid < n && List.mem pid (M.running cfg) in
     let root = root_config ~record_trace ~inputs in
@@ -846,9 +921,10 @@ module Run (P : Consensus.Proto.S) = struct
              let cfg, outcome = probe_outcome_steps ~solo_fuel cfg pid in
              (cfg, violation (Observer.Run.probe o outcome))
            | Some _ -> raise Invalid_schedule)
-        | pid :: rest ->
-          let cfg' = step cfg pid in
-          let o = obs_step o cfg pid cfg' in
+        | code :: rest ->
+          let cfg' = step cfg code in
+          (* monitors cross a crash unchanged, as in the engines *)
+          let o = if is_crash code then o else obs_step o cfg code cfg' in
           (match violation o with
            | Some v -> (cfg', Some v)
            | None -> steps cfg' o rest)
@@ -935,7 +1011,8 @@ module Run (P : Consensus.Proto.S) = struct
      configuration or decidable by a solo continuation from one.  Sound to
      prune on the fingerprint table because equal fingerprints imply equal
      future behaviour, hence equal decidable-value contributions. *)
-  let decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode ~stop ~obs c cfg depth =
+  let decidable ~reduce ~crash_budget ~solo_fuel ~inputs ~table ~fp_mode ~stop ~obs c cfg
+      depth =
     let fpw = fingerprint_words_fn ~reduce ~inputs ~fp_mode in
     let indep = make_independent ~seed:(static_ops ~reduce ~inputs) () in
     let seen = Hashtbl.create 7 in
@@ -960,6 +1037,7 @@ module Run (P : Consensus.Proto.S) = struct
       c.configs <- c.configs + 1;
       (match obs with None -> () | Some o -> obs_check ~path ~probe:None o);
       List.iter (fun (_, v) -> Hashtbl.replace seen v ()) (M.decisions cfg);
+      if d > 0 then crash_children ~crash_budget ~go cfg d path obs;
       match M.running cfg with
       | [] -> ()
       | running ->
@@ -1004,9 +1082,10 @@ let past_of ~t0 = function
     Some (fun () -> Unix.gettimeofday () > at)
 
 let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = true)
-    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
+    ?(reduce = no_reduction) ?(crashes = 0) ?(force = false) ?notify_symmetry ?deadline
     ?(fingerprint_mode = default_fingerprint_mode) ?(observers = [])
     (module P : Consensus.Proto.S) ~inputs ~depth =
+  if crashes < 0 then invalid_arg "Explore.run: negative crash budget";
   observer_gate ~reduce ~force observers;
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
@@ -1026,15 +1105,15 @@ let run ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Naive) ?(shrink = 
       let seed = R.static_ops ~reduce ~inputs in
       (match engine with
        | `Naive ->
-         R.dfs ~reduce ~probe ~solo_fuel ~inputs ~table:None ~fpw
+         R.dfs ~reduce ~crash_budget:crashes ~probe ~solo_fuel ~inputs ~table:None ~fpw
            ~indep:(R.make_independent ~seed ()) ~stop:past ~obs c root depth []
        | `Memo ->
-         R.dfs ~reduce ~probe ~solo_fuel ~inputs
+         R.dfs ~reduce ~crash_budget:crashes ~probe ~solo_fuel ~inputs
            ~table:(Some (Transposition.create ~concurrent:false ())) ~fpw
            ~indep:(R.make_independent ~seed ()) ~stop:past ~obs c root depth []
        | `Parallel k ->
-         R.parallel ~reduce ~domains:k ~probe ~solo_fuel ~inputs ~fp_mode ~past ~obs c
-           root depth);
+         R.parallel ~reduce ~crash_budget:crashes ~domains:k ~probe ~solo_fuel ~inputs
+           ~fp_mode ~past ~obs c root depth);
       `Done
     with
     | Violation w -> `Violation w
@@ -1064,9 +1143,10 @@ let replay ?(solo_fuel = 100_000) ?(observers = []) (module P : Consensus.Proto.
        names a process that is not running"
 
 let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
-    ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?deadline
+    ?(reduce = no_reduction) ?(crashes = 0) ?(force = false) ?notify_symmetry ?deadline
     ?(fingerprint_mode = default_fingerprint_mode) ?(observers = [])
     (module P : Consensus.Proto.S) ~inputs ~depth =
+  if crashes < 0 then invalid_arg "Explore.decidable_values: negative crash budget";
   observer_gate ~reduce ~force observers;
   certify_gate ~reduce ~force ~notify:notify_symmetry (module P) ~inputs ~depth;
   let module R = Run (P) in
@@ -1081,8 +1161,8 @@ let decidable_values ?(solo_fuel = 100_000) ?(memo = true) ?(shrink = true)
   in
   let table = if memo then Some (Transposition.create ~concurrent:false ()) else None in
   match
-    R.decidable ~reduce ~solo_fuel ~inputs ~table ~fp_mode:fingerprint_mode ~stop:past
-      ~obs c root depth
+    R.decidable ~reduce ~crash_budget:crashes ~solo_fuel ~inputs ~table
+      ~fp_mode:fingerprint_mode ~stop:past ~obs c root depth
   with
   | values -> Completed values
   | exception Violation w ->
@@ -1101,8 +1181,8 @@ type deepen_report = {
 }
 
 let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget = 1.0)
-    ?shrink ?(reduce = no_reduction) ?(force = false) ?notify_symmetry ?fingerprint_mode
-    ?(observers = []) proto ~inputs ~max_depth =
+    ?shrink ?(reduce = no_reduction) ?(crashes = 0) ?(force = false) ?notify_symmetry
+    ?fingerprint_mode ?(observers = []) proto ~inputs ~max_depth =
   if max_depth < 1 then invalid_arg "Explore.deepen: max_depth < 1";
   (* gate (and notify) once at the deepest depth the iteration can reach,
      then let the per-depth runs through — their certificates are implied
@@ -1118,8 +1198,9 @@ let deepen ?(probe = `Leaves) ?(solo_fuel = 100_000) ?(engine = `Memo) ?(budget 
       (* the remaining budget bounds each iteration, so one oversized
          iteration can no longer blow past the budget *)
       match
-        run ~probe ~solo_fuel ~engine ?shrink ~reduce ~force:true ?fingerprint_mode
-          ~observers ~deadline:(budget -. elapsed ()) proto ~inputs ~depth:d
+        run ~probe ~solo_fuel ~engine ?shrink ~reduce ~crashes ~force:true
+          ?fingerprint_mode ~observers ~deadline:(budget -. elapsed ()) proto ~inputs
+          ~depth:d
       with
       | Falsified f -> Falsified f
       | Timed_out t ->

@@ -123,7 +123,10 @@ val kind_of_name : string -> violation_kind
 type witness = {
   kind : violation_kind;
   message : string;    (** human-readable description of the violation *)
-  schedule : int list; (** pids stepped from the root, in execution order *)
+  schedule : int list;
+      (** pids stepped from the root, in execution order; a negative entry
+          [{!crash_code} pid] is a crash–recover of [pid] (only present in
+          runs with a nonzero crash budget) *)
   probe : int option;
       (** the pid whose solo probe (followed by one bounded solo run of each
           remaining process) exposed the violation, if it was found by a
@@ -131,6 +134,20 @@ type witness = {
 }
 (** A counterexample: replaying [schedule] from the initial configuration —
     then the solo probe of [probe], if any — reproduces the violation. *)
+
+val crash_code : int -> int
+(** [crash_code pid = -(pid + 1)]: the schedule encoding of a crash–recover
+    of [pid].  Ordinary pids are non-negative, so the encoding is
+    unambiguous and survives JSON round-trips as a plain int. *)
+
+val is_crash : int -> bool
+(** Whether a schedule entry encodes a crash–recover event. *)
+
+val crash_pid : int -> int
+(** The victim of a crash entry: [crash_pid (crash_code pid) = pid]. *)
+
+val pp_schedule_entry : int -> string
+(** ["p3"] for an ordinary step of pid 3, ["†p3"] for its crash–recover. *)
 
 val pp_witness : Format.formatter -> witness -> unit
 
@@ -187,6 +204,7 @@ val run :
   ?engine:engine ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?crashes:int ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
@@ -221,6 +239,23 @@ val run :
     observer declares unsafe for itself raises
     {!Observer_unsafe_reduction} unless [force] is set.  The empty set
     keeps the engines on the legacy checker, byte for byte.
+
+    [crashes] (default [0]) is the crash budget of Golab's crash–recovery
+    model: at every visited configuration with budget remaining, each
+    process that has stepped since its last start or recovery additionally
+    branches into a {!Model.Machine.Make.crash_recover} transition — its
+    program state is lost, shared memory survives, and it restarts from the
+    protocol root.  Crash-point enumeration is exhaustive: a [Completed]
+    verdict certifies the property under {e every} placement of at most
+    [crashes] crashes within the depth bound, including crashes of
+    already-decided processes (the re-decision scenario).  Crash events
+    appear in witness schedules as negative entries ({!crash_code}) and
+    replay and shrink like ordinary steps.  Crash branches bypass the
+    sleep-set reduction (a crash commutes with nothing its victim does) and
+    remain sound under the transposition table because recovery epochs are
+    part of the machine fingerprint.  With [crashes = 0] every engine is
+    bit-identical to a build without the crash subsystem — same verdicts,
+    fingerprints, counters.
 
     [deadline] (wall-clock seconds; default unbounded) bounds the engine
     proper: every engine — including each parallel worker — checks it at
@@ -259,6 +294,7 @@ val decidable_values :
   ?memo:bool ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?crashes:int ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
@@ -272,7 +308,7 @@ val decidable_values :
     reachable within [depth] steps — ≥ 2 values demonstrate bivalence
     (Lemma 6.4).  Runs on the same fingerprint transposition table as the
     [`Memo] engine (disable with [memo:false] to get the naive walk) and
-    honours [reduce], [deadline] and [observers] like {!run} — reductions
+    honours [reduce], [crashes], [deadline] and [observers] like {!run} — reductions
     preserve the decidable-value set because every reachable configuration
     is still probed; a process that fails to decide solo is reported
     ([Falsified]) as an obstruction-freedom failure with a witness.  The
@@ -295,6 +331,7 @@ val deepen :
   ?budget:float ->
   ?shrink:bool ->
   ?reduce:reduction ->
+  ?crashes:int ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?fingerprint_mode:fingerprint_mode ->

@@ -12,11 +12,11 @@ let failure_message = Explore.failure_message
    point, kept as a thin wrapper so existing callers (synthesis, tests,
    executables) keep their signature.  Violations now carry a replayable,
    shrunk witness; [failure_message] recovers the old string. *)
-let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry ?deadline
-    ?observers p ~inputs ~depth =
+let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?crashes ?force ?notify_symmetry
+    ?deadline ?observers p ~inputs ~depth =
   match
-    Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry
-      ?deadline ?observers p ~inputs ~depth
+    Explore.run ?probe ?solo_fuel ?engine ?shrink ?reduce ?crashes ?force
+      ?notify_symmetry ?deadline ?observers p ~inputs ~depth
   with
   | Explore.Completed (s : Explore.stats) ->
     Explore.Completed
@@ -28,11 +28,11 @@ let explore ?probe ?solo_fuel ?engine ?shrink ?reduce ?force ?notify_symmetry ?d
    transposition table); errors flattened back to strings for the callers
    that predate witnesses — a timeout flattens too, since for bivalence a
    partial value set is not a sound answer. *)
-let decidable_values ?solo_fuel ?reduce ?force ?notify_symmetry ?deadline ?observers p
-    ~inputs ~depth =
+let decidable_values ?solo_fuel ?reduce ?crashes ?force ?notify_symmetry ?deadline
+    ?observers p ~inputs ~depth =
   match
-    Explore.decidable_values ?solo_fuel ~memo:true ?reduce ?force ?notify_symmetry
-      ?deadline ?observers p ~inputs ~depth
+    Explore.decidable_values ?solo_fuel ~memo:true ?reduce ?crashes ?force
+      ?notify_symmetry ?deadline ?observers p ~inputs ~depth
   with
   | Explore.Completed vs -> Ok vs
   | Falsified f -> Error (failure_message f)

@@ -29,6 +29,7 @@ val explore :
   ?engine:[ `Naive | `Memo | `Parallel of int ] ->
   ?shrink:bool ->
   ?reduce:Explore.reduction ->
+  ?crashes:int ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->
@@ -58,7 +59,9 @@ val explore :
     [notify_symmetry] receives the certification verdict.  [deadline]
     bounds the wall-clock budget: an expired run returns
     [Explore.Timed_out] with the partial counters instead of running
-    unbounded.  [observers] swaps the hard-coded agreement/validity/probe
+    unbounded.  [crashes] (default 0) is the crash–recovery budget —
+    exhaustive crash-point enumeration under Golab's model; see
+    {!Explore.run}.  [observers] swaps the hard-coded agreement/validity/probe
     checks for a pluggable {!Observer} set — see {!Explore.run}.  This is a
     thin wrapper over {!Explore.run}, which also exposes dedup/timing
     stats, witness replay ({!Explore.replay}) and iterative deepening
@@ -67,6 +70,7 @@ val explore :
 val decidable_values :
   ?solo_fuel:int ->
   ?reduce:Explore.reduction ->
+  ?crashes:int ->
   ?force:bool ->
   ?notify_symmetry:(Analysis.Symmetry.verdict -> unit) ->
   ?deadline:float ->

@@ -428,10 +428,135 @@ module Maxreg_monotonic = struct
     | Some message -> Violation { kind = "maxreg-monotonic"; liveness = false; message }
 end
 
+(* Recoverable agreement (Golab's crash–recovery model): agreement across
+   incarnations.  Per pid the first decision is remembered; a later decide
+   by the same pid is a re-decision by a post-crash incarnation and must
+   match, and decisions across pids must agree as usual.  Functionally this
+   refines [Agreement]'s verdict with {e which} kind of conflict occurred —
+   the cross-incarnation flip is the signature failure of non-recoverable
+   protocols.  Crash-free the monitor never sees a second decide for a pid,
+   so it degenerates to plain agreement. *)
+module Recoverable_agreement = struct
+  (* [decided] is sorted by pid so the digest is canonical *)
+  type state = { decided : (int * int) list; bad : string option }
+
+  let name = "recoverable-agreement"
+  let wants_probes = true
+  let wants_accesses = false
+  let commute_safe = true (* verdict is a function of the per-pid decision sequences *)
+  let symmetric_safe = false (* pid-indexed state *)
+  let init ~n:_ ~inputs:_ = { decided = []; bad = None }
+  let on_step st ~pid:_ = st
+  let on_access st ~pid:_ ~loc:_ ~value:_ = st
+
+  let rec put pid v = function
+    | [] -> [ (pid, v) ]
+    | (p, _) :: _ as list when p > pid -> (pid, v) :: list
+    | entry :: rest -> entry :: put pid v rest
+
+  let on_decide st ~pid ~value =
+    match st.bad with
+    | Some _ -> st
+    | None ->
+      (match List.assoc_opt pid st.decided with
+       | Some prev when prev <> value ->
+         {
+           st with
+           bad =
+             Some
+               (Printf.sprintf
+                  "recoverable-agreement: process %d decided %d after its pre-crash \
+                   incarnation decided %d"
+                  pid value prev);
+         }
+       | Some _ -> st
+       | None ->
+         (match
+            List.find_map
+              (fun (q, w) -> if w <> value then Some (q, w) else None)
+              st.decided
+          with
+          | Some (q, w) ->
+            {
+              st with
+              bad =
+                Some
+                  (Printf.sprintf
+                     "recoverable-agreement: process %d decided %d but process %d \
+                      decided %d"
+                     pid value q w);
+            }
+          | None -> { st with decided = put pid value st.decided }))
+
+  (* a probe's complete decision set is crash-free from here on, so only the
+     cross-pid half applies *)
+  let on_probe st = function
+    | Probe_decided { decisions; _ } ->
+      List.fold_left (fun st (pid, value) -> on_decide st ~pid ~value) st decisions
+    | Probe_stuck _ | Probe_starved _ -> st
+
+  let digest st =
+    match st.bad with
+    | Some _ -> 0x7f5
+    | None -> List.fold_left (fun acc (p, v) -> mix (mix acc p) v) 19 st.decided
+
+  let verdict st =
+    match st.bad with
+    | None -> Ok
+    | Some message ->
+      Violation { kind = "recoverable-agreement"; liveness = false; message }
+end
+
+(* Recoverable validity: every decision of every incarnation was some
+   process's input.  Same latch as [Validity], checked on every decide —
+   including post-crash re-decisions — under its own kind. *)
+module Recoverable_validity = struct
+  type state = { valid : int -> bool; bad : string option }
+
+  let name = "recoverable-validity"
+  let wants_probes = true
+  let wants_accesses = false
+  let commute_safe = true
+  let symmetric_safe = true
+
+  let init ~n:_ ~inputs =
+    let inputs = Array.copy inputs in
+    { valid = (fun v -> Array.exists (fun i -> i = v) inputs); bad = None }
+
+  let on_step st ~pid:_ = st
+  let on_access st ~pid:_ ~loc:_ ~value:_ = st
+
+  let latch st v =
+    if st.valid v then st
+    else
+      {
+        st with
+        bad =
+          Some (Printf.sprintf "recoverable-validity: %d decided but never proposed" v);
+      }
+
+  let on_decide st ~pid:_ ~value =
+    match st.bad with Some _ -> st | None -> latch st value
+
+  let on_probe st = function
+    | Probe_decided { decisions; _ } when st.bad = None ->
+      List.fold_left (fun st (_, v) -> latch st v) st decisions
+    | _ -> st
+
+  let digest st = match st.bad with Some _ -> 0x7f6 | None -> 23
+
+  let verdict st =
+    match st.bad with
+    | None -> Ok
+    | Some message -> Violation { kind = "recoverable-validity"; liveness = false; message }
+end
+
 let agreement : t = (module Agreement)
 let validity : t = (module Validity)
 let solo_termination : t = (module Solo_termination)
 let maxreg_monotonic : t = (module Maxreg_monotonic)
+let recoverable_agreement : t = (module Recoverable_agreement)
+let recoverable_validity : t = (module Recoverable_validity)
 let defaults = [ agreement; validity; solo_termination ]
 
 (* -------------------------------------------------------- combinators -- *)
@@ -533,6 +658,8 @@ let known =
     ("solo-termination", "every solo probe decides (obstruction-freedom) and the probe chain terminates");
     ("lockout", "a fairly scheduled process decides within its patience (liveness under Sched.fair)");
     ("maxreg-monotonic", "integer values observed per location never decrease");
+    ("recoverable-agreement", "decisions agree across processes and across crash-recovery incarnations");
+    ("recoverable-validity", "every incarnation's decision was some process's input");
   ]
 
 let of_name = function
@@ -541,6 +668,8 @@ let of_name = function
   | "solo-termination" -> Stdlib.Ok solo_termination
   | "lockout" -> Stdlib.Ok (lockout ())
   | "maxreg-monotonic" -> Stdlib.Ok maxreg_monotonic
+  | "recoverable-agreement" -> Stdlib.Ok recoverable_agreement
+  | "recoverable-validity" -> Stdlib.Ok recoverable_validity
   | other ->
     Stdlib.Error
       (Printf.sprintf "unknown observer %S (known: %s, or `default')" other

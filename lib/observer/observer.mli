@@ -164,6 +164,20 @@ val maxreg_monotonic : t
     return the same results in either order) and symmetric-safe (state is
     per-location, not per-pid). *)
 
+val recoverable_agreement : t
+(** Safety under crash–recovery (Golab, arXiv 1804.10597): decisions agree
+    across processes {e and} across incarnations — a process that decides,
+    crashes and re-decides must re-decide the same value.  Refines
+    {!agreement} with which kind of conflict occurred (the cross-incarnation
+    flip is the signature failure of non-recoverable protocols); crash-free
+    it degenerates to plain agreement.  Commute-safe; not symmetric-safe
+    (pid-indexed state). *)
+
+val recoverable_validity : t
+(** Safety under crash–recovery: every incarnation's decision was some
+    process's input.  {!validity}'s latch under its own verdict kind,
+    applied to post-crash re-decisions too. *)
+
 val defaults : t list
 (** [[agreement; validity; solo_termination]] — the observer set equivalent
     to the legacy hard-coded checker. *)
@@ -191,7 +205,8 @@ val known : (string * string) list
 val of_name : string -> (t, string) result
 (** Look up a registered observer: ["agreement"], ["validity"],
     ["solo-termination"], ["lockout"] (default parameters),
-    ["maxreg-monotonic"]. *)
+    ["maxreg-monotonic"], ["recoverable-agreement"],
+    ["recoverable-validity"]. *)
 
 val of_names : string list -> (t list, string) result
 (** Resolve a list of names; ["default"] expands to {!defaults}. *)

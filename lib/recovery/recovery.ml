@@ -1,0 +1,87 @@
+(* Recoverable-consensus protocols for the crash–recovery model (Golab,
+   arXiv 1804.10597): a crashed process loses its program state — it
+   restarts from the protocol root — but shared memory survives, so a
+   protocol is recoverable exactly when re-running it from scratch against
+   its own partial footprint still decides consistently.
+
+   The pair below demonstrates Golab's separation:
+
+   - [tas_naive] is the classical 2-process consensus from test-and-set plus
+     registers.  Crash-free it is correct (and wait-free), but it is {e not}
+     recoverable: winning the TAS leaves no trace the winner can recognise
+     as its own, so a winner that crashes after the TAS re-runs, loses its
+     own TAS, and adopts the other announcement — deciding against its first
+     incarnation.  The model checker falsifies it under a 1-crash budget.
+
+   - [cas_durable] is consensus from compare-and-swap with the recovery
+     discipline Golab's constructions use: the outcome of the race is itself
+     readable (the winner cell is write-once), and each process persists its
+     decision in a private write-once cell which it consults first on every
+     (re)start.  Certified under exhaustive crash-point enumeration. *)
+
+open Model
+open Proc.Syntax
+
+let tas_naive : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Tasrw
+
+    let name = "rc-tas-naive"
+
+    (* loc 0: the TAS bit; loc 1+pid: pid's announcement register *)
+    let locations ~n = Some (n + 1)
+
+    (* Announce, race on the TAS, winner decides itself, loser adopts the
+       first announcement it finds.  Correct for n = 2 crash-free: the
+       winner announced before its TAS, so the loser's scan finds exactly
+       the winner's value.  Not recoverable — see above. *)
+    let proc ~n ~pid ~input =
+      let* () = Isets.Tasrw.write (1 + pid) (Value.Int input) in
+      let* won = Isets.Tasrw.tas 0 in
+      if won then Proc.return input
+      else begin
+        let rec scan q =
+          if q >= n then Proc.return input
+          else if q = pid then scan (q + 1)
+          else
+            let* v = Isets.Tasrw.read (1 + q) in
+            match v with
+            | Value.Bot -> scan (q + 1)
+            | v -> Proc.return (Value.to_int_exn v)
+        in
+        scan 0
+      end
+  end)
+
+let cas_durable : Consensus.Proto.t =
+  (module struct
+    module I = Isets.Cas
+
+    let name = "rc-cas"
+
+    (* loc 0: write-once winner cell; loc 1+pid: pid's persistent decision
+       cell, its private recovery cell in Golab's sense *)
+    let locations ~n = Some (n + 1)
+
+    (* a trivial compare-and-swap is a read: it never changes the cell and
+       always returns its current value *)
+    let read loc = Isets.Cas.cas loc ~expected:Value.Bot ~desired:Value.Bot
+
+    let proc ~n:_ ~pid ~input =
+      let dec = 1 + pid in
+      let* mine = read dec in
+      match mine with
+      | Value.Bot | Value.Unit ->
+        let* prev = Isets.Cas.cas 0 ~expected:Value.Bot ~desired:(Value.Int input) in
+        let d = match prev with Value.Bot -> input | v -> Value.to_int_exn v in
+        (* persist before deciding; if a pre-crash incarnation already
+           persisted, this CAS fails and the read-back below returns the
+           durable value — which equals [d], since the winner cell is
+           write-once *)
+        let* _ = Isets.Cas.cas dec ~expected:Value.Bot ~desired:(Value.Int d) in
+        let* durable = read dec in
+        Proc.return (Value.to_int_exn durable)
+      | v -> Proc.return (Value.to_int_exn v)
+  end)
+
+let protocols = [ tas_naive; cas_durable ]

@@ -1,0 +1,26 @@
+(** Recoverable-consensus protocols for the crash–recovery model (Golab,
+    arXiv 1804.10597), exercised by the model checker's crash budget
+    ([Explore.run ~crashes]).  A crashed process restarts from its protocol
+    root with shared memory intact; a protocol is recoverable when every
+    placement of crashes still yields a single consistent decision —
+    including re-decisions by processes that crashed after deciding. *)
+
+val tas_naive : Consensus.Proto.t
+(** ["rc-tas-naive"]: the classical 2-process consensus from test-and-set
+    plus announcement registers (announce, race on the TAS, winner decides
+    itself, loser adopts the winner's announcement).  Correct and wait-free
+    crash-free at n = 2; {e not} recoverable — a winner that crashes after
+    its TAS cannot recognise the set bit as its own win, re-runs, loses,
+    and decides the other value.  The model checker falsifies agreement
+    under a 1-crash budget; kept as the negative exemplar of Golab's
+    TAS/CAS separation. *)
+
+val cas_durable : Consensus.Proto.t
+(** ["rc-cas"]: recoverable consensus from compare-and-swap.  The race
+    outcome is itself durable (a write-once winner cell), and each process
+    persists its decision in a private write-once cell it consults first on
+    every (re)start — the recovery-cell discipline.  Certified under
+    exhaustive crash-point enumeration for any crash budget. *)
+
+val protocols : Consensus.Proto.t list
+(** Both of the above, falsifiable first. *)

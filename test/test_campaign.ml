@@ -344,6 +344,54 @@ let test_observed_tasks () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "spec accepted an unknown observer name"
 
+let test_crash_tasks () =
+  let check ?crashes () =
+    Campaign.Task.check ?crashes ~engine:`Memo ~reduce:commute ~depth:4 (row "cas") ~n:2
+  in
+  let plain = check () in
+  (* an explicit zero budget is the historical fingerprint: crash-free grids
+     keep addressing the store entries they wrote before the crash subsystem *)
+  Alcotest.(check string) "crashes=0 keeps the legacy fingerprint"
+    (Campaign.Task.fingerprint plain)
+    (Campaign.Task.fingerprint (check ~crashes:0 ()));
+  Alcotest.(check bool) "a positive budget changes the fingerprint" false
+    (Campaign.Task.fingerprint plain = Campaign.Task.fingerprint (check ~crashes:1 ()));
+  let mk crashes =
+    Campaign.Record.make ~task:"0123456789abcdef" ~kind:"check" ~row:"rc-cas"
+      ~protocol:"rc-cas" ~n:2 ~depth:14 ~engine:"memo" ~reduce:"none" ~crashes
+      ~status:Campaign.Record.Verified ()
+  in
+  Alcotest.(check bool) "crash-free records omit the field" true
+    (Campaign.Json.member "crashes" (Campaign.Record.to_json (mk 0)) = Campaign.Json.Null);
+  (match Campaign.Record.of_json (Campaign.Record.to_json (mk 1)) with
+   | Ok r -> Alcotest.(check int) "crash budget round-trips" 1 r.Campaign.Record.crashes
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "the crash budget is part of the verdict" false
+    (Campaign.Record.same_verdict (mk 0) (mk 1));
+  (* specs: the recovery rows are visible exactly when the budget is positive *)
+  let spec crashes =
+    {
+      Campaign.Spec.smoke with
+      Campaign.Spec.include_rows = [ "rc-cas" ];
+      ns = [ 2 ];
+      depths = [ 14 ];
+      stress_seeds = [];
+      crashes;
+    }
+  in
+  (match Campaign.Spec.tasks (spec 0) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "crash-free spec admitted a recovery row");
+  match Campaign.Spec.tasks (spec 1) with
+  | Ok [ t ] ->
+    let r = Campaign.Task.run t in
+    Alcotest.(check int) "record carries the crash budget" 1 r.Campaign.Record.crashes;
+    (match r.Campaign.Record.status with
+     | Campaign.Record.Verified -> ()
+     | s -> Alcotest.failf "rc-cas crash check: %s" (Campaign.Record.status_name s))
+  | Ok ts -> Alcotest.failf "expected 1 task, got %d" (List.length ts)
+  | Error e -> Alcotest.fail e
+
 (* --- store ------------------------------------------------------------- *)
 
 let test_store_roundtrip_and_reopen () =
@@ -940,6 +988,8 @@ let () =
             test_fingerprint_stable_and_distinct;
           Alcotest.test_case "spec expansion" `Quick test_spec_expansion;
           Alcotest.test_case "observed tasks" `Quick test_observed_tasks;
+          Alcotest.test_case "crash budgets in tasks, records and specs" `Quick
+            test_crash_tasks;
         ] );
       ( "store",
         [

@@ -511,7 +511,7 @@ let test_trace_records_steps () =
   let t = M.trace cfg in
   Alcotest.(check int) "four events" 4 (List.length t);
   (match t with
-   | { M.pid = 0; accesses = [ (0, Cell.Write 5, _) ] } :: _ -> ()
+   | M.Step { pid = 0; accesses = [ (0, Cell.Write 5, _) ] } :: _ -> ()
    | _ -> Alcotest.fail "first event should be p0's write to 0");
   (* pp_trace renders without exception *)
   Alcotest.(check bool) "printable" true
@@ -548,8 +548,7 @@ let prop_runs_deterministic =
       let r1, _ = M.run ~sched:(Sched.random ~seed) (mk ()) in
       let r2, _ = M.run ~sched:(Sched.random ~seed) (mk ()) in
       M.decisions r1 = M.decisions r2 && M.steps r1 = M.steps r2
-      && List.map (fun (e : M.event) -> e.pid) (M.trace r1)
-         = List.map (fun (e : M.event) -> e.pid) (M.trace r2))
+      && List.map M.event_pid (M.trace r1) = List.map M.event_pid (M.trace r2))
 
 let () =
   Alcotest.run "machine"
